@@ -1,0 +1,136 @@
+// Ablation -- the mode trade-off space (§3.3.2, incl. the C+M combination).
+//
+// For one 64-message round, measured from the real engines: per-message
+// verifier hash cost, per-S2 signature bytes on the wire, and bytes buffered
+// by the relay while the round is pending. The paper's claim: ALPHA-C is
+// constant-cost/linear-buffer, ALPHA-M is log-cost/constant-buffer, and the
+// combination interpolates ("reduction of the computational cost for
+// verifying {Bc} ... requires larger buffering capabilities from relays").
+#include "bench_util.hpp"
+#include "crypto/counter.hpp"
+
+using namespace alpha;
+using namespace alpha::bench;
+
+namespace {
+
+struct Row {
+  double verify_hashes_per_msg;
+  std::size_t sig_bytes_per_s2;
+  std::size_t relay_buffer;
+  std::size_t s1_bytes;
+};
+
+Row run(core::Config config, std::size_t messages) {
+  // Pass 1: relay buffer while the round is pending (A1 withheld).
+  TriadFixture held{config};
+  for (std::size_t i = 0; i < messages; ++i) {
+    held.signer().submit(crypto::Bytes(1000, 0x5a), 0);
+  }
+  held.pump_without_a1();
+  const std::size_t relay_buffer = held.relay().buffered_bytes();
+
+  // Pass 2: full run, measuring verifier hashes and S2 sizes.
+  TriadFixture fx{config};
+  std::size_t s2_payload_total = 0, s2_frame_total = 0, s2_count = 0;
+  std::size_t s1_bytes = 0;
+  // Wrap the fixture pump with a frame size probe via a decode pass: the
+  // fixture has no hook, so resubmit and inspect through the signer stats
+  // instead -- simplest is to capture sizes by re-encoding what the
+  // verifier receives. We probe by intercepting with a custom callback
+  // round: rebuild frames through SignerEngine directly.
+  crypto::HashOpCounter::reset();
+  for (std::size_t i = 0; i < messages; ++i) {
+    fx.signer().submit(crypto::Bytes(1000, 0x5a), 0);
+  }
+  fx.pump();
+  const auto verify_hashes = fx.verifier().stats().hashes.signature +
+                             fx.verifier().stats().hashes.chain_verify;
+
+  // Wire sizes from freshly encoded packets of an identical round.
+  {
+    core::SignerEngine::Callbacks cb;
+    std::vector<crypto::Bytes> frames;
+    cb.send = [&](crypto::Bytes f) { frames.push_back(std::move(f)); };
+    crypto::HmacDrbg rng{9};
+    auto sig_chain = hashchain::HashChain::generate(
+        config.algo, hashchain::ChainTagging::kRoleBound, rng,
+        config.chain_length);
+    auto ack_chain = hashchain::HashChain::generate(
+        config.algo, hashchain::ChainTagging::kRoleBound, rng,
+        config.chain_length);
+    core::SignerEngine probe{config, 1, sig_chain, ack_chain.anchor(),
+                             ack_chain.length(), std::move(cb)};
+    for (std::size_t i = 0; i < messages; ++i) {
+      probe.submit(crypto::Bytes(1000, 0x5a), 0);
+    }
+    // Feed it a genuine A1 so it emits the S2 batch.
+    core::VerifierEngine::Callbacks vcb;
+    crypto::Bytes a1_frame;
+    vcb.send = [&](crypto::Bytes f) { a1_frame = std::move(f); };
+    core::VerifierEngine v{config, 1, ack_chain, sig_chain.anchor(),
+                           sig_chain.length(), std::move(vcb), rng};
+    v.on_s1(std::get<wire::S1Packet>(*wire::decode(frames.at(0))));
+    s1_bytes = frames.at(0).size();
+    probe.on_a1(std::get<wire::A1Packet>(*wire::decode(a1_frame)), 0);
+    for (std::size_t i = 1; i < frames.size(); ++i) {
+      if (wire::peek_type(frames[i]) == wire::PacketType::kS2) {
+        const auto s2 = std::get<wire::S2Packet>(*wire::decode(frames[i]));
+        s2_frame_total += frames[i].size();
+        s2_payload_total += s2.payload.size();
+        ++s2_count;
+      }
+    }
+  }
+
+  Row row;
+  row.verify_hashes_per_msg =
+      static_cast<double>(verify_hashes) / static_cast<double>(messages);
+  row.sig_bytes_per_s2 =
+      s2_count == 0 ? 0 : (s2_frame_total - s2_payload_total) / s2_count;
+  row.relay_buffer = relay_buffer;
+  row.s1_bytes = s1_bytes;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  header("Ablation: ALPHA-C vs ALPHA-M vs combined C+M, one 64-message "
+         "round (1000 B messages, SHA-1)");
+
+  struct Case {
+    const char* name;
+    wire::Mode mode;
+    std::size_t group;
+  };
+  const Case cases[] = {
+      {"ALPHA-C (64 MACs/S1)", wire::Mode::kCumulative, 0},
+      {"C+M, groups of 4", wire::Mode::kCumulativeMerkle, 4},
+      {"C+M, groups of 8", wire::Mode::kCumulativeMerkle, 8},
+      {"C+M, groups of 16", wire::Mode::kCumulativeMerkle, 16},
+      {"ALPHA-M (one 64-leaf tree)", wire::Mode::kMerkle, 0},
+  };
+
+  std::printf("\n%-28s %16s %16s %14s %10s\n", "mode",
+              "verify hashes/msg", "sig bytes/S2", "relay buffer", "S1 size");
+  for (const auto& c : cases) {
+    core::Config config;
+    config.mode = c.mode;
+    config.batch_size = 64;
+    config.merkle_group = c.group;
+    config.chain_length = 1024;
+    const Row row = run(config, 64);
+    std::printf("%-28s %16.2f %16zu %11zu B %7zu B\n", c.name,
+                row.verify_hashes_per_msg, row.sig_bytes_per_s2,
+                row.relay_buffer, row.s1_bytes);
+  }
+
+  std::printf(
+      "\nReading: ALPHA-C pays constant per-message hashing and wire bytes\n"
+      "but the relay buffers one MAC per message; ALPHA-M buffers a single\n"
+      "root but pays log2(64)+1 hashes and 6 path digests per S2. The C+M\n"
+      "groups interpolate: larger groups -> smaller relay buffer and S1,\n"
+      "deeper paths (§3.3.2).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Baseline comparison: per-message end-to-end protection cost.
+//
+// The paper's positioning (§1, Table 4): ALPHA sits between symmetric MACs
+// (cheap, but invisible to relays) and per-packet public-key signatures
+// (verifiable on-path, but orders of magnitude slower). This bench runs one
+// message through each scheme end to end on the host.
+#include <benchmark/benchmark.h>
+
+#include "baselines/hmac_e2e.hpp"
+#include "baselines/hopwise.hpp"
+#include "baselines/pk_channel.hpp"
+#include "baselines/tesla_like.hpp"
+#include "bench_util.hpp"
+
+using namespace alpha;
+
+namespace {
+
+void BM_AlphaRound(benchmark::State& state, bool reliable) {
+  core::Config config;
+  config.reliable = reliable;
+  config.chain_length = 1 << 18;
+  bench::TriadFixture fx{config};
+  const crypto::Bytes payload(1024, 0x11);
+  for (auto _ : state) {
+    fx.signer().submit(payload, 0);
+    fx.pump();
+  }
+  if (!fx.signer().can_send()) state.SkipWithError("chain exhausted");
+}
+BENCHMARK_CAPTURE(BM_AlphaRound, unreliable, false)
+    ->Unit(benchmark::kMicrosecond)->Iterations(20000);
+BENCHMARK_CAPTURE(BM_AlphaRound, reliable, true)
+    ->Unit(benchmark::kMicrosecond)->Iterations(20000);
+
+void BM_HmacE2e(benchmark::State& state) {
+  crypto::HmacDrbg rng{1};
+  const baselines::HmacChannel ch{crypto::HashAlgo::kSha1,
+                                  crypto::MacKind::kHmac, rng.bytes(20)};
+  const crypto::Bytes payload(1024, 0x22);
+  for (auto _ : state) {
+    const auto frame = ch.protect(payload);
+    benchmark::DoNotOptimize(ch.verify(frame));
+  }
+}
+BENCHMARK(BM_HmacE2e)->Unit(benchmark::kMicrosecond);
+
+void BM_HopwisePath(benchmark::State& state) {
+  crypto::HmacDrbg rng{2};
+  const baselines::HopwisePath path{crypto::HashAlgo::kSha1,
+                                    crypto::MacKind::kHmac,
+                                    static_cast<std::size_t>(state.range(0)),
+                                    rng};
+  const crypto::Bytes payload(1024, 0x33);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(path.transmit(payload));
+  }
+}
+BENCHMARK(BM_HopwisePath)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_TeslaRoundtrip(benchmark::State& state) {
+  baselines::TeslaConfig tc;
+  tc.chain_length = 1 << 16;
+  const baselines::TeslaSender sender{tc, crypto::Bytes(20, 1), 0};
+  const crypto::Bytes payload(1024, 0x44);
+  std::uint64_t t = 0;
+  baselines::TeslaReceiver receiver{tc, sender.anchor(), 0};
+  for (auto _ : state) {
+    const auto frame = sender.protect(payload, t);
+    benchmark::DoNotOptimize(receiver.on_packet(frame, t + 1000));
+    t += tc.epoch_us;  // one packet per epoch keeps the chain advancing
+  }
+}
+BENCHMARK(BM_TeslaRoundtrip)->Unit(benchmark::kMicrosecond)->Iterations(20000);
+
+void BM_PkPerPacket(benchmark::State& state) {
+  crypto::HmacDrbg rng{5};
+  const core::Identity id = core::Identity::make_rsa(rng, 1024);
+  const baselines::PkChannel ch{id, crypto::HashAlgo::kSha1, rng};
+  const crypto::Bytes pub = id.encode_public();
+  const crypto::Bytes payload(1024, 0x55);
+  for (auto _ : state) {
+    const auto frame = ch.protect(payload);
+    benchmark::DoNotOptimize(baselines::PkChannel::verify(
+        frame, wire::SigAlg::kRsa, pub, crypto::HashAlgo::kSha1));
+  }
+}
+BENCHMARK(BM_PkPerPacket)->Unit(benchmark::kMicrosecond)->Iterations(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Figure 6 -- signature overhead: transferred bytes per signed byte.
+//
+// Paper (Fig. 6): the ratio of bytes sent per payload byte for the same
+// four packet sizes as Fig. 5. Larger packets amortize the {Bc} better;
+// the ratio climbs toward the feasibility edge where signature data fills
+// the packet (the paper plots up to ~5).
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "platform/estimators.hpp"
+
+using namespace alpha;
+using namespace alpha::bench;
+
+int main() {
+  header("Figure 6: transferred bytes per signed byte vs. number of S2 "
+         "packets (h = 20 B)");
+
+  const std::size_t packet_sizes[] = {1280, 512, 256, 128};
+  std::printf("%10s", "n");
+  for (const auto ps : packet_sizes) std::printf("  %9zu B", ps);
+  std::printf("\n");
+
+  std::vector<std::size_t> ns;
+  for (double x = 0; x <= 23.5; x += 0.5) {
+    ns.push_back(static_cast<std::size_t>(std::llround(std::pow(2.0, x))));
+  }
+  std::sort(ns.begin(), ns.end());
+  ns.erase(std::unique(ns.begin(), ns.end()), ns.end());
+
+  for (const std::size_t n : ns) {
+    if (n > 10'000'000) break;
+    std::printf("%10zu", n);
+    for (const auto ps : packet_sizes) {
+      const auto ratio = platform::overhead_ratio(n, ps, 20);
+      if (ratio.has_value()) {
+        std::printf("  %11.3f", *ratio);
+      } else {
+        std::printf("  %11s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nShape checks (paper):\n");
+  std::printf("  - overhead lower for larger packets at every n: %s\n",
+              *platform::overhead_ratio(1024, 1280, 20) <
+                      *platform::overhead_ratio(1024, 512, 20)
+                  ? "OK"
+                  : "VIOLATED");
+  std::printf("  - ratio monotonically rises across depth steps: %s\n",
+              *platform::overhead_ratio(2, 1280, 20) <
+                      *platform::overhead_ratio(4'000'000, 1280, 20)
+                  ? "OK"
+                  : "VIOLATED");
+  return 0;
+}

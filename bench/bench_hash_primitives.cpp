@@ -1,0 +1,49 @@
+// Micro-benchmarks: the crypto primitives everything else is built on.
+//
+// Supports the Table 4/5 reproductions: SHA-1/SHA-256/AES-MMO throughput
+// across input sizes and the two MAC constructions.
+#include <benchmark/benchmark.h>
+
+#include "crypto/hash.hpp"
+#include "crypto/mac.hpp"
+
+using namespace alpha::crypto;
+
+namespace {
+
+void BM_Hash(benchmark::State& state, HashAlgo algo) {
+  const Bytes input(static_cast<std::size_t>(state.range(0)), 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash(algo, input));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_Mac(benchmark::State& state, MacKind kind, HashAlgo algo) {
+  const Bytes key(digest_size(algo), 0x42);
+  const Bytes input(static_cast<std::size_t>(state.range(0)), 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mac(kind, algo, key, input));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+}  // namespace
+
+// The paper's calibration sizes: 20/1024 B (Table 5), 16/84 B (§4.1.3).
+BENCHMARK_CAPTURE(BM_Hash, sha1, HashAlgo::kSha1)
+    ->Arg(20)->Arg(64)->Arg(84)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK_CAPTURE(BM_Hash, sha256, HashAlgo::kSha256)
+    ->Arg(20)->Arg(64)->Arg(1024)->Arg(4096);
+BENCHMARK_CAPTURE(BM_Hash, aes_mmo, HashAlgo::kMmo128)
+    ->Arg(16)->Arg(84)->Arg(100)->Arg(1024);
+BENCHMARK_CAPTURE(BM_Mac, hmac_sha1, MacKind::kHmac, HashAlgo::kSha1)
+    ->Arg(64)->Arg(1024);
+BENCHMARK_CAPTURE(BM_Mac, prefix_sha1, MacKind::kPrefix, HashAlgo::kSha1)
+    ->Arg(64)->Arg(1024);
+BENCHMARK_CAPTURE(BM_Mac, prefix_mmo, MacKind::kPrefix, HashAlgo::kMmo128)
+    ->Arg(84);
+
+BENCHMARK_MAIN();

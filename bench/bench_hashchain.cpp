@@ -1,0 +1,87 @@
+// Micro-benchmarks: hash-chain operations + the storage-strategy ablation.
+//
+// DESIGN.md §5 ablation: full store (O(n) memory, O(1) element access) vs.
+// seed-only (O(1)/O(n)) vs. sqrt checkpointing (O(sqrt n)/O(sqrt n)). The
+// walk benchmarks traverse a chain top-down the way a signer discloses.
+#include <benchmark/benchmark.h>
+
+#include "crypto/random.hpp"
+#include "hashchain/chain.hpp"
+
+using namespace alpha;
+using namespace alpha::hashchain;
+
+namespace {
+
+void BM_ChainGenerate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const crypto::Bytes seed(20, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashChain{crypto::HashAlgo::kSha1,
+                                       ChainTagging::kRoleBound, seed, n});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ChainGenerate)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ChainWalk(benchmark::State& state, ChainStorage storage) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const crypto::Bytes seed(20, 1);
+  const HashChain chain{crypto::HashAlgo::kSha1, ChainTagging::kRoleBound,
+                        seed, n, storage};
+  for (auto _ : state) {
+    ChainWalker walker{chain};
+    while (!walker.exhausted()) {
+      benchmark::DoNotOptimize(walker.take());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n - 1));
+  state.counters["memoryB"] =
+      static_cast<double>(chain.memory_bytes());
+}
+BENCHMARK_CAPTURE(BM_ChainWalk, full_store, ChainStorage::kFull)
+    ->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK_CAPTURE(BM_ChainWalk, seed_only, ChainStorage::kSeedOnly)
+    ->Arg(256)->Arg(1024);
+BENCHMARK_CAPTURE(BM_ChainWalk, checkpoint, ChainStorage::kCheckpoint)
+    ->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ChainVerifyStep(benchmark::State& state) {
+  crypto::HmacDrbg rng{1};
+  const auto chain = HashChain::generate(crypto::HashAlgo::kSha1,
+                                         ChainTagging::kRoleBound, rng, 4096);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ChainVerifier verifier{crypto::HashAlgo::kSha1, ChainTagging::kRoleBound,
+                           chain.anchor(), 4096};
+    state.ResumeTiming();
+    for (std::size_t i = 4095; i > 4095 - 64; --i) {
+      benchmark::DoNotOptimize(verifier.accept(chain.element(i), i));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ChainVerifyStep);
+
+void BM_ChainVerifyWithGap(benchmark::State& state) {
+  // Packet loss: the disclosed element is `gap` steps below the last one.
+  const std::size_t gap = static_cast<std::size_t>(state.range(0));
+  crypto::HmacDrbg rng{2};
+  const auto chain = HashChain::generate(crypto::HashAlgo::kSha1,
+                                         ChainTagging::kRoleBound, rng, 8192);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ChainVerifier verifier{crypto::HashAlgo::kSha1, ChainTagging::kRoleBound,
+                           chain.anchor(), 8192, /*max_gap=*/256};
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        verifier.accept(chain.element(8192 - gap), 8192 - gap));
+  }
+}
+BENCHMARK(BM_ChainVerifyWithGap)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Micro-benchmarks: Merkle trees (ALPHA-M) and acknowledgment Merkle trees.
+//
+// Shows the log-vs-linear trade-off behind Table 6: tree build is O(n),
+// per-leaf verification O(log n) with constant buffer.
+#include <benchmark/benchmark.h>
+
+#include "crypto/random.hpp"
+#include "merkle/amt.hpp"
+#include "merkle/merkle.hpp"
+
+using namespace alpha;
+using namespace alpha::merkle;
+
+namespace {
+
+std::vector<Bytes> make_messages(std::size_t n, std::size_t size) {
+  crypto::HmacDrbg rng{42};
+  std::vector<Bytes> msgs;
+  msgs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) msgs.push_back(rng.bytes(size));
+  return msgs;
+}
+
+void BM_TreeBuild(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto msgs = make_messages(n, 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerkleTree{crypto::HashAlgo::kSha1, msgs});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TreeBuild)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_AuthPath(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const MerkleTree tree{crypto::HashAlgo::kSha1, make_messages(n, 1024)};
+  std::size_t j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.auth_path(j));
+    j = (j + 1) % n;
+  }
+}
+BENCHMARK(BM_AuthPath)->Arg(16)->Arg(1024);
+
+void BM_VerifyKeyed(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto msgs = make_messages(n, 1024);
+  const MerkleTree tree{crypto::HashAlgo::kSha1, msgs};
+  const crypto::Bytes key(20, 7);
+  const Digest root = tree.keyed_root(key);
+  const Digest leaf = crypto::hash(crypto::HashAlgo::kSha1, msgs[0]);
+  const AuthPath path = tree.auth_path(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MerkleTree::verify_keyed(crypto::HashAlgo::kSha1, key, leaf, path,
+                                 root));
+  }
+  state.counters["log2n"] = static_cast<double>(path.siblings.size());
+}
+BENCHMARK(BM_VerifyKeyed)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_AmtBuild(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  crypto::HmacDrbg rng{3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AckMerkleTree{crypto::HashAlgo::kSha1, n, rng});
+  }
+}
+BENCHMARK(BM_AmtBuild)->Arg(16)->Arg(256);
+
+void BM_AmtProveVerify(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  crypto::HmacDrbg rng{4};
+  const AckMerkleTree amt{crypto::HashAlgo::kSha1, n, rng};
+  const crypto::Bytes key(20, 9);
+  const Digest root = amt.keyed_root(key);
+  std::size_t j = 0;
+  for (auto _ : state) {
+    const auto proof = amt.prove(j, true);
+    benchmark::DoNotOptimize(
+        AckMerkleTree::verify(crypto::HashAlgo::kSha1, key, proof, root, n));
+    j = (j + 1) % n;
+  }
+}
+BENCHMARK(BM_AmtProveVerify)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

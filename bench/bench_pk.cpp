@@ -1,0 +1,121 @@
+// Micro-benchmarks: the public-key baselines (from-scratch bignum RSA/DSA).
+//
+// Supports Table 4's comparison rows and quantifies why the paper restricts
+// asymmetric cryptography to the bootstrap handshake (§3.4).
+#include <benchmark/benchmark.h>
+
+#include "crypto/dsa.hpp"
+#include "crypto/ec.hpp"
+#include "crypto/rsa.hpp"
+
+using namespace alpha::crypto;
+
+namespace {
+
+const RsaPrivateKey& rsa_key(std::size_t bits) {
+  static std::map<std::size_t, RsaPrivateKey> cache;
+  const auto it = cache.find(bits);
+  if (it != cache.end()) return it->second;
+  HmacDrbg rng{bits};
+  return cache.emplace(bits, rsa_generate(rng, bits)).first->second;
+}
+
+const DsaPrivateKey& dsa_key() {
+  static const DsaPrivateKey key = [] {
+    HmacDrbg rng{1601};
+    return dsa_generate_key(rng, dsa_generate_params(rng, 1024, 160));
+  }();
+  return key;
+}
+
+void BM_RsaSign(benchmark::State& state) {
+  const auto& key = rsa_key(static_cast<std::size_t>(state.range(0)));
+  const auto msg = as_bytes("per-packet signature baseline");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_sign(key, HashAlgo::kSha1, msg));
+  }
+}
+BENCHMARK(BM_RsaSign)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_RsaVerify(benchmark::State& state) {
+  const auto& key = rsa_key(static_cast<std::size_t>(state.range(0)));
+  const auto msg = as_bytes("per-packet signature baseline");
+  const Bytes sig = rsa_sign(key, HashAlgo::kSha1, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_verify(key.pub, HashAlgo::kSha1, msg, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_DsaSign(benchmark::State& state) {
+  const auto& key = dsa_key();
+  HmacDrbg rng{7};
+  const auto msg = as_bytes("per-packet signature baseline");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsa_sign(key, HashAlgo::kSha1, msg, rng));
+  }
+}
+BENCHMARK(BM_DsaSign)->Unit(benchmark::kMillisecond);
+
+void BM_DsaVerify(benchmark::State& state) {
+  const auto& key = dsa_key();
+  HmacDrbg rng{8};
+  const auto msg = as_bytes("per-packet signature baseline");
+  const DsaSignature sig = dsa_sign(key, HashAlgo::kSha1, msg, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsa_verify(key.pub, HashAlgo::kSha1, msg, sig));
+  }
+}
+BENCHMARK(BM_DsaVerify)->Unit(benchmark::kMillisecond);
+
+void BM_EcdsaSign(benchmark::State& state, const EcCurve& curve) {
+  HmacDrbg rng{0xecc};
+  const EcdsaPrivateKey key = ecdsa_generate(curve, rng);
+  const auto msg = as_bytes("anchor signing on sensors");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecdsa_sign(key, HashAlgo::kSha1, msg, rng));
+  }
+}
+BENCHMARK_CAPTURE(BM_EcdsaSign, secp160r1, EcCurve::secp160r1())
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EcdsaSign, p256, EcCurve::p256())
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EcdsaVerify(benchmark::State& state, const EcCurve& curve) {
+  HmacDrbg rng{0xecd};
+  const EcdsaPrivateKey key = ecdsa_generate(curve, rng);
+  const auto msg = as_bytes("anchor signing on sensors");
+  const EcdsaSignature sig = ecdsa_sign(key, HashAlgo::kSha1, msg, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecdsa_verify(key.pub, HashAlgo::kSha1, msg, sig));
+  }
+}
+BENCHMARK_CAPTURE(BM_EcdsaVerify, secp160r1, EcCurve::secp160r1())
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EcdsaVerify, p256, EcCurve::p256())
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EcPointMultiply(benchmark::State& state) {
+  // The Gura et al. comparison point from §4.1.3: one 160-bit scalar
+  // multiplication (0.81 s on an 8 MHz ATmega128).
+  const EcCurve& curve = EcCurve::secp160r1();
+  HmacDrbg rng{0xecf};
+  const BigInt k = BigInt::random_below(rng, curve.order());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.multiply(k, curve.generator()));
+  }
+}
+BENCHMARK(BM_EcPointMultiply)->Unit(benchmark::kMillisecond);
+
+void BM_RsaKeygen(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    HmacDrbg rng{seed++};
+    benchmark::DoNotOptimize(rsa_generate(rng, 512));
+  }
+}
+BENCHMARK(BM_RsaKeygen)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// §3.1.1 -- relay scalability with the number of flows.
+//
+// Paper: "On forwarding devices in particular, pre-signatures offer
+// significantly better scalability with the number of flows than regularly
+// signed messages." This harness runs one real relay engine with an
+// increasing number of concurrent associations, each holding a pending
+// 16-message round of 1000 B messages, and reports the relay's actual
+// buffer occupancy -- next to what buffering whole messages (no
+// pre-signatures) would cost, and the ALPHA-M variant (one root per round).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/relay.hpp"
+
+using namespace alpha;
+using namespace alpha::bench;
+
+namespace {
+
+std::size_t relay_bytes_for_flows(std::size_t flows, wire::Mode mode) {
+  core::Config config;
+  config.mode = mode;
+  config.batch_size = 16;
+  config.chain_length = 128;
+
+  core::RelayEngine::Callbacks cb;
+  cb.forward = [](core::Direction, crypto::Bytes) {};
+  core::RelayEngine relay{config, core::RelayEngine::Options{},
+                          std::move(cb)};
+
+  crypto::HmacDrbg rng{77};
+  for (std::size_t f = 0; f < flows; ++f) {
+    const std::uint32_t assoc = static_cast<std::uint32_t>(f + 1);
+    auto sig = hashchain::HashChain::generate(
+        config.algo, hashchain::ChainTagging::kRoleBound, rng, 128);
+    auto ack = hashchain::HashChain::generate(
+        config.algo, hashchain::ChainTagging::kRoleBound, rng, 128);
+
+    wire::HandshakePacket hs;
+    hs.hdr = {assoc, 1};
+    hs.algo = config.algo;
+    hs.chain_length = 128;
+    hs.sig_anchor = sig.anchor();
+    hs.sig_anchor_index = 128;
+    hs.ack_anchor = ack.anchor();
+    hs.ack_anchor_index = 128;
+    relay.on_frame(core::Direction::kForward, hs.encode());
+
+    // One pending 16-message round per flow.
+    std::vector<crypto::Bytes> frames;
+    core::SignerEngine::Callbacks scb;
+    scb.send = [&](crypto::Bytes fr) { frames.push_back(std::move(fr)); };
+    core::SignerEngine signer{config, assoc, sig, ack.anchor(), 128,
+                              std::move(scb)};
+    for (int i = 0; i < 16; ++i) signer.submit(crypto::Bytes(1000, 0x42), 0);
+    relay.on_frame(core::Direction::kForward, frames.at(0));  // the S1
+  }
+  return relay.buffered_bytes();
+}
+
+}  // namespace
+
+int main() {
+  header("§3.1.1: relay buffer occupancy vs. concurrent flows "
+         "(16 x 1000 B messages pending per flow)");
+
+  std::printf("\n%8s %16s %16s %20s\n", "flows", "ALPHA-C (B)",
+              "ALPHA-M (B)", "no pre-sigs (B)");
+  for (const std::size_t flows : {1u, 8u, 64u, 256u, 1024u}) {
+    const std::size_t alpha_c =
+        relay_bytes_for_flows(flows, wire::Mode::kCumulative);
+    const std::size_t alpha_m =
+        relay_bytes_for_flows(flows, wire::Mode::kMerkle);
+    // Without pre-signatures the relay would hold the messages themselves
+    // until the disclosure arrives: n*(m+h) per flow.
+    const std::size_t full = flows * 16 * (1000 + 20);
+    std::printf("%8zu %16zu %16zu %20zu\n", flows, alpha_c, alpha_m, full);
+  }
+
+  std::printf(
+      "\nReading: per flow, a pending round costs the relay 320 B of MACs\n"
+      "(ALPHA-C) or one 20 B root (ALPHA-M) instead of ~16 kB of payload --\n"
+      "the 'significantly better scalability with the number of flows' and\n"
+      "the reason memory-exhaustion attacks on relays get harder (§3.1.1).\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Table 1 -- hash computations for processing one message.
+//
+// Paper (Table 1): per-message hash operations for ALPHA, ALPHA-C and
+// ALPHA-M, per role, split into signature, hash-chain creation, hash-chain
+// verification and (n)ack handling. ALPHA-C/-M send n messages per S1.
+//
+// This harness runs the real engines (signer + relay + verifier through a
+// lossless loopback, reliable mode so ack columns are exercised), counts the
+// hash operations each role actually executed via the instrumented crypto
+// layer, and prints them next to the paper's analytical entries. Two
+// expected differences are called out in the footnotes: HMAC costs 2 hash
+// finalizations (the paper counts 1 MAC), and chain creation is a one-time
+// cost measured separately.
+#include "bench_util.hpp"
+#include "crypto/counter.hpp"
+#include "platform/estimators.hpp"
+
+using namespace alpha;
+using namespace alpha::bench;
+
+namespace {
+
+struct Measured {
+  core::HashWork signer, verifier, relay;
+  double chain_create_per_msg;  // measured chain build, amortized
+};
+
+Measured run_mode(wire::Mode mode, std::size_t n, std::size_t messages) {
+  core::Config config;
+  config.mode = mode;
+  config.batch_size = n;
+  config.reliable = true;
+  config.chain_length = 4096;
+
+  // Chain creation cost: count hashes to build one chain pair, amortize per
+  // message (2 elements consumed per round of n messages).
+  crypto::HmacDrbg chain_rng{7};
+  const crypto::ScopedHashOps chain_ops;
+  const auto probe = hashchain::HashChain::generate(
+      config.algo, hashchain::ChainTagging::kRoleBound, chain_rng, 4096);
+  const double create_per_element =
+      static_cast<double>(chain_ops.delta().hash_finalizations) / 4096.0;
+  (void)probe;
+
+  TriadFixture fx{config};
+  for (std::size_t i = 0; i < messages; ++i) {
+    fx.signer().submit(crypto::Bytes(64, static_cast<std::uint8_t>(i)), 0);
+    if ((i + 1) % n == 0) fx.pump();
+  }
+  fx.pump();
+
+  Measured m;
+  m.signer = fx.signer().stats().hashes;
+  m.verifier = fx.verifier().stats().hashes;
+  m.relay = fx.relay().stats().hashes;
+  // 2 chain elements per round; per message = 2 * create_per_element / n.
+  m.chain_create_per_msg = 2.0 * create_per_element / static_cast<double>(n);
+  return m;
+}
+
+void print_row(const char* role, const core::HashWork& w,
+               double chain_create, std::size_t messages,
+               const platform::Table1Row& paper) {
+  const double per = 1.0 / static_cast<double>(messages);
+  std::printf(
+      "  %-9s sig=%6.2f (paper %5.2f)  hc-create=%5.2f (paper %5.2f)  "
+      "hc-verify=%5.2f (paper %5.2f)  ack=%6.2f (paper %5.2f)\n",
+      role, static_cast<double>(w.signature) * per, paper.signature,
+      chain_create, paper.chain_create,
+      static_cast<double>(w.chain_verify) * per, paper.chain_verify,
+      static_cast<double>(w.ack) * per, paper.ack_nack);
+}
+
+void run(const char* name, wire::Mode mode, platform::AlphaMode pmode,
+         std::size_t n) {
+  const std::size_t messages = 512;
+  const auto m = run_mode(mode, n, messages);
+  std::printf("\n%s (n = %zu messages per S1), measured per message:\n", name,
+              n);
+  print_row("signer", m.signer, m.chain_create_per_msg, messages,
+            platform::table1_row(pmode, platform::Role::kSigner, n));
+  print_row("verifier", m.verifier, m.chain_create_per_msg, messages,
+            platform::table1_row(pmode, platform::Role::kVerifier, n));
+  print_row("relay", m.relay, 0.0, messages,
+            platform::table1_row(pmode, platform::Role::kRelay, n));
+}
+
+}  // namespace
+
+int main() {
+  header("Table 1: hash computations for processing one message "
+         "(measured vs. paper)");
+  std::printf(
+      "Notes on expected offsets vs. the paper's logical counts:\n"
+      " - 'sig': the paper counts 1 MAC ('1*'); our HMAC construction costs\n"
+      "   2 hash finalizations per MAC, so base/C rows read 2.00.\n"
+      " - 'hc-verify': the paper counts 1 per chain; endpoints verify two\n"
+      "   disclosures per round (S1 + S2 elements), relays track both the\n"
+      "   signature AND acknowledgment chains (4 disclosures per reliable\n"
+      "   round), so measured values are 2x/4x the per-chain entry.\n"
+      " - ALPHA-M signer 'sig': our builder spends exactly 2n hashes per\n"
+      "   batch (n leaves + n-1 combines + keyed root) = 2.00/message; the\n"
+      "   paper's 3 - 1/n additionally counts a per-message MAC separate\n"
+      "   from the leaf hash.\n"
+      " - chain creation ('+' entries) is off-line work, measured from a\n"
+      "   real 4096-element chain build; ack columns match the paper\n"
+      "   exactly (1 / 2 / 2+log2 n / 4-1/n).\n");
+
+  run("ALPHA (base)", wire::Mode::kBase, platform::AlphaMode::kBase, 1);
+  run("ALPHA-C", wire::Mode::kCumulative, platform::AlphaMode::kCumulative,
+      16);
+  run("ALPHA-C", wire::Mode::kCumulative, platform::AlphaMode::kCumulative,
+      64);
+  run("ALPHA-M", wire::Mode::kMerkle, platform::AlphaMode::kMerkle, 16);
+  run("ALPHA-M", wire::Mode::kMerkle, platform::AlphaMode::kMerkle, 64);
+  return 0;
+}

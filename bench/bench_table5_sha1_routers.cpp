@@ -1,0 +1,59 @@
+// Table 5 -- SHA-1 delay on wireless routers.
+//
+// Paper (Table 5): SHA-1 cost for 20 B and 1024 B inputs on the AR2315
+// (La Fonera), Broadcom 5365 (Netgear WGT634U) and Geode LX mesh router.
+//
+// The devices are modelled from the paper's own measurements (src/platform);
+// this harness prints those calibration points next to what the from-scratch
+// SHA-1 costs on this host for the same input sizes, giving the scale factor
+// used by the other device-level estimates.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "crypto/sha1.hpp"
+#include "platform/devices.hpp"
+
+using namespace alpha;
+using namespace alpha::bench;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+double measure_sha1_ms(std::size_t input_bytes, int iters) {
+  crypto::Bytes buf(input_bytes, 0x5a);
+  volatile std::uint8_t sink = 0;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    crypto::Sha1 h;
+    h.update(buf);
+    sink = sink ^ h.finalize().data()[0];
+  }
+  (void)sink;
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count() /
+         iters;
+}
+}  // namespace
+
+int main() {
+  header("Table 5: SHA-1 delay on wireless routers (paper model vs. host)");
+
+  const platform::DeviceSpec devices[] = {
+      platform::devices::ar2315(),
+      platform::devices::bcm5365(),
+      platform::devices::geode_lx(),
+  };
+
+  const double host_20 = measure_sha1_ms(20, 50000);
+  const double host_1024 = measure_sha1_ms(1024, 20000);
+
+  std::printf("\n%-44s %14s %14s\n", "device", "20 B digest", "1024 B digest");
+  for (const auto& dev : devices) {
+    std::printf("%-44s %11.3f ms %11.3f ms\n", dev.name.c_str(),
+                dev.hash.cost_us(20) / 1000.0, dev.hash.cost_us(1024) / 1000.0);
+  }
+  std::printf("%-44s %11.5f ms %11.5f ms\n", "this host (from-scratch SHA-1)",
+              host_20, host_1024);
+  std::printf("\nhost-to-AR2315 scale factor: %.0fx (20 B), %.0fx (1024 B)\n",
+              0.059 / host_20, 0.360 / host_1024);
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Shared helpers for the table/figure regeneration harnesses.
+//
+// Each bench binary prints the paper's rows next to what this implementation
+// measures, so EXPERIMENTS.md can record paper-vs-measured per experiment.
+#pragma once
+
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/host.hpp"
+#include "core/relay.hpp"
+#include "core/signer.hpp"
+#include "core/verifier.hpp"
+
+namespace alpha::bench {
+
+/// Queued-frame loopback connecting one signer, one verifier and one relay
+/// in between -- the measurement fixture for Tables 1-3.
+class TriadFixture {
+ public:
+  explicit TriadFixture(core::Config config, std::uint64_t seed = 1)
+      : config_(config),
+        rng_(seed),
+        sig_chain_(hashchain::HashChain::generate(
+            config.algo, hashchain::ChainTagging::kRoleBound, rng_,
+            config.chain_length)),
+        ack_chain_(hashchain::HashChain::generate(
+            config.algo, hashchain::ChainTagging::kRoleBound, rng_,
+            config.chain_length)) {
+    core::SignerEngine::Callbacks scb;
+    scb.send = [this](crypto::Bytes frame) {
+      queue_.push_back({kTowardVerifier, std::move(frame)});
+    };
+    signer_.emplace(config_, 1, sig_chain_, ack_chain_.anchor(),
+                    ack_chain_.length(), std::move(scb));
+
+    core::VerifierEngine::Callbacks vcb;
+    vcb.send = [this](crypto::Bytes frame) {
+      queue_.push_back({kTowardSigner, std::move(frame)});
+    };
+    vcb.on_message = [this](std::uint32_t, std::uint16_t, crypto::ByteView) {
+      ++delivered_;
+    };
+    verifier_.emplace(config_, 1, ack_chain_, sig_chain_.anchor(),
+                      sig_chain_.length(), std::move(vcb), rng_);
+
+    // Relay learns anchors via a synthetic handshake pair.
+    core::RelayEngine::Callbacks rcb;
+    rcb.forward = [](core::Direction, crypto::Bytes) {};
+    relay_.emplace(config_, core::RelayEngine::Options{}, std::move(rcb));
+    wire::HandshakePacket hs1;
+    hs1.hdr = {1, 0};
+    hs1.algo = config_.algo;
+    hs1.chain_length = static_cast<std::uint32_t>(config_.chain_length);
+    hs1.sig_anchor = sig_chain_.anchor();
+    hs1.sig_anchor_index = static_cast<std::uint32_t>(sig_chain_.length());
+    hs1.ack_anchor = ack_chain_.anchor();  // unused flow, but must be valid
+    hs1.ack_anchor_index = static_cast<std::uint32_t>(ack_chain_.length());
+    relay_->on_frame(core::Direction::kForward, hs1.encode());
+    wire::HandshakePacket hs2 = hs1;
+    hs2.is_response = true;
+    relay_->on_frame(core::Direction::kReverse, hs2.encode());
+  }
+
+  /// Pumps queued frames through relay + destination until quiescent.
+  void pump() {
+    while (!queue_.empty()) {
+      auto [dir, frame] = std::move(queue_.front());
+      queue_.pop_front();
+      relay_->on_frame(dir == kTowardVerifier ? core::Direction::kForward
+                                              : core::Direction::kReverse,
+                       frame);
+      const auto packet = wire::decode(frame);
+      if (!packet.has_value()) continue;
+      if (dir == kTowardVerifier) {
+        if (const auto* s1 = std::get_if<wire::S1Packet>(&*packet)) {
+          verifier_->on_s1(*s1);
+        } else if (const auto* s2 = std::get_if<wire::S2Packet>(&*packet)) {
+          verifier_->on_s2(*s2);
+        }
+      } else {
+        if (const auto* a1 = std::get_if<wire::A1Packet>(&*packet)) {
+          signer_->on_a1(*a1, 0);
+        } else if (const auto* a2 = std::get_if<wire::A2Packet>(&*packet)) {
+          signer_->on_a2(*a2, 0);
+        }
+      }
+    }
+  }
+
+  /// Pumps but holds A1 frames back (rounds stay pending for memory
+  /// measurements).
+  void pump_without_a1() {
+    std::deque<std::pair<int, crypto::Bytes>> keep;
+    while (!queue_.empty()) {
+      auto [dir, frame] = std::move(queue_.front());
+      queue_.pop_front();
+      if (wire::peek_type(frame) == wire::PacketType::kA1) continue;
+      relay_->on_frame(dir == kTowardVerifier ? core::Direction::kForward
+                                              : core::Direction::kReverse,
+                       frame);
+      if (dir == kTowardVerifier) {
+        const auto packet = wire::decode(frame);
+        if (const auto* s1 = std::get_if<wire::S1Packet>(&*packet)) {
+          verifier_->on_s1(*s1);
+        }
+      }
+    }
+  }
+
+  core::SignerEngine& signer() { return *signer_; }
+  core::VerifierEngine& verifier() { return *verifier_; }
+  core::RelayEngine& relay() { return *relay_; }
+  std::size_t delivered() const { return delivered_; }
+  crypto::HmacDrbg& rng() { return rng_; }
+
+ private:
+  static constexpr int kTowardVerifier = 0;
+  static constexpr int kTowardSigner = 1;
+
+  core::Config config_;
+  crypto::HmacDrbg rng_;
+  hashchain::HashChain sig_chain_;
+  hashchain::HashChain ack_chain_;
+  std::deque<std::pair<int, crypto::Bytes>> queue_;
+  std::optional<core::SignerEngine> signer_;
+  std::optional<core::VerifierEngine> verifier_;
+  std::optional<core::RelayEngine> relay_;
+  std::size_t delivered_ = 0;
+};
+
+inline void header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace alpha::bench

@@ -1,0 +1,93 @@
+// §4.1.3 -- ALPHA-C on sensor nodes (CC2430, AES-MMO).
+//
+// Paper: with the MMO hash on the CC2430's AES hardware (0.78 ms / 16 B,
+// 2.01 ms / 84 B), 100 B packet payloads and 5 pre-signatures per S1,
+// relays verify up to ~244 kbit/s of signed payload in ~460 S2 packets/s --
+// close to the 250 kbit/s IEEE 802.15.4 ceiling; pre-acks reduce this to
+// ~156.56 kbit/s in ~334 packets.
+//
+// Reproduced from the CC2430 model, with a functional AES-MMO check on the
+// host (same construction, software AES).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "crypto/ec.hpp"
+#include "crypto/mmo.hpp"
+#include "platform/estimators.hpp"
+
+using namespace alpha;
+using namespace alpha::bench;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+volatile std::size_t benchmark_sink = 0;
+}
+
+int main() {
+  header("§4.1.3: ALPHA-C on the CC2430 sensor platform (MMO hash, 100 B "
+         "packets, 5 pre-signatures per S1)");
+
+  const auto dev = platform::devices::cc2430();
+  const auto plain = platform::estimate_wsn_alpha_c(dev, 100, 5, false);
+  const auto reliable = platform::estimate_wsn_alpha_c(dev, 100, 5, true);
+
+  std::printf("\n%-28s %12s %12s %14s\n", "mode", "pkt/s", "goodput",
+              "paper");
+  std::printf("%-28s %12.0f %9.1f kbit/s  (460 pkt/s, 244 kbit/s)\n",
+              "unacknowledged", plain.packets_per_s, plain.goodput_kbps);
+  std::printf("%-28s %12.0f %9.1f kbit/s  (334 pkt/s, 156.56 kbit/s)\n",
+              "with pre-acks", reliable.packets_per_s, reliable.goodput_kbps);
+  std::printf("\nIEEE 802.15.4 ceiling: 250 kbit/s -> ALPHA-C verification "
+              "keeps up with the radio (%s)\n",
+              plain.goodput_kbps < 250.0 ? "OK, just below" : "check");
+
+  std::printf("\nECC comparison (paper, Gura et al.): one 160-bit point "
+              "multiplication ~810 ms on an 8 MHz ATmega128 -- vs %.2f ms "
+              "per ALPHA-verified packet here, a ~%.0fx gap.\n",
+              plain.per_packet_ms, 810.0 / plain.per_packet_ms);
+
+  // Our own from-scratch secp160r1: one scalar multiplication on this host,
+  // for the same per-packet-PK-is-prohibitive argument.
+  {
+    const auto& curve = crypto::EcCurve::secp160r1();
+    crypto::HmacDrbg rng{0xec};
+    const crypto::BigInt k = crypto::BigInt::random_below(rng, curve.order());
+    const auto t0 = Clock::now();
+    const int iters = 5;
+    for (int i = 0; i < iters; ++i) {
+      benchmark_sink =
+          benchmark_sink + curve.multiply(k, curve.generator()).x.bit_length();
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count() /
+        iters;
+    std::printf("host secp160r1 point multiplication: %.1f ms -> per-packet "
+                "ECC remains prohibitive next to a %.5f ms MMO hash, "
+                "matching the paper's conclusion that ECC belongs in the "
+                "bootstrap only (§3.4).\n",
+                ms, dev.hash.cost_us(16) / 1000.0 / 1000.0);
+  }
+
+  // Functional MMO cost on this host (software AES-128): the same two input
+  // sizes the paper measured on hardware.
+  for (const std::size_t size : {16u, 84u}) {
+    crypto::Bytes buf(size, 0x33);
+    volatile std::uint8_t sink = 0;
+    const int iters = 20000;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+      crypto::MmoHash h;
+      h.update(buf);
+      sink = sink ^ h.finalize().data()[0];
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count() /
+        iters;
+    (void)sink;
+    std::printf("host AES-MMO over %3zu B: %.5f ms (CC2430 hardware: %.2f "
+                "ms)\n",
+                size, ms, dev.hash.cost_us(size) / 1000.0);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: the smallest complete ALPHA session.
+//
+// Two hosts on a three-hop simulated path (signer, two relays, verifier):
+// bootstrap handshake, one unreliable message, one reliable message, and a
+// look at the statistics each role collected.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/path.hpp"
+
+using namespace alpha;
+
+int main() {
+  net::Simulator sim;
+  net::Network network{sim, /*seed=*/1};
+
+  // s --- r1 --- r2 --- v, 5 ms per hop.
+  for (net::NodeId id = 0; id <= 3; ++id) network.add_node(id);
+  net::LinkConfig link;
+  link.latency = 5 * net::kMillisecond;
+  for (net::NodeId id = 0; id < 3; ++id) network.add_link(id, id + 1, link);
+
+  core::Config config;
+  config.reliable = true;  // S1 -> A1 -> S2 -> A2
+
+  core::ProtectedPath path{network, {0, 1, 2, 3}, config, /*assoc_id=*/1,
+                           /*seed=*/2024};
+
+  std::printf("== ALPHA quickstart ==\n");
+  path.start();
+  sim.run_until(net::kSecond);
+  std::printf("handshake complete: %s\n",
+              path.initiator().established() ? "yes" : "no");
+
+  const std::string text = "hello, hop-by-hop authenticated world";
+  path.initiator().submit(crypto::Bytes(text.begin(), text.end()), sim.now());
+  sim.run_until(2 * net::kSecond);
+
+  for (const auto& m : path.delivered_to_responder()) {
+    std::printf("verifier delivered: \"%.*s\"\n", static_cast<int>(m.size()),
+                reinterpret_cast<const char*>(m.data()));
+  }
+  for (const auto& [cookie, status] : path.initiator_deliveries()) {
+    std::printf("signer: message %llu %s\n",
+                static_cast<unsigned long long>(cookie),
+                status == core::DeliveryStatus::kAcked ? "acknowledged"
+                                                       : "not acknowledged");
+  }
+
+  const auto& signer = path.initiator().signer()->stats();
+  std::printf("\nsigner:   S1=%llu S2=%llu acks=%llu hash ops: sig=%llu "
+              "chain-verify=%llu ack=%llu\n",
+              static_cast<unsigned long long>(signer.s1_sent),
+              static_cast<unsigned long long>(signer.s2_sent),
+              static_cast<unsigned long long>(signer.acks_received),
+              static_cast<unsigned long long>(signer.hashes.signature),
+              static_cast<unsigned long long>(signer.hashes.chain_verify),
+              static_cast<unsigned long long>(signer.hashes.ack));
+  const auto& verifier = path.responder().verifier()->stats();
+  std::printf("verifier: delivered=%llu A1=%llu A2=%llu\n",
+              static_cast<unsigned long long>(verifier.messages_delivered),
+              static_cast<unsigned long long>(verifier.a1_sent),
+              static_cast<unsigned long long>(verifier.a2_sent));
+  for (std::size_t i = 0; i < path.relay_count(); ++i) {
+    const auto& r = path.relay(i).stats();
+    std::printf("relay %zu:  forwarded=%llu extracted=%llu dropped=%llu\n", i,
+                static_cast<unsigned long long>(r.forwarded),
+                static_cast<unsigned long long>(r.messages_extracted),
+                static_cast<unsigned long long>(r.dropped_invalid +
+                                                r.dropped_unsolicited));
+  }
+  return 0;
+}

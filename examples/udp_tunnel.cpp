@@ -1,0 +1,80 @@
+// ALPHA over real UDP sockets.
+//
+// The same protocol engines that run in the simulator, bound to two POSIX
+// datagram sockets on the loopback interface. Demonstrates the transport-
+// agnostic design: frames in, frames out, wall-clock time for
+// retransmissions.
+//
+//   $ ./udp_tunnel
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/host.hpp"
+#include "net/udp.hpp"
+
+using namespace alpha;
+
+namespace {
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+int main() {
+  std::printf("== ALPHA over UDP (127.0.0.1) ==\n");
+
+  net::UdpEndpoint sock_a, sock_b;
+  std::printf("endpoint A on port %u, endpoint B on port %u\n", sock_a.port(),
+              sock_b.port());
+
+  core::Config config;
+  config.reliable = true;
+
+  crypto::SystemRandom rng_a, rng_b;
+
+  std::vector<crypto::Bytes> at_b;
+  bool done = false;
+
+  core::Host::Callbacks a_cb;
+  a_cb.send = [&](crypto::Bytes frame) { sock_a.send_to(sock_b.port(), frame); };
+  a_cb.on_delivery = [&](std::uint64_t, core::DeliveryStatus status) {
+    if (status == core::DeliveryStatus::kAcked) done = true;
+  };
+  core::Host host_a{config, 1, /*initiator=*/true, rng_a, std::move(a_cb)};
+
+  core::Host::Callbacks b_cb;
+  b_cb.send = [&](crypto::Bytes frame) { sock_b.send_to(sock_a.port(), frame); };
+  b_cb.on_message = [&](crypto::ByteView payload) {
+    at_b.emplace_back(payload.begin(), payload.end());
+  };
+  core::Host host_b{config, 1, /*initiator=*/false, rng_b, std::move(b_cb)};
+
+  host_a.start();
+  const auto payload = crypto::as_bytes("datagram over real sockets");
+  host_a.submit(crypto::Bytes(payload.begin(), payload.end()), now_us());
+
+  // Single-threaded event loop over both sockets.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!done && std::chrono::steady_clock::now() < deadline) {
+    if (auto dg = sock_a.receive(5)) host_a.on_frame(dg->data, now_us());
+    if (auto dg = sock_b.receive(5)) host_b.on_frame(dg->data, now_us());
+    host_a.on_tick(now_us());
+    host_b.on_tick(now_us());
+  }
+
+  std::printf("established: %s / %s\n",
+              host_a.established() ? "A yes" : "A no",
+              host_b.established() ? "B yes" : "B no");
+  for (const auto& m : at_b) {
+    std::printf("B received: \"%.*s\" (authenticated, acknowledged: %s)\n",
+                static_cast<int>(m.size()),
+                reinterpret_cast<const char*>(m.data()),
+                done ? "yes" : "no");
+  }
+  return at_b.size() == 1 && done ? 0 : 1;
+}

@@ -1,0 +1,23 @@
+#include "baselines/hmac_e2e.hpp"
+
+namespace alpha::baselines {
+
+Bytes HmacChannel::protect(ByteView message) const {
+  const crypto::Digest tag = crypto::mac(mac_kind_, algo_, key_, message);
+  Bytes frame(message.begin(), message.end());
+  crypto::append(frame, tag.view());
+  return frame;
+}
+
+std::optional<Bytes> HmacChannel::verify(ByteView frame) const {
+  const std::size_t tag_size = mac_size();
+  if (frame.size() < tag_size) return std::nullopt;
+  const ByteView payload = frame.first(frame.size() - tag_size);
+  const crypto::Digest tag{frame.subspan(frame.size() - tag_size)};
+  if (!crypto::verify_mac(mac_kind_, algo_, key_, payload, tag)) {
+    return std::nullopt;
+  }
+  return Bytes(payload.begin(), payload.end());
+}
+
+}  // namespace alpha::baselines

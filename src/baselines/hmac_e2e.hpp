@@ -1,0 +1,40 @@
+// Baseline: shared-secret end-to-end integrity protection.
+//
+// The conventional lightweight approach the paper positions ALPHA against
+// (§1): both end hosts share a symmetric key and protect each message with a
+// MAC. Computationally cheap -- but relays have no key, so they can neither
+// verify nor filter traffic (forgeries travel the whole path), and sharing
+// the key with relays would let a malicious relay forge traffic. Tests and
+// benches demonstrate both failure modes.
+#pragma once
+
+#include <optional>
+
+#include "crypto/bytes.hpp"
+#include "crypto/mac.hpp"
+
+namespace alpha::baselines {
+
+using crypto::Bytes;
+using crypto::ByteView;
+
+class HmacChannel {
+ public:
+  HmacChannel(crypto::HashAlgo algo, crypto::MacKind mac_kind, ByteView key)
+      : algo_(algo), mac_kind_(mac_kind), key_(key.begin(), key.end()) {}
+
+  /// Frame layout: payload || MAC(key, payload).
+  Bytes protect(ByteView message) const;
+
+  /// Returns the payload iff the MAC checks out.
+  std::optional<Bytes> verify(ByteView frame) const;
+
+  std::size_t mac_size() const noexcept { return crypto::digest_size(algo_); }
+
+ private:
+  crypto::HashAlgo algo_;
+  crypto::MacKind mac_kind_;
+  Bytes key_;
+};
+
+}  // namespace alpha::baselines

@@ -1,0 +1,41 @@
+#include "baselines/hopwise.hpp"
+
+namespace alpha::baselines {
+
+HopwisePath::HopwisePath(crypto::HashAlgo algo, crypto::MacKind mac_kind,
+                         std::size_t hops, crypto::RandomSource& rng) {
+  links_.reserve(hops);
+  for (std::size_t i = 0; i < hops; ++i) {
+    links_.emplace_back(algo, mac_kind, rng.bytes(crypto::digest_size(algo)));
+  }
+}
+
+HopwisePath::Result HopwisePath::transmit(
+    crypto::ByteView message,
+    const std::function<Bytes(Bytes, std::size_t relay)>& insider) const {
+  Result result;
+  Bytes plain(message.begin(), message.end());
+  for (std::size_t link = 0; link < links_.size(); ++link) {
+    const Bytes frame = links_[link].protect(plain);
+    const auto unwrapped = links_[link].verify(frame);
+    if (!unwrapped.has_value()) {
+      result.dropped_at_link = link;
+      return result;
+    }
+    plain = *unwrapped;
+    // Relay `link` (the node between link and link+1) may be malicious.
+    if (insider && link + 1 < links_.size()) {
+      plain = insider(std::move(plain), link);
+    }
+  }
+  result.delivered = true;
+  result.payload = std::move(plain);
+  return result;
+}
+
+bool HopwisePath::inject(std::size_t link,
+                         crypto::ByteView forged_frame) const {
+  return links_.at(link).verify(forged_frame).has_value();
+}
+
+}  // namespace alpha::baselines

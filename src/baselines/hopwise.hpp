@@ -1,0 +1,56 @@
+// Baseline: hop-by-hop symmetric MACs with pairwise link keys.
+//
+// The LHAP / HEAP / Gouda-et-al. family (§2.2): every pair of adjacent
+// routers shares a key; each relay verifies the previous hop's MAC and
+// re-MACs for the next. Outsider injection onto any link is detected by the
+// next node -- but an *insider* relay can modify payloads undetected,
+// because no end-to-end evidence survives the re-MAC. ALPHA closes exactly
+// this gap; tests demonstrate the difference.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "baselines/hmac_e2e.hpp"
+#include "crypto/random.hpp"
+
+namespace alpha::baselines {
+
+class HopwisePath {
+ public:
+  /// A path with `hops` links (hops+1 nodes); one fresh pairwise key each.
+  HopwisePath(crypto::HashAlgo algo, crypto::MacKind mac_kind,
+              std::size_t hops, crypto::RandomSource& rng);
+
+  std::size_t hops() const noexcept { return links_.size(); }
+
+  struct Result {
+    bool delivered = false;
+    Bytes payload;                      // what the destination accepted
+    std::optional<std::size_t> dropped_at_link;  // outsider detection point
+  };
+
+  /// End-to-end transmission: the source wraps for link 0, each relay
+  /// unwraps/verifies and re-wraps. `insider` (if set) lets relay i mutate
+  /// the plaintext it forwards -- the insider attack no hopwise scheme can
+  /// catch.
+  Result transmit(
+      crypto::ByteView message,
+      const std::function<Bytes(Bytes, std::size_t relay)>& insider = nullptr)
+      const;
+
+  /// Outsider injection: a frame without knowledge of link `link`'s key.
+  /// Returns true iff the next node would accept it (always false for
+  /// non-trivial MACs).
+  bool inject(std::size_t link, crypto::ByteView forged_frame) const;
+
+  /// Per-message MAC operations along the whole path (2 per link: strip +
+  /// re-add), the scheme's cost driver.
+  std::size_t mac_ops_per_message() const noexcept { return 2 * links_.size(); }
+
+ private:
+  std::vector<HmacChannel> links_;
+};
+
+}  // namespace alpha::baselines

@@ -1,0 +1,30 @@
+#include "baselines/pk_channel.hpp"
+
+#include "wire/codec.hpp"
+
+namespace alpha::baselines {
+
+Bytes PkChannel::protect(ByteView message) const {
+  wire::Writer w;
+  w.blob16(message);
+  w.raw(identity_->sign(algo_, message, *rng_));
+  return w.take();
+}
+
+std::optional<Bytes> PkChannel::verify(ByteView frame, wire::SigAlg alg,
+                                       ByteView public_key,
+                                       crypto::HashAlgo algo) {
+  try {
+    wire::Reader r{frame};
+    const Bytes payload = r.blob16();
+    const ByteView signature = r.raw(r.remaining());
+    const auto peer = core::PeerIdentity::decode(alg, public_key);
+    if (!peer.has_value()) return std::nullopt;
+    if (!peer->verify(algo, payload, signature)) return std::nullopt;
+    return payload;
+  } catch (const wire::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace alpha::baselines

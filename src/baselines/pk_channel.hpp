@@ -1,0 +1,41 @@
+// Baseline: per-packet public-key signatures.
+//
+// The other conventional option (§1): sign every packet with RSA or DSA.
+// Relays *can* verify (the public key is public), but the per-packet cost is
+// orders of magnitude above a hash -- the paper's Table 4 gap (e.g. 181 ms
+// RSA-1024 signing on the Nokia 770 vs 2.3 ms for a full ALPHA exchange).
+// Benches quantify that gap on the host.
+#pragma once
+
+#include <optional>
+
+#include "core/identity.hpp"
+#include "crypto/bytes.hpp"
+
+namespace alpha::baselines {
+
+using crypto::Bytes;
+using crypto::ByteView;
+
+class PkChannel {
+ public:
+  /// Signs with `identity`; verification needs only the encoded public key.
+  PkChannel(const core::Identity& identity, crypto::HashAlgo algo,
+            crypto::RandomSource& rng)
+      : identity_(&identity), algo_(algo), rng_(&rng) {}
+
+  /// Frame layout: u16 payload_len || payload || signature.
+  Bytes protect(ByteView message) const;
+
+  /// Anyone (end host or relay) verifies with the sender's public key.
+  static std::optional<Bytes> verify(ByteView frame, wire::SigAlg alg,
+                                     ByteView public_key,
+                                     crypto::HashAlgo algo);
+
+ private:
+  const core::Identity* identity_;
+  crypto::HashAlgo algo_;
+  crypto::RandomSource* rng_;
+};
+
+}  // namespace alpha::baselines

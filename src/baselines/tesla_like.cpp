@@ -1,0 +1,172 @@
+#include "baselines/tesla_like.hpp"
+
+#include "crypto/mac.hpp"
+#include "wire/codec.hpp"
+
+namespace alpha::baselines {
+
+namespace {
+// Frame: u32 epoch | u8 has_payload | [digest mac | blob16 payload] |
+//        u8 has_disclosure | [u32 disclosed_epoch | digest key]
+constexpr std::uint8_t kYes = 1;
+constexpr std::uint8_t kNo = 0;
+
+crypto::Digest epoch_mac(crypto::HashAlgo algo, const crypto::Digest& key,
+                         std::size_t epoch, ByteView payload) {
+  std::uint8_t e[4];
+  for (int i = 0; i < 4; ++i) {
+    e[i] = static_cast<std::uint8_t>(epoch >> (24 - 8 * i));
+  }
+  const Bytes data = crypto::concat({ByteView{e, 4}, payload});
+  return crypto::hmac(algo, key.view(), data);
+}
+}  // namespace
+
+TeslaSender::TeslaSender(TeslaConfig config, ByteView seed,
+                         std::uint64_t start_us)
+    : config_(config),
+      chain_(config.algo, hashchain::ChainTagging::kPlain, seed,
+             config.chain_length),
+      anchor_(chain_.anchor()),
+      start_us_(start_us) {}
+
+Digest TeslaSender::epoch_key(std::size_t epoch) const {
+  // Epoch e uses element (n - 1 - e): consumed top-down below the anchor.
+  const std::size_t index = chain_.length() - 1 - epoch;
+  return chain_.element(index);
+}
+
+Bytes TeslaSender::protect(ByteView message, std::uint64_t now_us) const {
+  const std::size_t e = epoch_of(now_us);
+  wire::Writer w;
+  w.u32(static_cast<std::uint32_t>(e));
+  w.u8(kYes);
+  w.digest(epoch_mac(config_.algo, epoch_key(e), e, message));
+  w.blob16(message);
+  if (e >= config_.disclosure_delay) {
+    const std::size_t de = e - config_.disclosure_delay;
+    w.u8(kYes);
+    w.u32(static_cast<std::uint32_t>(de));
+    w.digest(epoch_key(de));
+  } else {
+    w.u8(kNo);
+  }
+  return w.take();
+}
+
+Bytes TeslaSender::heartbeat(std::uint64_t now_us) const {
+  const std::size_t e = epoch_of(now_us);
+  wire::Writer w;
+  w.u32(static_cast<std::uint32_t>(e));
+  w.u8(kNo);
+  if (e >= config_.disclosure_delay) {
+    const std::size_t de = e - config_.disclosure_delay;
+    w.u8(kYes);
+    w.u32(static_cast<std::uint32_t>(de));
+    w.digest(epoch_key(de));
+  } else {
+    w.u8(kNo);
+  }
+  return w.take();
+}
+
+TeslaReceiver::TeslaReceiver(TeslaConfig config, Digest anchor,
+                             std::uint64_t start_us)
+    : config_(config),
+      verifier_(config.algo, hashchain::ChainTagging::kPlain,
+                std::move(anchor), config.chain_length,
+                /*max_gap=*/config.chain_length),
+      start_us_(start_us) {}
+
+std::vector<TeslaReceiver::Released> TeslaReceiver::on_packet(
+    ByteView frame, std::uint64_t now_us) {
+  std::vector<Released> out;
+  ++stats_.received;
+  try {
+    wire::Reader r{frame};
+    const std::size_t e = r.u32();
+
+    std::optional<Pending> pending;
+    if (r.u8() == kYes) {
+      Pending p;
+      p.mac = r.digest();
+      p.payload = r.blob16();
+      pending = std::move(p);
+    }
+
+    std::optional<std::pair<std::size_t, Digest>> disclosure;
+    if (r.u8() == kYes) {
+      const std::size_t de = r.u32();
+      disclosure = {de, r.digest()};
+    }
+    r.expect_end();
+
+    // TESLA safety condition: the packet's epoch key must still be secret
+    // at (receive time + skew). Key of epoch e is disclosed once the sender
+    // enters epoch e + d.
+    if (pending.has_value()) {
+      const std::uint64_t disclosure_time =
+          start_us_ + static_cast<std::uint64_t>(e + config_.disclosure_delay) *
+                          config_.epoch_us;
+      if (now_us + config_.max_skew_us >= disclosure_time) {
+        ++stats_.unsafe_dropped;
+        pending.reset();
+      }
+    }
+
+    if (pending.has_value()) {
+      // If the key is already verified (late but safe packet), check now.
+      if (const auto key = verified_keys_.find(e); key != verified_keys_.end()) {
+        if (epoch_mac(config_.algo, key->second, e, pending->payload)
+                .ct_equals(pending->mac)) {
+          ++stats_.released;
+          out.push_back(Released{e, std::move(pending->payload)});
+        } else {
+          ++stats_.invalid;
+        }
+      } else {
+        buffer_[e].push_back(std::move(*pending));
+        ++buffer_count_;
+        stats_.buffered_peak = std::max<std::uint64_t>(stats_.buffered_peak,
+                                                       buffer_count_);
+      }
+    }
+
+    if (disclosure.has_value()) {
+      const auto [de, key] = *disclosure;
+      if (!verified_keys_.contains(de)) {
+        const std::size_t index = config_.chain_length - 1 - de;
+        if (verifier_.last_index() > index) {
+          if (verifier_.accept(key, index)) {
+            verified_keys_[de] = key;
+          } else {
+            ++stats_.invalid;
+          }
+        }
+        // else: chain already advanced past this epoch (stale replay).
+      }
+      // Release everything buffered for that epoch.
+      if (const auto key_it = verified_keys_.find(de);
+          key_it != verified_keys_.end()) {
+        if (const auto buf = buffer_.find(de); buf != buffer_.end()) {
+          for (auto& p : buf->second) {
+            --buffer_count_;
+            if (epoch_mac(config_.algo, key_it->second, de, p.payload)
+                    .ct_equals(p.mac)) {
+              ++stats_.released;
+              out.push_back(Released{de, std::move(p.payload)});
+            } else {
+              ++stats_.invalid;
+            }
+          }
+          buffer_.erase(buf);
+        }
+      }
+    }
+  } catch (const wire::DecodeError&) {
+    ++stats_.invalid;
+  }
+  return out;
+}
+
+}  // namespace alpha::baselines

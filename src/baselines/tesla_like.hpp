@@ -1,0 +1,103 @@
+// Baseline: TESLA-style time-based hash-chain authentication.
+//
+// The time-based alternative the paper contrasts with interactive signatures
+// (§2.1.1): time is divided into epochs, each bound to one element of a
+// plain hash chain; packets of epoch e carry MAC(K_e, m) and disclose the
+// key of epoch e-d. Receivers apply the TESLA *safety condition* -- a packet
+// is accepted only if its key cannot have been disclosed yet -- so clock skew
+// and path jitter translate directly into drops, and verification is delayed
+// by d epochs even on a perfect path. Both effects are what ALPHA's
+// interaction-based design avoids; benches quantify them side by side.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "hashchain/chain.hpp"
+
+namespace alpha::baselines {
+
+using crypto::Bytes;
+using crypto::ByteView;
+using crypto::Digest;
+
+struct TeslaConfig {
+  crypto::HashAlgo algo = crypto::HashAlgo::kSha1;
+  std::uint64_t epoch_us = 100'000;   // epoch length
+  std::size_t disclosure_delay = 2;   // d epochs
+  std::size_t chain_length = 1024;    // epochs supported
+  std::uint64_t max_skew_us = 10'000; // receiver clock uncertainty
+};
+
+class TeslaSender {
+ public:
+  TeslaSender(TeslaConfig config, ByteView seed, std::uint64_t start_us);
+
+  const Digest& anchor() const noexcept { return anchor_; }
+
+  std::size_t epoch_of(std::uint64_t now_us) const noexcept {
+    return now_us <= start_us_
+               ? 0
+               : static_cast<std::size_t>((now_us - start_us_) /
+                                          config_.epoch_us);
+  }
+
+  /// Protects one message with the current epoch key; the frame also
+  /// discloses the key of epoch (e - d) when available.
+  Bytes protect(ByteView message, std::uint64_t now_us) const;
+
+  /// Key-disclosure-only packet: time-based schemes must emit these every
+  /// epoch even with no payload (§2.1.1 "reveal hash elements at a regular
+  /// interval even when no payload is transferred").
+  Bytes heartbeat(std::uint64_t now_us) const;
+
+ private:
+  Digest epoch_key(std::size_t epoch) const;
+
+  TeslaConfig config_;
+  hashchain::HashChain chain_;
+  Digest anchor_;
+  std::uint64_t start_us_;
+};
+
+class TeslaReceiver {
+ public:
+  struct Released {
+    std::size_t epoch;
+    Bytes payload;
+  };
+
+  struct Stats {
+    std::uint64_t received = 0;
+    std::uint64_t unsafe_dropped = 0;  // safety condition violated
+    std::uint64_t invalid = 0;         // bad key or MAC
+    std::uint64_t released = 0;        // verified and delivered
+    std::uint64_t buffered_peak = 0;
+  };
+
+  TeslaReceiver(TeslaConfig config, Digest anchor, std::uint64_t start_us);
+
+  /// Feeds one frame; returns any messages whose epoch key became
+  /// verifiable through this frame's disclosure.
+  std::vector<Released> on_packet(ByteView frame, std::uint64_t now_us);
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::size_t buffered() const noexcept { return buffer_count_; }
+
+ private:
+  TeslaConfig config_;
+  hashchain::ChainVerifier verifier_;
+  std::uint64_t start_us_;
+  std::map<std::size_t, Digest> verified_keys_;  // epoch -> key
+  struct Pending {
+    Bytes payload;
+    Digest mac;
+  };
+  std::map<std::size_t, std::vector<Pending>> buffer_;  // by epoch
+  std::size_t buffer_count_ = 0;
+  Stats stats_;
+};
+
+}  // namespace alpha::baselines

@@ -1,0 +1,55 @@
+#include "core/attackers.hpp"
+
+namespace alpha::core {
+
+wire::S2Packet forge_s2(std::uint32_t assoc_id, std::uint32_t seq,
+                        std::size_t payload_size, crypto::RandomSource& rng,
+                        std::size_t digest_size) {
+  wire::S2Packet s2;
+  s2.hdr = {assoc_id, seq};
+  s2.mode = wire::Mode::kBase;
+  s2.chain_index = static_cast<std::uint32_t>(2 + 2 * rng.uniform(100));
+  s2.disclosed_element = crypto::Digest{crypto::ByteView{rng.bytes(digest_size)}};
+  s2.payload = rng.bytes(payload_size);
+  return s2;
+}
+
+wire::S1Packet forge_s1(std::uint32_t assoc_id, std::uint32_t seq,
+                        std::size_t mac_count, crypto::RandomSource& rng,
+                        std::size_t digest_size) {
+  wire::S1Packet s1;
+  s1.hdr = {assoc_id, seq};
+  s1.mode = mac_count > 1 ? wire::Mode::kCumulative : wire::Mode::kBase;
+  s1.chain_index = static_cast<std::uint32_t>(1 + 2 * rng.uniform(100));
+  s1.chain_element = crypto::Digest{crypto::ByteView{rng.bytes(digest_size)}};
+  for (std::size_t i = 0; i < mac_count; ++i) {
+    s1.macs.push_back(crypto::Digest{crypto::ByteView{rng.bytes(digest_size)}});
+  }
+  return s1;
+}
+
+void launch_s2_flood(net::Network& network, net::NodeId attacker,
+                     net::NodeId next_hop, std::uint32_t assoc_id,
+                     std::size_t count, std::size_t payload_size,
+                     net::SimTime interval, std::uint64_t seed) {
+  auto rng = std::make_shared<crypto::HmacDrbg>(seed);
+  auto& sim = network.sim();
+  for (std::size_t i = 0; i < count; ++i) {
+    sim.schedule_in(interval * (i + 1), [&network, attacker, next_hop,
+                                         assoc_id, payload_size, rng, i] {
+      const auto s2 = forge_s2(assoc_id, static_cast<std::uint32_t>(100 + i),
+                               payload_size, *rng);
+      network.send(attacker, next_hop, s2.encode());
+    });
+  }
+}
+
+crypto::Bytes tamper_s2_payload(crypto::ByteView frame) {
+  crypto::Bytes copy(frame.begin(), frame.end());
+  if (wire::peek_type(frame) == wire::PacketType::kS2 && !copy.empty()) {
+    copy[copy.size() - 1] ^= 0x01;
+  }
+  return copy;
+}
+
+}  // namespace alpha::core

@@ -1,0 +1,42 @@
+// Attacker models for the evaluation scenarios (§3.5).
+//
+// The paper's threat model includes forged/modified packets from outsiders
+// and insiders, flooding with unsolicited data, and tampering relays. These
+// helpers synthesize that traffic so tests and benches can quantify where
+// ALPHA stops each attack (relay drop counters, verifier rejections).
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/random.hpp"
+#include "net/network.hpp"
+#include "wire/packets.hpp"
+
+namespace alpha::core {
+
+/// Crafts a syntactically valid S2 with forged chain element, MAC key and
+/// payload -- what an outsider without chain knowledge can produce.
+wire::S2Packet forge_s2(std::uint32_t assoc_id, std::uint32_t seq,
+                        std::size_t payload_size, crypto::RandomSource& rng,
+                        std::size_t digest_size = 20);
+
+/// Crafts a forged S1 (path-reservation flood, §3.5: "hosts that send large
+/// amounts of S1 packets without receiving A1 responses can easily be
+/// identified").
+wire::S1Packet forge_s1(std::uint32_t assoc_id, std::uint32_t seq,
+                        std::size_t mac_count, crypto::RandomSource& rng,
+                        std::size_t digest_size = 20);
+
+/// Injects `count` forged S2 frames from `attacker` toward `next_hop`,
+/// one every `interval` simulated microseconds.
+void launch_s2_flood(net::Network& network, net::NodeId attacker,
+                     net::NodeId next_hop, std::uint32_t assoc_id,
+                     std::size_t count, std::size_t payload_size,
+                     net::SimTime interval, std::uint64_t seed);
+
+/// In-flight payload tamperer: returns a mutated copy of the frame if it is
+/// an S2 (simulating a malicious relay flipping payload bits); other frames
+/// pass unchanged.
+crypto::Bytes tamper_s2_payload(crypto::ByteView frame);
+
+}  // namespace alpha::core

@@ -1,0 +1,130 @@
+// Protocol configuration.
+//
+// One Config describes a complete ALPHA profile: hash function, MAC
+// construction, transmission mode (base / ALPHA-C / ALPHA-M, §3.1-3.3),
+// reliability (§3.2.2/§3.3.3), chain sizing and retransmission policy.
+// Both endpoints of an association must run the same profile; the handshake
+// carries the hash algorithm, the rest is deployment configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/hash.hpp"
+#include "crypto/mac.hpp"
+#include "wire/packets.hpp"
+
+namespace alpha::core {
+
+using wire::Mode;
+
+struct Config {
+  crypto::HashAlgo algo = crypto::HashAlgo::kSha1;
+  crypto::MacKind mac_kind = crypto::MacKind::kHmac;
+  Mode mode = Mode::kBase;
+
+  /// Reliable delivery: pre-acks (base/ALPHA-C, Fig. 3) or an AMT
+  /// (ALPHA-M, Fig. 7). Unreliable rounds skip A2 entirely.
+  bool reliable = false;
+
+  /// Messages pre-signed per S1 in ALPHA-C / ALPHA-M (n). Base mode is 1.
+  std::size_t batch_size = 1;
+
+  /// ALPHA-C+M only (Mode::kCumulativeMerkle): messages per Merkle root.
+  /// Shallower trees cut the per-S2 verification to log2(merkle_group)
+  /// hashes while the S1 carries ceil(batch_size / merkle_group) roots.
+  std::size_t merkle_group = 8;
+
+  /// Reliable mode: automatically retransmit nacked messages (selective
+  /// repeat, §3.3.3) up to max_retries instead of reporting kNacked.
+  bool retransmit_on_nack = false;
+
+  /// Hash-chain length per chain (rounds cost 2 elements each).
+  /// Must be even.
+  std::size_t chain_length = 1024;
+
+  /// Verifier tolerance for lost disclosures (ChainVerifier max_gap).
+  std::size_t max_gap = 64;
+
+  /// Per-leaf secret size for pre-acks and AMT leaves.
+  std::size_t secret_size = 16;
+
+  /// Retransmission timeout and retry budget for S1 (awaiting A1) and, in
+  /// reliable mode, S2 (awaiting A2).
+  std::uint64_t rto_us = 200'000;
+  int max_retries = 5;
+
+  /// Chain rotation: when the signature chain drops below this many
+  /// undisclosed elements (and the signer is idle), the Host performs a new
+  /// handshake with fresh chains. 0 disables rekeying.
+  std::size_t rekey_threshold = 0;
+
+  /// Path MTU hint in bytes (0 = unlimited). When set, the signer clamps
+  /// the effective batch so the S1 -- and, in reliable mode, the answering
+  /// A1 with its pre-(n)ack pairs -- fit a single frame. Without this, a
+  /// large ALPHA-C batch on a small-MTU link (e.g. 802.15.4's 127 B)
+  /// produces undeliverable control packets.
+  std::size_t mtu_hint = 0;
+
+  /// Effective batch for the configured mode.
+  std::size_t effective_batch() const noexcept {
+    return mode == Mode::kBase ? 1 : (batch_size == 0 ? 1 : batch_size);
+  }
+
+  /// Whether the mode pre-signs with Merkle trees (M or C+M).
+  bool uses_trees() const noexcept {
+    return mode == Mode::kMerkle || mode == Mode::kCumulativeMerkle;
+  }
+
+  /// Leaves per tree for a round of `messages` messages.
+  std::size_t group_size(std::size_t messages) const noexcept {
+    if (mode == Mode::kCumulativeMerkle) {
+      return merkle_group == 0 ? 1 : merkle_group;
+    }
+    return messages;
+  }
+
+  std::size_t digest_size() const noexcept {
+    return crypto::digest_size(algo);
+  }
+};
+
+/// Number of rounds a chain of `chain_length` supports (2 elements/round;
+/// the seed h_0 is never disclosed).
+inline std::size_t rounds_supported(const Config& c) noexcept {
+  return (c.chain_length - 1) / 2;
+}
+
+/// Largest batch whose S1 (and reliable A1) fit within `mtu` bytes; at
+/// least 1. Wire costs: common header 10 B; S1 body = mode(1) + index(4) +
+/// element(1+h) + count(2) + n*(1+h) MACs (base/C); reliable A1 body =
+/// index(4) + element(1+h) + scheme(1) + count(2) + 2n*(1+h) pre-(n)acks.
+inline std::size_t max_batch_for_mtu(const Config& c,
+                                     std::size_t mtu) noexcept {
+  if (mtu == 0) return c.effective_batch();
+  const std::size_t h = c.digest_size();
+  const std::size_t digest = 1 + h;
+  const std::size_t s1_fixed = 10 + 1 + 4 + digest + 2;
+  const std::size_t a1_fixed = 10 + 4 + digest + 1 + 2;
+  std::size_t by_s1 = 1, by_a1 = SIZE_MAX;
+  if (c.mode == Mode::kBase || c.mode == Mode::kCumulative) {
+    by_s1 = mtu > s1_fixed + digest ? (mtu - s1_fixed) / digest : 1;
+    if (c.reliable) {
+      by_a1 = mtu > a1_fixed + 2 * digest ? (mtu - a1_fixed) / (2 * digest) : 1;
+    }
+  } else {
+    // Tree modes: the S1 carries one root per group; AMT reliability adds
+    // only a root to the A1, so the A1 never binds.
+    const std::size_t group = c.mode == Mode::kCumulativeMerkle
+                                  ? (c.merkle_group == 0 ? 1 : c.merkle_group)
+                                  : c.effective_batch();
+    const std::size_t s1_tree_fixed = s1_fixed + 2;  // group/leaf counters
+    const std::size_t max_roots = mtu > s1_tree_fixed + digest
+                                      ? (mtu - s1_tree_fixed) / digest
+                                      : 1;
+    by_s1 = max_roots * group;
+  }
+  const std::size_t cap = std::min(by_s1, by_a1);
+  return std::max<std::size_t>(1, std::min(cap, c.effective_batch()));
+}
+
+}  // namespace alpha::core

@@ -1,0 +1,237 @@
+#include "core/host.hpp"
+
+#include <unordered_map>
+
+namespace alpha::core {
+
+namespace {
+hashchain::HashChain make_chain(const Config& config,
+                                crypto::RandomSource& rng) {
+  return hashchain::HashChain::generate(
+      config.algo, hashchain::ChainTagging::kRoleBound, rng,
+      config.chain_length);
+}
+}  // namespace
+
+Host::Host(Config config, std::uint32_t assoc_id, bool initiator,
+           crypto::RandomSource& rng, Callbacks callbacks, Options options)
+    : config_(config),
+      assoc_id_(assoc_id),
+      initiator_(initiator),
+      rng_(&rng),
+      callbacks_(std::move(callbacks)),
+      options_(options),
+      sig_chain_(make_chain(config, rng)),
+      ack_chain_(make_chain(config, rng)) {
+  if (config_.chain_length % 2 != 0 || config_.chain_length < 4) {
+    throw std::invalid_argument("Host: chain_length must be even and >= 4");
+  }
+}
+
+wire::HandshakePacket Host::make_handshake(bool is_response) {
+  wire::HandshakePacket hs;
+  hs.hdr = {assoc_id_, hs_seq_};
+  hs.is_response = is_response;
+  hs.algo = config_.algo;
+  hs.chain_length = static_cast<std::uint32_t>(config_.chain_length);
+  hs.sig_anchor_index = static_cast<std::uint32_t>(sig_chain_.length());
+  hs.ack_anchor_index = static_cast<std::uint32_t>(ack_chain_.length());
+  hs.sig_anchor = sig_chain_.anchor();
+  hs.ack_anchor = ack_chain_.anchor();
+  if (options_.identity != nullptr) {
+    hs.sig_alg = options_.identity->alg();
+    hs.public_key = options_.identity->encode_public();
+    hs.signature =
+        options_.identity->sign(config_.algo, hs.signed_payload(), *rng_);
+  }
+  return hs;
+}
+
+bool Host::validate_peer_handshake(const wire::HandshakePacket& hs) const {
+  if (hs.hdr.assoc_id != assoc_id_) return false;
+  // Monotonic handshake counter: a replayed (or stale) handshake cannot
+  // reset the association to already-disclosed chains.
+  if (hs.hdr.seq <= peer_hs_seq_ && peer_hs_seq_ != 0) return false;
+  if (hs.algo != config_.algo) return false;
+  if (hs.chain_length < 4) return false;
+  if (hs.sig_anchor.size() != config_.digest_size() ||
+      hs.ack_anchor.size() != config_.digest_size()) {
+    return false;
+  }
+  if (options_.require_protected_peer) {
+    if (hs.sig_alg == wire::SigAlg::kNone) return false;
+    const auto peer = PeerIdentity::decode(hs.sig_alg, hs.public_key);
+    if (!peer.has_value() ||
+        !peer->verify(config_.algo, hs.signed_payload(), hs.signature)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Host::start() {
+  if (!initiator_ || established() || rekey_pending_) return;
+  if (!handshake_sent_) {
+    handshake_sent_ = true;
+    ++hs_seq_;
+  }
+  // Re-invocations retransmit the same HS1 (same seq, same anchors);
+  // on_tick() does this automatically while unestablished.
+  callbacks_.send(make_handshake(/*is_response=*/false).encode());
+}
+
+void Host::rotate_chains() {
+  sig_chain_ = make_chain(config_, *rng_);
+  ack_chain_ = make_chain(config_, *rng_);
+}
+
+void Host::maybe_begin_rekey(std::uint64_t now_us) {
+  if (config_.rekey_threshold == 0 || !initiator_ || rekey_pending_ ||
+      !established() || signer_->round_active() ||
+      signer_->chain_remaining() >= config_.rekey_threshold) {
+    return;
+  }
+  (void)force_rekey(now_us);
+}
+
+bool Host::force_rekey(std::uint64_t now_us) {
+  if (!initiator_ || rekey_pending_ || !established()) return false;
+  rotate_chains();
+  rekey_pending_ = true;
+  signer_->set_paused(true);  // queue, but sign nothing until fresh chains
+  ++hs_seq_;
+  last_hs_send_us_ = now_us;
+  callbacks_.send(make_handshake(/*is_response=*/false).encode());
+  return true;
+}
+
+void Host::reestablish(const wire::HandshakePacket& peer,
+                       std::uint64_t now_us) {
+  // Preserve messages the old signer had queued but not yet pre-signed.
+  auto backlog = signer_->drain_backlog();
+  establish(peer, now_us);
+  for (auto& [cookie, payload] : backlog) {
+    signer_->submit(std::move(payload), now_us, cookie);
+  }
+}
+
+void Host::establish(const wire::HandshakePacket& peer, std::uint64_t now_us) {
+  SignerEngine::Callbacks signer_cb;
+  signer_cb.send = callbacks_.send;
+  signer_cb.on_delivery = callbacks_.on_delivery;
+  signer_ = std::make_unique<SignerEngine>(
+      config_, assoc_id_, std::move(sig_chain_), peer.ack_anchor,
+      peer.ack_anchor_index, std::move(signer_cb));
+
+  VerifierEngine::Callbacks verifier_cb;
+  verifier_cb.send = callbacks_.send;
+  verifier_cb.on_message = [this](std::uint32_t, std::uint16_t,
+                                  crypto::ByteView payload) {
+    if (callbacks_.on_message) callbacks_.on_message(payload);
+  };
+  verifier_ = std::make_unique<VerifierEngine>(
+      config_, assoc_id_, std::move(ack_chain_), peer.sig_anchor,
+      peer.sig_anchor_index, std::move(verifier_cb), *rng_);
+
+  while (!pre_establish_queue_.empty()) {
+    auto& pending = pre_establish_queue_.front();
+    const std::uint64_t host_cookie = pending.cookie;
+    crypto::Bytes payload = std::move(pending.payload);
+    pre_establish_queue_.pop_front();
+    signer_->submit(std::move(payload), now_us, host_cookie);
+  }
+}
+
+void Host::on_frame(crypto::ByteView frame, std::uint64_t now_us) {
+  const auto packet = wire::decode(frame);
+  if (!packet.has_value()) return;
+
+  if (const auto* hs = std::get_if<wire::HandshakePacket>(&*packet)) {
+    // Duplicate HS1 (our HS2 may have been lost): re-answer idempotently
+    // without resetting any chain state. Checked before the monotonic-seq
+    // validation, which rightly rejects old counters otherwise.
+    if (!hs->is_response && !initiator_ && established() &&
+        hs->hdr.assoc_id == assoc_id_ && hs->hdr.seq == peer_hs_seq_ &&
+        !last_hs_response_.empty()) {
+      callbacks_.send(last_hs_response_);
+      return;
+    }
+    if (!validate_peer_handshake(*hs)) return;
+    if (!hs->is_response) {
+      if (initiator_) return;  // initiators never answer an HS1
+      if (!established()) {
+        // Initial bootstrap: answer with HS2, wire the engines.
+        peer_hs_seq_ = hs->hdr.seq;
+        handshake_sent_ = true;
+        ++hs_seq_;
+        last_hs_response_ = make_handshake(/*is_response=*/true).encode();
+        callbacks_.send(last_hs_response_);
+        establish(*hs, now_us);
+      } else {
+        // Rekey request: rotate own chains, answer, swap engines.
+        peer_hs_seq_ = hs->hdr.seq;
+        rotate_chains();
+        ++hs_seq_;
+        last_hs_response_ = make_handshake(/*is_response=*/true).encode();
+        callbacks_.send(last_hs_response_);
+        reestablish(*hs, now_us);
+      }
+      return;
+    }
+    // HS2 responses.
+    if (!initiator_) return;
+    if (!established()) {
+      peer_hs_seq_ = hs->hdr.seq;
+      establish(*hs, now_us);
+    } else if (rekey_pending_) {
+      peer_hs_seq_ = hs->hdr.seq;
+      rekey_pending_ = false;
+      reestablish(*hs, now_us);
+    }
+    return;
+  }
+
+  if (!established()) return;
+  if (const auto* s1 = std::get_if<wire::S1Packet>(&*packet)) {
+    verifier_->on_s1(*s1);
+  } else if (const auto* s2 = std::get_if<wire::S2Packet>(&*packet)) {
+    verifier_->on_s2(*s2);
+  } else if (const auto* a1 = std::get_if<wire::A1Packet>(&*packet)) {
+    signer_->on_a1(*a1, now_us);
+  } else if (const auto* a2 = std::get_if<wire::A2Packet>(&*packet)) {
+    signer_->on_a2(*a2, now_us);
+  }
+}
+
+std::uint64_t Host::submit(crypto::Bytes message, std::uint64_t now_us) {
+  if (established()) {
+    // Rotate *before* the signer could exhaust mid-burst: a paused signer
+    // queues the message safely until the fresh chains arrive.
+    maybe_begin_rekey(now_us);
+    return signer_->submit(std::move(message), now_us);
+  }
+  const std::uint64_t cookie = 1'000'000'000ull + next_cookie_++;
+  pre_establish_queue_.push_back(Pending{cookie, std::move(message)});
+  return cookie;
+}
+
+void Host::on_tick(std::uint64_t now_us) {
+  if (!established()) {
+    // Bootstrap robustness: retransmit the HS1 until the HS2 arrives.
+    if (initiator_ && handshake_sent_ &&
+        now_us - last_hs_send_us_ >= config_.rto_us) {
+      last_hs_send_us_ = now_us;
+      callbacks_.send(make_handshake(/*is_response=*/false).encode());
+    }
+    return;
+  }
+  signer_->on_tick(now_us);
+  maybe_begin_rekey(now_us);
+  // A lost rekey HS1 would leave the signer paused forever: retransmit.
+  if (rekey_pending_ && now_us - last_hs_send_us_ >= config_.rto_us) {
+    last_hs_send_us_ = now_us;
+    callbacks_.send(make_handshake(/*is_response=*/false).encode());
+  }
+}
+
+}  // namespace alpha::core

@@ -1,0 +1,121 @@
+// End-host: one duplex ALPHA association.
+//
+// Composes the bootstrap handshake (§3.4) with a SignerEngine for the
+// outgoing simplex channel and a VerifierEngine for the incoming one
+// (paper §3.1: "an end-host acts both as a signer and a verifier").
+// The host owns its two chains (signature + acknowledgment), announces their
+// anchors in HS1/HS2 -- optionally signed with a public-key Identity
+// (protected bootstrap) -- and wires the engines once the peer's anchors
+// arrive. Messages submitted before establishment are queued.
+//
+// Transport-agnostic: frames leave via the send callback and arrive through
+// on_frame(); works identically over the simulator and UDP sockets.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/identity.hpp"
+#include "core/signer.hpp"
+#include "core/verifier.hpp"
+
+namespace alpha::core {
+
+class Host {
+ public:
+  struct Options {
+    /// Sign the handshake with `identity` (protected bootstrap).
+    const Identity* identity = nullptr;
+    /// Require and verify a public-key signature on the peer's handshake.
+    bool require_protected_peer = false;
+  };
+
+  struct Callbacks {
+    /// Emits one encoded frame toward the peer.
+    std::function<void(crypto::Bytes)> send;
+    /// Delivers one authenticated incoming message.
+    std::function<void(crypto::ByteView payload)> on_message;
+    /// Reports delivery outcome for submitted messages.
+    std::function<void(std::uint64_t cookie, DeliveryStatus)> on_delivery;
+  };
+
+  Host(Config config, std::uint32_t assoc_id, bool initiator,
+       crypto::RandomSource& rng, Callbacks callbacks, Options options);
+  Host(Config config, std::uint32_t assoc_id, bool initiator,
+       crypto::RandomSource& rng, Callbacks callbacks)
+      : Host(config, assoc_id, initiator, rng, std::move(callbacks),
+             Options{}) {}
+
+  /// Initiator only: emits the HS1. No-op on responders (they answer HS1).
+  void start();
+
+  /// True while a chain rotation handshake is in flight.
+  bool rekey_pending() const noexcept { return rekey_pending_; }
+
+  /// Initiator only: rotate chains immediately (regardless of threshold).
+  /// The mobility hook: after a route change, the fresh handshake travels
+  /// the new path and teaches the new relays this association's anchors
+  /// (the paper fixes the relay set per chain lifetime, §3.1.1 -- a new
+  /// path therefore needs new chains). Returns false if not applicable
+  /// (responder, unestablished, or rekey already pending).
+  bool force_rekey(std::uint64_t now_us);
+
+  /// Feeds one received frame; `now_us` drives retransmission timing.
+  void on_frame(crypto::ByteView frame, std::uint64_t now_us);
+
+  /// Queues one message for authenticated transmission to the peer.
+  std::uint64_t submit(crypto::Bytes message, std::uint64_t now_us);
+
+  /// Periodic driver for retransmissions.
+  void on_tick(std::uint64_t now_us);
+
+  bool established() const noexcept { return signer_ != nullptr; }
+
+  /// Engine access (null until established). Exposed for stats/benches.
+  SignerEngine* signer() noexcept { return signer_.get(); }
+  VerifierEngine* verifier() noexcept { return verifier_.get(); }
+  const SignerEngine* signer() const noexcept { return signer_.get(); }
+  const VerifierEngine* verifier() const noexcept { return verifier_.get(); }
+
+  std::uint32_t assoc_id() const noexcept { return assoc_id_; }
+
+ private:
+  wire::HandshakePacket make_handshake(bool is_response);
+  bool validate_peer_handshake(const wire::HandshakePacket& hs) const;
+  void establish(const wire::HandshakePacket& peer, std::uint64_t now_us);
+  /// Replaces exhausted chains with fresh ones (rekeying, §3.4 note on
+  /// finite chains). Preserves the old signer's backlog.
+  void reestablish(const wire::HandshakePacket& peer, std::uint64_t now_us);
+  void rotate_chains();
+  void maybe_begin_rekey(std::uint64_t now_us);
+
+  Config config_;
+  std::uint32_t assoc_id_;
+  bool initiator_;
+  crypto::RandomSource* rng_;
+  Callbacks callbacks_;
+  Options options_;
+
+  hashchain::HashChain sig_chain_;
+  hashchain::HashChain ack_chain_;
+
+  std::unique_ptr<SignerEngine> signer_;
+  std::unique_ptr<VerifierEngine> verifier_;
+
+  struct Pending {
+    std::uint64_t cookie;
+    crypto::Bytes payload;
+  };
+  std::deque<Pending> pre_establish_queue_;
+  std::uint64_t next_cookie_ = 1;
+  bool handshake_sent_ = false;
+  bool rekey_pending_ = false;
+  std::uint32_t hs_seq_ = 0;       // our monotonic handshake counter
+  std::uint32_t peer_hs_seq_ = 0;  // highest peer handshake accepted
+  crypto::Bytes last_hs_response_;  // cached HS2 for duplicate HS1s
+  std::uint64_t last_hs_send_us_ = 0;
+};
+
+}  // namespace alpha::core

@@ -1,0 +1,229 @@
+#include "core/identity.hpp"
+
+#include "wire/codec.hpp"
+
+namespace alpha::core {
+
+namespace {
+
+Bytes encode_rsa_public(const crypto::RsaPublicKey& key) {
+  wire::Writer w;
+  w.blob16(key.n.to_bytes_be());
+  w.blob16(key.e.to_bytes_be());
+  return w.take();
+}
+
+Bytes encode_dsa_public(const crypto::DsaPublicKey& key) {
+  wire::Writer w;
+  w.blob16(key.params.p.to_bytes_be());
+  w.blob16(key.params.q.to_bytes_be());
+  w.blob16(key.params.g.to_bytes_be());
+  w.blob16(key.y.to_bytes_be());
+  return w.take();
+}
+
+}  // namespace
+
+Identity Identity::make_rsa(crypto::RandomSource& rng, std::size_t bits) {
+  return Identity{crypto::rsa_generate(rng, bits)};
+}
+
+Identity Identity::make_dsa(crypto::RandomSource& rng, std::size_t l_bits,
+                            std::size_t n_bits) {
+  const crypto::DsaParams params = crypto::dsa_generate_params(rng, l_bits, n_bits);
+  return Identity{crypto::dsa_generate_key(rng, params)};
+}
+
+Identity Identity::make_ecdsa(crypto::RandomSource& rng,
+                              const crypto::EcCurve& curve) {
+  return Identity{crypto::ecdsa_generate(curve, rng)};
+}
+
+wire::SigAlg Identity::alg() const noexcept {
+  if (std::holds_alternative<crypto::RsaPrivateKey>(key_)) {
+    return wire::SigAlg::kRsa;
+  }
+  if (std::holds_alternative<crypto::DsaPrivateKey>(key_)) {
+    return wire::SigAlg::kDsa;
+  }
+  const auto& ec = std::get<crypto::EcdsaPrivateKey>(key_);
+  return ec.pub.curve->name() == "P-256" ? wire::SigAlg::kEcdsaP256
+                                         : wire::SigAlg::kEcdsaP160;
+}
+
+Bytes Identity::encode_public() const {
+  if (const auto* rsa = std::get_if<crypto::RsaPrivateKey>(&key_)) {
+    return encode_rsa_public(rsa->pub);
+  }
+  if (const auto* dsa = std::get_if<crypto::DsaPrivateKey>(&key_)) {
+    return encode_dsa_public(dsa->pub);
+  }
+  return std::get<crypto::EcdsaPrivateKey>(key_).pub.encode();
+}
+
+Bytes Identity::sign(crypto::HashAlgo algo, ByteView payload,
+                     crypto::RandomSource& rng) const {
+  if (const auto* rsa = std::get_if<crypto::RsaPrivateKey>(&key_)) {
+    return crypto::rsa_sign(*rsa, algo, payload);
+  }
+  if (const auto* dsa = std::get_if<crypto::DsaPrivateKey>(&key_)) {
+    const std::size_t q_bytes = (dsa->pub.params.q.bit_length() + 7) / 8;
+    return crypto::dsa_sign(*dsa, algo, payload, rng).encode(q_bytes);
+  }
+  const auto& ec = std::get<crypto::EcdsaPrivateKey>(key_);
+  return crypto::ecdsa_sign(ec, algo, payload, rng)
+      .encode(ec.pub.curve->order_bytes());
+}
+
+Bytes Identity::serialize_private() const {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(alg()));
+  if (const auto* rsa = std::get_if<crypto::RsaPrivateKey>(&key_)) {
+    for (const crypto::BigInt* v :
+         {&rsa->pub.n, &rsa->pub.e, &rsa->d, &rsa->p, &rsa->q, &rsa->dp,
+          &rsa->dq, &rsa->qinv}) {
+      w.blob16(v->to_bytes_be());
+    }
+  } else if (const auto* dsa = std::get_if<crypto::DsaPrivateKey>(&key_)) {
+    for (const crypto::BigInt* v :
+         {&dsa->pub.params.p, &dsa->pub.params.q, &dsa->pub.params.g,
+          &dsa->pub.y, &dsa->x}) {
+      w.blob16(v->to_bytes_be());
+    }
+  } else {
+    const auto& ec = std::get<crypto::EcdsaPrivateKey>(key_);
+    w.blob16(ec.d.to_bytes_be());
+  }
+  return w.take();
+}
+
+std::optional<Identity> Identity::deserialize_private(ByteView data) {
+  try {
+    wire::Reader r{data};
+    const auto alg = static_cast<wire::SigAlg>(r.u8());
+    const auto read_big = [&r] {
+      return crypto::BigInt::from_bytes_be(r.blob16());
+    };
+    switch (alg) {
+      case wire::SigAlg::kRsa: {
+        crypto::RsaPrivateKey key;
+        key.pub.n = read_big();
+        key.pub.e = read_big();
+        key.d = read_big();
+        key.p = read_big();
+        key.q = read_big();
+        key.dp = read_big();
+        key.dq = read_big();
+        key.qinv = read_big();
+        r.expect_end();
+        if (key.pub.n.is_zero() || key.p * key.q != key.pub.n) {
+          return std::nullopt;
+        }
+        return Identity{std::move(key)};
+      }
+      case wire::SigAlg::kDsa: {
+        crypto::DsaPrivateKey key;
+        key.pub.params.p = read_big();
+        key.pub.params.q = read_big();
+        key.pub.params.g = read_big();
+        key.pub.y = read_big();
+        key.x = read_big();
+        r.expect_end();
+        if (key.pub.params.p.is_zero() || !(key.x < key.pub.params.q)) {
+          return std::nullopt;
+        }
+        // Consistency: y must equal g^x mod p.
+        if (crypto::BigInt::modexp(key.pub.params.g, key.x,
+                                   key.pub.params.p) != key.pub.y) {
+          return std::nullopt;
+        }
+        return Identity{std::move(key)};
+      }
+      case wire::SigAlg::kEcdsaP160:
+      case wire::SigAlg::kEcdsaP256: {
+        const crypto::EcCurve& curve = alg == wire::SigAlg::kEcdsaP256
+                                           ? crypto::EcCurve::p256()
+                                           : crypto::EcCurve::secp160r1();
+        crypto::EcdsaPrivateKey key;
+        key.d = read_big();
+        r.expect_end();
+        if (key.d.is_zero() || !(key.d < curve.order())) return std::nullopt;
+        key.pub.curve = &curve;
+        key.pub.point = curve.multiply(key.d, curve.generator());
+        return Identity{std::move(key)};
+      }
+      default:
+        return std::nullopt;
+    }
+  } catch (const wire::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<PeerIdentity> PeerIdentity::decode(wire::SigAlg alg,
+                                                 ByteView encoded) {
+  try {
+    wire::Reader r{encoded};
+    if (alg == wire::SigAlg::kRsa) {
+      crypto::RsaPublicKey key;
+      key.n = crypto::BigInt::from_bytes_be(r.blob16());
+      key.e = crypto::BigInt::from_bytes_be(r.blob16());
+      r.expect_end();
+      if (key.n.is_zero() || key.e.is_zero()) return std::nullopt;
+      return PeerIdentity{std::move(key)};
+    }
+    if (alg == wire::SigAlg::kDsa) {
+      crypto::DsaPublicKey key;
+      key.params.p = crypto::BigInt::from_bytes_be(r.blob16());
+      key.params.q = crypto::BigInt::from_bytes_be(r.blob16());
+      key.params.g = crypto::BigInt::from_bytes_be(r.blob16());
+      key.y = crypto::BigInt::from_bytes_be(r.blob16());
+      r.expect_end();
+      if (key.params.p.is_zero() || key.params.q.is_zero()) return std::nullopt;
+      return PeerIdentity{std::move(key)};
+    }
+    if (alg == wire::SigAlg::kEcdsaP160 || alg == wire::SigAlg::kEcdsaP256) {
+      const crypto::EcCurve& curve = alg == wire::SigAlg::kEcdsaP256
+                                         ? crypto::EcCurve::p256()
+                                         : crypto::EcCurve::secp160r1();
+      auto key = crypto::EcdsaPublicKey::decode(curve, encoded);
+      if (!key.has_value()) return std::nullopt;
+      return PeerIdentity{std::move(*key)};
+    }
+  } catch (const wire::DecodeError&) {
+  }
+  return std::nullopt;
+}
+
+bool PeerIdentity::verify(crypto::HashAlgo algo, ByteView payload,
+                          ByteView signature) const {
+  if (const auto* rsa = std::get_if<crypto::RsaPublicKey>(&key_)) {
+    return crypto::rsa_verify(*rsa, algo, payload, signature);
+  }
+  if (const auto* dsa = std::get_if<crypto::DsaPublicKey>(&key_)) {
+    try {
+      return crypto::dsa_verify(*dsa, algo, payload,
+                                crypto::DsaSignature::decode(signature));
+    } catch (const std::invalid_argument&) {
+      return false;
+    }
+  }
+  const auto& ec = std::get<crypto::EcdsaPublicKey>(key_);
+  const auto sig = crypto::EcdsaSignature::decode(signature);
+  if (!sig.has_value()) return false;
+  return crypto::ecdsa_verify(ec, algo, payload, *sig);
+}
+
+wire::SigAlg PeerIdentity::alg() const noexcept {
+  if (std::holds_alternative<crypto::RsaPublicKey>(key_)) {
+    return wire::SigAlg::kRsa;
+  }
+  if (std::holds_alternative<crypto::DsaPublicKey>(key_)) {
+    return wire::SigAlg::kDsa;
+  }
+  const auto& ec = std::get<crypto::EcdsaPublicKey>(key_);
+  return ec.curve->name() == "P-256" ? wire::SigAlg::kEcdsaP256
+                                     : wire::SigAlg::kEcdsaP160;
+}
+
+}  // namespace alpha::core

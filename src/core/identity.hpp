@@ -1,0 +1,81 @@
+// Public-key identities for the protected bootstrap (§3.4).
+//
+// ALPHA limits asymmetric cryptography to the handshake: a protected
+// handshake signs the hash-chain anchors with RSA or DSA, binding the
+// ephemeral chains to a strong identity. The Identity owns a private key and
+// signs handshake payloads; PeerIdentity verifies them from the encoded
+// public key carried in the handshake packet.
+#pragma once
+
+#include <optional>
+#include <variant>
+
+#include "crypto/dsa.hpp"
+#include "crypto/ec.hpp"
+#include "crypto/rsa.hpp"
+#include "wire/packets.hpp"
+
+namespace alpha::core {
+
+using crypto::Bytes;
+using crypto::ByteView;
+
+class Identity {
+ public:
+  static Identity make_rsa(crypto::RandomSource& rng, std::size_t bits = 1024);
+  static Identity make_dsa(crypto::RandomSource& rng, std::size_t l_bits = 1024,
+                           std::size_t n_bits = 160);
+  /// ECDSA identity; the paper recommends ECC for sensor-class anchor
+  /// signing (§4.1.3). Pass EcCurve::secp160r1() or EcCurve::p256().
+  static Identity make_ecdsa(crypto::RandomSource& rng,
+                             const crypto::EcCurve& curve);
+
+  wire::SigAlg alg() const noexcept;
+
+  /// Wire encoding of the verification key.
+  Bytes encode_public() const;
+
+  /// Serializes the private key (tag byte + per-algorithm fields). Plain
+  /// bytes -- protect the file at rest; there is no passphrase wrapping.
+  Bytes serialize_private() const;
+  /// Inverse of serialize_private(); nullopt on malformed input.
+  static std::optional<Identity> deserialize_private(ByteView data);
+
+  /// Signs `payload` (hashed with `algo` internally; SHA-1 to match the
+  /// paper's profile, SHA-256 recommended today). DSA needs the rng.
+  Bytes sign(crypto::HashAlgo algo, ByteView payload,
+             crypto::RandomSource& rng) const;
+
+ private:
+  explicit Identity(crypto::RsaPrivateKey key) : key_(std::move(key)) {}
+  explicit Identity(crypto::DsaPrivateKey key) : key_(std::move(key)) {}
+  explicit Identity(crypto::EcdsaPrivateKey key) : key_(std::move(key)) {}
+
+  std::variant<crypto::RsaPrivateKey, crypto::DsaPrivateKey,
+               crypto::EcdsaPrivateKey>
+      key_;
+};
+
+/// Verification-only peer identity decoded from a handshake.
+class PeerIdentity {
+ public:
+  /// Decodes an encoded public key; nullopt on malformed input.
+  static std::optional<PeerIdentity> decode(wire::SigAlg alg,
+                                            ByteView encoded);
+
+  bool verify(crypto::HashAlgo algo, ByteView payload,
+              ByteView signature) const;
+
+  wire::SigAlg alg() const noexcept;
+
+ private:
+  explicit PeerIdentity(crypto::RsaPublicKey key) : key_(std::move(key)) {}
+  explicit PeerIdentity(crypto::DsaPublicKey key) : key_(std::move(key)) {}
+  explicit PeerIdentity(crypto::EcdsaPublicKey key) : key_(std::move(key)) {}
+
+  std::variant<crypto::RsaPublicKey, crypto::DsaPublicKey,
+               crypto::EcdsaPublicKey>
+      key_;
+};
+
+}  // namespace alpha::core

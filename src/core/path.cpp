@@ -1,0 +1,110 @@
+#include "core/path.hpp"
+
+#include <stdexcept>
+
+namespace alpha::core {
+
+ProtectedPath::ProtectedPath(net::Network& network,
+                             std::vector<net::NodeId> path, Config config,
+                             std::uint32_t assoc_id, std::uint64_t seed,
+                             Host::Options initiator_opts,
+                             Host::Options responder_opts,
+                             RelayEngine::Options relay_opts)
+    : network_(&network),
+      path_(std::move(path)),
+      config_(config),
+      rng_a_(seed),
+      rng_b_(seed + 1) {
+  if (path_.size() < 2) {
+    throw std::invalid_argument("ProtectedPath: need at least two nodes");
+  }
+
+  // Initiator host at path_.front() sends toward path_[1].
+  Host::Callbacks a_cb;
+  a_cb.send = [this](crypto::Bytes frame) {
+    network_->send(path_.front(), path_[1], std::move(frame));
+  };
+  a_cb.on_message = [this](crypto::ByteView payload) {
+    at_initiator_.emplace_back(payload.begin(), payload.end());
+  };
+  a_cb.on_delivery = [this](std::uint64_t cookie, DeliveryStatus status) {
+    initiator_deliveries_.emplace_back(cookie, status);
+  };
+  initiator_ = std::make_unique<Host>(config_, assoc_id, /*initiator=*/true,
+                                      rng_a_, std::move(a_cb),
+                                      initiator_opts);
+
+  // Responder host at path_.back() sends toward path_[size-2].
+  Host::Callbacks b_cb;
+  b_cb.send = [this](crypto::Bytes frame) {
+    network_->send(path_.back(), path_[path_.size() - 2], std::move(frame));
+  };
+  b_cb.on_message = [this](crypto::ByteView payload) {
+    at_responder_.emplace_back(payload.begin(), payload.end());
+  };
+  responder_ = std::make_unique<Host>(config_, assoc_id, /*initiator=*/false,
+                                      rng_b_, std::move(b_cb),
+                                      responder_opts);
+
+  // Relays on the interior nodes.
+  for (std::size_t i = 1; i + 1 < path_.size(); ++i) {
+    RelayEngine::Callbacks r_cb;
+    const net::NodeId self = path_[i];
+    const net::NodeId toward_responder = path_[i + 1];
+    const net::NodeId toward_initiator = path_[i - 1];
+    r_cb.forward = [this, self, toward_responder, toward_initiator](
+                       Direction dir, crypto::Bytes frame) {
+      network_->send(self,
+                     dir == Direction::kForward ? toward_responder
+                                                : toward_initiator,
+                     std::move(frame));
+    };
+    const std::size_t relay_index = i - 1;
+    r_cb.on_extracted = [this, relay_index](std::uint32_t, std::uint32_t,
+                                            std::uint16_t,
+                                            crypto::ByteView payload) {
+      if (extraction_handler_) extraction_handler_(relay_index, payload);
+    };
+    relays_.push_back(
+        std::make_unique<RelayEngine>(config_, relay_opts, std::move(r_cb)));
+  }
+
+  // Attach receive handlers.
+  network_->set_handler(path_.front(), [this](net::NodeId, crypto::ByteView f) {
+    initiator_->on_frame(f, network_->sim().now());
+  });
+  network_->set_handler(path_.back(), [this](net::NodeId, crypto::ByteView f) {
+    responder_->on_frame(f, network_->sim().now());
+  });
+  for (std::size_t i = 1; i + 1 < path_.size(); ++i) {
+    RelayEngine* relay = relays_[i - 1].get();
+    const net::NodeId prev = path_[i - 1];
+    network_->set_handler(path_[i],
+                          [relay, prev](net::NodeId from, crypto::ByteView f) {
+                            const Direction dir = from == prev
+                                                      ? Direction::kForward
+                                                      : Direction::kReverse;
+                            relay->on_frame(dir, f);
+                          });
+  }
+}
+
+void ProtectedPath::start(net::SimTime tick_horizon_us) {
+  initiator_->start();
+
+  // Self-rescheduling retransmission tick for both hosts. The closure
+  // refers back to the member tick_ (not to a captured copy of itself), so
+  // there is no shared_ptr reference cycle.
+  const net::SimTime interval = std::max<net::SimTime>(config_.rto_us / 2, 1);
+  auto& sim = network_->sim();
+  tick_ = [this, &sim, interval, tick_horizon_us] {
+    initiator_->on_tick(sim.now());
+    responder_->on_tick(sim.now());
+    if (sim.now() + interval <= tick_horizon_us) {
+      sim.schedule_in(interval, tick_);
+    }
+  };
+  sim.schedule_in(interval, tick_);
+}
+
+}  // namespace alpha::core

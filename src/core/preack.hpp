@@ -1,0 +1,35 @@
+// Pre-acknowledgment construction (§3.2.2, Fig. 3).
+//
+// The verifier commits to both outcomes of a round before it knows which one
+// it will disclose:
+//
+//   pre_ack_j  = H(h^Va_{i-1} | "1" | s_ack_j)
+//   pre_nack_j = H(h^Va_{i-1} | "0" | s_nack_j)
+//
+// keyed with the next *undisclosed* acknowledgment-chain element and fresh
+// secrets per message. Disclosing (h^Va_{i-1}, flag, secret) in the A2 lets
+// the signer and every relay recompute the hash and match it against the
+// committed value from the A1.
+#pragma once
+
+#include "crypto/bytes.hpp"
+#include "crypto/digest.hpp"
+#include "crypto/hash.hpp"
+
+namespace alpha::core {
+
+inline crypto::Digest make_pre_ack(crypto::HashAlgo algo,
+                                   const crypto::Digest& key,
+                                   bool ack,
+                                   crypto::ByteView secret) {
+  return crypto::hash3(algo, key.view(),
+                       crypto::as_bytes(ack ? "1" : "0"), secret);
+}
+
+inline bool verify_pre_ack(crypto::HashAlgo algo, const crypto::Digest& key,
+                           bool ack, crypto::ByteView secret,
+                           const crypto::Digest& committed) {
+  return make_pre_ack(algo, key, ack, secret).ct_equals(committed);
+}
+
+}  // namespace alpha::core

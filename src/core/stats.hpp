@@ -1,0 +1,61 @@
+// Per-role accounting.
+//
+// Table 1 of the paper splits hash work per processed message into four
+// categories (signature/MAC, chain creation, chain verification, (n)ack
+// handling); Tables 2 and 3 account buffered bytes per role. The engines
+// update these structs as they work, using ScopedHashOps around each crypto
+// section so the counts reflect hashes actually executed, not a model.
+#pragma once
+
+#include <cstdint>
+
+namespace alpha::core {
+
+/// Hash operations split into the paper's Table 1 categories.
+struct HashWork {
+  std::uint64_t signature = 0;     // MAC / MT build / MT path verification
+  std::uint64_t chain_create = 0;  // hash-chain construction
+  std::uint64_t chain_verify = 0;  // hash-chain element verification
+  std::uint64_t ack = 0;           // pre-(n)ack generation / verification
+
+  std::uint64_t total() const noexcept {
+    return signature + chain_create + chain_verify + ack;
+  }
+};
+
+struct SignerStats {
+  HashWork hashes;
+  std::uint64_t messages_submitted = 0;
+  std::uint64_t rounds_started = 0;
+  std::uint64_t rounds_completed = 0;
+  std::uint64_t rounds_failed = 0;
+  std::uint64_t s1_sent = 0;
+  std::uint64_t s2_sent = 0;
+  std::uint64_t s1_retransmits = 0;
+  std::uint64_t s2_retransmits = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t nacks_received = 0;
+  std::uint64_t invalid_packets = 0;
+};
+
+struct VerifierStats {
+  HashWork hashes;
+  std::uint64_t s1_accepted = 0;
+  std::uint64_t s2_accepted = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t a1_sent = 0;
+  std::uint64_t a2_sent = 0;
+  std::uint64_t invalid_packets = 0;   // failed chain/MAC checks
+  std::uint64_t duplicate_packets = 0; // retransmissions answered from cache
+};
+
+struct RelayStats {
+  HashWork hashes;
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped_invalid = 0;      // failed authentication
+  std::uint64_t dropped_unsolicited = 0;  // no S1/A1 context (flood filter)
+  std::uint64_t messages_extracted = 0;   // §3.5 secure data extraction
+  std::uint64_t acks_verified = 0;
+};
+
+}  // namespace alpha::core

@@ -1,0 +1,38 @@
+// AES-128 block cipher (FIPS 197).
+//
+// Used as the compression primitive of the Matyas-Meyer-Oseas hash (see
+// mmo.hpp), mirroring the paper's WSN evaluation which runs MMO on the
+// CC2430's AES-128 hardware (§4.1.3). This is a straightforward table-free
+// software implementation: S-box lookups plus xtime-based MixColumns. It is
+// not constant-time with respect to cache effects; acceptable here because
+// MMO keys are public hash state, not secrets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace alpha::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr int kRounds = 10;
+
+  /// Expands the 16-byte key. Throws std::invalid_argument on wrong size.
+  explicit Aes128(ByteView key);
+
+  /// Encrypts/decrypts exactly one 16-byte block, in place allowed.
+  void encrypt_block(const std::uint8_t in[kBlockSize],
+                     std::uint8_t out[kBlockSize]) const noexcept;
+  void decrypt_block(const std::uint8_t in[kBlockSize],
+                     std::uint8_t out[kBlockSize]) const noexcept;
+
+ private:
+  // Round keys, 4 words per round plus the initial key.
+  std::array<std::uint32_t, 4 * (kRounds + 1)> round_keys_;
+};
+
+}  // namespace alpha::crypto

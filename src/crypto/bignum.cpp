@@ -1,0 +1,512 @@
+#include "crypto/bignum.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace alpha::crypto {
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+}
+
+BigInt::BigInt(std::uint64_t v) {
+  if (v != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(v));
+    if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+  }
+}
+
+void BigInt::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::from_bytes_be(ByteView bytes) {
+  BigInt r;
+  r.limbs_.assign((bytes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // byte i is the (size-1-i)-th least significant byte
+    const std::size_t pos = bytes.size() - 1 - i;
+    r.limbs_[pos / 4] |= std::uint32_t{bytes[i]} << (8 * (pos % 4));
+  }
+  r.trim();
+  return r;
+}
+
+BigInt BigInt::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2 != 0) padded.insert(padded.begin(), '0');
+  return from_bytes_be(alpha::crypto::from_hex(padded));
+}
+
+Bytes BigInt::to_bytes_be(std::size_t min_len) const {
+  const std::size_t nbytes = (bit_length() + 7) / 8;
+  const std::size_t out_len = std::max(nbytes, min_len);
+  Bytes out(out_len, 0);
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    out[out_len - 1 - i] =
+        static_cast<std::uint8_t>(limbs_[i / 4] >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  std::string s = alpha::crypto::to_hex(to_bytes_be());
+  const std::size_t nz = s.find_first_not_of('0');
+  return s.substr(nz);
+}
+
+std::size_t BigInt::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  return 32 * (limbs_.size() - 1) +
+         (32 - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
+}
+
+bool BigInt::bit(std::size_t i) const noexcept {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) noexcept {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() <=> b.limbs_.size();
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] <=> b.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+BigInt operator+(const BigInt& a, const BigInt& b) {
+  BigInt r;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  r.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t s = carry;
+    if (i < a.limbs_.size()) s += a.limbs_[i];
+    if (i < b.limbs_.size()) s += b.limbs_[i];
+    r.limbs_[i] = static_cast<std::uint32_t>(s);
+    carry = s >> 32;
+  }
+  r.limbs_[n] = static_cast<std::uint32_t>(carry);
+  r.trim();
+  return r;
+}
+
+BigInt operator-(const BigInt& a, const BigInt& b) {
+  if (a < b) throw std::underflow_error("BigInt: negative subtraction result");
+  BigInt r;
+  r.limbs_.resize(a.limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t d = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) d -= b.limbs_[i];
+    if (d < 0) {
+      d += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    r.limbs_[i] = static_cast<std::uint32_t>(d);
+  }
+  r.trim();
+  return r;
+}
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt{};
+  BigInt r;
+  r.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          ai * b.limbs_[j] + r.limbs_[i + j] + carry;
+      r.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    r.limbs_[i + b.limbs_.size()] += static_cast<std::uint32_t>(carry);
+  }
+  r.trim();
+  return r;
+}
+
+BigInt operator<<(const BigInt& a, std::size_t bits) {
+  if (a.is_zero() || bits == 0) {
+    BigInt r = a;
+    return r;
+  }
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigInt r;
+  r.limbs_.assign(a.limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    const std::uint64_t v = std::uint64_t{a.limbs_[i]} << bit_shift;
+    r.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    r.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  r.trim();
+  return r;
+}
+
+BigInt operator>>(const BigInt& a, std::size_t bits) {
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  if (limb_shift >= a.limbs_.size()) return BigInt{};
+  BigInt r;
+  r.limbs_.assign(a.limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < r.limbs_.size(); ++i) {
+    std::uint64_t v = std::uint64_t{a.limbs_[i + limb_shift]} >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size()) {
+      v |= std::uint64_t{a.limbs_[i + limb_shift + 1]} << (32 - bit_shift);
+    }
+    r.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  r.trim();
+  return r;
+}
+
+std::pair<BigInt, BigInt> BigInt::divmod(const BigInt& num,
+                                         const BigInt& den) {
+  if (den.is_zero()) throw std::domain_error("BigInt: division by zero");
+  if (num < den) return {BigInt{}, num};
+
+  // Single-limb divisor: simple schoolbook loop.
+  if (den.limbs_.size() == 1) {
+    const std::uint64_t d = den.limbs_[0];
+    BigInt q;
+    q.limbs_.assign(num.limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = num.limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | num.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    return {q, BigInt{rem}};
+  }
+
+  // Knuth TAOCP vol.2 algorithm D with 32-bit digits.
+  const int shift = std::countl_zero(den.limbs_.back());
+  const BigInt u = num << static_cast<std::size_t>(shift);
+  const BigInt v = den << static_cast<std::size_t>(shift);
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+
+  std::vector<std::uint32_t> un(u.limbs_);
+  un.push_back(0);  // u has m+n+1 digits
+  const std::vector<std::uint32_t>& vn = v.limbs_;
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate qhat = (un[j+n]*B + un[j+n-1]) / vn[n-1].
+    const std::uint64_t numerator =
+        (std::uint64_t{un[j + n]} << 32) | un[j + n - 1];
+    std::uint64_t qhat = numerator / vn[n - 1];
+    std::uint64_t rhat = numerator % vn[n - 1];
+
+    while (qhat >= kBase ||
+           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= kBase) break;
+    }
+
+    // Multiply-subtract: un[j..j+n] -= qhat * vn.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * vn[i] + carry;
+      carry = p >> 32;
+      const std::int64_t t = static_cast<std::int64_t>(un[i + j]) -
+                             static_cast<std::int64_t>(p & 0xffffffffull) -
+                             borrow;
+      un[i + j] = static_cast<std::uint32_t>(t);
+      borrow = t < 0 ? 1 : 0;
+    }
+    const std::int64_t t = static_cast<std::int64_t>(un[j + n]) -
+                           static_cast<std::int64_t>(carry) - borrow;
+    un[j + n] = static_cast<std::uint32_t>(t);
+
+    if (t < 0) {
+      // qhat was one too large: add back.
+      --qhat;
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t s = std::uint64_t{un[i + j]} + vn[i] + c;
+        un[i + j] = static_cast<std::uint32_t>(s);
+        c = s >> 32;
+      }
+      un[j + n] = static_cast<std::uint32_t>(un[j + n] + c);
+    }
+    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  q.trim();
+  BigInt r;
+  r.limbs_.assign(un.begin(), un.begin() + static_cast<std::ptrdiff_t>(n));
+  r.trim();
+  r = r >> static_cast<std::size_t>(shift);
+  return {q, r};
+}
+
+BigInt BigInt::modexp(const BigInt& base, const BigInt& exp,
+                      const BigInt& mod) {
+  if (mod.is_zero()) throw std::domain_error("modexp: zero modulus");
+  if (mod.is_one()) return BigInt{};
+  // Montgomery arithmetic needs an odd modulus (all RSA/DSA/EC moduli are);
+  // tiny or even moduli take the schoolbook path.
+  if (mod.is_odd() && mod.limbs_.size() >= 2) {
+    return modexp_montgomery(base, exp, mod);
+  }
+  BigInt result{1};
+  BigInt b = base % mod;
+  const std::size_t nbits = exp.bit_length();
+  for (std::size_t i = 0; i < nbits; ++i) {
+    if (exp.bit(i)) result = (result * b) % mod;
+    b = (b * b) % mod;
+  }
+  return result;
+}
+
+BigInt BigInt::modexp_montgomery(const BigInt& base, const BigInt& exp,
+                                 const BigInt& mod) {
+  const std::size_t L = mod.limbs_.size();
+  const std::vector<std::uint32_t>& n = mod.limbs_;
+
+  // m' = -n^{-1} mod 2^32 via Newton iteration (n odd).
+  std::uint32_t inv = n[0];
+  for (int i = 0; i < 5; ++i) inv *= 2u - n[0] * inv;
+  const std::uint32_t mprime = ~inv + 1u;  // -inv mod 2^32
+
+  // CIOS Montgomery multiplication: t = a*b*R^{-1} mod n, R = 2^(32L).
+  // Operands are L-limb vectors already reduced mod n.
+  std::vector<std::uint32_t> t(L + 2);
+  const auto mont_mul = [&](const std::vector<std::uint32_t>& a,
+                            const std::vector<std::uint32_t>& b,
+                            std::vector<std::uint32_t>& out) {
+    std::fill(t.begin(), t.end(), 0u);
+    for (std::size_t i = 0; i < L; ++i) {
+      // t += a * b[i]
+      std::uint64_t carry = 0;
+      const std::uint64_t bi = b[i];
+      for (std::size_t j = 0; j < L; ++j) {
+        const std::uint64_t cur = t[j] + a[j] * bi + carry;
+        t[j] = static_cast<std::uint32_t>(cur);
+        carry = cur >> 32;
+      }
+      std::uint64_t cur = t[L] + carry;
+      t[L] = static_cast<std::uint32_t>(cur);
+      t[L + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+      // t = (t + m*n) / 2^32 with m chosen so the low limb cancels.
+      const std::uint64_t m = static_cast<std::uint32_t>(t[0] * mprime);
+      cur = t[0] + m * n[0];
+      carry = cur >> 32;
+      for (std::size_t j = 1; j < L; ++j) {
+        cur = t[j] + m * n[j] + carry;
+        t[j - 1] = static_cast<std::uint32_t>(cur);
+        carry = cur >> 32;
+      }
+      cur = t[L] + carry;
+      t[L - 1] = static_cast<std::uint32_t>(cur);
+      t[L] = t[L + 1] + static_cast<std::uint32_t>(cur >> 32);
+      t[L + 1] = 0;
+    }
+    // Conditional final subtraction: t may be in [0, 2n).
+    bool ge = t[L] != 0;
+    if (!ge) {
+      ge = true;
+      for (std::size_t j = L; j-- > 0;) {
+        if (t[j] != n[j]) {
+          ge = t[j] > n[j];
+          break;
+        }
+      }
+    }
+    if (ge) {
+      std::int64_t borrow = 0;
+      for (std::size_t j = 0; j < L; ++j) {
+        const std::int64_t d = static_cast<std::int64_t>(t[j]) - n[j] - borrow;
+        out[j] = static_cast<std::uint32_t>(d);
+        borrow = d < 0 ? 1 : 0;
+      }
+    } else {
+      std::copy_n(t.begin(), L, out.begin());
+    }
+  };
+
+  const auto to_limbs = [&](const BigInt& v) {
+    std::vector<std::uint32_t> out = v.limbs_;
+    out.resize(L, 0u);
+    return out;
+  };
+
+  // R mod n and R^2 mod n via plain division (one-time setup).
+  const BigInt r = BigInt{1} << (32 * L);
+  const BigInt r_mod = r % mod;
+  const BigInt r2_mod = (r_mod * r_mod) % mod;
+
+  std::vector<std::uint32_t> base_m(L), acc(L), tmp(L);
+  const std::vector<std::uint32_t> r2 = to_limbs(r2_mod);
+  const std::vector<std::uint32_t> base_plain = to_limbs(base % mod);
+  mont_mul(base_plain, r2, base_m);  // base * R mod n
+  acc = to_limbs(r_mod);             // 1 * R mod n
+
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    mont_mul(acc, acc, tmp);
+    acc.swap(tmp);
+    if (exp.bit(i)) {
+      mont_mul(acc, base_m, tmp);
+      acc.swap(tmp);
+    }
+  }
+
+  // Convert out of Montgomery form: multiply by 1.
+  std::vector<std::uint32_t> one(L, 0u);
+  one[0] = 1u;
+  mont_mul(acc, one, tmp);
+
+  BigInt result;
+  result.limbs_ = std::move(tmp);
+  result.trim();
+  return result;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::modinv(const BigInt& a, const BigInt& m) {
+  // Extended Euclid with explicit sign tracking (values stay non-negative).
+  BigInt r0 = m, r1 = a % m;
+  BigInt t0{}, t1{1};
+  bool t0_neg = false, t1_neg = false;
+
+  while (!r1.is_zero()) {
+    auto [q, r2] = divmod(r0, r1);
+    // t2 = t0 - q * t1 with sign handling
+    const BigInt qt1 = q * t1;
+    BigInt t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      // same sign: t0 - q*t1 may flip sign
+      if (t0 >= qt1) {
+        t2 = t0 - qt1;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt1 - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      // opposite signs: magnitudes add
+      t2 = t0 + qt1;
+      t2_neg = t0_neg;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+  }
+
+  if (!r0.is_one()) throw std::domain_error("modinv: not invertible");
+  if (t0_neg) return m - (t0 % m);
+  return t0 % m;
+}
+
+BigInt BigInt::random_below(RandomSource& rng, const BigInt& bound) {
+  if (bound.is_zero()) {
+    throw std::invalid_argument("random_below: zero bound");
+  }
+  const std::size_t nbytes = (bound.bit_length() + 7) / 8;
+  for (;;) {
+    BigInt candidate = from_bytes_be(rng.bytes(nbytes));
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigInt BigInt::random_bits(RandomSource& rng, std::size_t bits) {
+  if (bits == 0) throw std::invalid_argument("random_bits: zero bits");
+  const std::size_t nbytes = (bits + 7) / 8;
+  Bytes raw = rng.bytes(nbytes);
+  // Clear excess leading bits, then force the top bit.
+  const std::size_t excess = nbytes * 8 - bits;
+  raw[0] = static_cast<std::uint8_t>(raw[0] & (0xffu >> excess));
+  raw[0] |= static_cast<std::uint8_t>(0x80u >> excess);
+  return from_bytes_be(raw);
+}
+
+bool is_probable_prime(const BigInt& n, RandomSource& rng, int rounds) {
+  static const std::uint32_t kSmallPrimes[] = {
+      2,  3,  5,  7,  11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+      53, 59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113};
+
+  if (n < BigInt{2}) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigInt bp{p};
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+
+  // n - 1 = d * 2^s with d odd
+  const BigInt n_minus_1 = n - BigInt{1};
+  BigInt d = n_minus_1;
+  std::size_t s = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++s;
+  }
+
+  const BigInt two{2};
+  const BigInt n_minus_3 = n - BigInt{3};
+  for (int round = 0; round < rounds; ++round) {
+    // a uniform in [2, n-2]
+    const BigInt a = BigInt::random_below(rng, n_minus_3) + two;
+    BigInt x = BigInt::modexp(a, d, n);
+    if (x.is_one() || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 1; i < s; ++i) {
+      x = (x * x) % n;
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt generate_prime(RandomSource& rng, std::size_t bits) {
+  if (bits < 8) throw std::invalid_argument("generate_prime: bits too small");
+  const std::size_t nbytes = (bits + 7) / 8;
+  const std::size_t excess = nbytes * 8 - bits;
+  for (;;) {
+    Bytes raw = rng.bytes(nbytes);
+    raw[0] = static_cast<std::uint8_t>(raw[0] & (0xffu >> excess));
+    // Top two bits set (so p*q of two such primes has exactly 2*bits bits)
+    // and odd.
+    raw[0] |= static_cast<std::uint8_t>(0x80u >> excess);
+    const std::size_t second = bits - 2;  // bit index from LSB
+    raw[nbytes - 1 - second / 8] |=
+        static_cast<std::uint8_t>(1u << (second % 8));
+    raw[nbytes - 1] |= 1u;
+    const BigInt candidate = BigInt::from_bytes_be(raw);
+    if (is_probable_prime(candidate, rng, 24)) return candidate;
+  }
+}
+
+}  // namespace alpha::crypto

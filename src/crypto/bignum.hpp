@@ -1,0 +1,105 @@
+// Arbitrary-precision unsigned integers.
+//
+// Minimal bignum for the public-key baselines (Table 4: RSA-1024 / DSA-1024)
+// and the protected bootstrap of §3.4. Non-negative values only — RSA and DSA
+// arithmetic never needs negative intermediates except inside the extended
+// Euclid, which tracks signs itself. 32-bit limbs, little-endian limb order,
+// 64-bit intermediates; schoolbook multiplication and Knuth algorithm D
+// division, which are ample for 1024-2048 bit operands.
+//
+// Not constant-time. The baselines exist for cost-shape comparison against
+// ALPHA, exactly like the paper uses them; do not reuse for real keys.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+#include "crypto/random.hpp"
+
+namespace alpha::crypto {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+  explicit BigInt(std::uint64_t v);
+
+  /// Big-endian byte-string decoding (leading zeros allowed).
+  static BigInt from_bytes_be(ByteView bytes);
+  /// Hex decoding (no 0x prefix, case-insensitive, odd length allowed).
+  static BigInt from_hex(std::string_view hex);
+
+  /// Big-endian encoding, left-padded with zeros to at least `min_len` bytes.
+  Bytes to_bytes_be(std::size_t min_len = 0) const;
+  std::string to_hex() const;
+
+  bool is_zero() const noexcept { return limbs_.empty(); }
+  bool is_odd() const noexcept { return !limbs_.empty() && (limbs_[0] & 1u); }
+  bool is_one() const noexcept {
+    return limbs_.size() == 1 && limbs_[0] == 1u;
+  }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const noexcept;
+  /// Bit i (LSB = 0); false beyond bit_length().
+  bool bit(std::size_t i) const noexcept;
+
+  friend bool operator==(const BigInt& a, const BigInt& b) noexcept {
+    return a.limbs_ == b.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& a,
+                                          const BigInt& b) noexcept;
+
+  friend BigInt operator+(const BigInt& a, const BigInt& b);
+  /// Requires a >= b; throws std::underflow_error otherwise.
+  friend BigInt operator-(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+  friend BigInt operator<<(const BigInt& a, std::size_t bits);
+  friend BigInt operator>>(const BigInt& a, std::size_t bits);
+
+  /// Quotient and remainder; throws std::domain_error on division by zero.
+  static std::pair<BigInt, BigInt> divmod(const BigInt& num,
+                                          const BigInt& den);
+  friend BigInt operator/(const BigInt& a, const BigInt& b) {
+    return divmod(a, b).first;
+  }
+  friend BigInt operator%(const BigInt& a, const BigInt& b) {
+    return divmod(a, b).second;
+  }
+
+  /// (base ^ exp) mod mod; mod must be nonzero.
+  static BigInt modexp(const BigInt& base, const BigInt& exp,
+                       const BigInt& mod);
+  /// Multiplicative inverse of a mod m; throws std::domain_error if
+  /// gcd(a, m) != 1.
+  static BigInt modinv(const BigInt& a, const BigInt& m);
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// Uniform value in [0, bound), bound > 0.
+  static BigInt random_below(RandomSource& rng, const BigInt& bound);
+  /// Uniform `bits`-bit value with the top bit forced to 1 (bits >= 1).
+  static BigInt random_bits(RandomSource& rng, std::size_t bits);
+
+ private:
+  void trim() noexcept;
+
+  /// Montgomery-form exponentiation (CIOS); requires an odd modulus.
+  static BigInt modexp_montgomery(const BigInt& base, const BigInt& exp,
+                                  const BigInt& mod);
+
+  std::vector<std::uint32_t> limbs_;  // little-endian; empty == 0
+};
+
+/// Miller-Rabin with `rounds` random bases (error prob <= 4^-rounds).
+bool is_probable_prime(const BigInt& n, RandomSource& rng, int rounds = 32);
+
+/// Random prime of exactly `bits` bits (top two bits set so products of two
+/// such primes have exactly 2*bits bits, as RSA keygen requires).
+BigInt generate_prime(RandomSource& rng, std::size_t bits);
+
+}  // namespace alpha::crypto

@@ -1,0 +1,24 @@
+#include "crypto/counter.hpp"
+
+namespace alpha::crypto {
+
+thread_local HashOpCounts HashOpCounter::tls_{};
+thread_local bool HashOpCounter::paused_ = false;
+
+HashOpCounts HashOpCounter::snapshot() noexcept { return tls_; }
+
+void HashOpCounter::reset() noexcept { tls_ = {}; }
+
+void HashOpCounter::record_update(std::size_t n) noexcept {
+  if (!paused_) tls_.bytes_hashed += n;
+}
+
+void HashOpCounter::record_finalize() noexcept {
+  if (!paused_) ++tls_.hash_finalizations;
+}
+
+void HashOpCounter::set_paused(bool paused) noexcept { paused_ = paused; }
+
+bool HashOpCounter::paused() noexcept { return paused_; }
+
+}  // namespace alpha::crypto

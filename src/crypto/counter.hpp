@@ -1,0 +1,72 @@
+// Hash-operation accounting.
+//
+// Table 1 of the paper counts the hash computations each role (signer,
+// verifier, relay) spends per processed message, split into signature/MAC
+// work, hash-chain creation, hash-chain verification and (n)ack handling.
+// The protocol engines account these categories explicitly; this global
+// counter provides an independent cross-check: every Hasher::finalize() and
+// every HMAC computation bumps it, so tests can assert that the engines'
+// bookkeeping matches what the crypto layer actually executed.
+#pragma once
+
+#include <cstdint>
+
+namespace alpha::crypto {
+
+struct HashOpCounts {
+  std::uint64_t hash_finalizations = 0;  // number of digest computations
+  std::uint64_t bytes_hashed = 0;        // total input bytes consumed
+
+  HashOpCounts operator-(const HashOpCounts& rhs) const noexcept {
+    return {hash_finalizations - rhs.hash_finalizations,
+            bytes_hashed - rhs.bytes_hashed};
+  }
+};
+
+/// Per-thread counter; cheap enough to stay always-on.
+/// Accessors are defined out-of-line (counter.cpp): GCC's TLS wrapper for
+/// in-header accesses to extern thread_locals trips UBSan's null checks.
+class HashOpCounter {
+ public:
+  static HashOpCounts snapshot() noexcept;
+  static void reset() noexcept;
+
+  static void record_update(std::size_t n) noexcept;
+  static void record_finalize() noexcept;
+
+  static void set_paused(bool paused) noexcept;
+  static bool paused() noexcept;
+
+ private:
+  static thread_local HashOpCounts tls_;
+  static thread_local bool paused_;
+};
+
+/// RAII pause: hashing inside the scope is not accounted. Used by the DRBG
+/// so random-number generation never distorts protocol hash counts.
+class CounterPause {
+ public:
+  CounterPause() noexcept : prev_(HashOpCounter::paused()) {
+    HashOpCounter::set_paused(true);
+  }
+  ~CounterPause() { HashOpCounter::set_paused(prev_); }
+  CounterPause(const CounterPause&) = delete;
+  CounterPause& operator=(const CounterPause&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// RAII scope measuring the hash operations performed inside it.
+class ScopedHashOps {
+ public:
+  ScopedHashOps() noexcept : start_(HashOpCounter::snapshot()) {}
+  HashOpCounts delta() const noexcept {
+    return HashOpCounter::snapshot() - start_;
+  }
+
+ private:
+  HashOpCounts start_;
+};
+
+}  // namespace alpha::crypto

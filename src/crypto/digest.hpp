@@ -1,0 +1,90 @@
+// Fixed-capacity digest value type.
+//
+// Hash outputs in this code base range from 16 bytes (AES-MMO, the WSN hash of
+// paper §4.1.3) over 20 bytes (SHA-1, the paper's default) to 32 bytes
+// (SHA-256). A Digest stores up to 32 bytes inline with an explicit length, so
+// digests can be passed and compared by value without heap traffic on the
+// packet fast path.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "crypto/bytes.hpp"
+
+namespace alpha::crypto {
+
+class Digest {
+ public:
+  static constexpr std::size_t kMaxSize = 32;
+
+  /// Empty digest (size 0). Distinct from any real hash output.
+  constexpr Digest() noexcept : buf_{}, size_{0} {}
+
+  /// Copies `data` (at most kMaxSize bytes, else throws std::length_error).
+  explicit Digest(ByteView data) : buf_{}, size_{data.size()} {
+    if (data.size() > kMaxSize) {
+      throw std::length_error("Digest: input exceeds 32 bytes");
+    }
+    std::memcpy(buf_.data(), data.data(), data.size());
+  }
+
+  static Digest from_hex(std::string_view hex) {
+    const Bytes raw = alpha::crypto::from_hex(hex);
+    return Digest(ByteView{raw});
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  const std::uint8_t* data() const noexcept { return buf_.data(); }
+
+  ByteView view() const noexcept { return {buf_.data(), size_}; }
+  Bytes bytes() const { return Bytes(buf_.begin(), buf_.begin() + size_); }
+  std::string hex() const { return to_hex(view()); }
+
+  /// Truncates to the first `n` bytes (n <= size). Used where a protocol
+  /// profile carries shortened hash values.
+  Digest truncated(std::size_t n) const {
+    if (n > size_) throw std::length_error("Digest::truncated: n > size");
+    return Digest(ByteView{buf_.data(), n});
+  }
+
+  /// Constant-time comparison; use for any secret-derived value.
+  bool ct_equals(const Digest& other) const noexcept {
+    return ct_equal(view(), other.view());
+  }
+
+  /// Non-secret ordering/equality (for containers and tests).
+  friend bool operator==(const Digest& a, const Digest& b) noexcept {
+    return a.size_ == b.size_ &&
+           std::memcmp(a.buf_.data(), b.buf_.data(), a.size_) == 0;
+  }
+  friend std::strong_ordering operator<=>(const Digest& a,
+                                          const Digest& b) noexcept {
+    const int c = std::memcmp(a.buf_.data(), b.buf_.data(), kMaxSize);
+    if (c != 0) return c < 0 ? std::strong_ordering::less
+                             : std::strong_ordering::greater;
+    return a.size_ <=> b.size_;
+  }
+
+ private:
+  std::array<std::uint8_t, kMaxSize> buf_;
+  std::size_t size_;
+};
+
+/// Hash functor for unordered containers keyed by Digest.
+struct DigestHasher {
+  std::size_t operator()(const Digest& d) const noexcept {
+    // Digests are uniformly distributed; fold the first 8 bytes.
+    std::uint64_t v = 0;
+    std::memcpy(&v, d.data(), d.size() < 8 ? d.size() : 8);
+    return static_cast<std::size_t>(v ^ (d.size() * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+}  // namespace alpha::crypto

@@ -1,0 +1,114 @@
+#include "crypto/dsa.hpp"
+
+#include <stdexcept>
+
+namespace alpha::crypto {
+
+namespace {
+
+// z = leftmost min(N, outlen) bits of H(m), as an integer (FIPS 186-4 §4.6).
+BigInt hash_to_z(HashAlgo algo, ByteView message, const BigInt& q) {
+  const Digest h = hash(algo, message);
+  const std::size_t n_bits = q.bit_length();
+  BigInt z = BigInt::from_bytes_be(h.view());
+  const std::size_t h_bits = h.size() * 8;
+  if (h_bits > n_bits) z = z >> (h_bits - n_bits);
+  return z;
+}
+
+}  // namespace
+
+Bytes DsaSignature::encode(std::size_t q_bytes) const {
+  Bytes out = r.to_bytes_be(q_bytes);
+  const Bytes s_bytes = s.to_bytes_be(q_bytes);
+  out.insert(out.end(), s_bytes.begin(), s_bytes.end());
+  return out;
+}
+
+DsaSignature DsaSignature::decode(ByteView data) {
+  if (data.size() % 2 != 0 || data.empty()) {
+    throw std::invalid_argument("DsaSignature: bad encoding length");
+  }
+  const std::size_t half = data.size() / 2;
+  return {BigInt::from_bytes_be(data.first(half)),
+          BigInt::from_bytes_be(data.subspan(half))};
+}
+
+DsaParams dsa_generate_params(RandomSource& rng, std::size_t l_bits,
+                              std::size_t n_bits) {
+  if (n_bits >= l_bits) {
+    throw std::invalid_argument("dsa_generate_params: need N < L");
+  }
+  const BigInt one{1};
+  for (;;) {
+    const BigInt q = generate_prime(rng, n_bits);
+    const BigInt two_q = q << 1;
+
+    // Search p = k*2q + 1 of exactly l_bits around random starting points.
+    for (int attempt = 0; attempt < 4096; ++attempt) {
+      BigInt x = BigInt::random_bits(rng, l_bits);
+      // p := x - (x mod 2q) + 1  ==>  p = 1 (mod 2q)
+      BigInt p = (x - (x % two_q)) + one;
+      if (p.bit_length() != l_bits) continue;
+      if (!is_probable_prime(p, rng, 24)) continue;
+
+      // g = h^((p-1)/q) mod p for the smallest h >= 2 with g != 1.
+      const BigInt exp = (p - one) / q;
+      for (std::uint64_t h = 2; h < 100; ++h) {
+        const BigInt g = BigInt::modexp(BigInt{h}, exp, p);
+        if (!g.is_one()) return {p, q, g};
+      }
+    }
+    // Extremely unlikely: retry with a fresh q.
+  }
+}
+
+DsaPrivateKey dsa_generate_key(RandomSource& rng, DsaParams params) {
+  const BigInt one{1};
+  const BigInt x = BigInt::random_below(rng, params.q - one) + one;
+  const BigInt y = BigInt::modexp(params.g, x, params.p);
+  DsaPrivateKey key;
+  key.pub = {std::move(params), y};
+  key.x = x;
+  return key;
+}
+
+DsaSignature dsa_sign(const DsaPrivateKey& key, HashAlgo algo,
+                      ByteView message, RandomSource& rng) {
+  const DsaParams& pr = key.pub.params;
+  const BigInt one{1};
+  const BigInt z = hash_to_z(algo, message, pr.q);
+  for (;;) {
+    const BigInt k = BigInt::random_below(rng, pr.q - one) + one;
+    const BigInt r = BigInt::modexp(pr.g, k, pr.p) % pr.q;
+    if (r.is_zero()) continue;
+    const BigInt kinv = BigInt::modinv(k, pr.q);
+    const BigInt s = (kinv * ((z + key.x * r) % pr.q)) % pr.q;
+    if (s.is_zero()) continue;
+    return {r, s};
+  }
+}
+
+bool dsa_verify(const DsaPublicKey& key, HashAlgo algo, ByteView message,
+                const DsaSignature& sig) {
+  const DsaParams& pr = key.params;
+  if (sig.r.is_zero() || sig.s.is_zero()) return false;
+  if (!(sig.r < pr.q) || !(sig.s < pr.q)) return false;
+
+  BigInt w;
+  try {
+    w = BigInt::modinv(sig.s, pr.q);
+  } catch (const std::domain_error&) {
+    return false;
+  }
+  const BigInt z = hash_to_z(algo, message, pr.q);
+  const BigInt u1 = (z * w) % pr.q;
+  const BigInt u2 = (sig.r * w) % pr.q;
+  const BigInt v =
+      ((BigInt::modexp(pr.g, u1, pr.p) * BigInt::modexp(key.y, u2, pr.p)) %
+       pr.p) %
+      pr.q;
+  return v == sig.r;
+}
+
+}  // namespace alpha::crypto

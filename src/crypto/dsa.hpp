@@ -1,0 +1,55 @@
+// DSA signatures (FIPS 186 classic parameters).
+//
+// Second public-key baseline of Table 4 ("DSA 1024 sign/verify"). Classic
+// (L = 1024, N = 160) parameters match the paper's 2008-era measurements;
+// parameter generation is deterministic when driven by an HmacDrbg so benches
+// regenerate identical groups without shipping hard-coded constants.
+#pragma once
+
+#include "crypto/bignum.hpp"
+#include "crypto/bytes.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/random.hpp"
+
+namespace alpha::crypto {
+
+struct DsaParams {
+  BigInt p;  // prime modulus, L bits
+  BigInt q;  // prime divisor of p-1, N bits
+  BigInt g;  // generator of the order-q subgroup
+};
+
+struct DsaPublicKey {
+  DsaParams params;
+  BigInt y;  // g^x mod p
+};
+
+struct DsaPrivateKey {
+  DsaPublicKey pub;
+  BigInt x;  // secret, 0 < x < q
+};
+
+struct DsaSignature {
+  BigInt r;
+  BigInt s;
+
+  /// Fixed-width wire form: r || s, each N/8 bytes.
+  Bytes encode(std::size_t q_bytes) const;
+  static DsaSignature decode(ByteView data);
+};
+
+/// Generates (p, q, g) with p of `l_bits` and q of `n_bits`
+/// (e.g. 1024/160 for the paper's baseline).
+DsaParams dsa_generate_params(RandomSource& rng, std::size_t l_bits,
+                              std::size_t n_bits);
+
+DsaPrivateKey dsa_generate_key(RandomSource& rng, DsaParams params);
+
+/// Signs H_algo(message); fresh per-message nonce from `rng`.
+DsaSignature dsa_sign(const DsaPrivateKey& key, HashAlgo algo,
+                      ByteView message, RandomSource& rng);
+
+bool dsa_verify(const DsaPublicKey& key, HashAlgo algo, ByteView message,
+                const DsaSignature& sig);
+
+}  // namespace alpha::crypto

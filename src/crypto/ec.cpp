@@ -1,0 +1,261 @@
+#include "crypto/ec.hpp"
+
+#include <stdexcept>
+
+namespace alpha::crypto {
+
+EcCurve::EcCurve(std::string name, BigInt p, BigInt a, BigInt b, EcPoint g,
+                 BigInt n)
+    : name_(std::move(name)),
+      p_(std::move(p)),
+      a_(std::move(a)),
+      b_(std::move(b)),
+      g_(std::move(g)),
+      n_(std::move(n)) {
+  if (!on_curve(g_)) {
+    throw std::invalid_argument("EcCurve: generator not on curve");
+  }
+}
+
+const EcCurve& EcCurve::secp160r1() {
+  static const EcCurve curve{
+      "secp160r1",
+      BigInt::from_hex("ffffffffffffffffffffffffffffffff7fffffff"),
+      BigInt::from_hex("ffffffffffffffffffffffffffffffff7ffffffc"),  // p - 3
+      BigInt::from_hex("1c97befc54bd7a8b65acf89f81d4d4adc565fa45"),
+      EcPoint::affine(
+          BigInt::from_hex("4a96b5688ef573284664698968c38bb913cbfc82"),
+          BigInt::from_hex("23a628553168947d59dcc912042351377ac5fb32")),
+      BigInt::from_hex("0100000000000000000001f4c8f927aed3ca752257")};
+  return curve;
+}
+
+const EcCurve& EcCurve::p256() {
+  static const EcCurve curve{
+      "P-256",
+      BigInt::from_hex("ffffffff00000001000000000000000000000000"
+                       "ffffffffffffffffffffffff"),
+      BigInt::from_hex("ffffffff00000001000000000000000000000000"
+                       "fffffffffffffffffffffffc"),  // p - 3
+      BigInt::from_hex("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0"
+                       "cc53b0f63bce3c3e27d2604b"),
+      EcPoint::affine(
+          BigInt::from_hex("6b17d1f2e12c4247f8bce6e563a440f277037d81"
+                           "2deb33a0f4a13945d898c296"),
+          BigInt::from_hex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce3357"
+                           "6b315ececbb6406837bf51f5")),
+      BigInt::from_hex("ffffffff00000000ffffffffffffffffbce6faad"
+                       "a7179e84f3b9cac2fc632551")};
+  return curve;
+}
+
+BigInt EcCurve::sub_mod(const BigInt& a, const BigInt& b) const {
+  const BigInt bm = b % p_;
+  const BigInt am = a % p_;
+  if (am >= bm) return am - bm;
+  return p_ - (bm - am);
+}
+
+bool EcCurve::on_curve(const EcPoint& pt) const {
+  if (pt.infinity) return true;
+  if (!(pt.x < p_) || !(pt.y < p_)) return false;
+  const BigInt lhs = (pt.y * pt.y) % p_;
+  const BigInt rhs = ((pt.x * pt.x % p_) * pt.x + a_ * pt.x + b_) % p_;
+  return lhs == rhs;
+}
+
+EcPoint EcCurve::double_point(const EcPoint& pt) const {
+  if (pt.infinity || pt.y.is_zero()) return EcPoint::at_infinity();
+  // lambda = (3x^2 + a) / 2y
+  const BigInt num = (BigInt{3} * pt.x % p_ * pt.x + a_) % p_;
+  const BigInt den = (BigInt{2} * pt.y) % p_;
+  const BigInt lambda = (num * BigInt::modinv(den, p_)) % p_;
+  const BigInt x3 = sub_mod(lambda * lambda, pt.x + pt.x);
+  const BigInt y3 = sub_mod(lambda * sub_mod(pt.x, x3), pt.y);
+  return EcPoint::affine(x3, y3);
+}
+
+EcPoint EcCurve::add(const EcPoint& lhs, const EcPoint& rhs) const {
+  if (lhs.infinity) return rhs;
+  if (rhs.infinity) return lhs;
+  if (lhs.x == rhs.x) {
+    if (lhs.y == rhs.y) return double_point(lhs);
+    return EcPoint::at_infinity();  // P + (-P)
+  }
+  // lambda = (y2 - y1) / (x2 - x1)
+  const BigInt num = sub_mod(rhs.y, lhs.y);
+  const BigInt den = sub_mod(rhs.x, lhs.x);
+  const BigInt lambda = (num * BigInt::modinv(den, p_)) % p_;
+  const BigInt x3 = sub_mod(lambda * lambda, lhs.x + rhs.x);
+  const BigInt y3 = sub_mod(lambda * sub_mod(lhs.x, x3), lhs.y);
+  return EcPoint::affine(x3, y3);
+}
+
+namespace {
+// Jacobian projective coordinates: (X, Y, Z) represents the affine point
+// (X/Z^2, Y/Z^3); Z = 0 is the point at infinity. Doubling and mixed
+// addition need no modular inversion, which dominates affine arithmetic --
+// one inversion remains at the end of a scalar multiplication.
+struct Jacobian {
+  BigInt x, y, z;  // z zero <=> infinity
+};
+}  // namespace
+
+EcPoint EcCurve::multiply(const BigInt& k, const EcPoint& pt) const {
+  if (pt.infinity || k.is_zero()) return EcPoint::at_infinity();
+
+  const BigInt& p = p_;
+  const auto sub = [&](const BigInt& a, const BigInt& b) {
+    return sub_mod(a, b);
+  };
+  const auto mul = [&](const BigInt& a, const BigInt& b) {
+    return (a * b) % p;
+  };
+
+  const auto jdouble = [&](const Jacobian& q) -> Jacobian {
+    if (q.z.is_zero() || q.y.is_zero()) return {BigInt{1}, BigInt{1}, BigInt{}};
+    const BigInt y2 = mul(q.y, q.y);
+    const BigInt s = mul(BigInt{4}, mul(q.x, y2));
+    const BigInt z2 = mul(q.z, q.z);
+    // M = 3X^2 + a*Z^4
+    const BigInt m =
+        (mul(BigInt{3}, mul(q.x, q.x)) + mul(a_, mul(z2, z2))) % p;
+    const BigInt x3 = sub(mul(m, m), mul(BigInt{2}, s));
+    const BigInt y3 =
+        sub(mul(m, sub(s, x3)), mul(BigInt{8}, mul(y2, y2)));
+    const BigInt z3 = mul(mul(BigInt{2}, q.y), q.z);
+    return {x3, y3, z3};
+  };
+
+  // Mixed addition: Jacobian q + affine (ax, ay).
+  const auto jadd_affine = [&](const Jacobian& q, const BigInt& ax,
+                               const BigInt& ay) -> Jacobian {
+    if (q.z.is_zero()) return {ax, ay, BigInt{1}};
+    const BigInt z2 = mul(q.z, q.z);
+    const BigInt u2 = mul(ax, z2);
+    const BigInt s2 = mul(ay, mul(z2, q.z));
+    const BigInt h = sub(u2, q.x);
+    const BigInt r = sub(s2, q.y);
+    if (h.is_zero()) {
+      if (r.is_zero()) return jdouble(q);      // same point
+      return {BigInt{1}, BigInt{1}, BigInt{}};  // P + (-P)
+    }
+    const BigInt h2 = mul(h, h);
+    const BigInt h3 = mul(h2, h);
+    const BigInt xh2 = mul(q.x, h2);
+    const BigInt x3 = sub(sub(mul(r, r), h3), mul(BigInt{2}, xh2));
+    const BigInt y3 = sub(mul(r, sub(xh2, x3)), mul(q.y, h3));
+    const BigInt z3 = mul(q.z, h);
+    return {x3, y3, z3};
+  };
+
+  Jacobian acc{BigInt{1}, BigInt{1}, BigInt{}};  // infinity
+  // Left-to-right double-and-add keeps the addend affine (mixed addition).
+  for (std::size_t i = k.bit_length(); i-- > 0;) {
+    acc = jdouble(acc);
+    if (k.bit(i)) acc = jadd_affine(acc, pt.x, pt.y);
+  }
+
+  if (acc.z.is_zero()) return EcPoint::at_infinity();
+  const BigInt zinv = BigInt::modinv(acc.z, p);
+  const BigInt zinv2 = mul(zinv, zinv);
+  return EcPoint::affine(mul(acc.x, zinv2), mul(acc.y, mul(zinv2, zinv)));
+}
+
+Bytes EcdsaPublicKey::encode() const {
+  const std::size_t w = curve->field_bytes();
+  Bytes out{0x04};
+  append(out, point.x.to_bytes_be(w));
+  append(out, point.y.to_bytes_be(w));
+  return out;
+}
+
+std::optional<EcdsaPublicKey> EcdsaPublicKey::decode(const EcCurve& curve,
+                                                     ByteView data) {
+  const std::size_t w = curve.field_bytes();
+  if (data.size() != 1 + 2 * w || data[0] != 0x04) return std::nullopt;
+  EcdsaPublicKey key;
+  key.curve = &curve;
+  key.point = EcPoint::affine(BigInt::from_bytes_be(data.subspan(1, w)),
+                              BigInt::from_bytes_be(data.subspan(1 + w, w)));
+  if (!curve.on_curve(key.point) || key.point.infinity) return std::nullopt;
+  return key;
+}
+
+Bytes EcdsaSignature::encode(std::size_t order_bytes) const {
+  Bytes out = r.to_bytes_be(order_bytes);
+  append(out, s.to_bytes_be(order_bytes));
+  return out;
+}
+
+std::optional<EcdsaSignature> EcdsaSignature::decode(ByteView data) {
+  if (data.empty() || data.size() % 2 != 0) return std::nullopt;
+  const std::size_t half = data.size() / 2;
+  return EcdsaSignature{BigInt::from_bytes_be(data.first(half)),
+                        BigInt::from_bytes_be(data.subspan(half))};
+}
+
+namespace {
+// Leftmost min(N, hash bits) of H(m) as an integer (same rule as DSA).
+BigInt hash_to_z(HashAlgo algo, ByteView message, const BigInt& n) {
+  const Digest h = hash(algo, message);
+  BigInt z = BigInt::from_bytes_be(h.view());
+  const std::size_t h_bits = h.size() * 8;
+  const std::size_t n_bits = n.bit_length();
+  if (h_bits > n_bits) z = z >> (h_bits - n_bits);
+  return z;
+}
+}  // namespace
+
+EcdsaPrivateKey ecdsa_generate(const EcCurve& curve, RandomSource& rng) {
+  const BigInt one{1};
+  const BigInt d = BigInt::random_below(rng, curve.order() - one) + one;
+  EcdsaPrivateKey key;
+  key.pub.curve = &curve;
+  key.pub.point = curve.multiply(d, curve.generator());
+  key.d = d;
+  return key;
+}
+
+EcdsaSignature ecdsa_sign(const EcdsaPrivateKey& key, HashAlgo algo,
+                          ByteView message, RandomSource& rng) {
+  const EcCurve& curve = *key.pub.curve;
+  const BigInt& n = curve.order();
+  const BigInt one{1};
+  const BigInt z = hash_to_z(algo, message, n);
+  for (;;) {
+    const BigInt k = BigInt::random_below(rng, n - one) + one;
+    const EcPoint kg = curve.multiply(k, curve.generator());
+    const BigInt r = kg.x % n;
+    if (r.is_zero()) continue;
+    const BigInt kinv = BigInt::modinv(k, n);
+    const BigInt s = (kinv * ((z + key.d * r) % n)) % n;
+    if (s.is_zero()) continue;
+    return {r, s};
+  }
+}
+
+bool ecdsa_verify(const EcdsaPublicKey& key, HashAlgo algo, ByteView message,
+                  const EcdsaSignature& sig) {
+  if (key.curve == nullptr || key.point.infinity) return false;
+  const EcCurve& curve = *key.curve;
+  const BigInt& n = curve.order();
+  if (sig.r.is_zero() || sig.s.is_zero()) return false;
+  if (!(sig.r < n) || !(sig.s < n)) return false;
+
+  BigInt w;
+  try {
+    w = BigInt::modinv(sig.s, n);
+  } catch (const std::domain_error&) {
+    return false;
+  }
+  const BigInt z = hash_to_z(algo, message, n);
+  const BigInt u1 = (z * w) % n;
+  const BigInt u2 = (sig.r * w) % n;
+  const EcPoint point = curve.add(curve.multiply(u1, curve.generator()),
+                                  curve.multiply(u2, key.point));
+  if (point.infinity) return false;
+  return (point.x % n) == sig.r;
+}
+
+}  // namespace alpha::crypto

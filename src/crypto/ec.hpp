@@ -1,0 +1,113 @@
+// Elliptic-curve cryptography (prime-field Weierstrass curves, ECDSA).
+//
+// §3.4/§4.1.3 of the paper single out ECC as the viable way to sign hash
+// chain anchors on sensor nodes ("ECC signatures present a viable solution
+// for securely exchanging the anchors of hash chains"), comparing against
+// Gura et al.'s 160-bit ECC measurements. This implements short-Weierstrass
+// curves y^2 = x^3 + ax + b over GF(p) with affine arithmetic on the bignum
+// layer: point add/double, double-and-add scalar multiplication, ECDSA
+// keygen/sign/verify. Two standard curves are provided: secp160r1 (the
+// Gura-era WSN curve) and P-256 (modern default).
+//
+// Like the RSA/DSA baselines this is correctness-first, not constant-time;
+// it exists for the protected bootstrap and the paper's cost comparisons.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crypto/bignum.hpp"
+#include "crypto/bytes.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/random.hpp"
+
+namespace alpha::crypto {
+
+/// Affine point; infinity is the additive identity.
+struct EcPoint {
+  BigInt x;
+  BigInt y;
+  bool infinity = true;
+
+  static EcPoint at_infinity() { return {}; }
+  static EcPoint affine(BigInt px, BigInt py) {
+    return {std::move(px), std::move(py), false};
+  }
+
+  friend bool operator==(const EcPoint& a, const EcPoint& b) {
+    if (a.infinity != b.infinity) return false;
+    if (a.infinity) return true;
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+class EcCurve {
+ public:
+  /// y^2 = x^3 + ax + b over GF(p); G generates a subgroup of prime order n.
+  EcCurve(std::string name, BigInt p, BigInt a, BigInt b, EcPoint g, BigInt n);
+
+  /// secp160r1 -- the 160-bit curve class of Gura et al. (§4.1.3).
+  static const EcCurve& secp160r1();
+  /// NIST P-256 -- the modern default.
+  static const EcCurve& p256();
+
+  const std::string& name() const noexcept { return name_; }
+  const BigInt& p() const noexcept { return p_; }
+  const BigInt& order() const noexcept { return n_; }
+  const EcPoint& generator() const noexcept { return g_; }
+
+  /// Group operations (affine; handles identity and inverses).
+  bool on_curve(const EcPoint& pt) const;
+  EcPoint add(const EcPoint& lhs, const EcPoint& rhs) const;
+  EcPoint double_point(const EcPoint& pt) const;
+  EcPoint multiply(const BigInt& k, const EcPoint& pt) const;
+
+  /// Field size in bytes (coordinate encoding width).
+  std::size_t field_bytes() const noexcept { return (p_.bit_length() + 7) / 8; }
+  /// Subgroup order size in bytes (scalar/signature component width).
+  std::size_t order_bytes() const noexcept { return (n_.bit_length() + 7) / 8; }
+
+ private:
+  BigInt mod(const BigInt& v) const { return v % p_; }
+  /// (a - b) mod p for possibly a < b.
+  BigInt sub_mod(const BigInt& a, const BigInt& b) const;
+
+  std::string name_;
+  BigInt p_, a_, b_;
+  EcPoint g_;
+  BigInt n_;
+};
+
+struct EcdsaPublicKey {
+  const EcCurve* curve = nullptr;
+  EcPoint point;
+
+  /// Uncompressed SEC1 encoding: 0x04 || X || Y.
+  Bytes encode() const;
+  static std::optional<EcdsaPublicKey> decode(const EcCurve& curve,
+                                              ByteView data);
+};
+
+struct EcdsaPrivateKey {
+  EcdsaPublicKey pub;
+  BigInt d;  // secret scalar, 0 < d < n
+};
+
+struct EcdsaSignature {
+  BigInt r;
+  BigInt s;
+
+  /// Fixed-width wire form: r || s, each order_bytes wide.
+  Bytes encode(std::size_t order_bytes) const;
+  static std::optional<EcdsaSignature> decode(ByteView data);
+};
+
+EcdsaPrivateKey ecdsa_generate(const EcCurve& curve, RandomSource& rng);
+
+EcdsaSignature ecdsa_sign(const EcdsaPrivateKey& key, HashAlgo algo,
+                          ByteView message, RandomSource& rng);
+
+bool ecdsa_verify(const EcdsaPublicKey& key, HashAlgo algo, ByteView message,
+                  const EcdsaSignature& sig);
+
+}  // namespace alpha::crypto

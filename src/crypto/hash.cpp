@@ -1,0 +1,59 @@
+#include "crypto/hash.hpp"
+
+#include <stdexcept>
+
+#include "crypto/mmo.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+
+namespace alpha::crypto {
+
+std::string_view to_string(HashAlgo algo) noexcept {
+  switch (algo) {
+    case HashAlgo::kSha1: return "SHA-1";
+    case HashAlgo::kSha256: return "SHA-256";
+    case HashAlgo::kMmo128: return "AES-MMO-128";
+  }
+  return "unknown";
+}
+
+std::size_t digest_size(HashAlgo algo) noexcept {
+  switch (algo) {
+    case HashAlgo::kSha1: return Sha1::kDigestSize;
+    case HashAlgo::kSha256: return Sha256::kDigestSize;
+    case HashAlgo::kMmo128: return MmoHash::kDigestSize;
+  }
+  return 0;
+}
+
+std::unique_ptr<Hasher> make_hasher(HashAlgo algo) {
+  switch (algo) {
+    case HashAlgo::kSha1: return std::make_unique<Sha1>();
+    case HashAlgo::kSha256: return std::make_unique<Sha256>();
+    case HashAlgo::kMmo128: return std::make_unique<MmoHash>();
+  }
+  throw std::invalid_argument("make_hasher: unknown algorithm");
+}
+
+Digest hash(HashAlgo algo, ByteView data) {
+  auto h = make_hasher(algo);
+  h->update(data);
+  return h->finalize();
+}
+
+Digest hash2(HashAlgo algo, ByteView a, ByteView b) {
+  auto h = make_hasher(algo);
+  h->update(a);
+  h->update(b);
+  return h->finalize();
+}
+
+Digest hash3(HashAlgo algo, ByteView a, ByteView b, ByteView c) {
+  auto h = make_hasher(algo);
+  h->update(a);
+  h->update(b);
+  h->update(c);
+  return h->finalize();
+}
+
+}  // namespace alpha::crypto

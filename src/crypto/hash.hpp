@@ -1,0 +1,60 @@
+// Hash-function abstraction.
+//
+// ALPHA is parameterized over a cryptographic hash H (paper §2.1: "e.g. SHA-1
+// or a block-cipher-based hash function"). The protocol engines, hash chains
+// and Merkle trees all work against this interface so the same code runs with
+// SHA-1 (the paper's WMN/mobile evaluation), AES-MMO (the WSN evaluation,
+// §4.1.3) and SHA-256 (modern profile).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "crypto/bytes.hpp"
+#include "crypto/digest.hpp"
+
+namespace alpha::crypto {
+
+enum class HashAlgo : std::uint8_t {
+  kSha1 = 1,    // 20-byte digests; paper's default (Tables 4-6, Figs. 5-6)
+  kSha256 = 2,  // 32-byte digests; modern drop-in
+  kMmo128 = 3,  // 16-byte AES-128 Matyas-Meyer-Oseas; WSN profile (§4.1.3)
+};
+
+std::string_view to_string(HashAlgo algo) noexcept;
+
+/// Digest size in bytes for `algo` (the paper's `h`).
+std::size_t digest_size(HashAlgo algo) noexcept;
+
+/// Incremental hash context. Create via make_hasher(); reusable after reset().
+class Hasher {
+ public:
+  virtual ~Hasher() = default;
+
+  Hasher(const Hasher&) = delete;
+  Hasher& operator=(const Hasher&) = delete;
+
+  virtual void reset() noexcept = 0;
+  virtual void update(ByteView data) noexcept = 0;
+  /// Finalizes and returns the digest; the context must be reset() before
+  /// further use. Increments the global HashOpCounter.
+  virtual Digest finalize() noexcept = 0;
+
+  virtual std::size_t digest_size() const noexcept = 0;
+  virtual HashAlgo algo() const noexcept = 0;
+
+ protected:
+  Hasher() = default;
+};
+
+std::unique_ptr<Hasher> make_hasher(HashAlgo algo);
+
+/// One-shot convenience: H(data).
+Digest hash(HashAlgo algo, ByteView data);
+
+/// One-shot convenience for concatenated input: H(a | b [| c]).
+Digest hash2(HashAlgo algo, ByteView a, ByteView b);
+Digest hash3(HashAlgo algo, ByteView a, ByteView b, ByteView c);
+
+}  // namespace alpha::crypto

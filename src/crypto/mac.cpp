@@ -1,0 +1,69 @@
+#include "crypto/mac.hpp"
+
+#include <stdexcept>
+
+#include "crypto/mmo.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+
+namespace alpha::crypto {
+
+namespace {
+std::size_t block_size(HashAlgo algo) {
+  switch (algo) {
+    case HashAlgo::kSha1: return Sha1::kBlockSize;
+    case HashAlgo::kSha256: return Sha256::kBlockSize;
+    case HashAlgo::kMmo128: return MmoHash::kBlockSize;
+  }
+  throw std::invalid_argument("block_size: unknown algorithm");
+}
+}  // namespace
+
+std::string_view to_string(MacKind kind) noexcept {
+  switch (kind) {
+    case MacKind::kHmac: return "HMAC";
+    case MacKind::kPrefix: return "PrefixMAC";
+  }
+  return "unknown";
+}
+
+Digest hmac(HashAlgo algo, ByteView key, ByteView data) {
+  const std::size_t bs = block_size(algo);
+
+  // Keys longer than the block size are hashed first.
+  Bytes k0;
+  if (key.size() > bs) {
+    k0 = hash(algo, key).bytes();
+  } else {
+    k0.assign(key.begin(), key.end());
+  }
+  k0.resize(bs, 0x00);
+
+  Bytes ipad(bs), opad(bs);
+  for (std::size_t i = 0; i < bs; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x5c);
+  }
+
+  const Digest inner = hash2(algo, ipad, data);
+  return hash2(algo, opad, inner.view());
+}
+
+Digest prefix_mac(HashAlgo algo, ByteView key, ByteView data) {
+  return hash2(algo, key, data);
+}
+
+Digest mac(MacKind kind, HashAlgo algo, ByteView key, ByteView data) {
+  switch (kind) {
+    case MacKind::kHmac: return hmac(algo, key, data);
+    case MacKind::kPrefix: return prefix_mac(algo, key, data);
+  }
+  throw std::invalid_argument("mac: unknown kind");
+}
+
+bool verify_mac(MacKind kind, HashAlgo algo, ByteView key, ByteView data,
+                const Digest& expected) {
+  return mac(kind, algo, key, data).ct_equals(expected);
+}
+
+}  // namespace alpha::crypto

@@ -1,0 +1,44 @@
+// Message authentication codes.
+//
+// ALPHA's S1 pre-signature is "a MAC keyed with the signer's next undisclosed
+// signature chain element M(h_{i-1}, m)" (paper §3.1). Two constructions are
+// provided:
+//
+//  * HMAC (RFC 2104)  - the standard; the paper cites [3] (Bellare et al.)
+//    and uses a SHA-1 HMAC in its WMN estimation.
+//  * Prefix MAC       - M(k, m) = H(k | m). Safe in ALPHA because the key is
+//    a one-time hash-chain element (no extension-attack surface across
+//    messages), and what the WSN profile computes on AES-MMO hardware.
+//
+// Protocol configuration selects the construction; both are available for
+// every HashAlgo.
+#pragma once
+
+#include "crypto/bytes.hpp"
+#include "crypto/digest.hpp"
+#include "crypto/hash.hpp"
+
+namespace alpha::crypto {
+
+enum class MacKind : std::uint8_t {
+  kHmac = 1,
+  kPrefix = 2,
+};
+
+std::string_view to_string(MacKind kind) noexcept;
+
+/// HMAC(key, data) per RFC 2104 with the block size of `algo`
+/// (64 bytes for SHA-1/SHA-256, 16 bytes for AES-MMO).
+Digest hmac(HashAlgo algo, ByteView key, ByteView data);
+
+/// Prefix MAC: H(key | data).
+Digest prefix_mac(HashAlgo algo, ByteView key, ByteView data);
+
+/// Dispatch on MacKind.
+Digest mac(MacKind kind, HashAlgo algo, ByteView key, ByteView data);
+
+/// Constant-time verification of a received MAC value.
+bool verify_mac(MacKind kind, HashAlgo algo, ByteView key, ByteView data,
+                const Digest& expected);
+
+}  // namespace alpha::crypto

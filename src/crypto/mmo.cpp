@@ -1,0 +1,78 @@
+#include "crypto/mmo.hpp"
+
+#include <cstring>
+
+#include "crypto/aes128.hpp"
+#include "crypto/counter.hpp"
+
+namespace alpha::crypto {
+
+void MmoHash::reset() noexcept {
+  state_.fill(0);
+  total_len_ = 0;
+  buffer_len_ = 0;
+}
+
+void MmoHash::process_block(const std::uint8_t* block) noexcept {
+  // E_{state}(block) XOR block. Key schedule per block: this is what the MMO
+  // mode on AES hardware does (the chaining value is loaded as the key).
+  const Aes128 cipher{ByteView{state_.data(), state_.size()}};
+  std::uint8_t enc[kBlockSize];
+  cipher.encrypt_block(block, enc);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    state_[i] = static_cast<std::uint8_t>(enc[i] ^ block[i]);
+  }
+}
+
+void MmoHash::update(ByteView data) noexcept {
+  HashOpCounter::record_update(data.size());
+  total_len_ += data.size();
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+
+  if (buffer_len_ > 0) {
+    const std::size_t take =
+        n < kBlockSize - buffer_len_ ? n : kBlockSize - buffer_len_;
+    std::memcpy(buffer_.data() + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    n -= take;
+    if (buffer_len_ == kBlockSize) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (n >= kBlockSize) {
+    process_block(p);
+    p += kBlockSize;
+    n -= kBlockSize;
+  }
+  if (n > 0) {
+    std::memcpy(buffer_.data(), p, n);
+    buffer_len_ = n;
+  }
+}
+
+Digest MmoHash::finalize() noexcept {
+  const std::uint64_t bit_len = total_len_ * 8;
+
+  // Merkle-Damgard strengthening with a 16-byte block: 0x80, zeros to
+  // 8 mod 16, then the 64-bit big-endian bit length.
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > kBlockSize - 8) {
+    std::memset(buffer_.data() + buffer_len_, 0, kBlockSize - buffer_len_);
+    process_block(buffer_.data());
+    buffer_len_ = 0;
+  }
+  std::memset(buffer_.data() + buffer_len_, 0, kBlockSize - 8 - buffer_len_);
+  for (int i = 0; i < 8; ++i) {
+    buffer_[kBlockSize - 8 + i] =
+        static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  process_block(buffer_.data());
+
+  HashOpCounter::record_finalize();
+  return Digest(ByteView{state_.data(), kDigestSize});
+}
+
+}  // namespace alpha::crypto

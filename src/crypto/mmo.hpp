@@ -1,0 +1,46 @@
+// Matyas-Meyer-Oseas (MMO) hash over AES-128.
+//
+// The paper's WSN profile (§4.1.3) computes hash-chain elements and MACs with
+// the MMO construction [Matyas/Meyer/Oseas 1985] on the CC2430's AES-128
+// hardware, yielding 16-byte digests. The compression function is
+//
+//     H_i = E_{H_{i-1}}(m_i) XOR m_i
+//
+// with a fixed all-zero IV as H_0 and the previous chaining value used
+// directly as the AES key (g = identity). Arbitrary-length inputs are
+// Merkle-Damgard padded (0x80, zeros, 64-bit big-endian bit length) so the
+// construction is a proper hash, not just a block compressor. This matches
+// the IEEE 802.15.4 / ZigBee AES-MMO usage the CC2430 accelerates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/hash.hpp"
+
+namespace alpha::crypto {
+
+class MmoHash final : public Hasher {
+ public:
+  static constexpr std::size_t kDigestSize = 16;
+  static constexpr std::size_t kBlockSize = 16;
+
+  MmoHash() noexcept { reset(); }
+
+  void reset() noexcept override;
+  void update(ByteView data) noexcept override;
+  Digest finalize() noexcept override;
+
+  std::size_t digest_size() const noexcept override { return kDigestSize; }
+  HashAlgo algo() const noexcept override { return HashAlgo::kMmo128; }
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint8_t, kDigestSize> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace alpha::crypto

@@ -1,0 +1,88 @@
+#include "crypto/random.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "crypto/counter.hpp"
+#include "crypto/mac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace alpha::crypto {
+
+Bytes RandomSource::bytes(std::size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+std::uint64_t RandomSource::uniform(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("uniform: bound must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  std::uint64_t v;
+  do {
+    std::uint8_t buf[8];
+    fill(buf);
+    v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | buf[i];
+  } while (v >= limit);
+  return v % bound;
+}
+
+HmacDrbg::HmacDrbg(ByteView seed)
+    : key_(Sha256::kDigestSize, 0x00), v_(Sha256::kDigestSize, 0x01) {
+  update(seed);
+}
+
+HmacDrbg::HmacDrbg(std::uint64_t seed) : HmacDrbg([&] {
+      Bytes s(8);
+      for (int i = 0; i < 8; ++i) {
+        s[i] = static_cast<std::uint8_t>(seed >> (56 - 8 * i));
+      }
+      return s;
+    }()) {}
+
+void HmacDrbg::update(ByteView material) {
+  const CounterPause pause;  // DRBG hashing is not protocol work
+  // K = HMAC(K, V || 0x00 || material); V = HMAC(K, V)
+  Bytes msg = concat({ByteView{v_}, ByteView{}, material});
+  msg.insert(msg.begin() + static_cast<std::ptrdiff_t>(v_.size()), 0x00);
+  key_ = hmac(HashAlgo::kSha256, key_, msg).bytes();
+  v_ = hmac(HashAlgo::kSha256, key_, v_).bytes();
+  if (!material.empty()) {
+    msg = concat({ByteView{v_}, ByteView{}, material});
+    msg.insert(msg.begin() + static_cast<std::ptrdiff_t>(v_.size()), 0x01);
+    key_ = hmac(HashAlgo::kSha256, key_, msg).bytes();
+    v_ = hmac(HashAlgo::kSha256, key_, v_).bytes();
+  }
+}
+
+void HmacDrbg::reseed(ByteView material) { update(material); }
+
+void HmacDrbg::fill(std::span<std::uint8_t> out) {
+  const CounterPause pause;  // DRBG hashing is not protocol work
+  std::size_t produced = 0;
+  while (produced < out.size()) {
+    v_ = hmac(HashAlgo::kSha256, key_, v_).bytes();
+    const std::size_t take =
+        std::min(v_.size(), out.size() - produced);
+    std::copy_n(v_.begin(), take, out.begin() + static_cast<std::ptrdiff_t>(produced));
+    produced += take;
+  }
+  update({});
+}
+
+void SystemRandom::fill(std::span<std::uint8_t> out) {
+  std::FILE* f = std::fopen("/dev/urandom", "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("SystemRandom: cannot open /dev/urandom");
+  }
+  const std::size_t got = std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (got != out.size()) {
+    throw std::runtime_error("SystemRandom: short read from /dev/urandom");
+  }
+}
+
+}  // namespace alpha::crypto

@@ -1,0 +1,67 @@
+// Random sources.
+//
+// Everything random in this code base flows through RandomSource so tests and
+// benchmarks can be fully deterministic. Two implementations:
+//
+//  * HmacDrbg      - deterministic HMAC-SHA-256 DRBG (NIST SP 800-90A shaped;
+//                    simplified: no personalization/prediction resistance).
+//                    Seeded explicitly; used for hash-chain seeds, pre-ack
+//                    secrets, workload generation, and key generation in
+//                    tests/benches.
+//  * SystemRandom  - /dev/urandom, for real deployments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "crypto/bytes.hpp"
+
+namespace alpha::crypto {
+
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  RandomSource(const RandomSource&) = delete;
+  RandomSource& operator=(const RandomSource&) = delete;
+
+  /// Fills `out` with random bytes.
+  virtual void fill(std::span<std::uint8_t> out) = 0;
+
+  /// Convenience: n fresh random bytes.
+  Bytes bytes(std::size_t n);
+
+  /// Uniform integer in [0, bound) via rejection sampling. bound > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+ protected:
+  RandomSource() = default;
+};
+
+/// Deterministic DRBG: HMAC-SHA-256 in the SP 800-90A update/generate shape.
+class HmacDrbg final : public RandomSource {
+ public:
+  explicit HmacDrbg(ByteView seed);
+  /// Convenience constructor from a 64-bit seed (tests/benches).
+  explicit HmacDrbg(std::uint64_t seed);
+
+  void fill(std::span<std::uint8_t> out) override;
+
+  /// Mixes additional entropy/material into the state.
+  void reseed(ByteView material);
+
+ private:
+  void update(ByteView material);
+
+  Bytes key_;  // K
+  Bytes v_;    // V
+};
+
+/// OS randomness (/dev/urandom). Throws std::runtime_error if unavailable.
+class SystemRandom final : public RandomSource {
+ public:
+  SystemRandom() = default;
+  void fill(std::span<std::uint8_t> out) override;
+};
+
+}  // namespace alpha::crypto

@@ -1,0 +1,104 @@
+#include "crypto/rsa.hpp"
+
+#include <stdexcept>
+
+namespace alpha::crypto {
+
+namespace {
+
+// DER DigestInfo prefixes for EMSA-PKCS1-v1_5.
+constexpr std::uint8_t kSha1Prefix[] = {0x30, 0x21, 0x30, 0x09, 0x06,
+                                        0x05, 0x2b, 0x0e, 0x03, 0x02,
+                                        0x1a, 0x05, 0x00, 0x04, 0x14};
+constexpr std::uint8_t kSha256Prefix[] = {
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+    0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20};
+
+ByteView digest_info_prefix(HashAlgo algo) {
+  switch (algo) {
+    case HashAlgo::kSha1: return {kSha1Prefix, sizeof(kSha1Prefix)};
+    case HashAlgo::kSha256: return {kSha256Prefix, sizeof(kSha256Prefix)};
+    default:
+      throw std::invalid_argument("RSA: unsupported DigestInfo algorithm");
+  }
+}
+
+// EMSA-PKCS1-v1_5: 0x00 0x01 0xff..0xff 0x00 DigestInfo || H(m)
+Bytes emsa_encode(HashAlgo algo, ByteView message, std::size_t em_len) {
+  const Digest h = hash(algo, message);
+  const ByteView prefix = digest_info_prefix(algo);
+  const std::size_t t_len = prefix.size() + h.size();
+  if (em_len < t_len + 11) {
+    throw std::invalid_argument("RSA: modulus too small for digest");
+  }
+  Bytes em(em_len, 0xff);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[em_len - t_len - 1] = 0x00;
+  std::copy(prefix.begin(), prefix.end(),
+            em.begin() + static_cast<std::ptrdiff_t>(em_len - t_len));
+  std::copy(h.view().begin(), h.view().end(),
+            em.begin() + static_cast<std::ptrdiff_t>(em_len - h.size()));
+  return em;
+}
+
+}  // namespace
+
+RsaPrivateKey rsa_generate(RandomSource& rng, std::size_t bits) {
+  if (bits < 512 || bits % 2 != 0) {
+    throw std::invalid_argument("rsa_generate: bits must be even and >= 512");
+  }
+  const BigInt e{65537};
+  const BigInt one{1};
+  for (;;) {
+    const BigInt p = generate_prime(rng, bits / 2);
+    const BigInt q = generate_prime(rng, bits / 2);
+    if (p == q) continue;
+    const BigInt n = p * q;
+    if (n.bit_length() != bits) continue;
+    const BigInt phi = (p - one) * (q - one);
+    if (!BigInt::gcd(e, phi).is_one()) continue;
+
+    RsaPrivateKey key;
+    key.pub = {n, e};
+    key.d = BigInt::modinv(e, phi);
+    // Normalize p > q so qinv = q^-1 mod p is well-defined for CRT.
+    key.p = p > q ? p : q;
+    key.q = p > q ? q : p;
+    key.dp = key.d % (key.p - one);
+    key.dq = key.d % (key.q - one);
+    key.qinv = BigInt::modinv(key.q, key.p);
+    return key;
+  }
+}
+
+Bytes rsa_sign(const RsaPrivateKey& key, HashAlgo algo, ByteView message) {
+  const std::size_t k = key.pub.modulus_bytes();
+  const BigInt m = BigInt::from_bytes_be(emsa_encode(algo, message, k));
+
+  // CRT: s = m^d mod n computed from the two half-size exponentiations.
+  const BigInt m1 = BigInt::modexp(m % key.p, key.dp, key.p);
+  const BigInt m2 = BigInt::modexp(m % key.q, key.dq, key.q);
+  const BigInt diff = m1 >= m2 ? m1 - m2 : key.p - ((m2 - m1) % key.p);
+  const BigInt h = (key.qinv * diff) % key.p;
+  const BigInt s = m2 + h * key.q;
+  return s.to_bytes_be(k);
+}
+
+bool rsa_verify(const RsaPublicKey& key, HashAlgo algo, ByteView message,
+                ByteView signature) {
+  const std::size_t k = key.modulus_bytes();
+  if (signature.size() != k) return false;
+  const BigInt s = BigInt::from_bytes_be(signature);
+  if (!(s < key.n)) return false;
+  const BigInt m = BigInt::modexp(s, key.e, key.n);
+  Bytes expected;
+  try {
+    expected = emsa_encode(algo, message, k);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  return ct_equal(m.to_bytes_be(k), expected);
+}
+
+}  // namespace alpha::crypto

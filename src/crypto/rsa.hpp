@@ -1,0 +1,46 @@
+// RSA signatures (PKCS#1 v1.5, RSASSA style).
+//
+// Baseline for Table 4 ("RSA 1024 sign/verify") and the signature option for
+// the protected bootstrap of §3.4 (signing hash-chain anchors). Keygen uses
+// e = 65537 with two equal-size primes; signing uses the CRT. Deterministic
+// when driven by an HmacDrbg, which the tests and benches rely on.
+#pragma once
+
+#include "crypto/bignum.hpp"
+#include "crypto/bytes.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/random.hpp"
+
+namespace alpha::crypto {
+
+struct RsaPublicKey {
+  BigInt n;  // modulus
+  BigInt e;  // public exponent
+
+  /// Modulus size in bytes (= signature size).
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+};
+
+struct RsaPrivateKey {
+  RsaPublicKey pub;
+  BigInt d;   // private exponent
+  BigInt p;   // prime factor
+  BigInt q;   // prime factor
+  BigInt dp;  // d mod (p-1)
+  BigInt dq;  // d mod (q-1)
+  BigInt qinv;  // q^-1 mod p
+};
+
+/// Generates an RSA key pair with a modulus of `bits` bits (e.g. 1024 to
+/// match the paper's baseline; >= 512, even).
+RsaPrivateKey rsa_generate(RandomSource& rng, std::size_t bits);
+
+/// Signs H(message) with EMSA-PKCS1-v1_5 (DigestInfo for `algo`; SHA-1 or
+/// SHA-256 only). Returns a modulus-size signature.
+Bytes rsa_sign(const RsaPrivateKey& key, HashAlgo algo, ByteView message);
+
+/// Verifies an EMSA-PKCS1-v1_5 signature.
+bool rsa_verify(const RsaPublicKey& key, HashAlgo algo, ByteView message,
+                ByteView signature);
+
+}  // namespace alpha::crypto

@@ -1,0 +1,40 @@
+// SHA-1 (FIPS 180-4).
+//
+// The paper's default hash: 20-byte digests used for hash-chain elements,
+// MACs and Merkle-tree nodes in the mobile and WMN evaluations (Tables 4-6).
+// SHA-1 is cryptographically broken for collision resistance today; it is
+// implemented here for fidelity to the 2008 evaluation. Production profiles
+// should select HashAlgo::kSha256.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/hash.hpp"
+
+namespace alpha::crypto {
+
+class Sha1 final : public Hasher {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha1() noexcept { reset(); }
+
+  void reset() noexcept override;
+  void update(ByteView data) noexcept override;
+  Digest finalize() noexcept override;
+
+  std::size_t digest_size() const noexcept override { return kDigestSize; }
+  HashAlgo algo() const noexcept override { return HashAlgo::kSha1; }
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 5> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::uint64_t total_len_ = 0;  // bytes consumed
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace alpha::crypto

@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4).
+//
+// Modern 32-byte-digest profile. Not used by the 2008 paper's numbers but
+// provided so deployments can swap the broken SHA-1 without touching protocol
+// code (everything is parameterized over HashAlgo).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/hash.hpp"
+
+namespace alpha::crypto {
+
+class Sha256 final : public Hasher {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept override;
+  void update(ByteView data) noexcept override;
+  Digest finalize() noexcept override;
+
+  std::size_t digest_size() const noexcept override { return kDigestSize; }
+  HashAlgo algo() const noexcept override { return HashAlgo::kSha256; }
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace alpha::crypto

@@ -1,0 +1,163 @@
+#include "hashchain/chain.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace alpha::hashchain {
+
+namespace {
+constexpr std::string_view kS1Tag = "S1";
+constexpr std::string_view kS2Tag = "S2";
+}  // namespace
+
+ByteView step_tag(ChainTagging tagging, std::size_t i) noexcept {
+  if (tagging == ChainTagging::kPlain) return {};
+  return crypto::as_bytes(i % 2 == 1 ? kS1Tag : kS2Tag);
+}
+
+Digest chain_step(HashAlgo algo, ChainTagging tagging, const Digest& prev,
+                  std::size_t i) {
+  return crypto::hash2(algo, step_tag(tagging, i), prev.view());
+}
+
+Digest chain_advance(HashAlgo algo, ChainTagging tagging, Digest from,
+                     std::size_t from_index, std::size_t to_index) {
+  if (to_index < from_index) {
+    throw std::invalid_argument("chain_advance: to_index < from_index");
+  }
+  for (std::size_t i = from_index + 1; i <= to_index; ++i) {
+    from = chain_step(algo, tagging, from, i);
+  }
+  return from;
+}
+
+HashChain::HashChain(HashAlgo algo, ChainTagging tagging, ByteView seed,
+                     std::size_t length, ChainStorage storage,
+                     std::size_t checkpoint_interval)
+    : algo_(algo), tagging_(tagging), storage_(storage), length_(length) {
+  if (length < 2) {
+    throw std::invalid_argument("HashChain: length must be >= 2");
+  }
+  if (tagging == ChainTagging::kRoleBound && length % 2 != 0) {
+    // Even length guarantees h_{n-1} (first disclosure) is S1-tagged.
+    throw std::invalid_argument(
+        "HashChain: role-bound chains require even length");
+  }
+  seed_ = Digest{seed};
+
+  switch (storage_) {
+    case ChainStorage::kFull: {
+      elements_.reserve(length_ + 1);
+      elements_.push_back(seed_);
+      for (std::size_t i = 1; i <= length_; ++i) {
+        elements_.push_back(chain_step(algo_, tagging_, elements_.back(), i));
+      }
+      break;
+    }
+    case ChainStorage::kSeedOnly:
+      break;
+    case ChainStorage::kCheckpoint: {
+      interval_ = checkpoint_interval != 0
+                      ? checkpoint_interval
+                      : static_cast<std::size_t>(
+                            std::lround(std::sqrt(static_cast<double>(length_))));
+      if (interval_ == 0) interval_ = 1;
+      // Checkpoint every interval_-th element starting at h_0.
+      Digest cur = seed_;
+      elements_.push_back(cur);
+      for (std::size_t i = 1; i <= length_; ++i) {
+        cur = chain_step(algo_, tagging_, cur, i);
+        if (i % interval_ == 0) elements_.push_back(cur);
+      }
+      break;
+    }
+  }
+}
+
+HashChain HashChain::generate(HashAlgo algo, ChainTagging tagging,
+                              crypto::RandomSource& rng, std::size_t length,
+                              ChainStorage storage) {
+  const crypto::Bytes seed = rng.bytes(crypto::digest_size(algo));
+  return HashChain{algo, tagging, seed, length, storage};
+}
+
+Digest HashChain::element(std::size_t i) const {
+  if (i > length_) throw std::out_of_range("HashChain::element: index > length");
+  switch (storage_) {
+    case ChainStorage::kFull:
+      return elements_[i];
+    case ChainStorage::kSeedOnly:
+      return chain_advance(algo_, tagging_, seed_, 0, i);
+    case ChainStorage::kCheckpoint: {
+      const std::size_t cp = i / interval_;
+      const std::size_t cp_index = cp * interval_;
+      return chain_advance(algo_, tagging_, elements_[cp], cp_index, i);
+    }
+  }
+  throw std::logic_error("HashChain::element: bad storage");
+}
+
+std::size_t HashChain::memory_bytes() const noexcept {
+  const std::size_t h = crypto::digest_size(algo_);
+  if (storage_ == ChainStorage::kSeedOnly) return h;
+  return elements_.size() * h;
+}
+
+Digest ChainWalker::peek(std::size_t offset) const {
+  if (offset > next_ || next_ == 0) {
+    throw std::out_of_range("ChainWalker::peek: chain exhausted");
+  }
+  return chain_->element(next_ - offset);
+}
+
+Digest ChainWalker::take(std::size_t steps) {
+  if (steps == 0) throw std::invalid_argument("ChainWalker::take: steps == 0");
+  if (next_ == 0 || steps > next_) {
+    throw std::out_of_range("ChainWalker::take: chain exhausted");
+  }
+  const Digest out = chain_->element(next_);
+  next_ -= steps;
+  return out;
+}
+
+bool ChainVerifier::accept_or_derive(const Digest& element,
+                                     std::size_t index) {
+  if (index == last_index_) return element.ct_equals(last_);
+  if (index > last_index_) {
+    if (index - last_index_ > max_gap_) return false;
+    const Digest derived =
+        chain_advance(algo_, tagging_, last_, last_index_, index);
+    return derived.ct_equals(element);
+  }
+  return accept(element, index);
+}
+
+bool ChainVerifier::accept(const Digest& element, std::size_t index) {
+  if (index >= last_index_) return false;
+  if (last_index_ - index > max_gap_) return false;
+  const Digest advanced =
+      chain_advance(algo_, tagging_, element, index, last_index_);
+  if (!advanced.ct_equals(last_)) return false;
+  last_ = element;
+  last_index_ = index;
+  return true;
+}
+
+std::optional<std::size_t> ChainVerifier::accept_auto(const Digest& element) {
+  // Tags depend on absolute indices, so candidates at different gaps cannot
+  // share intermediate hashes; O(max_gap^2) fixed-size hashes worst case,
+  // which is tiny for the default gap of 64.
+  for (std::size_t gap = 1; gap <= max_gap_ && gap <= last_index_; ++gap) {
+    const std::size_t index = last_index_ - gap;
+    const Digest advanced =
+        chain_advance(algo_, tagging_, element, index, last_index_);
+    if (advanced.ct_equals(last_)) {
+      last_ = element;
+      last_index_ = index;
+      return index;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace alpha::hashchain

@@ -1,0 +1,86 @@
+#include "merkle/amt.hpp"
+
+#include <stdexcept>
+
+namespace alpha::merkle {
+
+namespace {
+std::vector<Digest> build_leaves(HashAlgo algo, std::size_t n,
+                                 const std::vector<Bytes>& secrets) {
+  std::vector<Digest> leaves;
+  leaves.reserve(2 * n);
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    const std::uint16_t index = static_cast<std::uint16_t>(i % n);
+    const std::uint8_t enc[2] = {static_cast<std::uint8_t>(index >> 8),
+                                 static_cast<std::uint8_t>(index)};
+    leaves.push_back(
+        crypto::hash2(algo, ByteView{enc, 2}, secrets[i]));
+  }
+  return leaves;
+}
+}  // namespace
+
+Digest AckMerkleTree::make_leaf(HashAlgo algo, std::uint16_t index,
+                                ByteView secret) {
+  const std::uint8_t enc[2] = {static_cast<std::uint8_t>(index >> 8),
+                               static_cast<std::uint8_t>(index)};
+  return crypto::hash2(algo, ByteView{enc, 2}, secret);
+}
+
+AckMerkleTree::AckMerkleTree(HashAlgo algo, std::size_t message_count,
+                             crypto::RandomSource& rng,
+                             std::size_t secret_size)
+    : algo_(algo),
+      n_(message_count),
+      secret_size_(secret_size),
+      secrets_([&] {
+        if (message_count == 0 || message_count > 0xffff) {
+          throw std::invalid_argument(
+              "AckMerkleTree: message_count must be in [1, 65535]");
+        }
+        std::vector<Bytes> s;
+        s.reserve(2 * message_count);
+        for (std::size_t i = 0; i < 2 * message_count; ++i) {
+          s.push_back(rng.bytes(secret_size));
+        }
+        return s;
+      }()),
+      tree_(algo, build_leaves(algo, n_, secrets_)) {}
+
+AckMerkleTree::Proof AckMerkleTree::prove(std::size_t msg_index,
+                                          bool ack) const {
+  if (msg_index >= n_) {
+    throw std::out_of_range("AckMerkleTree::prove: index out of range");
+  }
+  const std::size_t leaf = ack ? msg_index : n_ + msg_index;
+  Proof proof;
+  proof.is_ack = ack;
+  proof.msg_index = static_cast<std::uint16_t>(msg_index);
+  proof.secret = secrets_[leaf];
+  proof.path = tree_.auth_path(leaf);
+  return proof;
+}
+
+bool AckMerkleTree::verify(HashAlgo algo, ByteView key, const Proof& proof,
+                           const Digest& expected_keyed_root,
+                           std::size_t message_count) {
+  if (message_count == 0 || proof.msg_index >= message_count) return false;
+  // The leaf position encoded in the path must match the claimed branch:
+  // left half (< n) for acks, right half for nacks. Without this check a
+  // nack secret could be replayed as an ack.
+  const std::size_t expected_leaf = proof.is_ack
+                                        ? proof.msg_index
+                                        : message_count + proof.msg_index;
+  if (proof.path.leaf_index != expected_leaf) return false;
+  const Digest leaf = make_leaf(algo, proof.msg_index, proof.secret);
+  return MerkleTree::verify_keyed(algo, key, leaf, proof.path,
+                                  expected_keyed_root);
+}
+
+std::size_t AckMerkleTree::memory_bytes() const noexcept {
+  const std::size_t h = crypto::digest_size(algo_);
+  // 2n secrets + (2*width - 1) nodes + root.
+  return 2 * n_ * secret_size_ + (2 * tree_.width() - 1) * h;
+}
+
+}  // namespace alpha::merkle

@@ -1,0 +1,147 @@
+#include "merkle/merkle.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace alpha::merkle {
+
+std::size_t AuthPath::wire_size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& d : siblings) total += d.size();
+  return total;
+}
+
+MerkleTree::MerkleTree(HashAlgo algo, const std::vector<Bytes>& messages)
+    : algo_(algo) {
+  if (messages.empty()) {
+    throw std::invalid_argument("MerkleTree: no messages");
+  }
+  std::vector<Digest> leaves;
+  leaves.reserve(messages.size());
+  for (const auto& m : messages) {
+    leaves.push_back(crypto::hash(algo_, m));
+  }
+  build(std::move(leaves));
+}
+
+MerkleTree::MerkleTree(HashAlgo algo, std::vector<Digest> leaf_digests)
+    : algo_(algo) {
+  if (leaf_digests.empty()) {
+    throw std::invalid_argument("MerkleTree: no leaves");
+  }
+  build(std::move(leaf_digests));
+}
+
+void MerkleTree::build(std::vector<Digest> leaf_digests) {
+  leaf_count_ = leaf_digests.size();
+  width_ = std::bit_ceil(leaf_count_);
+  depth_ = static_cast<std::size_t>(std::countr_zero(width_));
+
+  // Pad to the full width with zero digests of the algorithm's size.
+  const Digest zero{crypto::Bytes(crypto::digest_size(algo_), 0x00)};
+  leaf_digests.resize(width_, zero);
+
+  levels_.clear();
+  levels_.push_back(std::move(leaf_digests));
+  while (levels_.back().size() > 2) {
+    const auto& below = levels_.back();
+    std::vector<Digest> above;
+    above.reserve(below.size() / 2);
+    for (std::size_t i = 0; i < below.size(); i += 2) {
+      above.push_back(
+          crypto::hash2(algo_, below[i].view(), below[i + 1].view()));
+    }
+    levels_.push_back(std::move(above));
+  }
+
+  const auto& top = levels_.back();
+  root_ = top.size() == 1
+              ? top[0]
+              : crypto::hash2(algo_, top[0].view(), top[1].view());
+}
+
+Digest MerkleTree::keyed_root(ByteView key) const {
+  const auto& top = levels_.back();
+  if (top.size() == 1) {
+    return crypto::hash2(algo_, key, top[0].view());
+  }
+  return crypto::hash3(algo_, key, top[0].view(), top[1].view());
+}
+
+Digest MerkleTree::leaf(std::size_t index) const {
+  if (index >= leaf_count_) {
+    throw std::out_of_range("MerkleTree::leaf: index out of range");
+  }
+  return levels_[0][index];
+}
+
+AuthPath MerkleTree::auth_path(std::size_t index) const {
+  if (index >= leaf_count_) {
+    throw std::out_of_range("MerkleTree::auth_path: index out of range");
+  }
+  AuthPath path;
+  path.leaf_index = index;
+  path.siblings.reserve(depth_);
+  std::size_t pos = index;
+  for (const auto& level : levels_) {
+    if (level.size() < 2) break;
+    path.siblings.push_back(level[pos ^ 1]);
+    pos >>= 1;
+  }
+  return path;
+}
+
+Digest MerkleTree::root_from_path(HashAlgo algo, const Digest& leaf_digest,
+                                  const AuthPath& path) {
+  Digest cur = leaf_digest;
+  std::size_t pos = path.leaf_index;
+  for (const auto& sibling : path.siblings) {
+    cur = (pos & 1) ? crypto::hash2(algo, sibling.view(), cur.view())
+                    : crypto::hash2(algo, cur.view(), sibling.view());
+    pos >>= 1;
+  }
+  return cur;
+}
+
+bool MerkleTree::verify(HashAlgo algo, const Digest& leaf_digest,
+                        const AuthPath& path, const Digest& expected_root) {
+  return root_from_path(algo, leaf_digest, path).ct_equals(expected_root);
+}
+
+bool MerkleTree::verify_keyed(HashAlgo algo, ByteView key,
+                              const Digest& leaf_digest, const AuthPath& path,
+                              const Digest& expected_keyed_root) {
+  if (path.siblings.empty()) {
+    // Single-leaf tree: r = H(key | leaf).
+    return crypto::hash2(algo, key, leaf_digest.view())
+        .ct_equals(expected_keyed_root);
+  }
+  // Recompute up to the two children of the root, then the keyed combine.
+  Digest cur = leaf_digest;
+  std::size_t pos = path.leaf_index;
+  for (std::size_t i = 0; i + 1 < path.siblings.size(); ++i) {
+    const auto& sibling = path.siblings[i];
+    cur = (pos & 1) ? crypto::hash2(algo, sibling.view(), cur.view())
+                    : crypto::hash2(algo, cur.view(), sibling.view());
+    pos >>= 1;
+  }
+  const Digest& sibling = path.siblings.back();
+  const Digest computed =
+      (pos & 1) ? crypto::hash3(algo, key, sibling.view(), cur.view())
+                : crypto::hash3(algo, key, cur.view(), sibling.view());
+  return computed.ct_equals(expected_keyed_root);
+}
+
+std::size_t verify_hash_cost(std::size_t leaves) noexcept {
+  if (leaves <= 1) return 1;
+  return static_cast<std::size_t>(std::countr_zero(std::bit_ceil(leaves))) + 1;
+}
+
+std::size_t build_hash_cost(std::size_t leaves) noexcept {
+  if (leaves == 0) return 0;
+  const std::size_t width = std::bit_ceil(leaves);
+  // n message hashes + (width - 1) combines, counting the keyed root.
+  return leaves + width - 1;
+}
+
+}  // namespace alpha::merkle

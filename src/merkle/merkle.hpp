@@ -1,0 +1,103 @@
+// Merkle trees for ALPHA-M pre-signatures.
+//
+// ALPHA-M (paper §3.3.2, Fig. 4) pre-signs a batch of n messages with a
+// single Merkle-tree root: leaf b_j = H(m_j), inner nodes H(left | right),
+// and a *keyed* root r = H(k | b_0 | b_1) that binds the tree to the signer's
+// next undisclosed hash-chain element k. Each S2 packet carries one message
+// m_j plus the complementary branch set {Bc} (the sibling of every node on
+// the path from b_j to the root), making every S2 independently verifiable
+// in ceil(log2(n)) + 1 hash operations.
+//
+// Trees are built over any n >= 1 leaves; n is padded up to the next power
+// of two with zero digests (documented deviation: the paper always uses
+// power-of-two batches, padding makes the API total without changing the
+// power-of-two case).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+#include "crypto/digest.hpp"
+#include "crypto/hash.hpp"
+
+namespace alpha::merkle {
+
+using crypto::ByteView;
+using crypto::Bytes;
+using crypto::Digest;
+using crypto::HashAlgo;
+
+/// Authentication path for one leaf: the sibling digests from the leaf level
+/// up to (and excluding) the root, i.e. the paper's {Bc}.
+struct AuthPath {
+  std::size_t leaf_index = 0;
+  std::vector<Digest> siblings;  // siblings.front() is the leaf's sibling
+
+  /// Serialized size in bytes (the |{Bc}|*h term of Eq. 1).
+  std::size_t wire_size() const noexcept;
+};
+
+class MerkleTree {
+ public:
+  /// Builds a tree whose leaves are H(m_j) for each pre-image in `messages`.
+  /// Throws std::invalid_argument when `messages` is empty.
+  MerkleTree(HashAlgo algo, const std::vector<Bytes>& messages);
+
+  /// Builds directly from leaf digests (used by the AMT and tests).
+  MerkleTree(HashAlgo algo, std::vector<Digest> leaf_digests);
+
+  std::size_t leaf_count() const noexcept { return leaf_count_; }
+  /// Padded width (next power of two >= leaf_count).
+  std::size_t width() const noexcept { return width_; }
+  /// Tree depth: log2(width); 0 for a single leaf.
+  std::size_t depth() const noexcept { return depth_; }
+
+  /// Unkeyed root H(b_0 | b_1) (equals the single leaf when width == 1).
+  const Digest& root() const noexcept { return root_; }
+
+  /// ALPHA-M pre-signature root r = H(key | b_0 | b_1); for width == 1,
+  /// r = H(key | leaf).
+  Digest keyed_root(ByteView key) const;
+
+  Digest leaf(std::size_t index) const;
+
+  /// Complementary branches {Bc} for leaf `index` (< leaf_count).
+  AuthPath auth_path(std::size_t index) const;
+
+  /// Recomputes the root from a leaf digest and its path.
+  static Digest root_from_path(HashAlgo algo, const Digest& leaf_digest,
+                               const AuthPath& path);
+
+  /// Verifies a leaf digest against an unkeyed root.
+  static bool verify(HashAlgo algo, const Digest& leaf_digest,
+                     const AuthPath& path, const Digest& expected_root);
+
+  /// Verifies a leaf digest against a keyed root (the ALPHA-M S2 check):
+  /// recomputes up to the two root children, then H(key | b_0 | b_1).
+  static bool verify_keyed(HashAlgo algo, ByteView key,
+                           const Digest& leaf_digest, const AuthPath& path,
+                           const Digest& expected_keyed_root);
+
+ private:
+  void build(std::vector<Digest> leaf_digests);
+
+  HashAlgo algo_;
+  std::size_t leaf_count_ = 0;
+  std::size_t width_ = 0;
+  std::size_t depth_ = 0;
+  // levels_[0] = leaves (padded), levels_.back() = the two root children
+  // (or the single leaf when width_ == 1).
+  std::vector<std::vector<Digest>> levels_;
+  Digest root_;
+};
+
+/// Number of hash evaluations to verify one S2: path recomputation plus the
+/// keyed root (Table 1's "1 + log2(n)" verifier column).
+std::size_t verify_hash_cost(std::size_t leaves) noexcept;
+
+/// Number of hash evaluations to build a tree over n message hashes:
+/// n leaf hashes + (width - 1) inner/root combines (Table 1 signer column).
+std::size_t build_hash_cost(std::size_t leaves) noexcept;
+
+}  // namespace alpha::merkle

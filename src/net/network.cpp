@@ -1,0 +1,160 @@
+#include "net/network.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace alpha::net {
+
+void Network::add_node(NodeId id, ReceiveFn handler) {
+  if (nodes_.contains(id)) {
+    throw std::invalid_argument("Network::add_node: duplicate node");
+  }
+  nodes_[id] = NodeEntry{std::move(handler)};
+}
+
+void Network::set_handler(NodeId id, ReceiveFn handler) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    throw std::invalid_argument("Network::set_handler: unknown node");
+  }
+  it->second.handler = std::move(handler);
+}
+
+void Network::add_link(NodeId a, NodeId b, LinkConfig config) {
+  if (!nodes_.contains(a) || !nodes_.contains(b)) {
+    throw std::invalid_argument("Network::add_link: unknown endpoint");
+  }
+  if (a == b) throw std::invalid_argument("Network::add_link: self link");
+  links_[{a, b}] = DirectedLink{config, {}, 0};
+  links_[{b, a}] = DirectedLink{config, {}, 0};
+}
+
+Network::DirectedLink* Network::find_link(NodeId from, NodeId to) {
+  const auto it = links_.find({from, to});
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+const Network::DirectedLink* Network::find_link(NodeId from,
+                                                NodeId to) const {
+  const auto it = links_.find({from, to});
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+bool Network::send(NodeId from, NodeId to, Bytes frame) {
+  const auto trace = [&](FrameFate fate, SimTime delivery_at) {
+    if (tracer_) {
+      tracer_(TraceRecord{sim_->now(), delivery_at, from, to, frame.size(),
+                          fate});
+    }
+  };
+
+  DirectedLink* link = find_link(from, to);
+  if (link == nullptr) {
+    trace(FrameFate::kNoLink, 0);
+    return false;
+  }
+  ++link->stats.frames_sent;
+
+  if (frame.size() > link->config.mtu) {
+    ++link->stats.frames_oversize;
+    trace(FrameFate::kOversize, 0);
+    return false;
+  }
+
+  // Bernoulli loss.
+  if (link->config.loss_rate > 0.0) {
+    const double draw =
+        static_cast<double>(rng_.uniform(1u << 24)) / static_cast<double>(1u << 24);
+    if (draw < link->config.loss_rate) {
+      ++link->stats.frames_lost;
+      trace(FrameFate::kLost, 0);
+      return true;  // sent but lost in flight
+    }
+  }
+
+  // Serialization: the link transmits one frame at a time.
+  const SimTime now = sim_->now();
+  const std::uint64_t bps =
+      link->config.bandwidth_bps == 0 ? 1 : link->config.bandwidth_bps;
+  const SimTime tx_time =
+      static_cast<SimTime>(frame.size() * 8ull * kSecond / bps);
+  const SimTime start = std::max(now, link->busy_until);
+  link->busy_until = start + tx_time;
+
+  SimTime delay = link->busy_until - now + link->config.latency;
+  if (link->config.jitter > 0) {
+    delay += rng_.uniform(link->config.jitter + 1);
+  }
+
+  link->stats.bytes_delivered += frame.size();
+  ++link->stats.frames_delivered;
+  trace(FrameFate::kDelivered, sim_->now() + delay);
+
+  sim_->schedule_in(delay, [this, from, to, data = std::move(frame)] {
+    const auto it = nodes_.find(to);
+    if (it != nodes_.end() && it->second.handler) {
+      it->second.handler(from, data);
+    }
+  });
+  return true;
+}
+
+std::vector<NodeId> Network::route(NodeId src, NodeId dst) const {
+  if (!nodes_.contains(src) || !nodes_.contains(dst)) return {};
+  if (src == dst) return {src};
+
+  std::map<NodeId, NodeId> parent;
+  std::deque<NodeId> frontier{src};
+  parent[src] = src;
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (const auto& [key, link] : links_) {
+      if (key.first != cur) continue;
+      const NodeId next = key.second;
+      if (parent.contains(next)) continue;
+      parent[next] = cur;
+      if (next == dst) {
+        std::vector<NodeId> path{dst};
+        NodeId walk = dst;
+        while (walk != src) {
+          walk = parent[walk];
+          path.push_back(walk);
+        }
+        return {path.rbegin(), path.rend()};
+      }
+      frontier.push_back(next);
+    }
+  }
+  return {};
+}
+
+std::vector<NodeId> Network::neighbors(NodeId id) const {
+  std::vector<NodeId> out;
+  for (const auto& [key, link] : links_) {
+    if (key.first == id) out.push_back(key.second);
+  }
+  return out;
+}
+
+const LinkStats& Network::link_stats(NodeId from, NodeId to) const {
+  const DirectedLink* link = find_link(from, to);
+  if (link == nullptr) {
+    throw std::invalid_argument("Network::link_stats: no such link");
+  }
+  return link->stats;
+}
+
+LinkStats Network::total_stats() const {
+  LinkStats total;
+  for (const auto& [key, link] : links_) {
+    total.frames_sent += link.stats.frames_sent;
+    total.frames_delivered += link.stats.frames_delivered;
+    total.frames_lost += link.stats.frames_lost;
+    total.frames_oversize += link.stats.frames_oversize;
+    total.bytes_delivered += link.stats.bytes_delivered;
+  }
+  return total;
+}
+
+}  // namespace alpha::net

@@ -1,0 +1,128 @@
+// Multi-hop network model: nodes, links, routing, statistics.
+//
+// Models what the protocol can observe of a wireless multi-hop path:
+// per-link propagation latency, random jitter, Bernoulli loss, serialization
+// delay from finite bandwidth (with a busy-until queue per direction), and an
+// MTU that drops oversized frames. Routing is static shortest-path (BFS),
+// matching the paper's requirement that the relay set stays stable for the
+// lifetime of a hash chain (§3.1.1).
+//
+// Nodes attach a receive handler; the ALPHA engines bind to that. Everything
+// is deterministic given the seed of the RandomSource driving jitter/loss.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+#include "crypto/random.hpp"
+#include "net/sim.hpp"
+
+namespace alpha::net {
+
+using crypto::Bytes;
+using crypto::ByteView;
+
+using NodeId = std::uint32_t;
+
+struct LinkConfig {
+  SimTime latency = 5 * kMillisecond;  // one-way propagation
+  SimTime jitter = 0;                  // uniform extra delay in [0, jitter]
+  double loss_rate = 0.0;              // Bernoulli frame loss
+  std::uint64_t bandwidth_bps = 54'000'000;  // 802.11g default
+  std::size_t mtu = 1280;              // minimum IPv6 MTU (paper Fig. 5)
+};
+
+struct LinkStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_lost = 0;
+  std::uint64_t frames_oversize = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+/// Handler invoked on frame arrival: (from, frame bytes).
+using ReceiveFn = std::function<void(NodeId, ByteView)>;
+
+class Network {
+ public:
+  Network(Simulator& sim, std::uint64_t seed = 1)
+      : sim_(&sim), rng_(seed) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a node. Handlers may be set later via set_handler.
+  void add_node(NodeId id, ReceiveFn handler = nullptr);
+  void set_handler(NodeId id, ReceiveFn handler);
+  bool has_node(NodeId id) const noexcept { return nodes_.contains(id); }
+
+  /// Adds a bidirectional link; both directions share the config but have
+  /// independent queues and stats.
+  void add_link(NodeId a, NodeId b, LinkConfig config = {});
+
+  /// Sends one frame from `from` to adjacent `to`. Returns false if there
+  /// is no such link or the frame exceeds the MTU (dropped, counted).
+  bool send(NodeId from, NodeId to, Bytes frame);
+
+  /// Shortest path (BFS, hop count) from src to dst, inclusive.
+  /// Empty if unreachable.
+  std::vector<NodeId> route(NodeId src, NodeId dst) const;
+
+  /// Neighbors of a node.
+  std::vector<NodeId> neighbors(NodeId id) const;
+
+  const LinkStats& link_stats(NodeId from, NodeId to) const;
+  LinkStats total_stats() const;
+
+  /// One record per frame handed to send(): what happened to it and when it
+  /// will arrive (delivery_at == 0 for drops).
+  enum class FrameFate : std::uint8_t {
+    kDelivered = 1,
+    kLost = 2,      // random loss
+    kOversize = 3,  // exceeded the MTU
+    kNoLink = 4,
+  };
+  struct TraceRecord {
+    SimTime sent_at;
+    SimTime delivery_at;
+    NodeId from;
+    NodeId to;
+    std::size_t size;
+    FrameFate fate;
+  };
+  using TraceFn = std::function<void(const TraceRecord&)>;
+
+  /// Installs a frame tracer (nullptr disables). Called synchronously from
+  /// send(); keep it cheap.
+  void set_tracer(TraceFn tracer) { tracer_ = std::move(tracer); }
+
+  Simulator& sim() noexcept { return *sim_; }
+
+ private:
+  struct DirectedLink {
+    LinkConfig config;
+    LinkStats stats;
+    SimTime busy_until = 0;  // serialization queue tail
+  };
+
+  struct NodeEntry {
+    ReceiveFn handler;
+  };
+
+  DirectedLink* find_link(NodeId from, NodeId to);
+  const DirectedLink* find_link(NodeId from, NodeId to) const;
+
+  Simulator* sim_;
+  crypto::HmacDrbg rng_;
+  std::map<NodeId, NodeEntry> nodes_;
+  std::map<std::pair<NodeId, NodeId>, DirectedLink> links_;
+  TraceFn tracer_;
+};
+
+}  // namespace alpha::net

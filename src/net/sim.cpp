@@ -1,0 +1,38 @@
+#include "net/sim.hpp"
+
+#include <stdexcept>
+
+namespace alpha::net {
+
+void Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+  if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && fired < max_events) {
+    // Copy out before pop: the handler may schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++fired;
+  }
+  now_ = deadline;
+  return fired;
+}
+
+}  // namespace alpha::net

@@ -1,0 +1,89 @@
+#include "net/udp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace alpha::net {
+
+namespace {
+[[noreturn]] void fail(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+}  // namespace
+
+UdpEndpoint::UdpEndpoint(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) fail("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fail("bind");
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd_);
+    fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+UdpEndpoint::~UdpEndpoint() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UdpEndpoint::UdpEndpoint(UdpEndpoint&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+UdpEndpoint& UdpEndpoint::operator=(UdpEndpoint&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+void UdpEndpoint::send_to(std::uint16_t dest_port, crypto::ByteView data) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(dest_port);
+  const ssize_t sent =
+      ::sendto(fd_, data.data(), data.size(), 0,
+               reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (sent < 0 || static_cast<std::size_t>(sent) != data.size()) {
+    fail("sendto");
+  }
+}
+
+std::optional<UdpEndpoint::Datagram> UdpEndpoint::receive(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) fail("poll");
+  if (ready == 0) return std::nullopt;
+
+  crypto::Bytes buf(65536);
+  sockaddr_in from{};
+  socklen_t from_len = sizeof(from);
+  const ssize_t got =
+      ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                 reinterpret_cast<sockaddr*>(&from), &from_len);
+  if (got < 0) fail("recvfrom");
+  buf.resize(static_cast<std::size_t>(got));
+  return Datagram{ntohs(from.sin_port), std::move(buf)};
+}
+
+}  // namespace alpha::net

@@ -1,0 +1,46 @@
+// Real-socket transport (IPv4 UDP).
+//
+// The protocol engines are transport-agnostic: they consume and produce byte
+// frames. This endpoint runs them over genuine POSIX datagram sockets so the
+// examples and integration tests exercise ALPHA end-to-end on the loopback
+// interface, not only inside the simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/bytes.hpp"
+
+namespace alpha::net {
+
+class UdpEndpoint {
+ public:
+  /// Binds to 127.0.0.1:port; port 0 selects an ephemeral port.
+  /// Throws std::runtime_error on socket errors.
+  explicit UdpEndpoint(std::uint16_t port = 0);
+  ~UdpEndpoint();
+
+  UdpEndpoint(const UdpEndpoint&) = delete;
+  UdpEndpoint& operator=(const UdpEndpoint&) = delete;
+  UdpEndpoint(UdpEndpoint&& other) noexcept;
+  UdpEndpoint& operator=(UdpEndpoint&& other) noexcept;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Sends one datagram to 127.0.0.1:dest_port.
+  void send_to(std::uint16_t dest_port, crypto::ByteView data);
+
+  struct Datagram {
+    std::uint16_t from_port;
+    crypto::Bytes data;
+  };
+
+  /// Waits up to timeout_ms for a datagram; nullopt on timeout.
+  std::optional<Datagram> receive(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace alpha::net

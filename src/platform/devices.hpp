@@ -1,0 +1,59 @@
+// Device cost models calibrated from the paper's measurements.
+//
+// The paper's hardware (Nokia 770, Xeon, La Fonera AR2315, Netgear BCM5365,
+// AMD Geode LX800 mesh router, AquisGrain CC2430 sensor node) is not
+// available; instead, each device is modelled by the primitive costs the
+// paper itself measured (Table 4: SHA-1 + RSA/DSA on Nokia/Xeon; Table 5:
+// SHA-1 for 20 B and 1024 B digests on the routers; §4.1.3: AES-MMO for
+// 16 B and 84 B inputs on the CC2430). Hash cost is interpolated linearly
+// between the two measured points -- exactly the derivation the paper's own
+// §4.1.2/§4.1.3 estimates perform.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace alpha::platform {
+
+/// Affine hash-cost model from two measured (input size, time) points.
+struct HashCostModel {
+  double base_us = 0.0;
+  double per_byte_us = 0.0;
+
+  static HashCostModel from_points(std::size_t size1, double us1,
+                                   std::size_t size2, double us2);
+
+  double cost_us(std::size_t input_bytes) const {
+    return base_us + per_byte_us * static_cast<double>(input_bytes);
+  }
+};
+
+struct DeviceSpec {
+  std::string name;
+  HashCostModel hash;      // the device's hash function
+  std::size_t hash_size;   // digest bytes (paper's h): 20 SHA-1, 16 MMO
+  // Public-key costs (Table 4 devices only; 0 = not measured).
+  double rsa_sign_ms = 0.0;
+  double rsa_verify_ms = 0.0;
+  double dsa_sign_ms = 0.0;
+  double dsa_verify_ms = 0.0;
+};
+
+namespace devices {
+
+/// Nokia 770 Internet Tablet, 220 MHz ARM-926 (Table 4).
+DeviceSpec nokia770();
+/// Intel Xeon 3.2 GHz server (Table 4).
+DeviceSpec xeon();
+/// "La Fonera", 180 MHz Atheros AR2315 MIPS (Table 5).
+DeviceSpec ar2315();
+/// Netgear WGT634U, 200 MHz Broadcom 5365 MIPS (Table 5).
+DeviceSpec bcm5365();
+/// Custom mesh router, 500 MHz AMD Geode LX800 (Table 5).
+DeviceSpec geode_lx();
+/// AquisGrain 2.0 sensor node, 16 MHz CC2430 with AES hardware (§4.1.3).
+DeviceSpec cc2430();
+
+}  // namespace devices
+
+}  // namespace alpha::platform

@@ -1,0 +1,161 @@
+#include "platform/estimators.hpp"
+
+#include <bit>
+
+namespace alpha::platform {
+
+std::size_t ceil_log2(std::size_t n) {
+  if (n <= 1) return 0;
+  return static_cast<std::size_t>(std::countr_zero(std::bit_ceil(n)));
+}
+
+std::optional<std::size_t> alpha_m_payload_per_packet(std::size_t n,
+                                                      std::size_t packet_size,
+                                                      std::size_t hash_size) {
+  const std::size_t sig_bytes = hash_size * (ceil_log2(n) + 1);
+  if (sig_bytes >= packet_size) return std::nullopt;
+  return packet_size - sig_bytes;
+}
+
+std::optional<std::size_t> eq1_signed_bytes(std::size_t n,
+                                            std::size_t packet_size,
+                                            std::size_t hash_size) {
+  const auto payload = alpha_m_payload_per_packet(n, packet_size, hash_size);
+  if (!payload.has_value()) return std::nullopt;
+  return n * *payload;
+}
+
+std::optional<double> overhead_ratio(std::size_t n, std::size_t packet_size,
+                                     std::size_t hash_size) {
+  const auto payload = alpha_m_payload_per_packet(n, packet_size, hash_size);
+  if (!payload.has_value() || *payload == 0) return std::nullopt;
+  return static_cast<double>(packet_size) / static_cast<double>(*payload);
+}
+
+Table1Row table1_row(AlphaMode mode, Role role, std::size_t n) {
+  const double nn = static_cast<double>(n);
+  const double lg = static_cast<double>(ceil_log2(n));
+  switch (mode) {
+    case AlphaMode::kBase:
+      // n is 1 by definition in base mode.
+      switch (role) {
+        case Role::kSigner: return {1, 2, 1, 1};
+        case Role::kVerifier: return {1, 2, 1, 2};
+        case Role::kRelay: return {1, 0, 1, 1};
+      }
+      break;
+    case AlphaMode::kCumulative:
+      switch (role) {
+        case Role::kSigner: return {1, 2 / nn, 1 / nn, 1};
+        case Role::kVerifier: return {1, 2 / nn, 1 / nn, 2};
+        case Role::kRelay: return {1, 0, 1 / nn, 1};
+      }
+      break;
+    case AlphaMode::kMerkle:
+      switch (role) {
+        case Role::kSigner:
+          return {1 + 2 - 1 / nn, 2 / nn, 1 / nn, 2 + lg};
+        case Role::kVerifier:
+          return {1 + lg, 2 / nn, 1 / nn, 4 - 1 / nn};
+        case Role::kRelay:
+          return {1 + lg, 0, 1 / nn, 2 + lg};
+      }
+      break;
+  }
+  return {};
+}
+
+MemoryRow table2_memory(AlphaMode mode, std::size_t n, std::size_t m,
+                        std::size_t h) {
+  if (mode == AlphaMode::kMerkle) {
+    return {n * m + (2 * n - 1) * h, h, h};
+  }
+  return {n * (m + h), n * h, n * h};
+}
+
+MemoryRow table3_ack_memory(AlphaMode mode, std::size_t n, std::size_t s,
+                            std::size_t h) {
+  if (mode == AlphaMode::kMerkle) {
+    return {h, n * s + (4 * n - 1) * h, h};
+  }
+  return {2 * n * h, 2 * n * h, 2 * n * h};
+}
+
+AlphaCEstimate estimate_alpha_c(const DeviceSpec& dev, std::size_t packet_size,
+                                std::size_t presigs_per_s1) {
+  // Per S2 on a relay: one MAC over the packet plus the S1's chain-element
+  // verification amortized over the batch (the paper: "the computation of
+  // the SHA-1 MAC is responsible for 99% of the total computational cost").
+  const double mac_us = dev.hash.cost_us(packet_size);
+  const double s1_share_us =
+      dev.hash.cost_us(dev.hash_size) / static_cast<double>(presigs_per_s1);
+  AlphaCEstimate est;
+  est.per_packet_us = mac_us + s1_share_us;
+  est.throughput_mbps =
+      static_cast<double>(packet_size) * 8.0 / est.per_packet_us;
+  return est;
+}
+
+AlphaMEstimate estimate_alpha_m(const DeviceSpec& dev, std::size_t leaves,
+                                std::size_t packet_size) {
+  AlphaMEstimate est;
+  est.leaves = leaves;
+  const std::size_t d = ceil_log2(leaves);
+  est.payload_bytes =
+      alpha_m_payload_per_packet(leaves, packet_size, dev.hash_size)
+          .value_or(0);
+  // Per S2: hash the packet-sized payload once, then d fixed-size node
+  // combines up the tree (the paper prices combines at the small-input
+  // hash cost of Table 5).
+  est.processing_us = dev.hash.cost_us(packet_size) +
+                      static_cast<double>(d) * dev.hash.cost_us(dev.hash_size);
+  const double s1_share_us =
+      dev.hash.cost_us(dev.hash_size) / static_cast<double>(leaves);
+  est.throughput_mbps = static_cast<double>(est.payload_bytes) * 8.0 /
+                        (est.processing_us + s1_share_us);
+  est.data_per_s1_mbit = static_cast<double>(leaves) *
+                         static_cast<double>(est.payload_bytes) * 8.0 / 1e6;
+  return est;
+}
+
+WsnEstimate estimate_wsn_alpha_c(const DeviceSpec& dev,
+                                 std::size_t packet_payload,
+                                 std::size_t presigs_per_s1,
+                                 bool with_preacks) {
+  const std::size_t h = dev.hash_size;
+  const double n = static_cast<double>(presigs_per_s1);
+
+  // Relay cost per S2: MAC over the message (payload minus the disclosed
+  // chain element, the paper's 84 B point for 100 B packets) plus the S1
+  // chain verification amortized over the batch.
+  const double mac_us = dev.hash.cost_us(packet_payload - h);
+  double per_packet_us = mac_us + dev.hash.cost_us(h) / n;
+
+  // Signature overhead inside the packet payload: chain element + MAC +
+  // the packet's share of the S1 pre-signature.
+  double overhead = static_cast<double>(2 * h) + static_cast<double>(h) / n;
+
+  if (with_preacks) {
+    // Extra relay work per message: verify the A1 ack element (amortized)
+    // and recompute one pre-(n)ack commitment -- priced as one fixed-size
+    // hash operation, matching the paper's derivation granularity.
+    per_packet_us += dev.hash.cost_us(h) / n;
+    per_packet_us += dev.hash.cost_us(h);
+    // And extra bytes: the pre-ack pair travels in the A1 (2h per message
+    // across the round), the A2 discloses h + secret.
+    overhead += static_cast<double>(2 * h) / n;
+  }
+
+  WsnEstimate est;
+  est.per_packet_ms = per_packet_us / 1000.0;
+  est.packets_per_s = 1e6 / per_packet_us;
+  est.payload_per_packet =
+      packet_payload > static_cast<std::size_t>(overhead)
+          ? packet_payload - static_cast<std::size_t>(overhead)
+          : 0;
+  est.goodput_kbps = est.packets_per_s *
+                     static_cast<double>(est.payload_per_packet) * 8.0 / 1000.0;
+  return est;
+}
+
+}  // namespace alpha::platform

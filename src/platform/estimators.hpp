@@ -1,0 +1,122 @@
+// Analytical estimators reproducing the paper's evaluation arithmetic.
+//
+// §4.1.2 (WMN: ALPHA-C upper bounds and Table 6 for ALPHA-M) and §4.1.3
+// (WSN: ALPHA-C on the CC2430) derive protocol-level throughput from
+// measured primitive costs. These functions perform the same derivations on
+// a DeviceSpec, plus the closed forms behind Figures 5/6 (Eq. 1) and
+// Tables 1-3.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "platform/devices.hpp"
+
+namespace alpha::platform {
+
+// ---------------------------------------------------------------------------
+// Eq. 1 / Figures 5 and 6
+// ---------------------------------------------------------------------------
+
+/// ceil(log2(n)) for n >= 1.
+std::size_t ceil_log2(std::size_t n);
+
+/// Payload bytes one S2 packet carries in ALPHA-M: spacket - sh*(d+1) where
+/// d = ceil(log2 n) (Eq. 1's per-packet term). nullopt when the signature
+/// data no longer fits the packet.
+std::optional<std::size_t> alpha_m_payload_per_packet(std::size_t n,
+                                                      std::size_t packet_size,
+                                                      std::size_t hash_size);
+
+/// Eq. 1: total payload bytes covered by one S1 pre-signature with n S2
+/// packets of `packet_size` and `hash_size`-byte hashes (Figure 5 series).
+std::optional<std::size_t> eq1_signed_bytes(std::size_t n,
+                                            std::size_t packet_size,
+                                            std::size_t hash_size);
+
+/// Figure 6: transferred bytes per signed payload byte (the overhead ratio,
+/// = packet_size / per-packet payload). nullopt when infeasible.
+std::optional<double> overhead_ratio(std::size_t n, std::size_t packet_size,
+                                     std::size_t hash_size);
+
+// ---------------------------------------------------------------------------
+// Table 1: hash computations per message (analytical counts)
+// ---------------------------------------------------------------------------
+
+enum class AlphaMode { kBase, kCumulative, kMerkle };
+enum class Role { kSigner, kVerifier, kRelay };
+
+struct Table1Row {
+  double signature;     // MAC / MT work ('*' entries are whole-message MACs)
+  double chain_create;  // off-line capable ('+' entries)
+  double chain_verify;
+  double ack_nack;
+};
+
+/// The paper's Table 1 entry for (mode, role) with n messages per S1.
+Table1Row table1_row(AlphaMode mode, Role role, std::size_t n);
+
+// ---------------------------------------------------------------------------
+// Tables 2 / 3: memory (bytes) for n parallel messages
+// ---------------------------------------------------------------------------
+
+struct MemoryRow {
+  std::size_t signer;
+  std::size_t verifier;
+  std::size_t relay;
+};
+
+/// Table 2: buffering for n messages of size m with hash size h.
+MemoryRow table2_memory(AlphaMode mode, std::size_t n, std::size_t m,
+                        std::size_t h);
+
+/// Table 3: additional memory for n parallel acknowledgments
+/// (secret size s, hash size h).
+MemoryRow table3_ack_memory(AlphaMode mode, std::size_t n, std::size_t s,
+                            std::size_t h);
+
+// ---------------------------------------------------------------------------
+// §4.1.2: WMN estimates (ALPHA-C upper bound, Table 6 for ALPHA-M)
+// ---------------------------------------------------------------------------
+
+struct AlphaCEstimate {
+  double per_packet_us;    // relay cost to verify one S2
+  double throughput_mbps;  // verifiable payload upper bound
+};
+
+/// ALPHA-C: each S2 costs one MAC over the packet plus the amortized
+/// verification of the S1's chain element (1/presigs of a small hash).
+AlphaCEstimate estimate_alpha_c(const DeviceSpec& dev, std::size_t packet_size,
+                                std::size_t presigs_per_s1);
+
+struct AlphaMEstimate {
+  std::size_t leaves;
+  double processing_us;     // per-S2: payload hash + log2(n) node combines
+  std::size_t payload_bytes;
+  double throughput_mbps;   // payload_bits / (processing + S1 share)
+  double data_per_s1_mbit;  // n * payload (Table 6 last column)
+};
+
+/// Table 6 rows: ALPHA-M per-packet cost and throughput for a leaf count.
+AlphaMEstimate estimate_alpha_m(const DeviceSpec& dev, std::size_t leaves,
+                                std::size_t packet_size);
+
+// ---------------------------------------------------------------------------
+// §4.1.3: WSN estimate (ALPHA-C on the CC2430)
+// ---------------------------------------------------------------------------
+
+struct WsnEstimate {
+  double per_packet_ms;    // relay verification cost per S2
+  double packets_per_s;
+  double goodput_kbps;     // verified signed payload
+  std::size_t payload_per_packet;  // after signature overhead
+};
+
+/// The paper's example: 100 B packet payload, 16 B MMO hashes, 5 pre-signed
+/// messages per S1; optionally with pre-acks (reliable mode).
+WsnEstimate estimate_wsn_alpha_c(const DeviceSpec& dev,
+                                 std::size_t packet_payload,
+                                 std::size_t presigs_per_s1,
+                                 bool with_preacks);
+
+}  // namespace alpha::platform

@@ -1,0 +1,138 @@
+// Bounds-checked big-endian wire codec.
+//
+// All ALPHA packets are encoded with these primitives. The Writer appends to
+// a growing buffer; the Reader throws DecodeError on any out-of-bounds or
+// malformed read, which packet-level decode() functions translate into a
+// std::nullopt so malformed network input can never crash a node.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "crypto/bytes.hpp"
+#include "crypto/digest.hpp"
+
+namespace alpha::wire {
+
+using crypto::ByteView;
+using crypto::Bytes;
+using crypto::Digest;
+
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 3; i >= 0; --i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 7; i >= 0; --i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  /// Raw bytes, no length prefix.
+  void raw(ByteView data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+
+  /// Length-prefixed (u16) byte string.
+  void blob16(ByteView data) {
+    if (data.size() > 0xffff) throw std::length_error("Writer: blob too long");
+    u16(static_cast<std::uint16_t>(data.size()));
+    raw(data);
+  }
+
+  /// Length-prefixed (u8) digest.
+  void digest(const Digest& d) {
+    u8(static_cast<std::uint8_t>(d.size()));
+    raw(d.view());
+  }
+
+  const Bytes& bytes() const noexcept { return buf_; }
+  Bytes take() noexcept { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(ByteView data) noexcept : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    const std::uint16_t v =
+        static_cast<std::uint16_t>((std::uint16_t{data_[pos_]} << 8) |
+                                   data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 8;
+    return v;
+  }
+
+  ByteView raw(std::size_t n) {
+    need(n);
+    const ByteView out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  Bytes blob16() {
+    const std::size_t n = u16();
+    const ByteView v = raw(n);
+    return Bytes(v.begin(), v.end());
+  }
+
+  Digest digest() {
+    const std::size_t n = u8();
+    if (n > Digest::kMaxSize) throw DecodeError("digest too long");
+    return Digest{raw(n)};
+  }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+
+  /// Declares the message fully parsed; trailing bytes are an error.
+  void expect_end() const {
+    if (!at_end()) throw DecodeError("trailing bytes");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) throw DecodeError("short read");
+  }
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace alpha::wire

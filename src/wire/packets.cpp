@@ -1,0 +1,319 @@
+#include "wire/packets.hpp"
+
+#include "wire/codec.hpp"
+
+namespace alpha::wire {
+
+namespace {
+
+void put_header(Writer& w, PacketType type, const Header& hdr) {
+  w.u8(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(hdr.assoc_id);
+  w.u32(hdr.seq);
+}
+
+Header read_header(Reader& r, PacketType expected) {
+  if (r.u8() != kWireVersion) throw DecodeError("bad version");
+  if (r.u8() != static_cast<std::uint8_t>(expected)) {
+    throw DecodeError("type mismatch");
+  }
+  Header hdr;
+  hdr.assoc_id = r.u32();
+  hdr.seq = r.u32();
+  return hdr;
+}
+
+void put_path(Writer& w, const WirePath& path) {
+  w.u16(path.leaf_index);
+  if (path.siblings.size() > 0xff) throw std::length_error("path too deep");
+  w.u8(static_cast<std::uint8_t>(path.siblings.size()));
+  for (const auto& d : path.siblings) w.digest(d);
+}
+
+WirePath read_path(Reader& r) {
+  WirePath path;
+  path.leaf_index = r.u16();
+  const std::size_t depth = r.u8();
+  path.siblings.reserve(depth);
+  for (std::size_t i = 0; i < depth; ++i) path.siblings.push_back(r.digest());
+  return path;
+}
+
+Mode read_mode(Reader& r) {
+  const std::uint8_t m = r.u8();
+  if (m < 1 || m > 4) throw DecodeError("bad mode");
+  return static_cast<Mode>(m);
+}
+
+AckScheme read_scheme(Reader& r) {
+  const std::uint8_t s = r.u8();
+  if (s > 2) throw DecodeError("bad ack scheme");
+  return static_cast<AckScheme>(s);
+}
+
+}  // namespace
+
+merkle::AuthPath WirePath::to_auth_path() const {
+  merkle::AuthPath path;
+  path.leaf_index = leaf_index;
+  path.siblings = siblings;
+  return path;
+}
+
+WirePath WirePath::from_auth_path(const merkle::AuthPath& path) {
+  WirePath wp;
+  wp.leaf_index = static_cast<std::uint16_t>(path.leaf_index);
+  wp.siblings = path.siblings;
+  return wp;
+}
+
+Bytes S1Packet::encode() const {
+  Writer w;
+  put_header(w, PacketType::kS1, hdr);
+  w.u8(static_cast<std::uint8_t>(mode));
+  w.u32(chain_index);
+  w.digest(chain_element);
+  if (mode == Mode::kMerkle) {
+    w.digest(merkle_root);
+    w.u16(leaf_count);
+  } else if (mode == Mode::kCumulativeMerkle) {
+    if (merkle_roots.empty() || merkle_roots.size() > 0xffff) {
+      throw std::length_error("bad root list");
+    }
+    w.u16(static_cast<std::uint16_t>(merkle_roots.size()));
+    for (const auto& root : merkle_roots) w.digest(root);
+    w.u16(group_size);
+    w.u16(leaf_count);
+  } else {
+    if (macs.size() > 0xffff) throw std::length_error("too many MACs");
+    w.u16(static_cast<std::uint16_t>(macs.size()));
+    for (const auto& m : macs) w.digest(m);
+  }
+  return w.take();
+}
+
+Bytes A1Packet::encode() const {
+  Writer w;
+  put_header(w, PacketType::kA1, hdr);
+  w.u32(ack_chain_index);
+  w.digest(ack_element);
+  w.u8(static_cast<std::uint8_t>(scheme));
+  switch (scheme) {
+    case AckScheme::kNone:
+      break;
+    case AckScheme::kPreAck: {
+      if (pre_acks.size() != pre_nacks.size() || pre_acks.empty() ||
+          pre_acks.size() > 0xffff) {
+        throw std::length_error("A1: bad pre-(n)ack lists");
+      }
+      w.u16(static_cast<std::uint16_t>(pre_acks.size()));
+      for (const auto& d : pre_acks) w.digest(d);
+      for (const auto& d : pre_nacks) w.digest(d);
+      break;
+    }
+    case AckScheme::kAmt:
+      w.digest(amt_root);
+      w.u16(amt_msg_count);
+      break;
+  }
+  return w.take();
+}
+
+Bytes S2Packet::encode() const {
+  Writer w;
+  put_header(w, PacketType::kS2, hdr);
+  w.u8(static_cast<std::uint8_t>(mode));
+  w.u32(chain_index);
+  w.digest(disclosed_element);
+  w.u16(msg_index);
+  w.u8(path.has_value() ? 1 : 0);
+  if (path.has_value()) put_path(w, *path);
+  w.blob16(payload);
+  return w.take();
+}
+
+Bytes A2Packet::encode() const {
+  Writer w;
+  put_header(w, PacketType::kA2, hdr);
+  w.u32(ack_chain_index);
+  w.digest(disclosed_ack_element);
+  w.u8(static_cast<std::uint8_t>(scheme));
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u16(msg_index);
+  w.blob16(secret);
+  w.u8(path.has_value() ? 1 : 0);
+  if (path.has_value()) put_path(w, *path);
+  return w.take();
+}
+
+Bytes HandshakePacket::signed_payload() const {
+  Writer w;
+  w.u8(is_response ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(algo));
+  w.u32(hdr.assoc_id);
+  w.u32(hdr.seq);  // monotonic handshake counter: anti-replay for rekeying
+  w.u32(chain_length);
+  w.u32(sig_anchor_index);
+  w.u32(ack_anchor_index);
+  w.digest(sig_anchor);
+  w.digest(ack_anchor);
+  w.u8(static_cast<std::uint8_t>(sig_alg));
+  w.blob16(public_key);
+  return w.take();
+}
+
+Bytes HandshakePacket::encode() const {
+  Writer w;
+  put_header(w, is_response ? PacketType::kHs2 : PacketType::kHs1, hdr);
+  w.u8(static_cast<std::uint8_t>(algo));
+  w.u32(chain_length);
+  w.u32(sig_anchor_index);
+  w.u32(ack_anchor_index);
+  w.digest(sig_anchor);
+  w.digest(ack_anchor);
+  w.u8(static_cast<std::uint8_t>(sig_alg));
+  w.blob16(public_key);
+  w.blob16(signature);
+  return w.take();
+}
+
+std::optional<PacketType> peek_type(ByteView data) noexcept {
+  if (data.size() < 2 || data[0] != kWireVersion) return std::nullopt;
+  const std::uint8_t t = data[1];
+  if (t < 1 || t > 6) return std::nullopt;
+  return static_cast<PacketType>(t);
+}
+
+std::optional<Header> peek_header(ByteView data) noexcept {
+  if (!peek_type(data).has_value() || data.size() < 10) return std::nullopt;
+  Header hdr;
+  hdr.assoc_id = (std::uint32_t{data[2]} << 24) | (std::uint32_t{data[3]} << 16) |
+                 (std::uint32_t{data[4]} << 8) | data[5];
+  hdr.seq = (std::uint32_t{data[6]} << 24) | (std::uint32_t{data[7]} << 16) |
+            (std::uint32_t{data[8]} << 8) | data[9];
+  return hdr;
+}
+
+std::optional<Packet> decode(ByteView data) {
+  const auto type = peek_type(data);
+  if (!type.has_value()) return std::nullopt;
+  try {
+    Reader r{data};
+    switch (*type) {
+      case PacketType::kS1: {
+        S1Packet p;
+        p.hdr = read_header(r, PacketType::kS1);
+        p.mode = read_mode(r);
+        p.chain_index = r.u32();
+        p.chain_element = r.digest();
+        if (p.mode == Mode::kMerkle) {
+          p.merkle_root = r.digest();
+          p.leaf_count = r.u16();
+          if (p.leaf_count == 0) throw DecodeError("empty merkle batch");
+        } else if (p.mode == Mode::kCumulativeMerkle) {
+          const std::size_t roots = r.u16();
+          if (roots == 0) throw DecodeError("empty root list");
+          p.merkle_roots.reserve(roots);
+          for (std::size_t i = 0; i < roots; ++i) {
+            p.merkle_roots.push_back(r.digest());
+          }
+          p.group_size = r.u16();
+          p.leaf_count = r.u16();
+          // Consistency: leaf_count messages must need exactly `roots`
+          // groups of group_size.
+          if (p.group_size == 0 || p.leaf_count == 0 ||
+              (static_cast<std::size_t>(p.leaf_count) + p.group_size - 1) /
+                      p.group_size !=
+                  roots) {
+            throw DecodeError("inconsistent group structure");
+          }
+        } else {
+          const std::size_t n = r.u16();
+          if (n == 0) throw DecodeError("empty mac list");
+          p.macs.reserve(n);
+          for (std::size_t i = 0; i < n; ++i) p.macs.push_back(r.digest());
+        }
+        r.expect_end();
+        return p;
+      }
+      case PacketType::kA1: {
+        A1Packet p;
+        p.hdr = read_header(r, PacketType::kA1);
+        p.ack_chain_index = r.u32();
+        p.ack_element = r.digest();
+        p.scheme = read_scheme(r);
+        if (p.scheme == AckScheme::kPreAck) {
+          const std::size_t n = r.u16();
+          if (n == 0) throw DecodeError("empty pre-ack list");
+          p.pre_acks.reserve(n);
+          p.pre_nacks.reserve(n);
+          for (std::size_t i = 0; i < n; ++i) p.pre_acks.push_back(r.digest());
+          for (std::size_t i = 0; i < n; ++i) p.pre_nacks.push_back(r.digest());
+        } else if (p.scheme == AckScheme::kAmt) {
+          p.amt_root = r.digest();
+          p.amt_msg_count = r.u16();
+          if (p.amt_msg_count == 0) throw DecodeError("empty amt");
+        }
+        r.expect_end();
+        return p;
+      }
+      case PacketType::kS2: {
+        S2Packet p;
+        p.hdr = read_header(r, PacketType::kS2);
+        p.mode = read_mode(r);
+        p.chain_index = r.u32();
+        p.disclosed_element = r.digest();
+        p.msg_index = r.u16();
+        if (r.u8() != 0) p.path = read_path(r);
+        p.payload = r.blob16();
+        r.expect_end();
+        return p;
+      }
+      case PacketType::kA2: {
+        A2Packet p;
+        p.hdr = read_header(r, PacketType::kA2);
+        p.ack_chain_index = r.u32();
+        p.disclosed_ack_element = r.digest();
+        p.scheme = read_scheme(r);
+        if (p.scheme == AckScheme::kNone) throw DecodeError("A2 needs scheme");
+        const std::uint8_t kind = r.u8();
+        if (kind < 1 || kind > 2) throw DecodeError("bad ack kind");
+        p.kind = static_cast<AckKind>(kind);
+        p.msg_index = r.u16();
+        p.secret = r.blob16();
+        if (r.u8() != 0) p.path = read_path(r);
+        r.expect_end();
+        return p;
+      }
+      case PacketType::kHs1:
+      case PacketType::kHs2: {
+        HandshakePacket p;
+        p.hdr = read_header(r, *type);
+        p.is_response = (*type == PacketType::kHs2);
+        const std::uint8_t algo = r.u8();
+        if (algo < 1 || algo > 3) throw DecodeError("bad hash algo");
+        p.algo = static_cast<crypto::HashAlgo>(algo);
+        p.chain_length = r.u32();
+        p.sig_anchor_index = r.u32();
+        p.ack_anchor_index = r.u32();
+        p.sig_anchor = r.digest();
+        p.ack_anchor = r.digest();
+        const std::uint8_t sig_alg = r.u8();
+        if (sig_alg > 4) throw DecodeError("bad sig alg");
+        p.sig_alg = static_cast<SigAlg>(sig_alg);
+        p.public_key = r.blob16();
+        p.signature = r.blob16();
+        r.expect_end();
+        return p;
+      }
+    }
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  } catch (const std::length_error&) {
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace alpha::wire

@@ -1,0 +1,62 @@
+#include "baselines/hopwise.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alpha::baselines {
+namespace {
+
+using crypto::HmacDrbg;
+
+TEST(HopwiseTest, HonestPathDelivers) {
+  HmacDrbg rng{1};
+  const HopwisePath path{crypto::HashAlgo::kSha1, crypto::MacKind::kHmac, 4,
+                         rng};
+  const auto result = path.transmit(crypto::as_bytes("hop by hop"));
+  EXPECT_TRUE(result.delivered);
+  EXPECT_EQ(result.payload, crypto::Bytes(crypto::as_bytes("hop by hop").begin(),
+                                          crypto::as_bytes("hop by hop").end()));
+}
+
+TEST(HopwiseTest, OutsiderInjectionDetectedAtNextHop) {
+  HmacDrbg rng{2};
+  const HopwisePath path{crypto::HashAlgo::kSha1, crypto::MacKind::kHmac, 3,
+                         rng};
+  const crypto::Bytes forged = rng.bytes(64);
+  for (std::size_t link = 0; link < path.hops(); ++link) {
+    EXPECT_FALSE(path.inject(link, forged)) << "link " << link;
+  }
+}
+
+TEST(HopwiseTest, InsiderTamperingGoesUndetected) {
+  // The scheme's fundamental limitation (paper §2.2: "they cannot mitigate
+  // insider attacks"): a malicious relay rewrites the payload and re-MACs
+  // with its own valid link key -- the destination accepts the forgery.
+  HmacDrbg rng{3};
+  const HopwisePath path{crypto::HashAlgo::kSha1, crypto::MacKind::kHmac, 4,
+                         rng};
+  const auto result = path.transmit(
+      crypto::as_bytes("pay 10 to alice"),
+      [](crypto::Bytes payload, std::size_t relay) {
+        if (relay == 1) {
+          const auto evil = crypto::as_bytes("pay 99 to mallet");
+          return crypto::Bytes(evil.begin(), evil.end());
+        }
+        return payload;
+      });
+  EXPECT_TRUE(result.delivered);  // nothing noticed the substitution
+  EXPECT_EQ(result.payload,
+            crypto::Bytes(crypto::as_bytes("pay 99 to mallet").begin(),
+                          crypto::as_bytes("pay 99 to mallet").end()));
+}
+
+TEST(HopwiseTest, CostScalesWithPathLength) {
+  HmacDrbg rng{4};
+  for (std::size_t hops : {1u, 4u, 16u}) {
+    const HopwisePath path{crypto::HashAlgo::kSha1, crypto::MacKind::kHmac,
+                           hops, rng};
+    EXPECT_EQ(path.mac_ops_per_message(), 2 * hops);
+  }
+}
+
+}  // namespace
+}  // namespace alpha::baselines

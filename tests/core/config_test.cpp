@@ -1,0 +1,69 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alpha::core {
+namespace {
+
+TEST(ConfigTest, EffectiveBatch) {
+  Config c;
+  c.mode = wire::Mode::kBase;
+  c.batch_size = 50;
+  EXPECT_EQ(c.effective_batch(), 1u);  // base mode ignores batch_size
+  c.mode = wire::Mode::kCumulative;
+  EXPECT_EQ(c.effective_batch(), 50u);
+  c.batch_size = 0;
+  EXPECT_EQ(c.effective_batch(), 1u);  // zero means one
+}
+
+TEST(ConfigTest, UsesTrees) {
+  Config c;
+  c.mode = wire::Mode::kBase;
+  EXPECT_FALSE(c.uses_trees());
+  c.mode = wire::Mode::kCumulative;
+  EXPECT_FALSE(c.uses_trees());
+  c.mode = wire::Mode::kMerkle;
+  EXPECT_TRUE(c.uses_trees());
+  c.mode = wire::Mode::kCumulativeMerkle;
+  EXPECT_TRUE(c.uses_trees());
+}
+
+TEST(ConfigTest, GroupSize) {
+  Config c;
+  c.mode = wire::Mode::kMerkle;
+  EXPECT_EQ(c.group_size(32), 32u);  // one tree over the whole batch
+  c.mode = wire::Mode::kCumulativeMerkle;
+  c.merkle_group = 8;
+  EXPECT_EQ(c.group_size(32), 8u);
+  c.merkle_group = 0;
+  EXPECT_EQ(c.group_size(32), 1u);  // degenerate: one leaf per tree
+}
+
+TEST(ConfigTest, RoundsSupported) {
+  Config c;
+  c.chain_length = 1024;
+  EXPECT_EQ(rounds_supported(c), 511u);  // 2 elements/round, seed reserved
+  c.chain_length = 4;
+  EXPECT_EQ(rounds_supported(c), 1u);
+}
+
+TEST(ConfigTest, DigestSizeTracksAlgo) {
+  Config c;
+  c.algo = crypto::HashAlgo::kSha1;
+  EXPECT_EQ(c.digest_size(), 20u);
+  c.algo = crypto::HashAlgo::kMmo128;
+  EXPECT_EQ(c.digest_size(), 16u);
+  c.algo = crypto::HashAlgo::kSha256;
+  EXPECT_EQ(c.digest_size(), 32u);
+}
+
+TEST(ConfigTest, MtuClampRespectsConfiguredBatchCeiling) {
+  Config c;
+  c.mode = wire::Mode::kCumulative;
+  c.batch_size = 3;
+  // Generous MTU: the configured batch is the binding limit.
+  EXPECT_EQ(max_batch_for_mtu(c, 10000), 3u);
+}
+
+}  // namespace
+}  // namespace alpha::core

@@ -1,0 +1,59 @@
+// Test harness: queued frame delivery between protocol engines.
+//
+// Delivering frames synchronously from inside a send callback would re-enter
+// the engines (signer -> verifier -> signer ...) while their state is mid-
+// update. The bus queues frames and drains them iteratively, like a real
+// transport. Hooks allow dropping or tampering frames in flight.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "core/host.hpp"
+#include "wire/packets.hpp"
+
+namespace alpha::core::testing {
+
+class PacketBus {
+ public:
+  using Hook = std::function<bool(crypto::Bytes&)>;  // false = drop frame
+
+  /// Returns a send callback that enqueues frames toward `destination`.
+  std::function<void(crypto::Bytes)> sender(int destination) {
+    return [this, destination](crypto::Bytes frame) {
+      queue_.push_back({destination, std::move(frame)});
+    };
+  }
+
+  /// Registers the frame consumer for an endpoint id.
+  void attach(int id, std::function<void(crypto::ByteView)> consumer) {
+    consumers_[id] = std::move(consumer);
+  }
+
+  /// Hook applied to every frame before delivery (tamper/drop).
+  void set_hook(Hook hook) { hook_ = std::move(hook); }
+
+  /// Delivers queued frames until quiescent. Returns frames delivered.
+  std::size_t pump(std::size_t max_frames = 100000) {
+    std::size_t delivered = 0;
+    while (!queue_.empty() && delivered < max_frames) {
+      auto [dest, frame] = std::move(queue_.front());
+      queue_.pop_front();
+      if (hook_ && !hook_(frame)) continue;
+      const auto it = consumers_.find(dest);
+      if (it != consumers_.end()) it->second(frame);
+      ++delivered;
+    }
+    return delivered;
+  }
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  std::deque<std::pair<int, crypto::Bytes>> queue_;
+  std::map<int, std::function<void(crypto::ByteView)>> consumers_;
+  Hook hook_;
+};
+
+}  // namespace alpha::core::testing

@@ -1,0 +1,86 @@
+#include "crypto/aes128.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/bytes.hpp"
+
+namespace alpha::crypto {
+namespace {
+
+// FIPS 197 Appendix C.1 example vector.
+TEST(Aes128Test, Fips197Vector) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  const Bytes expected_ct = from_hex("69c4e0d86a7b0430d8cdb78070b4c55a");
+
+  const Aes128 cipher{key};
+  std::uint8_t ct[16];
+  cipher.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex({ct, 16}), to_hex(expected_ct));
+
+  std::uint8_t back[16];
+  cipher.decrypt_block(ct, back);
+  EXPECT_EQ(to_hex({back, 16}), to_hex(pt));
+}
+
+// NIST SP 800-38A ECB-AES128 vectors (all four blocks).
+TEST(Aes128Test, Sp80038aEcbVectors) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Aes128 cipher{key};
+
+  const struct {
+    const char* pt;
+    const char* ct;
+  } cases[] = {
+      {"6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"},
+      {"ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"},
+      {"30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"},
+      {"f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"},
+  };
+
+  for (const auto& c : cases) {
+    const Bytes pt = from_hex(c.pt);
+    std::uint8_t ct[16];
+    cipher.encrypt_block(pt.data(), ct);
+    EXPECT_EQ(to_hex({ct, 16}), c.ct);
+
+    std::uint8_t back[16];
+    cipher.decrypt_block(ct, back);
+    EXPECT_EQ(to_hex({back, 16}), c.pt);
+  }
+}
+
+TEST(Aes128Test, InPlaceEncryptDecrypt) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Aes128 cipher{key};
+  std::uint8_t buf[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  std::uint8_t orig[16];
+  std::memcpy(orig, buf, 16);
+
+  cipher.encrypt_block(buf, buf);
+  EXPECT_NE(std::memcmp(buf, orig, 16), 0);
+  cipher.decrypt_block(buf, buf);
+  EXPECT_EQ(std::memcmp(buf, orig, 16), 0);
+}
+
+TEST(Aes128Test, RejectsWrongKeySize) {
+  const Bytes short_key(15, 0);
+  const Bytes long_key(17, 0);
+  EXPECT_THROW(Aes128{ByteView{short_key}}, std::invalid_argument);
+  EXPECT_THROW(Aes128{ByteView{long_key}}, std::invalid_argument);
+}
+
+TEST(Aes128Test, DifferentKeysDifferentCiphertext) {
+  const Bytes k1 = from_hex("00000000000000000000000000000000");
+  const Bytes k2 = from_hex("00000000000000000000000000000001");
+  const Bytes pt = from_hex("00000000000000000000000000000000");
+  std::uint8_t c1[16], c2[16];
+  Aes128{k1}.encrypt_block(pt.data(), c1);
+  Aes128{k2}.encrypt_block(pt.data(), c2);
+  EXPECT_NE(std::memcmp(c1, c2, 16), 0);
+}
+
+}  // namespace
+}  // namespace alpha::crypto

@@ -1,0 +1,289 @@
+#include "crypto/bignum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alpha::crypto {
+namespace {
+
+BigInt bi(std::uint64_t v) { return BigInt{v}; }
+
+TEST(BigIntTest, ZeroBasics) {
+  const BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_odd());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex(), "0");
+}
+
+TEST(BigIntTest, SmallConstruction) {
+  EXPECT_EQ(bi(1).to_hex(), "1");
+  EXPECT_EQ(bi(255).to_hex(), "ff");
+  EXPECT_EQ(bi(0x123456789abcdef0ull).to_hex(), "123456789abcdef0");
+}
+
+TEST(BigIntTest, BytesRoundtrip) {
+  const Bytes raw = from_hex("0102030405060708090a0b0c0d0e0f10");
+  const BigInt v = BigInt::from_bytes_be(raw);
+  EXPECT_EQ(v.to_bytes_be(), raw);
+  EXPECT_EQ(v.to_bytes_be(20).size(), 20u);
+  // Leading zeros preserved in padded form.
+  EXPECT_EQ(v.to_bytes_be(20)[0], 0u);
+}
+
+TEST(BigIntTest, LeadingZerosIgnoredOnDecode) {
+  EXPECT_EQ(BigInt::from_hex("000000ff"), bi(255));
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(bi(1).bit_length(), 1u);
+  EXPECT_EQ(bi(2).bit_length(), 2u);
+  EXPECT_EQ(bi(255).bit_length(), 8u);
+  EXPECT_EQ(bi(256).bit_length(), 9u);
+  EXPECT_EQ((bi(1) << 1000).bit_length(), 1001u);
+}
+
+TEST(BigIntTest, BitAccess) {
+  const BigInt v = bi(0b1010);
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_FALSE(v.bit(100));
+}
+
+TEST(BigIntTest, Comparison) {
+  EXPECT_LT(bi(1), bi(2));
+  EXPECT_GT(bi(1) << 64, bi(0xffffffffffffffffull));
+  EXPECT_EQ(bi(7), bi(7));
+}
+
+TEST(BigIntTest, AdditionWithCarry) {
+  const BigInt a = BigInt::from_hex("ffffffffffffffffffffffff");
+  EXPECT_EQ((a + bi(1)).to_hex(), "1000000000000000000000000");
+}
+
+TEST(BigIntTest, SubtractionWithBorrow) {
+  const BigInt a = BigInt::from_hex("1000000000000000000000000");
+  EXPECT_EQ((a - bi(1)).to_hex(), "ffffffffffffffffffffffff");
+}
+
+TEST(BigIntTest, SubtractionUnderflowThrows) {
+  EXPECT_THROW(bi(1) - bi(2), std::underflow_error);
+}
+
+TEST(BigIntTest, MultiplicationKnown) {
+  EXPECT_EQ((bi(0xffffffff) * bi(0xffffffff)).to_hex(), "fffffffe00000001");
+  EXPECT_EQ((bi(1000000007) * bi(998244353)).to_hex(),
+            (BigInt{1000000007ull * 998244353ull}).to_hex());
+}
+
+TEST(BigIntTest, MultiplicationDivisionInverse) {
+  HmacDrbg rng{404u};
+  for (int i = 0; i < 100; ++i) {
+    const BigInt a = BigInt::random_bits(rng, 16 + rng.uniform(768));
+    const BigInt b = BigInt::random_bits(rng, 16 + rng.uniform(768));
+    const BigInt prod = a * b;
+    EXPECT_EQ(prod / a, b);
+    EXPECT_EQ(prod / b, a);
+    EXPECT_TRUE((prod % a).is_zero());
+    EXPECT_TRUE((prod % b).is_zero());
+    EXPECT_EQ(a * b, b * a);
+  }
+}
+
+TEST(BigIntTest, ShiftRoundtrip) {
+  const BigInt a = BigInt::from_hex("deadbeefcafebabe");
+  for (std::size_t s : {1u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ((a << s) >> s, a) << "shift " << s;
+  }
+}
+
+TEST(BigIntTest, DivmodSmall) {
+  const auto [q, r] = BigInt::divmod(bi(100), bi(7));
+  EXPECT_EQ(q, bi(14));
+  EXPECT_EQ(r, bi(2));
+}
+
+TEST(BigIntTest, DivmodByZeroThrows) {
+  EXPECT_THROW(BigInt::divmod(bi(1), BigInt{}), std::domain_error);
+}
+
+TEST(BigIntTest, DivmodNumSmallerThanDen) {
+  const auto [q, r] = BigInt::divmod(bi(3), bi(10));
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(r, bi(3));
+}
+
+// Property: for random a, b: a == (a/b)*b + (a%b) and a%b < b.
+TEST(BigIntTest, DivmodPropertyRandom) {
+  HmacDrbg rng{2024u};
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t abits = 16 + rng.uniform(512);
+    const std::size_t bbits = 8 + rng.uniform(256);
+    const BigInt a = BigInt::random_bits(rng, abits);
+    const BigInt b = BigInt::random_bits(rng, bbits);
+    const auto [q, r] = BigInt::divmod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+// Knuth algorithm D "add back" branch trigger: divisors maximizing qhat
+// overestimation.
+TEST(BigIntTest, DivmodAddBackCase) {
+  const BigInt num = BigInt::from_hex("7fffffff800000010000000000000000");
+  const BigInt den = BigInt::from_hex("800000008000000200000005");
+  const auto [q, r] = BigInt::divmod(num, den);
+  EXPECT_EQ(q * den + r, num);
+  EXPECT_LT(r, den);
+}
+
+TEST(BigIntTest, ModexpKnown) {
+  EXPECT_EQ(BigInt::modexp(bi(2), bi(10), bi(1000)), bi(24));
+  EXPECT_EQ(BigInt::modexp(bi(3), bi(0), bi(7)), bi(1));
+  EXPECT_EQ(BigInt::modexp(bi(5), bi(117), bi(19)), bi(1));  // 5^18=1 mod 19
+}
+
+TEST(BigIntTest, ModexpFermat) {
+  // a^(p-1) = 1 mod p for prime p not dividing a.
+  const BigInt p = BigInt::from_hex("ffffffffffffffc5");  // 2^64-59, prime
+  HmacDrbg rng{5u};
+  for (int i = 0; i < 20; ++i) {
+    const BigInt a = BigInt::random_below(rng, p - bi(2)) + bi(2);
+    EXPECT_TRUE(BigInt::modexp(a, p - bi(1), p).is_one());
+  }
+}
+
+TEST(BigIntTest, ModexpModulusOne) {
+  EXPECT_TRUE(BigInt::modexp(bi(5), bi(5), bi(1)).is_zero());
+}
+
+// Cross-checks the Montgomery fast path (odd, multi-limb moduli) against a
+// reference square-and-multiply implementation.
+TEST(BigIntTest, MontgomeryModexpMatchesReference) {
+  const auto reference = [](const BigInt& base, const BigInt& exp,
+                            const BigInt& mod) {
+    BigInt result{1};
+    BigInt b = base % mod;
+    for (std::size_t i = 0; i < exp.bit_length(); ++i) {
+      if (exp.bit(i)) result = (result * b) % mod;
+      b = (b * b) % mod;
+    }
+    return result;
+  };
+  HmacDrbg rng{0x40f7u};
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t mbits = 64 + rng.uniform(512);
+    BigInt mod = BigInt::random_bits(rng, mbits);
+    if (!mod.is_odd()) mod = mod + bi(1);  // Montgomery path wants odd
+    const BigInt base = BigInt::random_bits(rng, 16 + rng.uniform(600));
+    const BigInt exp = BigInt::random_bits(rng, 1 + rng.uniform(200));
+    EXPECT_EQ(BigInt::modexp(base, exp, mod), reference(base, exp, mod))
+        << "iter " << i << " mbits " << mbits;
+  }
+}
+
+TEST(BigIntTest, ModexpEvenModulusStillCorrect) {
+  // Even moduli bypass Montgomery; verify the fallback.
+  HmacDrbg rng{0x40f8u};
+  for (int i = 0; i < 20; ++i) {
+    BigInt mod = BigInt::random_bits(rng, 64 + rng.uniform(128));
+    if (mod.is_odd()) mod = mod + bi(1);
+    const BigInt base = BigInt::random_bits(rng, 100);
+    EXPECT_EQ(BigInt::modexp(base, bi(2), mod), (base * base) % mod);
+    EXPECT_EQ(BigInt::modexp(base, bi(3), mod),
+              (((base * base) % mod) * base) % mod);
+  }
+}
+
+TEST(BigIntTest, ModexpEdgeOperands) {
+  const BigInt mod = BigInt::from_hex("ffffffffffffffc5");  // odd prime
+  EXPECT_TRUE(BigInt::modexp(BigInt{}, bi(5), mod).is_zero());   // 0^e
+  EXPECT_TRUE(BigInt::modexp(bi(7), BigInt{}, mod).is_one());    // b^0
+  EXPECT_EQ(BigInt::modexp(mod + bi(3), bi(1), mod), bi(3));     // base > mod
+  EXPECT_TRUE(BigInt::modexp(mod, bi(4), mod).is_zero());        // base = mod
+}
+
+TEST(BigIntTest, GcdKnown) {
+  EXPECT_EQ(BigInt::gcd(bi(48), bi(18)), bi(6));
+  EXPECT_EQ(BigInt::gcd(bi(17), bi(13)), bi(1));
+  EXPECT_EQ(BigInt::gcd(bi(0), bi(5)), bi(5));
+}
+
+TEST(BigIntTest, ModinvKnown) {
+  // 3 * 4 = 12 = 1 mod 11
+  EXPECT_EQ(BigInt::modinv(bi(3), bi(11)), bi(4));
+}
+
+TEST(BigIntTest, ModinvPropertyRandom) {
+  HmacDrbg rng{31337u};
+  const BigInt m = BigInt::from_hex("ffffffffffffffc5");  // prime modulus
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = BigInt::random_below(rng, m - bi(1)) + bi(1);
+    const BigInt inv = BigInt::modinv(a, m);
+    EXPECT_TRUE(((a * inv) % m).is_one());
+  }
+}
+
+TEST(BigIntTest, ModinvNotInvertibleThrows) {
+  EXPECT_THROW(BigInt::modinv(bi(4), bi(8)), std::domain_error);
+}
+
+TEST(BigIntTest, RandomBelowStaysBelow) {
+  HmacDrbg rng{11u};
+  const BigInt bound = BigInt::from_hex("10000000000000001");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(BigInt::random_below(rng, bound), bound);
+  }
+}
+
+TEST(BigIntTest, RandomBitsExactWidth) {
+  HmacDrbg rng{13u};
+  for (std::size_t bits : {8u, 17u, 64u, 160u, 512u}) {
+    EXPECT_EQ(BigInt::random_bits(rng, bits).bit_length(), bits);
+  }
+}
+
+TEST(PrimalityTest, KnownPrimes) {
+  HmacDrbg rng{1u};
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 97ull, 7919ull, 104729ull}) {
+    EXPECT_TRUE(is_probable_prime(bi(p), rng)) << p;
+  }
+  // 2^61 - 1 is a Mersenne prime.
+  EXPECT_TRUE(is_probable_prime(BigInt::from_hex("1fffffffffffffff"), rng));
+}
+
+TEST(PrimalityTest, KnownComposites) {
+  HmacDrbg rng{1u};
+  for (std::uint64_t n : {1ull, 4ull, 100ull, 7917ull}) {
+    EXPECT_FALSE(is_probable_prime(bi(n), rng)) << n;
+  }
+  // Carmichael numbers must be rejected (Fermat liars for all bases).
+  for (std::uint64_t n : {561ull, 1105ull, 1729ull, 41041ull, 825265ull}) {
+    EXPECT_FALSE(is_probable_prime(bi(n), rng)) << n;
+  }
+}
+
+TEST(PrimalityTest, GeneratedPrimesHaveRequestedSize) {
+  HmacDrbg rng{2718u};
+  for (std::size_t bits : {64u, 128u, 256u}) {
+    const BigInt p = generate_prime(rng, bits);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(is_probable_prime(p, rng));
+    // Top two bits set by construction.
+    EXPECT_TRUE(p.bit(bits - 1));
+    EXPECT_TRUE(p.bit(bits - 2));
+  }
+}
+
+TEST(BigIntTest, HexRoundtripLarge) {
+  HmacDrbg rng{99u};
+  for (int i = 0; i < 20; ++i) {
+    const BigInt v = BigInt::random_bits(rng, 1 + rng.uniform(1024));
+    EXPECT_EQ(BigInt::from_hex(v.to_hex()), v);
+  }
+}
+
+}  // namespace
+}  // namespace alpha::crypto

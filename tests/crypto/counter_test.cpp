@@ -1,0 +1,53 @@
+#include "crypto/counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/hash.hpp"
+
+namespace alpha::crypto {
+namespace {
+
+TEST(HashOpCounterTest, CountsFinalizations) {
+  const ScopedHashOps scope;
+  (void)hash(HashAlgo::kSha1, as_bytes("a"));
+  (void)hash(HashAlgo::kSha1, as_bytes("b"));
+  (void)hash(HashAlgo::kSha256, as_bytes("c"));
+  EXPECT_EQ(scope.delta().hash_finalizations, 3u);
+}
+
+TEST(HashOpCounterTest, CountsInputBytesWithoutPadding) {
+  const ScopedHashOps scope;
+  const Bytes data(100, 0xaa);
+  (void)hash(HashAlgo::kSha1, data);
+  EXPECT_EQ(scope.delta().bytes_hashed, 100u);
+}
+
+TEST(HashOpCounterTest, MmoCountsToo) {
+  const ScopedHashOps scope;
+  const Bytes data(84, 0x11);
+  (void)hash(HashAlgo::kMmo128, data);
+  const auto d = scope.delta();
+  EXPECT_EQ(d.hash_finalizations, 1u);
+  EXPECT_EQ(d.bytes_hashed, 84u);
+}
+
+TEST(HashOpCounterTest, NestedScopesSeeInnerOps) {
+  const ScopedHashOps outer;
+  (void)hash(HashAlgo::kSha1, as_bytes("x"));
+  {
+    const ScopedHashOps inner;
+    (void)hash(HashAlgo::kSha1, as_bytes("y"));
+    EXPECT_EQ(inner.delta().hash_finalizations, 1u);
+  }
+  EXPECT_EQ(outer.delta().hash_finalizations, 2u);
+}
+
+TEST(HashOpCounterTest, ResetClears) {
+  (void)hash(HashAlgo::kSha1, as_bytes("x"));
+  HashOpCounter::reset();
+  EXPECT_EQ(HashOpCounter::snapshot().hash_finalizations, 0u);
+  EXPECT_EQ(HashOpCounter::snapshot().bytes_hashed, 0u);
+}
+
+}  // namespace
+}  // namespace alpha::crypto

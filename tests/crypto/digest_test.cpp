@@ -1,0 +1,83 @@
+#include "crypto/digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace alpha::crypto {
+namespace {
+
+TEST(DigestTest, DefaultIsEmpty) {
+  const Digest d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(DigestTest, StoresBytes) {
+  const Bytes raw{1, 2, 3, 4, 5};
+  const Digest d{ByteView{raw}};
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_EQ(d.bytes(), raw);
+  EXPECT_EQ(d.hex(), "0102030405");
+}
+
+TEST(DigestTest, RejectsOversize) {
+  const Bytes raw(33, 0);
+  EXPECT_THROW(Digest{ByteView{raw}}, std::length_error);
+}
+
+TEST(DigestTest, MaxSizeAccepted) {
+  const Bytes raw(32, 0xab);
+  const Digest d{ByteView{raw}};
+  EXPECT_EQ(d.size(), 32u);
+}
+
+TEST(DigestTest, FromHex) {
+  const Digest d = Digest::from_hex("deadbeef");
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.hex(), "deadbeef");
+}
+
+TEST(DigestTest, EqualityIncludesLength) {
+  const Bytes a{1, 2, 3};
+  const Bytes b{1, 2, 3, 0};
+  EXPECT_NE(Digest{ByteView{a}}, Digest{ByteView{b}});
+  EXPECT_EQ(Digest{ByteView{a}}, Digest{ByteView{a}});
+}
+
+TEST(DigestTest, CtEqualsMatchesEquality) {
+  const Bytes a{1, 2, 3};
+  const Bytes b{1, 2, 4};
+  EXPECT_TRUE(Digest{ByteView{a}}.ct_equals(Digest{ByteView{a}}));
+  EXPECT_FALSE(Digest{ByteView{a}}.ct_equals(Digest{ByteView{b}}));
+}
+
+TEST(DigestTest, Truncation) {
+  const Bytes raw{1, 2, 3, 4, 5, 6, 7, 8};
+  const Digest d{ByteView{raw}};
+  const Digest t = d.truncated(4);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.hex(), "01020304");
+  EXPECT_THROW(d.truncated(9), std::length_error);
+}
+
+TEST(DigestTest, OrderingIsTotal) {
+  const Bytes a{1, 2};
+  const Bytes b{1, 3};
+  EXPECT_LT(Digest{ByteView{a}}, Digest{ByteView{b}});
+  EXPECT_GT(Digest{ByteView{b}}, Digest{ByteView{a}});
+}
+
+TEST(DigestTest, UsableInUnorderedContainers) {
+  std::unordered_set<Digest, DigestHasher> set;
+  const Bytes a{1, 2, 3};
+  const Bytes b{4, 5, 6};
+  set.insert(Digest{ByteView{a}});
+  set.insert(Digest{ByteView{b}});
+  set.insert(Digest{ByteView{a}});  // duplicate
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(Digest{ByteView{a}}));
+}
+
+}  // namespace
+}  // namespace alpha::crypto

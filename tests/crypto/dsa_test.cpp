@@ -1,0 +1,145 @@
+#include "crypto/dsa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alpha::crypto {
+namespace {
+
+// Small (512/160) group keeps tests fast; generation logic is size-generic.
+class DsaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    HmacDrbg rng{0xd5au};
+    params_ = new DsaParams(dsa_generate_params(rng, 512, 160));
+    key_ = new DsaPrivateKey(dsa_generate_key(rng, *params_));
+  }
+  static void TearDownTestSuite() {
+    delete key_;
+    delete params_;
+    key_ = nullptr;
+    params_ = nullptr;
+  }
+
+  static const DsaParams& params() { return *params_; }
+  static const DsaPrivateKey& key() { return *key_; }
+
+ private:
+  static DsaParams* params_;
+  static DsaPrivateKey* key_;
+};
+
+DsaParams* DsaTest::params_ = nullptr;
+DsaPrivateKey* DsaTest::key_ = nullptr;
+
+TEST_F(DsaTest, ParamStructure) {
+  HmacDrbg rng{1u};
+  EXPECT_EQ(params().p.bit_length(), 512u);
+  EXPECT_EQ(params().q.bit_length(), 160u);
+  EXPECT_TRUE(is_probable_prime(params().p, rng));
+  EXPECT_TRUE(is_probable_prime(params().q, rng));
+  // q divides p-1
+  EXPECT_TRUE(((params().p - BigInt{1}) % params().q).is_zero());
+  // g has order q: g^q = 1 mod p and g != 1
+  EXPECT_FALSE(params().g.is_one());
+  EXPECT_TRUE(BigInt::modexp(params().g, params().q, params().p).is_one());
+}
+
+TEST_F(DsaTest, KeyStructure) {
+  EXPECT_FALSE(key().x.is_zero());
+  EXPECT_LT(key().x, params().q);
+  EXPECT_EQ(key().pub.y, BigInt::modexp(params().g, key().x, params().p));
+}
+
+TEST_F(DsaTest, SignVerifyRoundtrip) {
+  HmacDrbg rng{7u};
+  const auto msg = as_bytes("anchor announcement");
+  const DsaSignature sig = dsa_sign(key(), HashAlgo::kSha1, msg, rng);
+  EXPECT_TRUE(dsa_verify(key().pub, HashAlgo::kSha1, msg, sig));
+}
+
+TEST_F(DsaTest, SignVerifySha256) {
+  HmacDrbg rng{8u};
+  const auto msg = as_bytes("sha256-digested message");
+  const DsaSignature sig = dsa_sign(key(), HashAlgo::kSha256, msg, rng);
+  EXPECT_TRUE(dsa_verify(key().pub, HashAlgo::kSha256, msg, sig));
+}
+
+TEST_F(DsaTest, SignatureInRange) {
+  HmacDrbg rng{9u};
+  const DsaSignature sig = dsa_sign(key(), HashAlgo::kSha1, as_bytes("m"), rng);
+  EXPECT_FALSE(sig.r.is_zero());
+  EXPECT_FALSE(sig.s.is_zero());
+  EXPECT_LT(sig.r, params().q);
+  EXPECT_LT(sig.s, params().q);
+}
+
+TEST_F(DsaTest, TamperedMessageRejected) {
+  HmacDrbg rng{10u};
+  const DsaSignature sig =
+      dsa_sign(key(), HashAlgo::kSha1, as_bytes("payment: 10"), rng);
+  EXPECT_FALSE(dsa_verify(key().pub, HashAlgo::kSha1, as_bytes("payment: 99"), sig));
+}
+
+TEST_F(DsaTest, TamperedSignatureRejected) {
+  HmacDrbg rng{11u};
+  const auto msg = as_bytes("m");
+  DsaSignature sig = dsa_sign(key(), HashAlgo::kSha1, msg, rng);
+  sig.r = sig.r + BigInt{1};
+  EXPECT_FALSE(dsa_verify(key().pub, HashAlgo::kSha1, msg, sig));
+}
+
+TEST_F(DsaTest, OutOfRangeSignatureRejected) {
+  const auto msg = as_bytes("m");
+  EXPECT_FALSE(dsa_verify(key().pub, HashAlgo::kSha1, msg,
+                          {BigInt{}, BigInt{1}}));
+  EXPECT_FALSE(dsa_verify(key().pub, HashAlgo::kSha1, msg,
+                          {BigInt{1}, BigInt{}}));
+  EXPECT_FALSE(dsa_verify(key().pub, HashAlgo::kSha1, msg,
+                          {params().q, BigInt{1}}));
+  EXPECT_FALSE(dsa_verify(key().pub, HashAlgo::kSha1, msg,
+                          {BigInt{1}, params().q}));
+}
+
+TEST_F(DsaTest, WrongKeyRejected) {
+  HmacDrbg rng{12u};
+  const DsaPrivateKey other = dsa_generate_key(rng, params());
+  const auto msg = as_bytes("m");
+  const DsaSignature sig = dsa_sign(key(), HashAlgo::kSha1, msg, rng);
+  EXPECT_FALSE(dsa_verify(other.pub, HashAlgo::kSha1, msg, sig));
+}
+
+TEST_F(DsaTest, FreshNoncePerSignature) {
+  HmacDrbg rng{13u};
+  const auto msg = as_bytes("same message");
+  const DsaSignature s1 = dsa_sign(key(), HashAlgo::kSha1, msg, rng);
+  const DsaSignature s2 = dsa_sign(key(), HashAlgo::kSha1, msg, rng);
+  EXPECT_NE(s1.r, s2.r);  // randomized signatures
+  EXPECT_TRUE(dsa_verify(key().pub, HashAlgo::kSha1, msg, s1));
+  EXPECT_TRUE(dsa_verify(key().pub, HashAlgo::kSha1, msg, s2));
+}
+
+TEST_F(DsaTest, EncodeDecodeRoundtrip) {
+  HmacDrbg rng{14u};
+  const auto msg = as_bytes("wire");
+  const DsaSignature sig = dsa_sign(key(), HashAlgo::kSha1, msg, rng);
+  const Bytes wire = sig.encode(20);
+  EXPECT_EQ(wire.size(), 40u);
+  const DsaSignature back = DsaSignature::decode(wire);
+  EXPECT_EQ(back.r, sig.r);
+  EXPECT_EQ(back.s, sig.s);
+  EXPECT_TRUE(dsa_verify(key().pub, HashAlgo::kSha1, msg, back));
+}
+
+TEST(DsaSignatureTest, DecodeRejectsBadLength) {
+  const Bytes odd(41, 0);
+  EXPECT_THROW(DsaSignature::decode(odd), std::invalid_argument);
+  EXPECT_THROW(DsaSignature::decode({}), std::invalid_argument);
+}
+
+TEST(DsaParamsTest, RejectsBadSizes) {
+  HmacDrbg rng{1u};
+  EXPECT_THROW(dsa_generate_params(rng, 160, 160), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace alpha::crypto

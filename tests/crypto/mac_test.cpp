@@ -1,0 +1,124 @@
+#include "crypto/mac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alpha::crypto {
+namespace {
+
+// RFC 2202 HMAC-SHA1 test vectors.
+TEST(HmacTest, Rfc2202Sha1Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hmac(HashAlgo::kSha1, key, as_bytes("Hi There")).hex(),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacTest, Rfc2202Sha1Case2) {
+  EXPECT_EQ(hmac(HashAlgo::kSha1, as_bytes("Jefe"),
+                 as_bytes("what do ya want for nothing?"))
+                .hex(),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacTest, Rfc2202Sha1Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(hmac(HashAlgo::kSha1, key, data).hex(),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacTest, Rfc2202Sha1Case4) {
+  Bytes key;
+  for (std::uint8_t b = 0x01; b <= 0x19; ++b) key.push_back(b);
+  const Bytes data(50, 0xcd);
+  EXPECT_EQ(hmac(HashAlgo::kSha1, key, data).hex(),
+            "4c9007f4026250c6bc8414f9bf50c86c2d7235da");
+}
+
+TEST(HmacTest, Rfc2202Sha1Case7) {
+  const Bytes key(80, 0xaa);
+  EXPECT_EQ(hmac(HashAlgo::kSha1, key,
+                 as_bytes("Test Using Larger Than Block-Size Key and Larger "
+                          "Than One Block-Size Data"))
+                .hex(),
+            "e8e99d0f45237d786d6bbaa7965c7808bbff1a91");
+}
+
+TEST(HmacTest, Rfc2202Sha1LongKey) {
+  const Bytes key(80, 0xaa);  // key longer than block size -> hashed first
+  EXPECT_EQ(hmac(HashAlgo::kSha1, key,
+                 as_bytes("Test Using Larger Than Block-Size Key - Hash Key First"))
+                .hex(),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+// RFC 4231 HMAC-SHA256 test vectors.
+TEST(HmacTest, Rfc4231Sha256Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hmac(HashAlgo::kSha256, key, as_bytes("Hi There")).hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Sha256Case2) {
+  EXPECT_EQ(hmac(HashAlgo::kSha256, as_bytes("Jefe"),
+                 as_bytes("what do ya want for nothing?"))
+                .hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, MmoHmacWorks) {
+  // No standard vectors for HMAC over AES-MMO; check structural properties.
+  const Bytes key{1, 2, 3, 4};
+  const Digest m1 = hmac(HashAlgo::kMmo128, key, as_bytes("msg"));
+  const Digest m2 = hmac(HashAlgo::kMmo128, key, as_bytes("msg"));
+  const Digest m3 = hmac(HashAlgo::kMmo128, key, as_bytes("msh"));
+  EXPECT_EQ(m1, m2);
+  EXPECT_NE(m1, m3);
+  EXPECT_EQ(m1.size(), 16u);
+}
+
+TEST(PrefixMacTest, EqualsHashOfKeyConcatMessage) {
+  const Bytes key{9, 8, 7};
+  const Bytes msg{1, 2, 3};
+  EXPECT_EQ(prefix_mac(HashAlgo::kSha1, key, msg),
+            hash2(HashAlgo::kSha1, key, msg));
+}
+
+TEST(MacDispatchTest, KindSelectsConstruction) {
+  const Bytes key{1};
+  const Bytes msg{2};
+  EXPECT_EQ(mac(MacKind::kHmac, HashAlgo::kSha1, key, msg),
+            hmac(HashAlgo::kSha1, key, msg));
+  EXPECT_EQ(mac(MacKind::kPrefix, HashAlgo::kSha1, key, msg),
+            prefix_mac(HashAlgo::kSha1, key, msg));
+  EXPECT_NE(mac(MacKind::kHmac, HashAlgo::kSha1, key, msg),
+            mac(MacKind::kPrefix, HashAlgo::kSha1, key, msg));
+}
+
+TEST(MacVerifyTest, AcceptsGoodRejectsTampered) {
+  const Bytes key{0x10, 0x20};
+  const Bytes msg{0x30, 0x40, 0x50};
+  for (const MacKind kind : {MacKind::kHmac, MacKind::kPrefix}) {
+    for (const HashAlgo algo :
+         {HashAlgo::kSha1, HashAlgo::kSha256, HashAlgo::kMmo128}) {
+      const Digest tag = mac(kind, algo, key, msg);
+      EXPECT_TRUE(verify_mac(kind, algo, key, msg, tag));
+      Bytes tampered = msg;
+      tampered[0] ^= 1;
+      EXPECT_FALSE(verify_mac(kind, algo, key, tampered, tag));
+      Bytes wrong_key = key;
+      wrong_key[0] ^= 1;
+      EXPECT_FALSE(verify_mac(kind, algo, wrong_key, msg, tag));
+    }
+  }
+}
+
+TEST(MacTest, KeyedDifferently) {
+  // Different hash-chain elements as keys must produce unrelated MACs.
+  const Bytes k1(20, 0x11);
+  const Bytes k2(20, 0x12);
+  const ByteView msg = as_bytes("location update: node 7 -> cell 3");
+  EXPECT_NE(hmac(HashAlgo::kSha1, k1, msg), hmac(HashAlgo::kSha1, k2, msg));
+}
+
+}  // namespace
+}  // namespace alpha::crypto

@@ -1,0 +1,117 @@
+#include "crypto/mmo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/aes128.hpp"
+
+namespace alpha::crypto {
+namespace {
+
+// Reference implementation of one MMO compression step, used to verify the
+// production padding/chaining logic independently.
+void mmo_compress(std::uint8_t state[16], const std::uint8_t block[16]) {
+  const Aes128 cipher{ByteView{state, 16}};
+  std::uint8_t enc[16];
+  cipher.encrypt_block(block, enc);
+  for (int i = 0; i < 16; ++i) state[i] = static_cast<std::uint8_t>(enc[i] ^ block[i]);
+}
+
+TEST(MmoTest, DigestSizeIs16) {
+  MmoHash h;
+  EXPECT_EQ(h.digest_size(), 16u);
+  h.update(as_bytes("x"));
+  EXPECT_EQ(h.finalize().size(), 16u);
+}
+
+TEST(MmoTest, MatchesReferenceSingleBlockInput) {
+  // 7-byte message fits one padded block:
+  // block = msg | 0x80 | 0x00.. | 64-bit bit length.
+  const Bytes msg{'p', 'a', 'y', 'l', 'o', 'a', 'd'};
+  std::uint8_t block[16] = {};
+  std::copy(msg.begin(), msg.end(), block);
+  block[7] = 0x80;
+  const std::uint64_t bit_len = msg.size() * 8;
+  for (int i = 0; i < 8; ++i) {
+    block[8 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  std::uint8_t state[16] = {};
+  mmo_compress(state, block);
+
+  MmoHash h;
+  h.update(msg);
+  EXPECT_EQ(h.finalize(), Digest(ByteView{state, 16}));
+}
+
+TEST(MmoTest, MatchesReferenceExactBlockInput) {
+  // 16-byte message: one data block plus a full padding block.
+  Bytes msg(16);
+  for (int i = 0; i < 16; ++i) msg[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+
+  std::uint8_t state[16] = {};
+  mmo_compress(state, msg.data());
+  std::uint8_t pad[16] = {0x80};
+  const std::uint64_t bit_len = 128;
+  for (int i = 0; i < 8; ++i) {
+    pad[8 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  mmo_compress(state, pad);
+
+  MmoHash h;
+  h.update(msg);
+  EXPECT_EQ(h.finalize(), Digest(ByteView{state, 16}));
+}
+
+TEST(MmoTest, Deterministic) {
+  MmoHash a, b;
+  a.update(as_bytes("sensor reading 42"));
+  b.update(as_bytes("sensor reading 42"));
+  EXPECT_EQ(a.finalize(), b.finalize());
+}
+
+TEST(MmoTest, IncrementalMatchesOneShot) {
+  const std::string msg(84, 'z');  // the paper's 84-byte WSN input size
+  MmoHash whole;
+  whole.update(as_bytes(msg));
+  const Digest expected = whole.finalize();
+
+  for (std::size_t split = 0; split <= msg.size(); split += 5) {
+    MmoHash h;
+    h.update(as_bytes(std::string_view(msg).substr(0, split)));
+    h.update(as_bytes(std::string_view(msg).substr(split)));
+    EXPECT_EQ(h.finalize(), expected) << "split at " << split;
+  }
+}
+
+TEST(MmoTest, DistinctAcrossLengths) {
+  std::set<std::string> seen;
+  for (std::size_t len = 0; len <= 48; ++len) {
+    MmoHash h;
+    const std::string msg(len, 'a');
+    h.update(as_bytes(msg));
+    EXPECT_TRUE(seen.insert(h.finalize().hex()).second)
+        << "duplicate digest at len " << len;
+  }
+}
+
+TEST(MmoTest, LengthPaddingPreventsTrivialCollision) {
+  // Without MD strengthening, "" and "\x80..." style inputs could collide.
+  MmoHash a, b;
+  a.update({});
+  Bytes eighty{0x80};
+  b.update(eighty);
+  EXPECT_NE(a.finalize(), b.finalize());
+}
+
+TEST(MmoTest, ResetAllowsReuse) {
+  MmoHash h;
+  h.update(as_bytes("first"));
+  const Digest d1 = h.finalize();
+  h.reset();
+  h.update(as_bytes("first"));
+  EXPECT_EQ(h.finalize(), d1);
+}
+
+}  // namespace
+}  // namespace alpha::crypto

@@ -1,0 +1,95 @@
+#include "crypto/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace alpha::crypto {
+namespace {
+
+TEST(HmacDrbgTest, DeterministicForSameSeed) {
+  HmacDrbg a{42u};
+  HmacDrbg b{42u};
+  EXPECT_EQ(a.bytes(64), b.bytes(64));
+}
+
+TEST(HmacDrbgTest, DifferentSeedsDiffer) {
+  HmacDrbg a{1u};
+  HmacDrbg b{2u};
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(HmacDrbgTest, StreamAdvances) {
+  HmacDrbg a{7u};
+  const Bytes first = a.bytes(32);
+  const Bytes second = a.bytes(32);
+  EXPECT_NE(first, second);
+}
+
+TEST(HmacDrbgTest, SplitRequestsMatchSingleRequest) {
+  HmacDrbg a{99u};
+  HmacDrbg b{99u};
+  Bytes whole = a.bytes(48);
+  // NOTE: the DRBG reseeds its internal state after each generate call, so
+  // two 24-byte requests legitimately differ from one 48-byte request. What
+  // must hold is determinism across instances making identical call patterns.
+  Bytes w1 = b.bytes(24);
+  Bytes w2 = b.bytes(24);
+  HmacDrbg c{99u};
+  EXPECT_EQ(c.bytes(24), w1);
+  EXPECT_EQ(c.bytes(24), w2);
+  HmacDrbg d{99u};
+  EXPECT_EQ(d.bytes(48), whole);
+}
+
+TEST(HmacDrbgTest, ReseedChangesStream) {
+  HmacDrbg a{5u};
+  HmacDrbg b{5u};
+  const Bytes extra{1, 2, 3};
+  b.reseed(extra);
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(HmacDrbgTest, ByteDistributionIsPlausible) {
+  // Crude sanity: 4096 bytes should hit many distinct values.
+  HmacDrbg rng{1234u};
+  const Bytes data = rng.bytes(4096);
+  std::set<std::uint8_t> distinct(data.begin(), data.end());
+  EXPECT_GT(distinct.size(), 200u);
+}
+
+TEST(RandomSourceTest, UniformStaysBelowBound) {
+  HmacDrbg rng{77u};
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(RandomSourceTest, UniformOneIsAlwaysZero) {
+  HmacDrbg rng{3u};
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(RandomSourceTest, UniformRejectsZeroBound) {
+  HmacDrbg rng{3u};
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(RandomSourceTest, UniformCoversRange) {
+  HmacDrbg rng{8u};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(SystemRandomTest, FillsRequestedBytes) {
+  SystemRandom rng;
+  const Bytes a = rng.bytes(32);
+  const Bytes b = rng.bytes(32);
+  EXPECT_EQ(a.size(), 32u);
+  // Overwhelmingly likely distinct.
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace alpha::crypto

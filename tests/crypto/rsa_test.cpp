@@ -1,0 +1,122 @@
+#include "crypto/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alpha::crypto {
+namespace {
+
+// Keygen at 512 bits keeps the suite fast; the construction is size-generic.
+class RsaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    HmacDrbg rng{0xa1fau};
+    key_ = new RsaPrivateKey(rsa_generate(rng, 512));
+  }
+  static void TearDownTestSuite() {
+    delete key_;
+    key_ = nullptr;
+  }
+
+  static const RsaPrivateKey& key() { return *key_; }
+
+ private:
+  static RsaPrivateKey* key_;
+};
+
+RsaPrivateKey* RsaTest::key_ = nullptr;
+
+TEST_F(RsaTest, KeyStructure) {
+  EXPECT_EQ(key().pub.n.bit_length(), 512u);
+  EXPECT_EQ(key().pub.e, BigInt{65537});
+  EXPECT_EQ(key().p * key().q, key().pub.n);
+  EXPECT_GT(key().p, key().q);
+  // d*e = 1 mod (p-1)(q-1)
+  const BigInt phi = (key().p - BigInt{1}) * (key().q - BigInt{1});
+  EXPECT_TRUE(((key().d * key().pub.e) % phi).is_one());
+  // CRT parameters
+  EXPECT_EQ(key().dp, key().d % (key().p - BigInt{1}));
+  EXPECT_EQ(key().dq, key().d % (key().q - BigInt{1}));
+  EXPECT_TRUE(((key().qinv * key().q) % key().p).is_one());
+}
+
+TEST_F(RsaTest, SignVerifyRoundtripSha1) {
+  const auto msg = as_bytes("hash chain anchor: deadbeef");
+  const Bytes sig = rsa_sign(key(), HashAlgo::kSha1, msg);
+  EXPECT_EQ(sig.size(), key().pub.modulus_bytes());
+  EXPECT_TRUE(rsa_verify(key().pub, HashAlgo::kSha1, msg, sig));
+}
+
+TEST_F(RsaTest, SignVerifyRoundtripSha256) {
+  const auto msg = as_bytes("protected bootstrap payload");
+  const Bytes sig = rsa_sign(key(), HashAlgo::kSha256, msg);
+  EXPECT_TRUE(rsa_verify(key().pub, HashAlgo::kSha256, msg, sig));
+}
+
+TEST_F(RsaTest, TamperedMessageRejected) {
+  const auto msg = as_bytes("original");
+  const Bytes sig = rsa_sign(key(), HashAlgo::kSha1, msg);
+  EXPECT_FALSE(rsa_verify(key().pub, HashAlgo::kSha1, as_bytes("origina1"), sig));
+}
+
+TEST_F(RsaTest, TamperedSignatureRejected) {
+  const auto msg = as_bytes("original");
+  Bytes sig = rsa_sign(key(), HashAlgo::kSha1, msg);
+  sig[sig.size() / 2] ^= 0x01;
+  EXPECT_FALSE(rsa_verify(key().pub, HashAlgo::kSha1, msg, sig));
+}
+
+TEST_F(RsaTest, WrongAlgorithmRejected) {
+  const auto msg = as_bytes("original");
+  const Bytes sig = rsa_sign(key(), HashAlgo::kSha1, msg);
+  EXPECT_FALSE(rsa_verify(key().pub, HashAlgo::kSha256, msg, sig));
+}
+
+TEST_F(RsaTest, WrongLengthSignatureRejected) {
+  const auto msg = as_bytes("original");
+  Bytes sig = rsa_sign(key(), HashAlgo::kSha1, msg);
+  sig.pop_back();
+  EXPECT_FALSE(rsa_verify(key().pub, HashAlgo::kSha1, msg, sig));
+  sig.push_back(0);
+  sig.push_back(0);
+  EXPECT_FALSE(rsa_verify(key().pub, HashAlgo::kSha1, msg, sig));
+}
+
+TEST_F(RsaTest, WrongKeyRejected) {
+  HmacDrbg rng{777u};
+  const RsaPrivateKey other = rsa_generate(rng, 512);
+  const auto msg = as_bytes("original");
+  const Bytes sig = rsa_sign(key(), HashAlgo::kSha1, msg);
+  EXPECT_FALSE(rsa_verify(other.pub, HashAlgo::kSha1, msg, sig));
+}
+
+TEST_F(RsaTest, DeterministicSignature) {
+  // PKCS#1 v1.5 signing is deterministic: same key + message => same bytes.
+  const auto msg = as_bytes("idempotent");
+  EXPECT_EQ(rsa_sign(key(), HashAlgo::kSha1, msg),
+            rsa_sign(key(), HashAlgo::kSha1, msg));
+}
+
+TEST(RsaKeygenTest, RejectsBadSizes) {
+  HmacDrbg rng{1u};
+  EXPECT_THROW(rsa_generate(rng, 256), std::invalid_argument);
+  EXPECT_THROW(rsa_generate(rng, 513), std::invalid_argument);
+}
+
+TEST(RsaKeygenTest, DeterministicFromSeed) {
+  HmacDrbg a{42u}, b{42u};
+  const RsaPrivateKey k1 = rsa_generate(a, 512);
+  const RsaPrivateKey k2 = rsa_generate(b, 512);
+  EXPECT_EQ(k1.pub.n, k2.pub.n);
+  EXPECT_EQ(k1.d, k2.d);
+}
+
+TEST(RsaKeygenTest, ModulusTooSmallForDigestThrows) {
+  HmacDrbg rng{55u};
+  const RsaPrivateKey k = rsa_generate(rng, 512);
+  // SHA-256 DigestInfo (51 bytes + 11) fits in 64-byte modulus: boundary ok.
+  const Bytes sig = rsa_sign(k, HashAlgo::kSha256, as_bytes("x"));
+  EXPECT_TRUE(rsa_verify(k.pub, HashAlgo::kSha256, as_bytes("x"), sig));
+}
+
+}  // namespace
+}  // namespace alpha::crypto

@@ -1,0 +1,103 @@
+#include "crypto/sha1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace alpha::crypto {
+namespace {
+
+std::string sha1_hex(ByteView data) {
+  Sha1 h;
+  h.update(data);
+  return h.finalize().hex();
+}
+
+// FIPS 180 / RFC 3174 standard vectors.
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(sha1_hex({}), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, SingleChar) {
+  EXPECT_EQ(sha1_hex(as_bytes("a")),
+            "86f7e437faa5a7fce15d1ddcb9eaeaea377667b8");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(sha1_hex(as_bytes("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      sha1_hex(as_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionA) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(as_bytes(chunk));
+  EXPECT_EQ(h.finalize().hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, ExactBlockBoundary) {
+  // 64-byte input exercises the padding-overflow path (pad block spills).
+  const std::string block(64, 'x');
+  Sha1 h;
+  h.update(as_bytes(block));
+  const Digest one_shot = h.finalize();
+  h.reset();
+  h.update(as_bytes(block.substr(0, 63)));
+  h.update(as_bytes(block.substr(63)));
+  EXPECT_EQ(h.finalize(), one_shot);
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog multiple times to span "
+      "several SHA-1 blocks and exercise buffered updates thoroughly.";
+  Sha1 whole;
+  whole.update(as_bytes(msg));
+  const Digest expected = whole.finalize();
+
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha1 h;
+    h.update(as_bytes(std::string_view(msg).substr(0, split)));
+    h.update(as_bytes(std::string_view(msg).substr(split)));
+    EXPECT_EQ(h.finalize(), expected) << "split at " << split;
+  }
+}
+
+TEST(Sha1Test, ResetAllowsReuse) {
+  Sha1 h;
+  h.update(as_bytes("garbage"));
+  (void)h.finalize();
+  h.reset();
+  h.update(as_bytes("abc"));
+  EXPECT_EQ(h.finalize().hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, DigestSizeIs20) {
+  Sha1 h;
+  EXPECT_EQ(h.digest_size(), 20u);
+  h.update(as_bytes("x"));
+  EXPECT_EQ(h.finalize().size(), 20u);
+}
+
+// Length extension of padding handling: inputs of every length 0..130 must
+// produce distinct digests (sanity of padding across boundary lengths).
+TEST(Sha1Test, PaddingBoundarySweep) {
+  std::set<std::string> seen;
+  for (std::size_t len = 0; len <= 130; ++len) {
+    const std::string msg(len, 'a');
+    Sha1 h;
+    h.update(as_bytes(msg));
+    const auto hex = h.finalize().hex();
+    EXPECT_TRUE(seen.insert(hex).second) << "duplicate digest at len " << len;
+  }
+}
+
+}  // namespace
+}  // namespace alpha::crypto

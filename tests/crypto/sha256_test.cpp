@@ -1,0 +1,74 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace alpha::crypto {
+namespace {
+
+std::string sha256_hex(ByteView data) {
+  Sha256 h;
+  h.update(data);
+  return h.finalize().hex();
+}
+
+// FIPS 180-4 standard vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(sha256_hex({}),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(sha256_hex(as_bytes("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      sha256_hex(as_bytes(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(as_bytes(chunk));
+  EXPECT_EQ(h.finalize().hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string msg(200, 'q');
+  Sha256 whole;
+  whole.update(as_bytes(msg));
+  const Digest expected = whole.finalize();
+
+  for (std::size_t split = 0; split <= msg.size(); split += 13) {
+    Sha256 h;
+    h.update(as_bytes(std::string_view(msg).substr(0, split)));
+    h.update(as_bytes(std::string_view(msg).substr(split)));
+    EXPECT_EQ(h.finalize(), expected) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 h;
+  h.update(as_bytes("junk"));
+  (void)h.finalize();
+  h.reset();
+  h.update(as_bytes("abc"));
+  EXPECT_EQ(h.finalize().hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, DigestSizeIs32) {
+  Sha256 h;
+  EXPECT_EQ(h.digest_size(), 32u);
+  h.update(as_bytes("x"));
+  EXPECT_EQ(h.finalize().size(), 32u);
+}
+
+}  // namespace
+}  // namespace alpha::crypto

@@ -1,0 +1,307 @@
+#include "hashchain/chain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alpha::hashchain {
+namespace {
+
+using crypto::Bytes;
+using crypto::HmacDrbg;
+
+class ChainTest : public ::testing::TestWithParam<HashAlgo> {};
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, ChainTest,
+                         ::testing::Values(HashAlgo::kSha1, HashAlgo::kSha256,
+                                           HashAlgo::kMmo128),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case HashAlgo::kSha1: return "Sha1";
+                             case HashAlgo::kSha256: return "Sha256";
+                             case HashAlgo::kMmo128: return "Mmo128";
+                           }
+                           return "Unknown";
+                         });
+
+TEST_P(ChainTest, ConstructionMatchesManualIteration) {
+  const HashAlgo algo = GetParam();
+  const Bytes seed(crypto::digest_size(algo), 0x42);
+  const HashChain chain{algo, ChainTagging::kRoleBound, seed, 8};
+
+  Digest cur{crypto::ByteView{seed}};
+  EXPECT_EQ(chain.element(0), cur);
+  for (std::size_t i = 1; i <= 8; ++i) {
+    const auto tag = i % 2 == 1 ? crypto::as_bytes("S1") : crypto::as_bytes("S2");
+    cur = crypto::hash2(algo, tag, cur.view());
+    EXPECT_EQ(chain.element(i), cur) << "element " << i;
+  }
+  EXPECT_EQ(chain.anchor(), chain.element(8));
+}
+
+TEST_P(ChainTest, PlainChainUsesNoTag) {
+  const HashAlgo algo = GetParam();
+  const Bytes seed(crypto::digest_size(algo), 0x01);
+  const HashChain chain{algo, ChainTagging::kPlain, seed, 4};
+  Digest cur{crypto::ByteView{seed}};
+  for (std::size_t i = 1; i <= 4; ++i) {
+    cur = crypto::hash(algo, cur.view());
+    EXPECT_EQ(chain.element(i), cur);
+  }
+}
+
+TEST_P(ChainTest, StorageStrategiesAgree) {
+  const HashAlgo algo = GetParam();
+  const Bytes seed(crypto::digest_size(algo), 0x99);
+  const std::size_t n = 64;
+  const HashChain full{algo, ChainTagging::kRoleBound, seed, n,
+                       ChainStorage::kFull};
+  const HashChain lazy{algo, ChainTagging::kRoleBound, seed, n,
+                       ChainStorage::kSeedOnly};
+  const HashChain cp{algo, ChainTagging::kRoleBound, seed, n,
+                     ChainStorage::kCheckpoint};
+  for (std::size_t i = 0; i <= n; ++i) {
+    EXPECT_EQ(full.element(i), lazy.element(i)) << i;
+    EXPECT_EQ(full.element(i), cp.element(i)) << i;
+  }
+}
+
+TEST(ChainStorageTest, MemoryFootprintOrdering) {
+  HmacDrbg rng{1u};
+  const std::size_t n = 256;
+  const auto full = HashChain::generate(HashAlgo::kSha1,
+                                        ChainTagging::kRoleBound, rng, n,
+                                        ChainStorage::kFull);
+  HmacDrbg rng2{1u};
+  const auto lazy = HashChain::generate(HashAlgo::kSha1,
+                                        ChainTagging::kRoleBound, rng2, n,
+                                        ChainStorage::kSeedOnly);
+  HmacDrbg rng3{1u};
+  const auto cp = HashChain::generate(HashAlgo::kSha1,
+                                      ChainTagging::kRoleBound, rng3, n,
+                                      ChainStorage::kCheckpoint);
+  EXPECT_EQ(full.memory_bytes(), (n + 1) * 20);
+  EXPECT_EQ(lazy.memory_bytes(), 20u);
+  EXPECT_LT(cp.memory_bytes(), full.memory_bytes());
+  EXPECT_GT(cp.memory_bytes(), lazy.memory_bytes());
+}
+
+TEST(ChainValidationTest, RejectsBadParameters) {
+  const Bytes seed(20, 0);
+  EXPECT_THROW((HashChain{HashAlgo::kSha1, ChainTagging::kRoleBound, seed, 1}),
+               std::invalid_argument);
+  EXPECT_THROW((HashChain{HashAlgo::kSha1, ChainTagging::kRoleBound, seed, 7}),
+               std::invalid_argument);
+  // Plain chains may be odd-length.
+  EXPECT_NO_THROW(
+      (HashChain{HashAlgo::kSha1, ChainTagging::kPlain, seed, 7}));
+}
+
+TEST(ChainValidationTest, ElementBeyondLengthThrows) {
+  const Bytes seed(20, 0);
+  const HashChain chain{HashAlgo::kSha1, ChainTagging::kRoleBound, seed, 4};
+  EXPECT_THROW(chain.element(5), std::out_of_range);
+}
+
+TEST(ChainTagsTest, RoleParityHelpers) {
+  EXPECT_TRUE(is_s1_index(1));
+  EXPECT_TRUE(is_s1_index(63));
+  EXPECT_FALSE(is_s1_index(2));
+  EXPECT_TRUE(is_s2_index(2));
+  EXPECT_FALSE(is_s2_index(0));  // the seed is never disclosed as S2
+  EXPECT_FALSE(is_s2_index(3));
+}
+
+TEST(ChainTagsTest, ReformattingAttackBlockedByTags) {
+  // An S1-tagged element must not verify as the predecessor of another
+  // S1-tagged element: H("S1"|h) != H("S2"|h).
+  HmacDrbg rng{7u};
+  const auto chain = HashChain::generate(HashAlgo::kSha1,
+                                         ChainTagging::kRoleBound, rng, 8);
+  const Digest h5 = chain.element(5);
+  const Digest wrong = crypto::hash2(HashAlgo::kSha1, crypto::as_bytes("S1"),
+                                     h5.view());
+  EXPECT_NE(wrong, chain.element(6));  // element 6 uses the S2 tag
+}
+
+TEST(ChainWalkerTest, WalksFromTopMinusOne) {
+  HmacDrbg rng{2u};
+  const auto chain = HashChain::generate(HashAlgo::kSha1,
+                                         ChainTagging::kRoleBound, rng, 10);
+  ChainWalker walker{chain};
+  EXPECT_EQ(walker.next_index(), 9u);
+  EXPECT_EQ(walker.remaining(), 9u);
+  EXPECT_EQ(walker.take(), chain.element(9));
+  EXPECT_EQ(walker.next_index(), 8u);
+  EXPECT_EQ(walker.take(), chain.element(8));
+}
+
+TEST(ChainWalkerTest, PeekDoesNotConsume) {
+  HmacDrbg rng{3u};
+  const auto chain = HashChain::generate(HashAlgo::kSha1,
+                                         ChainTagging::kRoleBound, rng, 6);
+  ChainWalker walker{chain};
+  EXPECT_EQ(walker.peek(), chain.element(5));
+  EXPECT_EQ(walker.peek(1), chain.element(4));
+  EXPECT_EQ(walker.next_index(), 5u);
+}
+
+TEST(ChainWalkerTest, MultiStepTake) {
+  HmacDrbg rng{4u};
+  const auto chain = HashChain::generate(HashAlgo::kSha1,
+                                         ChainTagging::kRoleBound, rng, 10);
+  ChainWalker walker{chain};
+  EXPECT_EQ(walker.take(2), chain.element(9));  // consumes 9 and 8
+  EXPECT_EQ(walker.next_index(), 7u);
+}
+
+TEST(ChainWalkerTest, ExhaustionThrows) {
+  HmacDrbg rng{5u};
+  const auto chain = HashChain::generate(HashAlgo::kSha1,
+                                         ChainTagging::kRoleBound, rng, 2);
+  ChainWalker walker{chain};
+  EXPECT_EQ(walker.take(), chain.element(1));
+  EXPECT_TRUE(walker.exhausted());
+  EXPECT_THROW(walker.take(), std::out_of_range);
+  EXPECT_THROW(walker.peek(), std::out_of_range);
+}
+
+TEST(ChainVerifierTest, AcceptsSequentialDisclosures) {
+  HmacDrbg rng{6u};
+  const auto chain = HashChain::generate(HashAlgo::kSha1,
+                                         ChainTagging::kRoleBound, rng, 10);
+  ChainVerifier verifier{HashAlgo::kSha1, ChainTagging::kRoleBound,
+                         chain.anchor(), 10};
+  for (std::size_t i = 9; i >= 1; --i) {
+    EXPECT_TRUE(verifier.accept(chain.element(i), i)) << i;
+    EXPECT_EQ(verifier.last_index(), i);
+  }
+}
+
+TEST(ChainVerifierTest, AcceptsGapDisclosures) {
+  HmacDrbg rng{7u};
+  const auto chain = HashChain::generate(HashAlgo::kSha1,
+                                         ChainTagging::kRoleBound, rng, 20);
+  ChainVerifier verifier{HashAlgo::kSha1, ChainTagging::kRoleBound,
+                         chain.anchor(), 20};
+  EXPECT_TRUE(verifier.accept(chain.element(15), 15));  // gap of 5
+  EXPECT_TRUE(verifier.accept(chain.element(14), 14));
+}
+
+TEST(ChainVerifierTest, RejectsBeyondMaxGap) {
+  HmacDrbg rng{8u};
+  const auto chain = HashChain::generate(HashAlgo::kSha1,
+                                         ChainTagging::kRoleBound, rng, 200);
+  ChainVerifier verifier{HashAlgo::kSha1, ChainTagging::kRoleBound,
+                         chain.anchor(), 200, /*max_gap=*/4};
+  EXPECT_FALSE(verifier.accept(chain.element(190), 190));
+  EXPECT_TRUE(verifier.accept(chain.element(197), 197));
+}
+
+TEST(ChainVerifierTest, RejectsForgedElement) {
+  HmacDrbg rng{9u};
+  const auto chain = HashChain::generate(HashAlgo::kSha1,
+                                         ChainTagging::kRoleBound, rng, 10);
+  ChainVerifier verifier{HashAlgo::kSha1, ChainTagging::kRoleBound,
+                         chain.anchor(), 10};
+  crypto::Bytes forged(20, 0xee);
+  EXPECT_FALSE(verifier.accept(Digest{crypto::ByteView{forged}}, 9));
+  // State unchanged: the genuine element still verifies.
+  EXPECT_TRUE(verifier.accept(chain.element(9), 9));
+}
+
+TEST(ChainVerifierTest, RejectsReplay) {
+  HmacDrbg rng{10u};
+  const auto chain = HashChain::generate(HashAlgo::kSha1,
+                                         ChainTagging::kRoleBound, rng, 10);
+  ChainVerifier verifier{HashAlgo::kSha1, ChainTagging::kRoleBound,
+                         chain.anchor(), 10};
+  EXPECT_TRUE(verifier.accept(chain.element(9), 9));
+  EXPECT_FALSE(verifier.accept(chain.element(9), 9));   // same index replay
+  EXPECT_FALSE(verifier.accept(chain.element(10), 10)); // anchor replay
+}
+
+TEST(ChainVerifierTest, AutoAcceptFindsIndex) {
+  HmacDrbg rng{11u};
+  const auto chain = HashChain::generate(HashAlgo::kSha1,
+                                         ChainTagging::kRoleBound, rng, 20);
+  ChainVerifier verifier{HashAlgo::kSha1, ChainTagging::kRoleBound,
+                         chain.anchor(), 20};
+  const auto idx = verifier.accept_auto(chain.element(17));
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 17u);
+  EXPECT_EQ(verifier.last_index(), 17u);
+  EXPECT_FALSE(verifier.accept_auto(chain.element(19)).has_value());
+}
+
+TEST(ChainVerifierTest, CrossChainElementsRejected) {
+  HmacDrbg rng{12u};
+  const auto a = HashChain::generate(HashAlgo::kSha1,
+                                     ChainTagging::kRoleBound, rng, 10);
+  const auto b = HashChain::generate(HashAlgo::kSha1,
+                                     ChainTagging::kRoleBound, rng, 10);
+  ChainVerifier verifier{HashAlgo::kSha1, ChainTagging::kRoleBound,
+                         a.anchor(), 10};
+  EXPECT_FALSE(verifier.accept(b.element(9), 9));
+}
+
+TEST(ChainVerifierTest, AcceptOrDeriveHandlesBothDirections) {
+  HmacDrbg rng{21u};
+  const auto chain = HashChain::generate(HashAlgo::kSha1,
+                                         ChainTagging::kRoleBound, rng, 20);
+  ChainVerifier verifier{HashAlgo::kSha1, ChainTagging::kRoleBound,
+                         chain.anchor(), 20};
+  // Advance to index 15.
+  ASSERT_TRUE(verifier.accept(chain.element(15), 15));
+
+  // Below the state: behaves like accept (advances).
+  EXPECT_TRUE(verifier.accept_or_derive(chain.element(14), 14));
+  EXPECT_EQ(verifier.last_index(), 14u);
+
+  // At the state: idempotent match, no advance.
+  EXPECT_TRUE(verifier.accept_or_derive(chain.element(14), 14));
+  EXPECT_EQ(verifier.last_index(), 14u);
+
+  // Above the state (out-of-order arrival): derivable, no advance.
+  EXPECT_TRUE(verifier.accept_or_derive(chain.element(16), 16));
+  EXPECT_TRUE(verifier.accept_or_derive(chain.element(19), 19));
+  EXPECT_EQ(verifier.last_index(), 14u);
+
+  // Forged elements fail in every direction.
+  const Digest forged{crypto::ByteView{crypto::Bytes(20, 0x5e)}};
+  EXPECT_FALSE(verifier.accept_or_derive(forged, 13));
+  EXPECT_FALSE(verifier.accept_or_derive(forged, 14));
+  EXPECT_FALSE(verifier.accept_or_derive(forged, 16));
+}
+
+TEST(ChainVerifierTest, AcceptOrDeriveRespectsMaxGapUpward) {
+  HmacDrbg rng{22u};
+  const auto chain = HashChain::generate(HashAlgo::kSha1,
+                                         ChainTagging::kRoleBound, rng, 200);
+  ChainVerifier verifier{HashAlgo::kSha1, ChainTagging::kRoleBound,
+                         chain.anchor(), 200, /*max_gap=*/4};
+  // Walk down within the gap bound to index 190.
+  ASSERT_TRUE(verifier.accept(chain.element(196), 196));
+  ASSERT_TRUE(verifier.accept(chain.element(192), 192));
+  ASSERT_TRUE(verifier.accept(chain.element(190), 190));
+  EXPECT_TRUE(verifier.accept_or_derive(chain.element(194), 194));
+  // Genuine element 5 steps above the state: refused by the gap bound.
+  EXPECT_FALSE(verifier.accept_or_derive(chain.element(195), 195));
+}
+
+TEST(ChainAdvanceTest, RejectsBackwardRange) {
+  const Digest d{crypto::ByteView{crypto::Bytes(20, 1)}};
+  EXPECT_THROW(
+      chain_advance(HashAlgo::kSha1, ChainTagging::kPlain, d, 5, 4),
+      std::invalid_argument);
+}
+
+TEST(ChainGenerateTest, DeterministicFromSeededRng) {
+  HmacDrbg a{42u}, b{42u};
+  const auto c1 = HashChain::generate(HashAlgo::kSha1,
+                                      ChainTagging::kRoleBound, a, 8);
+  const auto c2 = HashChain::generate(HashAlgo::kSha1,
+                                      ChainTagging::kRoleBound, b, 8);
+  EXPECT_EQ(c1.anchor(), c2.anchor());
+}
+
+}  // namespace
+}  // namespace alpha::hashchain

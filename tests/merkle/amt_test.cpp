@@ -1,0 +1,164 @@
+#include "merkle/amt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alpha::merkle {
+namespace {
+
+using crypto::Bytes;
+using crypto::HmacDrbg;
+
+TEST(AmtTest, BasicAckVerifies) {
+  HmacDrbg rng{1u};
+  const AckMerkleTree amt{HashAlgo::kSha1, 4, rng};
+  const Bytes key(20, 0x11);
+  const Digest root = amt.keyed_root(key);
+
+  const auto proof = amt.prove(2, /*ack=*/true);
+  EXPECT_TRUE(proof.is_ack);
+  EXPECT_EQ(proof.msg_index, 2u);
+  EXPECT_TRUE(AckMerkleTree::verify(HashAlgo::kSha1, key, proof, root, 4));
+}
+
+TEST(AmtTest, BasicNackVerifies) {
+  HmacDrbg rng{2u};
+  const AckMerkleTree amt{HashAlgo::kSha1, 4, rng};
+  const Bytes key(20, 0x22);
+  const Digest root = amt.keyed_root(key);
+
+  const auto proof = amt.prove(1, /*ack=*/false);
+  EXPECT_FALSE(proof.is_ack);
+  EXPECT_TRUE(AckMerkleTree::verify(HashAlgo::kSha1, key, proof, root, 4));
+}
+
+class AmtSweepTest
+    : public ::testing::TestWithParam<std::tuple<HashAlgo, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AmtSweepTest,
+    ::testing::Combine(::testing::Values(HashAlgo::kSha1, HashAlgo::kMmo128),
+                       ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u, 31u)));
+
+TEST_P(AmtSweepTest, EveryMessageAckAndNackVerify) {
+  const auto [algo, n] = GetParam();
+  HmacDrbg rng{99u};
+  const AckMerkleTree amt{algo, n, rng};
+  const Bytes key(crypto::digest_size(algo), 0x33);
+  const Digest root = amt.keyed_root(key);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_TRUE(AckMerkleTree::verify(algo, key, amt.prove(j, true), root, n))
+        << "ack " << j << "/" << n;
+    EXPECT_TRUE(AckMerkleTree::verify(algo, key, amt.prove(j, false), root, n))
+        << "nack " << j << "/" << n;
+  }
+}
+
+TEST(AmtTest, AckCannotBeReplayedAsNack) {
+  // The central AMT security property: flipping the is_ack bit on a genuine
+  // proof must fail, because ack and nack leaves live in different halves.
+  HmacDrbg rng{3u};
+  const AckMerkleTree amt{HashAlgo::kSha1, 4, rng};
+  const Bytes key(20, 0x44);
+  const Digest root = amt.keyed_root(key);
+
+  auto proof = amt.prove(2, true);
+  proof.is_ack = false;
+  EXPECT_FALSE(AckMerkleTree::verify(HashAlgo::kSha1, key, proof, root, 4));
+
+  auto nproof = amt.prove(2, false);
+  nproof.is_ack = true;
+  EXPECT_FALSE(AckMerkleTree::verify(HashAlgo::kSha1, key, nproof, root, 4));
+}
+
+TEST(AmtTest, WrongSecretRejected) {
+  HmacDrbg rng{4u};
+  const AckMerkleTree amt{HashAlgo::kSha1, 4, rng};
+  const Bytes key(20, 0x55);
+  const Digest root = amt.keyed_root(key);
+
+  auto proof = amt.prove(0, true);
+  proof.secret[0] ^= 1;
+  EXPECT_FALSE(AckMerkleTree::verify(HashAlgo::kSha1, key, proof, root, 4));
+}
+
+TEST(AmtTest, WrongIndexRejected) {
+  HmacDrbg rng{5u};
+  const AckMerkleTree amt{HashAlgo::kSha1, 4, rng};
+  const Bytes key(20, 0x66);
+  const Digest root = amt.keyed_root(key);
+
+  auto proof = amt.prove(0, true);
+  proof.msg_index = 1;  // claim the ack belongs to another message
+  EXPECT_FALSE(AckMerkleTree::verify(HashAlgo::kSha1, key, proof, root, 4));
+}
+
+TEST(AmtTest, WrongKeyRejected) {
+  HmacDrbg rng{6u};
+  const AckMerkleTree amt{HashAlgo::kSha1, 4, rng};
+  const Bytes key(20, 0x77);
+  const Bytes wrong(20, 0x78);
+  const Digest root = amt.keyed_root(key);
+  EXPECT_FALSE(
+      AckMerkleTree::verify(HashAlgo::kSha1, wrong, amt.prove(0, true), root, 4));
+}
+
+TEST(AmtTest, OutOfRangeIndexRejected) {
+  HmacDrbg rng{7u};
+  const AckMerkleTree amt{HashAlgo::kSha1, 4, rng};
+  const Bytes key(20, 0x88);
+  const Digest root = amt.keyed_root(key);
+  auto proof = amt.prove(3, true);
+  EXPECT_FALSE(AckMerkleTree::verify(HashAlgo::kSha1, key, proof, root, 3));
+  EXPECT_THROW(amt.prove(4, true), std::out_of_range);
+}
+
+TEST(AmtTest, SecretsAreDistinctPerLeaf) {
+  HmacDrbg rng{8u};
+  const AckMerkleTree amt{HashAlgo::kSha1, 8, rng};
+  // Ack and nack proofs for the same message must carry different secrets
+  // (paper: "The secret must be distinct for each leaf of the tree").
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_NE(amt.prove(j, true).secret, amt.prove(j, false).secret);
+  }
+  EXPECT_NE(amt.prove(0, true).secret, amt.prove(1, true).secret);
+}
+
+TEST(AmtTest, FreshTreesHaveFreshSecrets) {
+  // Replay protection across rounds (paper §3.2.2: fresh secrets thwart
+  // replay): two AMTs from an advancing RNG share nothing.
+  HmacDrbg rng{9u};
+  const AckMerkleTree a{HashAlgo::kSha1, 4, rng};
+  const AckMerkleTree b{HashAlgo::kSha1, 4, rng};
+  const Bytes key(20, 1);
+  EXPECT_NE(a.keyed_root(key), b.keyed_root(key));
+  EXPECT_NE(a.prove(0, true).secret, b.prove(0, true).secret);
+}
+
+TEST(AmtTest, RejectsZeroAndOversizedCount) {
+  HmacDrbg rng{10u};
+  EXPECT_THROW((AckMerkleTree{HashAlgo::kSha1, 0, rng}), std::invalid_argument);
+  EXPECT_THROW((AckMerkleTree{HashAlgo::kSha1, 65536, rng}),
+               std::invalid_argument);
+}
+
+TEST(AmtTest, MemoryMatchesTable3Shape) {
+  // Table 3 (verifier, ALPHA-M): n*s + (4n-1)*h. We count both secret sets
+  // (2n*s) and tree nodes (4n-1)*h for power-of-two n.
+  HmacDrbg rng{11u};
+  const std::size_t n = 8, s = 16, h = 20;
+  const AckMerkleTree amt{HashAlgo::kSha1, n, rng, s};
+  EXPECT_EQ(amt.memory_bytes(), 2 * n * s + (4 * n - 1) * h);
+}
+
+TEST(AmtTest, ProofWireSizeIsLogarithmic) {
+  HmacDrbg rng{12u};
+  const AckMerkleTree amt{HashAlgo::kSha1, 16, rng};
+  const auto proof = amt.prove(0, true);
+  // 2n = 32 leaves -> depth 5 path.
+  EXPECT_EQ(proof.path.siblings.size(), 5u);
+  EXPECT_EQ(proof.wire_size(), 1 + 2 + 16 + 5 * 20);
+}
+
+}  // namespace
+}  // namespace alpha::merkle

@@ -1,0 +1,204 @@
+#include "merkle/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/counter.hpp"
+#include "crypto/random.hpp"
+
+namespace alpha::merkle {
+namespace {
+
+using crypto::HmacDrbg;
+
+std::vector<Bytes> make_messages(std::size_t n, std::uint64_t seed = 1) {
+  HmacDrbg rng{seed};
+  std::vector<Bytes> msgs;
+  msgs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) msgs.push_back(rng.bytes(32 + i % 64));
+  return msgs;
+}
+
+TEST(MerkleTreeTest, SingleLeaf) {
+  const std::vector<Bytes> msgs = make_messages(1);
+  const MerkleTree tree{HashAlgo::kSha1, msgs};
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_EQ(tree.width(), 1u);
+  EXPECT_EQ(tree.depth(), 0u);
+  EXPECT_EQ(tree.root(), crypto::hash(HashAlgo::kSha1, msgs[0]));
+  EXPECT_TRUE(tree.auth_path(0).siblings.empty());
+}
+
+TEST(MerkleTreeTest, TwoLeavesRootStructure) {
+  const std::vector<Bytes> msgs = make_messages(2);
+  const MerkleTree tree{HashAlgo::kSha1, msgs};
+  const Digest l0 = crypto::hash(HashAlgo::kSha1, msgs[0]);
+  const Digest l1 = crypto::hash(HashAlgo::kSha1, msgs[1]);
+  EXPECT_EQ(tree.root(), crypto::hash2(HashAlgo::kSha1, l0.view(), l1.view()));
+}
+
+TEST(MerkleTreeTest, EightLeavesMatchesPaperFigure4Structure) {
+  // Fig. 4: root = H(k | b0 | b1), b0 = H(b00|b01), b00 = H(b000|b001),
+  // b000 = H(m0); verify the full structure manually.
+  const std::vector<Bytes> msgs = make_messages(8);
+  const MerkleTree tree{HashAlgo::kSha1, msgs};
+  const auto H = [](ByteView a, ByteView b) {
+    return crypto::hash2(HashAlgo::kSha1, a, b);
+  };
+  std::vector<Digest> b(8);
+  for (int i = 0; i < 8; ++i) b[static_cast<std::size_t>(i)] = crypto::hash(HashAlgo::kSha1, msgs[static_cast<std::size_t>(i)]);
+  const Digest b00 = H(b[0].view(), b[1].view());
+  const Digest b01 = H(b[2].view(), b[3].view());
+  const Digest b10 = H(b[4].view(), b[5].view());
+  const Digest b11 = H(b[6].view(), b[7].view());
+  const Digest b0 = H(b00.view(), b01.view());
+  const Digest b1 = H(b10.view(), b11.view());
+  EXPECT_EQ(tree.root(), H(b0.view(), b1.view()));
+
+  const crypto::Bytes key(20, 0xaa);
+  EXPECT_EQ(tree.keyed_root(key),
+            crypto::hash3(HashAlgo::kSha1, key, b0.view(), b1.view()));
+}
+
+class MerklePathTest
+    : public ::testing::TestWithParam<std::tuple<HashAlgo, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MerklePathTest,
+    ::testing::Combine(::testing::Values(HashAlgo::kSha1, HashAlgo::kSha256,
+                                         HashAlgo::kMmo128),
+                       ::testing::Values(1u, 2u, 3u, 4u, 7u, 8u, 16u, 33u,
+                                         64u)));
+
+TEST_P(MerklePathTest, EveryLeafVerifies) {
+  const auto [algo, n] = GetParam();
+  const std::vector<Bytes> msgs = make_messages(n);
+  const MerkleTree tree{algo, msgs};
+  for (std::size_t j = 0; j < n; ++j) {
+    const AuthPath path = tree.auth_path(j);
+    const Digest leaf = crypto::hash(algo, msgs[j]);
+    EXPECT_TRUE(MerkleTree::verify(algo, leaf, path, tree.root()))
+        << "leaf " << j << " of " << n;
+  }
+}
+
+TEST_P(MerklePathTest, EveryLeafVerifiesKeyed) {
+  const auto [algo, n] = GetParam();
+  const std::vector<Bytes> msgs = make_messages(n);
+  const MerkleTree tree{algo, msgs};
+  const crypto::Bytes key(crypto::digest_size(algo), 0x55);
+  const Digest root = tree.keyed_root(key);
+  for (std::size_t j = 0; j < n; ++j) {
+    const AuthPath path = tree.auth_path(j);
+    const Digest leaf = crypto::hash(algo, msgs[j]);
+    EXPECT_TRUE(MerkleTree::verify_keyed(algo, key, leaf, path, root))
+        << "leaf " << j << " of " << n;
+  }
+}
+
+TEST_P(MerklePathTest, TamperedLeafRejected) {
+  const auto [algo, n] = GetParam();
+  std::vector<Bytes> msgs = make_messages(n);
+  const MerkleTree tree{algo, msgs};
+  const crypto::Bytes key(crypto::digest_size(algo), 0x55);
+  const Digest root = tree.keyed_root(key);
+  for (std::size_t j = 0; j < n; ++j) {
+    Bytes tampered = msgs[j];
+    tampered[0] ^= 0x01;
+    const Digest bad_leaf = crypto::hash(algo, tampered);
+    EXPECT_FALSE(
+        MerkleTree::verify_keyed(algo, key, bad_leaf, tree.auth_path(j), root))
+        << "leaf " << j;
+  }
+}
+
+TEST(MerkleTreeTest, WrongKeyRejected) {
+  const std::vector<Bytes> msgs = make_messages(4);
+  const MerkleTree tree{HashAlgo::kSha1, msgs};
+  const crypto::Bytes key(20, 0x55);
+  const crypto::Bytes wrong(20, 0x56);
+  const Digest root = tree.keyed_root(key);
+  const Digest leaf = crypto::hash(HashAlgo::kSha1, msgs[0]);
+  EXPECT_FALSE(
+      MerkleTree::verify_keyed(HashAlgo::kSha1, wrong, leaf, tree.auth_path(0), root));
+}
+
+TEST(MerkleTreeTest, PathFromWrongLeafIndexRejected) {
+  const std::vector<Bytes> msgs = make_messages(4);
+  const MerkleTree tree{HashAlgo::kSha1, msgs};
+  const Digest leaf0 = crypto::hash(HashAlgo::kSha1, msgs[0]);
+  AuthPath path = tree.auth_path(1);  // path for leaf 1 used with leaf 0
+  EXPECT_FALSE(MerkleTree::verify(HashAlgo::kSha1, leaf0, path, tree.root()));
+}
+
+TEST(MerkleTreeTest, SwappedSiblingRejected) {
+  const std::vector<Bytes> msgs = make_messages(8);
+  const MerkleTree tree{HashAlgo::kSha1, msgs};
+  AuthPath path = tree.auth_path(3);
+  std::swap(path.siblings[0], path.siblings[1]);
+  const Digest leaf = crypto::hash(HashAlgo::kSha1, msgs[3]);
+  EXPECT_FALSE(MerkleTree::verify(HashAlgo::kSha1, leaf, path, tree.root()));
+}
+
+TEST(MerkleTreeTest, NonPowerOfTwoPadding) {
+  // 5 leaves pad to width 8; paths stay depth 3 and all real leaves verify.
+  const std::vector<Bytes> msgs = make_messages(5);
+  const MerkleTree tree{HashAlgo::kSha1, msgs};
+  EXPECT_EQ(tree.width(), 8u);
+  EXPECT_EQ(tree.depth(), 3u);
+  EXPECT_EQ(tree.auth_path(4).siblings.size(), 3u);
+  EXPECT_THROW(tree.auth_path(5), std::out_of_range);
+}
+
+TEST(MerkleTreeTest, EmptyThrows) {
+  EXPECT_THROW((MerkleTree{HashAlgo::kSha1, std::vector<Bytes>{}}),
+               std::invalid_argument);
+}
+
+TEST(MerkleTreeTest, DifferentMessagesDifferentRoots) {
+  const MerkleTree a{HashAlgo::kSha1, make_messages(8, 1)};
+  const MerkleTree b{HashAlgo::kSha1, make_messages(8, 2)};
+  EXPECT_NE(a.root(), b.root());
+}
+
+TEST(MerkleTreeTest, PathWireSizeGrowsLogarithmically) {
+  for (std::size_t n : {2u, 4u, 16u, 256u, 1024u}) {
+    const MerkleTree tree{HashAlgo::kSha1, make_messages(n)};
+    const AuthPath path = tree.auth_path(0);
+    EXPECT_EQ(path.siblings.size(), tree.depth());
+    EXPECT_EQ(path.wire_size(), tree.depth() * 20);
+  }
+}
+
+TEST(MerkleCostModelTest, VerifyCostIsLogPlusOne) {
+  EXPECT_EQ(verify_hash_cost(1), 1u);
+  EXPECT_EQ(verify_hash_cost(2), 2u);
+  EXPECT_EQ(verify_hash_cost(16), 5u);
+  EXPECT_EQ(verify_hash_cost(1024), 11u);
+}
+
+TEST(MerkleCostModelTest, BuildCostIsTwoNMinusOne) {
+  EXPECT_EQ(build_hash_cost(1), 1u);
+  EXPECT_EQ(build_hash_cost(8), 8u + 7u);
+  EXPECT_EQ(build_hash_cost(1024), 1024u + 1023u);
+}
+
+TEST(MerkleCostModelTest, MeasuredVerifyCostMatchesModel) {
+  for (std::size_t n : {2u, 8u, 64u}) {
+    const std::vector<Bytes> msgs = make_messages(n);
+    const MerkleTree tree{HashAlgo::kSha1, msgs};
+    const crypto::Bytes key(20, 1);
+    const Digest root = tree.keyed_root(key);
+    const AuthPath path = tree.auth_path(0);
+    const Digest leaf = crypto::hash(HashAlgo::kSha1, msgs[0]);
+
+    const crypto::ScopedHashOps ops;
+    ASSERT_TRUE(MerkleTree::verify_keyed(HashAlgo::kSha1, key, leaf, path, root));
+    // verify_keyed performs path.size()-1 plain combines + 1 keyed combine;
+    // + the leaf hash itself = verify_hash_cost (which counts leaf hashing).
+    EXPECT_EQ(ops.delta().hash_finalizations, verify_hash_cost(n) - 1)
+        << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace alpha::merkle

@@ -1,0 +1,237 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alpha::net {
+namespace {
+
+struct Inbox {
+  std::vector<std::pair<NodeId, Bytes>> frames;
+  ReceiveFn handler() {
+    return [this](NodeId from, ByteView data) {
+      frames.emplace_back(from, Bytes(data.begin(), data.end()));
+    };
+  }
+};
+
+TEST(NetworkTest, DeliversFrameWithLatency) {
+  Simulator sim;
+  Network net{sim};
+  Inbox inbox;
+  net.add_node(1);
+  net.add_node(2, inbox.handler());
+  net.add_link(1, 2, {.latency = 5 * kMillisecond, .jitter = 0});
+
+  EXPECT_TRUE(net.send(1, 2, Bytes{0xab}));
+  EXPECT_TRUE(inbox.frames.empty());
+  sim.run();
+  ASSERT_EQ(inbox.frames.size(), 1u);
+  EXPECT_EQ(inbox.frames[0].first, 1u);
+  EXPECT_EQ(inbox.frames[0].second, Bytes{0xab});
+  EXPECT_GE(sim.now(), 5 * kMillisecond);
+}
+
+TEST(NetworkTest, NoLinkNoDelivery) {
+  Simulator sim;
+  Network net{sim};
+  net.add_node(1);
+  net.add_node(2);
+  EXPECT_FALSE(net.send(1, 2, Bytes{1}));
+}
+
+TEST(NetworkTest, MtuDropsOversizeFrames) {
+  Simulator sim;
+  Network net{sim};
+  Inbox inbox;
+  net.add_node(1);
+  net.add_node(2, inbox.handler());
+  net.add_link(1, 2, {.mtu = 100});
+
+  EXPECT_FALSE(net.send(1, 2, Bytes(101, 0)));
+  EXPECT_TRUE(net.send(1, 2, Bytes(100, 0)));
+  sim.run();
+  EXPECT_EQ(inbox.frames.size(), 1u);
+  EXPECT_EQ(net.link_stats(1, 2).frames_oversize, 1u);
+}
+
+TEST(NetworkTest, LossRateDropsApproximateFraction) {
+  Simulator sim;
+  Network net{sim, /*seed=*/7};
+  Inbox inbox;
+  net.add_node(1);
+  net.add_node(2, inbox.handler());
+  net.add_link(1, 2, {.loss_rate = 0.3});
+
+  const int kFrames = 2000;
+  for (int i = 0; i < kFrames; ++i) net.send(1, 2, Bytes{1});
+  sim.run();
+  const auto& stats = net.link_stats(1, 2);
+  EXPECT_EQ(stats.frames_sent, static_cast<std::uint64_t>(kFrames));
+  const double loss =
+      static_cast<double>(stats.frames_lost) / static_cast<double>(kFrames);
+  EXPECT_NEAR(loss, 0.3, 0.05);
+  EXPECT_EQ(inbox.frames.size(), stats.frames_delivered);
+}
+
+TEST(NetworkTest, LossIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    Network net{sim, seed};
+    Inbox inbox;
+    net.add_node(1);
+    net.add_node(2, inbox.handler());
+    net.add_link(1, 2, {.loss_rate = 0.5});
+    for (int i = 0; i < 100; ++i) net.send(1, 2, Bytes{static_cast<std::uint8_t>(i)});
+    sim.run();
+    return inbox.frames.size();
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+TEST(NetworkTest, BandwidthSerializesBackToBackFrames) {
+  Simulator sim;
+  Network net{sim};
+  Inbox inbox;
+  net.add_node(1);
+  net.add_node(2, inbox.handler());
+  // 1 Mbit/s: a 1250-byte frame takes 10 ms to serialize.
+  net.add_link(1, 2, {.latency = 0, .jitter = 0, .bandwidth_bps = 1'000'000,
+                      .mtu = 2000});
+
+  net.send(1, 2, Bytes(1250, 0));
+  net.send(1, 2, Bytes(1250, 0));
+  sim.run();
+  ASSERT_EQ(inbox.frames.size(), 2u);
+  // Second frame queues behind the first: ~20 ms total.
+  EXPECT_GE(sim.now(), 19 * kMillisecond);
+  EXPECT_LE(sim.now(), 21 * kMillisecond);
+}
+
+TEST(NetworkTest, JitterVariesDelay) {
+  Simulator sim;
+  Network net{sim, 3};
+  std::vector<SimTime> arrivals;
+  net.add_node(1);
+  net.add_node(2, [&](NodeId, ByteView) { arrivals.push_back(sim.now()); });
+  net.add_link(1, 2, {.latency = kMillisecond, .jitter = 10 * kMillisecond,
+                      .bandwidth_bps = 0xffffffff});
+
+  // Send spaced out so serialization queueing does not interfere.
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule_at(static_cast<SimTime>(i) * kSecond, [&net] {
+      net.send(1, 2, Bytes{1});
+    });
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 20u);
+  std::set<SimTime> offsets;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    offsets.insert(arrivals[i] - static_cast<SimTime>(i) * kSecond);
+  }
+  EXPECT_GT(offsets.size(), 5u);  // delays vary
+}
+
+TEST(NetworkTest, RouteFindsShortestPath) {
+  Simulator sim;
+  Network net{sim};
+  for (NodeId id = 1; id <= 6; ++id) net.add_node(id);
+  // 1-2-3-6 (3 hops) and 1-4-5-6 with shortcut 1-5 (2 hops via 5).
+  net.add_link(1, 2);
+  net.add_link(2, 3);
+  net.add_link(3, 6);
+  net.add_link(1, 4);
+  net.add_link(4, 5);
+  net.add_link(5, 6);
+  net.add_link(1, 5);
+
+  const auto path = net.route(1, 6);
+  EXPECT_EQ(path, (std::vector<NodeId>{1, 5, 6}));
+}
+
+TEST(NetworkTest, RouteUnreachableIsEmpty) {
+  Simulator sim;
+  Network net{sim};
+  net.add_node(1);
+  net.add_node(2);
+  EXPECT_TRUE(net.route(1, 2).empty());
+  EXPECT_EQ(net.route(1, 1), (std::vector<NodeId>{1}));
+}
+
+TEST(NetworkTest, NeighborsListed) {
+  Simulator sim;
+  Network net{sim};
+  for (NodeId id = 1; id <= 4; ++id) net.add_node(id);
+  net.add_link(1, 2);
+  net.add_link(1, 3);
+  const auto n = net.neighbors(1);
+  EXPECT_EQ(n.size(), 2u);
+  EXPECT_TRUE(net.neighbors(4).empty());
+}
+
+TEST(NetworkTest, DuplicateNodeThrows) {
+  Simulator sim;
+  Network net{sim};
+  net.add_node(1);
+  EXPECT_THROW(net.add_node(1), std::invalid_argument);
+}
+
+TEST(NetworkTest, BadLinkEndpointsThrow) {
+  Simulator sim;
+  Network net{sim};
+  net.add_node(1);
+  EXPECT_THROW(net.add_link(1, 2), std::invalid_argument);
+  EXPECT_THROW(net.add_link(1, 1), std::invalid_argument);
+}
+
+TEST(NetworkTest, TracerSeesEveryFate) {
+  Simulator sim;
+  Network net{sim, /*seed=*/5};
+  Inbox inbox;
+  net.add_node(1);
+  net.add_node(2, inbox.handler());
+  net.add_link(1, 2, {.loss_rate = 0.5, .mtu = 100});
+
+  std::map<Network::FrameFate, int> fates;
+  net.set_tracer([&](const Network::TraceRecord& rec) { ++fates[rec.fate]; });
+
+  for (int i = 0; i < 200; ++i) net.send(1, 2, Bytes(10, 0));
+  net.send(1, 2, Bytes(200, 0));  // oversize
+  net.send(1, 3, Bytes(1, 0));    // no such link
+  sim.run();
+
+  EXPECT_GT(fates[Network::FrameFate::kDelivered], 0);
+  EXPECT_GT(fates[Network::FrameFate::kLost], 0);
+  EXPECT_EQ(fates[Network::FrameFate::kOversize], 1);
+  EXPECT_EQ(fates[Network::FrameFate::kNoLink], 1);
+  EXPECT_EQ(fates[Network::FrameFate::kDelivered] +
+                fates[Network::FrameFate::kLost],
+            200);
+  // Delivered records carry a future delivery time.
+  net.set_tracer([&](const Network::TraceRecord& rec) {
+    if (rec.fate == Network::FrameFate::kDelivered) {
+      EXPECT_GE(rec.delivery_at, rec.sent_at);
+    }
+  });
+  net.send(1, 2, Bytes(10, 0));
+  sim.run();
+}
+
+TEST(NetworkTest, TotalStatsAggregates) {
+  Simulator sim;
+  Network net{sim};
+  Inbox inbox;
+  net.add_node(1);
+  net.add_node(2, inbox.handler());
+  net.add_node(3, inbox.handler());
+  net.add_link(1, 2);
+  net.add_link(1, 3);
+  net.send(1, 2, Bytes(10, 0));
+  net.send(1, 3, Bytes(20, 0));
+  sim.run();
+  const auto total = net.total_stats();
+  EXPECT_EQ(total.frames_delivered, 2u);
+  EXPECT_EQ(total.bytes_delivered, 30u);
+}
+
+}  // namespace
+}  // namespace alpha::net

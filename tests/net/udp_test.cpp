@@ -1,0 +1,64 @@
+#include "net/udp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/bytes.hpp"
+
+namespace alpha::net {
+namespace {
+
+using crypto::Bytes;
+
+TEST(UdpTest, BindsEphemeralPort) {
+  UdpEndpoint a;
+  EXPECT_GT(a.port(), 0u);
+}
+
+TEST(UdpTest, SendReceiveRoundtrip) {
+  UdpEndpoint a, b;
+  const Bytes msg{1, 2, 3, 4, 5};
+  a.send_to(b.port(), msg);
+  const auto got = b.receive(2000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->data, msg);
+  EXPECT_EQ(got->from_port, a.port());
+}
+
+TEST(UdpTest, BidirectionalExchange) {
+  UdpEndpoint a, b;
+  a.send_to(b.port(), Bytes{0x01});
+  const auto at_b = b.receive(2000);
+  ASSERT_TRUE(at_b.has_value());
+  b.send_to(at_b->from_port, Bytes{0x02});
+  const auto at_a = a.receive(2000);
+  ASSERT_TRUE(at_a.has_value());
+  EXPECT_EQ(at_a->data, Bytes{0x02});
+}
+
+TEST(UdpTest, ReceiveTimesOut) {
+  UdpEndpoint a;
+  EXPECT_FALSE(a.receive(10).has_value());
+}
+
+TEST(UdpTest, LargeDatagram) {
+  UdpEndpoint a, b;
+  const Bytes msg(8000, 0x5a);
+  a.send_to(b.port(), msg);
+  const auto got = b.receive(2000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->data.size(), msg.size());
+  EXPECT_EQ(got->data, msg);
+}
+
+TEST(UdpTest, MoveTransfersOwnership) {
+  UdpEndpoint a;
+  const std::uint16_t port = a.port();
+  UdpEndpoint moved{std::move(a)};
+  EXPECT_EQ(moved.port(), port);
+  UdpEndpoint c;
+  c.send_to(moved.port(), Bytes{7});
+  EXPECT_TRUE(moved.receive(2000).has_value());
+}
+
+}  // namespace
+}  // namespace alpha::net

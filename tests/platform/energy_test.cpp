@@ -1,0 +1,64 @@
+#include "platform/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alpha::platform {
+namespace {
+
+TEST(EnergyModelTest, CpuEnergyScalesWithTime) {
+  EnergyModel e;
+  EXPECT_DOUBLE_EQ(e.cpu_uj(1000.0), 81.0);  // 1 ms at 81 mW = 81 uJ
+  EXPECT_DOUBLE_EQ(e.cpu_uj(0.0), 0.0);
+}
+
+TEST(EnergyModelTest, RadioEnergyScalesWithBytes) {
+  EnergyModel e;
+  EXPECT_NEAR(e.relay_radio_uj(100), 576.0, 1e-9);  // (2.88+2.88)*100
+}
+
+TEST(EnergyEstimateTest, AlphaCRelayCosts) {
+  const auto dev = devices::cc2430();
+  EnergyModel e;
+  const auto est = estimate_alpha_c_energy(dev, e, 100, 5);
+  // MAC over 84 B = 2.01 ms -> ~163 uJ CPU; radio 576 uJ for 100 B.
+  EXPECT_NEAR(est.cpu_uj, e.cpu_uj(2010.0 + 780.0 / 5.0), 1.0);
+  EXPECT_NEAR(est.radio_uj, 576.0, 1e-6);
+  EXPECT_GT(est.total_uj(), est.radio_uj);
+  EXPECT_GT(est.per_payload_byte(65), 0.0);
+}
+
+TEST(EnergyEstimateTest, AlphaVerificationCostsLessThanRadioItself) {
+  // The headline sanity check: hop-by-hop authentication adds less energy
+  // than the radio spends forwarding the very same packet.
+  const auto dev = devices::cc2430();
+  EnergyModel e;
+  const auto alpha = estimate_alpha_c_energy(dev, e, 100, 5);
+  EXPECT_LT(alpha.cpu_uj, alpha.radio_uj);
+}
+
+TEST(EnergyEstimateTest, EccDwarfsEverything) {
+  const auto dev = devices::cc2430();
+  EnergyModel e;
+  const auto alpha = estimate_alpha_c_energy(dev, e, 100, 5);
+  const auto ecc = estimate_ecc_energy(e, 100);
+  const auto blind = estimate_blind_energy(e, 100);
+  EXPECT_GT(ecc.total_uj(), 100.0 * alpha.total_uj());
+  EXPECT_LT(blind.total_uj(), alpha.total_uj());
+}
+
+TEST(FloodEnergyTest, AlphaSavesDownstreamEnergy) {
+  const auto dev = devices::cc2430();
+  EnergyModel e;
+  const auto flood = estimate_flood_energy(dev, e, /*hops=*/6,
+                                           /*frames=*/1000,
+                                           /*frame_size=*/100);
+  // Without ALPHA every hop pays RX+TX; with it only the entry relay pays
+  // RX + one check. The saving grows with path length.
+  EXPECT_LT(flood.with_alpha_j, flood.without_alpha_j);
+  const auto longer = estimate_flood_energy(dev, e, 12, 1000, 100);
+  EXPECT_NEAR(longer.without_alpha_j, 2 * flood.without_alpha_j, 1e-9);
+  EXPECT_NEAR(longer.with_alpha_j, flood.with_alpha_j, 1e-9);
+}
+
+}  // namespace
+}  // namespace alpha::platform

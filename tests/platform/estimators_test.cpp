@@ -1,0 +1,190 @@
+// Checks the analytical estimators against the paper's published numbers.
+#include "platform/estimators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alpha::platform {
+namespace {
+
+TEST(HashCostModelTest, InterpolatesThroughPoints) {
+  const auto m = HashCostModel::from_points(20, 59.0, 1024, 360.0);
+  EXPECT_NEAR(m.cost_us(20), 59.0, 1e-9);
+  EXPECT_NEAR(m.cost_us(1024), 360.0, 1e-9);
+  EXPECT_GT(m.cost_us(2048), 360.0);
+}
+
+TEST(DeviceSpecTest, PaperCalibrationPoints) {
+  EXPECT_NEAR(devices::ar2315().hash.cost_us(20), 59.0, 1e-9);
+  EXPECT_NEAR(devices::ar2315().hash.cost_us(1024), 360.0, 1e-9);
+  EXPECT_NEAR(devices::bcm5365().hash.cost_us(20), 46.0, 1e-9);
+  EXPECT_NEAR(devices::geode_lx().hash.cost_us(1024), 62.0, 1e-9);
+  EXPECT_NEAR(devices::cc2430().hash.cost_us(16), 780.0, 1e-9);
+  EXPECT_NEAR(devices::cc2430().hash.cost_us(84), 2010.0, 1e-9);
+  EXPECT_EQ(devices::cc2430().hash_size, 16u);
+  EXPECT_NEAR(devices::nokia770().rsa_sign_ms, 181.32, 1e-9);
+  EXPECT_NEAR(devices::xeon().dsa_verify_ms, 1.61, 1e-9);
+}
+
+TEST(Eq1Test, PayloadPerPacketMatchesTable6) {
+  // Table 6 payload column: 1024 B packets, 20 B hashes.
+  const struct {
+    std::size_t leaves;
+    std::size_t payload;
+  } rows[] = {{16, 924}, {32, 904}, {64, 884},  {128, 864},
+              {256, 844}, {512, 824}, {1024, 804}};
+  for (const auto& row : rows) {
+    EXPECT_EQ(alpha_m_payload_per_packet(row.leaves, 1024, 20), row.payload)
+        << row.leaves;
+  }
+}
+
+TEST(Eq1Test, SignedBytesGrowThenBecomeInfeasible) {
+  // Figure 5 shape: grows with n until {Bc} eats the packet.
+  EXPECT_EQ(eq1_signed_bytes(1, 128, 20), 108u);
+  EXPECT_EQ(eq1_signed_bytes(2, 128, 20), 2 * 88u);
+  EXPECT_GT(*eq1_signed_bytes(16, 1280, 20), *eq1_signed_bytes(1, 1280, 20));
+  // 128 B packets: depth 5 needs 120 B of signature -> payload 8; depth 6
+  // needs 140 B -> infeasible.
+  EXPECT_TRUE(eq1_signed_bytes(32, 128, 20).has_value());
+  EXPECT_FALSE(eq1_signed_bytes(64, 128, 20).has_value());
+}
+
+TEST(Eq1Test, SeeSawAtDepthBoundaries) {
+  // Per-packet payload drops when n crosses a power of two (Fig. 5 see-saw):
+  const auto at_16 = alpha_m_payload_per_packet(16, 1280, 20);
+  const auto at_17 = alpha_m_payload_per_packet(17, 1280, 20);
+  EXPECT_EQ(*at_16 - *at_17, 20u);  // one more tree level
+}
+
+TEST(Fig6Test, OverheadRatioRisesWithDepthAndSmallPackets) {
+  // Fig. 6: larger packets -> lower overhead; more leaves -> higher.
+  EXPECT_LT(*overhead_ratio(16, 1280, 20), *overhead_ratio(16, 256, 20));
+  EXPECT_LT(*overhead_ratio(16, 1280, 20), *overhead_ratio(1024, 1280, 20));
+  // Ratio approaches 5 for 128 B packets at the feasibility edge (Fig. 6 d).
+  EXPECT_NEAR(*overhead_ratio(32, 128, 20), 16.0, 0.01);  // 128/8
+  EXPECT_NEAR(*overhead_ratio(16, 128, 20), 128.0 / 28.0, 0.01);
+}
+
+TEST(Table1Test, BaseModeCounts) {
+  const auto signer = table1_row(AlphaMode::kBase, Role::kSigner, 1);
+  EXPECT_EQ(signer.signature, 1);
+  EXPECT_EQ(signer.chain_create, 2);
+  EXPECT_EQ(signer.chain_verify, 1);
+  EXPECT_EQ(signer.ack_nack, 1);
+  const auto verifier = table1_row(AlphaMode::kBase, Role::kVerifier, 1);
+  EXPECT_EQ(verifier.ack_nack, 2);
+  const auto relay = table1_row(AlphaMode::kBase, Role::kRelay, 1);
+  EXPECT_EQ(relay.chain_create, 0);
+}
+
+TEST(Table1Test, CumulativeAmortizesChainWork) {
+  const auto row = table1_row(AlphaMode::kCumulative, Role::kVerifier, 20);
+  EXPECT_EQ(row.signature, 1);
+  EXPECT_NEAR(row.chain_create, 0.1, 1e-12);
+  EXPECT_NEAR(row.chain_verify, 0.05, 1e-12);
+}
+
+TEST(Table1Test, MerkleAddsLogTerms) {
+  const auto verifier = table1_row(AlphaMode::kMerkle, Role::kVerifier, 64);
+  EXPECT_NEAR(verifier.signature, 1 + 6, 1e-12);  // 1* + log2(64)
+  const auto signer = table1_row(AlphaMode::kMerkle, Role::kSigner, 64);
+  EXPECT_NEAR(signer.signature, 1 + 2 - 1.0 / 64, 1e-12);
+  EXPECT_NEAR(signer.ack_nack, 2 + 6, 1e-12);
+  const auto relay = table1_row(AlphaMode::kMerkle, Role::kRelay, 64);
+  EXPECT_NEAR(relay.signature, 1 + 6, 1e-12);
+}
+
+TEST(Table2Test, PaperFormulas) {
+  const std::size_t n = 8, m = 1000, h = 20;
+  const auto base = table2_memory(AlphaMode::kBase, n, m, h);
+  EXPECT_EQ(base.signer, n * (m + h));
+  EXPECT_EQ(base.verifier, n * h);
+  EXPECT_EQ(base.relay, n * h);
+  const auto merkle = table2_memory(AlphaMode::kMerkle, n, m, h);
+  EXPECT_EQ(merkle.signer, n * m + (2 * n - 1) * h);
+  EXPECT_EQ(merkle.verifier, h);
+  EXPECT_EQ(merkle.relay, h);
+}
+
+TEST(Table3Test, PaperFormulas) {
+  const std::size_t n = 8, s = 16, h = 20;
+  const auto base = table3_ack_memory(AlphaMode::kBase, n, s, h);
+  EXPECT_EQ(base.signer, 2 * n * h);
+  EXPECT_EQ(base.verifier, 2 * n * h);
+  const auto merkle = table3_ack_memory(AlphaMode::kMerkle, n, s, h);
+  EXPECT_EQ(merkle.signer, h);
+  EXPECT_EQ(merkle.verifier, n * s + (4 * n - 1) * h);
+  EXPECT_EQ(merkle.relay, h);
+}
+
+TEST(WmnEstimateTest, AlphaCUpperBoundsMatchPaper) {
+  // §4.1.2: "about 20 Mbit/s for both commodity devices", "~120 Mbit/s" for
+  // the Geode, with 1024 B payloads and 20 pre-signatures per S1.
+  const auto ar = estimate_alpha_c(devices::ar2315(), 1024, 20);
+  EXPECT_NEAR(ar.throughput_mbps, 20.0, 3.0);
+  const auto bcm = estimate_alpha_c(devices::bcm5365(), 1024, 20);
+  EXPECT_NEAR(bcm.throughput_mbps, 20.0, 3.0);
+  const auto geode = estimate_alpha_c(devices::geode_lx(), 1024, 20);
+  EXPECT_NEAR(geode.throughput_mbps, 120.0, 15.0);
+}
+
+TEST(WmnEstimateTest, AlphaMMatchesTable6ArColumn) {
+  // Table 6 (AR2315): processing 599..956 us, throughput 11.8..6.4 Mbit/s.
+  const struct {
+    std::size_t leaves;
+    double processing_us;
+    double throughput;
+  } rows[] = {{16, 599, 11.8},  {32, 660, 10.4},  {64, 718, 9.4},
+              {128, 778, 8.5},  {256, 837, 7.7},  {512, 897, 7.0},
+              {1024, 956, 6.4}};
+  for (const auto& row : rows) {
+    const auto est = estimate_alpha_m(devices::ar2315(), row.leaves, 1024);
+    // Within 2% of the published processing cost (their measured points
+    // carry more digits than the table prints).
+    EXPECT_NEAR(est.processing_us, row.processing_us,
+                row.processing_us * 0.02)
+        << row.leaves;
+    // Throughput within 10% (the paper's exact amortization is not spelled
+    // out; shape and ordering must match).
+    EXPECT_NEAR(est.throughput_mbps, row.throughput, row.throughput * 0.10)
+        << row.leaves;
+  }
+}
+
+TEST(WmnEstimateTest, Table6MonotoneTradeoffs) {
+  double last_throughput = 1e9;
+  double last_data_per_s1 = 0;
+  for (std::size_t leaves : {16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+    const auto est = estimate_alpha_m(devices::geode_lx(), leaves, 1024);
+    EXPECT_LT(est.throughput_mbps, last_throughput);
+    EXPECT_GT(est.data_per_s1_mbit, last_data_per_s1);
+    last_throughput = est.throughput_mbps;
+    last_data_per_s1 = est.data_per_s1_mbit;
+  }
+}
+
+TEST(WsnEstimateTest, MatchesPaperParagraph) {
+  // §4.1.3: ~460 S2/s and ~244 kbit/s verified payload; with pre-acks
+  // ~334 packets and ~157 kbit/s.
+  const auto plain = estimate_wsn_alpha_c(devices::cc2430(), 100, 5, false);
+  EXPECT_NEAR(plain.packets_per_s, 460.0, 15.0);
+  EXPECT_NEAR(plain.goodput_kbps, 244.0, 15.0);
+  // Below the 250 kbit/s IEEE 802.15.4 ceiling, as the paper notes.
+  EXPECT_LT(plain.goodput_kbps, 250.0);
+
+  const auto reliable = estimate_wsn_alpha_c(devices::cc2430(), 100, 5, true);
+  EXPECT_NEAR(reliable.packets_per_s, 334.0, 25.0);
+  EXPECT_NEAR(reliable.goodput_kbps, 156.56, 25.0);
+  EXPECT_LT(reliable.goodput_kbps, plain.goodput_kbps);
+}
+
+TEST(CeilLog2Test, Basics) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+}  // namespace
+}  // namespace alpha::platform

@@ -1,0 +1,108 @@
+#include "wire/codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alpha::wire {
+namespace {
+
+TEST(WriterTest, BigEndianIntegers) {
+  Writer w;
+  w.u8(0x12);
+  w.u16(0x3456);
+  w.u32(0x789abcde);
+  w.u64(0x0102030405060708ull);
+  EXPECT_EQ(crypto::to_hex(w.bytes()), "123456789abcde0102030405060708");
+}
+
+TEST(ReaderTest, RoundtripIntegers) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0xcdef);
+  w.u32(0xdeadbeef);
+  w.u64(0xfeedfacecafef00dull);
+  Reader r{w.bytes()};
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xcdef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0xfeedfacecafef00dull);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ReaderTest, ShortReadThrows) {
+  const Bytes data{0x01};
+  Reader r{data};
+  EXPECT_THROW(r.u16(), DecodeError);
+}
+
+TEST(ReaderTest, ExpectEndRejectsTrailing) {
+  const Bytes data{0x01, 0x02};
+  Reader r{data};
+  (void)r.u8();
+  EXPECT_THROW(r.expect_end(), DecodeError);
+  (void)r.u8();
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(CodecTest, Blob16Roundtrip) {
+  Writer w;
+  const Bytes payload{1, 2, 3, 4, 5};
+  w.blob16(payload);
+  Reader r{w.bytes()};
+  EXPECT_EQ(r.blob16(), payload);
+}
+
+TEST(CodecTest, EmptyBlobRoundtrip) {
+  Writer w;
+  w.blob16({});
+  Reader r{w.bytes()};
+  EXPECT_TRUE(r.blob16().empty());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(CodecTest, TruncatedBlobThrows) {
+  Writer w;
+  w.u16(10);  // claims 10 bytes but provides none
+  Reader r{w.bytes()};
+  EXPECT_THROW(r.blob16(), DecodeError);
+}
+
+TEST(CodecTest, DigestRoundtrip) {
+  Writer w;
+  const Digest d{crypto::ByteView{Bytes(20, 0x7f)}};
+  w.digest(d);
+  Reader r{w.bytes()};
+  EXPECT_EQ(r.digest(), d);
+}
+
+TEST(CodecTest, OversizeDigestRejected) {
+  Bytes data{33};  // claims 33-byte digest
+  data.resize(34, 0);
+  Reader r{data};
+  EXPECT_THROW(r.digest(), DecodeError);
+}
+
+TEST(CodecTest, OversizeBlobThrowsOnEncode) {
+  Writer w;
+  const Bytes huge(0x10000, 0);  // 65536 > u16 max
+  EXPECT_THROW(w.blob16(huge), std::length_error);
+}
+
+TEST(CodecTest, WriterTakeMovesBuffer) {
+  Writer w;
+  w.u32(0xaabbccdd);
+  const Bytes taken = w.take();
+  EXPECT_EQ(taken.size(), 4u);
+}
+
+TEST(CodecTest, RawAndRemaining) {
+  const Bytes data{1, 2, 3, 4};
+  Reader r{data};
+  EXPECT_EQ(r.remaining(), 4u);
+  const auto v = r.raw(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_THROW(r.raw(2), DecodeError);
+}
+
+}  // namespace
+}  // namespace alpha::wire

@@ -1,0 +1,344 @@
+#include "wire/packets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/random.hpp"
+
+namespace alpha::wire {
+namespace {
+
+using crypto::HmacDrbg;
+
+Digest digest_of(std::uint8_t fill, std::size_t size = 20) {
+  return Digest{ByteView{Bytes(size, fill)}};
+}
+
+TEST(S1PacketTest, BaseModeRoundtrip) {
+  S1Packet p;
+  p.hdr = {0xaabbccdd, 7};
+  p.mode = Mode::kBase;
+  p.chain_index = 101;
+  p.chain_element = digest_of(0x11);
+  p.macs = {digest_of(0x22)};
+
+  const auto decoded = decode(p.encode());
+  ASSERT_TRUE(decoded.has_value());
+  const auto* s1 = std::get_if<S1Packet>(&*decoded);
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s1->hdr.assoc_id, 0xaabbccddu);
+  EXPECT_EQ(s1->hdr.seq, 7u);
+  EXPECT_EQ(s1->mode, Mode::kBase);
+  EXPECT_EQ(s1->chain_index, 101u);
+  EXPECT_EQ(s1->chain_element, p.chain_element);
+  ASSERT_EQ(s1->macs.size(), 1u);
+  EXPECT_EQ(s1->macs[0], p.macs[0]);
+}
+
+TEST(S1PacketTest, CumulativeModeManyMacs) {
+  S1Packet p;
+  p.hdr = {1, 2};
+  p.mode = Mode::kCumulative;
+  p.chain_index = 9;
+  p.chain_element = digest_of(0x01);
+  for (int i = 0; i < 20; ++i) p.macs.push_back(digest_of(static_cast<std::uint8_t>(i)));
+
+  const auto decoded = decode(p.encode());
+  ASSERT_TRUE(decoded.has_value());
+  const auto& s1 = std::get<S1Packet>(*decoded);
+  EXPECT_EQ(s1.mode, Mode::kCumulative);
+  EXPECT_EQ(s1.macs.size(), 20u);
+}
+
+TEST(S1PacketTest, MerkleModeRoundtrip) {
+  S1Packet p;
+  p.hdr = {3, 4};
+  p.mode = Mode::kMerkle;
+  p.chain_index = 5;
+  p.chain_element = digest_of(0x31);
+  p.merkle_root = digest_of(0x32);
+  p.leaf_count = 64;
+
+  const auto decoded = decode(p.encode());
+  ASSERT_TRUE(decoded.has_value());
+  const auto& s1 = std::get<S1Packet>(*decoded);
+  EXPECT_EQ(s1.mode, Mode::kMerkle);
+  EXPECT_EQ(s1.merkle_root, p.merkle_root);
+  EXPECT_EQ(s1.leaf_count, 64u);
+  EXPECT_TRUE(s1.macs.empty());
+}
+
+TEST(A1PacketTest, UnreliableRoundtrip) {
+  A1Packet p;
+  p.hdr = {10, 20};
+  p.ack_chain_index = 55;
+  p.ack_element = digest_of(0x41);
+  p.scheme = AckScheme::kNone;
+
+  const auto decoded = decode(p.encode());
+  ASSERT_TRUE(decoded.has_value());
+  const auto& a1 = std::get<A1Packet>(*decoded);
+  EXPECT_EQ(a1.scheme, AckScheme::kNone);
+  EXPECT_EQ(a1.ack_element, p.ack_element);
+  EXPECT_EQ(a1.ack_chain_index, 55u);
+}
+
+TEST(A1PacketTest, PreAckRoundtrip) {
+  A1Packet p;
+  p.hdr = {10, 21};
+  p.ack_chain_index = 54;
+  p.ack_element = digest_of(0x42);
+  p.scheme = AckScheme::kPreAck;
+  p.pre_acks = {digest_of(0x43), digest_of(0x45)};
+  p.pre_nacks = {digest_of(0x44), digest_of(0x46)};
+
+  const auto decoded = decode(p.encode());
+  const auto& a1 = std::get<A1Packet>(*decoded);
+  EXPECT_EQ(a1.pre_acks, p.pre_acks);
+  EXPECT_EQ(a1.pre_nacks, p.pre_nacks);
+}
+
+TEST(A1PacketTest, PreAckListLengthsMustMatch) {
+  A1Packet p;
+  p.ack_element = digest_of(0x42);
+  p.scheme = AckScheme::kPreAck;
+  p.pre_acks = {digest_of(1)};
+  p.pre_nacks = {};
+  EXPECT_THROW(p.encode(), std::length_error);
+}
+
+TEST(A1PacketTest, AmtRoundtrip) {
+  A1Packet p;
+  p.hdr = {10, 22};
+  p.ack_chain_index = 53;
+  p.ack_element = digest_of(0x45);
+  p.scheme = AckScheme::kAmt;
+  p.amt_root = digest_of(0x46);
+  p.amt_msg_count = 16;
+
+  const auto decoded = decode(p.encode());
+  const auto& a1 = std::get<A1Packet>(*decoded);
+  EXPECT_EQ(a1.amt_root, p.amt_root);
+  EXPECT_EQ(a1.amt_msg_count, 16u);
+}
+
+TEST(S2PacketTest, BaseRoundtrip) {
+  S2Packet p;
+  p.hdr = {100, 3};
+  p.mode = Mode::kBase;
+  p.chain_index = 100;
+  p.disclosed_element = digest_of(0x51);
+  p.payload = {9, 8, 7, 6};
+
+  const auto decoded = decode(p.encode());
+  ASSERT_TRUE(decoded.has_value());
+  const auto& s2 = std::get<S2Packet>(*decoded);
+  EXPECT_EQ(s2.payload, p.payload);
+  EXPECT_FALSE(s2.path.has_value());
+  EXPECT_EQ(s2.disclosed_element, p.disclosed_element);
+}
+
+TEST(S2PacketTest, MerklePathRoundtrip) {
+  S2Packet p;
+  p.hdr = {100, 4};
+  p.mode = Mode::kMerkle;
+  p.chain_index = 98;
+  p.disclosed_element = digest_of(0x52);
+  p.msg_index = 5;
+  WirePath path;
+  path.leaf_index = 5;
+  path.siblings = {digest_of(1), digest_of(2), digest_of(3)};
+  p.path = path;
+  p.payload = Bytes(100, 0xee);
+
+  const auto decoded = decode(p.encode());
+  const auto& s2 = std::get<S2Packet>(*decoded);
+  ASSERT_TRUE(s2.path.has_value());
+  EXPECT_EQ(s2.path->leaf_index, 5u);
+  ASSERT_EQ(s2.path->siblings.size(), 3u);
+  EXPECT_EQ(s2.path->siblings[2], digest_of(3));
+  EXPECT_EQ(s2.msg_index, 5u);
+}
+
+TEST(A2PacketTest, BasicAckRoundtrip) {
+  A2Packet p;
+  p.hdr = {200, 9};
+  p.ack_chain_index = 41;
+  p.disclosed_ack_element = digest_of(0x61);
+  p.scheme = AckScheme::kPreAck;
+  p.kind = AckKind::kAck;
+  p.secret = {1, 2, 3, 4, 5, 6, 7, 8};
+
+  const auto decoded = decode(p.encode());
+  const auto& a2 = std::get<A2Packet>(*decoded);
+  EXPECT_EQ(a2.kind, AckKind::kAck);
+  EXPECT_EQ(a2.secret, p.secret);
+  EXPECT_FALSE(a2.path.has_value());
+}
+
+TEST(A2PacketTest, AmtNackRoundtrip) {
+  A2Packet p;
+  p.hdr = {200, 10};
+  p.ack_chain_index = 40;
+  p.disclosed_ack_element = digest_of(0x62);
+  p.scheme = AckScheme::kAmt;
+  p.kind = AckKind::kNack;
+  p.msg_index = 11;
+  p.secret = Bytes(16, 0xcc);
+  WirePath path;
+  path.leaf_index = 27;
+  path.siblings = {digest_of(7), digest_of(8)};
+  p.path = path;
+
+  const auto decoded = decode(p.encode());
+  const auto& a2 = std::get<A2Packet>(*decoded);
+  EXPECT_EQ(a2.kind, AckKind::kNack);
+  EXPECT_EQ(a2.msg_index, 11u);
+  ASSERT_TRUE(a2.path.has_value());
+  EXPECT_EQ(a2.path->leaf_index, 27u);
+}
+
+TEST(HandshakePacketTest, UnprotectedRoundtrip) {
+  HandshakePacket p;
+  p.hdr = {0x01020304, 0};
+  p.is_response = false;
+  p.algo = crypto::HashAlgo::kSha1;
+  p.chain_length = 1024;
+  p.sig_anchor_index = 1024;
+  p.ack_anchor_index = 1024;
+  p.sig_anchor = digest_of(0x71);
+  p.ack_anchor = digest_of(0x72);
+
+  const auto decoded = decode(p.encode());
+  ASSERT_TRUE(decoded.has_value());
+  const auto& hs = std::get<HandshakePacket>(*decoded);
+  EXPECT_FALSE(hs.is_response);
+  EXPECT_EQ(hs.chain_length, 1024u);
+  EXPECT_EQ(hs.sig_anchor, p.sig_anchor);
+  EXPECT_EQ(hs.sig_alg, SigAlg::kNone);
+}
+
+TEST(HandshakePacketTest, ProtectedResponseRoundtrip) {
+  HandshakePacket p;
+  p.hdr = {0x01020304, 0};
+  p.is_response = true;
+  p.algo = crypto::HashAlgo::kMmo128;
+  p.chain_length = 64;
+  p.sig_anchor_index = 64;
+  p.ack_anchor_index = 64;
+  p.sig_anchor = digest_of(0x73, 16);
+  p.ack_anchor = digest_of(0x74, 16);
+  p.sig_alg = SigAlg::kRsa;
+  p.public_key = Bytes(140, 0xab);
+  p.signature = Bytes(128, 0xcd);
+
+  const auto decoded = decode(p.encode());
+  const auto& hs = std::get<HandshakePacket>(*decoded);
+  EXPECT_TRUE(hs.is_response);
+  EXPECT_EQ(hs.algo, crypto::HashAlgo::kMmo128);
+  EXPECT_EQ(hs.sig_alg, SigAlg::kRsa);
+  EXPECT_EQ(hs.public_key, p.public_key);
+  EXPECT_EQ(hs.signature, p.signature);
+}
+
+TEST(HandshakePacketTest, SignedPayloadExcludesSignature) {
+  HandshakePacket p;
+  p.sig_anchor = digest_of(0x75);
+  p.ack_anchor = digest_of(0x76);
+  const Bytes without = p.signed_payload();
+  p.signature = Bytes(64, 0xff);
+  EXPECT_EQ(p.signed_payload(), without);
+  // But flipping a covered field changes it.
+  p.chain_length = 5;
+  EXPECT_NE(p.signed_payload(), without);
+}
+
+TEST(PeekTest, TypeAndHeader) {
+  S1Packet p;
+  p.hdr = {0xdeadbeef, 0x12345678};
+  p.mode = Mode::kBase;
+  p.chain_element = digest_of(1);
+  p.macs = {digest_of(2)};
+  const Bytes data = p.encode();
+
+  EXPECT_EQ(peek_type(data), PacketType::kS1);
+  const auto hdr = peek_header(data);
+  ASSERT_TRUE(hdr.has_value());
+  EXPECT_EQ(hdr->assoc_id, 0xdeadbeefu);
+  EXPECT_EQ(hdr->seq, 0x12345678u);
+}
+
+TEST(DecodeRobustnessTest, RejectsGarbage) {
+  EXPECT_FALSE(decode({}).has_value());
+  const Bytes junk{0xff, 0xff, 0xff};
+  EXPECT_FALSE(decode(junk).has_value());
+  const Bytes bad_version{0x02, 0x01, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(decode(bad_version).has_value());
+  const Bytes bad_type{0x01, 0x09, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(decode(bad_type).has_value());
+}
+
+TEST(DecodeRobustnessTest, RejectsTruncationsAtEveryByte) {
+  S2Packet p;
+  p.hdr = {1, 2};
+  p.mode = Mode::kMerkle;
+  p.disclosed_element = digest_of(0x11);
+  WirePath path;
+  path.siblings = {digest_of(1), digest_of(2)};
+  p.path = path;
+  p.payload = Bytes(33, 0xaa);
+  const Bytes full = p.encode();
+
+  ASSERT_TRUE(decode(full).has_value());
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(decode(ByteView{full.data(), len}).has_value())
+        << "accepted truncation at " << len;
+  }
+}
+
+TEST(DecodeRobustnessTest, RejectsTrailingBytes) {
+  A1Packet p;
+  p.ack_element = digest_of(0x42);
+  Bytes data = p.encode();
+  data.push_back(0x00);
+  EXPECT_FALSE(decode(data).has_value());
+}
+
+TEST(DecodeRobustnessTest, RandomFuzzNeverCrashes) {
+  HmacDrbg rng{31415u};
+  for (int i = 0; i < 2000; ++i) {
+    const Bytes junk = rng.bytes(1 + rng.uniform(120));
+    (void)decode(junk);  // must not crash or throw
+  }
+}
+
+TEST(DecodeRobustnessTest, BitFlipFuzzNeverCrashes) {
+  S1Packet p;
+  p.hdr = {1, 2};
+  p.mode = Mode::kCumulative;
+  p.chain_element = digest_of(0x11);
+  for (int i = 0; i < 5; ++i) p.macs.push_back(digest_of(static_cast<std::uint8_t>(i)));
+  const Bytes base = p.encode();
+
+  for (std::size_t byte = 0; byte < base.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated = base;
+      mutated[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      (void)decode(mutated);  // must not crash or throw
+    }
+  }
+}
+
+TEST(WirePathTest, ConvertsToAuthPath) {
+  WirePath wp;
+  wp.leaf_index = 9;
+  wp.siblings = {digest_of(1), digest_of(2)};
+  const auto ap = wp.to_auth_path();
+  EXPECT_EQ(ap.leaf_index, 9u);
+  EXPECT_EQ(ap.siblings.size(), 2u);
+  const auto back = WirePath::from_auth_path(ap);
+  EXPECT_EQ(back.leaf_index, 9u);
+  EXPECT_EQ(back.siblings, wp.siblings);
+}
+
+}  // namespace
+}  // namespace alpha::wire

@@ -1,0 +1,231 @@
+// Property tests: encode/decode is the identity on randomly generated
+// well-formed packets of every type and shape.
+#include <gtest/gtest.h>
+
+#include "crypto/random.hpp"
+#include "wire/packets.hpp"
+
+namespace alpha::wire {
+namespace {
+
+using crypto::HmacDrbg;
+
+Digest random_digest(HmacDrbg& rng, std::size_t size) {
+  return Digest{ByteView{rng.bytes(size)}};
+}
+
+std::size_t random_digest_size(HmacDrbg& rng) {
+  const std::size_t sizes[] = {16, 20, 32};
+  return sizes[rng.uniform(3)];
+}
+
+WirePath random_path(HmacDrbg& rng, std::size_t h) {
+  WirePath path;
+  path.leaf_index = static_cast<std::uint16_t>(rng.uniform(1024));
+  const std::size_t depth = rng.uniform(12);
+  for (std::size_t i = 0; i < depth; ++i) {
+    path.siblings.push_back(random_digest(rng, h));
+  }
+  return path;
+}
+
+TEST(WirePropertyTest, S1RoundtripRandom) {
+  HmacDrbg rng{101};
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t h = random_digest_size(rng);
+    S1Packet p;
+    p.hdr = {static_cast<std::uint32_t>(rng.uniform(UINT32_MAX)),
+             static_cast<std::uint32_t>(rng.uniform(UINT32_MAX))};
+    p.chain_index = static_cast<std::uint32_t>(rng.uniform(1 << 20));
+    p.chain_element = random_digest(rng, h);
+    switch (rng.uniform(3)) {
+      case 0:
+        p.mode = Mode::kBase;
+        p.macs = {random_digest(rng, h)};
+        break;
+      case 1: {
+        p.mode = Mode::kCumulative;
+        const std::size_t n = 1 + rng.uniform(40);
+        for (std::size_t i = 0; i < n; ++i) {
+          p.macs.push_back(random_digest(rng, h));
+        }
+        break;
+      }
+      case 2:
+        p.mode = Mode::kMerkle;
+        p.merkle_root = random_digest(rng, h);
+        p.leaf_count = static_cast<std::uint16_t>(1 + rng.uniform(1024));
+        break;
+    }
+    const auto decoded = decode(p.encode());
+    ASSERT_TRUE(decoded.has_value()) << "iter " << iter;
+    const auto& q = std::get<S1Packet>(*decoded);
+    EXPECT_EQ(q.hdr.assoc_id, p.hdr.assoc_id);
+    EXPECT_EQ(q.hdr.seq, p.hdr.seq);
+    EXPECT_EQ(q.mode, p.mode);
+    EXPECT_EQ(q.chain_index, p.chain_index);
+    EXPECT_EQ(q.chain_element, p.chain_element);
+    EXPECT_EQ(q.macs, p.macs);
+    EXPECT_EQ(q.merkle_root, p.merkle_root);
+    EXPECT_EQ(q.leaf_count, p.leaf_count);
+  }
+}
+
+TEST(WirePropertyTest, CumulativeMerkleS1RoundtripRandom) {
+  HmacDrbg rng{102};
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t h = random_digest_size(rng);
+    S1Packet p;
+    p.mode = Mode::kCumulativeMerkle;
+    p.chain_element = random_digest(rng, h);
+    p.group_size = static_cast<std::uint16_t>(1 + rng.uniform(16));
+    const std::size_t groups = 1 + rng.uniform(8);
+    // leaf_count must land in (groups-1, groups] * group_size.
+    const std::size_t full = (groups - 1) * p.group_size;
+    p.leaf_count = static_cast<std::uint16_t>(
+        full + 1 + rng.uniform(p.group_size));
+    for (std::size_t i = 0; i < groups; ++i) {
+      p.merkle_roots.push_back(random_digest(rng, h));
+    }
+    const auto decoded = decode(p.encode());
+    ASSERT_TRUE(decoded.has_value()) << "iter " << iter;
+    const auto& q = std::get<S1Packet>(*decoded);
+    EXPECT_EQ(q.merkle_roots, p.merkle_roots);
+    EXPECT_EQ(q.group_size, p.group_size);
+    EXPECT_EQ(q.leaf_count, p.leaf_count);
+  }
+}
+
+TEST(WirePropertyTest, A1RoundtripRandom) {
+  HmacDrbg rng{103};
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t h = random_digest_size(rng);
+    A1Packet p;
+    p.hdr = {7, static_cast<std::uint32_t>(iter)};
+    p.ack_chain_index = static_cast<std::uint32_t>(rng.uniform(1 << 20));
+    p.ack_element = random_digest(rng, h);
+    switch (rng.uniform(3)) {
+      case 0:
+        p.scheme = AckScheme::kNone;
+        break;
+      case 1: {
+        p.scheme = AckScheme::kPreAck;
+        const std::size_t n = 1 + rng.uniform(20);
+        for (std::size_t i = 0; i < n; ++i) {
+          p.pre_acks.push_back(random_digest(rng, h));
+          p.pre_nacks.push_back(random_digest(rng, h));
+        }
+        break;
+      }
+      case 2:
+        p.scheme = AckScheme::kAmt;
+        p.amt_root = random_digest(rng, h);
+        p.amt_msg_count = static_cast<std::uint16_t>(1 + rng.uniform(256));
+        break;
+    }
+    const auto decoded = decode(p.encode());
+    ASSERT_TRUE(decoded.has_value()) << "iter " << iter;
+    const auto& q = std::get<A1Packet>(*decoded);
+    EXPECT_EQ(q.scheme, p.scheme);
+    EXPECT_EQ(q.pre_acks, p.pre_acks);
+    EXPECT_EQ(q.pre_nacks, p.pre_nacks);
+    EXPECT_EQ(q.amt_root, p.amt_root);
+    EXPECT_EQ(q.amt_msg_count, p.amt_msg_count);
+  }
+}
+
+TEST(WirePropertyTest, S2RoundtripRandom) {
+  HmacDrbg rng{104};
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t h = random_digest_size(rng);
+    S2Packet p;
+    p.hdr = {9, static_cast<std::uint32_t>(iter)};
+    p.mode = static_cast<Mode>(1 + rng.uniform(4));
+    p.chain_index = static_cast<std::uint32_t>(rng.uniform(1 << 16));
+    p.disclosed_element = random_digest(rng, h);
+    p.msg_index = static_cast<std::uint16_t>(rng.uniform(1024));
+    if (rng.uniform(2) == 1) p.path = random_path(rng, h);
+    p.payload = rng.bytes(rng.uniform(2000));
+    const auto decoded = decode(p.encode());
+    ASSERT_TRUE(decoded.has_value()) << "iter " << iter;
+    const auto& q = std::get<S2Packet>(*decoded);
+    EXPECT_EQ(q.payload, p.payload);
+    EXPECT_EQ(q.msg_index, p.msg_index);
+    EXPECT_EQ(q.path.has_value(), p.path.has_value());
+    if (p.path.has_value()) {
+      EXPECT_EQ(q.path->leaf_index, p.path->leaf_index);
+      EXPECT_EQ(q.path->siblings, p.path->siblings);
+    }
+  }
+}
+
+TEST(WirePropertyTest, A2RoundtripRandom) {
+  HmacDrbg rng{105};
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t h = random_digest_size(rng);
+    A2Packet p;
+    p.hdr = {11, static_cast<std::uint32_t>(iter)};
+    p.ack_chain_index = static_cast<std::uint32_t>(rng.uniform(1 << 16));
+    p.disclosed_ack_element = random_digest(rng, h);
+    p.scheme = rng.uniform(2) == 0 ? AckScheme::kPreAck : AckScheme::kAmt;
+    p.kind = rng.uniform(2) == 0 ? AckKind::kAck : AckKind::kNack;
+    p.msg_index = static_cast<std::uint16_t>(rng.uniform(512));
+    p.secret = rng.bytes(1 + rng.uniform(64));
+    if (p.scheme == AckScheme::kAmt) p.path = random_path(rng, h);
+    const auto decoded = decode(p.encode());
+    ASSERT_TRUE(decoded.has_value()) << "iter " << iter;
+    const auto& q = std::get<A2Packet>(*decoded);
+    EXPECT_EQ(q.kind, p.kind);
+    EXPECT_EQ(q.secret, p.secret);
+    EXPECT_EQ(q.msg_index, p.msg_index);
+  }
+}
+
+TEST(WirePropertyTest, HandshakeRoundtripRandom) {
+  HmacDrbg rng{106};
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t h = random_digest_size(rng);
+    HandshakePacket p;
+    p.hdr = {13, static_cast<std::uint32_t>(iter)};
+    p.is_response = rng.uniform(2) == 1;
+    p.algo = static_cast<crypto::HashAlgo>(1 + rng.uniform(3));
+    p.chain_length = static_cast<std::uint32_t>(4 + rng.uniform(1 << 16));
+    p.sig_anchor_index = p.chain_length;
+    p.ack_anchor_index = p.chain_length;
+    p.sig_anchor = random_digest(rng, h);
+    p.ack_anchor = random_digest(rng, h);
+    if (rng.uniform(2) == 1) {
+      p.sig_alg = rng.uniform(2) == 0 ? SigAlg::kRsa : SigAlg::kDsa;
+      p.public_key = rng.bytes(20 + rng.uniform(300));
+      p.signature = rng.bytes(40 + rng.uniform(200));
+    }
+    const auto decoded = decode(p.encode());
+    ASSERT_TRUE(decoded.has_value()) << "iter " << iter;
+    const auto& q = std::get<HandshakePacket>(*decoded);
+    EXPECT_EQ(q.is_response, p.is_response);
+    EXPECT_EQ(q.algo, p.algo);
+    EXPECT_EQ(q.sig_anchor, p.sig_anchor);
+    EXPECT_EQ(q.public_key, p.public_key);
+    EXPECT_EQ(q.signature, p.signature);
+    EXPECT_EQ(q.signed_payload(), p.signed_payload());
+  }
+}
+
+TEST(WirePropertyTest, RandomizedTruncationNeverDecodes) {
+  // Any strict prefix of a valid packet must be rejected (no partial
+  // acceptance that could desynchronize relays).
+  HmacDrbg rng{107};
+  for (int iter = 0; iter < 100; ++iter) {
+    S2Packet p;
+    p.hdr = {1, 1};
+    p.mode = Mode::kBase;
+    p.disclosed_element = random_digest(rng, 20);
+    p.payload = rng.bytes(1 + rng.uniform(100));
+    const crypto::Bytes full = p.encode();
+    const std::size_t cut = rng.uniform(full.size());
+    EXPECT_FALSE(decode(ByteView{full.data(), cut}).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace alpha::wire

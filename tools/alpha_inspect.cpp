@@ -1,0 +1,171 @@
+// alpha_inspect -- decode and pretty-print an ALPHA packet from hex.
+//
+//   $ alpha_inspect --hex 0101000000010000000701...
+//   $ some_capture | alpha_inspect --stdin
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "flags.hpp"
+#include "wire/packets.hpp"
+
+using namespace alpha;
+
+namespace {
+
+const char* type_name(wire::PacketType t) {
+  switch (t) {
+    case wire::PacketType::kS1: return "S1 (pre-signature announcement)";
+    case wire::PacketType::kA1: return "A1 (willingness + pre-(n)acks)";
+    case wire::PacketType::kS2: return "S2 (payload + key disclosure)";
+    case wire::PacketType::kA2: return "A2 ((n)ack disclosure)";
+    case wire::PacketType::kHs1: return "HS1 (handshake request)";
+    case wire::PacketType::kHs2: return "HS2 (handshake response)";
+  }
+  return "?";
+}
+
+const char* mode_name(wire::Mode m) {
+  switch (m) {
+    case wire::Mode::kBase: return "base";
+    case wire::Mode::kCumulative: return "ALPHA-C";
+    case wire::Mode::kMerkle: return "ALPHA-M";
+    case wire::Mode::kCumulativeMerkle: return "ALPHA-C+M";
+  }
+  return "?";
+}
+
+void print_digest(const char* label, const crypto::Digest& d) {
+  std::printf("  %-18s %s (%zu B)\n", label, d.hex().c_str(), d.size());
+}
+
+struct Printer {
+  void operator()(const wire::S1Packet& p) const {
+    std::printf("  %-18s %s\n", "mode", mode_name(p.mode));
+    std::printf("  %-18s %u\n", "chain index", p.chain_index);
+    print_digest("chain element", p.chain_element);
+    if (p.mode == wire::Mode::kMerkle) {
+      print_digest("merkle root", p.merkle_root);
+      std::printf("  %-18s %u\n", "leaf count", p.leaf_count);
+    } else if (p.mode == wire::Mode::kCumulativeMerkle) {
+      std::printf("  %-18s %zu roots, groups of %u, %u messages\n",
+                  "merkle roots", p.merkle_roots.size(), p.group_size,
+                  p.leaf_count);
+      for (const auto& root : p.merkle_roots) print_digest("  root", root);
+    } else {
+      std::printf("  %-18s %zu\n", "pre-signatures", p.macs.size());
+      for (const auto& m : p.macs) print_digest("  MAC", m);
+    }
+  }
+  void operator()(const wire::A1Packet& p) const {
+    std::printf("  %-18s %u\n", "ack chain index", p.ack_chain_index);
+    print_digest("ack element", p.ack_element);
+    switch (p.scheme) {
+      case wire::AckScheme::kNone:
+        std::printf("  %-18s unreliable (no pre-acks)\n", "scheme");
+        break;
+      case wire::AckScheme::kPreAck:
+        std::printf("  %-18s pre-ack pairs: %zu\n", "scheme", p.pre_acks.size());
+        break;
+      case wire::AckScheme::kAmt:
+        std::printf("  %-18s AMT over %u messages\n", "scheme",
+                    p.amt_msg_count);
+        print_digest("amt root", p.amt_root);
+        break;
+    }
+  }
+  void operator()(const wire::S2Packet& p) const {
+    std::printf("  %-18s %s\n", "mode", mode_name(p.mode));
+    std::printf("  %-18s %u\n", "chain index", p.chain_index);
+    print_digest("disclosed key", p.disclosed_element);
+    std::printf("  %-18s %u\n", "msg index", p.msg_index);
+    if (p.path.has_value()) {
+      std::printf("  %-18s leaf %u, %zu siblings ({Bc})\n", "merkle path",
+                  p.path->leaf_index, p.path->siblings.size());
+    }
+    std::printf("  %-18s %zu B\n", "payload", p.payload.size());
+  }
+  void operator()(const wire::A2Packet& p) const {
+    std::printf("  %-18s %s\n", "kind",
+                p.kind == wire::AckKind::kAck ? "ACK" : "NACK");
+    std::printf("  %-18s %u\n", "ack chain index", p.ack_chain_index);
+    print_digest("disclosed key", p.disclosed_ack_element);
+    std::printf("  %-18s %u\n", "msg index", p.msg_index);
+    std::printf("  %-18s %zu B\n", "secret", p.secret.size());
+    if (p.path.has_value()) {
+      std::printf("  %-18s leaf %u, %zu siblings (AMT)\n", "merkle path",
+                  p.path->leaf_index, p.path->siblings.size());
+    }
+  }
+  void operator()(const wire::HandshakePacket& p) const {
+    std::printf("  %-18s %s\n", "role",
+                p.is_response ? "response (HS2)" : "request (HS1)");
+    std::printf("  %-18s %s\n", "hash algo",
+                std::string(crypto::to_string(p.algo)).c_str());
+    std::printf("  %-18s %u\n", "chain length", p.chain_length);
+    print_digest("sig anchor", p.sig_anchor);
+    print_digest("ack anchor", p.ack_anchor);
+    if (p.sig_alg != wire::SigAlg::kNone) {
+      const char* alg = p.sig_alg == wire::SigAlg::kRsa         ? "RSA"
+                        : p.sig_alg == wire::SigAlg::kDsa       ? "DSA"
+                        : p.sig_alg == wire::SigAlg::kEcdsaP160 ? "ECDSA/secp160r1"
+                                                                : "ECDSA/P-256";
+      std::printf("  %-18s %s, key %zu B, signature %zu B\n", "protected",
+                  alg, p.public_key.size(), p.signature.size());
+    } else {
+      std::printf("  %-18s unprotected (ephemeral anonymous identity)\n",
+                  "bootstrap");
+    }
+  }
+};
+
+int inspect(const std::string& hex) {
+  crypto::Bytes frame;
+  try {
+    frame = crypto::from_hex(hex);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bad hex input: %s\n", e.what());
+    return 2;
+  }
+  const auto type = wire::peek_type(frame);
+  const auto hdr = wire::peek_header(frame);
+  if (!type.has_value() || !hdr.has_value()) {
+    std::fprintf(stderr, "not an ALPHA packet (bad version/type)\n");
+    return 1;
+  }
+  std::printf("%s, %zu bytes\n", type_name(*type), frame.size());
+  std::printf("  %-18s %u\n", "association", hdr->assoc_id);
+  std::printf("  %-18s %u\n", "round seq", hdr->seq);
+  const auto packet = wire::decode(frame);
+  if (!packet.has_value()) {
+    std::fprintf(stderr, "  body MALFORMED (would be dropped)\n");
+    return 1;
+  }
+  std::visit(Printer{}, *packet);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::Flags flags{"alpha_inspect", "decode an ALPHA packet from hex"};
+  flags.define("hex", "", "packet bytes as a hex string");
+  flags.define("stdin", "false", "read hex lines from stdin");
+  flags.parse(argc, argv);
+
+  if (flags.flag("stdin")) {
+    std::string line;
+    int rc = 0;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      rc |= inspect(line);
+      std::printf("\n");
+    }
+    return rc;
+  }
+  if (flags.str("hex").empty()) {
+    flags.usage();
+    return 2;
+  }
+  return inspect(flags.str("hex"));
+}

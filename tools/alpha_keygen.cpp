@@ -1,0 +1,61 @@
+// alpha_keygen -- generate a bootstrap identity keypair.
+//
+//   $ alpha_keygen --alg p256 --out node.key
+//   wrote node.key (private, hex) and node.key.pub (public, hex)
+//
+// The private file feeds protected handshakes (core::Identity::
+// deserialize_private); the .pub file is what peers/relays pin.
+#include <cstdio>
+#include <fstream>
+
+#include "core/identity.hpp"
+#include "flags.hpp"
+
+using namespace alpha;
+
+int main(int argc, char** argv) {
+  tools::Flags flags{"alpha_keygen", "generate a bootstrap identity keypair"};
+  flags.define("alg", "p256", "rsa | dsa | p160 | p256");
+  flags.define("bits", "1024", "modulus bits (rsa only)");
+  flags.define("out", "identity.key", "output file (private key, hex)");
+  flags.parse(argc, argv);
+
+  crypto::SystemRandom rng;
+  const std::string alg = flags.str("alg");
+
+  std::optional<core::Identity> id;
+  if (alg == "rsa") {
+    id = core::Identity::make_rsa(rng,
+                                  static_cast<std::size_t>(flags.num("bits")));
+  } else if (alg == "dsa") {
+    std::printf("generating DSA parameters (this can take a moment)...\n");
+    id = core::Identity::make_dsa(rng, 1024, 160);
+  } else if (alg == "p160") {
+    id = core::Identity::make_ecdsa(rng, crypto::EcCurve::secp160r1());
+  } else if (alg == "p256") {
+    id = core::Identity::make_ecdsa(rng, crypto::EcCurve::p256());
+  } else {
+    std::fprintf(stderr, "unknown --alg '%s'\n", alg.c_str());
+    flags.usage();
+    return 2;
+  }
+
+  const std::string out = flags.str("out");
+  {
+    std::ofstream f{out};
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    f << crypto::to_hex(id->serialize_private()) << "\n";
+  }
+  {
+    std::ofstream f{out + ".pub"};
+    f << crypto::to_hex(id->encode_public()) << "\n";
+  }
+  std::printf("wrote %s (private) and %s.pub (public), algorithm %s\n",
+              out.c_str(), out.c_str(), alg.c_str());
+  std::printf("public key: %s\n",
+              crypto::to_hex(id->encode_public()).c_str());
+  return 0;
+}

@@ -1,0 +1,232 @@
+// alpha_sim -- configurable ALPHA experiment runner.
+//
+// Sets up a linear multi-hop path in the deterministic simulator, streams
+// messages through the chosen protocol profile, and prints a result table:
+// delivery/ack counts, goodput, per-role hash work, relay drops, retransmits.
+//
+//   $ alpha_sim --hops 4 --mode cm --batch 32 --group 8 --messages 500
+//               --loss 0.1 --reliable
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/path.hpp"
+#include "flags.hpp"
+
+using namespace alpha;
+
+namespace {
+
+wire::Mode parse_mode(const std::string& s) {
+  if (s == "base") return wire::Mode::kBase;
+  if (s == "c") return wire::Mode::kCumulative;
+  if (s == "m") return wire::Mode::kMerkle;
+  if (s == "cm") return wire::Mode::kCumulativeMerkle;
+  std::fprintf(stderr, "unknown mode '%s' (base|c|m|cm)\n", s.c_str());
+  std::exit(2);
+}
+
+std::size_t platform_path_depth(const core::Config& c) {
+  std::size_t leaves = c.mode == wire::Mode::kCumulativeMerkle
+                           ? c.merkle_group
+                           : c.batch_size;
+  std::size_t depth = 0;
+  while ((1u << depth) < leaves) ++depth;
+  return depth;
+}
+
+crypto::HashAlgo parse_algo(const std::string& s) {
+  if (s == "sha1") return crypto::HashAlgo::kSha1;
+  if (s == "sha256") return crypto::HashAlgo::kSha256;
+  if (s == "mmo") return crypto::HashAlgo::kMmo128;
+  std::fprintf(stderr, "unknown algo '%s' (sha1|sha256|mmo)\n", s.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::Flags flags{"alpha_sim", "ALPHA protocol experiment runner"};
+  flags.define("hops", "3", "number of links on the path");
+  flags.define("mode", "c", "protocol mode: base|c|m|cm");
+  flags.define("algo", "sha1", "hash function: sha1|sha256|mmo");
+  flags.define("batch", "16", "messages pre-signed per S1");
+  flags.define("group", "8", "messages per Merkle root (cm mode)");
+  flags.define("messages", "200", "messages to stream");
+  flags.define("msg-size", "800", "payload bytes per message");
+  flags.define("reliable", "false", "use pre-(n)acks / AMT acknowledgments");
+  flags.define("loss", "0.0", "per-link frame loss rate");
+  flags.define("jitter", "2", "per-link jitter (ms)");
+  flags.define("latency", "5", "per-link latency (ms)");
+  flags.define("bandwidth", "54000000", "link bandwidth (bit/s)");
+  flags.define("mtu", "1500", "link MTU (bytes)");
+  flags.define("chain", "4096", "hash-chain length");
+  flags.define("rekey", "64", "rekey threshold in chain elements (0 = off)");
+  flags.define("seed", "1", "simulation seed");
+  flags.define("trace", "false", "print a per-frame timeline to stderr");
+  flags.define("identity", "",
+               "private key file (alpha_keygen) signing the handshake");
+  flags.define("require-protected", "false",
+               "responder rejects unsigned handshakes");
+  flags.parse(argc, argv);
+
+  const std::size_t hops = static_cast<std::size_t>(flags.num("hops"));
+  const std::size_t messages = static_cast<std::size_t>(flags.num("messages"));
+  const std::size_t msg_size = static_cast<std::size_t>(flags.num("msg-size"));
+
+  net::Simulator sim;
+  net::Network network{sim, static_cast<std::uint64_t>(flags.num("seed"))};
+  std::vector<net::NodeId> nodes;
+  for (net::NodeId id = 0; id <= hops; ++id) {
+    network.add_node(id);
+    nodes.push_back(id);
+  }
+  net::LinkConfig link;
+  link.latency = static_cast<net::SimTime>(flags.num("latency")) * net::kMillisecond;
+  link.jitter = static_cast<net::SimTime>(flags.num("jitter")) * net::kMillisecond;
+  link.loss_rate = flags.real("loss");
+  link.bandwidth_bps = static_cast<std::uint64_t>(flags.num("bandwidth"));
+  link.mtu = static_cast<std::size_t>(flags.num("mtu"));
+  for (net::NodeId id = 0; id < hops; ++id) network.add_link(id, id + 1, link);
+
+  if (flags.flag("trace")) {
+    network.set_tracer([](const net::Network::TraceRecord& rec) {
+      const char* fate = rec.fate == net::Network::FrameFate::kDelivered
+                             ? "->"
+                         : rec.fate == net::Network::FrameFate::kLost ? "xx"
+                         : rec.fate == net::Network::FrameFate::kOversize
+                             ? "!mtu"
+                             : "!link";
+      std::fprintf(stderr, "%10.3f ms  %u %s %u  %zu B\n",
+                   static_cast<double>(rec.sent_at) / 1000.0, rec.from, fate,
+                   rec.to, rec.size);
+    });
+  }
+
+  core::Config config;
+  config.mode = parse_mode(flags.str("mode"));
+  config.algo = parse_algo(flags.str("algo"));
+  config.batch_size = static_cast<std::size_t>(flags.num("batch"));
+  config.merkle_group = static_cast<std::size_t>(flags.num("group"));
+  config.mtu_hint = link.mtu;  // keep S1/A1 control packets deliverable
+  // S2 overhead: header(10)+mode(1)+index(4)+digest(1+h)+msgidx(2)+flags(1)
+  // +len(2) plus a Merkle path in tree modes.
+  const std::size_t s2_overhead =
+      21 + crypto::digest_size(config.algo) +
+      (config.uses_trees()
+           ? 3 + platform_path_depth(config) *
+                     (1 + crypto::digest_size(config.algo))
+           : 0);
+  if (msg_size + s2_overhead > link.mtu) {
+    std::fprintf(stderr,
+                 "warning: msg-size %zu + ALPHA overhead ~%zu exceeds the "
+                 "MTU (%zu); data packets will be dropped\n",
+                 msg_size, s2_overhead, link.mtu);
+  }
+  config.reliable = flags.flag("reliable");
+  config.retransmit_on_nack = config.reliable;
+  config.chain_length = static_cast<std::size_t>(flags.num("chain"));
+  config.rekey_threshold = static_cast<std::size_t>(flags.num("rekey"));
+  config.rto_us = 200 * net::kMillisecond;
+  config.max_retries = 50;
+
+  std::optional<core::Identity> identity;
+  core::Host::Options initiator_opts, responder_opts;
+  if (!flags.str("identity").empty()) {
+    std::ifstream f{flags.str("identity")};
+    std::string hex;
+    if (!f || !(f >> hex)) {
+      std::fprintf(stderr, "cannot read %s\n", flags.str("identity").c_str());
+      return 1;
+    }
+    identity = core::Identity::deserialize_private(crypto::from_hex(hex));
+    if (!identity.has_value()) {
+      std::fprintf(stderr, "malformed identity key file\n");
+      return 1;
+    }
+    initiator_opts.identity = &*identity;
+  }
+  responder_opts.require_protected_peer = flags.flag("require-protected");
+
+  core::ProtectedPath path{network, nodes, config, 1,
+                           static_cast<std::uint64_t>(flags.num("seed")) + 77,
+                           initiator_opts, responder_opts};
+  path.start(/*tick_horizon_us=*/36000 * net::kSecond);
+  sim.run_until(30 * net::kSecond);
+  if (!path.initiator().established()) {
+    std::fprintf(stderr,
+                 flags.flag("require-protected") && !identity.has_value()
+                     ? "handshake failed: --require-protected needs the "
+                       "initiator to sign (--identity)\n"
+                     : "handshake failed (loss too high?)\n");
+    return 1;
+  }
+
+  const net::SimTime t0 = sim.now();
+  for (std::size_t i = 0; i < messages; ++i) {
+    path.initiator().submit(
+        crypto::Bytes(msg_size, static_cast<std::uint8_t>(i)), sim.now());
+  }
+  net::SimTime last_progress = sim.now();
+  std::size_t last_count = 0;
+  while (path.delivered_to_responder().size() < messages) {
+    sim.run_until(sim.now() + net::kSecond);
+    if (path.delivered_to_responder().size() != last_count) {
+      last_count = path.delivered_to_responder().size();
+      last_progress = sim.now();
+    } else if (sim.now() - last_progress > 600 * net::kSecond) {
+      break;  // stalled (chain exhausted without rekey, or loss too high)
+    }
+  }
+  const double elapsed_s = static_cast<double>(sim.now() - t0) / net::kSecond;
+
+  const std::size_t delivered = path.delivered_to_responder().size();
+  std::size_t acked = 0;
+  for (const auto& [cookie, status] : path.initiator_deliveries()) {
+    if (status == core::DeliveryStatus::kAcked) ++acked;
+  }
+  const auto& s = path.initiator().signer()->stats();
+  const auto& v = path.responder().verifier()->stats();
+
+  std::printf("== alpha_sim results ==\n");
+  std::printf("profile:        mode=%s algo=%s batch=%zu reliable=%s "
+              "hops=%zu loss=%.2f\n",
+              flags.str("mode").c_str(), flags.str("algo").c_str(),
+              config.batch_size, config.reliable ? "yes" : "no", hops,
+              link.loss_rate);
+  std::printf("delivered:      %zu/%zu messages (%.2f s simulated)\n",
+              delivered, messages, elapsed_s);
+  if (config.reliable) std::printf("acknowledged:   %zu/%zu\n", acked, messages);
+  std::printf("goodput:        %.3f Mbit/s\n",
+              static_cast<double>(delivered * msg_size * 8) /
+                  (elapsed_s * 1e6));
+  std::printf("signer:         rounds=%llu S1=%llu S2=%llu retrans=%llu "
+              "hash-ops=%llu\n",
+              static_cast<unsigned long long>(s.rounds_completed),
+              static_cast<unsigned long long>(s.s1_sent),
+              static_cast<unsigned long long>(s.s2_sent),
+              static_cast<unsigned long long>(s.s1_retransmits +
+                                              s.s2_retransmits),
+              static_cast<unsigned long long>(s.hashes.total()));
+  std::printf("verifier:       delivered=%llu invalid=%llu hash-ops=%llu\n",
+              static_cast<unsigned long long>(v.messages_delivered),
+              static_cast<unsigned long long>(v.invalid_packets),
+              static_cast<unsigned long long>(v.hashes.total()));
+  for (std::size_t i = 0; i < path.relay_count(); ++i) {
+    const auto& r = path.relay(i).stats();
+    std::printf("relay %zu:        forwarded=%llu verified=%llu dropped=%llu "
+                "hash-ops=%llu buffered=%zuB\n",
+                i, static_cast<unsigned long long>(r.forwarded),
+                static_cast<unsigned long long>(r.messages_extracted),
+                static_cast<unsigned long long>(r.dropped_invalid +
+                                                r.dropped_unsolicited),
+                static_cast<unsigned long long>(r.hashes.total()),
+                path.relay(i).buffered_bytes());
+  }
+  const auto total = network.total_stats();
+  std::printf("network:        frames=%llu bytes=%llu lost=%llu\n",
+              static_cast<unsigned long long>(total.frames_sent),
+              static_cast<unsigned long long>(total.bytes_delivered),
+              static_cast<unsigned long long>(total.frames_lost));
+  return delivered == messages ? 0 : 1;
+}
