@@ -1,0 +1,146 @@
+// Node-runtime scalability with concurrent associations.
+//
+// One AlphaNode pair over the deterministic simulator: node A runs N
+// initiator associations, node B accepts every inbound handshake on demand,
+// and all frames share one fat link. Measures what the multi-association
+// runtime adds on top of the engines: establishment throughput, message
+// throughput across all associations, and the per-frame demux overhead of
+// the assoc-id peek + map lookup hot path.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/node.hpp"
+#include "net/network.hpp"
+
+using namespace alpha;
+using namespace alpha::bench;
+
+namespace {
+
+constexpr std::size_t kMessagesPerAssoc = 4;
+constexpr std::size_t kPayloadBytes = 256;
+
+struct Row {
+  std::size_t assocs = 0;
+  std::size_t established = 0;
+  double establish_wall_s = 0;
+  std::size_t delivered = 0;
+  double stream_sim_s = 0;
+  double stream_wall_s = 0;
+  std::uint64_t frames = 0;
+  double wall_us_per_frame = 0;
+};
+
+Row run(std::size_t n) {
+  using WallClock = std::chrono::steady_clock;
+  net::Simulator sim;
+  net::Network network{sim, /*seed=*/static_cast<std::uint64_t>(n)};
+  network.add_node(0);
+  network.add_node(1);
+  net::LinkConfig link;
+  link.latency = net::kMillisecond;
+  link.bandwidth_bps = 10'000'000'000;  // keep the link out of the picture
+  link.mtu = 65'535;
+  network.add_link(0, 1, link);
+
+  core::Config config;
+  config.chain_length = 64;
+  config.batch_size = kMessagesPerAssoc;  // one full round per association
+
+  core::AlphaNode::Options a_opts;
+  a_opts.config = config;
+  a_opts.seed = 42;
+  core::AlphaNode node_a{std::make_unique<net::SimTransport>(network, 0),
+                         a_opts};
+
+  core::AlphaNode::Options b_opts;
+  b_opts.config = config;
+  b_opts.seed = 43;
+  b_opts.accept_inbound = true;
+  std::size_t delivered = 0;
+  core::AlphaNode::Callbacks b_cbs;
+  b_cbs.on_message = [&](std::uint32_t, crypto::ByteView) { ++delivered; };
+  core::AlphaNode node_b{std::make_unique<net::SimTransport>(network, 1),
+                         b_opts, b_cbs};
+
+  Row row;
+  row.assocs = n;
+
+  // Phase 1: establish all N associations concurrently.
+  const auto t0 = WallClock::now();
+  for (std::size_t a = 0; a < n; ++a) {
+    const auto assoc_id = static_cast<std::uint32_t>(a + 1);
+    node_a.add_initiator(assoc_id, /*peer=*/1, config);
+    node_a.start(assoc_id);
+  }
+  while (node_a.established_count() < n &&
+         sim.now() < 120 * net::kSecond) {
+    sim.run_until(sim.now() + net::kSecond);
+  }
+  row.establish_wall_s =
+      std::chrono::duration<double>(WallClock::now() - t0).count();
+  row.established = node_a.established_count();
+
+  // Phase 2: stream one round per association.
+  const net::SimTime s0 = sim.now();
+  const auto w0 = WallClock::now();
+  for (std::size_t i = 0; i < kMessagesPerAssoc; ++i) {
+    for (std::size_t a = 0; a < n; ++a) {
+      node_a.submit(static_cast<std::uint32_t>(a + 1),
+                    crypto::Bytes(kPayloadBytes,
+                                  static_cast<std::uint8_t>(a)));
+    }
+  }
+  const std::size_t want = n * kMessagesPerAssoc;
+  while (delivered < want && sim.now() < s0 + 240 * net::kSecond) {
+    sim.run_until(sim.now() + net::kSecond);
+  }
+  row.stream_wall_s =
+      std::chrono::duration<double>(WallClock::now() - w0).count();
+  row.stream_sim_s = static_cast<double>(sim.now() - s0) / net::kSecond;
+  row.delivered = delivered;
+
+  const auto a_snap = node_a.snapshot();
+  const auto b_snap = node_b.snapshot();
+  row.frames = a_snap.frames_in + b_snap.frames_in;
+  const double total_wall = row.establish_wall_s + row.stream_wall_s;
+  row.wall_us_per_frame =
+      row.frames == 0 ? 0 : total_wall * 1e6 / static_cast<double>(row.frames);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  header("Node runtime: N concurrent associations through one node pair "
+         "(demux + timer wheel overhead)");
+
+  std::printf("\n%8s %13s %15s %13s %13s %11s %13s\n", "assocs", "established",
+              "estab/s (wall)", "delivered", "msg/s (sim)", "frames",
+              "us/frame");
+  bool ok = true;
+  for (const std::size_t n : {1u, 16u, 256u, 1024u}) {
+    const Row r = run(n);
+    ok = ok && r.established == r.assocs &&
+         r.delivered == r.assocs * kMessagesPerAssoc;
+    std::printf("%8zu %13zu %15.0f %13zu %13.0f %11llu %13.3f\n", r.assocs,
+                r.established,
+                r.establish_wall_s > 0
+                    ? static_cast<double>(r.established) / r.establish_wall_s
+                    : 0.0,
+                r.delivered,
+                r.stream_sim_s > 0
+                    ? static_cast<double>(r.delivered) / r.stream_sim_s
+                    : 0.0,
+                static_cast<unsigned long long>(r.frames),
+                r.wall_us_per_frame);
+  }
+
+  std::printf(
+      "\nReading: every association is its own hash-chain pair and S1/A1/S2\n"
+      "state machine; the runtime adds a 6-byte assoc-id peek and one map\n"
+      "lookup per frame, and its timer wheel only ticks associations with a\n"
+      "pending deadline. us/frame staying flat as N grows is the point.\n");
+  return ok ? 0 : 1;
+}

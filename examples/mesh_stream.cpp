@@ -67,6 +67,16 @@ void run_mode(wire::Mode mode, const char* name) {
                 static_cast<unsigned long long>(r.messages_extracted),
                 path.relay(i).buffered_bytes());
   }
+  std::uint64_t frames = 0, fires = 0;
+  for (std::size_t i = 0; i < path.node_count(); ++i) {
+    const auto snap = path.node(i).snapshot();
+    frames += snap.frames_in;
+    fires += snap.timer_fires;
+  }
+  std::printf("  runtime: %llu frames demuxed, %llu timer fires across %zu "
+              "nodes\n",
+              static_cast<unsigned long long>(frames),
+              static_cast<unsigned long long>(fires), path.node_count());
 }
 
 void run_attack() {

@@ -1,13 +1,15 @@
-// Quickstart: the smallest complete ALPHA session.
+// Quickstart: the smallest complete ALPHA session, on the node runtime.
 //
-// Two hosts on a three-hop simulated path (signer, two relays, verifier):
-// bootstrap handshake, one unreliable message, one reliable message, and a
-// look at the statistics each role collected.
+// Four AlphaNodes on a three-hop simulated path (signer, two relays,
+// verifier), all talking through the Transport abstraction: bootstrap
+// handshake (the verifier end accepts it on demand), one reliable message,
+// and a look at the statistics each runtime collected.
 //
 //   $ ./quickstart
 #include <cstdio>
 
-#include "core/path.hpp"
+#include "core/node.hpp"
+#include "net/network.hpp"
 
 using namespace alpha;
 
@@ -24,51 +26,93 @@ int main() {
   core::Config config;
   config.reliable = true;  // S1 -> A1 -> S2 -> A2
 
-  core::ProtectedPath path{network, {0, 1, 2, 3}, config, /*assoc_id=*/1,
-                           /*seed=*/2024};
+  // One runtime node per network node; each owns a SimTransport bound to
+  // its NodeId. The same code would run over UdpTransport unchanged.
+  core::AlphaNode::Options signer_opts;
+  signer_opts.config = config;
+  signer_opts.seed = 2024;
+  core::AlphaNode::Callbacks signer_cbs;
+  std::vector<std::pair<std::uint64_t, core::DeliveryStatus>> deliveries;
+  signer_cbs.on_delivery = [&](std::uint32_t, std::uint64_t cookie,
+                               core::DeliveryStatus status) {
+    deliveries.emplace_back(cookie, status);
+  };
+  core::AlphaNode signer{std::make_unique<net::SimTransport>(network, 0),
+                         signer_opts, signer_cbs};
+  signer.add_initiator(/*assoc_id=*/1, /*peer=*/1, config);
+
+  core::AlphaNode::Options relay_opts;
+  relay_opts.config = config;
+  core::AlphaNode relay1{std::make_unique<net::SimTransport>(network, 1),
+                         relay_opts};
+  relay1.add_relay(/*upstream=*/0, /*downstream=*/2);
+  core::AlphaNode relay2{std::make_unique<net::SimTransport>(network, 2),
+                         relay_opts};
+  relay2.add_relay(/*upstream=*/1, /*downstream=*/3);
+
+  core::AlphaNode::Options verifier_opts;
+  verifier_opts.config = config;
+  verifier_opts.seed = 2025;
+  verifier_opts.accept_inbound = true;  // responder spawned by the HS1
+  core::AlphaNode::Callbacks verifier_cbs;
+  std::vector<crypto::Bytes> delivered;
+  verifier_cbs.on_message = [&](std::uint32_t, crypto::ByteView payload) {
+    delivered.emplace_back(payload.begin(), payload.end());
+  };
+  core::AlphaNode verifier{std::make_unique<net::SimTransport>(network, 3),
+                           verifier_opts, verifier_cbs};
 
   std::printf("== ALPHA quickstart ==\n");
-  path.start();
+  signer.start(1);
   sim.run_until(net::kSecond);
-  std::printf("handshake complete: %s\n",
-              path.initiator().established() ? "yes" : "no");
+  std::printf("handshake complete: %s (responder accepted on demand: %s)\n",
+              signer.established_count() == 1 ? "yes" : "no",
+              verifier.snapshot().accepted_handshakes == 1 ? "yes" : "no");
 
   const std::string text = "hello, hop-by-hop authenticated world";
-  path.initiator().submit(crypto::Bytes(text.begin(), text.end()), sim.now());
+  signer.submit(1, crypto::Bytes(text.begin(), text.end()));
   sim.run_until(2 * net::kSecond);
 
-  for (const auto& m : path.delivered_to_responder()) {
+  for (const auto& m : delivered) {
     std::printf("verifier delivered: \"%.*s\"\n", static_cast<int>(m.size()),
                 reinterpret_cast<const char*>(m.data()));
   }
-  for (const auto& [cookie, status] : path.initiator_deliveries()) {
+  for (const auto& [cookie, status] : deliveries) {
     std::printf("signer: message %llu %s\n",
                 static_cast<unsigned long long>(cookie),
                 status == core::DeliveryStatus::kAcked ? "acknowledged"
                                                        : "not acknowledged");
   }
 
-  const auto& signer = path.initiator().signer()->stats();
+  const auto& s = signer.host(1)->signer()->stats();
   std::printf("\nsigner:   S1=%llu S2=%llu acks=%llu hash ops: sig=%llu "
               "chain-verify=%llu ack=%llu\n",
-              static_cast<unsigned long long>(signer.s1_sent),
-              static_cast<unsigned long long>(signer.s2_sent),
-              static_cast<unsigned long long>(signer.acks_received),
-              static_cast<unsigned long long>(signer.hashes.signature),
-              static_cast<unsigned long long>(signer.hashes.chain_verify),
-              static_cast<unsigned long long>(signer.hashes.ack));
-  const auto& verifier = path.responder().verifier()->stats();
+              static_cast<unsigned long long>(s.s1_sent),
+              static_cast<unsigned long long>(s.s2_sent),
+              static_cast<unsigned long long>(s.acks_received),
+              static_cast<unsigned long long>(s.hashes.signature),
+              static_cast<unsigned long long>(s.hashes.chain_verify),
+              static_cast<unsigned long long>(s.hashes.ack));
+  const auto& v = verifier.host(1)->verifier()->stats();
   std::printf("verifier: delivered=%llu A1=%llu A2=%llu\n",
-              static_cast<unsigned long long>(verifier.messages_delivered),
-              static_cast<unsigned long long>(verifier.a1_sent),
-              static_cast<unsigned long long>(verifier.a2_sent));
-  for (std::size_t i = 0; i < path.relay_count(); ++i) {
-    const auto& r = path.relay(i).stats();
+              static_cast<unsigned long long>(v.messages_delivered),
+              static_cast<unsigned long long>(v.a1_sent),
+              static_cast<unsigned long long>(v.a2_sent));
+  core::AlphaNode* relay_nodes[] = {&relay1, &relay2};
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto snap = relay_nodes[i]->snapshot();
     std::printf("relay %zu:  forwarded=%llu extracted=%llu dropped=%llu\n", i,
-                static_cast<unsigned long long>(r.forwarded),
-                static_cast<unsigned long long>(r.messages_extracted),
-                static_cast<unsigned long long>(r.dropped_invalid +
-                                                r.dropped_unsolicited));
+                static_cast<unsigned long long>(snap.relay.forwarded),
+                static_cast<unsigned long long>(snap.relay.messages_extracted),
+                static_cast<unsigned long long>(snap.relay.dropped_invalid +
+                                                snap.relay.dropped_unsolicited));
   }
-  return 0;
+  const auto node_snap = signer.snapshot();
+  std::printf("runtime:  frames in=%llu out=%llu demux-misses=%llu "
+              "timer-fires=%llu\n",
+              static_cast<unsigned long long>(node_snap.frames_in),
+              static_cast<unsigned long long>(node_snap.frames_out),
+              static_cast<unsigned long long>(node_snap.demux_misses),
+              static_cast<unsigned long long>(node_snap.timer_fires));
+  return delivered.size() == 1 && deliveries.size() == 1 ? 0 : 1;
 }

@@ -1,80 +1,82 @@
-// ALPHA over real UDP sockets.
+// ALPHA over real UDP sockets, on the node runtime.
 //
-// The same protocol engines that run in the simulator, bound to two POSIX
-// datagram sockets on the loopback interface. Demonstrates the transport-
-// agnostic design: frames in, frames out, wall-clock time for
-// retransmissions.
+// The same AlphaNode that runs in the simulator, bound to two POSIX
+// datagram sockets on the loopback interface via UdpTransport. The hand-
+// rolled socket pump is gone: poll() drains the socket, fires the timer
+// wheel, and dispatches frames by association id. Node B pre-provisions
+// nothing -- it accepts the inbound handshake on demand.
 //
 //   $ ./udp_tunnel
 #include <chrono>
 #include <cstdio>
-#include <thread>
 
-#include "core/host.hpp"
-#include "net/udp.hpp"
+#include "core/node.hpp"
 
 using namespace alpha;
-
-namespace {
-std::uint64_t now_us() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-}  // namespace
 
 int main() {
   std::printf("== ALPHA over UDP (127.0.0.1) ==\n");
 
-  net::UdpEndpoint sock_a, sock_b;
-  std::printf("endpoint A on port %u, endpoint B on port %u\n", sock_a.port(),
-              sock_b.port());
-
   core::Config config;
   config.reliable = true;
+  config.rto_us = 100'000;
 
-  crypto::SystemRandom rng_a, rng_b;
-
-  std::vector<crypto::Bytes> at_b;
+  core::AlphaNode::Options a_opts;
+  a_opts.config = config;
+  a_opts.seed = 1;
   bool done = false;
-
-  core::Host::Callbacks a_cb;
-  a_cb.send = [&](crypto::Bytes frame) { sock_a.send_to(sock_b.port(), frame); };
-  a_cb.on_delivery = [&](std::uint64_t, core::DeliveryStatus status) {
+  core::AlphaNode::Callbacks a_cbs;
+  a_cbs.on_delivery = [&](std::uint32_t, std::uint64_t,
+                          core::DeliveryStatus status) {
     if (status == core::DeliveryStatus::kAcked) done = true;
   };
-  core::Host host_a{config, 1, /*initiator=*/true, rng_a, std::move(a_cb)};
+  core::AlphaNode node_a{std::make_unique<net::UdpTransport>(), a_opts,
+                         a_cbs};
 
-  core::Host::Callbacks b_cb;
-  b_cb.send = [&](crypto::Bytes frame) { sock_b.send_to(sock_a.port(), frame); };
-  b_cb.on_message = [&](crypto::ByteView payload) {
+  core::AlphaNode::Options b_opts;
+  b_opts.config = config;
+  b_opts.seed = 2;
+  b_opts.accept_inbound = true;
+  std::vector<crypto::Bytes> at_b;
+  core::AlphaNode::Callbacks b_cbs;
+  b_cbs.on_message = [&](std::uint32_t, crypto::ByteView payload) {
     at_b.emplace_back(payload.begin(), payload.end());
   };
-  core::Host host_b{config, 1, /*initiator=*/false, rng_b, std::move(b_cb)};
+  core::AlphaNode node_b{std::make_unique<net::UdpTransport>(), b_opts,
+                         b_cbs};
 
-  host_a.start();
+  const auto port = [](core::AlphaNode& n) {
+    return static_cast<net::UdpTransport&>(n.transport()).port();
+  };
+  std::printf("endpoint A on port %u, endpoint B on port %u\n", port(node_a),
+              port(node_b));
+
+  node_a.add_initiator(/*assoc_id=*/1, /*peer=*/port(node_b), config);
+  node_a.start(1);
   const auto payload = crypto::as_bytes("datagram over real sockets");
-  host_a.submit(crypto::Bytes(payload.begin(), payload.end()), now_us());
+  node_a.submit(1, crypto::Bytes(payload.begin(), payload.end()));
 
-  // Single-threaded event loop over both sockets.
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(5);
   while (!done && std::chrono::steady_clock::now() < deadline) {
-    if (auto dg = sock_a.receive(5)) host_a.on_frame(dg->data, now_us());
-    if (auto dg = sock_b.receive(5)) host_b.on_frame(dg->data, now_us());
-    host_a.on_tick(now_us());
-    host_b.on_tick(now_us());
+    node_a.poll(5);
+    node_b.poll(5);
   }
 
   std::printf("established: %s / %s\n",
-              host_a.established() ? "A yes" : "A no",
-              host_b.established() ? "B yes" : "B no");
+              node_a.established_count() == 1 ? "A yes" : "A no",
+              node_b.established_count() == 1 ? "B yes" : "B no");
   for (const auto& m : at_b) {
     std::printf("B received: \"%.*s\" (authenticated, acknowledged: %s)\n",
                 static_cast<int>(m.size()),
                 reinterpret_cast<const char*>(m.data()),
                 done ? "yes" : "no");
   }
+  const auto snap = node_b.snapshot();
+  std::printf("B runtime: frames in=%llu accepted-handshakes=%llu "
+              "demux-misses=%llu\n",
+              static_cast<unsigned long long>(snap.frames_in),
+              static_cast<unsigned long long>(snap.accepted_handshakes),
+              static_cast<unsigned long long>(snap.demux_misses));
   return at_b.size() == 1 && done ? 0 : 1;
 }

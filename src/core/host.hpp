@@ -80,6 +80,7 @@ class Host {
   const VerifierEngine* verifier() const noexcept { return verifier_.get(); }
 
   std::uint32_t assoc_id() const noexcept { return assoc_id_; }
+  bool is_initiator() const noexcept { return initiator_; }
 
  private:
   wire::HandshakePacket make_handshake(bool is_response);

@@ -9,102 +9,67 @@ ProtectedPath::ProtectedPath(net::Network& network,
                              std::uint32_t assoc_id, std::uint64_t seed,
                              Host::Options initiator_opts,
                              Host::Options responder_opts,
-                             RelayEngine::Options relay_opts)
-    : network_(&network),
-      path_(std::move(path)),
-      config_(config),
-      rng_a_(seed),
-      rng_b_(seed + 1) {
+                             RelayEngine::Options relay_opts) {
+  path_ = std::move(path);
+  assoc_id_ = assoc_id;
   if (path_.size() < 2) {
     throw std::invalid_argument("ProtectedPath: need at least two nodes");
   }
 
-  // Initiator host at path_.front() sends toward path_[1].
-  Host::Callbacks a_cb;
-  a_cb.send = [this](crypto::Bytes frame) {
-    network_->send(path_.front(), path_[1], std::move(frame));
-  };
-  a_cb.on_message = [this](crypto::ByteView payload) {
-    at_initiator_.emplace_back(payload.begin(), payload.end());
-  };
-  a_cb.on_delivery = [this](std::uint64_t cookie, DeliveryStatus status) {
-    initiator_deliveries_.emplace_back(cookie, status);
-  };
-  initiator_ = std::make_unique<Host>(config_, assoc_id, /*initiator=*/true,
-                                      rng_a_, std::move(a_cb),
-                                      initiator_opts);
+  for (std::size_t i = 0; i < path_.size(); ++i) {
+    const bool is_initiator_end = i == 0;
+    const bool is_responder_end = i + 1 == path_.size();
 
-  // Responder host at path_.back() sends toward path_[size-2].
-  Host::Callbacks b_cb;
-  b_cb.send = [this](crypto::Bytes frame) {
-    network_->send(path_.back(), path_[path_.size() - 2], std::move(frame));
-  };
-  b_cb.on_message = [this](crypto::ByteView payload) {
-    at_responder_.emplace_back(payload.begin(), payload.end());
-  };
-  responder_ = std::make_unique<Host>(config_, assoc_id, /*initiator=*/false,
-                                      rng_b_, std::move(b_cb),
-                                      responder_opts);
+    AlphaNode::Options opts;
+    opts.config = config;
+    // Seed layout mirrors the pre-runtime wiring: initiator-end chains from
+    // `seed`, responder-end from `seed + 1`; relays draw no chain material.
+    opts.seed = is_initiator_end ? seed
+                : is_responder_end ? seed + 1
+                                   : seed + 100 + i;
 
-  // Relays on the interior nodes.
-  for (std::size_t i = 1; i + 1 < path_.size(); ++i) {
-    RelayEngine::Callbacks r_cb;
-    const net::NodeId self = path_[i];
-    const net::NodeId toward_responder = path_[i + 1];
-    const net::NodeId toward_initiator = path_[i - 1];
-    r_cb.forward = [this, self, toward_responder, toward_initiator](
-                       Direction dir, crypto::Bytes frame) {
-      network_->send(self,
-                     dir == Direction::kForward ? toward_responder
-                                                : toward_initiator,
-                     std::move(frame));
-    };
-    const std::size_t relay_index = i - 1;
-    r_cb.on_extracted = [this, relay_index](std::uint32_t, std::uint32_t,
-                                            std::uint16_t,
-                                            crypto::ByteView payload) {
-      if (extraction_handler_) extraction_handler_(relay_index, payload);
-    };
-    relays_.push_back(
-        std::make_unique<RelayEngine>(config_, relay_opts, std::move(r_cb)));
-  }
+    AlphaNode::Callbacks cbs;
+    if (is_initiator_end) {
+      cbs.on_message = [this](std::uint32_t, crypto::ByteView payload) {
+        at_initiator_.emplace_back(payload.begin(), payload.end());
+      };
+      cbs.on_delivery = [this](std::uint32_t, std::uint64_t cookie,
+                               DeliveryStatus status) {
+        initiator_deliveries_.emplace_back(cookie, status);
+      };
+    } else if (is_responder_end) {
+      cbs.on_message = [this](std::uint32_t, crypto::ByteView payload) {
+        at_responder_.emplace_back(payload.begin(), payload.end());
+      };
+    }
 
-  // Attach receive handlers.
-  network_->set_handler(path_.front(), [this](net::NodeId, crypto::ByteView f) {
-    initiator_->on_frame(f, network_->sim().now());
-  });
-  network_->set_handler(path_.back(), [this](net::NodeId, crypto::ByteView f) {
-    responder_->on_frame(f, network_->sim().now());
-  });
-  for (std::size_t i = 1; i + 1 < path_.size(); ++i) {
-    RelayEngine* relay = relays_[i - 1].get();
-    const net::NodeId prev = path_[i - 1];
-    network_->set_handler(path_[i],
-                          [relay, prev](net::NodeId from, crypto::ByteView f) {
-                            const Direction dir = from == prev
-                                                      ? Direction::kForward
-                                                      : Direction::kReverse;
-                            relay->on_frame(dir, f);
-                          });
+    auto node = std::make_unique<AlphaNode>(
+        std::make_unique<net::SimTransport>(network, path_[i]),
+        std::move(opts), std::move(cbs));
+
+    if (is_initiator_end) {
+      initiator_ =
+          &node->add_initiator(assoc_id_, path_[1], config, initiator_opts);
+    } else if (is_responder_end) {
+      responder_ = &node->add_responder(assoc_id_, path_[i - 1], config,
+                                        responder_opts);
+    } else {
+      const std::size_t relay_index = i - 1;
+      auto on_extracted = [this, relay_index](std::uint32_t, std::uint32_t,
+                                              std::uint16_t,
+                                              crypto::ByteView payload) {
+        if (extraction_handler_) extraction_handler_(relay_index, payload);
+      };
+      relays_.push_back(&node->add_relay(path_[i - 1], path_[i + 1],
+                                         relay_opts, std::move(on_extracted)));
+    }
+    nodes_.push_back(std::move(node));
   }
 }
 
 void ProtectedPath::start(net::SimTime tick_horizon_us) {
-  initiator_->start();
-
-  // Self-rescheduling retransmission tick for both hosts. The closure
-  // refers back to the member tick_ (not to a captured copy of itself), so
-  // there is no shared_ptr reference cycle.
-  const net::SimTime interval = std::max<net::SimTime>(config_.rto_us / 2, 1);
-  auto& sim = network_->sim();
-  tick_ = [this, &sim, interval, tick_horizon_us] {
-    initiator_->on_tick(sim.now());
-    responder_->on_tick(sim.now());
-    if (sim.now() + interval <= tick_horizon_us) {
-      sim.schedule_in(interval, tick_);
-    }
-  };
-  sim.schedule_in(interval, tick_);
+  (void)tick_horizon_us;  // timers are activity-driven now; see header
+  nodes_.front()->start(assoc_id_);
 }
 
 }  // namespace alpha::core

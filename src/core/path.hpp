@@ -1,11 +1,13 @@
 // Protected path over the simulated network.
 //
-// Convenience binding of the protocol engines onto net::Network nodes: an
-// initiator Host at one end, a responder Host at the other, and a RelayEngine
-// on every intermediate node (paper Fig. 1: signer s, relays r_i,
-// verifier v). Frames travel hop-by-hop along the configured node path;
+// Convenience binding of the node runtime onto a linear net::Network path:
+// an AlphaNode per path node -- the initiator Host at one end, the
+// responder at the other, a relay binding on every interior node (paper
+// Fig. 1: signer s, relays r_i, verifier v). Frames travel hop-by-hop;
 // relays verify-and-forward, ends run the full handshake + signature
-// exchange. A periodic tick event drives retransmissions.
+// exchange. Retransmissions are driven by each node's timer wheel through
+// the simulator's event queue -- there is no hand-wired tick loop; just run
+// the simulator.
 //
 // This is the setup used by the integration tests, the examples and the
 // latency/attack benches.
@@ -14,8 +16,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/host.hpp"
-#include "core/relay.hpp"
+#include "core/node.hpp"
 #include "net/network.hpp"
 
 namespace alpha::core {
@@ -30,8 +31,9 @@ class ProtectedPath {
                 Host::Options responder_opts = Host::Options{},
                 RelayEngine::Options relay_opts = RelayEngine::Options{});
 
-  /// Sends the HS1 and schedules the retransmission tick (every rto/2 until
-  /// `tick_horizon_us` of simulated time).
+  /// Sends the HS1. Retransmission timers arm themselves on activity and
+  /// disarm when idle; `tick_horizon_us` is retained for source
+  /// compatibility with the pre-runtime tick loop and ignored.
   void start(net::SimTime tick_horizon_us = 60 * net::kSecond);
 
   /// Handler invoked whenever a relay securely extracts an authenticated
@@ -48,6 +50,10 @@ class ProtectedPath {
   std::size_t relay_count() const noexcept { return relays_.size(); }
   RelayEngine& relay(std::size_t i) { return *relays_.at(i); }
 
+  /// Node runtimes along the path (index parallel to the node list).
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  AlphaNode& node(std::size_t i) { return *nodes_.at(i); }
+
   /// Messages delivered to the responder's application.
   const std::vector<crypto::Bytes>& delivered_to_responder() const noexcept {
     return at_responder_;
@@ -61,19 +67,16 @@ class ProtectedPath {
   }
 
  private:
-  net::Network* network_;
   std::vector<net::NodeId> path_;
-  Config config_;
-  crypto::HmacDrbg rng_a_;
-  crypto::HmacDrbg rng_b_;
-  std::unique_ptr<Host> initiator_;
-  std::unique_ptr<Host> responder_;
-  std::vector<std::unique_ptr<RelayEngine>> relays_;
+  std::uint32_t assoc_id_;
+  std::vector<std::unique_ptr<AlphaNode>> nodes_;
+  Host* initiator_ = nullptr;
+  Host* responder_ = nullptr;
+  std::vector<RelayEngine*> relays_;
   std::vector<crypto::Bytes> at_initiator_;
   std::vector<crypto::Bytes> at_responder_;
   std::vector<std::pair<std::uint64_t, DeliveryStatus>> initiator_deliveries_;
   ExtractionHandler extraction_handler_;
-  std::function<void()> tick_;  // self-rescheduling retransmission driver
 };
 
 }  // namespace alpha::core

@@ -1,0 +1,79 @@
+// Hashed timer wheel for association retransmission deadlines.
+//
+// A node serving thousands of associations cannot afford an O(all-assocs)
+// on_tick sweep per tick: at any instant only the handful with an in-flight
+// round, a pending rekey, or an unanswered handshake have a deadline at all.
+// The wheel buckets armed deadlines into slots of fixed granularity; one
+// advance() pass touches only the slots that became due, so firing cost is
+// proportional to the number of due timers, not to the association count.
+//
+// Deadlines beyond one revolution keep their absolute value and are
+// re-queued when their slot comes up early (classic hashed-wheel rounds).
+// Cancellation is lazy: the owner marks its entry disarmed and filters the
+// key when it pops out -- entries are tiny (12 bytes) and short-lived.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace alpha::core {
+
+class TimerWheel {
+ public:
+  /// `granularity_us` is the firing resolution; `slots` the ring size
+  /// (horizon = granularity * slots before entries need a second lap).
+  TimerWheel(std::uint64_t granularity_us, std::size_t slots)
+      : granularity_(std::max<std::uint64_t>(granularity_us, 1)),
+        ring_(std::max<std::size_t>(slots, 2)) {}
+
+  /// Arms `key` to fire once advance() passes `deadline_us`.
+  void arm(std::uint32_t key, std::uint64_t deadline_us) {
+    std::uint64_t tick = deadline_us / granularity_;
+    if (tick * granularity_ < deadline_us) ++tick;  // round up to the slot
+    if (tick <= cursor_) tick = cursor_ + 1;        // never fire in the past
+    ring_[tick % ring_.size()].push_back(Entry{key, tick});
+    ++armed_;
+  }
+
+  /// Advances to `now_us`, appending every due key to `due` (keys the owner
+  /// has logically disarmed come out too -- filter on your side).
+  void advance(std::uint64_t now_us, std::vector<std::uint32_t>& due) {
+    const std::uint64_t target = now_us / granularity_;
+    if (target <= cursor_) return;
+    const std::uint64_t n = ring_.size();
+    // More than one full revolution collapses to scanning each slot once.
+    const std::uint64_t steps = std::min(target - cursor_, n);
+    for (std::uint64_t s = cursor_ + 1; s <= cursor_ + steps; ++s) {
+      auto& slot = ring_[s % n];
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < slot.size(); ++i) {
+        if (slot[i].tick <= target) {
+          due.push_back(slot[i].key);
+          --armed_;
+        } else {
+          slot[keep++] = slot[i];  // future lap: stays in its slot
+        }
+      }
+      slot.resize(keep);
+    }
+    cursor_ = target;
+  }
+
+  bool empty() const noexcept { return armed_ == 0; }
+  std::size_t armed() const noexcept { return armed_; }
+  std::uint64_t granularity_us() const noexcept { return granularity_; }
+
+ private:
+  struct Entry {
+    std::uint32_t key;
+    std::uint64_t tick;  // absolute slot index at which to fire
+  };
+
+  std::uint64_t granularity_;
+  std::vector<std::vector<Entry>> ring_;
+  std::uint64_t cursor_ = 0;  // last processed absolute slot index
+  std::size_t armed_ = 0;
+};
+
+}  // namespace alpha::core

@@ -1,0 +1,106 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace alpha::net {
+
+// ---------------------------------------------------------------- simulator
+
+SimTransport::SimTransport(Network& network, NodeId self)
+    : network_(&network), self_(self) {
+  network_->set_handler(self_, [this](NodeId from, crypto::ByteView frame) {
+    ++frames_delivered_;
+    if (receiver_) receiver_(static_cast<PeerAddr>(from), frame);
+  });
+}
+
+SimTransport::~SimTransport() {
+  // Leave no dangling handler behind; the network may outlive us.
+  if (network_->has_node(self_)) network_->set_handler(self_, nullptr);
+}
+
+void SimTransport::set_receiver(ReceiveFn receiver) {
+  receiver_ = std::move(receiver);
+}
+
+bool SimTransport::send(PeerAddr peer, crypto::Bytes frame) {
+  return network_->send(self_, static_cast<NodeId>(peer), std::move(frame));
+}
+
+std::size_t SimTransport::poll(int timeout_ms) {
+  const std::size_t before = frames_delivered_;
+  auto& sim = network_->sim();
+  sim.run_until(sim.now() +
+                static_cast<SimTime>(std::max(timeout_ms, 0)) * kMillisecond);
+  return frames_delivered_ - before;
+}
+
+std::uint64_t SimTransport::now_us() const { return network_->sim().now(); }
+
+void SimTransport::schedule(std::uint64_t at_us, std::function<void()> fn) {
+  auto& sim = network_->sim();
+  sim.schedule_at(std::max<SimTime>(at_us, sim.now()), std::move(fn));
+}
+
+// ------------------------------------------------------------- UDP sockets
+
+UdpTransport::UdpTransport(std::uint16_t port) : endpoint_(port) {}
+
+UdpTransport::UdpTransport(UdpEndpoint endpoint)
+    : endpoint_(std::move(endpoint)) {}
+
+void UdpTransport::set_receiver(ReceiveFn receiver) {
+  receiver_ = std::move(receiver);
+}
+
+bool UdpTransport::send(PeerAddr peer, crypto::Bytes frame) {
+  endpoint_.send_to(static_cast<std::uint16_t>(peer), frame);
+  return true;
+}
+
+std::size_t UdpTransport::poll(int timeout_ms) {
+  // Cap the socket wait so a due timer is never held hostage by a quiet
+  // socket, then drain everything already queued without blocking.
+  int wait = std::max(timeout_ms, 0);
+  if (!timers_.empty()) {
+    const std::uint64_t now = now_us();
+    const std::uint64_t next = timers_.top().at_us;
+    const std::uint64_t until_ms = next <= now ? 0 : (next - now + 999) / 1000;
+    wait = static_cast<int>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(wait), until_ms));
+  }
+
+  std::size_t frames = 0;
+  auto dg = endpoint_.receive(wait);
+  while (dg.has_value()) {
+    ++frames;
+    if (receiver_) {
+      receiver_(static_cast<PeerAddr>(dg->from_port), dg->data);
+    }
+    dg = endpoint_.receive(0);
+  }
+  fire_due_timers();
+  return frames;
+}
+
+std::uint64_t UdpTransport::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void UdpTransport::schedule(std::uint64_t at_us, std::function<void()> fn) {
+  timers_.push(Timer{at_us, next_timer_seq_++, std::move(fn)});
+}
+
+void UdpTransport::fire_due_timers() {
+  while (!timers_.empty() && timers_.top().at_us <= now_us()) {
+    Timer timer = std::move(const_cast<Timer&>(timers_.top()));
+    timers_.pop();
+    timer.fn();
+  }
+}
+
+}  // namespace alpha::net

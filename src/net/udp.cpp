@@ -61,26 +61,39 @@ void UdpEndpoint::send_to(std::uint16_t dest_port, crypto::ByteView data) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(dest_port);
-  const ssize_t sent =
-      ::sendto(fd_, data.data(), data.size(), 0,
-               reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  if (sent < 0 || static_cast<std::size_t>(sent) != data.size()) {
-    fail("sendto");
+  // Datagram sockets send atomically: sendto either queues the whole frame
+  // or fails (EMSGSIZE for oversize). A short count is therefore a kernel
+  // contract violation, not a condition to resume from -- treat it as an
+  // error rather than looping on the remainder (which would corrupt the
+  // frame stream with a partial datagram).
+  ssize_t sent;
+  do {
+    sent = ::sendto(fd_, data.data(), data.size(), 0,
+                    reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (sent < 0 && errno == EINTR);
+  if (sent < 0) fail("sendto");
+  if (static_cast<std::size_t>(sent) != data.size()) {
+    throw std::runtime_error("sendto: short datagram write");
   }
 }
 
 std::optional<UdpEndpoint::Datagram> UdpEndpoint::receive(int timeout_ms) {
   pollfd pfd{fd_, POLLIN, 0};
-  const int ready = ::poll(&pfd, 1, timeout_ms);
+  int ready;
+  do {
+    ready = ::poll(&pfd, 1, timeout_ms);
+  } while (ready < 0 && errno == EINTR);  // signal during wait: retry
   if (ready < 0) fail("poll");
   if (ready == 0) return std::nullopt;
 
   crypto::Bytes buf(65536);
   sockaddr_in from{};
   socklen_t from_len = sizeof(from);
-  const ssize_t got =
-      ::recvfrom(fd_, buf.data(), buf.size(), 0,
-                 reinterpret_cast<sockaddr*>(&from), &from_len);
+  ssize_t got;
+  do {
+    got = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                     reinterpret_cast<sockaddr*>(&from), &from_len);
+  } while (got < 0 && errno == EINTR);
   if (got < 0) fail("recvfrom");
   buf.resize(static_cast<std::size_t>(got));
   return Datagram{ntohs(from.sin_port), std::move(buf)};

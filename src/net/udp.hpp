@@ -35,7 +35,9 @@ class UdpEndpoint {
     crypto::Bytes data;
   };
 
-  /// Waits up to timeout_ms for a datagram; nullopt on timeout.
+  /// Waits up to timeout_ms for a datagram; nullopt on timeout. 0 performs
+  /// a non-blocking drain probe. Interrupted syscalls (EINTR) are retried,
+  /// never surfaced as errors.
   std::optional<Datagram> receive(int timeout_ms);
 
  private:

@@ -185,6 +185,12 @@ std::optional<PacketType> peek_type(ByteView data) noexcept {
   return static_cast<PacketType>(t);
 }
 
+std::optional<std::uint32_t> peek_assoc_id(ByteView data) noexcept {
+  if (!peek_type(data).has_value() || data.size() < 6) return std::nullopt;
+  return (std::uint32_t{data[2]} << 24) | (std::uint32_t{data[3]} << 16) |
+         (std::uint32_t{data[4]} << 8) | data[5];
+}
+
 std::optional<Header> peek_header(ByteView data) noexcept {
   if (!peek_type(data).has_value() || data.size() < 10) return std::nullopt;
   Header hdr;

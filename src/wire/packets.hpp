@@ -186,4 +186,10 @@ std::optional<PacketType> peek_type(ByteView data) noexcept;
 /// Header of an encoded packet without full decoding.
 std::optional<Header> peek_header(ByteView data) noexcept;
 
+/// Association id of an encoded packet without full decoding -- the demux
+/// hot path of the node runtime. Total: bounds-checked, nullopt for any
+/// truncated or garbage prefix. Needs only the first 6 bytes, so it also
+/// succeeds on frames too short for peek_header.
+std::optional<std::uint32_t> peek_assoc_id(ByteView data) noexcept;
+
 }  // namespace alpha::wire

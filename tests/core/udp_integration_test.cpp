@@ -1,93 +1,89 @@
-// End-to-end over real UDP sockets: two hosts and a verifying relay on the
-// loopback interface, single-threaded event loop.
+// End-to-end over real UDP sockets: three AlphaNodes on the loopback
+// interface -- host A, a verifying relay node, host B -- each polling its
+// own UdpTransport. The relay runtime demuxes by association id and derives
+// the relay direction from the source port; host B accepts the inbound
+// handshake on demand.
 #include <gtest/gtest.h>
 
 #include <chrono>
 
-#include "core/host.hpp"
-#include "core/relay.hpp"
+#include "core/node.hpp"
 #include "net/udp.hpp"
+#include "wire/packets.hpp"
 
 namespace alpha::core {
 namespace {
 
 using Clock = std::chrono::steady_clock;
 
-std::uint64_t now_us() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          Clock::now().time_since_epoch())
-          .count());
+std::uint16_t port_of(AlphaNode& node) {
+  return static_cast<net::UdpTransport&>(node.transport()).port();
 }
 
 TEST(UdpIntegrationTest, HostsExchangeThroughVerifyingRelay) {
-  net::UdpEndpoint sock_a, sock_relay, sock_b;
-
   Config config;
   config.reliable = true;
   config.rto_us = 200'000;
 
-  crypto::HmacDrbg rng_a{1}, rng_b{2};
-  std::vector<crypto::Bytes> at_b;
+  AlphaNode::Options relay_opts;
+  relay_opts.config = config;
+  AlphaNode relay_node{std::make_unique<net::UdpTransport>(), relay_opts};
+
+  AlphaNode::Options a_opts;
+  a_opts.config = config;
+  a_opts.seed = 1;
   bool acked = false;
-
-  // Relay: forwards between the two host ports after verification.
-  RelayEngine::Callbacks r_cb;
-  r_cb.forward = [&](Direction dir, crypto::Bytes frame) {
-    sock_relay.send_to(dir == Direction::kForward ? sock_b.port()
-                                                  : sock_a.port(),
-                       frame);
-  };
-  RelayEngine relay{config, RelayEngine::Options{}, std::move(r_cb)};
-
-  Host::Callbacks a_cb;
-  a_cb.send = [&](crypto::Bytes f) { sock_a.send_to(sock_relay.port(), f); };
-  a_cb.on_delivery = [&](std::uint64_t, DeliveryStatus status) {
+  AlphaNode::Callbacks a_cbs;
+  a_cbs.on_delivery = [&](std::uint32_t, std::uint64_t,
+                          DeliveryStatus status) {
     acked = status == DeliveryStatus::kAcked;
   };
-  Host host_a{config, 1, true, rng_a, std::move(a_cb)};
+  AlphaNode node_a{std::make_unique<net::UdpTransport>(), a_opts, a_cbs};
 
-  Host::Callbacks b_cb;
-  b_cb.send = [&](crypto::Bytes f) { sock_b.send_to(sock_relay.port(), f); };
-  b_cb.on_message = [&](crypto::ByteView payload) {
+  AlphaNode::Options b_opts;
+  b_opts.config = config;
+  b_opts.seed = 2;
+  b_opts.accept_inbound = true;
+  std::vector<crypto::Bytes> at_b;
+  AlphaNode::Callbacks b_cbs;
+  b_cbs.on_message = [&](std::uint32_t, crypto::ByteView payload) {
     at_b.emplace_back(payload.begin(), payload.end());
   };
-  Host host_b{config, 1, false, rng_b, std::move(b_cb)};
+  AlphaNode node_b{std::make_unique<net::UdpTransport>(), b_opts, b_cbs};
 
-  host_a.start();
-  host_a.submit(crypto::Bytes(500, 0x5e), now_us());
+  relay_node.add_relay(/*upstream=*/port_of(node_a),
+                       /*downstream=*/port_of(node_b));
+  node_a.add_initiator(/*assoc_id=*/1, /*peer=*/port_of(relay_node), config);
+  node_a.start(1);
+  node_a.submit(1, crypto::Bytes(500, 0x5e));
 
   const auto deadline = Clock::now() + std::chrono::seconds(10);
   while (!acked && Clock::now() < deadline) {
-    if (auto dg = sock_a.receive(2)) host_a.on_frame(dg->data, now_us());
-    if (auto dg = sock_b.receive(2)) host_b.on_frame(dg->data, now_us());
-    if (auto dg = sock_relay.receive(2)) {
-      const Direction dir = dg->from_port == sock_a.port()
-                                ? Direction::kForward
-                                : Direction::kReverse;
-      relay.on_frame(dir, dg->data);
-    }
-    host_a.on_tick(now_us());
-    host_b.on_tick(now_us());
+    node_a.poll(2);
+    relay_node.poll(2);
+    node_b.poll(2);
   }
 
-  ASSERT_TRUE(host_a.established());
-  ASSERT_TRUE(host_b.established());
+  ASSERT_TRUE(node_a.host(1)->established());
+  ASSERT_TRUE(node_b.host(1) != nullptr);
+  ASSERT_TRUE(node_b.host(1)->established());
+  EXPECT_EQ(node_b.snapshot().accepted_handshakes, 1u);
   ASSERT_EQ(at_b.size(), 1u);
   EXPECT_EQ(at_b[0].size(), 500u);
   EXPECT_TRUE(acked);
-  EXPECT_EQ(relay.stats().dropped_invalid, 0u);
-  EXPECT_EQ(relay.stats().messages_extracted, 1u);
+  EXPECT_EQ(relay_node.relay(0).stats().dropped_invalid, 0u);
+  EXPECT_EQ(relay_node.relay(0).stats().messages_extracted, 1u);
 }
 
 TEST(UdpIntegrationTest, RelayDropsForgedFramesOnRealSockets) {
-  net::UdpEndpoint sock_attacker, sock_relay, sock_b;
-
   Config config;
-  RelayEngine::Callbacks r_cb;
-  std::size_t forwarded = 0;
-  r_cb.forward = [&](Direction, crypto::Bytes) { ++forwarded; };
-  RelayEngine relay{config, RelayEngine::Options{}, std::move(r_cb)};
+  AlphaNode::Options relay_opts;
+  relay_opts.config = config;
+  AlphaNode relay_node{std::make_unique<net::UdpTransport>(), relay_opts};
+
+  net::UdpEndpoint sock_attacker, sock_sink;
+  relay_node.add_relay(/*upstream=*/sock_attacker.port(),
+                       /*downstream=*/sock_sink.port());
 
   // Forged S2 with no handshake/S1 context arrives over a real socket.
   wire::S2Packet forged;
@@ -96,13 +92,19 @@ TEST(UdpIntegrationTest, RelayDropsForgedFramesOnRealSockets) {
   forged.disclosed_element =
       crypto::Digest{crypto::ByteView{crypto::Bytes(20, 0x99)}};
   forged.payload = crypto::Bytes(100, 0xaa);
-  sock_attacker.send_to(sock_relay.port(), forged.encode());
+  sock_attacker.send_to(port_of(relay_node), forged.encode());
 
-  const auto dg = sock_relay.receive(2000);
-  ASSERT_TRUE(dg.has_value());
-  const auto decision = relay.on_frame(Direction::kForward, dg->data);
-  EXPECT_EQ(decision, RelayDecision::kDroppedUnsolicited);
-  EXPECT_EQ(forwarded, 0u);
+  const auto deadline = Clock::now() + std::chrono::seconds(2);
+  while (relay_node.snapshot().frames_in == 0 && Clock::now() < deadline) {
+    relay_node.poll(2);
+  }
+
+  const auto snap = relay_node.snapshot();
+  EXPECT_EQ(snap.frames_in, 1u);
+  EXPECT_EQ(snap.relay.dropped_unsolicited, 1u);
+  EXPECT_EQ(snap.relay.forwarded, 0u);
+  // Nothing must have leaked past the relay.
+  EXPECT_FALSE(sock_sink.receive(50).has_value());
 }
 
 }  // namespace

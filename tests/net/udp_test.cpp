@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "crypto/bytes.hpp"
 
 namespace alpha::net {
@@ -58,6 +60,29 @@ TEST(UdpTest, MoveTransfersOwnership) {
   UdpEndpoint c;
   c.send_to(moved.port(), Bytes{7});
   EXPECT_TRUE(moved.receive(2000).has_value());
+}
+
+TEST(UdpTest, MovedFromEndpointDestructsCleanly) {
+  auto shell = std::make_unique<UdpEndpoint>();
+  UdpEndpoint owner{std::move(*shell)};
+  // Destroying the moved-from shell must not close the socket out from
+  // under the new owner (double-close would trip ASan / break the fd).
+  shell.reset();
+  UdpEndpoint peer;
+  peer.send_to(owner.port(), Bytes{3});
+  EXPECT_TRUE(owner.receive(2000).has_value());
+}
+
+TEST(UdpTest, MoveAssignReleasesOldSocketAndAdopts) {
+  UdpEndpoint a, b;
+  const std::uint16_t b_port = b.port();
+  a = std::move(b);  // a's original socket closes, a adopts b's
+  EXPECT_EQ(a.port(), b_port);
+  UdpEndpoint c;
+  c.send_to(a.port(), Bytes{9});
+  const auto got = a.receive(2000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->data, Bytes{9});
 }
 
 }  // namespace

@@ -267,6 +267,60 @@ TEST(PeekTest, TypeAndHeader) {
   EXPECT_EQ(hdr->seq, 0x12345678u);
 }
 
+TEST(PeekTest, AssocIdWithoutFullDecode) {
+  S1Packet p;
+  p.hdr = {0xdeadbeef, 0x12345678};
+  p.mode = Mode::kBase;
+  p.chain_element = digest_of(1);
+  p.macs = {digest_of(2)};
+  const Bytes data = p.encode();
+
+  EXPECT_EQ(peek_assoc_id(data), 0xdeadbeefu);
+  // The peek needs only the 6-byte prefix, unlike peek_header (10) and
+  // decode (the whole frame).
+  EXPECT_EQ(peek_assoc_id(ByteView{data.data(), 6}), 0xdeadbeefu);
+}
+
+TEST(PeekTest, TotalOverEveryPrefixLength) {
+  // All three peeks must be total over every prefix of a valid frame:
+  // nullopt below their threshold, the right value at and above it.
+  A2Packet p;
+  p.hdr = {0xcafe0001, 7};
+  p.disclosed_ack_element = digest_of(0x21);
+  p.secret = Bytes(16, 0x44);
+  const Bytes full = p.encode();
+
+  for (std::size_t len = 0; len <= full.size(); ++len) {
+    const ByteView prefix{full.data(), len};
+    if (len < 2) {
+      EXPECT_FALSE(peek_type(prefix).has_value()) << len;
+    } else {
+      EXPECT_EQ(peek_type(prefix), PacketType::kA2) << len;
+    }
+    if (len < 6) {
+      EXPECT_FALSE(peek_assoc_id(prefix).has_value()) << len;
+    } else {
+      EXPECT_EQ(peek_assoc_id(prefix), 0xcafe0001u) << len;
+    }
+    if (len < 10) {
+      EXPECT_FALSE(peek_header(prefix).has_value()) << len;
+    } else {
+      ASSERT_TRUE(peek_header(prefix).has_value()) << len;
+      EXPECT_EQ(peek_header(prefix)->seq, 7u) << len;
+    }
+  }
+}
+
+TEST(PeekTest, AssocIdRejectsGarbage) {
+  EXPECT_FALSE(peek_assoc_id({}).has_value());
+  const Bytes bad_version{0x02, 0x01, 0, 0, 0, 1};
+  EXPECT_FALSE(peek_assoc_id(bad_version).has_value());
+  const Bytes bad_type{0x01, 0x09, 0, 0, 0, 1};
+  EXPECT_FALSE(peek_assoc_id(bad_type).has_value());
+  const Bytes type_zero{0x01, 0x00, 0, 0, 0, 1};
+  EXPECT_FALSE(peek_assoc_id(type_zero).has_value());
+}
+
 TEST(DecodeRobustnessTest, RejectsGarbage) {
   EXPECT_FALSE(decode({}).has_value());
   const Bytes junk{0xff, 0xff, 0xff};

@@ -1,17 +1,20 @@
 // alpha_sim -- configurable ALPHA experiment runner.
 //
-// Sets up a linear multi-hop path in the deterministic simulator, streams
-// messages through the chosen protocol profile, and prints a result table:
-// delivery/ack counts, goodput, per-role hash work, relay drops, retransmits.
+// Sets up a linear multi-hop path of AlphaNode runtimes in the
+// deterministic simulator, streams messages through the chosen protocol
+// profile -- optionally over many concurrent associations between the same
+// end nodes -- and prints a result table: delivery/ack counts, goodput,
+// per-role hash work, relay drops, retransmits, runtime demux counters.
 //
 //   $ alpha_sim --hops 4 --mode cm --batch 32 --group 8 --messages 500
-//               --loss 0.1 --reliable
+//               --loss 0.1 --reliable --assocs 16
 #include <cstdio>
 #include <fstream>
 #include <string>
 
-#include "core/path.hpp"
+#include "core/node.hpp"
 #include "flags.hpp"
+#include "net/network.hpp"
 
 using namespace alpha;
 
@@ -48,11 +51,12 @@ crypto::HashAlgo parse_algo(const std::string& s) {
 int main(int argc, char** argv) {
   tools::Flags flags{"alpha_sim", "ALPHA protocol experiment runner"};
   flags.define("hops", "3", "number of links on the path");
+  flags.define("assocs", "1", "concurrent associations between the end nodes");
   flags.define("mode", "c", "protocol mode: base|c|m|cm");
   flags.define("algo", "sha1", "hash function: sha1|sha256|mmo");
   flags.define("batch", "16", "messages pre-signed per S1");
   flags.define("group", "8", "messages per Merkle root (cm mode)");
-  flags.define("messages", "200", "messages to stream");
+  flags.define("messages", "200", "messages to stream per association");
   flags.define("msg-size", "800", "payload bytes per message");
   flags.define("reliable", "false", "use pre-(n)acks / AMT acknowledgments");
   flags.define("loss", "0.0", "per-link frame loss rate");
@@ -71,16 +75,18 @@ int main(int argc, char** argv) {
   flags.parse(argc, argv);
 
   const std::size_t hops = static_cast<std::size_t>(flags.num("hops"));
+  const std::size_t assocs = static_cast<std::size_t>(flags.num("assocs"));
   const std::size_t messages = static_cast<std::size_t>(flags.num("messages"));
   const std::size_t msg_size = static_cast<std::size_t>(flags.num("msg-size"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.num("seed"));
+  if (hops < 1 || assocs < 1) {
+    std::fprintf(stderr, "need --hops >= 1 and --assocs >= 1\n");
+    return 2;
+  }
 
   net::Simulator sim;
-  net::Network network{sim, static_cast<std::uint64_t>(flags.num("seed"))};
-  std::vector<net::NodeId> nodes;
-  for (net::NodeId id = 0; id <= hops; ++id) {
-    network.add_node(id);
-    nodes.push_back(id);
-  }
+  net::Network network{sim, seed};
+  for (net::NodeId id = 0; id <= hops; ++id) network.add_node(id);
   net::LinkConfig link;
   link.latency = static_cast<net::SimTime>(flags.num("latency")) * net::kMillisecond;
   link.jitter = static_cast<net::SimTime>(flags.num("jitter")) * net::kMillisecond;
@@ -148,31 +154,77 @@ int main(int argc, char** argv) {
   }
   responder_opts.require_protected_peer = flags.flag("require-protected");
 
-  core::ProtectedPath path{network, nodes, config, 1,
-                           static_cast<std::uint64_t>(flags.num("seed")) + 77,
-                           initiator_opts, responder_opts};
-  path.start(/*tick_horizon_us=*/36000 * net::kSecond);
+  // One AlphaNode per path node. Node 0 runs every initiator association;
+  // node `hops` accepts the inbound handshakes on demand; interior nodes
+  // carry a single relay binding each and demux frames by association id.
+  std::size_t delivered = 0;
+  std::size_t acked = 0;
+  core::AlphaNode::Options init_opts;
+  init_opts.config = config;
+  init_opts.seed = seed + 77;
+  core::AlphaNode::Callbacks init_cbs;
+  init_cbs.on_delivery = [&](std::uint32_t, std::uint64_t,
+                             core::DeliveryStatus status) {
+    if (status == core::DeliveryStatus::kAcked) ++acked;
+  };
+  core::AlphaNode initiator_node{
+      std::make_unique<net::SimTransport>(network, 0), init_opts, init_cbs};
+
+  std::vector<std::unique_ptr<core::AlphaNode>> relay_nodes;
+  core::AlphaNode::Options relay_node_opts;
+  relay_node_opts.config = config;
+  for (net::NodeId id = 1; id < hops; ++id) {
+    auto node = std::make_unique<core::AlphaNode>(
+        std::make_unique<net::SimTransport>(network, id), relay_node_opts);
+    node->add_relay(/*upstream=*/id - 1, /*downstream=*/id + 1);
+    relay_nodes.push_back(std::move(node));
+  }
+
+  core::AlphaNode::Options resp_opts;
+  resp_opts.config = config;
+  resp_opts.seed = seed + 78;
+  resp_opts.accept_inbound = true;
+  resp_opts.accept_host_options = responder_opts;
+  core::AlphaNode::Callbacks resp_cbs;
+  resp_cbs.on_message = [&](std::uint32_t, crypto::ByteView) { ++delivered; };
+  core::AlphaNode responder_node{
+      std::make_unique<net::SimTransport>(network,
+                                          static_cast<net::NodeId>(hops)),
+      resp_opts, resp_cbs};
+
+  for (std::size_t a = 0; a < assocs; ++a) {
+    const auto assoc_id = static_cast<std::uint32_t>(a + 1);
+    initiator_node.add_initiator(assoc_id, /*peer=*/1, config,
+                                 initiator_opts);
+    initiator_node.start(assoc_id);
+  }
   sim.run_until(30 * net::kSecond);
-  if (!path.initiator().established()) {
+  if (initiator_node.established_count() != assocs) {
     std::fprintf(stderr,
                  flags.flag("require-protected") && !identity.has_value()
                      ? "handshake failed: --require-protected needs the "
                        "initiator to sign (--identity)\n"
-                     : "handshake failed (loss too high?)\n");
+                     : "handshake failed (loss too high?): %zu/%zu "
+                       "associations established\n",
+                 initiator_node.established_count(), assocs);
     return 1;
   }
 
+  const std::size_t total = messages * assocs;
   const net::SimTime t0 = sim.now();
   for (std::size_t i = 0; i < messages; ++i) {
-    path.initiator().submit(
-        crypto::Bytes(msg_size, static_cast<std::uint8_t>(i)), sim.now());
+    for (std::size_t a = 0; a < assocs; ++a) {
+      initiator_node.submit(static_cast<std::uint32_t>(a + 1),
+                            crypto::Bytes(msg_size,
+                                          static_cast<std::uint8_t>(i)));
+    }
   }
   net::SimTime last_progress = sim.now();
   std::size_t last_count = 0;
-  while (path.delivered_to_responder().size() < messages) {
+  while (delivered < total) {
     sim.run_until(sim.now() + net::kSecond);
-    if (path.delivered_to_responder().size() != last_count) {
-      last_count = path.delivered_to_responder().size();
+    if (delivered != last_count) {
+      last_count = delivered;
       last_progress = sim.now();
     } else if (sim.now() - last_progress > 600 * net::kSecond) {
       break;  // stalled (chain exhausted without rekey, or loss too high)
@@ -180,23 +232,33 @@ int main(int argc, char** argv) {
   }
   const double elapsed_s = static_cast<double>(sim.now() - t0) / net::kSecond;
 
-  const std::size_t delivered = path.delivered_to_responder().size();
-  std::size_t acked = 0;
-  for (const auto& [cookie, status] : path.initiator_deliveries()) {
-    if (status == core::DeliveryStatus::kAcked) ++acked;
+  // Aggregate engine statistics through the runtime snapshots.
+  const auto init_snap = initiator_node.snapshot(/*per_assoc=*/true);
+  const auto resp_snap = responder_node.snapshot(/*per_assoc=*/true);
+  core::SignerStats s;
+  for (const auto& as : init_snap.assocs) {
+    s.rounds_completed += as.signer.rounds_completed;
+    s.s1_sent += as.signer.s1_sent;
+    s.s2_sent += as.signer.s2_sent;
+    s.s1_retransmits += as.signer.s1_retransmits;
+    s.s2_retransmits += as.signer.s2_retransmits;
+    s.hashes.signature += as.signer.hashes.total();
   }
-  const auto& s = path.initiator().signer()->stats();
-  const auto& v = path.responder().verifier()->stats();
+  std::uint64_t v_invalid = 0, v_hashes = 0;
+  for (const auto& as : resp_snap.assocs) {
+    v_invalid += as.verifier.invalid_packets;
+    v_hashes += as.verifier.hashes.total();
+  }
 
   std::printf("== alpha_sim results ==\n");
   std::printf("profile:        mode=%s algo=%s batch=%zu reliable=%s "
-              "hops=%zu loss=%.2f\n",
+              "hops=%zu assocs=%zu loss=%.2f\n",
               flags.str("mode").c_str(), flags.str("algo").c_str(),
-              config.batch_size, config.reliable ? "yes" : "no", hops,
+              config.batch_size, config.reliable ? "yes" : "no", hops, assocs,
               link.loss_rate);
   std::printf("delivered:      %zu/%zu messages (%.2f s simulated)\n",
-              delivered, messages, elapsed_s);
-  if (config.reliable) std::printf("acknowledged:   %zu/%zu\n", acked, messages);
+              delivered, total, elapsed_s);
+  if (config.reliable) std::printf("acknowledged:   %zu/%zu\n", acked, total);
   std::printf("goodput:        %.3f Mbit/s\n",
               static_cast<double>(delivered * msg_size * 8) /
                   (elapsed_s * 1e6));
@@ -207,26 +269,33 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(s.s2_sent),
               static_cast<unsigned long long>(s.s1_retransmits +
                                               s.s2_retransmits),
-              static_cast<unsigned long long>(s.hashes.total()));
+              static_cast<unsigned long long>(s.hashes.signature));
   std::printf("verifier:       delivered=%llu invalid=%llu hash-ops=%llu\n",
-              static_cast<unsigned long long>(v.messages_delivered),
-              static_cast<unsigned long long>(v.invalid_packets),
-              static_cast<unsigned long long>(v.hashes.total()));
-  for (std::size_t i = 0; i < path.relay_count(); ++i) {
-    const auto& r = path.relay(i).stats();
+              static_cast<unsigned long long>(resp_snap.messages_delivered),
+              static_cast<unsigned long long>(v_invalid),
+              static_cast<unsigned long long>(v_hashes));
+  for (std::size_t i = 0; i < relay_nodes.size(); ++i) {
+    const auto rs = relay_nodes[i]->snapshot();
     std::printf("relay %zu:        forwarded=%llu verified=%llu dropped=%llu "
                 "hash-ops=%llu buffered=%zuB\n",
-                i, static_cast<unsigned long long>(r.forwarded),
-                static_cast<unsigned long long>(r.messages_extracted),
-                static_cast<unsigned long long>(r.dropped_invalid +
-                                                r.dropped_unsolicited),
-                static_cast<unsigned long long>(r.hashes.total()),
-                path.relay(i).buffered_bytes());
+                i, static_cast<unsigned long long>(rs.relay.forwarded),
+                static_cast<unsigned long long>(rs.relay.messages_extracted),
+                static_cast<unsigned long long>(rs.relay.dropped_invalid +
+                                                rs.relay.dropped_unsolicited),
+                static_cast<unsigned long long>(rs.relay.hashes.total()),
+                relay_nodes[i]->relay(0).buffered_bytes());
   }
-  const auto total = network.total_stats();
+  std::printf("runtime:        frames in=%llu out=%llu demux-misses=%llu "
+              "timer-fires=%llu accepted-handshakes=%llu\n",
+              static_cast<unsigned long long>(init_snap.frames_in),
+              static_cast<unsigned long long>(init_snap.frames_out),
+              static_cast<unsigned long long>(init_snap.demux_misses),
+              static_cast<unsigned long long>(init_snap.timer_fires),
+              static_cast<unsigned long long>(resp_snap.accepted_handshakes));
+  const auto total_stats = network.total_stats();
   std::printf("network:        frames=%llu bytes=%llu lost=%llu\n",
-              static_cast<unsigned long long>(total.frames_sent),
-              static_cast<unsigned long long>(total.bytes_delivered),
-              static_cast<unsigned long long>(total.frames_lost));
-  return delivered == messages ? 0 : 1;
+              static_cast<unsigned long long>(total_stats.frames_sent),
+              static_cast<unsigned long long>(total_stats.bytes_delivered),
+              static_cast<unsigned long long>(total_stats.frames_lost));
+  return delivered == total ? 0 : 1;
 }
