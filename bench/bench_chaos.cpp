@@ -1,0 +1,156 @@
+// Extension figure -- goodput and verification cost vs. fault intensity.
+//
+// Drives the reliable ALPHA-C profile over a 3-hop simulated path while the
+// adversarial fault layer escalates: corruption, duplication, reordering and
+// Gilbert-Elliott bursty loss, each swept independently plus one combined
+// "hostile" schedule. Reported per cell: end-to-end goodput and the hash
+// operations spent per delivered message (signer + verifier + relays) -- the
+// protocol's robustness bill. Every row is deterministic per chaos seed.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/path.hpp"
+
+using namespace alpha;
+using namespace alpha::bench;
+
+namespace {
+
+struct ChaosResult {
+  double goodput_mbps = 0.0;
+  double hashes_per_delivered = 0.0;
+  double delivered_fraction = 0.0;
+};
+
+ChaosResult measure(const net::FaultConfig& faults, double loss,
+                    std::size_t messages, std::size_t msg_size) {
+  net::Simulator sim;
+  net::Network network{sim, 11};
+  network.set_chaos_seed(0xbe7c4a05);
+  for (net::NodeId id = 0; id <= 3; ++id) network.add_node(id);
+  net::LinkConfig link;
+  link.latency = 5 * net::kMillisecond;
+  link.bandwidth_bps = 54'000'000;
+  link.mtu = 1500;
+  link.loss_rate = loss;
+  for (net::NodeId id = 0; id < 3; ++id) network.add_link(id, id + 1, link);
+
+  core::Config config;
+  config.mode = wire::Mode::kCumulative;
+  config.batch_size = 16;
+  config.reliable = true;
+  config.retransmit_on_nack = true;
+  config.rto_us = 100 * net::kMillisecond;
+  config.max_retries = 50;
+  config.chain_length = 8192;
+
+  core::ProtectedPath path{network, {0, 1, 2, 3}, config, 1, 7};
+  for (net::NodeId id = 0; id < 3; ++id) {
+    network.set_link_faults(id, id + 1, faults);
+  }
+  path.start();
+  sim.run_until(5 * net::kSecond);
+  for (int attempt = 0; attempt < 20 && !path.initiator().established();
+       ++attempt) {
+    path.initiator().start();
+    sim.run_until(sim.now() + 5 * net::kSecond);
+  }
+  if (!path.initiator().established()) return {};
+
+  const net::SimTime t0 = sim.now();
+  for (std::size_t i = 0; i < messages; ++i) {
+    path.initiator().submit(crypto::Bytes(msg_size, 0x42), sim.now());
+  }
+  while (path.delivered_to_responder().size() < messages &&
+         sim.now() < t0 + 600 * net::kSecond) {
+    sim.run_until(sim.now() + 100 * net::kMillisecond);
+  }
+
+  const std::size_t delivered = path.delivered_to_responder().size();
+  if (delivered == 0) return {};
+  const double elapsed_s = static_cast<double>(sim.now() - t0) / net::kSecond;
+
+  std::uint64_t hashes = path.initiator().signer()->stats().hashes.total() +
+                         path.responder().verifier()->stats().hashes.total();
+  for (std::size_t i = 0; i < path.relay_count(); ++i) {
+    hashes += path.relay(i).stats().hashes.total();
+  }
+
+  ChaosResult result;
+  result.goodput_mbps =
+      static_cast<double>(delivered * msg_size * 8) / (elapsed_s * 1e6);
+  result.hashes_per_delivered =
+      static_cast<double>(hashes) / static_cast<double>(delivered);
+  result.delivered_fraction =
+      static_cast<double>(delivered) / static_cast<double>(messages);
+  return result;
+}
+
+void print_row(const char* name, const ChaosResult& r) {
+  std::printf("%-22s %10.3f %12.1f %10.0f%%\n", name, r.goodput_mbps,
+              r.hashes_per_delivered, r.delivered_fraction * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  header("Extension figure: goodput + hash cost vs. fault intensity "
+         "(ALPHA-C n=16 reliable, 3 hops, 5 ms/hop, 800 B messages)");
+
+  const std::size_t kMessages = 200;
+  const std::size_t kMsgSize = 800;
+
+  std::printf("\n%-22s %10s %12s %11s\n", "fault schedule", "Mbit/s",
+              "hash/deliv", "delivered");
+
+  print_row("clean", measure({}, 0.0, kMessages, kMsgSize));
+
+  for (const double rate : {0.01, 0.05, 0.10}) {
+    net::FaultConfig faults;
+    faults.corrupt_rate = rate;
+    char name[32];
+    std::snprintf(name, sizeof name, "corrupt %.0f%%", rate * 100);
+    print_row(name, measure(faults, 0.0, kMessages, kMsgSize));
+  }
+
+  for (const double rate : {0.10, 0.30}) {
+    net::FaultConfig faults;
+    faults.duplicate_rate = rate;
+    char name[32];
+    std::snprintf(name, sizeof name, "duplicate %.0f%%", rate * 100);
+    print_row(name, measure(faults, 0.0, kMessages, kMsgSize));
+  }
+
+  for (const double rate : {0.10, 0.30}) {
+    net::FaultConfig faults;
+    faults.reorder_rate = rate;
+    faults.reorder_window = 50 * net::kMillisecond;
+    char name[32];
+    std::snprintf(name, sizeof name, "reorder %.0f%%", rate * 100);
+    print_row(name, measure(faults, 0.0, kMessages, kMsgSize));
+  }
+
+  for (const double bad : {0.50, 0.80}) {
+    net::FaultConfig faults;
+    faults.burst = net::BurstLossConfig{0.05, 0.25, 0.0, bad};
+    char name[32];
+    std::snprintf(name, sizeof name, "burst loss %.0f%%", bad * 100);
+    print_row(name, measure(faults, 0.0, kMessages, kMsgSize));
+  }
+
+  {
+    net::FaultConfig faults;
+    faults.corrupt_rate = 0.02;
+    faults.duplicate_rate = 0.05;
+    faults.reorder_rate = 0.10;
+    faults.burst = net::BurstLossConfig{0.05, 0.25, 0.0, 0.60};
+    print_row("hostile (all faults)",
+              measure(faults, 0.05, kMessages, kMsgSize));
+  }
+
+  std::printf("\nGoodput degrades with fault intensity while the per-message "
+              "hash bill grows\nwith every retransmitted round; corrupted "
+              "frames are rejected by relays and\nthe verifier, never "
+              "delivered.\n");
+  return 0;
+}

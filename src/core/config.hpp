@@ -49,9 +49,17 @@ struct Config {
   std::size_t secret_size = 16;
 
   /// Retransmission timeout and retry budget for S1 (awaiting A1) and, in
-  /// reliable mode, S2 (awaiting A2).
+  /// reliable mode, S2 (awaiting A2). The same budget bounds handshake
+  /// (HS1/rekey) retransmission; exhausting it marks the association failed.
   std::uint64_t rto_us = 200'000;
   int max_retries = 5;
+
+  /// Exponential backoff cap: retry k waits min(rto_us * 2^k, rto_max_us)
+  /// plus deterministic jitter in [0, delay/4] (see retransmit_delay), so
+  /// retransmissions neither storm a congested/partitioned path nor fire in
+  /// lockstep across associations. rto_max_us <= rto_us degenerates to the
+  /// fixed timer.
+  std::uint64_t rto_max_us = 5'000'000;
 
   /// Chain rotation: when the signature chain drops below this many
   /// undisclosed elements (and the signer is idle), the Host performs a new
@@ -92,6 +100,25 @@ struct Config {
 /// the seed h_0 is never disclosed).
 inline std::size_t rounds_supported(const Config& c) noexcept {
   return (c.chain_length - 1) / 2;
+}
+
+/// Delay before the `retries`-th retransmission: exponential backoff capped
+/// at rto_max_us plus jitter in [0, delay/4] derived purely from `salt`
+/// (e.g. assoc id and round seq), so concurrent associations desynchronize
+/// without any RNG plumbing and every run stays seed-replayable.
+inline std::uint64_t retransmit_delay(const Config& c, int retries,
+                                      std::uint64_t salt) noexcept {
+  if (c.rto_max_us <= c.rto_us) return c.rto_us;  // fixed timer
+  std::uint64_t delay = c.rto_us;
+  for (int i = 0; i < retries && delay < c.rto_max_us; ++i) delay *= 2;
+  delay = std::min(delay, c.rto_max_us);
+  // splitmix64 finalizer as the jitter hash.
+  std::uint64_t z = salt + 0x9e3779b97f4a7c15ull *
+                               (static_cast<std::uint64_t>(retries) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return delay + z % (delay / 4 + 1);
 }
 
 /// Largest batch whose S1 (and reliable A1) fit within `mtu` bytes; at

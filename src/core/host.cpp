@@ -75,8 +75,11 @@ void Host::start() {
     handshake_sent_ = true;
     ++hs_seq_;
   }
-  // Re-invocations retransmit the same HS1 (same seq, same anchors);
-  // on_tick() does this automatically while unestablished.
+  // Re-invocations retransmit the same HS1 (same seq, same anchors) and
+  // replenish the retransmit budget; on_tick() retransmits automatically
+  // while unestablished.
+  hs_retries_ = 0;
+  failed_ = false;
   callbacks_.send(make_handshake(/*is_response=*/false).encode());
 }
 
@@ -100,6 +103,7 @@ bool Host::force_rekey(std::uint64_t now_us) {
   rekey_pending_ = true;
   signer_->set_paused(true);  // queue, but sign nothing until fresh chains
   ++hs_seq_;
+  hs_retries_ = 0;
   last_hs_send_us_ = now_us;
   callbacks_.send(make_handshake(/*is_response=*/false).encode());
   return true;
@@ -144,9 +148,21 @@ void Host::establish(const wire::HandshakePacket& peer, std::uint64_t now_us) {
 
 void Host::on_frame(crypto::ByteView frame, std::uint64_t now_us) {
   const auto packet = wire::decode(frame);
-  if (!packet.has_value()) return;
+  if (!packet.has_value()) {
+    // Corrupted in flight (or garbage injected); count it so chaos runs can
+    // assert the rejection path fired.
+    ++undecodable_frames_;
+    return;
+  }
 
   if (const auto* hs = std::get_if<wire::HandshakePacket>(&*packet)) {
+    // Replay accounting: a handshake whose counter does not advance is
+    // rejected below (validate_peer_handshake) or answered from the cached
+    // HS2; either way it is a replay/duplicate, not progress.
+    if (hs->hdr.assoc_id == assoc_id_ && peer_hs_seq_ != 0 &&
+        hs->hdr.seq <= peer_hs_seq_) {
+      ++replayed_handshakes_;
+    }
     // Duplicate HS1 (our HS2 may have been lost): re-answer idempotently
     // without resetting any chain state. Checked before the monotonic-seq
     // validation, which rightly rejects old counters otherwise.
@@ -182,10 +198,14 @@ void Host::on_frame(crypto::ByteView frame, std::uint64_t now_us) {
     if (!initiator_) return;
     if (!established()) {
       peer_hs_seq_ = hs->hdr.seq;
+      hs_retries_ = 0;
+      failed_ = false;
       establish(*hs, now_us);
     } else if (rekey_pending_) {
       peer_hs_seq_ = hs->hdr.seq;
       rekey_pending_ = false;
+      hs_retries_ = 0;
+      failed_ = false;
       reestablish(*hs, now_us);
     }
     return;
@@ -215,23 +235,49 @@ std::uint64_t Host::submit(crypto::Bytes message, std::uint64_t now_us) {
   return cookie;
 }
 
+void Host::retransmit_handshake(std::uint64_t now_us) {
+  if (failed_ ||
+      now_us - last_hs_send_us_ <
+          retransmit_delay(config_, hs_retries_, hs_salt())) {
+    return;
+  }
+  // Budget: a partitioned or dead peer must not provoke an endless
+  // retransmit storm. start() or an inbound HS2 replenishes the budget.
+  if (hs_retries_ >= config_.max_retries) {
+    failed_ = true;
+    return;
+  }
+  ++hs_retries_;
+  ++hs_retransmits_;
+  last_hs_send_us_ = now_us;
+  callbacks_.send(make_handshake(/*is_response=*/false).encode());
+}
+
 void Host::on_tick(std::uint64_t now_us) {
   if (!established()) {
     // Bootstrap robustness: retransmit the HS1 until the HS2 arrives.
-    if (initiator_ && handshake_sent_ &&
-        now_us - last_hs_send_us_ >= config_.rto_us) {
-      last_hs_send_us_ = now_us;
-      callbacks_.send(make_handshake(/*is_response=*/false).encode());
-    }
+    if (initiator_ && handshake_sent_) retransmit_handshake(now_us);
     return;
   }
   signer_->on_tick(now_us);
   maybe_begin_rekey(now_us);
   // A lost rekey HS1 would leave the signer paused forever: retransmit.
-  if (rekey_pending_ && now_us - last_hs_send_us_ >= config_.rto_us) {
-    last_hs_send_us_ = now_us;
-    callbacks_.send(make_handshake(/*is_response=*/false).encode());
+  if (rekey_pending_) retransmit_handshake(now_us);
+}
+
+std::optional<std::uint64_t> Host::next_deadline_us() const noexcept {
+  if (failed_) return std::nullopt;
+  const std::uint64_t hs_deadline =
+      last_hs_send_us_ + retransmit_delay(config_, hs_retries_, hs_salt());
+  if (!established()) {
+    if (!initiator_ || !handshake_sent_) return std::nullopt;
+    return hs_deadline;
   }
+  std::optional<std::uint64_t> next = signer_->next_deadline_us();
+  if (rekey_pending_ && (!next.has_value() || hs_deadline < *next)) {
+    next = hs_deadline;
+  }
+  return next;
 }
 
 }  // namespace alpha::core

@@ -71,7 +71,28 @@ class Host {
   /// Periodic driver for retransmissions.
   void on_tick(std::uint64_t now_us);
 
+  /// Absolute time of the next retransmission deadline (handshake, rekey or
+  /// signer round, all with exponential backoff), 0 for "as soon as
+  /// possible", nullopt when nothing is pending.
+  std::optional<std::uint64_t> next_deadline_us() const noexcept;
+
   bool established() const noexcept { return signer_ != nullptr; }
+
+  /// True once the handshake/rekey retransmit budget (Config::max_retries)
+  /// is exhausted; the association stops retransmitting until start() or an
+  /// inbound frame revives it. Surfaced in NodeSnapshot.
+  bool failed() const noexcept { return failed_; }
+
+  /// Handshake (HS1/rekey) retransmissions performed.
+  std::uint64_t hs_retransmits() const noexcept { return hs_retransmits_; }
+  /// Frames that failed the full wire decode (bit corruption in flight).
+  std::uint64_t undecodable_frames() const noexcept {
+    return undecodable_frames_;
+  }
+  /// Handshakes rejected by the monotonic-counter replay check.
+  std::uint64_t replayed_handshakes() const noexcept {
+    return replayed_handshakes_;
+  }
 
   /// Engine access (null until established). Exposed for stats/benches.
   SignerEngine* signer() noexcept { return signer_.get(); }
@@ -91,6 +112,10 @@ class Host {
   void reestablish(const wire::HandshakePacket& peer, std::uint64_t now_us);
   void rotate_chains();
   void maybe_begin_rekey(std::uint64_t now_us);
+  void retransmit_handshake(std::uint64_t now_us);
+  std::uint64_t hs_salt() const noexcept {
+    return (static_cast<std::uint64_t>(assoc_id_) << 32) | hs_seq_;
+  }
 
   Config config_;
   std::uint32_t assoc_id_;
@@ -117,6 +142,11 @@ class Host {
   std::uint32_t peer_hs_seq_ = 0;  // highest peer handshake accepted
   crypto::Bytes last_hs_response_;  // cached HS2 for duplicate HS1s
   std::uint64_t last_hs_send_us_ = 0;
+  int hs_retries_ = 0;     // retransmit budget used since last progress
+  bool failed_ = false;    // budget exhausted, reported in snapshots
+  std::uint64_t hs_retransmits_ = 0;
+  std::uint64_t undecodable_frames_ = 0;
+  std::uint64_t replayed_handshakes_ = 0;
 };
 
 }  // namespace alpha::core

@@ -190,6 +190,7 @@ AlphaNode::RelayBinding* AlphaNode::relay_for(std::uint32_t assoc_id,
 }
 
 bool AlphaNode::needs_tick(const Host& host) {
+  if (host.failed()) return false;  // budget exhausted: no retransmit storm
   if (!host.established()) {
     return host.is_initiator();  // HS1 retransmission until the HS2 lands
   }
@@ -211,9 +212,21 @@ void AlphaNode::after_activity(AssocEntry& entry) {
 }
 
 void AlphaNode::arm_timer(AssocEntry& entry) {
-  if (entry.timer_armed) return;
+  // Backoff-aware arming: ask the host for its true next retransmission
+  // deadline so a round deep into exponential backoff does not wake the
+  // wheel every granularity tick for nothing. The cadence floor keeps
+  // partial-batch flushing and rekey checks alive.
+  const std::uint64_t now = transport_->now_us();
+  std::uint64_t deadline = now + tick_granularity_;
+  if (const auto next = entry.host->next_deadline_us();
+      next.has_value() && *next > deadline) {
+    deadline = *next;
+  }
+  // Already armed at an earlier-or-equal deadline: nothing to do. A later
+  // stale wheel entry fires harmlessly -- hosts gate on elapsed time.
+  if (entry.timer_armed && entry.timer_deadline_us <= deadline) return;
   entry.timer_armed = true;
-  const std::uint64_t deadline = transport_->now_us() + tick_granularity_;
+  entry.timer_deadline_us = deadline;
   wheel_.arm(entry.assoc_id, deadline);
   schedule_wakeup(deadline);
 }
@@ -259,12 +272,18 @@ NodeSnapshot AlphaNode::snapshot(bool per_assoc) const {
   for (const auto& [id, entry] : assocs_) {
     const bool established = entry.host->established();
     if (established) ++s.established;
+    if (entry.host->failed()) ++s.failed;
     s.rekeys_started += entry.rekeys_started;
+    s.corrupt_frames += entry.host->undecodable_frames();
+    s.replayed_handshakes += entry.host->replayed_handshakes();
+    s.retransmits += entry.host->hs_retransmits();
     if (established) {
       const auto& verifier = entry.host->verifier()->stats();
       const auto& signer = entry.host->signer()->stats();
       s.messages_delivered += verifier.messages_delivered;
       s.messages_forged += verifier.invalid_packets + signer.invalid_packets;
+      s.duplicate_frames += verifier.duplicate_packets;
+      s.retransmits += signer.s1_retransmits + signer.s2_retransmits;
     }
     if (per_assoc) {
       AssocSnapshot a;
@@ -272,9 +291,13 @@ NodeSnapshot AlphaNode::snapshot(bool per_assoc) const {
       a.initiator = entry.host->is_initiator();
       a.established = established;
       a.rekey_pending = entry.host->rekey_pending();
+      a.failed = entry.host->failed();
       a.frames_in = entry.frames_in;
       a.frames_out = entry.frames_out;
       a.rekeys_started = entry.rekeys_started;
+      a.hs_retransmits = entry.host->hs_retransmits();
+      a.corrupt_frames = entry.host->undecodable_frames();
+      a.replayed_handshakes = entry.host->replayed_handshakes();
       if (established) {
         a.signer = entry.host->signer()->stats();
         a.verifier = entry.host->verifier()->stats();

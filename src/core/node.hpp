@@ -41,9 +41,13 @@ struct AssocSnapshot {
   bool initiator = false;
   bool established = false;
   bool rekey_pending = false;
+  bool failed = false;                   // retransmit budget exhausted
   std::uint64_t frames_in = 0;
   std::uint64_t frames_out = 0;
   std::uint64_t rekeys_started = 0;
+  std::uint64_t hs_retransmits = 0;
+  std::uint64_t corrupt_frames = 0;      // failed full decode at the host
+  std::uint64_t replayed_handshakes = 0; // stale handshake counters
   SignerStats signer;      // zero until established
   VerifierStats verifier;  // zero until established
 };
@@ -60,8 +64,13 @@ struct NodeSnapshot {
   std::uint64_t rekeys_started = 0;
   std::size_t associations = 0;
   std::size_t established = 0;
+  std::size_t failed = 0;                // assocs whose budget ran out
   std::uint64_t messages_delivered = 0;  // across all verifiers
   std::uint64_t messages_forged = 0;     // invalid at hosts + relay drops
+  std::uint64_t corrupt_frames = 0;      // failed full decode at a host
+  std::uint64_t duplicate_frames = 0;    // dup S1/S2 answered idempotently
+  std::uint64_t replayed_handshakes = 0; // stale handshake counters
+  std::uint64_t retransmits = 0;         // S1 + S2 + handshake retransmits
   RelayStats relay;                      // summed over relay bindings
   std::vector<AssocSnapshot> assocs;     // filled when requested
 };
@@ -181,6 +190,7 @@ class AlphaNode {
     bool was_established = false;
     bool was_rekey_pending = false;
     bool timer_armed = false;
+    std::uint64_t timer_deadline_us = 0;  // where the wheel entry sits
   };
 
   struct RelayBinding {

@@ -335,13 +335,30 @@ void SignerEngine::on_a2(const wire::A2Packet& a2, std::uint64_t now_us) {
   }
 }
 
+std::optional<std::uint64_t> SignerEngine::next_deadline_us() const noexcept {
+  if (round_.has_value()) {
+    return round_->last_send_us + retransmit_delay(config_, round_->retries,
+                                                   retransmit_salt());
+  }
+  if (!paused_ && !queue_.empty()) return 0;  // flush a partial batch asap
+  return std::nullopt;
+}
+
+std::uint64_t SignerEngine::retransmit_salt() const noexcept {
+  return (static_cast<std::uint64_t>(assoc_id_) << 32) |
+         (round_.has_value() ? round_->seq : 0);
+}
+
 void SignerEngine::on_tick(std::uint64_t now_us) {
   if (!round_.has_value()) {
     maybe_start_round(now_us, /*flush=*/true);
     return;
   }
   Round& round = *round_;
-  if (now_us - round.last_send_us < config_.rto_us) return;
+  if (now_us - round.last_send_us <
+      retransmit_delay(config_, round.retries, retransmit_salt())) {
+    return;
+  }
 
   if (round.retries >= config_.max_retries) {
     for (std::size_t k = 0; k < round.messages.size(); ++k) {

@@ -63,6 +63,12 @@ class SignerEngine {
   /// Drives retransmissions; call periodically (e.g. every rto/4).
   void on_tick(std::uint64_t now_us);
 
+  /// Absolute time of the next retransmission deadline (with backoff), 0 if
+  /// a backlog wants flushing as soon as possible, nullopt when idle. Lets
+  /// the node runtime arm its timer wheel at the true deadline instead of a
+  /// fixed cadence.
+  std::optional<std::uint64_t> next_deadline_us() const noexcept;
+
   /// False once the signature chain cannot cover another round.
   bool can_send() const noexcept;
 
@@ -122,6 +128,7 @@ class SignerEngine {
   };
 
   void maybe_start_round(std::uint64_t now_us, bool flush = false);
+  std::uint64_t retransmit_salt() const noexcept;
   void send_s1(std::uint64_t now_us);
   void send_s2_batch(std::uint64_t now_us);
   Bytes make_s2(const Round& round, std::size_t index) const;

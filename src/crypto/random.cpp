@@ -60,6 +60,16 @@ void HmacDrbg::update(ByteView material) {
 
 void HmacDrbg::reseed(ByteView material) { update(material); }
 
+void HmacDrbg::reset(std::uint64_t seed) {
+  key_.assign(Sha256::kDigestSize, 0x00);
+  v_.assign(Sha256::kDigestSize, 0x01);
+  Bytes s(8);
+  for (int i = 0; i < 8; ++i) {
+    s[i] = static_cast<std::uint8_t>(seed >> (56 - 8 * i));
+  }
+  update(s);
+}
+
 void HmacDrbg::fill(std::span<std::uint8_t> out) {
   const CounterPause pause;  // DRBG hashing is not protocol work
   std::size_t produced = 0;

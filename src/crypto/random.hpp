@@ -50,6 +50,10 @@ class HmacDrbg final : public RandomSource {
   /// Mixes additional entropy/material into the state.
   void reseed(ByteView material);
 
+  /// Resets the state as if freshly constructed from `seed` (replay from a
+  /// known point without reconstructing the owner).
+  void reset(std::uint64_t seed);
+
  private:
   void update(ByteView material);
 

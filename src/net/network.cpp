@@ -25,8 +25,10 @@ void Network::add_link(NodeId a, NodeId b, LinkConfig config) {
     throw std::invalid_argument("Network::add_link: unknown endpoint");
   }
   if (a == b) throw std::invalid_argument("Network::add_link: self link");
-  links_[{a, b}] = DirectedLink{config, {}, 0};
-  links_[{b, a}] = DirectedLink{config, {}, 0};
+  DirectedLink link;
+  link.config = config;
+  links_[{a, b}] = link;
+  links_[{b, a}] = link;
 }
 
 Network::DirectedLink* Network::find_link(NodeId from, NodeId to) {
@@ -40,11 +42,66 @@ const Network::DirectedLink* Network::find_link(NodeId from,
   return it == links_.end() ? nullptr : &it->second;
 }
 
+void Network::set_link_faults(NodeId a, NodeId b, FaultConfig faults) {
+  DirectedLink* ab = find_link(a, b);
+  DirectedLink* ba = find_link(b, a);
+  if (ab == nullptr || ba == nullptr) {
+    throw std::invalid_argument("Network::set_link_faults: no such link");
+  }
+  ab->faults = faults;
+  ba->faults = faults;
+}
+
+void Network::set_link_up(NodeId a, NodeId b, bool up) {
+  DirectedLink* ab = find_link(a, b);
+  DirectedLink* ba = find_link(b, a);
+  if (ab == nullptr || ba == nullptr) {
+    throw std::invalid_argument("Network::set_link_up: no such link");
+  }
+  ab->up = up;
+  ba->up = up;
+}
+
+bool Network::link_up(NodeId a, NodeId b) const {
+  const DirectedLink* link = find_link(a, b);
+  if (link == nullptr) {
+    throw std::invalid_argument("Network::link_up: no such link");
+  }
+  return link->up;
+}
+
+void Network::schedule_partition(NodeId a, NodeId b, SimTime at,
+                                 SimTime duration) {
+  if (find_link(a, b) == nullptr) {
+    throw std::invalid_argument("Network::schedule_partition: no such link");
+  }
+  sim_->schedule_at(at, [this, a, b] { set_link_up(a, b, false); });
+  sim_->schedule_at(at + duration, [this, a, b] { set_link_up(a, b, true); });
+}
+
+bool Network::chaos_chance(double rate) {
+  if (rate <= 0.0) return false;
+  const double draw = static_cast<double>(chaos_rng_.uniform(1u << 24)) /
+                      static_cast<double>(1u << 24);
+  return draw < rate;
+}
+
+void Network::schedule_delivery(NodeId from, NodeId to, Bytes frame,
+                                SimTime delay) {
+  sim_->schedule_in(delay, [this, from, to, data = std::move(frame)] {
+    const auto it = nodes_.find(to);
+    if (it != nodes_.end() && it->second.handler) {
+      it->second.handler(from, data);
+    }
+  });
+}
+
 bool Network::send(NodeId from, NodeId to, Bytes frame) {
-  const auto trace = [&](FrameFate fate, SimTime delivery_at) {
+  const auto trace = [&](FrameFate fate, SimTime delivery_at,
+                         bool corrupted = false, bool reordered = false) {
     if (tracer_) {
       tracer_(TraceRecord{sim_->now(), delivery_at, from, to, frame.size(),
-                          fate});
+                          fate, corrupted, reordered});
     }
   };
 
@@ -54,6 +111,13 @@ bool Network::send(NodeId from, NodeId to, Bytes frame) {
     return false;
   }
   ++link->stats.frames_sent;
+
+  // Partition: the frame vanishes; the sender cannot tell this from loss.
+  if (!link->up) {
+    ++link->stats.frames_link_down;
+    trace(FrameFate::kLinkDown, 0);
+    return true;
+  }
 
   if (frame.size() > link->config.mtu) {
     ++link->stats.frames_oversize;
@@ -72,6 +136,39 @@ bool Network::send(NodeId from, NodeId to, Bytes frame) {
     }
   }
 
+  // Gilbert-Elliott bursty loss: advance the state machine per frame, then
+  // apply the state's loss probability. All fault draws come from the chaos
+  // stream in a fixed order (burst, corrupt, reorder, duplicate), so one
+  // chaos seed replays the whole schedule.
+  const FaultConfig& faults = link->faults;
+  if (faults.burst.has_value()) {
+    const BurstLossConfig& burst = *faults.burst;
+    if (link->burst_bad) {
+      if (chaos_chance(burst.p_exit_bad)) link->burst_bad = false;
+    } else if (chaos_chance(burst.p_enter_bad)) {
+      link->burst_bad = true;
+    }
+    if (chaos_chance(link->burst_bad ? burst.loss_bad : burst.loss_good)) {
+      ++link->stats.frames_lost;
+      trace(FrameFate::kLost, 0);
+      return true;
+    }
+  }
+
+  // Bit corruption: flip 1..corrupt_max_bits random bits in flight.
+  bool corrupted = false;
+  if (chaos_chance(faults.corrupt_rate) && !frame.empty()) {
+    const int bits =
+        1 + static_cast<int>(chaos_rng_.uniform(
+                std::max(faults.corrupt_max_bits, 1)));
+    for (int i = 0; i < bits; ++i) {
+      frame[chaos_rng_.uniform(frame.size())] ^=
+          static_cast<std::uint8_t>(1u << chaos_rng_.uniform(8));
+    }
+    corrupted = true;
+    ++link->stats.frames_corrupted;
+  }
+
   // Serialization: the link transmits one frame at a time.
   const SimTime now = sim_->now();
   const std::uint64_t bps =
@@ -86,16 +183,28 @@ bool Network::send(NodeId from, NodeId to, Bytes frame) {
     delay += rng_.uniform(link->config.jitter + 1);
   }
 
+  // Bounded reordering: hold the frame back so frames sent after it
+  // overtake it.
+  bool reordered = false;
+  if (chaos_chance(faults.reorder_rate) && faults.reorder_window > 0) {
+    delay += 1 + chaos_rng_.uniform(faults.reorder_window);
+    reordered = true;
+    ++link->stats.frames_reordered;
+  }
+
+  // Duplication: a second copy arrives shortly after the original.
+  if (chaos_chance(faults.duplicate_rate)) {
+    const SimTime offset =
+        1 + chaos_rng_.uniform(std::max<SimTime>(faults.reorder_window, 1));
+    ++link->stats.frames_duplicated;
+    trace(FrameFate::kDuplicated, sim_->now() + delay + offset, corrupted);
+    schedule_delivery(from, to, frame, delay + offset);
+  }
+
   link->stats.bytes_delivered += frame.size();
   ++link->stats.frames_delivered;
-  trace(FrameFate::kDelivered, sim_->now() + delay);
-
-  sim_->schedule_in(delay, [this, from, to, data = std::move(frame)] {
-    const auto it = nodes_.find(to);
-    if (it != nodes_.end() && it->second.handler) {
-      it->second.handler(from, data);
-    }
-  });
+  trace(FrameFate::kDelivered, sim_->now() + delay, corrupted, reordered);
+  schedule_delivery(from, to, std::move(frame), delay);
   return true;
 }
 
@@ -153,6 +262,10 @@ LinkStats Network::total_stats() const {
     total.frames_lost += link.stats.frames_lost;
     total.frames_oversize += link.stats.frames_oversize;
     total.bytes_delivered += link.stats.bytes_delivered;
+    total.frames_duplicated += link.stats.frames_duplicated;
+    total.frames_corrupted += link.stats.frames_corrupted;
+    total.frames_reordered += link.stats.frames_reordered;
+    total.frames_link_down += link.stats.frames_link_down;
   }
   return total;
 }

@@ -7,6 +7,13 @@
 // matching the paper's requirement that the relay set stays stable for the
 // lifetime of a hash chain (§3.1.1).
 //
+// On top of the benign model sits an adversarial fault layer (§5 threat
+// model): per-link schedules of frame duplication, bounded reordering,
+// random bit corruption, Gilbert-Elliott bursty loss, and timed link
+// up/down partitions. Faults draw from their own seeded RandomSource, so
+// (a) enabling them never perturbs the benign jitter/loss stream and
+// (b) an entire adversarial run replays bit-for-bit from one chaos seed.
+//
 // Nodes attach a receive handler; the ALPHA engines bind to that. Everything
 // is deterministic given the seed of the RandomSource driving jitter/loss.
 #pragma once
@@ -38,12 +45,44 @@ struct LinkConfig {
   std::size_t mtu = 1280;              // minimum IPv6 MTU (paper Fig. 5)
 };
 
+/// Two-state Gilbert-Elliott loss: per frame the link flips between a good
+/// and a bad state, each with its own loss probability -- losses cluster
+/// into bursts with geometric lengths (mean bad burst = 1/p_exit_bad).
+struct BurstLossConfig {
+  double p_enter_bad = 0.05;  // good -> bad transition per frame
+  double p_exit_bad = 0.25;   // bad -> good transition per frame
+  double loss_good = 0.0;     // loss probability in the good state
+  double loss_bad = 0.75;     // loss probability in the bad state
+};
+
+/// Adversarial fault schedule for one link. Every rate is a per-frame
+/// probability drawn from the network's chaos RandomSource.
+struct FaultConfig {
+  double duplicate_rate = 0.0;  // frame delivered a second time
+  double corrupt_rate = 0.0;    // random bit flips applied in flight
+  int corrupt_max_bits = 3;     // 1..N bits flipped per corrupted frame
+  double reorder_rate = 0.0;    // frame held back by an extra random delay
+  SimTime reorder_window = 50 * kMillisecond;  // bound on the extra delay
+                                               // (also the duplicate offset)
+  std::optional<BurstLossConfig> burst;  // Gilbert-Elliott bursty loss
+
+  bool any() const noexcept {
+    return duplicate_rate > 0.0 || corrupt_rate > 0.0 || reorder_rate > 0.0 ||
+           burst.has_value();
+  }
+};
+
 struct LinkStats {
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_delivered = 0;
-  std::uint64_t frames_lost = 0;
+  std::uint64_t frames_lost = 0;       // random loss (Bernoulli + burst)
   std::uint64_t frames_oversize = 0;
   std::uint64_t bytes_delivered = 0;
+  // Fault-layer counters.
+  std::uint64_t frames_duplicated = 0;  // extra copies injected
+  std::uint64_t frames_corrupted = 0;   // delivered with flipped bits
+  std::uint64_t frames_reordered = 0;   // held back past later frames
+  std::uint64_t frames_link_down = 0;   // swallowed by a partition
 };
 
 /// Handler invoked on frame arrival: (from, frame bytes).
@@ -51,8 +90,10 @@ using ReceiveFn = std::function<void(NodeId, ByteView)>;
 
 class Network {
  public:
+  /// `seed` drives the benign jitter/loss stream; faults draw from a
+  /// separate chaos stream derived from it (see set_chaos_seed).
   Network(Simulator& sim, std::uint64_t seed = 1)
-      : sim_(&sim), rng_(seed) {}
+      : sim_(&sim), rng_(seed), chaos_rng_(seed ^ kChaosSeedSalt) {}
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -65,6 +106,25 @@ class Network {
   /// Adds a bidirectional link; both directions share the config but have
   /// independent queues and stats.
   void add_link(NodeId a, NodeId b, LinkConfig config = {});
+
+  /// Installs a fault schedule on both directions of an existing link
+  /// (independent burst state and counters per direction).
+  void set_link_faults(NodeId a, NodeId b, FaultConfig faults);
+
+  /// Immediately raises/cuts both directions of a link. Frames sent into a
+  /// down link vanish (the sender cannot tell a partition from loss).
+  void set_link_up(NodeId a, NodeId b, bool up);
+  bool link_up(NodeId a, NodeId b) const;
+
+  /// Schedules a partition: the link goes down at `at` and heals at
+  /// `at + duration` (simulator events, so fully deterministic).
+  void schedule_partition(NodeId a, NodeId b, SimTime at, SimTime duration);
+
+  /// Reseeds the fault stream independently of the benign seed, so one
+  /// chaos seed replays a whole adversarial schedule bit-for-bit.
+  void set_chaos_seed(std::uint64_t seed) {
+    chaos_rng_.reset(seed ^ kChaosSeedSalt);
+  }
 
   /// Sends one frame from `from` to adjacent `to`. Returns false if there
   /// is no such link or the frame exceeds the MTU (dropped, counted).
@@ -84,9 +144,11 @@ class Network {
   /// will arrive (delivery_at == 0 for drops).
   enum class FrameFate : std::uint8_t {
     kDelivered = 1,
-    kLost = 2,      // random loss
-    kOversize = 3,  // exceeded the MTU
+    kLost = 2,       // random loss (Bernoulli or burst)
+    kOversize = 3,   // exceeded the MTU
     kNoLink = 4,
+    kLinkDown = 5,   // swallowed by a partition
+    kDuplicated = 6, // extra copy injected (second record for one send)
   };
   struct TraceRecord {
     SimTime sent_at;
@@ -95,6 +157,8 @@ class Network {
     NodeId to;
     std::size_t size;
     FrameFate fate;
+    bool corrupted = false;  // bits flipped in flight
+    bool reordered = false;  // held back past later frames
   };
   using TraceFn = std::function<void(const TraceRecord&)>;
 
@@ -105,10 +169,15 @@ class Network {
   Simulator& sim() noexcept { return *sim_; }
 
  private:
+  static constexpr std::uint64_t kChaosSeedSalt = 0xc4a05'5eedull;
+
   struct DirectedLink {
     LinkConfig config;
     LinkStats stats;
     SimTime busy_until = 0;  // serialization queue tail
+    FaultConfig faults;
+    bool up = true;          // partition state
+    bool burst_bad = false;  // Gilbert-Elliott state
   };
 
   struct NodeEntry {
@@ -117,9 +186,14 @@ class Network {
 
   DirectedLink* find_link(NodeId from, NodeId to);
   const DirectedLink* find_link(NodeId from, NodeId to) const;
+  /// One chaos draw in [0, 1); consumed only when `rate` > 0 so disabled
+  /// fault classes never advance the stream.
+  bool chaos_chance(double rate);
+  void schedule_delivery(NodeId from, NodeId to, Bytes frame, SimTime delay);
 
   Simulator* sim_;
   crypto::HmacDrbg rng_;
+  crypto::HmacDrbg chaos_rng_;
   std::map<NodeId, NodeEntry> nodes_;
   std::map<std::pair<NodeId, NodeId>, DirectedLink> links_;
   TraceFn tracer_;

@@ -117,6 +117,7 @@ TEST(EdgeCaseTest, HandshakeLossRecoveredByTicks) {
   // retransmission converges without manual restarts.
   Config config;
   config.rto_us = 1000;
+  config.rto_max_us = config.rto_us;  // fixed timer: test advances in rto steps
 
   HmacDrbg rng_a{1}, rng_b{2};
   PacketBus bus;

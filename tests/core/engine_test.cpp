@@ -256,6 +256,7 @@ TEST(EngineRetransmitTest, LostS1IsRetransmitted) {
   Config config;
   config.reliable = true;
   config.rto_us = 1000;
+  config.rto_max_us = config.rto_us;  // fixed timer: test advances in rto steps
   EnginePair pair{config};
 
   int drops = 0;
@@ -314,6 +315,7 @@ TEST(EngineRetransmitTest, RetriesExhaustedFailsRound) {
   Config config;
   config.reliable = true;
   config.rto_us = 1000;
+  config.rto_max_us = config.rto_us;  // fixed timer: test advances in rto steps
   config.max_retries = 3;
   EnginePair pair{config};
 

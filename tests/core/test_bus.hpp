@@ -1,18 +1,27 @@
-// Test harness: queued frame delivery between protocol engines.
+// Test harness: queued frame delivery between protocol engines, plus the
+// seed-replay hooks used by the chaos/property tests.
 //
 // Delivering frames synchronously from inside a send callback would re-enter
 // the engines (signer -> verifier -> signer ...) while their state is mid-
 // update. The bus queues frames and drains them iteratively, like a real
 // transport. Hooks allow dropping or tampering frames in flight.
+//
+// Seed replay: randomized tests draw their seed via chaos_seed(fallback) and
+// register a SeedReporter. On failure the seed is printed; exporting it as
+// ALPHA_TEST_SEED reruns the exact same fault schedule bit for bit.
 #pragma once
 
 #include <deque>
 #include <functional>
 
+#include "../support/seed.hpp"
 #include "core/host.hpp"
 #include "wire/packets.hpp"
 
 namespace alpha::core::testing {
+
+using alpha::testing::SeedReporter;
+using alpha::testing::chaos_seed;
 
 class PacketBus {
  public:

@@ -233,5 +233,202 @@ TEST(NetworkTest, TotalStatsAggregates) {
   EXPECT_EQ(total.bytes_delivered, 30u);
 }
 
+// ---- Adversarial fault layer ----
+
+TEST(NetworkFaultTest, DuplicationDeliversExtraCopies) {
+  Simulator sim;
+  Network net{sim};
+  Inbox inbox;
+  net.add_node(1);
+  net.add_node(2, inbox.handler());
+  net.add_link(1, 2);
+  FaultConfig faults;
+  faults.duplicate_rate = 1.0;
+  net.set_link_faults(1, 2, faults);
+
+  for (int i = 0; i < 5; ++i) net.send(1, 2, Bytes{std::uint8_t(i)});
+  sim.run();
+  EXPECT_EQ(inbox.frames.size(), 10u);  // every frame arrives twice
+  EXPECT_EQ(net.link_stats(1, 2).frames_duplicated, 5u);
+  EXPECT_EQ(net.link_stats(1, 2).frames_delivered, 5u);
+}
+
+TEST(NetworkFaultTest, CorruptionFlipsBitsButKeepsLength) {
+  Simulator sim;
+  Network net{sim};
+  Inbox inbox;
+  net.add_node(1);
+  net.add_node(2, inbox.handler());
+  net.add_link(1, 2);
+  FaultConfig faults;
+  faults.corrupt_rate = 1.0;
+  faults.corrupt_max_bits = 3;
+  net.set_link_faults(1, 2, faults);
+
+  const Bytes original(32, 0x5a);
+  net.send(1, 2, original);
+  sim.run();
+  ASSERT_EQ(inbox.frames.size(), 1u);
+  const Bytes& received = inbox.frames[0].second;
+  EXPECT_EQ(received.size(), original.size());
+  EXPECT_NE(received, original);
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    flipped_bits += __builtin_popcount(original[i] ^ received[i]);
+  }
+  EXPECT_GE(flipped_bits, 1);
+  EXPECT_LE(flipped_bits, 3);
+  EXPECT_EQ(net.link_stats(1, 2).frames_corrupted, 1u);
+}
+
+TEST(NetworkFaultTest, ReorderingLetsLaterFramesOvertake) {
+  Simulator sim;
+  Network net{sim};
+  Inbox inbox;
+  net.add_node(1);
+  net.add_node(2, inbox.handler());
+  net.add_link(1, 2, {.latency = 1 * kMillisecond, .jitter = 0,
+                      .bandwidth_bps = 1'000'000'000});
+  FaultConfig faults;
+  faults.reorder_rate = 1.0;
+  faults.reorder_window = 100 * kMillisecond;
+  net.set_link_faults(1, 2, faults);
+
+  net.send(1, 2, Bytes{1});  // held back by up to 100 ms
+  net.set_link_faults(1, 2, FaultConfig{});
+  net.send(1, 2, Bytes{2});  // sails through at ~1 ms
+  sim.run();
+  ASSERT_EQ(inbox.frames.size(), 2u);
+  EXPECT_EQ(inbox.frames[0].second, Bytes{2});
+  EXPECT_EQ(inbox.frames[1].second, Bytes{1});
+  EXPECT_EQ(net.link_stats(1, 2).frames_reordered, 1u);
+}
+
+TEST(NetworkFaultTest, PartitionSwallowsFramesUntilHealed) {
+  Simulator sim;
+  Network net{sim};
+  Inbox inbox;
+  net.add_node(1);
+  net.add_node(2, inbox.handler());
+  net.add_link(1, 2);
+
+  net.schedule_partition(1, 2, 10 * kMillisecond, 20 * kMillisecond);
+  EXPECT_TRUE(net.link_up(1, 2));
+  net.send(1, 2, Bytes{1});  // before the cut: delivered
+
+  sim.run_until(15 * kMillisecond);
+  EXPECT_FALSE(net.link_up(1, 2));
+  // send() still returns true: the sender cannot tell partition from loss.
+  EXPECT_TRUE(net.send(1, 2, Bytes{2}));
+
+  sim.run_until(40 * kMillisecond);
+  EXPECT_TRUE(net.link_up(1, 2));
+  net.send(1, 2, Bytes{3});
+  sim.run();
+
+  ASSERT_EQ(inbox.frames.size(), 2u);
+  EXPECT_EQ(inbox.frames[0].second, Bytes{1});
+  EXPECT_EQ(inbox.frames[1].second, Bytes{3});
+  EXPECT_EQ(net.link_stats(1, 2).frames_link_down, 1u);
+}
+
+TEST(NetworkFaultTest, BurstLossClustersDrops) {
+  Simulator sim;
+  Network net{sim, /*seed=*/11};
+  Inbox inbox;
+  net.add_node(1);
+  net.add_node(2, inbox.handler());
+  net.add_link(1, 2, {.latency = 1, .jitter = 0});
+  FaultConfig faults;
+  faults.burst = BurstLossConfig{/*p_enter_bad=*/0.05, /*p_exit_bad=*/0.2,
+                                 /*loss_good=*/0.0, /*loss_bad=*/1.0};
+  net.set_link_faults(1, 2, faults);
+
+  const int kFrames = 2000;
+  for (int i = 0; i < kFrames; ++i) net.send(1, 2, Bytes{1});
+  sim.run();
+  const auto& stats = net.link_stats(1, 2);
+  EXPECT_EQ(stats.frames_lost + stats.frames_delivered,
+            static_cast<std::uint64_t>(kFrames));
+  // Loss happened, but the good state let most frames through; with these
+  // parameters the stationary bad-state share is 0.05/(0.05+0.2) = 20%.
+  EXPECT_GT(stats.frames_lost, kFrames / 10);
+  EXPECT_LT(stats.frames_lost, kFrames / 2);
+}
+
+TEST(NetworkFaultTest, ChaosScheduleReplaysBitForBitPerSeed) {
+  const auto run = [](std::uint64_t chaos_seed) {
+    Simulator sim;
+    Network net{sim, /*seed=*/3};
+    net.set_chaos_seed(chaos_seed);
+    Inbox inbox;
+    net.add_node(1);
+    net.add_node(2, inbox.handler());
+    net.add_link(1, 2, {.latency = 1 * kMillisecond, .jitter = 2});
+    FaultConfig faults;
+    faults.duplicate_rate = 0.2;
+    faults.corrupt_rate = 0.2;
+    faults.reorder_rate = 0.2;
+    faults.burst = BurstLossConfig{};
+    net.set_link_faults(1, 2, faults);
+    std::vector<std::pair<SimTime, int>> trace;
+    net.set_tracer([&](const Network::TraceRecord& r) {
+      trace.emplace_back(r.delivery_at, static_cast<int>(r.fate));
+    });
+    for (int i = 0; i < 500; ++i) net.send(1, 2, Bytes(8, std::uint8_t(i)));
+    sim.run();
+    return std::make_pair(trace, inbox.frames);
+  };
+
+  const auto a = run(42);
+  const auto b = run(42);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);  // payload bytes incl. corruption patterns
+  const auto c = run(43);
+  EXPECT_NE(a.first, c.first);  // different seed, different schedule
+}
+
+TEST(NetworkFaultTest, EnablingFaultsDoesNotPerturbBenignStream) {
+  // The benign jitter/loss draws must be identical with and without a fault
+  // schedule installed: faults draw from their own chaos stream.
+  const auto run = [](bool with_faults) {
+    Simulator sim;
+    Network net{sim, /*seed=*/21};
+    Inbox inbox;
+    net.add_node(1);
+    net.add_node(2, inbox.handler());
+    net.add_link(1, 2, {.latency = 1 * kMillisecond,
+                        .jitter = 5 * kMillisecond, .loss_rate = 0.3});
+    if (with_faults) {
+      FaultConfig faults;
+      faults.duplicate_rate = 0.5;
+      net.set_link_faults(1, 2, faults);
+    }
+    std::vector<std::pair<SimTime, int>> trace;
+    net.set_tracer([&](const Network::TraceRecord& r) {
+      if (r.fate != Network::FrameFate::kDuplicated) {
+        trace.emplace_back(r.delivery_at, static_cast<int>(r.fate));
+      }
+    });
+    for (int i = 0; i < 300; ++i) net.send(1, 2, Bytes{std::uint8_t(i)});
+    sim.run();
+    return trace;
+  };
+
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(NetworkFaultTest, FaultApiRejectsUnknownLinks) {
+  Simulator sim;
+  Network net{sim};
+  net.add_node(1);
+  net.add_node(2);
+  EXPECT_THROW(net.set_link_faults(1, 2, FaultConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(net.set_link_up(1, 2, false), std::invalid_argument);
+  EXPECT_THROW(net.schedule_partition(1, 2, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)net.link_up(1, 2), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace alpha::net

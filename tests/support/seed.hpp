@@ -1,0 +1,50 @@
+// Seed-replay harness for randomized tests.
+//
+// Randomized tests draw their seed via chaos_seed(fallback) and register a
+// SeedReporter on the stack. When the test fails, the reporter prints the
+// active seed; exporting it as ALPHA_TEST_SEED reruns the exact same random
+// schedule bit for bit:
+//
+//   ALPHA_TEST_SEED=12345 ./build/tests/core_test --gtest_filter=Chaos*
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+namespace alpha::testing {
+
+/// Seed for a randomized test: ALPHA_TEST_SEED from the environment if set
+/// (replay mode), otherwise `fallback` (the test's pinned default).
+inline std::uint64_t chaos_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("ALPHA_TEST_SEED");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 0);
+    if (end != env && *end == '\0') return parsed;
+  }
+  return fallback;
+}
+
+/// Prints the active seed when the surrounding test fails, so the exact run
+/// can be replayed with ALPHA_TEST_SEED=<seed>.
+class SeedReporter {
+ public:
+  explicit SeedReporter(std::uint64_t seed) : seed_(seed) {}
+  SeedReporter(const SeedReporter&) = delete;
+  SeedReporter& operator=(const SeedReporter&) = delete;
+  ~SeedReporter() {
+    if (::testing::Test::HasFailure()) {
+      std::cerr << "[seed-replay] failing seed: " << seed_
+                << " (rerun with ALPHA_TEST_SEED=" << seed_ << ")\n";
+    }
+  }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace alpha::testing

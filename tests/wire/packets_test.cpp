@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/seed.hpp"
 #include "crypto/random.hpp"
 
 namespace alpha::wire {
@@ -378,6 +379,104 @@ TEST(DecodeRobustnessTest, BitFlipFuzzNeverCrashes) {
       Bytes mutated = base;
       mutated[byte] ^= static_cast<std::uint8_t>(1 << bit);
       (void)decode(mutated);  // must not crash or throw
+    }
+  }
+}
+
+// Property sweep: the demux hot path (peek_assoc_id, no full decode) must
+// agree with the full decoder on every frame -- genuine, truncated, or
+// bit-flipped. Concretely: whenever decode accepts, the peek must have
+// accepted too and returned the decoded header's assoc_id; whenever the
+// peek rejects, decode must reject as well. Otherwise the node runtime
+// would route a frame to one association and authenticate it as another,
+// or drop frames the hosts would have accepted.
+TEST(PeekPropertyTest, PeekAssocIdAgreesWithFullDecodeOnAdversarialFrames) {
+  const std::uint64_t seed = alpha::testing::chaos_seed(0xa55'0c1d);
+  alpha::testing::SeedReporter reporter{seed};
+  HmacDrbg rng{seed};
+
+  // A small pool of genuine encodings to mutate (every packet type).
+  std::vector<Bytes> pool;
+  {
+    S1Packet s1;
+    s1.hdr = {static_cast<std::uint32_t>(rng.uniform(1u << 16)), 3};
+    s1.mode = Mode::kCumulative;
+    s1.chain_element = digest_of(0x21);
+    for (int i = 0; i < 4; ++i) {
+      s1.macs.push_back(digest_of(static_cast<std::uint8_t>(i)));
+    }
+    pool.push_back(s1.encode());
+
+    A1Packet a1;
+    a1.hdr = {static_cast<std::uint32_t>(rng.uniform(1u << 16)), 4};
+    a1.ack_element = digest_of(0x22);
+    a1.scheme = AckScheme::kPreAck;
+    a1.pre_acks = {digest_of(1), digest_of(2)};
+    a1.pre_nacks = {digest_of(3), digest_of(4)};
+    pool.push_back(a1.encode());
+
+    S2Packet s2;
+    s2.hdr = {static_cast<std::uint32_t>(rng.uniform(1u << 16)), 5};
+    s2.mode = Mode::kMerkle;
+    s2.disclosed_element = digest_of(0x23);
+    WirePath path;
+    path.leaf_index = 1;
+    path.siblings = {digest_of(5), digest_of(6)};
+    s2.path = path;
+    s2.payload = rng.bytes(48);
+    pool.push_back(s2.encode());
+
+    A2Packet a2;
+    a2.hdr = {static_cast<std::uint32_t>(rng.uniform(1u << 16)), 6};
+    a2.disclosed_ack_element = digest_of(0x24);
+    a2.secret = rng.bytes(20);
+    pool.push_back(a2.encode());
+
+    HandshakePacket hs;
+    hs.hdr = {static_cast<std::uint32_t>(rng.uniform(1u << 16)), 1};
+    hs.chain_length = 64;
+    hs.sig_anchor = digest_of(0x25);
+    hs.ack_anchor = digest_of(0x26);
+    pool.push_back(hs.encode());
+  }
+
+  for (int i = 0; i < 10000; ++i) {
+    Bytes frame;
+    switch (rng.uniform(3)) {
+      case 0:  // pure random junk, including very short frames
+        frame = rng.bytes(rng.uniform(96));
+        break;
+      case 1: {  // truncated genuine frame
+        const Bytes& base = pool[rng.uniform(pool.size())];
+        frame.assign(base.begin(), base.begin() + rng.uniform(base.size() + 1));
+        break;
+      }
+      default: {  // genuine frame with 1..4 random bit flips
+        frame = pool[rng.uniform(pool.size())];
+        const std::uint32_t flips = 1 + rng.uniform(4);
+        for (std::uint32_t f = 0; f < flips; ++f) {
+          frame[rng.uniform(frame.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.uniform(8));
+        }
+        break;
+      }
+    }
+
+    const auto peeked = peek_assoc_id(frame);
+    const auto decoded = decode(frame);
+    if (decoded.has_value()) {
+      ASSERT_TRUE(peeked.has_value())
+          << "decode accepted a frame the assoc-id peek rejected (iter " << i
+          << ", " << frame.size() << " bytes)";
+      const std::uint32_t decoded_id =
+          std::visit([](const auto& p) { return p.hdr.assoc_id; }, *decoded);
+      ASSERT_EQ(*peeked, decoded_id)
+          << "demux would misroute: peek and decode disagree (iter " << i
+          << ")";
+    }
+    if (!peeked.has_value()) {
+      ASSERT_FALSE(decoded.has_value())
+          << "peek rejected a decodable frame (iter " << i << ")";
     }
   }
 }

@@ -67,6 +67,18 @@ int main(int argc, char** argv) {
   flags.define("chain", "4096", "hash-chain length");
   flags.define("rekey", "64", "rekey threshold in chain elements (0 = off)");
   flags.define("seed", "1", "simulation seed");
+  flags.define("corrupt", "0.0", "per-link frame bit-corruption rate");
+  flags.define("dup", "0.0", "per-link frame duplication rate");
+  flags.define("reorder", "0.0", "per-link frame reordering rate");
+  flags.define("reorder-window", "50", "max extra reorder delay (ms)");
+  flags.define("burst-loss", "0.0",
+               "Gilbert-Elliott bad-state loss rate (0 = off)");
+  flags.define("burst-enter", "0.05", "Gilbert-Elliott good->bad rate");
+  flags.define("burst-exit", "0.25", "Gilbert-Elliott bad->good rate");
+  flags.define("partition", "",
+               "cut the middle link: start,duration (seconds)");
+  flags.define("chaos-seed", "0",
+               "fault-schedule seed (0 = derive from --seed)");
   flags.define("trace", "false", "print a per-frame timeline to stderr");
   flags.define("identity", "",
                "private key file (alpha_keygen) signing the handshake");
@@ -95,13 +107,58 @@ int main(int argc, char** argv) {
   link.mtu = static_cast<std::size_t>(flags.num("mtu"));
   for (net::NodeId id = 0; id < hops; ++id) network.add_link(id, id + 1, link);
 
+  // Adversarial fault schedule, replayable via --chaos-seed.
+  if (const auto chaos_seed = static_cast<std::uint64_t>(
+          flags.num("chaos-seed"));
+      chaos_seed != 0) {
+    network.set_chaos_seed(chaos_seed);
+  }
+  net::FaultConfig faults;
+  faults.corrupt_rate = flags.real("corrupt");
+  faults.duplicate_rate = flags.real("dup");
+  faults.reorder_rate = flags.real("reorder");
+  faults.reorder_window =
+      static_cast<net::SimTime>(flags.num("reorder-window")) *
+      net::kMillisecond;
+  if (flags.real("burst-loss") > 0.0) {
+    net::BurstLossConfig burst;
+    burst.p_enter_bad = flags.real("burst-enter");
+    burst.p_exit_bad = flags.real("burst-exit");
+    burst.loss_bad = flags.real("burst-loss");
+    faults.burst = burst;
+  }
+  if (faults.any()) {
+    for (net::NodeId id = 0; id < hops; ++id) {
+      network.set_link_faults(id, id + 1, faults);
+    }
+  }
+  if (const std::string partition = flags.str("partition");
+      !partition.empty()) {
+    double start_s = 0.0, duration_s = 0.0;
+    if (std::sscanf(partition.c_str(), "%lf,%lf", &start_s, &duration_s) != 2 ||
+        start_s < 0.0 || duration_s <= 0.0) {
+      std::fprintf(stderr, "bad --partition '%s' (want start,duration in "
+                   "seconds)\n", partition.c_str());
+      return 2;
+    }
+    const net::NodeId cut = static_cast<net::NodeId>(hops / 2);
+    network.schedule_partition(
+        cut, cut + 1,
+        static_cast<net::SimTime>(start_s * net::kSecond),
+        static_cast<net::SimTime>(duration_s * net::kSecond));
+  }
+
   if (flags.flag("trace")) {
     network.set_tracer([](const net::Network::TraceRecord& rec) {
       const char* fate = rec.fate == net::Network::FrameFate::kDelivered
-                             ? "->"
+                             ? (rec.corrupted ? "~>" : "->")
                          : rec.fate == net::Network::FrameFate::kLost ? "xx"
                          : rec.fate == net::Network::FrameFate::kOversize
                              ? "!mtu"
+                         : rec.fate == net::Network::FrameFate::kLinkDown
+                             ? "!down"
+                         : rec.fate == net::Network::FrameFate::kDuplicated
+                             ? "=>"
                              : "!link";
       std::fprintf(stderr, "%10.3f ms  %u %s %u  %zu B\n",
                    static_cast<double>(rec.sent_at) / 1000.0, rec.from, fate,
@@ -162,10 +219,14 @@ int main(int argc, char** argv) {
   core::AlphaNode::Options init_opts;
   init_opts.config = config;
   init_opts.seed = seed + 77;
+  std::size_t failed_deliveries = 0;
   core::AlphaNode::Callbacks init_cbs;
   init_cbs.on_delivery = [&](std::uint32_t, std::uint64_t,
                              core::DeliveryStatus status) {
     if (status == core::DeliveryStatus::kAcked) ++acked;
+    // Budget exhaustion under an adversarial schedule: the signer reports
+    // the round failed instead of retransmitting forever.
+    if (status == core::DeliveryStatus::kFailed) ++failed_deliveries;
   };
   core::AlphaNode initiator_node{
       std::make_unique<net::SimTransport>(network, 0), init_opts, init_cbs};
@@ -185,8 +246,22 @@ int main(int argc, char** argv) {
   resp_opts.seed = seed + 78;
   resp_opts.accept_inbound = true;
   resp_opts.accept_host_options = responder_opts;
+  // Forgery oracle: every genuine payload is msg_size bytes of one repeated
+  // value, so anything else that reaches the application is a forgery the
+  // protocol failed to reject (e.g. a corrupted frame that still verified).
+  std::size_t forged = 0;
   core::AlphaNode::Callbacks resp_cbs;
-  resp_cbs.on_message = [&](std::uint32_t, crypto::ByteView) { ++delivered; };
+  resp_cbs.on_message = [&](std::uint32_t, crypto::ByteView payload) {
+    bool genuine = payload.size() == msg_size && !payload.empty();
+    for (std::size_t i = 1; genuine && i < payload.size(); ++i) {
+      genuine = payload[i] == payload[0];
+    }
+    if (genuine) {
+      ++delivered;
+    } else {
+      ++forged;
+    }
+  };
   core::AlphaNode responder_node{
       std::make_unique<net::SimTransport>(network,
                                           static_cast<net::NodeId>(hops)),
@@ -199,6 +274,20 @@ int main(int argc, char** argv) {
     initiator_node.start(assoc_id);
   }
   sim.run_until(30 * net::kSecond);
+  // Under an adversarial schedule the handshake itself can be corrupted or
+  // partitioned away; restarting replenishes the retransmit budget and
+  // reissues the HS1 (same deterministic schedule per seed).
+  for (int attempt = 0;
+       attempt < 20 && initiator_node.established_count() < assocs;
+       ++attempt) {
+    for (std::size_t a = 0; a < assocs; ++a) {
+      const auto assoc_id = static_cast<std::uint32_t>(a + 1);
+      if (!initiator_node.host(assoc_id)->established()) {
+        initiator_node.start(assoc_id);
+      }
+    }
+    sim.run_until(sim.now() + 10 * net::kSecond);
+  }
   if (initiator_node.established_count() != assocs) {
     std::fprintf(stderr,
                  flags.flag("require-protected") && !identity.has_value()
@@ -222,6 +311,9 @@ int main(int argc, char** argv) {
   net::SimTime last_progress = sim.now();
   std::size_t last_count = 0;
   while (delivered < total) {
+    if (config.reliable && delivered + failed_deliveries >= total) {
+      break;  // every message settled: delivered or reported failed
+    }
     sim.run_until(sim.now() + net::kSecond);
     if (delivered != last_count) {
       last_count = delivered;
@@ -238,6 +330,7 @@ int main(int argc, char** argv) {
   core::SignerStats s;
   for (const auto& as : init_snap.assocs) {
     s.rounds_completed += as.signer.rounds_completed;
+    s.rounds_failed += as.signer.rounds_failed;
     s.s1_sent += as.signer.s1_sent;
     s.s2_sent += as.signer.s2_sent;
     s.s1_retransmits += as.signer.s1_retransmits;
@@ -262,9 +355,10 @@ int main(int argc, char** argv) {
   std::printf("goodput:        %.3f Mbit/s\n",
               static_cast<double>(delivered * msg_size * 8) /
                   (elapsed_s * 1e6));
-  std::printf("signer:         rounds=%llu S1=%llu S2=%llu retrans=%llu "
-              "hash-ops=%llu\n",
+  std::printf("signer:         rounds=%llu failed=%llu S1=%llu S2=%llu "
+              "retrans=%llu hash-ops=%llu\n",
               static_cast<unsigned long long>(s.rounds_completed),
+              static_cast<unsigned long long>(s.rounds_failed),
               static_cast<unsigned long long>(s.s1_sent),
               static_cast<unsigned long long>(s.s2_sent),
               static_cast<unsigned long long>(s.s1_retransmits +
@@ -297,5 +391,27 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total_stats.frames_sent),
               static_cast<unsigned long long>(total_stats.bytes_delivered),
               static_cast<unsigned long long>(total_stats.frames_lost));
+  if (faults.any() || !flags.str("partition").empty()) {
+    std::uint64_t failed_assocs = init_snap.failed + resp_snap.failed;
+    std::printf("chaos:          corrupted=%llu duplicated=%llu "
+                "reordered=%llu link-down=%llu rejected=%llu "
+                "hs-replays=%llu forged-accepted=%zu failed-assocs=%llu\n",
+                static_cast<unsigned long long>(total_stats.frames_corrupted),
+                static_cast<unsigned long long>(total_stats.frames_duplicated),
+                static_cast<unsigned long long>(total_stats.frames_reordered),
+                static_cast<unsigned long long>(total_stats.frames_link_down),
+                static_cast<unsigned long long>(init_snap.corrupt_frames +
+                                                resp_snap.corrupt_frames +
+                                                v_invalid),
+                static_cast<unsigned long long>(
+                    init_snap.replayed_handshakes +
+                    resp_snap.replayed_handshakes),
+                forged, static_cast<unsigned long long>(failed_assocs));
+  }
+  if (forged > 0) {
+    std::fprintf(stderr, "FORGERY: %zu unauthentic payloads accepted\n",
+                 forged);
+    return 1;
+  }
   return delivered == total ? 0 : 1;
 }
