@@ -1,0 +1,218 @@
+// Hot-path microbenchmarks with a machine-readable perf trajectory.
+//
+// Measures the per-operation cost of the signed-packet hot path -- chain
+// step, prefix MAC, cached HMAC, Merkle batch signing, amortized chain
+// traversal -- in three dimensions: wall-clock ns/op, hash compressions/op
+// (HashOpCounter) and heap allocations/op (alloc_hook). Results go to
+// BENCH_hotpath.json (schema in EXPERIMENTS.md) so successive commits can
+// be compared; the "legacy" variants reconstruct the pre-optimization path
+// (heap-allocated one-shot hasher, scalar compression, per-call HMAC key
+// schedule) for an in-tree speedup baseline.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "crypto/counter.hpp"
+#include "crypto/cpu.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/mac.hpp"
+#include "crypto/random.hpp"
+#include "hashchain/chain.hpp"
+#include "merkle/merkle.hpp"
+#include "support/alloc_hook.hpp"
+
+namespace {
+
+using namespace alpha;
+using bench::JsonWriter;
+using Clock = std::chrono::steady_clock;
+
+volatile std::uint8_t g_sink;
+inline void sink(const crypto::Digest& d) {
+  g_sink = static_cast<std::uint8_t>(g_sink ^ d.data()[0]);
+}
+
+struct Sample {
+  double ns_per_op = 0;
+  double hash_ops_per_op = 0;
+  double allocs_per_op = 0;
+};
+
+/// Runs `op` `iters` times (after a warmup tenth) and reports all three
+/// per-op metrics.
+template <typename F>
+Sample measure(std::size_t iters, F&& op) {
+  for (std::size_t i = 0; i < iters / 10 + 1; ++i) op();
+  const crypto::ScopedHashOps hashes;
+  const testsupport::ScopedAllocCount allocs;
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) op();
+  const auto t1 = Clock::now();
+  Sample s;
+  s.ns_per_op =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() /
+      static_cast<double>(iters);
+  s.hash_ops_per_op = static_cast<double>(hashes.delta().hash_finalizations) /
+                      static_cast<double>(iters);
+  s.allocs_per_op = static_cast<double>(allocs.delta()) /
+                    static_cast<double>(iters);
+  return s;
+}
+
+void emit(JsonWriter& json, const char* name, crypto::HashAlgo algo,
+          const Sample& s) {
+  json.begin_object()
+      .field("name", name)
+      .field("algo", crypto::to_string(algo))
+      .field("ns_per_op", s.ns_per_op)
+      .field("hash_ops_per_op", s.hash_ops_per_op)
+      .field("allocs_per_op", s.allocs_per_op)
+      .end_object();
+  std::printf("%-28s %-12s %10.1f ns/op %7.2f hash/op %7.3f alloc/op\n",
+              name, std::string(crypto::to_string(algo)).c_str(), s.ns_per_op,
+              s.hash_ops_per_op, s.allocs_per_op);
+}
+
+// Pre-optimization chain step: heap-allocated polymorphic hasher and the
+// portable scalar compression, exactly what hash2() compiled to before the
+// one-shot fast path and the hardware backends existed.
+crypto::Digest legacy_chain_step(crypto::HashAlgo algo,
+                                 hashchain::ChainTagging tagging,
+                                 const crypto::Digest& prev, std::size_t i) {
+  const crypto::ScopedScalarCrypto scalar;
+  const auto hasher = crypto::make_hasher(algo);
+  hasher->update(hashchain::step_tag(tagging, i));
+  hasher->update(prev.view());
+  return hasher->finalize();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_hotpath.json";
+  constexpr std::size_t kIters = 200000;
+  constexpr std::size_t kWalkN = std::size_t{1} << 14;
+
+  crypto::HmacDrbg rng(42);
+  const crypto::Digest key{crypto::ByteView{rng.bytes(20)}};
+  const crypto::Bytes payload = rng.bytes(256);
+
+  bench::header("Hot-path cost (ns/op, hash-ops/op, allocs/op)");
+
+  JsonWriter json;
+  json.begin_object()
+      .field("bench", "hotpath")
+      .field("schema_version", 1)
+      .field("hw_acceleration",
+             crypto::hw_acceleration_enabled() &&
+                 (crypto::cpu_has_sha_ni() || crypto::cpu_has_aes_ni()))
+      .field("sha_ni", crypto::cpu_has_sha_ni())
+      .field("aes_ni", crypto::cpu_has_aes_ni())
+      .key("results")
+      .begin_array();
+
+  double step_new_ns = 0;
+  double step_legacy_ns = 0;
+  for (const auto algo : {crypto::HashAlgo::kSha1, crypto::HashAlgo::kSha256,
+                          crypto::HashAlgo::kMmo128}) {
+    const auto tagging = hashchain::ChainTagging::kRoleBound;
+    const crypto::Digest prev{
+        crypto::ByteView{rng.bytes(crypto::digest_size(algo))}};
+
+    const Sample legacy = measure(kIters, [&] {
+      sink(legacy_chain_step(algo, tagging, prev, 3));
+    });
+    emit(json, "chain_step_legacy", algo, legacy);
+
+    const Sample fast = measure(kIters, [&] {
+      sink(hashchain::chain_step(algo, tagging, prev, 3));
+    });
+    emit(json, "chain_step", algo, fast);
+
+    if (algo == crypto::HashAlgo::kSha1) {
+      step_legacy_ns = legacy.ns_per_op;
+      step_new_ns = fast.ns_per_op;
+    }
+  }
+
+  for (const auto algo : {crypto::HashAlgo::kSha1, crypto::HashAlgo::kMmo128}) {
+    const crypto::MacContext prefix(crypto::MacKind::kPrefix, algo,
+                                    key.view());
+    emit(json, "prefix_mac", algo,
+         measure(kIters, [&] { sink(prefix.mac(payload)); }));
+  }
+
+  {
+    const auto algo = crypto::HashAlgo::kSha1;
+    emit(json, "hmac_per_call", algo, measure(kIters, [&] {
+           sink(crypto::hmac(algo, key.view(), payload));
+         }));
+    const crypto::HmacKey cached(algo, key.view());
+    emit(json, "hmac_cached", algo,
+         measure(kIters, [&] { sink(cached.mac(payload)); }));
+  }
+
+  // Amortized full-chain disclosure sweep, seed-only storage: the walker
+  // must stay within 2n total hash ops (pebbling pass + segment refills).
+  {
+    const auto algo = crypto::HashAlgo::kSha1;
+    const crypto::Bytes seed = rng.bytes(20);
+    const hashchain::HashChain chain(algo, hashchain::ChainTagging::kRoleBound,
+                                     seed, kWalkN,
+                                     hashchain::ChainStorage::kSeedOnly);
+    const crypto::ScopedHashOps hashes;
+    const testsupport::ScopedAllocCount allocs;
+    const auto t0 = Clock::now();
+    hashchain::ChainWalker walker(chain);
+    while (!walker.exhausted()) sink(walker.take());
+    const auto t1 = Clock::now();
+    Sample s;
+    const double ops = static_cast<double>(kWalkN - 1);
+    s.ns_per_op =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / ops;
+    s.hash_ops_per_op =
+        static_cast<double>(hashes.delta().hash_finalizations) / ops;
+    s.allocs_per_op = static_cast<double>(allocs.delta()) / ops;
+    emit(json, "seedonly_walk_2e14", algo, s);
+    std::printf("  (walker total hash ops: %llu, bound 2n = %llu)\n",
+                static_cast<unsigned long long>(
+                    hashes.delta().hash_finalizations),
+                static_cast<unsigned long long>(2 * kWalkN));
+  }
+
+  // ALPHA-M batch: tree build over 64 messages + per-packet auth_path and
+  // memoized keyed root.
+  {
+    const auto algo = crypto::HashAlgo::kSha1;
+    std::vector<crypto::Bytes> messages;
+    for (int i = 0; i < 64; ++i) messages.push_back(rng.bytes(64));
+    emit(json, "merkle_build_64", algo, measure(2000, [&] {
+           const merkle::MerkleTree tree(algo, messages);
+           sink(tree.root());
+         }));
+    const merkle::MerkleTree tree(algo, messages);
+    std::size_t leaf = 0;
+    emit(json, "merkle_s2_emit", algo, measure(kIters, [&] {
+           sink(tree.keyed_root(key.view()));
+           g_sink = static_cast<std::uint8_t>(
+               g_sink ^ tree.auth_path(leaf = (leaf + 1) % 64).siblings[0]
+                            .data()[0]);
+         }));
+  }
+
+  json.end_array()
+      .field("chain_step_speedup_sha1", step_legacy_ns / step_new_ns)
+      .end_object();
+
+  std::printf("\nchain-step speedup (SHA-1, new vs legacy): %.1fx\n",
+              step_legacy_ns / step_new_ns);
+
+  if (!json.write_file(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -4,12 +4,14 @@
 // measures, so EXPERIMENTS.md can record paper-vs-measured per experiment.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <deque>
 #include <functional>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/host.hpp"
 #include "core/relay.hpp"
@@ -138,5 +140,102 @@ inline void header(const std::string& title) {
   std::printf("%s\n", title.c_str());
   std::printf("================================================================\n");
 }
+
+/// Minimal machine-readable output writer for the BENCH_*.json trajectory
+/// files (schema documented in EXPERIMENTS.md). Emits valid JSON as long as
+/// begin/end calls nest correctly; no escaping beyond quotes/backslashes is
+/// performed, so keep keys and string values ASCII.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view k) {
+    comma();
+    quote(k);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    quote(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view{v}); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::uint64_t>(v)); }
+
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    return key(k).value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+  /// Writes the document to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::size_t n = std::fwrite(out_.data(), 1, out_.size(), f);
+    const bool ok = n == out_.size() && std::fputc('\n', f) != EOF;
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    out_ += c;
+    first_in_scope_ = true;
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    out_ += c;
+    first_in_scope_ = false;
+    return *this;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;  // value right after key: no comma
+      return;
+    }
+    if (!first_in_scope_) out_ += ',';
+    first_in_scope_ = false;
+  }
+  void quote(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out_ += '\\';
+      out_ += c;
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool first_in_scope_ = true;
+  bool pending_value_ = false;
+};
 
 }  // namespace alpha::bench

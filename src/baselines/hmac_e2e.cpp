@@ -3,7 +3,7 @@
 namespace alpha::baselines {
 
 Bytes HmacChannel::protect(ByteView message) const {
-  const crypto::Digest tag = crypto::mac(mac_kind_, algo_, key_, message);
+  const crypto::Digest tag = ctx_.mac(message);
   Bytes frame(message.begin(), message.end());
   crypto::append(frame, tag.view());
   return frame;
@@ -14,9 +14,7 @@ std::optional<Bytes> HmacChannel::verify(ByteView frame) const {
   if (frame.size() < tag_size) return std::nullopt;
   const ByteView payload = frame.first(frame.size() - tag_size);
   const crypto::Digest tag{frame.subspan(frame.size() - tag_size)};
-  if (!crypto::verify_mac(mac_kind_, algo_, key_, payload, tag)) {
-    return std::nullopt;
-  }
+  if (!ctx_.verify(payload, tag)) return std::nullopt;
   return Bytes(payload.begin(), payload.end());
 }
 

@@ -20,8 +20,10 @@ using crypto::ByteView;
 
 class HmacChannel {
  public:
+  /// The channel key is long-lived, so the MAC key schedule (HMAC
+  /// ipad/opad midstates) is computed once here, not per message.
   HmacChannel(crypto::HashAlgo algo, crypto::MacKind mac_kind, ByteView key)
-      : algo_(algo), mac_kind_(mac_kind), key_(key.begin(), key.end()) {}
+      : algo_(algo), ctx_(mac_kind, algo, key) {}
 
   /// Frame layout: payload || MAC(key, payload).
   Bytes protect(ByteView message) const;
@@ -33,8 +35,7 @@ class HmacChannel {
 
  private:
   crypto::HashAlgo algo_;
-  crypto::MacKind mac_kind_;
-  Bytes key_;
+  crypto::MacContext ctx_;
 };
 
 }  // namespace alpha::baselines

@@ -81,7 +81,7 @@ RelayDecision RelayEngine::handle_handshake(Direction dir,
   // Ignore exact duplicates (handshake retransmissions): resetting the
   // verifiers to an anchor whose elements were already disclosed would
   // re-admit replayed packets.
-  if (own_flow.sig.has_value() && own_flow.sig_anchor == hs.sig_anchor) {
+  if (own_flow.sig.has_value() && own_flow.sig_anchor.ct_equals(hs.sig_anchor)) {
     return forward(dir, frame);
   }
   own_flow.sig.emplace(hs.algo, hashchain::ChainTagging::kRoleBound,
@@ -255,9 +255,11 @@ RelayDecision RelayEngine::handle_s2(Direction dir, const wire::S2Packet& s2,
             round.merkle_roots[group]);
       }
     } else {
-      valid = crypto::verify_mac(config_.mac_kind, algo,
-                                 s2.disclosed_element.view(), s2.payload,
-                                 round.macs[s2.msg_index]);
+      if (!round.mac_ctx.has_value()) {
+        round.mac_ctx.emplace(config_.mac_kind, algo,
+                              s2.disclosed_element.view());
+      }
+      valid = round.mac_ctx->verify(s2.payload, round.macs[s2.msg_index]);
     }
     stats_.hashes.signature += ops.delta().hash_finalizations;
   }

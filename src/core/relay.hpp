@@ -26,6 +26,7 @@
 
 #include "core/config.hpp"
 #include "core/stats.hpp"
+#include "crypto/mac.hpp"
 #include "hashchain/chain.hpp"
 #include "wire/packets.hpp"
 
@@ -101,6 +102,9 @@ class RelayEngine {
     std::uint16_t amt_count = 0;
 
     std::optional<crypto::Digest> disclosed;      // accepted MAC key
+    // Key schedule for `disclosed` (non-tree modes), shared by all S2
+    // checks of the round; uses the association's negotiated algorithm.
+    std::optional<crypto::MacContext> mac_ctx;
     std::optional<crypto::Digest> ack_disclosed;  // accepted A2 key
 
     std::size_t message_count() const noexcept {

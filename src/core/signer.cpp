@@ -116,10 +116,13 @@ void SignerEngine::maybe_start_round(std::uint64_t now_us, bool flush) {
         round.trees.emplace_back(config_.algo, payloads);
       }
     } else {
+      // One key schedule for the whole batch: every MAC of the round is
+      // keyed by the same undisclosed element h_{i-1}.
+      const crypto::MacContext mac_ctx(config_.mac_kind, config_.algo,
+                                       round.h_im1.view());
       round.macs.reserve(round.messages.size());
       for (const auto& m : round.messages) {
-        round.macs.push_back(crypto::mac(config_.mac_kind, config_.algo,
-                                         round.h_im1.view(), m.payload));
+        round.macs.push_back(mac_ctx.mac(m.payload));
       }
     }
     stats_.hashes.signature += ops.delta().hash_finalizations;

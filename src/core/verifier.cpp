@@ -43,7 +43,7 @@ void VerifierEngine::on_s1(const wire::S1Packet& s1) {
 
   // Duplicate S1 (signer retransmission): replay the cached A1.
   if (const auto it = rounds_.find(s1.hdr.seq); it != rounds_.end()) {
-    if (it->second.s1_element == s1.chain_element &&
+    if (it->second.s1_element.ct_equals(s1.chain_element) &&
         !it->second.a1_frame.empty()) {
       ++stats_.duplicate_packets;
       callbacks_.send(it->second.a1_frame);
@@ -206,9 +206,11 @@ void VerifierEngine::on_s2(const wire::S2Packet& s2) {
             s2.path->to_auth_path(), round.merkle_roots[group]);
       }
     } else {
-      valid = crypto::verify_mac(config_.mac_kind, config_.algo,
-                                 s2.disclosed_element.view(), s2.payload,
-                                 round.macs[s2.msg_index]);
+      if (!round.mac_ctx.has_value()) {
+        round.mac_ctx.emplace(config_.mac_kind, config_.algo,
+                              s2.disclosed_element.view());
+      }
+      valid = round.mac_ctx->verify(s2.payload, round.macs[s2.msg_index]);
     }
     stats_.hashes.signature += ops.delta().hash_finalizations;
   }

@@ -18,6 +18,7 @@
 
 #include "core/config.hpp"
 #include "core/stats.hpp"
+#include "crypto/mac.hpp"
 #include "hashchain/chain.hpp"
 #include "merkle/amt.hpp"
 #include "wire/packets.hpp"
@@ -79,6 +80,9 @@ class VerifierEngine {
     std::optional<merkle::AckMerkleTree> amt;
 
     std::optional<crypto::Digest> disclosed;  // accepted MAC key
+    // Key schedule for `disclosed`, built once per round (non-tree modes):
+    // every remaining S2 of the round verifies under the same key.
+    std::optional<crypto::MacContext> mac_ctx;
     std::vector<std::uint8_t> received;       // 1 once delivered
     std::size_t delivered = 0;
     std::map<std::uint16_t, crypto::Bytes> a2_frames;  // idempotent resend

@@ -1,0 +1,35 @@
+#include "crypto/cpu.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#endif
+
+namespace alpha::crypto {
+
+namespace {
+struct CpuFeatures {
+  bool sha_ni = false;
+  bool aes_ni = false;
+};
+
+CpuFeatures detect() noexcept {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(_M_X64)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.sha_ni = (ebx >> 29) & 1u;  // CPUID.7.0:EBX.SHA[29]
+  }
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.aes_ni = (ecx >> 25) & 1u;  // CPUID.1:ECX.AESNI[25]
+  }
+#endif
+  return f;
+}
+
+const CpuFeatures g_features = detect();
+}  // namespace
+
+bool cpu_has_sha_ni() noexcept { return g_features.sha_ni; }
+bool cpu_has_aes_ni() noexcept { return g_features.aes_ni; }
+
+}  // namespace alpha::crypto

@@ -1,0 +1,46 @@
+// CPU crypto-extension detection and runtime toggle.
+//
+// The scalar SHA-1/SHA-256/AES implementations stay as the portable
+// reference; when the CPU provides SHA-NI / AES-NI the compression functions
+// dispatch to single-block intrinsic backends instead (the paper's "as fast
+// as the hash hardware allows" framing, §4.1.3 -- the CC2430's AES core is
+// exactly such an accelerator). set_hw_acceleration(false) forces the scalar
+// path: tests use it to cross-check both backends, benches use it to measure
+// the pre-acceleration baseline.
+#pragma once
+
+#include <atomic>
+
+namespace alpha::crypto {
+
+/// CPUID results, cached at static-init time. False on non-x86 builds.
+bool cpu_has_sha_ni() noexcept;
+bool cpu_has_aes_ni() noexcept;
+
+namespace detail {
+inline std::atomic<bool> g_hw_enabled{true};
+}  // namespace detail
+
+/// Process-wide switch; acceleration is on by default where supported.
+inline bool hw_acceleration_enabled() noexcept {
+  return detail::g_hw_enabled.load(std::memory_order_relaxed);
+}
+inline void set_hw_acceleration(bool enabled) noexcept {
+  detail::g_hw_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+/// RAII scope forcing the scalar backends (for tests and baselines).
+class ScopedScalarCrypto {
+ public:
+  ScopedScalarCrypto() noexcept : prev_(hw_acceleration_enabled()) {
+    set_hw_acceleration(false);
+  }
+  ~ScopedScalarCrypto() { set_hw_acceleration(prev_); }
+  ScopedScalarCrypto(const ScopedScalarCrypto&) = delete;
+  ScopedScalarCrypto& operator=(const ScopedScalarCrypto&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace alpha::crypto

@@ -1,12 +1,65 @@
 #include "crypto/hash.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
+#include "crypto/counter.hpp"
+#include "crypto/hasher_ctx.hpp"
 #include "crypto/mmo.hpp"
 #include "crypto/sha1.hpp"
 #include "crypto/sha256.hpp"
 
 namespace alpha::crypto {
+
+namespace {
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+// Longest input that still fits one padded 64-byte Merkle-Damgard block
+// (0x80 marker + 8-byte length leave 55 bytes). Chain steps (tag | digest,
+// at most 2 + 32 bytes) and pre-acks always qualify.
+constexpr std::size_t kMdOneBlockMax = 55;
+
+// Assembles a|b|c plus padding into a single block and runs exactly one
+// compression. Counter semantics match the streaming path: input bytes only
+// (no padding), one finalization.
+template <typename H>
+Digest md_one_block(ByteView a, ByteView b, ByteView c) {
+  static_assert(H::kBlockSize == 64);
+  std::uint8_t block[64];
+  std::size_t n = 0;
+  if (!a.empty()) std::memcpy(block + n, a.data(), a.size());
+  n += a.size();
+  if (!b.empty()) std::memcpy(block + n, b.data(), b.size());
+  n += b.size();
+  if (!c.empty()) std::memcpy(block + n, c.data(), c.size());
+  n += c.size();
+
+  block[n] = 0x80;
+  std::memset(block + n + 1, 0, 56 - n - 1);
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(n) * 8;
+  for (int i = 0; i < 8; ++i) {
+    block[56 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+
+  typename H::State st = H::kInitState;
+  H::compress(st, block);
+  HashOpCounter::record_update(n);
+  HashOpCounter::record_finalize();
+
+  std::uint8_t out[H::kDigestSize];
+  for (std::size_t i = 0; i < H::kDigestSize / 4; ++i) {
+    store_be32(out + 4 * i, st[i]);
+  }
+  return Digest(ByteView{out, H::kDigestSize});
+}
+
+}  // namespace
 
 std::string_view to_string(HashAlgo algo) noexcept {
   switch (algo) {
@@ -35,25 +88,25 @@ std::unique_ptr<Hasher> make_hasher(HashAlgo algo) {
   throw std::invalid_argument("make_hasher: unknown algorithm");
 }
 
-Digest hash(HashAlgo algo, ByteView data) {
-  auto h = make_hasher(algo);
-  h->update(data);
-  return h->finalize();
-}
+Digest hash(HashAlgo algo, ByteView data) { return hash3(algo, data, {}, {}); }
 
 Digest hash2(HashAlgo algo, ByteView a, ByteView b) {
-  auto h = make_hasher(algo);
-  h->update(a);
-  h->update(b);
-  return h->finalize();
+  return hash3(algo, a, b, {});
 }
 
 Digest hash3(HashAlgo algo, ByteView a, ByteView b, ByteView c) {
-  auto h = make_hasher(algo);
-  h->update(a);
-  h->update(b);
-  h->update(c);
-  return h->finalize();
+  const std::size_t total = a.size() + b.size() + c.size();
+  if (total <= kMdOneBlockMax) {
+    // Single-compress fast path: the signed-packet hot cases (chain step =
+    // tag | element, prefix MAC over short payloads, pre-acks) land here.
+    if (algo == HashAlgo::kSha1) return md_one_block<Sha1>(a, b, c);
+    if (algo == HashAlgo::kSha256) return md_one_block<Sha256>(a, b, c);
+  }
+  HasherCtx h{algo};
+  if (!a.empty()) h.update(a);
+  if (!b.empty()) h.update(b);
+  if (!c.empty()) h.update(c);
+  return h.finalize();
 }
 
 }  // namespace alpha::crypto

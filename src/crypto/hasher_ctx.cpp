@@ -1,0 +1,21 @@
+#include "crypto/hasher_ctx.hpp"
+
+namespace alpha::crypto {
+
+// Out-of-line so the thread_local access goes through one TU (see the GCC
+// TLS-wrapper note in counter.hpp).
+HasherCtx& tls_hasher(HashAlgo algo) {
+  thread_local HasherCtx sha1{HashAlgo::kSha1};
+  thread_local HasherCtx sha256{HashAlgo::kSha256};
+  thread_local HasherCtx mmo{HashAlgo::kMmo128};
+  HasherCtx* ctx = &sha1;
+  switch (algo) {
+    case HashAlgo::kSha1: ctx = &sha1; break;
+    case HashAlgo::kSha256: ctx = &sha256; break;
+    case HashAlgo::kMmo128: ctx = &mmo; break;
+  }
+  ctx->reset();
+  return *ctx;
+}
+
+}  // namespace alpha::crypto

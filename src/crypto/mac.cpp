@@ -1,7 +1,10 @@
 #include "crypto/mac.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
+#include "crypto/counter.hpp"
 #include "crypto/mmo.hpp"
 #include "crypto/sha1.hpp"
 #include "crypto/sha256.hpp"
@@ -9,6 +12,7 @@
 namespace alpha::crypto {
 
 namespace {
+
 std::size_t block_size(HashAlgo algo) {
   switch (algo) {
     case HashAlgo::kSha1: return Sha1::kBlockSize;
@@ -17,6 +21,46 @@ std::size_t block_size(HashAlgo algo) {
   }
   throw std::invalid_argument("block_size: unknown algorithm");
 }
+
+// Compresses the ipad and opad blocks for `key` (already hashed down if it
+// exceeded the block size) into the two chaining values of the HMAC key
+// schedule.
+template <typename H>
+void hmac_midstates(ByteView key, typename H::State& inner,
+                    typename H::State& outer) {
+  std::uint8_t k0[H::kBlockSize] = {};
+  if (!key.empty()) {
+    std::memcpy(k0, key.data(), std::min(key.size(), H::kBlockSize));
+  }
+
+  std::uint8_t pad[H::kBlockSize];
+  inner = H::kInitState;
+  for (std::size_t i = 0; i < H::kBlockSize; ++i) {
+    pad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x36);
+  }
+  H::compress(inner, pad);
+
+  outer = H::kInitState;
+  for (std::size_t i = 0; i < H::kBlockSize; ++i) {
+    pad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x5c);
+  }
+  H::compress(outer, pad);
+}
+
+// HMAC from cached midstates: resume the inner context one block in, hash
+// the data, then the outer context over the inner digest.
+template <typename H>
+Digest resumed_hmac(const typename H::State& inner,
+                    const typename H::State& outer, ByteView data) {
+  H h;
+  h.resume(inner, H::kBlockSize);
+  h.update(data);
+  const Digest in = h.finalize();
+  h.resume(outer, H::kBlockSize);
+  h.update(in.view());
+  return h.finalize();
+}
+
 }  // namespace
 
 std::string_view to_string(MacKind kind) noexcept {
@@ -27,26 +71,96 @@ std::string_view to_string(MacKind kind) noexcept {
   return "unknown";
 }
 
+HmacKey::HmacKey(HashAlgo algo, ByteView key) : algo_(algo) {
+  // Key schedule runs once per key; keep it out of the per-MAC accounting
+  // (mac() re-accounts the two pad blocks on every call instead).
+  CounterPause pause;
+  Digest hashed;
+  if (key.size() > block_size(algo)) {
+    hashed = hash(algo, key);
+    key = hashed.view();
+  }
+  switch (algo_) {
+    case HashAlgo::kSha1: {
+      Sha1::State in, out;
+      hmac_midstates<Sha1>(key, in, out);
+      std::copy(in.begin(), in.end(), inner_words_.begin());
+      std::copy(out.begin(), out.end(), outer_words_.begin());
+      break;
+    }
+    case HashAlgo::kSha256: {
+      Sha256::State in, out;
+      hmac_midstates<Sha256>(key, in, out);
+      std::copy(in.begin(), in.end(), inner_words_.begin());
+      std::copy(out.begin(), out.end(), outer_words_.begin());
+      break;
+    }
+    case HashAlgo::kMmo128:
+      hmac_midstates<MmoHash>(key, inner_mmo_, outer_mmo_);
+      break;
+  }
+}
+
+Digest HmacKey::mac(ByteView data) const {
+  Digest out;
+  switch (algo_) {
+    case HashAlgo::kSha1: {
+      Sha1::State in, ou;
+      std::copy_n(inner_words_.begin(), in.size(), in.begin());
+      std::copy_n(outer_words_.begin(), ou.size(), ou.begin());
+      out = resumed_hmac<Sha1>(in, ou, data);
+      break;
+    }
+    case HashAlgo::kSha256: {
+      Sha256::State in, ou;
+      std::copy_n(inner_words_.begin(), in.size(), in.begin());
+      std::copy_n(outer_words_.begin(), ou.size(), ou.begin());
+      out = resumed_hmac<Sha256>(in, ou, data);
+      break;
+    }
+    case HashAlgo::kMmo128:
+      out = resumed_hmac<MmoHash>(inner_mmo_, outer_mmo_, data);
+      break;
+  }
+  // The cached pad blocks stand in for re-hashing the key material: account
+  // their bytes so totals stay compress-equivalent with from-scratch hmac().
+  HashOpCounter::record_update(2 * block_size(algo_));
+  return out;
+}
+
+MacContext::MacContext(MacKind kind, HashAlgo algo, ByteView key)
+    : kind_(kind), algo_(algo) {
+  switch (kind_) {
+    case MacKind::kHmac:
+      hmac_.emplace(algo, key);
+      return;
+    case MacKind::kPrefix:
+      if (key.size() <= Digest::kMaxSize) {
+        prefix_key_ = Digest(key);
+      } else {
+        prefix_key_long_.assign(key.begin(), key.end());
+      }
+      return;
+  }
+  throw std::invalid_argument("MacContext: unknown kind");
+}
+
+Digest MacContext::mac(ByteView data) const {
+  if (kind_ == MacKind::kHmac) return hmac_->mac(data);
+  const ByteView key = prefix_key_long_.empty()
+                           ? prefix_key_.view()
+                           : ByteView{prefix_key_long_};
+  return hash2(algo_, key, data);
+}
+
 Digest hmac(HashAlgo algo, ByteView key, ByteView data) {
-  const std::size_t bs = block_size(algo);
-
-  // Keys longer than the block size are hashed first.
-  Bytes k0;
-  if (key.size() > bs) {
-    k0 = hash(algo, key).bytes();
-  } else {
-    k0.assign(key.begin(), key.end());
+  // Match HashOpCounter semantics of the historical from-scratch path: an
+  // over-long key's pre-hash is accounted here (HmacKey's ctor is paused).
+  if (key.size() > block_size(algo)) {
+    const Digest kd = hash(algo, key);
+    return HmacKey(algo, kd.view()).mac(data);
   }
-  k0.resize(bs, 0x00);
-
-  Bytes ipad(bs), opad(bs);
-  for (std::size_t i = 0; i < bs; ++i) {
-    ipad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x36);
-    opad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x5c);
-  }
-
-  const Digest inner = hash2(algo, ipad, data);
-  return hash2(algo, opad, inner.view());
+  return HmacKey(algo, key).mac(data);
 }
 
 Digest prefix_mac(HashAlgo algo, ByteView key, ByteView data) {

@@ -12,7 +12,15 @@
 //
 // Protocol configuration selects the construction; both are available for
 // every HashAlgo.
+//
+// One ALPHA round MACs a whole batch under one key (the round's chain
+// element), so HmacKey/MacContext precompute the key schedule once: the
+// HMAC ipad/opad blocks are compressed into cached midstates at
+// construction, and each mac() is two resumed hashes with no heap traffic.
 #pragma once
+
+#include <array>
+#include <optional>
 
 #include "crypto/bytes.hpp"
 #include "crypto/digest.hpp"
@@ -40,5 +48,61 @@ Digest mac(MacKind kind, HashAlgo algo, ByteView key, ByteView data);
 /// Constant-time verification of a received MAC value.
 bool verify_mac(MacKind kind, HashAlgo algo, ByteView key, ByteView data,
                 const Digest& expected);
+
+/// HMAC key with cached ipad/opad midstates. Construction runs the key
+/// schedule (two compressions, plus a pre-hash for keys longer than one
+/// block) exactly once, unaccounted by HashOpCounter; each mac() then
+/// re-accounts the two cached blocks so counter totals stay
+/// compress-equivalent with the from-scratch hmac(): 2 finalizations and
+/// 2*block_size + data + digest bytes per MAC (for keys up to one block).
+class HmacKey {
+ public:
+  HmacKey(HashAlgo algo, ByteView key);
+
+  HashAlgo algo() const noexcept { return algo_; }
+
+  /// HMAC(key, data): two resumed hashes, no key schedule, no heap.
+  Digest mac(ByteView data) const;
+  /// Constant-time check of a received MAC value.
+  bool verify(ByteView data, const Digest& expected) const {
+    return mac(data).ct_equals(expected);
+  }
+
+ private:
+  HashAlgo algo_;
+  // Chaining values after compressing the ipad/opad block. SHA-1 uses the
+  // first 5 words, SHA-256 all 8, AES-MMO the byte arrays.
+  std::array<std::uint32_t, 8> inner_words_{};
+  std::array<std::uint32_t, 8> outer_words_{};
+  std::array<std::uint8_t, 16> inner_mmo_{};
+  std::array<std::uint8_t, 16> outer_mmo_{};
+};
+
+/// MacKind-dispatching MAC context bound to one key (e.g. one round's chain
+/// element). Per-message cost is the data pass alone for both constructions;
+/// mac()/verify() never allocate.
+class MacContext {
+ public:
+  MacContext(MacKind kind, HashAlgo algo, ByteView key);
+
+  MacKind kind() const noexcept { return kind_; }
+  HashAlgo algo() const noexcept { return algo_; }
+
+  Digest mac(ByteView data) const;
+  /// Constant-time check of a received MAC value.
+  bool verify(ByteView data, const Digest& expected) const {
+    return mac(data).ct_equals(expected);
+  }
+
+ private:
+  MacKind kind_;
+  HashAlgo algo_;
+  // kHmac state.
+  std::optional<HmacKey> hmac_;
+  // kPrefix state: chain-element keys always fit a Digest; longer keys
+  // (baseline channels with arbitrary key material) fall back to Bytes.
+  Digest prefix_key_;
+  Bytes prefix_key_long_;
+};
 
 }  // namespace alpha::crypto

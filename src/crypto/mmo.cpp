@@ -4,6 +4,7 @@
 
 #include "crypto/aes128.hpp"
 #include "crypto/counter.hpp"
+#include "crypto/cpu.hpp"
 
 namespace alpha::crypto {
 
@@ -13,14 +14,32 @@ void MmoHash::reset() noexcept {
   buffer_len_ = 0;
 }
 
-void MmoHash::process_block(const std::uint8_t* block) noexcept {
+void MmoHash::resume(const State& state, std::uint64_t bytes_consumed) noexcept {
+  state_ = state;
+  total_len_ = bytes_consumed;
+  buffer_len_ = 0;
+}
+
+void MmoHash::compress(State& state, const std::uint8_t* block) noexcept {
+#if defined(ALPHA_X86_CRYPTO)
+  static const bool has_aes = cpu_has_aes_ni();
+  if (has_aes && hw_acceleration_enabled()) {
+    compress_ni(state, block);
+    return;
+  }
+#endif
+  compress_scalar(state, block);
+}
+
+void MmoHash::compress_scalar(State& state,
+                              const std::uint8_t* block) noexcept {
   // E_{state}(block) XOR block. Key schedule per block: this is what the MMO
   // mode on AES hardware does (the chaining value is loaded as the key).
-  const Aes128 cipher{ByteView{state_.data(), state_.size()}};
+  const Aes128 cipher{ByteView{state.data(), state.size()}};
   std::uint8_t enc[kBlockSize];
   cipher.encrypt_block(block, enc);
   for (std::size_t i = 0; i < kBlockSize; ++i) {
-    state_[i] = static_cast<std::uint8_t>(enc[i] ^ block[i]);
+    state[i] = static_cast<std::uint8_t>(enc[i] ^ block[i]);
   }
 }
 
@@ -38,12 +57,12 @@ void MmoHash::update(ByteView data) noexcept {
     p += take;
     n -= take;
     if (buffer_len_ == kBlockSize) {
-      process_block(buffer_.data());
+      compress(state_, buffer_.data());
       buffer_len_ = 0;
     }
   }
   while (n >= kBlockSize) {
-    process_block(p);
+    compress(state_, p);
     p += kBlockSize;
     n -= kBlockSize;
   }
@@ -61,7 +80,7 @@ Digest MmoHash::finalize() noexcept {
   buffer_[buffer_len_++] = 0x80;
   if (buffer_len_ > kBlockSize - 8) {
     std::memset(buffer_.data() + buffer_len_, 0, kBlockSize - buffer_len_);
-    process_block(buffer_.data());
+    compress(state_, buffer_.data());
     buffer_len_ = 0;
   }
   std::memset(buffer_.data() + buffer_len_, 0, kBlockSize - 8 - buffer_len_);
@@ -69,7 +88,7 @@ Digest MmoHash::finalize() noexcept {
     buffer_[kBlockSize - 8 + i] =
         static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
   }
-  process_block(buffer_.data());
+  compress(state_, buffer_.data());
 
   HashOpCounter::record_finalize();
   return Digest(ByteView{state_.data(), kDigestSize});

@@ -25,6 +25,10 @@ class MmoHash final : public Hasher {
   static constexpr std::size_t kDigestSize = 16;
   static constexpr std::size_t kBlockSize = 16;
 
+  /// Chaining value: the running 16-byte MMO state (H_0 = all zeros).
+  using State = std::array<std::uint8_t, kDigestSize>;
+  static constexpr State kInitState = {};
+
   MmoHash() noexcept { reset(); }
 
   void reset() noexcept override;
@@ -34,10 +38,19 @@ class MmoHash final : public Hasher {
   std::size_t digest_size() const noexcept override { return kDigestSize; }
   HashAlgo algo() const noexcept override { return HashAlgo::kMmo128; }
 
- private:
-  void process_block(const std::uint8_t* block) noexcept;
+  /// One compression-function application: state = E_state(block) ^ block.
+  /// Dispatches to AES-NI when available and enabled (cpu.hpp).
+  static void compress(State& state, const std::uint8_t* block) noexcept;
+  /// Portable reference compression (software AES key schedule + rounds).
+  static void compress_scalar(State& state, const std::uint8_t* block) noexcept;
 
-  std::array<std::uint8_t, kDigestSize> state_;
+  /// Restarts from a precomputed chaining value (see Sha1::resume).
+  void resume(const State& state, std::uint64_t bytes_consumed) noexcept;
+
+ private:
+  static void compress_ni(State& state, const std::uint8_t* block) noexcept;
+
+  State state_;
   std::array<std::uint8_t, kBlockSize> buffer_;
   std::uint64_t total_len_ = 0;
   std::size_t buffer_len_ = 0;

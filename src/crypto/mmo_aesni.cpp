@@ -1,0 +1,58 @@
+// AES-MMO compression via AES-NI: per-block AES-128 key schedule with
+// aeskeygenassist (MMO reloads the chaining value as the key every block)
+// followed by ten aesenc rounds and the MMO feed-forward XOR.
+// Compiled with -maes -msse4.1 and only ever called behind the runtime
+// cpu_has_aes_ni() check in MmoHash::compress().
+#include "crypto/mmo.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+namespace alpha::crypto {
+
+namespace {
+inline __m128i expand_round_key(__m128i key, __m128i keygened) noexcept {
+  keygened = _mm_shuffle_epi32(keygened, _MM_SHUFFLE(3, 3, 3, 3));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  return _mm_xor_si128(key, keygened);
+}
+}  // namespace
+
+void MmoHash::compress_ni(State& state, const std::uint8_t* block) noexcept {
+  __m128i rk[11];
+  rk[0] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state.data()));
+  rk[1] = expand_round_key(rk[0], _mm_aeskeygenassist_si128(rk[0], 0x01));
+  rk[2] = expand_round_key(rk[1], _mm_aeskeygenassist_si128(rk[1], 0x02));
+  rk[3] = expand_round_key(rk[2], _mm_aeskeygenassist_si128(rk[2], 0x04));
+  rk[4] = expand_round_key(rk[3], _mm_aeskeygenassist_si128(rk[3], 0x08));
+  rk[5] = expand_round_key(rk[4], _mm_aeskeygenassist_si128(rk[4], 0x10));
+  rk[6] = expand_round_key(rk[5], _mm_aeskeygenassist_si128(rk[5], 0x20));
+  rk[7] = expand_round_key(rk[6], _mm_aeskeygenassist_si128(rk[6], 0x40));
+  rk[8] = expand_round_key(rk[7], _mm_aeskeygenassist_si128(rk[7], 0x80));
+  rk[9] = expand_round_key(rk[8], _mm_aeskeygenassist_si128(rk[8], 0x1B));
+  rk[10] = expand_round_key(rk[9], _mm_aeskeygenassist_si128(rk[9], 0x36));
+
+  const __m128i m =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block));
+  __m128i x = _mm_xor_si128(m, rk[0]);
+  x = _mm_aesenc_si128(x, rk[1]);
+  x = _mm_aesenc_si128(x, rk[2]);
+  x = _mm_aesenc_si128(x, rk[3]);
+  x = _mm_aesenc_si128(x, rk[4]);
+  x = _mm_aesenc_si128(x, rk[5]);
+  x = _mm_aesenc_si128(x, rk[6]);
+  x = _mm_aesenc_si128(x, rk[7]);
+  x = _mm_aesenc_si128(x, rk[8]);
+  x = _mm_aesenc_si128(x, rk[9]);
+  x = _mm_aesenclast_si128(x, rk[10]);
+
+  x = _mm_xor_si128(x, m);  // MMO feed-forward
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state.data()), x);
+}
+
+}  // namespace alpha::crypto
+
+#endif  // x86_64

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "crypto/counter.hpp"
+#include "crypto/cpu.hpp"
 
 namespace alpha::crypto {
 
@@ -22,20 +23,37 @@ inline void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
 }  // namespace
 
 void Sha1::reset() noexcept {
-  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  state_ = kInitState;
   total_len_ = 0;
   buffer_len_ = 0;
 }
 
-void Sha1::process_block(const std::uint8_t* block) noexcept {
+void Sha1::resume(const State& state, std::uint64_t bytes_consumed) noexcept {
+  state_ = state;
+  total_len_ = bytes_consumed;
+  buffer_len_ = 0;
+}
+
+void Sha1::compress(State& state, const std::uint8_t* block) noexcept {
+#if defined(ALPHA_X86_CRYPTO)
+  static const bool has_sha = cpu_has_sha_ni();
+  if (has_sha && hw_acceleration_enabled()) {
+    compress_ni(state, block);
+    return;
+  }
+#endif
+  compress_scalar(state, block);
+}
+
+void Sha1::compress_scalar(State& state, const std::uint8_t* block) noexcept {
   std::uint32_t w[80];
   for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
   for (int i = 16; i < 80; ++i) {
     w[i] = std::rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
   }
 
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
-                e = state_[4];
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3],
+                e = state[4];
 
   for (int i = 0; i < 80; ++i) {
     std::uint32_t f, k;
@@ -60,11 +78,11 @@ void Sha1::process_block(const std::uint8_t* block) noexcept {
     a = tmp;
   }
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
 }
 
 void Sha1::update(ByteView data) noexcept {
@@ -81,12 +99,12 @@ void Sha1::update(ByteView data) noexcept {
     p += take;
     n -= take;
     if (buffer_len_ == kBlockSize) {
-      process_block(buffer_.data());
+      compress(state_, buffer_.data());
       buffer_len_ = 0;
     }
   }
   while (n >= kBlockSize) {
-    process_block(p);
+    compress(state_, p);
     p += kBlockSize;
     n -= kBlockSize;
   }
@@ -104,14 +122,14 @@ Digest Sha1::finalize() noexcept {
   buffer_[buffer_len_++] = 0x80;
   if (buffer_len_ > 56) {
     std::memset(buffer_.data() + buffer_len_, 0, kBlockSize - buffer_len_);
-    process_block(buffer_.data());
+    compress(state_, buffer_.data());
     buffer_len_ = 0;
   }
   std::memset(buffer_.data() + buffer_len_, 0, 56 - buffer_len_);
   for (int i = 0; i < 8; ++i) {
     buffer_[56 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
   }
-  process_block(buffer_.data());
+  compress(state_, buffer_.data());
 
   std::uint8_t out[kDigestSize];
   for (int i = 0; i < 5; ++i) store_be32(out + 4 * i, state_[i]);

@@ -19,6 +19,11 @@ class Sha1 final : public Hasher {
   static constexpr std::size_t kDigestSize = 20;
   static constexpr std::size_t kBlockSize = 64;
 
+  /// Chaining value of the compression function (a..e, FIPS 180-4 §6.1).
+  using State = std::array<std::uint32_t, 5>;
+  static constexpr State kInitState = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu,
+                                       0x10325476u, 0xC3D2E1F0u};
+
   Sha1() noexcept { reset(); }
 
   void reset() noexcept override;
@@ -28,10 +33,22 @@ class Sha1 final : public Hasher {
   std::size_t digest_size() const noexcept override { return kDigestSize; }
   HashAlgo algo() const noexcept override { return HashAlgo::kSha1; }
 
- private:
-  void process_block(const std::uint8_t* block) noexcept;
+  /// One compression-function application: folds a 64-byte block into
+  /// `state`. Dispatches to SHA-NI when available and enabled (cpu.hpp).
+  static void compress(State& state, const std::uint8_t* block) noexcept;
+  /// Portable reference compression; also the pre-acceleration baseline.
+  static void compress_scalar(State& state, const std::uint8_t* block) noexcept;
 
-  std::array<std::uint32_t, 5> state_;
+  /// Restarts this context from a precomputed chaining value with
+  /// `bytes_consumed` bytes (a whole number of blocks) already folded in.
+  /// The replaced input is NOT re-counted by HashOpCounter; callers caching
+  /// midstates (HMAC ipad/opad) account for it themselves.
+  void resume(const State& state, std::uint64_t bytes_consumed) noexcept;
+
+ private:
+  static void compress_ni(State& state, const std::uint8_t* block) noexcept;
+
+  State state_;
   std::array<std::uint8_t, kBlockSize> buffer_;
   std::uint64_t total_len_ = 0;  // bytes consumed
   std::size_t buffer_len_ = 0;

@@ -1,0 +1,196 @@
+// SHA-1 compression via the x86 SHA extensions (sha1rnds4/sha1nexte/
+// sha1msg1/sha1msg2), single-block form of the well-known Intel schedule.
+// Compiled with -msha -msse4.1 and only ever called behind the runtime
+// cpu_has_sha_ni() check in Sha1::compress().
+#include "crypto/sha1.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+namespace alpha::crypto {
+
+void Sha1::compress_ni(State& state, const std::uint8_t* block) noexcept {
+  const __m128i kByteSwap =
+      _mm_set_epi64x(0x0001020304050607ULL, 0x08090a0b0c0d0e0fULL);
+
+  __m128i abcd = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state.data()));
+  __m128i e0 = _mm_set_epi32(static_cast<int>(state[4]), 0, 0, 0);
+  abcd = _mm_shuffle_epi32(abcd, 0x1B);
+
+  const __m128i abcd_save = abcd;
+  const __m128i e0_save = e0;
+  __m128i e1;
+
+  // Rounds 0-3
+  __m128i msg0 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 0));
+  msg0 = _mm_shuffle_epi8(msg0, kByteSwap);
+  e0 = _mm_add_epi32(e0, msg0);
+  e1 = abcd;
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+
+  // Rounds 4-7
+  __m128i msg1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 16));
+  msg1 = _mm_shuffle_epi8(msg1, kByteSwap);
+  e1 = _mm_sha1nexte_epu32(e1, msg1);
+  e0 = abcd;
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 0);
+  msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+
+  // Rounds 8-11
+  __m128i msg2 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 32));
+  msg2 = _mm_shuffle_epi8(msg2, kByteSwap);
+  e0 = _mm_sha1nexte_epu32(e0, msg2);
+  e1 = abcd;
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+  msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+  msg0 = _mm_xor_si128(msg0, msg2);
+
+  // Rounds 12-15
+  __m128i msg3 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 48));
+  msg3 = _mm_shuffle_epi8(msg3, kByteSwap);
+  e1 = _mm_sha1nexte_epu32(e1, msg3);
+  e0 = abcd;
+  msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 0);
+  msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+  msg1 = _mm_xor_si128(msg1, msg3);
+
+  // Rounds 16-19
+  e0 = _mm_sha1nexte_epu32(e0, msg0);
+  e1 = abcd;
+  msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+  msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+  msg2 = _mm_xor_si128(msg2, msg0);
+
+  // Rounds 20-23
+  e1 = _mm_sha1nexte_epu32(e1, msg1);
+  e0 = abcd;
+  msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+  msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+  msg3 = _mm_xor_si128(msg3, msg1);
+
+  // Rounds 24-27
+  e0 = _mm_sha1nexte_epu32(e0, msg2);
+  e1 = abcd;
+  msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 1);
+  msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+  msg0 = _mm_xor_si128(msg0, msg2);
+
+  // Rounds 28-31
+  e1 = _mm_sha1nexte_epu32(e1, msg3);
+  e0 = abcd;
+  msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+  msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+  msg1 = _mm_xor_si128(msg1, msg3);
+
+  // Rounds 32-35
+  e0 = _mm_sha1nexte_epu32(e0, msg0);
+  e1 = abcd;
+  msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 1);
+  msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+  msg2 = _mm_xor_si128(msg2, msg0);
+
+  // Rounds 36-39
+  e1 = _mm_sha1nexte_epu32(e1, msg1);
+  e0 = abcd;
+  msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+  msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+  msg3 = _mm_xor_si128(msg3, msg1);
+
+  // Rounds 40-43
+  e0 = _mm_sha1nexte_epu32(e0, msg2);
+  e1 = abcd;
+  msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+  msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+  msg0 = _mm_xor_si128(msg0, msg2);
+
+  // Rounds 44-47
+  e1 = _mm_sha1nexte_epu32(e1, msg3);
+  e0 = abcd;
+  msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 2);
+  msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+  msg1 = _mm_xor_si128(msg1, msg3);
+
+  // Rounds 48-51
+  e0 = _mm_sha1nexte_epu32(e0, msg0);
+  e1 = abcd;
+  msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+  msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+  msg2 = _mm_xor_si128(msg2, msg0);
+
+  // Rounds 52-55
+  e1 = _mm_sha1nexte_epu32(e1, msg1);
+  e0 = abcd;
+  msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 2);
+  msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+  msg3 = _mm_xor_si128(msg3, msg1);
+
+  // Rounds 56-59
+  e0 = _mm_sha1nexte_epu32(e0, msg2);
+  e1 = abcd;
+  msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+  msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+  msg0 = _mm_xor_si128(msg0, msg2);
+
+  // Rounds 60-63
+  e1 = _mm_sha1nexte_epu32(e1, msg3);
+  e0 = abcd;
+  msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+  msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+  msg1 = _mm_xor_si128(msg1, msg3);
+
+  // Rounds 64-67
+  e0 = _mm_sha1nexte_epu32(e0, msg0);
+  e1 = abcd;
+  msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 3);
+  msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+  msg2 = _mm_xor_si128(msg2, msg0);
+
+  // Rounds 68-71
+  e1 = _mm_sha1nexte_epu32(e1, msg1);
+  e0 = abcd;
+  msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+  msg3 = _mm_xor_si128(msg3, msg1);
+
+  // Rounds 72-75
+  e0 = _mm_sha1nexte_epu32(e0, msg2);
+  e1 = abcd;
+  msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 3);
+
+  // Rounds 76-79
+  e1 = _mm_sha1nexte_epu32(e1, msg3);
+  e0 = abcd;
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+
+  // Fold into the incoming chaining value.
+  e0 = _mm_sha1nexte_epu32(e0, e0_save);
+  abcd = _mm_add_epi32(abcd, abcd_save);
+
+  abcd = _mm_shuffle_epi32(abcd, 0x1B);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state.data()), abcd);
+  state[4] = static_cast<std::uint32_t>(_mm_extract_epi32(e0, 3));
+}
+
+}  // namespace alpha::crypto
+
+#endif  // x86_64

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "crypto/counter.hpp"
+#include "crypto/cpu.hpp"
 
 namespace alpha::crypto {
 
@@ -35,13 +36,29 @@ inline void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
 }  // namespace
 
 void Sha256::reset() noexcept {
-  state_ = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
-            0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+  state_ = kInitState;
   total_len_ = 0;
   buffer_len_ = 0;
 }
 
-void Sha256::process_block(const std::uint8_t* block) noexcept {
+void Sha256::resume(const State& state, std::uint64_t bytes_consumed) noexcept {
+  state_ = state;
+  total_len_ = bytes_consumed;
+  buffer_len_ = 0;
+}
+
+void Sha256::compress(State& state, const std::uint8_t* block) noexcept {
+#if defined(ALPHA_X86_CRYPTO)
+  static const bool has_sha = cpu_has_sha_ni();
+  if (has_sha && hw_acceleration_enabled()) {
+    compress_ni(state, block);
+    return;
+  }
+#endif
+  compress_scalar(state, block);
+}
+
+void Sha256::compress_scalar(State& state, const std::uint8_t* block) noexcept {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
   for (int i = 16; i < 64; ++i) {
@@ -52,8 +69,8 @@ void Sha256::process_block(const std::uint8_t* block) noexcept {
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }
 
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
-                e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3],
+                e = state[4], f = state[5], g = state[6], h = state[7];
 
   for (int i = 0; i < 64; ++i) {
     const std::uint32_t s1 =
@@ -74,14 +91,14 @@ void Sha256::process_block(const std::uint8_t* block) noexcept {
     a = t1 + t2;
   }
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
 }
 
 void Sha256::update(ByteView data) noexcept {
@@ -98,12 +115,12 @@ void Sha256::update(ByteView data) noexcept {
     p += take;
     n -= take;
     if (buffer_len_ == kBlockSize) {
-      process_block(buffer_.data());
+      compress(state_, buffer_.data());
       buffer_len_ = 0;
     }
   }
   while (n >= kBlockSize) {
-    process_block(p);
+    compress(state_, p);
     p += kBlockSize;
     n -= kBlockSize;
   }
@@ -119,14 +136,14 @@ Digest Sha256::finalize() noexcept {
   buffer_[buffer_len_++] = 0x80;
   if (buffer_len_ > 56) {
     std::memset(buffer_.data() + buffer_len_, 0, kBlockSize - buffer_len_);
-    process_block(buffer_.data());
+    compress(state_, buffer_.data());
     buffer_len_ = 0;
   }
   std::memset(buffer_.data() + buffer_len_, 0, 56 - buffer_len_);
   for (int i = 0; i < 8; ++i) {
     buffer_[56 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
   }
-  process_block(buffer_.data());
+  compress(state_, buffer_.data());
 
   std::uint8_t out[kDigestSize];
   for (int i = 0; i < 8; ++i) store_be32(out + 4 * i, state_[i]);

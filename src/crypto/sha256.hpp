@@ -17,6 +17,12 @@ class Sha256 final : public Hasher {
   static constexpr std::size_t kDigestSize = 32;
   static constexpr std::size_t kBlockSize = 64;
 
+  /// Chaining value of the compression function (a..h, FIPS 180-4 §6.2).
+  using State = std::array<std::uint32_t, 8>;
+  static constexpr State kInitState = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u,
+                                       0xa54ff53au, 0x510e527fu, 0x9b05688cu,
+                                       0x1f83d9abu, 0x5be0cd19u};
+
   Sha256() noexcept { reset(); }
 
   void reset() noexcept override;
@@ -26,10 +32,19 @@ class Sha256 final : public Hasher {
   std::size_t digest_size() const noexcept override { return kDigestSize; }
   HashAlgo algo() const noexcept override { return HashAlgo::kSha256; }
 
- private:
-  void process_block(const std::uint8_t* block) noexcept;
+  /// One compression-function application: folds a 64-byte block into
+  /// `state`. Dispatches to SHA-NI when available and enabled (cpu.hpp).
+  static void compress(State& state, const std::uint8_t* block) noexcept;
+  /// Portable reference compression; also the pre-acceleration baseline.
+  static void compress_scalar(State& state, const std::uint8_t* block) noexcept;
 
-  std::array<std::uint32_t, 8> state_;
+  /// Restarts from a precomputed chaining value (see Sha1::resume).
+  void resume(const State& state, std::uint64_t bytes_consumed) noexcept;
+
+ private:
+  static void compress_ni(State& state, const std::uint8_t* block) noexcept;
+
+  State state_;
   std::array<std::uint8_t, kBlockSize> buffer_;
   std::uint64_t total_len_ = 0;
   std::size_t buffer_len_ = 0;

@@ -1,13 +1,33 @@
 #include "hashchain/chain.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace alpha::hashchain {
 
 namespace {
+
 constexpr std::string_view kS1Tag = "S1";
 constexpr std::string_view kS2Tag = "S2";
+
+constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+std::size_t sqrt_interval(std::size_t length) {
+  auto k = static_cast<std::size_t>(
+      std::lround(std::sqrt(static_cast<double>(length))));
+  return k == 0 ? 1 : k;
+}
+
+// Advances `cur` (holding element from_index) in place up to to_index,
+// avoiding the temporary-per-step churn of repeated chain_advance calls.
+void advance_inplace(HashAlgo algo, ChainTagging tagging, Digest& cur,
+                     std::size_t from_index, std::size_t to_index) {
+  for (std::size_t i = from_index + 1; i <= to_index; ++i) {
+    cur = chain_step(algo, tagging, cur, i);
+  }
+}
+
 }  // namespace
 
 ByteView step_tag(ChainTagging tagging, std::size_t i) noexcept {
@@ -20,15 +40,15 @@ Digest chain_step(HashAlgo algo, ChainTagging tagging, const Digest& prev,
   return crypto::hash2(algo, step_tag(tagging, i), prev.view());
 }
 
-Digest chain_advance(HashAlgo algo, ChainTagging tagging, Digest from,
+Digest chain_advance(HashAlgo algo, ChainTagging tagging, const Digest& from,
                      std::size_t from_index, std::size_t to_index) {
   if (to_index < from_index) {
     throw std::invalid_argument("chain_advance: to_index < from_index");
   }
-  for (std::size_t i = from_index + 1; i <= to_index; ++i) {
-    from = chain_step(algo, tagging, from, i);
-  }
-  return from;
+  if (to_index == from_index) return from;
+  Digest cur = chain_step(algo, tagging, from, from_index + 1);
+  advance_inplace(algo, tagging, cur, from_index + 1, to_index);
+  return cur;
 }
 
 HashChain::HashChain(HashAlgo algo, ChainTagging tagging, ByteView seed,
@@ -57,13 +77,11 @@ HashChain::HashChain(HashAlgo algo, ChainTagging tagging, ByteView seed,
     case ChainStorage::kSeedOnly:
       break;
     case ChainStorage::kCheckpoint: {
-      interval_ = checkpoint_interval != 0
-                      ? checkpoint_interval
-                      : static_cast<std::size_t>(
-                            std::lround(std::sqrt(static_cast<double>(length_))));
-      if (interval_ == 0) interval_ = 1;
+      interval_ = checkpoint_interval != 0 ? checkpoint_interval
+                                           : sqrt_interval(length_);
       // Checkpoint every interval_-th element starting at h_0.
       Digest cur = seed_;
+      elements_.reserve(length_ / interval_ + 1);
       elements_.push_back(cur);
       for (std::size_t i = 1; i <= length_; ++i) {
         cur = chain_step(algo_, tagging_, cur, i);
@@ -87,11 +105,27 @@ Digest HashChain::element(std::size_t i) const {
     case ChainStorage::kFull:
       return elements_[i];
     case ChainStorage::kSeedOnly:
-      return chain_advance(algo_, tagging_, seed_, 0, i);
     case ChainStorage::kCheckpoint: {
-      const std::size_t cp = i / interval_;
-      const std::size_t cp_index = cp * interval_;
-      return chain_advance(algo_, tagging_, elements_[cp], cp_index, i);
+      // Nearest stored base at or below i.
+      std::size_t base_index = 0;
+      const Digest* base = &seed_;
+      if (storage_ == ChainStorage::kCheckpoint) {
+        const std::size_t cp = i / interval_;
+        base_index = cp * interval_;
+        base = &elements_[cp];
+      }
+      // The memoized last result beats the stored base when it sits in
+      // [base_index, i]: ascending or repeated accesses become O(delta).
+      if (cursor_index_ != kNoIndex && cursor_index_ <= i &&
+          cursor_index_ >= base_index) {
+        if (cursor_index_ == i) return cursor_;
+        advance_inplace(algo_, tagging_, cursor_, cursor_index_, i);
+      } else {
+        cursor_ = *base;
+        advance_inplace(algo_, tagging_, cursor_, base_index, i);
+      }
+      cursor_index_ = i;
+      return cursor_;
     }
   }
   throw std::logic_error("HashChain::element: bad storage");
@@ -103,11 +137,66 @@ std::size_t HashChain::memory_bytes() const noexcept {
   return elements_.size() * h;
 }
 
+ChainWalker::ChainWalker(const HashChain& chain)
+    : chain_(&chain), next_(chain.length() == 0 ? 0 : chain.length() - 1) {
+  switch (chain.storage()) {
+    case ChainStorage::kFull:
+      break;  // interval_ stays 0: delegate to O(1) lookups
+    case ChainStorage::kCheckpoint:
+      interval_ = chain.interval_;  // pebbles = the chain's checkpoints
+      break;
+    case ChainStorage::kSeedOnly: {
+      // Build our own sqrt-spaced pebbles with one forward pass (n hash
+      // ops, the same price as a single naive element(n) access).
+      interval_ = sqrt_interval(chain.length());
+      pebbles_.reserve(chain.length() / interval_ + 1);
+      Digest cur = chain.seed_;
+      pebbles_.push_back(cur);
+      for (std::size_t i = 1; i <= chain.length(); ++i) {
+        cur = chain_step(chain.algo(), chain.tagging(), cur, i);
+        if (i % interval_ == 0) pebbles_.push_back(cur);
+      }
+      break;
+    }
+  }
+}
+
+const Digest& ChainWalker::pebble_at(std::size_t index) const {
+  const std::size_t slot = index / interval_;
+  return pebbles_.empty() ? chain_->elements_[slot] : pebbles_[slot];
+}
+
+Digest ChainWalker::fetch(std::size_t i) const {
+  if (interval_ == 0) return chain_->element(i);
+  const std::size_t lo = (i / interval_) * interval_;
+  for (int s = 0; s < 2; ++s) {
+    if (seg_lo_[s] == lo) return seg_[s][i - lo];
+  }
+  // Refill: evict the slot covering the higher (already consumed while
+  // descending) segment.
+  int victim = 0;
+  if (seg_lo_[0] != kNoIndex) {
+    victim = (seg_lo_[1] == kNoIndex || seg_lo_[0] > seg_lo_[1]) ? 0 : 1;
+  }
+  const std::size_t hi = std::min(lo + interval_ - 1, chain_->length());
+  std::vector<Digest>& seg = seg_[victim];
+  seg.clear();
+  seg.reserve(interval_);
+  Digest cur = pebble_at(lo);
+  seg.push_back(cur);
+  for (std::size_t j = lo + 1; j <= hi; ++j) {
+    cur = chain_step(chain_->algo(), chain_->tagging(), cur, j);
+    seg.push_back(cur);
+  }
+  seg_lo_[victim] = lo;
+  return seg[i - lo];
+}
+
 Digest ChainWalker::peek(std::size_t offset) const {
   if (offset > next_ || next_ == 0) {
     throw std::out_of_range("ChainWalker::peek: chain exhausted");
   }
-  return chain_->element(next_ - offset);
+  return fetch(next_ - offset);
 }
 
 Digest ChainWalker::take(std::size_t steps) {
@@ -115,7 +204,7 @@ Digest ChainWalker::take(std::size_t steps) {
   if (next_ == 0 || steps > next_) {
     throw std::out_of_range("ChainWalker::take: chain exhausted");
   }
-  const Digest out = chain_->element(next_);
+  const Digest out = fetch(next_);
   next_ -= steps;
   return out;
 }
@@ -125,8 +214,8 @@ bool ChainVerifier::accept_or_derive(const Digest& element,
   if (index == last_index_) return element.ct_equals(last_);
   if (index > last_index_) {
     if (index - last_index_ > max_gap_) return false;
-    const Digest derived =
-        chain_advance(algo_, tagging_, last_, last_index_, index);
+    Digest derived = last_;
+    advance_inplace(algo_, tagging_, derived, last_index_, index);
     return derived.ct_equals(element);
   }
   return accept(element, index);
@@ -135,8 +224,8 @@ bool ChainVerifier::accept_or_derive(const Digest& element,
 bool ChainVerifier::accept(const Digest& element, std::size_t index) {
   if (index >= last_index_) return false;
   if (last_index_ - index > max_gap_) return false;
-  const Digest advanced =
-      chain_advance(algo_, tagging_, element, index, last_index_);
+  Digest advanced = element;
+  advance_inplace(algo_, tagging_, advanced, index, last_index_);
   if (!advanced.ct_equals(last_)) return false;
   last_ = element;
   last_index_ = index;
@@ -147,10 +236,11 @@ std::optional<std::size_t> ChainVerifier::accept_auto(const Digest& element) {
   // Tags depend on absolute indices, so candidates at different gaps cannot
   // share intermediate hashes; O(max_gap^2) fixed-size hashes worst case,
   // which is tiny for the default gap of 64.
+  Digest advanced;
   for (std::size_t gap = 1; gap <= max_gap_ && gap <= last_index_; ++gap) {
     const std::size_t index = last_index_ - gap;
-    const Digest advanced =
-        chain_advance(algo_, tagging_, element, index, last_index_);
+    advanced = element;
+    advance_inplace(algo_, tagging_, advanced, index, last_index_);
     if (advanced.ct_equals(last_)) {
       last_ = element;
       last_index_ = index;

@@ -14,7 +14,10 @@
 //
 // The signer-side HashChain supports three storage strategies (the ablation
 // called out in DESIGN.md §5): store all elements, store only the seed and
-// recompute, or keep sqrt-spaced checkpoints.
+// recompute, or keep sqrt-spaced checkpoints. ChainWalker turns the
+// element-by-element disclosure sweep over the recomputing strategies from
+// O(n) hashing per disclosure into amortized O(sqrt(n)) / O(k) by pebbling:
+// see the class comment below and DESIGN.md §5.
 #pragma once
 
 #include <cstdint>
@@ -47,7 +50,7 @@ Digest chain_step(HashAlgo algo, ChainTagging tagging, const Digest& prev,
 
 /// Iterates chain_step from index `from_index` (holding `from`) up to
 /// `to_index`. Requires to_index >= from_index.
-Digest chain_advance(HashAlgo algo, ChainTagging tagging, Digest from,
+Digest chain_advance(HashAlgo algo, ChainTagging tagging, const Digest& from,
                      std::size_t from_index, std::size_t to_index);
 
 /// In ALPHA, odd-index elements authenticate S1 packets and even-index
@@ -77,7 +80,10 @@ class HashChain {
                             crypto::RandomSource& rng, std::size_t length,
                             ChainStorage storage = ChainStorage::kFull);
 
-  /// Element h_i, 0 <= i <= length().
+  /// Element h_i, 0 <= i <= length(). For the recomputing storages the last
+  /// computed element is memoized, so repeated or ascending accesses resume
+  /// from the previous result instead of the nearest stored base. The memo
+  /// makes element() non-reentrant: do not call concurrently on one chain.
   Digest element(std::size_t i) const;
   Digest anchor() const { return element(length_); }
 
@@ -85,11 +91,15 @@ class HashChain {
   HashAlgo algo() const noexcept { return algo_; }
   ChainTagging tagging() const noexcept { return tagging_; }
   ChainStorage storage() const noexcept { return storage_; }
+  /// Checkpoint spacing (0 unless storage is kCheckpoint).
+  std::size_t checkpoint_interval() const noexcept { return interval_; }
 
   /// Resident bytes for stored elements (Table 2/3 accounting, ablation).
   std::size_t memory_bytes() const noexcept;
 
  private:
+  friend class ChainWalker;  // reads stored checkpoints / seed for pebbling
+
   HashAlgo algo_;
   ChainTagging tagging_;
   ChainStorage storage_;
@@ -97,14 +107,25 @@ class HashChain {
   std::size_t interval_ = 0;        // checkpoint spacing
   std::vector<Digest> elements_;    // full store or checkpoints
   Digest seed_;                     // kept for kSeedOnly / kCheckpoint
+  // element() memo (recomputing storages only).
+  mutable Digest cursor_;
+  mutable std::size_t cursor_index_ = static_cast<std::size_t>(-1);
 };
 
 /// Consumption cursor over a signer's chain: hands out elements from
 /// h_{length-1} downward and never re-discloses an element.
+///
+/// For the recomputing storages the walker amortizes the descending sweep:
+/// it keeps interval-aligned segments of consecutive elements in two cache
+/// slots, refilling a segment with one forward pass from the nearest pebble
+/// (kSeedOnly: sqrt-spaced pebbles built once at construction; kCheckpoint:
+/// the chain's stored checkpoints). A full-chain walk thus costs at most
+/// 2n hash ops for kSeedOnly (n to pebble + under n to refill) and
+/// n + O(interval) for kCheckpoint, instead of the O(n^2) of naive per-index
+/// recomputation. kFull delegates straight to HashChain::element.
 class ChainWalker {
  public:
-  explicit ChainWalker(const HashChain& chain) noexcept
-      : chain_(&chain), next_(chain.length() == 0 ? 0 : chain.length() - 1) {}
+  explicit ChainWalker(const HashChain& chain);
 
   /// Index that the next take() will disclose.
   std::size_t next_index() const noexcept { return next_; }
@@ -123,8 +144,19 @@ class ChainWalker {
   Digest take(std::size_t steps = 1);
 
  private:
+  Digest fetch(std::size_t i) const;
+  const Digest& pebble_at(std::size_t index) const;
+
   const HashChain* chain_;
   std::size_t next_;
+  std::size_t interval_ = 0;      // segment span; 0 = delegate to the chain
+  std::vector<Digest> pebbles_;   // own pebbles (kSeedOnly only)
+  // Two cached segments of consecutive elements [seg_lo_, seg_lo_+interval_).
+  // Two slots so a peek across a segment boundary (e.g. the next round's
+  // element while the current round still discloses) does not thrash.
+  mutable std::vector<Digest> seg_[2];
+  mutable std::size_t seg_lo_[2] = {static_cast<std::size_t>(-1),
+                                    static_cast<std::size_t>(-1)};
 };
 
 /// Verifier-side chain state: remembers the last authenticated element and

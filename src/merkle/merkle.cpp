@@ -1,5 +1,6 @@
 #include "merkle/merkle.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 
@@ -41,38 +42,52 @@ void MerkleTree::build(std::vector<Digest> leaf_digests) {
   const Digest zero{crypto::Bytes(crypto::digest_size(algo_), 0x00)};
   leaf_digests.resize(width_, zero);
 
-  levels_.clear();
-  levels_.push_back(std::move(leaf_digests));
-  while (levels_.back().size() > 2) {
-    const auto& below = levels_.back();
-    std::vector<Digest> above;
-    above.reserve(below.size() / 2);
-    for (std::size_t i = 0; i < below.size(); i += 2) {
-      above.push_back(
-          crypto::hash2(algo_, below[i].view(), below[i + 1].view()));
+  nodes_ = std::move(leaf_digests);
+  // Exact reservation (2*width - 2 total nodes for width >= 2) so the
+  // push_back loop below never reallocates while we read earlier nodes.
+  nodes_.reserve(width_ == 1 ? 1 : 2 * width_ - 2);
+  for (std::size_t l = 1; l < depth_; ++l) {
+    const std::size_t below = level_offset(l - 1);
+    const std::size_t count = width_ >> l;
+    for (std::size_t i = 0; i < count; ++i) {
+      nodes_.push_back(crypto::hash2(algo_, nodes_[below + 2 * i].view(),
+                                     nodes_[below + 2 * i + 1].view()));
     }
-    levels_.push_back(std::move(above));
   }
 
-  const auto& top = levels_.back();
-  root_ = top.size() == 1
-              ? top[0]
-              : crypto::hash2(algo_, top[0].view(), top[1].view());
+  const std::size_t top = level_offset(depth_ == 0 ? 0 : depth_ - 1);
+  root_ = width_ == 1
+              ? nodes_[0]
+              : crypto::hash2(algo_, nodes_[top].view(), nodes_[top + 1].view());
+  keyed_root_cached_ = false;
 }
 
 Digest MerkleTree::keyed_root(ByteView key) const {
-  const auto& top = levels_.back();
-  if (top.size() == 1) {
-    return crypto::hash2(algo_, key, top[0].view());
+  const bool cacheable = key.size() <= Digest::kMaxSize;
+  if (cacheable && keyed_root_cached_ && cached_key_.view().size() == key.size() &&
+      std::equal(key.begin(), key.end(), cached_key_.data())) {
+    return cached_keyed_root_;
   }
-  return crypto::hash3(algo_, key, top[0].view(), top[1].view());
+  Digest r;
+  if (width_ == 1) {
+    r = crypto::hash2(algo_, key, nodes_[0].view());
+  } else {
+    const std::size_t top = level_offset(depth_ - 1);
+    r = crypto::hash3(algo_, key, nodes_[top].view(), nodes_[top + 1].view());
+  }
+  if (cacheable) {
+    cached_key_ = Digest{key};
+    cached_keyed_root_ = r;
+    keyed_root_cached_ = true;
+  }
+  return r;
 }
 
 Digest MerkleTree::leaf(std::size_t index) const {
   if (index >= leaf_count_) {
     throw std::out_of_range("MerkleTree::leaf: index out of range");
   }
-  return levels_[0][index];
+  return nodes_[index];
 }
 
 AuthPath MerkleTree::auth_path(std::size_t index) const {
@@ -83,9 +98,8 @@ AuthPath MerkleTree::auth_path(std::size_t index) const {
   path.leaf_index = index;
   path.siblings.reserve(depth_);
   std::size_t pos = index;
-  for (const auto& level : levels_) {
-    if (level.size() < 2) break;
-    path.siblings.push_back(level[pos ^ 1]);
+  for (std::size_t l = 0; l < depth_; ++l) {
+    path.siblings.push_back(nodes_[level_offset(l) + (pos ^ 1)]);
     pos >>= 1;
   }
   return path;

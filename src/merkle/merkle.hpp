@@ -82,14 +82,27 @@ class MerkleTree {
  private:
   void build(std::vector<Digest> leaf_digests);
 
+  /// Offset of level `l` inside nodes_ (level 0 = leaves). Levels shrink
+  /// geometrically, so the prefix sum telescopes: 2 * (width - width >> l).
+  std::size_t level_offset(std::size_t l) const noexcept {
+    return 2 * (width_ - (width_ >> l));
+  }
+
   HashAlgo algo_;
   std::size_t leaf_count_ = 0;
   std::size_t width_ = 0;
   std::size_t depth_ = 0;
-  // levels_[0] = leaves (padded), levels_.back() = the two root children
-  // (or the single leaf when width_ == 1).
-  std::vector<std::vector<Digest>> levels_;
+  // All levels in one flat allocation: leaves (padded to width_), then each
+  // level above, down to the two root children (2*width - 2 nodes total; a
+  // single node when width_ == 1). Interior nodes stay resident, so every
+  // auth_path() for the batch is pure copying -- no recomputation.
+  std::vector<Digest> nodes_;
   Digest root_;
+  // keyed_root() memo: ALPHA-M keys a batch's root once per chain element
+  // but the signer asks per S2 packet.
+  mutable Digest cached_key_;
+  mutable Digest cached_keyed_root_;
+  mutable bool keyed_root_cached_ = false;
 };
 
 /// Number of hash evaluations to verify one S2: path recomputation plus the

@@ -1,0 +1,101 @@
+// Zero-allocation assertions for the signed-packet hot path. This binary
+// replaces global operator new/delete with counting versions (alloc_hook.hpp
+// must be included by exactly one TU per binary, hence the dedicated test
+// executable) and asserts that chain steps, one-shot hashes, prefix MACs and
+// cached HMACs never touch the heap.
+#include "support/alloc_hook.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/hash.hpp"
+#include "crypto/mac.hpp"
+#include "hashchain/chain.hpp"
+
+namespace alpha::crypto {
+namespace {
+
+using testsupport::ScopedAllocCount;
+
+Bytes pattern_bytes(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::uint8_t>(i);
+  return b;
+}
+
+const HashAlgo kAlgos[] = {HashAlgo::kSha1, HashAlgo::kSha256,
+                           HashAlgo::kMmo128};
+
+TEST(AllocFree, OneShotHash) {
+  for (const auto algo : kAlgos) {
+    const Bytes small = pattern_bytes(40);
+    const Bytes large = pattern_bytes(512);
+    (void)hash(algo, small);  // warm up lazily-initialized state
+    (void)hash(algo, large);
+    std::uint64_t delta;
+    {
+      const ScopedAllocCount allocs;
+      for (int i = 0; i < 100; ++i) {
+        (void)hash(algo, small);
+        (void)hash2(algo, small, large);
+        (void)hash3(algo, small, small, large);
+      }
+      delta = allocs.delta();
+    }
+    EXPECT_EQ(delta, 0u) << to_string(algo);
+  }
+}
+
+TEST(AllocFree, ChainStep) {
+  for (const auto algo : kAlgos) {
+    const Digest prev{ByteView{pattern_bytes(digest_size(algo))}};
+    (void)hashchain::chain_step(algo, hashchain::ChainTagging::kRoleBound,
+                                prev, 3);
+    std::uint64_t delta;
+    {
+      const ScopedAllocCount allocs;
+      Digest cur = prev;
+      for (std::size_t i = 1; i <= 200; ++i) {
+        cur = hashchain::chain_step(algo, hashchain::ChainTagging::kRoleBound,
+                                    cur, i);
+      }
+      delta = allocs.delta();
+    }
+    EXPECT_EQ(delta, 0u) << to_string(algo);
+  }
+}
+
+TEST(AllocFree, PrefixMacAndCachedHmac) {
+  for (const auto algo : kAlgos) {
+    const Bytes key = pattern_bytes(digest_size(algo));
+    const Bytes payload = pattern_bytes(256);
+    const MacContext prefix(MacKind::kPrefix, algo, key);
+    const HmacKey hmac_key(algo, key);
+    const MacContext hmac_ctx(MacKind::kHmac, algo, key);
+    const Digest tag = prefix.mac(payload);
+    const Digest hmac_tag = hmac_key.mac(payload);
+    std::uint64_t delta;
+    {
+      const ScopedAllocCount allocs;
+      for (int i = 0; i < 100; ++i) {
+        (void)prefix.mac(payload);
+        (void)prefix.verify(payload, tag);
+        (void)hmac_key.mac(payload);
+        (void)hmac_key.verify(payload, hmac_tag);
+        (void)hmac_ctx.mac(payload);
+      }
+      delta = allocs.delta();
+    }
+    EXPECT_EQ(delta, 0u) << to_string(algo);
+  }
+}
+
+TEST(AllocFree, HookCountsAllocations) {
+  // Sanity check that the hook is actually installed in this binary.
+  const ScopedAllocCount allocs;
+  auto* p = new int(7);
+  EXPECT_GE(allocs.delta(), 1u);
+  delete p;
+}
+
+}  // namespace
+}  // namespace alpha::crypto

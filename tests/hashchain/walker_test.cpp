@@ -1,0 +1,135 @@
+// ChainWalker amortization: the walker must disclose exactly the same
+// elements as direct HashChain::element access for every storage strategy,
+// and its full-chain sweep over recomputing storages must stay within the
+// documented hash-op bounds (<= 2n for kSeedOnly, n + O(interval) for
+// kCheckpoint).
+#include <gtest/gtest.h>
+
+#include "crypto/counter.hpp"
+#include "hashchain/chain.hpp"
+
+namespace alpha::hashchain {
+namespace {
+
+using crypto::Bytes;
+using crypto::HashOpCounter;
+using crypto::ScopedHashOps;
+
+Bytes seed_for(HashAlgo algo) {
+  Bytes seed(crypto::digest_size(algo));
+  for (std::size_t i = 0; i < seed.size(); ++i) {
+    seed[i] = static_cast<std::uint8_t>(0xA0 + i);
+  }
+  return seed;
+}
+
+TEST(ChainWalker, MatchesReferenceAcrossStoragesAlgosTaggings) {
+  constexpr std::size_t kLength = 64;
+  for (const auto algo : {HashAlgo::kSha1, HashAlgo::kSha256,
+                          HashAlgo::kMmo128}) {
+    for (const auto tagging : {ChainTagging::kRoleBound, ChainTagging::kPlain}) {
+      const Bytes seed = seed_for(algo);
+      const HashChain reference(algo, tagging, seed, kLength,
+                                ChainStorage::kFull);
+      for (const auto storage : {ChainStorage::kFull, ChainStorage::kSeedOnly,
+                                 ChainStorage::kCheckpoint}) {
+        const HashChain chain(algo, tagging, seed, kLength, storage);
+        ChainWalker walker(chain);
+        // peek across segment boundaries before consuming.
+        EXPECT_EQ(walker.peek(0), reference.element(kLength - 1));
+        EXPECT_EQ(walker.peek(9), reference.element(kLength - 10));
+        std::size_t expect_index = kLength - 1;
+        while (!walker.exhausted()) {
+          EXPECT_EQ(walker.next_index(), expect_index);
+          EXPECT_EQ(walker.take(), reference.element(expect_index))
+              << "algo=" << crypto::to_string(algo)
+              << " storage=" << static_cast<int>(storage)
+              << " index=" << expect_index;
+          --expect_index;
+        }
+        EXPECT_EQ(expect_index, 0u);
+        EXPECT_THROW(walker.take(), std::out_of_range);
+        EXPECT_THROW(walker.peek(), std::out_of_range);
+      }
+    }
+  }
+}
+
+TEST(ChainWalker, TakeWithStrideMatchesReference) {
+  constexpr std::size_t kLength = 40;
+  const auto algo = HashAlgo::kSha1;
+  const HashChain reference(algo, ChainTagging::kRoleBound, seed_for(algo),
+                            kLength, ChainStorage::kFull);
+  for (const auto storage :
+       {ChainStorage::kSeedOnly, ChainStorage::kCheckpoint}) {
+    const HashChain chain(algo, ChainTagging::kRoleBound, seed_for(algo),
+                          kLength, storage);
+    ChainWalker walker(chain);
+    std::size_t index = kLength - 1;
+    while (walker.remaining() >= 2) {
+      EXPECT_EQ(walker.take(2), reference.element(index));
+      index -= 2;
+    }
+  }
+}
+
+TEST(ChainWalker, SeedOnlyFullSweepWithinTwoNHashOps) {
+  constexpr std::size_t kN = std::size_t{1} << 14;
+  const auto algo = HashAlgo::kSha1;
+  const HashChain chain(algo, ChainTagging::kRoleBound, seed_for(algo), kN,
+                        ChainStorage::kSeedOnly);
+  const ScopedHashOps ops;
+  ChainWalker walker(chain);  // pebbling pass included in the budget
+  while (!walker.exhausted()) (void)walker.take();
+  const auto total = ops.delta().hash_finalizations;
+  EXPECT_LE(total, 2 * kN) << "amortized bound violated";
+  EXPECT_GE(total, kN);  // sanity: at least the pebbling pass
+}
+
+TEST(ChainWalker, CheckpointFullSweepNearN) {
+  constexpr std::size_t kN = 4096;
+  const auto algo = HashAlgo::kSha1;
+  const HashChain chain(algo, ChainTagging::kRoleBound, seed_for(algo), kN,
+                        ChainStorage::kCheckpoint);
+  const std::size_t interval = chain.checkpoint_interval();
+  ASSERT_GT(interval, 0u);
+  const ScopedHashOps ops;
+  ChainWalker walker(chain);  // reuses stored checkpoints: no pebbling pass
+  while (!walker.exhausted()) (void)walker.take();
+  EXPECT_LE(ops.delta().hash_finalizations, kN + interval);
+}
+
+TEST(HashChainElement, MemoizedCursorKeepsValuesAndCutsCost) {
+  constexpr std::size_t kLength = 256;
+  const auto algo = HashAlgo::kSha1;
+  const HashChain reference(algo, ChainTagging::kRoleBound, seed_for(algo),
+                            kLength, ChainStorage::kFull);
+  for (const auto storage :
+       {ChainStorage::kSeedOnly, ChainStorage::kCheckpoint}) {
+    const HashChain chain(algo, ChainTagging::kRoleBound, seed_for(algo),
+                          kLength, storage);
+    // Values identical in every access order.
+    for (std::size_t i = 0; i <= kLength; ++i) {
+      EXPECT_EQ(chain.element(i), reference.element(i));
+    }
+    for (std::size_t i = kLength + 1; i-- > 0;) {
+      EXPECT_EQ(chain.element(i), reference.element(i));
+    }
+    // Repeated access to the same index is free; an ascending step costs
+    // exactly the delta.
+    (void)chain.element(100);
+    {
+      const ScopedHashOps ops;
+      (void)chain.element(100);
+      EXPECT_EQ(ops.delta().hash_finalizations, 0u);
+    }
+    {
+      const ScopedHashOps ops;
+      (void)chain.element(105);
+      EXPECT_EQ(ops.delta().hash_finalizations, 5u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace alpha::hashchain

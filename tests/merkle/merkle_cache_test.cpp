@@ -1,0 +1,63 @@
+// Flat node layout + keyed-root memo: interior nodes computed at build time
+// must serve every auth_path without recomputation, and repeated keyed_root
+// calls under one chain element (the ALPHA-M signer's per-S2 pattern) must
+// hash only once.
+#include <gtest/gtest.h>
+
+#include "crypto/counter.hpp"
+#include "merkle/merkle.hpp"
+
+namespace alpha::merkle {
+namespace {
+
+using crypto::Digest;
+using crypto::ScopedHashOps;
+
+std::vector<Bytes> make_messages(std::size_t n) {
+  std::vector<Bytes> msgs;
+  for (std::size_t j = 0; j < n; ++j) {
+    msgs.push_back(Bytes(32, static_cast<std::uint8_t>(j + 1)));
+  }
+  return msgs;
+}
+
+TEST(MerkleCache, AuthPathsAreServedFromResidentNodes) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{5},
+                        std::size_t{16}, std::size_t{33}}) {
+    const MerkleTree tree(crypto::HashAlgo::kSha1, make_messages(n));
+    for (std::size_t j = 0; j < n; ++j) {
+      const ScopedHashOps ops;
+      const AuthPath path = tree.auth_path(j);
+      EXPECT_EQ(ops.delta().hash_finalizations, 0u) << "n=" << n << " j=" << j;
+      EXPECT_TRUE(MerkleTree::verify(crypto::HashAlgo::kSha1, tree.leaf(j),
+                                     path, tree.root()));
+    }
+  }
+}
+
+TEST(MerkleCache, KeyedRootMemoizedPerKey) {
+  const MerkleTree tree(crypto::HashAlgo::kSha1, make_messages(8));
+  const Digest k1{crypto::ByteView{Bytes(20, 0x11)}};
+  const Digest k2{crypto::ByteView{Bytes(20, 0x22)}};
+
+  const Digest r1 = tree.keyed_root(k1.view());
+  {
+    const ScopedHashOps ops;
+    EXPECT_EQ(tree.keyed_root(k1.view()), r1);  // cache hit
+    EXPECT_EQ(ops.delta().hash_finalizations, 0u);
+  }
+  {
+    const ScopedHashOps ops;
+    const Digest r2 = tree.keyed_root(k2.view());  // new key recomputes
+    EXPECT_NE(r2, r1);
+    EXPECT_EQ(ops.delta().hash_finalizations, 1u);
+    EXPECT_EQ(tree.keyed_root(k1.view()), r1);  // and re-keys the memo
+  }
+  // Verification matches regardless of caching.
+  const AuthPath path = tree.auth_path(3);
+  EXPECT_TRUE(MerkleTree::verify_keyed(crypto::HashAlgo::kSha1, k1.view(),
+                                       tree.leaf(3), path, r1));
+}
+
+}  // namespace
+}  // namespace alpha::merkle

@@ -1,0 +1,87 @@
+// Global allocation counter for zero-allocation assertions.
+//
+// Including this header in exactly ONE translation unit of a binary replaces
+// the global operator new/delete family with counting versions, so tests and
+// benches can assert that a code path performs no heap allocation (the
+// "allocs/op" column of BENCH_hotpath.json and the AllocFree test suite).
+// The replacement functions must not be defined twice in one binary --
+// never include this from two TUs that link together.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace alpha::testsupport {
+
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+
+/// Number of operator-new calls (any form) since process start.
+inline std::uint64_t alloc_count() noexcept {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+/// RAII scope reporting the allocations performed inside it.
+class ScopedAllocCount {
+ public:
+  ScopedAllocCount() noexcept : start_(alloc_count()) {}
+  std::uint64_t delta() const noexcept { return alloc_count() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace alpha::testsupport
+
+namespace alpha::testsupport::detail {
+inline void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+inline void* counted_alloc(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;  // aligned_alloc rule
+  if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace alpha::testsupport::detail
+
+void* operator new(std::size_t size) {
+  return alpha::testsupport::detail::counted_alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return alpha::testsupport::detail::counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return alpha::testsupport::detail::counted_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return alpha::testsupport::detail::counted_alloc(size, align);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  alpha::testsupport::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  alpha::testsupport::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
