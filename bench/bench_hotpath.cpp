@@ -22,6 +22,7 @@
 #include "hashchain/chain.hpp"
 #include "merkle/merkle.hpp"
 #include "support/alloc_hook.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -91,9 +92,23 @@ crypto::Digest legacy_chain_step(crypto::HashAlgo algo,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_hotpath.json";
+  std::string out_path = "BENCH_hotpath.json";
+  bool traced = false;  // run every measurement with the trace ring live
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--traced") {
+      traced = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
   constexpr std::size_t kIters = 200000;
   constexpr std::size_t kWalkN = std::size_t{1} << 14;
+
+  // With --traced the global sink is installed for the whole run: every
+  // emit() in library code records into the ring, which must cost no
+  // allocations and no measurable slowdown (CI gates on both).
+  trace::Ring trace_ring(std::size_t{1} << 12);
+  if (traced) trace::install(&trace_ring);
 
   crypto::HmacDrbg rng(42);
   const crypto::Digest key{crypto::ByteView{rng.bytes(20)}};
@@ -105,6 +120,7 @@ int main(int argc, char** argv) {
   json.begin_object()
       .field("bench", "hotpath")
       .field("schema_version", 1)
+      .field("traced", traced)
       .field("hw_acceleration",
              crypto::hw_acceleration_enabled() &&
                  (crypto::cpu_has_sha_ni() || crypto::cpu_has_aes_ni()))
@@ -200,6 +216,24 @@ int main(int argc, char** argv) {
                g_sink ^ tree.auth_path(leaf = (leaf + 1) % 64).siblings[0]
                             .data()[0]);
          }));
+  }
+
+  // Trace-event recording itself: one 32-byte POD copy into the ring plus
+  // the ambient-context stamp. This is the per-event overhead every traced
+  // protocol operation pays, so it must be allocation-free.
+  {
+    trace::Ring* prev = trace::sink();
+    trace::Ring emit_ring(std::size_t{1} << 12);
+    trace::install(&emit_ring);
+    const trace::ScopedContext ctx(/*origin=*/1, /*time_us=*/123);
+    std::uint32_t seq = 0;
+    emit(json, "trace_emit", crypto::HashAlgo::kSha1, measure(kIters, [&] {
+           trace::emit(trace::EventKind::kPacketSent, 7, ++seq, 1,
+                       trace::DropReason::kNone, 42);
+         }));
+    g_sink = static_cast<std::uint8_t>(
+        g_sink ^ static_cast<std::uint8_t>(emit_ring.total()));
+    trace::install(prev);
   }
 
   json.end_array()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""CI gate for the observability perf-smoke job.
+
+Compares two bench_hotpath JSON outputs -- one with tracing disabled, one
+with a trace ring installed for the whole run (--traced) -- and enforces:
+
+  1. Zero-allocation rows stay at exactly 0 allocs/op in BOTH runs. The
+     legacy and merkle rows allocate by design (returning digests / building
+     trees) and are excluded; the seed-only walker amortizes one checkpoint
+     table allocation over ~16k steps and only has to stay tiny.
+  2. Tracing costs < 5% on the hot path: the geometric mean of per-row
+     traced/untraced ns-per-op ratios must stay below 1.05. A geomean over
+     all rows is used instead of a per-row gate because individual ns-scale
+     rows jitter more than 5% even on an idle machine; a systematic
+     regression moves the whole distribution. The trace_emit row is the
+     instrument itself, not an instrumented path, so it is excluded.
+
+Usage: check_perf_smoke.py UNTRACED.json TRACED.json
+"""
+
+import json
+import math
+import sys
+
+# Rows that must never allocate, traced or not (PR 3's zero-alloc hot path).
+ZERO_ALLOC_ROWS = {
+    "chain_step",
+    "prefix_mac",
+    "hmac_per_call",
+    "hmac_cached",
+    "trace_emit",
+}
+# By-design allocators, excluded from the zero-alloc gate.
+EXEMPT_ROWS = {"chain_step_legacy", "merkle_build_64", "merkle_s2_emit"}
+# Amortized allocators: one setup allocation spread over many ops.
+AMORTIZED_MAX = 0.01
+# Rows excluded from the traced-vs-untraced ns/op comparison.
+NO_COMPARE_ROWS = {"trace_emit"}
+GEOMEAN_LIMIT = 1.05
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_allocs(label: str, rows: list) -> None:
+    for row in rows:
+        name, allocs = row["name"], row["allocs_per_op"]
+        if name in ZERO_ALLOC_ROWS:
+            if allocs != 0:
+                fail(f"{label}: {name} allocates {allocs}/op (must be 0)")
+        elif name not in EXEMPT_ROWS:
+            if allocs > AMORTIZED_MAX:
+                fail(f"{label}: {name} allocates {allocs}/op "
+                     f"(amortized limit {AMORTIZED_MAX})")
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} UNTRACED.json TRACED.json")
+    untraced = json.load(open(sys.argv[1]))
+    traced = json.load(open(sys.argv[2]))
+    if untraced.get("traced") is not False:
+        fail("first argument must be an untraced run")
+    if traced.get("traced") is not True:
+        fail("second argument must be a --traced run")
+
+    u_rows, t_rows = untraced["results"], traced["results"]
+    if [r["name"] for r in u_rows] != [r["name"] for r in t_rows]:
+        fail("row names differ between runs")
+
+    check_allocs("untraced", u_rows)
+    check_allocs("traced", t_rows)
+
+    log_ratios = []
+    for u, t in zip(u_rows, t_rows):
+        if u["name"] in NO_COMPARE_ROWS:
+            continue
+        ratio = t["ns_per_op"] / u["ns_per_op"]
+        log_ratios.append(math.log(ratio))
+        print(f"  {u['name']:24} {u['ns_per_op']:10.1f} -> "
+              f"{t['ns_per_op']:10.1f} ns/op  ({ratio:.3f}x)")
+    geomean = math.exp(sum(log_ratios) / len(log_ratios))
+    print(f"  geomean traced/untraced: {geomean:.4f} (limit {GEOMEAN_LIMIT})")
+    if geomean > GEOMEAN_LIMIT:
+        fail(f"tracing overhead geomean {geomean:.4f} > {GEOMEAN_LIMIT}")
+    print("OK: zero-alloc rows clean, tracing overhead within budget")
+
+
+if __name__ == "__main__":
+    main()

@@ -122,16 +122,18 @@ inline std::uint64_t retransmit_delay(const Config& c, int retries,
 }
 
 /// Largest batch whose S1 (and reliable A1) fit within `mtu` bytes; at
-/// least 1. Wire costs: common header 10 B; S1 body = mode(1) + index(4) +
-/// element(1+h) + count(2) + n*(1+h) MACs (base/C); reliable A1 body =
-/// index(4) + element(1+h) + scheme(1) + count(2) + 2n*(1+h) pre-(n)acks.
+/// least 1. Wire costs: common header 10 B + CRC trailer; S1 body =
+/// mode(1) + index(4) + element(1+h) + count(2) + n*(1+h) MACs (base/C);
+/// reliable A1 body = index(4) + element(1+h) + scheme(1) + count(2) +
+/// 2n*(1+h) pre-(n)acks.
 inline std::size_t max_batch_for_mtu(const Config& c,
                                      std::size_t mtu) noexcept {
   if (mtu == 0) return c.effective_batch();
   const std::size_t h = c.digest_size();
   const std::size_t digest = 1 + h;
-  const std::size_t s1_fixed = 10 + 1 + 4 + digest + 2;
-  const std::size_t a1_fixed = 10 + 4 + digest + 1 + 2;
+  const std::size_t frame = 10 + wire::kFrameChecksumSize;
+  const std::size_t s1_fixed = frame + 1 + 4 + digest + 2;
+  const std::size_t a1_fixed = frame + 4 + digest + 1 + 2;
   std::size_t by_s1 = 1, by_a1 = SIZE_MAX;
   if (c.mode == Mode::kBase || c.mode == Mode::kCumulative) {
     by_s1 = mtu > s1_fixed + digest ? (mtu - s1_fixed) / digest : 1;

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "trace/trace.hpp"
+
 namespace alpha::core {
 
 namespace {
@@ -70,16 +72,35 @@ bool Host::validate_peer_handshake(const wire::HandshakePacket& hs) const {
 }
 
 void Host::start() {
-  if (!initiator_ || established() || rekey_pending_) return;
+  if (!initiator_) return;
+  if (established()) {
+    // Revive an association whose *rekey* handshake exhausted its retransmit
+    // budget (e.g. the path partitioned mid-rekey and later healed): resend
+    // the same rekey HS1 with a fresh budget. The chains were already
+    // rotated and the rekey already counted, so neither happens again.
+    if (rekey_pending_ && failed_) {
+      hs_retries_ = 0;
+      failed_ = false;
+      trace::emit(trace::EventKind::kPacketSent, assoc_id_, hs_seq_,
+                  static_cast<std::uint8_t>(wire::PacketType::kHs1),
+                  trace::DropReason::kNone, /*resend=*/1);
+      callbacks_.send(make_handshake(/*is_response=*/false).encode());
+    }
+    return;
+  }
   if (!handshake_sent_) {
     handshake_sent_ = true;
     ++hs_seq_;
+    trace::emit(trace::EventKind::kHandshakeStart, assoc_id_, hs_seq_,
+                static_cast<std::uint8_t>(wire::PacketType::kHs1));
   }
   // Re-invocations retransmit the same HS1 (same seq, same anchors) and
   // replenish the retransmit budget; on_tick() retransmits automatically
   // while unestablished.
   hs_retries_ = 0;
   failed_ = false;
+  trace::emit(trace::EventKind::kPacketSent, assoc_id_, hs_seq_,
+              static_cast<std::uint8_t>(wire::PacketType::kHs1));
   callbacks_.send(make_handshake(/*is_response=*/false).encode());
 }
 
@@ -105,17 +126,28 @@ bool Host::force_rekey(std::uint64_t now_us) {
   ++hs_seq_;
   hs_retries_ = 0;
   last_hs_send_us_ = now_us;
+  trace::emit(trace::EventKind::kRekeyStart, assoc_id_, hs_seq_,
+              static_cast<std::uint8_t>(wire::PacketType::kHs1));
+  trace::emit(trace::EventKind::kPacketSent, assoc_id_, hs_seq_,
+              static_cast<std::uint8_t>(wire::PacketType::kHs1));
   callbacks_.send(make_handshake(/*is_response=*/false).encode());
   return true;
 }
 
 void Host::reestablish(const wire::HandshakePacket& peer,
                        std::uint64_t now_us) {
+  // The outgoing engines are about to be replaced: fold their counters into
+  // the association-lifetime totals first, or every rekey would silently
+  // reset the snapshot stats.
+  retired_signer_stats_ += signer_->stats();
+  retired_verifier_stats_ += verifier_->stats();
   // Preserve messages the old signer had queued but not yet pre-signed.
   auto backlog = signer_->drain_backlog();
   establish(peer, now_us);
   for (auto& [cookie, payload] : backlog) {
-    signer_->submit(std::move(payload), now_us, cookie);
+    // resubmission: the retired engine already counted these messages.
+    signer_->submit(std::move(payload), now_us, cookie,
+                    /*resubmission=*/true);
   }
 }
 
@@ -152,16 +184,31 @@ void Host::on_frame(crypto::ByteView frame, std::uint64_t now_us) {
     // Corrupted in flight (or garbage injected); count it so chaos runs can
     // assert the rejection path fired.
     ++undecodable_frames_;
+    trace::emit(trace::EventKind::kPacketDropped, assoc_id_, 0, 0,
+                trace::DropReason::kDecodeError, frame.size());
     return;
   }
 
   if (const auto* hs = std::get_if<wire::HandshakePacket>(&*packet)) {
+    const std::uint8_t hs_type = static_cast<std::uint8_t>(
+        hs->is_response ? wire::PacketType::kHs2 : wire::PacketType::kHs1);
+    const auto drop_hs = [&](trace::DropReason reason) {
+      trace::emit(trace::EventKind::kPacketDropped, assoc_id_, hs->hdr.seq,
+                  hs_type, reason);
+    };
     // Replay accounting: a handshake whose counter does not advance is
     // rejected below (validate_peer_handshake) or answered from the cached
-    // HS2; either way it is a replay/duplicate, not progress.
+    // HS2. A counter strictly behind ours is a replay (or long-stale
+    // retransmission); an exact match is a benign duplicate of the current
+    // handshake. Conflating the two made chaos runs with duplication look
+    // like they were under replay attack.
     if (hs->hdr.assoc_id == assoc_id_ && peer_hs_seq_ != 0 &&
         hs->hdr.seq <= peer_hs_seq_) {
-      ++replayed_handshakes_;
+      if (hs->hdr.seq < peer_hs_seq_) {
+        ++replayed_handshakes_;
+      } else {
+        ++duplicate_handshakes_;
+      }
     }
     // Duplicate HS1 (our HS2 may have been lost): re-answer idempotently
     // without resetting any chain state. Checked before the monotonic-seq
@@ -169,49 +216,106 @@ void Host::on_frame(crypto::ByteView frame, std::uint64_t now_us) {
     if (!hs->is_response && !initiator_ && established() &&
         hs->hdr.assoc_id == assoc_id_ && hs->hdr.seq == peer_hs_seq_ &&
         !last_hs_response_.empty()) {
+      drop_hs(trace::DropReason::kDuplicateHandshake);
+      trace::emit(trace::EventKind::kPacketSent, assoc_id_, hs_seq_,
+                  static_cast<std::uint8_t>(wire::PacketType::kHs2),
+                  trace::DropReason::kNone, /*resend=*/1);
       callbacks_.send(last_hs_response_);
       return;
     }
-    if (!validate_peer_handshake(*hs)) return;
+    if (!validate_peer_handshake(*hs)) {
+      if (hs->hdr.assoc_id == assoc_id_ && peer_hs_seq_ != 0) {
+        if (hs->hdr.seq < peer_hs_seq_) {
+          drop_hs(trace::DropReason::kReplay);
+          return;
+        }
+        if (hs->hdr.seq == peer_hs_seq_) {
+          drop_hs(trace::DropReason::kDuplicateHandshake);
+          return;
+        }
+      }
+      drop_hs(trace::DropReason::kBadMac);
+      return;
+    }
     if (!hs->is_response) {
-      if (initiator_) return;  // initiators never answer an HS1
+      if (initiator_) {  // initiators never answer an HS1
+        drop_hs(trace::DropReason::kUnsolicited);
+        return;
+      }
       if (!established()) {
         // Initial bootstrap: answer with HS2, wire the engines.
         peer_hs_seq_ = hs->hdr.seq;
         handshake_sent_ = true;
         ++hs_seq_;
+        trace::emit(trace::EventKind::kPacketAccepted, assoc_id_,
+                    hs->hdr.seq, hs_type);
+        trace::emit(trace::EventKind::kPacketSent, assoc_id_, hs_seq_,
+                    static_cast<std::uint8_t>(wire::PacketType::kHs2));
         last_hs_response_ = make_handshake(/*is_response=*/true).encode();
         callbacks_.send(last_hs_response_);
         establish(*hs, now_us);
+        trace::emit(trace::EventKind::kEstablished, assoc_id_, hs->hdr.seq,
+                    hs_type);
       } else {
         // Rekey request: rotate own chains, answer, swap engines.
         peer_hs_seq_ = hs->hdr.seq;
         rotate_chains();
         ++hs_seq_;
+        trace::emit(trace::EventKind::kPacketAccepted, assoc_id_,
+                    hs->hdr.seq, hs_type);
+        trace::emit(trace::EventKind::kPacketSent, assoc_id_, hs_seq_,
+                    static_cast<std::uint8_t>(wire::PacketType::kHs2));
         last_hs_response_ = make_handshake(/*is_response=*/true).encode();
         callbacks_.send(last_hs_response_);
         reestablish(*hs, now_us);
+        trace::emit(trace::EventKind::kRekeyFinish, assoc_id_, hs->hdr.seq,
+                    hs_type);
       }
       return;
     }
     // HS2 responses.
-    if (!initiator_) return;
+    if (!initiator_) {
+      drop_hs(trace::DropReason::kUnsolicited);
+      return;
+    }
     if (!established()) {
       peer_hs_seq_ = hs->hdr.seq;
       hs_retries_ = 0;
       failed_ = false;
+      trace::emit(trace::EventKind::kPacketAccepted, assoc_id_, hs->hdr.seq,
+                  hs_type);
       establish(*hs, now_us);
+      trace::emit(trace::EventKind::kEstablished, assoc_id_, hs->hdr.seq,
+                  hs_type);
     } else if (rekey_pending_) {
       peer_hs_seq_ = hs->hdr.seq;
       rekey_pending_ = false;
       hs_retries_ = 0;
       failed_ = false;
+      trace::emit(trace::EventKind::kPacketAccepted, assoc_id_, hs->hdr.seq,
+                  hs_type);
       reestablish(*hs, now_us);
+      trace::emit(trace::EventKind::kRekeyFinish, assoc_id_, hs->hdr.seq,
+                  hs_type);
+    } else {
+      drop_hs(trace::DropReason::kUnsolicited);
     }
     return;
   }
 
-  if (!established()) return;
+  if (!established()) {
+    if (trace::enabled()) {
+      std::uint8_t type = 0;
+      std::uint32_t seq = 0;
+      if (const auto t = wire::peek_type(frame)) {
+        type = static_cast<std::uint8_t>(*t);
+      }
+      if (const auto hdr = wire::peek_header(frame)) seq = hdr->seq;
+      trace::emit(trace::EventKind::kPacketDropped, assoc_id_, seq, type,
+                  trace::DropReason::kUnsolicited);
+    }
+    return;
+  }
   if (const auto* s1 = std::get_if<wire::S1Packet>(&*packet)) {
     verifier_->on_s1(*s1);
   } else if (const auto* s2 = std::get_if<wire::S2Packet>(&*packet)) {
@@ -245,11 +349,17 @@ void Host::retransmit_handshake(std::uint64_t now_us) {
   // retransmit storm. start() or an inbound HS2 replenishes the budget.
   if (hs_retries_ >= config_.max_retries) {
     failed_ = true;
+    trace::emit(trace::EventKind::kAssocFailed, assoc_id_, hs_seq_,
+                static_cast<std::uint8_t>(wire::PacketType::kHs1),
+                trace::DropReason::kBudgetExhausted, hs_retries_);
     return;
   }
   ++hs_retries_;
   ++hs_retransmits_;
   last_hs_send_us_ = now_us;
+  trace::emit(trace::EventKind::kRetransmit, assoc_id_, hs_seq_,
+              static_cast<std::uint8_t>(wire::PacketType::kHs1),
+              trace::DropReason::kNone, hs_retries_);
   callbacks_.send(make_handshake(/*is_response=*/false).encode());
 }
 

@@ -89,9 +89,31 @@ class Host {
   std::uint64_t undecodable_frames() const noexcept {
     return undecodable_frames_;
   }
-  /// Handshakes rejected by the monotonic-counter replay check.
+  /// Handshakes rejected by the monotonic-counter replay check (counter
+  /// strictly behind ours: genuine replay or long-stale retransmission).
   std::uint64_t replayed_handshakes() const noexcept {
     return replayed_handshakes_;
+  }
+  /// Benign duplicates of the current handshake (same counter value, e.g.
+  /// a retransmitted HS1 whose HS2 answer was lost). Kept separate from
+  /// replayed_handshakes() so chaos runs don't misread retransmissions as
+  /// attacks.
+  std::uint64_t duplicate_handshakes() const noexcept {
+    return duplicate_handshakes_;
+  }
+
+  /// Association-lifetime signer/verifier stats: rekeying retires the
+  /// engines, so the current engine's counters alone under-report. These
+  /// fold retired generations in.
+  SignerStats signer_stats_total() const noexcept {
+    SignerStats total = retired_signer_stats_;
+    if (signer_) total += signer_->stats();
+    return total;
+  }
+  VerifierStats verifier_stats_total() const noexcept {
+    VerifierStats total = retired_verifier_stats_;
+    if (verifier_) total += verifier_->stats();
+    return total;
   }
 
   /// Engine access (null until established). Exposed for stats/benches.
@@ -147,6 +169,9 @@ class Host {
   std::uint64_t hs_retransmits_ = 0;
   std::uint64_t undecodable_frames_ = 0;
   std::uint64_t replayed_handshakes_ = 0;
+  std::uint64_t duplicate_handshakes_ = 0;
+  SignerStats retired_signer_stats_;      // accumulated across rekeys
+  VerifierStats retired_verifier_stats_;  // accumulated across rekeys
 };
 
 }  // namespace alpha::core

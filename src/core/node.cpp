@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace alpha::core {
 
 namespace {
@@ -92,6 +94,7 @@ void AlphaNode::start(std::uint32_t assoc_id) {
   if (it == assocs_.end()) {
     throw std::invalid_argument("AlphaNode::start: unknown association");
   }
+  const trace::ScopedContext tctx(options_.trace_origin, transport_->now_us());
   it->second.host->start();
   after_activity(it->second);
 }
@@ -102,6 +105,7 @@ std::uint64_t AlphaNode::submit(std::uint32_t assoc_id,
   if (it == assocs_.end()) {
     throw std::invalid_argument("AlphaNode::submit: unknown association");
   }
+  const trace::ScopedContext tctx(options_.trace_origin, transport_->now_us());
   const std::uint64_t cookie =
       it->second.host->submit(std::move(payload), transport_->now_us());
   after_activity(it->second);
@@ -132,9 +136,12 @@ std::size_t AlphaNode::established_count() const noexcept {
 
 void AlphaNode::on_inbound(net::PeerAddr from, crypto::ByteView frame) {
   ++frames_in_;
+  const trace::ScopedContext tctx(options_.trace_origin, transport_->now_us());
   const auto assoc_id = wire::peek_assoc_id(frame);
   if (!assoc_id.has_value()) {
     ++malformed_frames_;
+    trace::emit(trace::EventKind::kPacketDropped, 0, 0, 0,
+                trace::DropReason::kMalformedHeader, frame.size());
     return;
   }
 
@@ -169,6 +176,16 @@ void AlphaNode::on_inbound(net::PeerAddr from, crypto::ByteView frame) {
   }
 
   ++demux_misses_;
+  if (trace::enabled()) {
+    std::uint8_t type = 0;
+    std::uint32_t seq = 0;
+    if (const auto t = wire::peek_type(frame)) {
+      type = static_cast<std::uint8_t>(*t);
+    }
+    if (const auto hdr = wire::peek_header(frame)) seq = hdr->seq;
+    trace::emit(trace::EventKind::kPacketDropped, *assoc_id, seq, type,
+                trace::DropReason::kDemuxMiss);
+  }
 }
 
 AlphaNode::RelayBinding* AlphaNode::relay_for(std::uint32_t assoc_id,
@@ -241,6 +258,7 @@ void AlphaNode::schedule_wakeup(std::uint64_t at_us) {
 void AlphaNode::on_wakeup() {
   wakeup_pending_ = false;
   const std::uint64_t now = transport_->now_us();
+  const trace::ScopedContext tctx(options_.trace_origin, now);
   due_.clear();
   wheel_.advance(now, due_);
   for (const std::uint32_t key : due_) {
@@ -276,15 +294,17 @@ NodeSnapshot AlphaNode::snapshot(bool per_assoc) const {
     s.rekeys_started += entry.rekeys_started;
     s.corrupt_frames += entry.host->undecodable_frames();
     s.replayed_handshakes += entry.host->replayed_handshakes();
+    s.duplicate_handshakes += entry.host->duplicate_handshakes();
     s.retransmits += entry.host->hs_retransmits();
-    if (established) {
-      const auto& verifier = entry.host->verifier()->stats();
-      const auto& signer = entry.host->signer()->stats();
-      s.messages_delivered += verifier.messages_delivered;
-      s.messages_forged += verifier.invalid_packets + signer.invalid_packets;
-      s.duplicate_frames += verifier.duplicate_packets;
-      s.retransmits += signer.s1_retransmits + signer.s2_retransmits;
-    }
+    // Lifetime totals, not the current engines': a rekey retires the
+    // engines, and reading only the live pair made every rekey look like a
+    // counter reset in the snapshot.
+    const SignerStats signer = entry.host->signer_stats_total();
+    const VerifierStats verifier = entry.host->verifier_stats_total();
+    s.messages_delivered += verifier.messages_delivered;
+    s.messages_forged += verifier.invalid_packets + signer.invalid_packets;
+    s.duplicate_frames += verifier.duplicate_packets;
+    s.retransmits += signer.s1_retransmits + signer.s2_retransmits;
     if (per_assoc) {
       AssocSnapshot a;
       a.assoc_id = id;
@@ -298,10 +318,9 @@ NodeSnapshot AlphaNode::snapshot(bool per_assoc) const {
       a.hs_retransmits = entry.host->hs_retransmits();
       a.corrupt_frames = entry.host->undecodable_frames();
       a.replayed_handshakes = entry.host->replayed_handshakes();
-      if (established) {
-        a.signer = entry.host->signer()->stats();
-        a.verifier = entry.host->verifier()->stats();
-      }
+      a.duplicate_handshakes = entry.host->duplicate_handshakes();
+      a.signer = signer;
+      a.verifier = verifier;
       s.assocs.push_back(std::move(a));
     }
   }

@@ -48,8 +48,10 @@ struct AssocSnapshot {
   std::uint64_t hs_retransmits = 0;
   std::uint64_t corrupt_frames = 0;      // failed full decode at the host
   std::uint64_t replayed_handshakes = 0; // stale handshake counters
-  SignerStats signer;      // zero until established
-  VerifierStats verifier;  // zero until established
+  std::uint64_t duplicate_handshakes = 0;  // benign same-seq duplicates
+  // Association-lifetime engine stats (current + rekey-retired engines).
+  SignerStats signer;      // zero until first established
+  VerifierStats verifier;  // zero until first established
 };
 
 /// Aggregated node-level counters plus (optionally) per-association detail.
@@ -70,6 +72,7 @@ struct NodeSnapshot {
   std::uint64_t corrupt_frames = 0;      // failed full decode at a host
   std::uint64_t duplicate_frames = 0;    // dup S1/S2 answered idempotently
   std::uint64_t replayed_handshakes = 0; // stale handshake counters
+  std::uint64_t duplicate_handshakes = 0;  // benign same-seq duplicates
   std::uint64_t retransmits = 0;         // S1 + S2 + handshake retransmits
   RelayStats relay;                      // summed over relay bindings
   std::vector<AssocSnapshot> assocs;     // filled when requested
@@ -92,6 +95,9 @@ class AlphaNode {
     std::uint64_t tick_granularity_us = 0;
     /// Timer wheel ring size (horizon = granularity * slots).
     std::size_t wheel_slots = 256;
+    /// Origin id stamped on trace events emitted while this node runs
+    /// (engines have no node identity of their own; see trace::Event).
+    std::uint8_t trace_origin = 0;
   };
 
   struct Callbacks {

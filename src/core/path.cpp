@@ -27,6 +27,9 @@ ProtectedPath::ProtectedPath(net::Network& network,
     opts.seed = is_initiator_end ? seed
                 : is_responder_end ? seed + 1
                                    : seed + 100 + i;
+    // Stamp trace events with the simulator node id so a decoded trace can
+    // attribute every engine decision to its position on the path.
+    opts.trace_origin = static_cast<std::uint8_t>(path_[i]);
 
     AlphaNode::Callbacks cbs;
     if (is_initiator_end) {

@@ -11,6 +11,24 @@ namespace alpha::core {
 namespace {
 constexpr std::size_t kMaxBatch = 4096;
 constexpr std::size_t kMaxRoundsPerFlow = 8;
+
+// Relay-side trace events identify the frame by peeking the header; the
+// engine dispatches on the decoded packet, but drop sites share one helper.
+void emit_relay_event(trace::EventKind kind, crypto::ByteView frame,
+                      trace::DropReason reason) {
+  if (!trace::enabled()) return;
+  std::uint32_t assoc = 0;
+  std::uint32_t seq = 0;
+  std::uint8_t type = 0;
+  if (const auto hdr = wire::peek_header(frame)) {
+    seq = hdr->seq;
+    assoc = hdr->assoc_id;
+  }
+  if (const auto t = wire::peek_type(frame)) {
+    type = static_cast<std::uint8_t>(*t);
+  }
+  trace::emit(kind, assoc, seq, type, reason, frame.size());
+}
 }  // namespace
 
 RelayEngine::RelayEngine(Config config, Options options, Callbacks callbacks)
@@ -18,18 +36,22 @@ RelayEngine::RelayEngine(Config config, Options options, Callbacks callbacks)
 
 RelayDecision RelayEngine::forward(Direction dir, crypto::ByteView frame) {
   ++stats_.forwarded;
+  emit_relay_event(trace::EventKind::kRelayForwarded, frame,
+                   trace::DropReason::kNone);
   if (callbacks_.forward) {
     callbacks_.forward(dir, crypto::Bytes(frame.begin(), frame.end()));
   }
   return RelayDecision::kForwarded;
 }
 
-RelayDecision RelayEngine::drop(RelayDecision decision) {
+RelayDecision RelayEngine::drop(RelayDecision decision, crypto::ByteView frame,
+                                trace::DropReason reason) {
   if (decision == RelayDecision::kDroppedUnsolicited) {
     ++stats_.dropped_unsolicited;
   } else {
     ++stats_.dropped_invalid;
   }
+  emit_relay_event(trace::EventKind::kPacketDropped, frame, reason);
   return decision;
 }
 
@@ -37,6 +59,8 @@ RelayDecision RelayEngine::on_frame(Direction dir, crypto::ByteView frame) {
   const auto packet = wire::decode(frame);
   if (!packet.has_value()) {
     ++stats_.dropped_invalid;
+    emit_relay_event(trace::EventKind::kPacketDropped, frame,
+                     trace::DropReason::kDecodeError);
     return RelayDecision::kDroppedMalformed;
   }
   return std::visit(
@@ -65,7 +89,8 @@ RelayDecision RelayEngine::handle_handshake(Direction dir,
     const auto peer = PeerIdentity::decode(hs.sig_alg, hs.public_key);
     if (!peer.has_value() ||
         !peer->verify(hs.algo, hs.signed_payload(), hs.signature)) {
-      return drop(RelayDecision::kDroppedInvalid);
+      return drop(RelayDecision::kDroppedInvalid, frame,
+                  trace::DropReason::kBadMac);
     }
   }
 
@@ -100,8 +125,10 @@ RelayDecision RelayEngine::handle_s1(Direction dir, const wire::S1Packet& s1,
   const auto it = assocs_.find(s1.hdr.assoc_id);
   if (it == assocs_.end() || !it->second.flows[static_cast<int>(dir)].sig) {
     // No handshake observed on this flow.
-    return options_.require_handshake ? drop(RelayDecision::kDroppedUnsolicited)
-                                      : forward(dir, frame);
+    return options_.require_handshake
+               ? drop(RelayDecision::kDroppedUnsolicited, frame,
+                      trace::DropReason::kUnsolicited)
+               : forward(dir, frame);
   }
   AssocState& assoc = it->second;
   FlowState& flow = assoc.flows[static_cast<int>(dir)];
@@ -110,7 +137,8 @@ RelayDecision RelayEngine::handle_s1(Direction dir, const wire::S1Packet& s1,
       s1.mode == Mode::kMerkle || s1.mode == Mode::kCumulativeMerkle;
   const std::size_t count = tree_mode ? s1.leaf_count : s1.macs.size();
   if (count == 0 || count > kMaxBatch) {
-    return drop(RelayDecision::kDroppedInvalid);
+    return drop(RelayDecision::kDroppedInvalid, frame,
+                trace::DropReason::kDecodeError);
   }
 
   if (flow.rounds.contains(s1.hdr.seq)) {
@@ -119,13 +147,15 @@ RelayDecision RelayEngine::handle_s1(Direction dir, const wire::S1Packet& s1,
   }
 
   if (!hashchain::is_s1_index(s1.chain_index)) {
-    return drop(RelayDecision::kDroppedInvalid);
+    return drop(RelayDecision::kDroppedInvalid, frame,
+                trace::DropReason::kStaleChainIndex);
   }
   {
     const crypto::ScopedHashOps ops;
     const bool ok = flow.sig->accept(s1.chain_element, s1.chain_index);
     stats_.hashes.chain_verify += ops.delta().hash_finalizations;
-    if (!ok) return drop(RelayDecision::kDroppedInvalid);
+    if (!ok) return drop(RelayDecision::kDroppedInvalid, frame,
+                         trace::DropReason::kStaleChainIndex);
   }
 
   RelayRound round;
@@ -156,8 +186,10 @@ RelayDecision RelayEngine::handle_a1(Direction dir, const wire::A1Packet& a1,
   const auto it = assocs_.find(a1.hdr.assoc_id);
   if (it == assocs_.end() ||
       !it->second.flows[static_cast<int>(flow_dir)].ack) {
-    return options_.require_handshake ? drop(RelayDecision::kDroppedUnsolicited)
-                                      : forward(dir, frame);
+    return options_.require_handshake
+               ? drop(RelayDecision::kDroppedUnsolicited, frame,
+                      trace::DropReason::kUnsolicited)
+               : forward(dir, frame);
   }
   FlowState& flow = it->second.flows[static_cast<int>(flow_dir)];
 
@@ -165,24 +197,28 @@ RelayDecision RelayEngine::handle_a1(Direction dir, const wire::A1Packet& a1,
   if (round_it == flow.rounds.end()) {
     // A1 without an observed S1: the verifier answered something we did not
     // vet; treat as unsolicited.
-    return drop(RelayDecision::kDroppedUnsolicited);
+    return drop(RelayDecision::kDroppedUnsolicited, frame,
+                trace::DropReason::kUnsolicited);
   }
   RelayRound& round = round_it->second;
 
   if (!hashchain::is_s1_index(a1.ack_chain_index)) {
-    return drop(RelayDecision::kDroppedInvalid);
+    return drop(RelayDecision::kDroppedInvalid, frame,
+                trace::DropReason::kStaleChainIndex);
   }
   {
     const crypto::ScopedHashOps ops;
     const bool ok = flow.ack->accept_or_derive(a1.ack_element,
                                     a1.ack_chain_index);
     stats_.hashes.chain_verify += ops.delta().hash_finalizations;
-    if (!ok) return drop(RelayDecision::kDroppedInvalid);
+    if (!ok) return drop(RelayDecision::kDroppedInvalid, frame,
+                         trace::DropReason::kStaleChainIndex);
   }
 
   if (a1.scheme == wire::AckScheme::kPreAck &&
       a1.pre_acks.size() != round.message_count()) {
-    return drop(RelayDecision::kDroppedInvalid);
+    return drop(RelayDecision::kDroppedInvalid, frame,
+                trace::DropReason::kDecodeError);
   }
 
   round.a1_seen = true;
@@ -199,37 +235,44 @@ RelayDecision RelayEngine::handle_s2(Direction dir, const wire::S2Packet& s2,
                                      crypto::ByteView frame) {
   const auto it = assocs_.find(s2.hdr.assoc_id);
   if (it == assocs_.end() || !it->second.flows[static_cast<int>(dir)].sig) {
-    return options_.require_handshake ? drop(RelayDecision::kDroppedUnsolicited)
-                                      : forward(dir, frame);
+    return options_.require_handshake
+               ? drop(RelayDecision::kDroppedUnsolicited, frame,
+                      trace::DropReason::kUnsolicited)
+               : forward(dir, frame);
   }
   FlowState& flow = it->second.flows[static_cast<int>(dir)];
 
   const auto round_it = flow.rounds.find(s2.hdr.seq);
   if (round_it == flow.rounds.end()) {
-    return drop(RelayDecision::kDroppedUnsolicited);
+    return drop(RelayDecision::kDroppedUnsolicited, frame,
+                trace::DropReason::kUnsolicited);
   }
   RelayRound& round = round_it->second;
 
   // Flood mitigation: no willingness signal from the receiver, no delivery.
   if (!round.a1_seen) {
-    return drop(RelayDecision::kDroppedUnsolicited);
+    return drop(RelayDecision::kDroppedUnsolicited, frame,
+                trace::DropReason::kUnsolicited);
   }
 
   if (s2.mode != round.mode || s2.msg_index >= round.message_count() ||
       s2.chain_index + 1 != round.s1_index) {
-    return drop(RelayDecision::kDroppedInvalid);
+    return drop(RelayDecision::kDroppedInvalid, frame,
+                trace::DropReason::kStaleChainIndex);
   }
 
   // Authenticate the disclosed MAC key.
   if (round.disclosed.has_value()) {
     if (!round.disclosed->ct_equals(s2.disclosed_element)) {
-      return drop(RelayDecision::kDroppedInvalid);
+      return drop(RelayDecision::kDroppedInvalid, frame,
+                  trace::DropReason::kBadMac);
     }
   } else {
     const crypto::ScopedHashOps ops;
     const bool ok = flow.sig->accept_or_derive(s2.disclosed_element, s2.chain_index);
     stats_.hashes.chain_verify += ops.delta().hash_finalizations;
-    if (!ok) return drop(RelayDecision::kDroppedInvalid);
+    if (!ok) return drop(RelayDecision::kDroppedInvalid, frame,
+                         trace::DropReason::kStaleChainIndex);
     round.disclosed = s2.disclosed_element;
   }
 
@@ -263,7 +306,10 @@ RelayDecision RelayEngine::handle_s2(Direction dir, const wire::S2Packet& s2,
     }
     stats_.hashes.signature += ops.delta().hash_finalizations;
   }
-  if (!valid) return drop(RelayDecision::kDroppedInvalid);
+  if (!valid) {
+    return drop(RelayDecision::kDroppedInvalid, frame,
+                trace::DropReason::kBadMac);
+  }
 
   ++stats_.messages_extracted;
   if (callbacks_.on_extracted) {
@@ -279,33 +325,39 @@ RelayDecision RelayEngine::handle_a2(Direction dir, const wire::A2Packet& a2,
   const auto it = assocs_.find(a2.hdr.assoc_id);
   if (it == assocs_.end() ||
       !it->second.flows[static_cast<int>(flow_dir)].ack) {
-    return options_.require_handshake ? drop(RelayDecision::kDroppedUnsolicited)
-                                      : forward(dir, frame);
+    return options_.require_handshake
+               ? drop(RelayDecision::kDroppedUnsolicited, frame,
+                      trace::DropReason::kUnsolicited)
+               : forward(dir, frame);
   }
   FlowState& flow = it->second.flows[static_cast<int>(flow_dir)];
 
   const auto round_it = flow.rounds.find(a2.hdr.seq);
   if (round_it == flow.rounds.end() || !round_it->second.a1_seen) {
-    return drop(RelayDecision::kDroppedUnsolicited);
+    return drop(RelayDecision::kDroppedUnsolicited, frame,
+                trace::DropReason::kUnsolicited);
   }
   RelayRound& round = round_it->second;
 
   if (a2.scheme != round.scheme ||
       a2.ack_chain_index + 1 != round.a1_ack_index ||
       a2.msg_index >= round.message_count()) {
-    return drop(RelayDecision::kDroppedInvalid);
+    return drop(RelayDecision::kDroppedInvalid, frame,
+                trace::DropReason::kStaleChainIndex);
   }
 
   if (round.ack_disclosed.has_value()) {
     if (!round.ack_disclosed->ct_equals(a2.disclosed_ack_element)) {
-      return drop(RelayDecision::kDroppedInvalid);
+      return drop(RelayDecision::kDroppedInvalid, frame,
+                  trace::DropReason::kBadMac);
     }
   } else {
     const crypto::ScopedHashOps ops;
     const bool ok = flow.ack->accept_or_derive(a2.disclosed_ack_element,
                                     a2.ack_chain_index);
     stats_.hashes.chain_verify += ops.delta().hash_finalizations;
-    if (!ok) return drop(RelayDecision::kDroppedInvalid);
+    if (!ok) return drop(RelayDecision::kDroppedInvalid, frame,
+                         trace::DropReason::kStaleChainIndex);
     round.ack_disclosed = a2.disclosed_ack_element;
   }
 
@@ -332,7 +384,10 @@ RelayDecision RelayEngine::handle_a2(Direction dir, const wire::A2Packet& a2,
     }
     stats_.hashes.ack += ops.delta().hash_finalizations;
   }
-  if (!valid) return drop(RelayDecision::kDroppedInvalid);
+  if (!valid) {
+    return drop(RelayDecision::kDroppedInvalid, frame,
+                trace::DropReason::kBadMac);
+  }
 
   ++stats_.acks_verified;
   return forward(dir, frame);

@@ -28,6 +28,7 @@
 #include "core/stats.hpp"
 #include "crypto/mac.hpp"
 #include "hashchain/chain.hpp"
+#include "trace/trace.hpp"
 #include "wire/packets.hpp"
 
 namespace alpha::core {
@@ -141,7 +142,8 @@ class RelayEngine {
                           crypto::ByteView frame);
 
   RelayDecision forward(Direction dir, crypto::ByteView frame);
-  RelayDecision drop(RelayDecision decision);
+  RelayDecision drop(RelayDecision decision, crypto::ByteView frame,
+                     trace::DropReason reason);
 
   Config config_;
   Options options_;

@@ -5,6 +5,7 @@
 #include "core/preack.hpp"
 #include "crypto/counter.hpp"
 #include "merkle/amt.hpp"
+#include "trace/trace.hpp"
 
 namespace alpha::core {
 
@@ -52,12 +53,13 @@ std::vector<std::pair<std::uint64_t, Bytes>> SignerEngine::drain_backlog() {
 }
 
 std::uint64_t SignerEngine::submit(Bytes message, std::uint64_t now_us,
-                                   std::optional<std::uint64_t> cookie) {
+                                   std::optional<std::uint64_t> cookie,
+                                   bool resubmission) {
   if (message.size() > 0xffff) {
     throw std::length_error("SignerEngine::submit: message too large");
   }
   const std::uint64_t id = cookie.value_or(next_cookie_++);
-  ++stats_.messages_submitted;
+  if (!resubmission) ++stats_.messages_submitted;
   queue_.push_back(QueuedMessage{id, std::move(message)});
   maybe_start_round(now_us);
   return id;
@@ -73,12 +75,16 @@ void SignerEngine::maybe_start_round(std::uint64_t now_us, bool flush) {
   if (!flush && queue_.size() < batch_limit) return;
   if (!can_send()) {
     // Chain exhausted: fail queued messages rather than stall silently.
+    // One aborted round regardless of how many messages it would have
+    // carried -- counting per message inflated rounds_failed.
+    ++stats_.rounds_failed;
+    trace::emit(trace::EventKind::kRoundFailed, assoc_id_, next_seq_, 0,
+                trace::DropReason::kChainExhausted, queue_.size());
     while (!queue_.empty()) {
       if (callbacks_.on_delivery) {
         callbacks_.on_delivery(queue_.front().cookie, DeliveryStatus::kFailed);
       }
       queue_.pop_front();
-      ++stats_.rounds_failed;
     }
     return;
   }
@@ -160,6 +166,9 @@ void SignerEngine::send_s1(std::uint64_t now_us) {
   round.s1_frame = s1.encode();
   round.last_send_us = now_us;
   ++stats_.s1_sent;
+  trace::emit(trace::EventKind::kPacketSent, assoc_id_, round.seq,
+              static_cast<std::uint8_t>(wire::PacketType::kS1),
+              trace::DropReason::kNone, round.messages.size());
   callbacks_.send(round.s1_frame);
 }
 
@@ -186,6 +195,9 @@ void SignerEngine::send_s2_batch(std::uint64_t now_us) {
   Round& round = *round_;
   for (std::size_t k = 0; k < round.messages.size(); ++k) {
     if (round.settled[k]) continue;
+    trace::emit(trace::EventKind::kPacketSent, assoc_id_, round.seq,
+                static_cast<std::uint8_t>(wire::PacketType::kS2),
+                trace::DropReason::kNone, k);
     callbacks_.send(make_s2(round, k));
     ++stats_.s2_sent;
   }
@@ -193,11 +205,16 @@ void SignerEngine::send_s2_batch(std::uint64_t now_us) {
 }
 
 void SignerEngine::on_a1(const wire::A1Packet& a1, std::uint64_t now_us) {
+  const auto drop_a1 = [&](trace::DropReason reason) {
+    trace::emit(trace::EventKind::kPacketDropped, assoc_id_, a1.hdr.seq,
+                static_cast<std::uint8_t>(wire::PacketType::kA1), reason);
+  };
   if (!round_.has_value() || a1.hdr.assoc_id != assoc_id_ ||
       a1.hdr.seq != round_->seq ||
       round_->state != Round::State::kAwaitA1) {
     // Late or duplicate A1: the paper mandates discarding pre-(n)acks in
     // further A1 packets once an S2 went out (§3.2.2).
+    drop_a1(trace::DropReason::kStaleRound);
     return;
   }
   Round& round = *round_;
@@ -206,6 +223,7 @@ void SignerEngine::on_a1(const wire::A1Packet& a1, std::uint64_t now_us) {
   // acknowledgment chain.
   if (!hashchain::is_s1_index(a1.ack_chain_index)) {
     ++stats_.invalid_packets;
+    drop_a1(trace::DropReason::kStaleChainIndex);
     return;
   }
   {
@@ -214,6 +232,7 @@ void SignerEngine::on_a1(const wire::A1Packet& a1, std::uint64_t now_us) {
     stats_.hashes.chain_verify += ops.delta().hash_finalizations;
     if (!ok) {
       ++stats_.invalid_packets;
+      drop_a1(trace::DropReason::kStaleChainIndex);
       return;
     }
   }
@@ -223,11 +242,13 @@ void SignerEngine::on_a1(const wire::A1Packet& a1, std::uint64_t now_us) {
                                                : wire::AckScheme::kPreAck;
     if (a1.scheme != expected) {
       ++stats_.invalid_packets;
+      drop_a1(trace::DropReason::kBadMac);
       return;
     }
     if (a1.scheme == wire::AckScheme::kPreAck) {
       if (a1.pre_acks.size() != round.messages.size()) {
         ++stats_.invalid_packets;
+        drop_a1(trace::DropReason::kBadMac);
         return;
       }
       round.pre_acks = a1.pre_acks;
@@ -235,6 +256,7 @@ void SignerEngine::on_a1(const wire::A1Packet& a1, std::uint64_t now_us) {
     } else {
       if (a1.amt_msg_count != round.messages.size()) {
         ++stats_.invalid_packets;
+        drop_a1(trace::DropReason::kBadMac);
         return;
       }
       round.amt_root = a1.amt_root;
@@ -244,6 +266,8 @@ void SignerEngine::on_a1(const wire::A1Packet& a1, std::uint64_t now_us) {
   }
   round.a1_ack_index = a1.ack_chain_index;
   round.retries = 0;
+  trace::emit(trace::EventKind::kPacketAccepted, assoc_id_, a1.hdr.seq,
+              static_cast<std::uint8_t>(wire::PacketType::kA1));
 
   send_s2_batch(now_us);
   if (config_.reliable) {
@@ -258,9 +282,15 @@ void SignerEngine::on_a1(const wire::A1Packet& a1, std::uint64_t now_us) {
 }
 
 void SignerEngine::on_a2(const wire::A2Packet& a2, std::uint64_t now_us) {
+  const auto drop_a2 = [&](trace::DropReason reason) {
+    trace::emit(trace::EventKind::kPacketDropped, assoc_id_, a2.hdr.seq,
+                static_cast<std::uint8_t>(wire::PacketType::kA2), reason,
+                a2.msg_index);
+  };
   if (!round_.has_value() || a2.hdr.assoc_id != assoc_id_ ||
       a2.hdr.seq != round_->seq ||
       round_->state != Round::State::kAwaitA2) {
+    drop_a2(trace::DropReason::kStaleRound);
     return;
   }
   Round& round = *round_;
@@ -268,6 +298,7 @@ void SignerEngine::on_a2(const wire::A2Packet& a2, std::uint64_t now_us) {
   // A2 discloses the even-index ack element right below the A1's element.
   if (a2.ack_chain_index + 1 != round.a1_ack_index) {
     ++stats_.invalid_packets;
+    drop_a2(trace::DropReason::kStaleChainIndex);
     return;
   }
   {
@@ -277,17 +308,22 @@ void SignerEngine::on_a2(const wire::A2Packet& a2, std::uint64_t now_us) {
     stats_.hashes.chain_verify += ops.delta().hash_finalizations;
     if (!ok) {
       ++stats_.invalid_packets;
+      drop_a2(trace::DropReason::kStaleChainIndex);
       return;
     }
   }
 
   if (a2.scheme != round.scheme) {
     ++stats_.invalid_packets;
+    drop_a2(trace::DropReason::kBadMac);
     return;
   }
 
   const std::size_t index = a2.msg_index;
-  if (index >= round.messages.size() || round.settled[index]) return;
+  if (index >= round.messages.size() || round.settled[index]) {
+    drop_a2(trace::DropReason::kDuplicateS2);
+    return;
+  }
 
   bool valid = false;
   const bool is_ack = a2.kind == wire::AckKind::kAck;
@@ -312,9 +348,13 @@ void SignerEngine::on_a2(const wire::A2Packet& a2, std::uint64_t now_us) {
   }
   if (!valid) {
     ++stats_.invalid_packets;
+    drop_a2(trace::DropReason::kBadMac);
     return;
   }
 
+  trace::emit(trace::EventKind::kPacketAccepted, assoc_id_, a2.hdr.seq,
+              static_cast<std::uint8_t>(wire::PacketType::kA2),
+              trace::DropReason::kNone, is_ack ? 1 : 0);
   if (is_ack) {
     ++stats_.acks_received;
     settle(index, DeliveryStatus::kAcked);
@@ -325,6 +365,9 @@ void SignerEngine::on_a2(const wire::A2Packet& a2, std::uint64_t now_us) {
     if (config_.retransmit_on_nack &&
         round.nack_retries[index] < config_.max_retries) {
       ++round.nack_retries[index];
+      trace::emit(trace::EventKind::kRetransmit, assoc_id_, round.seq,
+                  static_cast<std::uint8_t>(wire::PacketType::kS2),
+                  trace::DropReason::kNone, round.nack_retries[index]);
       callbacks_.send(make_s2(round, index));
       ++stats_.s2_retransmits;
     } else {
@@ -364,6 +407,9 @@ void SignerEngine::on_tick(std::uint64_t now_us) {
   }
 
   if (round.retries >= config_.max_retries) {
+    trace::emit(trace::EventKind::kRoundFailed, assoc_id_, round.seq, 0,
+                trace::DropReason::kBudgetExhausted,
+                round.messages.size() - round.settled_count);
     for (std::size_t k = 0; k < round.messages.size(); ++k) {
       if (!round.settled[k]) settle(k, DeliveryStatus::kFailed);
     }
@@ -373,12 +419,18 @@ void SignerEngine::on_tick(std::uint64_t now_us) {
   }
   ++round.retries;
   if (round.state == Round::State::kAwaitA1) {
+    trace::emit(trace::EventKind::kRetransmit, assoc_id_, round.seq,
+                static_cast<std::uint8_t>(wire::PacketType::kS1),
+                trace::DropReason::kNone, round.retries);
     callbacks_.send(round.s1_frame);
     ++stats_.s1_retransmits;
     round.last_send_us = now_us;
   } else {
     for (std::size_t k = 0; k < round.messages.size(); ++k) {
       if (round.settled[k]) continue;
+      trace::emit(trace::EventKind::kRetransmit, assoc_id_, round.seq,
+                  static_cast<std::uint8_t>(wire::PacketType::kS2),
+                  trace::DropReason::kNone, round.retries);
       callbacks_.send(make_s2(round, k));
       ++stats_.s2_retransmits;
     }

@@ -53,9 +53,12 @@ class SignerEngine {
 
   /// Queues a message; returns a cookie identifying it in on_delivery.
   /// Pass `cookie` to use a caller-assigned identifier instead (must be
-  /// unique). Throws std::length_error if the message cannot fit a packet.
+  /// unique). `resubmission` re-queues a message drained from a retired
+  /// engine during rekeying without counting it as a new submission.
+  /// Throws std::length_error if the message cannot fit a packet.
   std::uint64_t submit(Bytes message, std::uint64_t now_us,
-                       std::optional<std::uint64_t> cookie = std::nullopt);
+                       std::optional<std::uint64_t> cookie = std::nullopt,
+                       bool resubmission = false);
 
   void on_a1(const wire::A1Packet& a1, std::uint64_t now_us);
   void on_a2(const wire::A2Packet& a2, std::uint64_t now_us);

@@ -58,4 +58,44 @@ struct RelayStats {
   std::uint64_t acks_verified = 0;
 };
 
+// Accumulation: a rekey retires the engines, but their counters must keep
+// contributing to association-lifetime totals (Host folds retired stats in,
+// snapshots read the sums).
+inline HashWork& operator+=(HashWork& a, const HashWork& b) noexcept {
+  a.signature += b.signature;
+  a.chain_create += b.chain_create;
+  a.chain_verify += b.chain_verify;
+  a.ack += b.ack;
+  return a;
+}
+
+inline SignerStats& operator+=(SignerStats& a, const SignerStats& b) noexcept {
+  a.hashes += b.hashes;
+  a.messages_submitted += b.messages_submitted;
+  a.rounds_started += b.rounds_started;
+  a.rounds_completed += b.rounds_completed;
+  a.rounds_failed += b.rounds_failed;
+  a.s1_sent += b.s1_sent;
+  a.s2_sent += b.s2_sent;
+  a.s1_retransmits += b.s1_retransmits;
+  a.s2_retransmits += b.s2_retransmits;
+  a.acks_received += b.acks_received;
+  a.nacks_received += b.nacks_received;
+  a.invalid_packets += b.invalid_packets;
+  return a;
+}
+
+inline VerifierStats& operator+=(VerifierStats& a,
+                                 const VerifierStats& b) noexcept {
+  a.hashes += b.hashes;
+  a.s1_accepted += b.s1_accepted;
+  a.s2_accepted += b.s2_accepted;
+  a.messages_delivered += b.messages_delivered;
+  a.a1_sent += b.a1_sent;
+  a.a2_sent += b.a2_sent;
+  a.invalid_packets += b.invalid_packets;
+  a.duplicate_packets += b.duplicate_packets;
+  return a;
+}
+
 }  // namespace alpha::core

@@ -4,6 +4,7 @@
 
 #include "core/preack.hpp"
 #include "crypto/counter.hpp"
+#include "trace/trace.hpp"
 
 namespace alpha::core {
 
@@ -39,16 +40,28 @@ VerifierEngine::VerifierEngine(Config config, std::uint32_t assoc_id,
 
 void VerifierEngine::on_s1(const wire::S1Packet& s1) {
   if (s1.hdr.assoc_id != assoc_id_) return;
-  if (!accepting_) return;  // deny A1: unsolicited data dies at the relays
+  const auto drop_s1 = [&](trace::DropReason reason) {
+    trace::emit(trace::EventKind::kPacketDropped, assoc_id_, s1.hdr.seq,
+                static_cast<std::uint8_t>(wire::PacketType::kS1), reason);
+  };
+  if (!accepting_) {  // deny A1: unsolicited data dies at the relays
+    drop_s1(trace::DropReason::kUnsolicited);
+    return;
+  }
 
   // Duplicate S1 (signer retransmission): replay the cached A1.
   if (const auto it = rounds_.find(s1.hdr.seq); it != rounds_.end()) {
     if (it->second.s1_element.ct_equals(s1.chain_element) &&
         !it->second.a1_frame.empty()) {
       ++stats_.duplicate_packets;
+      drop_s1(trace::DropReason::kDuplicateS1);
+      trace::emit(trace::EventKind::kPacketSent, assoc_id_, s1.hdr.seq,
+                  static_cast<std::uint8_t>(wire::PacketType::kA1),
+                  trace::DropReason::kNone, /*resend=*/1);
       callbacks_.send(it->second.a1_frame);
     } else {
       ++stats_.invalid_packets;
+      drop_s1(trace::DropReason::kBadMac);
     }
     return;
   }
@@ -58,12 +71,14 @@ void VerifierEngine::on_s1(const wire::S1Packet& s1) {
   const std::size_t count = tree_mode ? s1.leaf_count : s1.macs.size();
   if (count == 0 || count > kMaxBatch) {
     ++stats_.invalid_packets;
+    drop_s1(trace::DropReason::kDecodeError);
     return;
   }
 
   // The S1 must be authenticated by a fresh odd-index chain element.
   if (!hashchain::is_s1_index(s1.chain_index)) {
     ++stats_.invalid_packets;
+    drop_s1(trace::DropReason::kStaleChainIndex);
     return;
   }
   {
@@ -72,11 +87,15 @@ void VerifierEngine::on_s1(const wire::S1Packet& s1) {
     stats_.hashes.chain_verify += ops.delta().hash_finalizations;
     if (!ok) {
       ++stats_.invalid_packets;
+      drop_s1(trace::DropReason::kStaleChainIndex);
       return;
     }
   }
 
-  if (walker_.remaining() < 2) return;  // ack chain exhausted: deny
+  if (walker_.remaining() < 2) {  // ack chain exhausted: deny
+    drop_s1(trace::DropReason::kChainExhausted);
+    return;
+  }
 
   PendingRound round;
   round.mode = s1.mode;
@@ -134,15 +153,26 @@ void VerifierEngine::on_s1(const wire::S1Packet& s1) {
   rounds_.emplace(s1.hdr.seq, std::move(round));
   ++stats_.s1_accepted;
   ++stats_.a1_sent;
+  trace::emit(trace::EventKind::kPacketAccepted, assoc_id_, s1.hdr.seq,
+              static_cast<std::uint8_t>(wire::PacketType::kS1),
+              trace::DropReason::kNone, count);
+  trace::emit(trace::EventKind::kPacketSent, assoc_id_, s1.hdr.seq,
+              static_cast<std::uint8_t>(wire::PacketType::kA1));
   callbacks_.send(std::move(frame));
   retire_old_rounds();
 }
 
 void VerifierEngine::on_s2(const wire::S2Packet& s2) {
   if (s2.hdr.assoc_id != assoc_id_) return;
+  const auto drop_s2 = [&](trace::DropReason reason) {
+    trace::emit(trace::EventKind::kPacketDropped, assoc_id_, s2.hdr.seq,
+                static_cast<std::uint8_t>(wire::PacketType::kS2), reason,
+                s2.msg_index);
+  };
   const auto it = rounds_.find(s2.hdr.seq);
   if (it == rounds_.end()) {
     ++stats_.invalid_packets;  // no S1 context: unsolicited
+    drop_s2(trace::DropReason::kStaleRound);
     return;
   }
   PendingRound& round = it->second;
@@ -150,12 +180,14 @@ void VerifierEngine::on_s2(const wire::S2Packet& s2) {
   if (s2.mode != round.mode || s2.msg_index >= round.message_count() ||
       s2.chain_index + 1 != round.s1_index) {
     ++stats_.invalid_packets;
+    drop_s2(trace::DropReason::kStaleChainIndex);
     return;
   }
 
   // Duplicate of an already-delivered message: re-ack idempotently.
   if (round.received[s2.msg_index]) {
     ++stats_.duplicate_packets;
+    drop_s2(trace::DropReason::kDuplicateS2);
     if (const auto frame = round.a2_frames.find(s2.msg_index);
         frame != round.a2_frames.end()) {
       callbacks_.send(frame->second);
@@ -167,6 +199,7 @@ void VerifierEngine::on_s2(const wire::S2Packet& s2) {
   if (round.disclosed.has_value()) {
     if (!round.disclosed->ct_equals(s2.disclosed_element)) {
       ++stats_.invalid_packets;
+      drop_s2(trace::DropReason::kBadMac);
       return;
     }
   } else {
@@ -179,6 +212,7 @@ void VerifierEngine::on_s2(const wire::S2Packet& s2) {
     stats_.hashes.chain_verify += ops.delta().hash_finalizations;
     if (!ok) {
       ++stats_.invalid_packets;
+      drop_s2(trace::DropReason::kStaleChainIndex);
       return;
     }
     round.disclosed = s2.disclosed_element;
@@ -217,6 +251,7 @@ void VerifierEngine::on_s2(const wire::S2Packet& s2) {
 
   if (!valid) {
     ++stats_.invalid_packets;
+    drop_s2(trace::DropReason::kBadMac);
     if (config_.reliable) {
       send_a2(round, s2.hdr.seq, s2.msg_index, /*ack=*/false);
     }
@@ -227,6 +262,12 @@ void VerifierEngine::on_s2(const wire::S2Packet& s2) {
   ++round.delivered;
   ++stats_.s2_accepted;
   ++stats_.messages_delivered;
+  trace::emit(trace::EventKind::kPacketAccepted, assoc_id_, s2.hdr.seq,
+              static_cast<std::uint8_t>(wire::PacketType::kS2),
+              trace::DropReason::kNone, s2.msg_index);
+  trace::emit(trace::EventKind::kDelivered, assoc_id_, s2.hdr.seq,
+              static_cast<std::uint8_t>(wire::PacketType::kS2),
+              trace::DropReason::kNone, s2.msg_index);
   if (callbacks_.on_message) {
     callbacks_.on_message(s2.hdr.seq, s2.msg_index, s2.payload);
   }
@@ -259,6 +300,9 @@ void VerifierEngine::send_a2(PendingRound& round, std::uint32_t seq,
   crypto::Bytes frame = a2.encode();
   if (ack) round.a2_frames[index] = frame;  // idempotent duplicate handling
   ++stats_.a2_sent;
+  trace::emit(trace::EventKind::kPacketSent, assoc_id_, seq,
+              static_cast<std::uint8_t>(wire::PacketType::kA2),
+              trace::DropReason::kNone, ack ? 1 : 0);
   callbacks_.send(std::move(frame));
 }
 

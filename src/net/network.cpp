@@ -3,6 +3,9 @@
 #include <deque>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+#include "wire/packets.hpp"
+
 namespace alpha::net {
 
 void Network::add_node(NodeId id, ReceiveFn handler) {
@@ -97,6 +100,30 @@ void Network::schedule_delivery(NodeId from, NodeId to, Bytes frame,
 }
 
 bool Network::send(NodeId from, NodeId to, Bytes frame) {
+  // Typed-trace terminal events: exactly one kNetDelivered or kNetDropped
+  // per send(), plus one kNetDuplicated per injected extra copy. The trace
+  // completeness tests hold every injected frame against this invariant.
+  trace::Event net_event;
+  if (trace::enabled()) {
+    net_event.time_us = sim_->now();
+    net_event.detail = trace::pack_net_detail(from, to, frame.size());
+    net_event.origin = static_cast<std::uint8_t>(from);
+    if (const auto assoc = wire::peek_assoc_id(frame)) {
+      net_event.assoc_id = *assoc;
+    }
+    if (const auto hdr = wire::peek_header(frame)) net_event.seq = hdr->seq;
+    if (const auto type = wire::peek_type(frame)) {
+      net_event.packet_type = static_cast<std::uint8_t>(*type);
+    }
+  }
+  const auto net_emit = [&](trace::EventKind kind, trace::DropReason reason) {
+    if (!trace::enabled()) return;
+    trace::Event e = net_event;
+    e.kind = kind;
+    e.reason = reason;
+    trace::emit(e);
+  };
+
   const auto trace = [&](FrameFate fate, SimTime delivery_at,
                          bool corrupted = false, bool reordered = false) {
     if (tracer_) {
@@ -108,6 +135,7 @@ bool Network::send(NodeId from, NodeId to, Bytes frame) {
   DirectedLink* link = find_link(from, to);
   if (link == nullptr) {
     trace(FrameFate::kNoLink, 0);
+    net_emit(trace::EventKind::kNetDropped, trace::DropReason::kNoLink);
     return false;
   }
   ++link->stats.frames_sent;
@@ -116,12 +144,14 @@ bool Network::send(NodeId from, NodeId to, Bytes frame) {
   if (!link->up) {
     ++link->stats.frames_link_down;
     trace(FrameFate::kLinkDown, 0);
+    net_emit(trace::EventKind::kNetDropped, trace::DropReason::kLinkDown);
     return true;
   }
 
   if (frame.size() > link->config.mtu) {
     ++link->stats.frames_oversize;
     trace(FrameFate::kOversize, 0);
+    net_emit(trace::EventKind::kNetDropped, trace::DropReason::kOversize);
     return false;
   }
 
@@ -132,6 +162,7 @@ bool Network::send(NodeId from, NodeId to, Bytes frame) {
     if (draw < link->config.loss_rate) {
       ++link->stats.frames_lost;
       trace(FrameFate::kLost, 0);
+      net_emit(trace::EventKind::kNetDropped, trace::DropReason::kLost);
       return true;  // sent but lost in flight
     }
   }
@@ -151,6 +182,7 @@ bool Network::send(NodeId from, NodeId to, Bytes frame) {
     if (chaos_chance(link->burst_bad ? burst.loss_bad : burst.loss_good)) {
       ++link->stats.frames_lost;
       trace(FrameFate::kLost, 0);
+      net_emit(trace::EventKind::kNetDropped, trace::DropReason::kLost);
       return true;
     }
   }
@@ -198,12 +230,18 @@ bool Network::send(NodeId from, NodeId to, Bytes frame) {
         1 + chaos_rng_.uniform(std::max<SimTime>(faults.reorder_window, 1));
     ++link->stats.frames_duplicated;
     trace(FrameFate::kDuplicated, sim_->now() + delay + offset, corrupted);
+    net_emit(trace::EventKind::kNetDuplicated,
+             corrupted ? trace::DropReason::kChaosCorrupted
+                       : trace::DropReason::kNone);
     schedule_delivery(from, to, frame, delay + offset);
   }
 
   link->stats.bytes_delivered += frame.size();
   ++link->stats.frames_delivered;
   trace(FrameFate::kDelivered, sim_->now() + delay, corrupted, reordered);
+  net_emit(trace::EventKind::kNetDelivered,
+           corrupted ? trace::DropReason::kChaosCorrupted
+                     : trace::DropReason::kNone);
   schedule_delivery(from, to, std::move(frame), delay);
   return true;
 }

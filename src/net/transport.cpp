@@ -3,7 +3,31 @@
 #include <algorithm>
 #include <chrono>
 
+#include "trace/trace.hpp"
+#include "wire/packets.hpp"
+
 namespace alpha::net {
+
+namespace {
+// UDP has no network model underneath, so the transport itself marks the
+// frame boundary events (the simulator path gets these from net::Network).
+void emit_transport_event(trace::EventKind kind, PeerAddr peer,
+                          crypto::ByteView frame, std::uint64_t now_us) {
+  if (!trace::enabled()) return;
+  trace::Event e;
+  e.time_us = now_us;
+  e.detail = trace::pack_net_detail(static_cast<std::uint32_t>(peer),
+                                    static_cast<std::uint32_t>(peer),
+                                    frame.size());
+  if (const auto assoc = wire::peek_assoc_id(frame)) e.assoc_id = *assoc;
+  if (const auto hdr = wire::peek_header(frame)) e.seq = hdr->seq;
+  if (const auto type = wire::peek_type(frame)) {
+    e.packet_type = static_cast<std::uint8_t>(*type);
+  }
+  e.kind = kind;
+  trace::emit(e);
+}
+}  // namespace
 
 // ---------------------------------------------------------------- simulator
 
@@ -55,6 +79,8 @@ void UdpTransport::set_receiver(ReceiveFn receiver) {
 }
 
 bool UdpTransport::send(PeerAddr peer, crypto::Bytes frame) {
+  emit_transport_event(trace::EventKind::kTransportSent, peer, frame,
+                       now_us());
   endpoint_.send_to(static_cast<std::uint16_t>(peer), frame);
   return true;
 }
@@ -75,6 +101,9 @@ std::size_t UdpTransport::poll(int timeout_ms) {
   auto dg = endpoint_.receive(wait);
   while (dg.has_value()) {
     ++frames;
+    emit_transport_event(trace::EventKind::kTransportReceived,
+                         static_cast<PeerAddr>(dg->from_port), dg->data,
+                         now_us());
     if (receiver_) {
       receiver_(static_cast<PeerAddr>(dg->from_port), dg->data);
     }

@@ -45,13 +45,16 @@ UdpEndpoint::~UdpEndpoint() {
 }
 
 UdpEndpoint::UdpEndpoint(UdpEndpoint&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)),
+      recv_buf_(std::move(other.recv_buf_)) {}
 
 UdpEndpoint& UdpEndpoint::operator=(UdpEndpoint&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
     port_ = std::exchange(other.port_, 0);
+    recv_buf_ = std::move(other.recv_buf_);
   }
   return *this;
 }
@@ -86,17 +89,20 @@ std::optional<UdpEndpoint::Datagram> UdpEndpoint::receive(int timeout_ms) {
   if (ready < 0) fail("poll");
   if (ready == 0) return std::nullopt;
 
-  crypto::Bytes buf(65536);
+  // One reusable buffer per endpoint (max UDP payload), allocated on the
+  // first receive: the steady-state receive path never touches the heap.
+  if (recv_buf_.size() != 65536) recv_buf_.resize(65536);
   sockaddr_in from{};
   socklen_t from_len = sizeof(from);
   ssize_t got;
   do {
-    got = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+    got = ::recvfrom(fd_, recv_buf_.data(), recv_buf_.size(), 0,
                      reinterpret_cast<sockaddr*>(&from), &from_len);
   } while (got < 0 && errno == EINTR);
   if (got < 0) fail("recvfrom");
-  buf.resize(static_cast<std::size_t>(got));
-  return Datagram{ntohs(from.sin_port), std::move(buf)};
+  return Datagram{ntohs(from.sin_port),
+                  crypto::ByteView{recv_buf_.data(),
+                                   static_cast<std::size_t>(got)}};
 }
 
 }  // namespace alpha::net

@@ -32,17 +32,21 @@ class UdpEndpoint {
 
   struct Datagram {
     std::uint16_t from_port;
-    crypto::Bytes data;
+    /// View into the endpoint's reusable receive buffer: valid until the
+    /// next receive() on (or move of) this endpoint. Copy to retain.
+    crypto::ByteView data;
   };
 
   /// Waits up to timeout_ms for a datagram; nullopt on timeout. 0 performs
   /// a non-blocking drain probe. Interrupted syscalls (EINTR) are retried,
-  /// never surfaced as errors.
+  /// never surfaced as errors. The payload lands in a per-endpoint buffer
+  /// (allocated once, lazily), keeping the receive path allocation-free.
   std::optional<Datagram> receive(int timeout_ms);
 
  private:
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  crypto::Bytes recv_buf_;
 };
 
 }  // namespace alpha::net

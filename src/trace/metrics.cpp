@@ -1,0 +1,56 @@
+#include "trace/metrics.hpp"
+
+namespace alpha::metrics {
+
+namespace {
+
+void print_labeled(std::FILE* out, const std::string& name,
+                   const std::string& labels, const char* suffix,
+                   const std::string& extra_label, unsigned long long value) {
+  std::fputs(name.c_str(), out);
+  std::fputs(suffix, out);
+  if (!labels.empty() || !extra_label.empty()) {
+    std::fputc('{', out);
+    std::fputs(labels.c_str(), out);
+    if (!labels.empty() && !extra_label.empty()) std::fputc(',', out);
+    std::fputs(extra_label.c_str(), out);
+    std::fputc('}', out);
+  }
+  std::fprintf(out, " %llu\n", value);
+}
+
+}  // namespace
+
+void Registry::write_prometheus(std::FILE* out) const {
+  for (const auto& [name, series] : counters_) {
+    std::fprintf(out, "# TYPE %s counter\n", name.c_str());
+    for (const auto& [labels, value] : series) {
+      print_labeled(out, name, labels, "", "",
+                    static_cast<unsigned long long>(value));
+    }
+  }
+  for (const auto& [name, series] : histograms_) {
+    std::fprintf(out, "# TYPE %s histogram\n", name.c_str());
+    for (const auto& [labels, hist] : series) {
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+        if (hist.bucket(i) == 0) continue;  // sparse: skip empty buckets
+        cumulative += hist.bucket(i);
+        char le[48];
+        std::snprintf(le, sizeof(le), "le=\"%llu\"",
+                      static_cast<unsigned long long>(
+                          Histogram::upper_bound(i)));
+        print_labeled(out, name, labels, "_bucket", le,
+                      static_cast<unsigned long long>(cumulative));
+      }
+      print_labeled(out, name, labels, "_bucket", "le=\"+Inf\"",
+                    static_cast<unsigned long long>(hist.count()));
+      print_labeled(out, name, labels, "_sum", "",
+                    static_cast<unsigned long long>(hist.sum()));
+      print_labeled(out, name, labels, "_count", "",
+                    static_cast<unsigned long long>(hist.count()));
+    }
+  }
+}
+
+}  // namespace alpha::metrics

@@ -1,0 +1,80 @@
+// Counter / histogram registry with Prometheus-style text export.
+//
+// Off the hot path by design: the engines keep their own plain-integer
+// stats structs (core/stats.hpp); tools fold those into a Registry after
+// (or periodically during) a run and export the result. Histograms use
+// log2 buckets -- bucket i holds values whose bit width is i, i.e.
+// [2^(i-1), 2^i) -- which spans nanoseconds to hours in 64 buckets with
+// constant-time recording and no per-sample allocation.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace alpha::metrics {
+
+/// Fixed-shape log2 histogram: 65 buckets (value 0, then one per bit
+/// width 1..64), plus count/sum/min/max.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t value) noexcept {
+    ++buckets_[bucket_index(value)];
+    ++count_;
+    sum_ += value;
+    if (count_ == 1 || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  /// Index of the bucket `value` lands in: 0 for 0, else bit_width(value).
+  static std::size_t bucket_index(std::uint64_t value) noexcept {
+    std::size_t width = 0;
+    while (value != 0) {
+      ++width;
+      value >>= 1;
+    }
+    return width;
+  }
+  /// Inclusive upper bound of bucket i (2^i - 1); bucket 0 holds only 0.
+  static std::uint64_t upper_bound(std::size_t i) noexcept {
+    return i >= 64 ? ~0ull : (1ull << i) - 1;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+  std::uint64_t bucket(std::size_t i) const noexcept { return buckets_[i]; }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Named counters and histograms, each keyed by a prerendered label string
+/// (e.g. `assoc="7"`; empty for none). Export follows the Prometheus text
+/// format: counters as `name{labels} value`, histograms as cumulative
+/// `name_bucket{le="..."}` series plus `_sum` and `_count`.
+class Registry {
+ public:
+  std::uint64_t& counter(const std::string& name, const std::string& labels = "") {
+    return counters_[name][labels];
+  }
+  Histogram& histogram(const std::string& name, const std::string& labels = "") {
+    return histograms_[name][labels];
+  }
+
+  void write_prometheus(std::FILE* out) const;
+
+ private:
+  std::map<std::string, std::map<std::string, std::uint64_t>> counters_;
+  std::map<std::string, std::map<std::string, Histogram>> histograms_;
+};
+
+}  // namespace alpha::metrics

@@ -1,0 +1,135 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <iterator>
+
+namespace alpha::trace {
+
+namespace {
+
+struct KindName {
+  EventKind kind;
+  const char* name;
+};
+constexpr KindName kKindNames[] = {
+    {EventKind::kNone, "none"},
+    {EventKind::kPacketSent, "packet_sent"},
+    {EventKind::kPacketAccepted, "packet_accepted"},
+    {EventKind::kPacketDropped, "packet_dropped"},
+    {EventKind::kRetransmit, "retransmit"},
+    {EventKind::kHandshakeStart, "handshake_start"},
+    {EventKind::kEstablished, "established"},
+    {EventKind::kRekeyStart, "rekey_start"},
+    {EventKind::kRekeyFinish, "rekey_finish"},
+    {EventKind::kAssocFailed, "assoc_failed"},
+    {EventKind::kRoundFailed, "round_failed"},
+    {EventKind::kDelivered, "delivered"},
+    {EventKind::kRelayForwarded, "relay_forwarded"},
+    {EventKind::kNetDelivered, "net_delivered"},
+    {EventKind::kNetDropped, "net_dropped"},
+    {EventKind::kNetDuplicated, "net_duplicated"},
+    {EventKind::kTransportSent, "transport_sent"},
+    {EventKind::kTransportReceived, "transport_received"},
+};
+
+struct ReasonName {
+  DropReason reason;
+  const char* name;
+};
+constexpr ReasonName kReasonNames[] = {
+    {DropReason::kNone, "none"},
+    {DropReason::kDecodeError, "decode_error"},
+    {DropReason::kBadMac, "bad_mac"},
+    {DropReason::kStaleChainIndex, "stale_chain_index"},
+    {DropReason::kDuplicateS1, "duplicate_s1"},
+    {DropReason::kDuplicateS2, "duplicate_s2"},
+    {DropReason::kDuplicateHandshake, "duplicate_handshake"},
+    {DropReason::kReplay, "replay"},
+    {DropReason::kBudgetExhausted, "budget_exhausted"},
+    {DropReason::kUnsolicited, "unsolicited"},
+    {DropReason::kMalformedHeader, "malformed_header"},
+    {DropReason::kDemuxMiss, "demux_miss"},
+    {DropReason::kChainExhausted, "chain_exhausted"},
+    {DropReason::kStaleRound, "stale_round"},
+    {DropReason::kLost, "lost"},
+    {DropReason::kLinkDown, "link_down"},
+    {DropReason::kOversize, "oversize"},
+    {DropReason::kNoLink, "no_link"},
+    {DropReason::kChaosCorrupted, "chaos_corrupted"},
+};
+
+// wire::PacketType values (kept in sync with wire/packets.hpp; trace stays
+// dependency-free so it can sit below net in the link order).
+constexpr const char* kPacketTypeNames[] = {"-",  "s1",  "a1", "s2",
+                                            "a2", "hs1", "hs2"};
+
+}  // namespace
+
+Ring::Ring(std::size_t capacity) {
+  const std::size_t cap = std::bit_ceil(std::max<std::size_t>(capacity, 2));
+  buf_.resize(cap);
+  mask_ = cap - 1;
+}
+
+const char* to_string(EventKind kind) noexcept {
+  for (const auto& entry : kKindNames) {
+    if (entry.kind == kind) return entry.name;
+  }
+  return "unknown";
+}
+
+const char* to_string(DropReason reason) noexcept {
+  for (const auto& entry : kReasonNames) {
+    if (entry.reason == reason) return entry.name;
+  }
+  return "unknown";
+}
+
+EventKind kind_from_string(const std::string& s) noexcept {
+  for (const auto& entry : kKindNames) {
+    if (s == entry.name) return entry.kind;
+  }
+  return EventKind::kNone;
+}
+
+DropReason reason_from_string(const std::string& s) noexcept {
+  for (const auto& entry : kReasonNames) {
+    if (s == entry.name) return entry.reason;
+  }
+  return DropReason::kNone;
+}
+
+const char* packet_type_name(std::uint8_t type) noexcept {
+  if (type >= std::size(kPacketTypeNames)) return "-";
+  return kPacketTypeNames[type];
+}
+
+void write_jsonl(const Ring& ring, std::FILE* out) {
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const Event& e = ring.at(i);
+    std::fprintf(out,
+                 "{\"t\":%llu,\"origin\":%u,\"kind\":\"%s\",\"assoc\":%u,"
+                 "\"seq\":%u,\"type\":\"%s\",\"reason\":\"%s\",\"detail\":%llu",
+                 static_cast<unsigned long long>(e.time_us), e.origin,
+                 to_string(e.kind), e.assoc_id, e.seq,
+                 packet_type_name(e.packet_type), to_string(e.reason),
+                 static_cast<unsigned long long>(e.detail));
+    if (is_net_kind(e.kind)) {
+      std::fprintf(out, ",\"from\":%u,\"to\":%u,\"size\":%zu",
+                   net_detail_from(e.detail), net_detail_to(e.detail),
+                   net_detail_size(e.detail));
+    }
+    std::fputs("}\n", out);
+  }
+}
+
+bool write_jsonl(const Ring& ring, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  write_jsonl(ring, out);
+  const bool ok = std::fclose(out) == 0;
+  return ok;
+}
+
+}  // namespace alpha::trace

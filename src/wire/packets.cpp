@@ -1,10 +1,37 @@
 #include "wire/packets.hpp"
 
+#include <array>
+
 #include "wire/codec.hpp"
 
 namespace alpha::wire {
 
 namespace {
+
+/// Appends the CRC-32 trailer and releases the finished frame. Every
+/// encode() funnels through here so no packet type can skip the checksum.
+Bytes seal(Writer&& w) {
+  Bytes frame = w.take();
+  const std::uint32_t crc = frame_checksum(frame);
+  frame.push_back(static_cast<std::uint8_t>(crc >> 24));
+  frame.push_back(static_cast<std::uint8_t>(crc >> 16));
+  frame.push_back(static_cast<std::uint8_t>(crc >> 8));
+  frame.push_back(static_cast<std::uint8_t>(crc));
+  return frame;
+}
+
+/// Verifies and strips the trailer; nullopt means the frame is corrupt (or
+/// too short to carry a trailer at all).
+std::optional<ByteView> unseal(ByteView data) noexcept {
+  if (data.size() < kFrameChecksumSize) return std::nullopt;
+  const ByteView body = data.subspan(0, data.size() - kFrameChecksumSize);
+  const ByteView tail = data.subspan(body.size());
+  const std::uint32_t expected = (std::uint32_t{tail[0]} << 24) |
+                                 (std::uint32_t{tail[1]} << 16) |
+                                 (std::uint32_t{tail[2]} << 8) | tail[3];
+  if (frame_checksum(body) != expected) return std::nullopt;
+  return body;
+}
 
 void put_header(Writer& w, PacketType type, const Header& hdr) {
   w.u8(kWireVersion);
@@ -54,6 +81,25 @@ AckScheme read_scheme(Reader& r) {
 
 }  // namespace
 
+std::uint32_t frame_checksum(ByteView data) noexcept {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (const std::uint8_t b : data) {
+    crc = table[(crc ^ b) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
 merkle::AuthPath WirePath::to_auth_path() const {
   merkle::AuthPath path;
   path.leaf_index = leaf_index;
@@ -90,7 +136,7 @@ Bytes S1Packet::encode() const {
     w.u16(static_cast<std::uint16_t>(macs.size()));
     for (const auto& m : macs) w.digest(m);
   }
-  return w.take();
+  return seal(std::move(w));
 }
 
 Bytes A1Packet::encode() const {
@@ -117,7 +163,7 @@ Bytes A1Packet::encode() const {
       w.u16(amt_msg_count);
       break;
   }
-  return w.take();
+  return seal(std::move(w));
 }
 
 Bytes S2Packet::encode() const {
@@ -130,7 +176,7 @@ Bytes S2Packet::encode() const {
   w.u8(path.has_value() ? 1 : 0);
   if (path.has_value()) put_path(w, *path);
   w.blob16(payload);
-  return w.take();
+  return seal(std::move(w));
 }
 
 Bytes A2Packet::encode() const {
@@ -144,7 +190,7 @@ Bytes A2Packet::encode() const {
   w.blob16(secret);
   w.u8(path.has_value() ? 1 : 0);
   if (path.has_value()) put_path(w, *path);
-  return w.take();
+  return seal(std::move(w));
 }
 
 Bytes HandshakePacket::signed_payload() const {
@@ -175,7 +221,7 @@ Bytes HandshakePacket::encode() const {
   w.u8(static_cast<std::uint8_t>(sig_alg));
   w.blob16(public_key);
   w.blob16(signature);
-  return w.take();
+  return seal(std::move(w));
 }
 
 std::optional<PacketType> peek_type(ByteView data) noexcept {
@@ -204,8 +250,12 @@ std::optional<Header> peek_header(ByteView data) noexcept {
 std::optional<Packet> decode(ByteView data) {
   const auto type = peek_type(data);
   if (!type.has_value()) return std::nullopt;
+  // Checksum first: a frame that fails the CRC is link noise, not a
+  // protocol message, and none of its fields may reach engine state.
+  const auto body = unseal(data);
+  if (!body.has_value()) return std::nullopt;
   try {
-    Reader r{data};
+    Reader r{*body};
     switch (*type) {
       case PacketType::kS1: {
         S1Packet p;

@@ -47,6 +47,18 @@ enum class Mode : std::uint8_t {
 
 constexpr std::uint8_t kWireVersion = 1;
 
+/// Every encoded frame ends in a CRC-32 trailer over the preceding bytes.
+/// ALPHA assumes the link layer detects bit errors; on links that corrupt
+/// frames in flight the codec has to provide that guarantee itself, because
+/// some fields are deliberately unauthenticated when they arrive (the A1's
+/// pre-ack commitments are only checkable once the A2 discloses the key --
+/// a flipped commitment bit would otherwise poison the round until its
+/// retry budget dies). Corrupted frames must fail decode() instead.
+constexpr std::size_t kFrameChecksumSize = 4;
+
+/// CRC-32 (IEEE 802.3) over `data`; appended big-endian to every frame.
+std::uint32_t frame_checksum(ByteView data) noexcept;
+
 /// Common packet header.
 struct Header {
   std::uint32_t assoc_id = 0;  // security association (per-path, §3.1)

@@ -215,7 +215,7 @@ TEST_P(EngineModeTest, TamperedPayloadRejectedEverywhere) {
   // Corrupt the payload byte of every S2 in flight.
   pair.bus.set_hook([](Bytes& frame) {
     if (wire::peek_type(frame) == wire::PacketType::kS2) {
-      frame[frame.size() - 1] ^= 0x01;  // payload is trailed by blob16
+      testing::tamper_and_reseal(frame);  // flips the last payload byte
     }
     return true;
   });
@@ -240,7 +240,7 @@ TEST(EngineReliableTest, NackCarriesVerifiableEvidence) {
 
   pair.bus.set_hook([](Bytes& frame) {
     if (wire::peek_type(frame) == wire::PacketType::kS2) {
-      frame[frame.size() - 1] ^= 0xff;
+      testing::tamper_and_reseal(frame, 0xff);
     }
     return true;
   });

@@ -182,7 +182,7 @@ TEST(CumulativeMerkleTest, TamperedPayloadRejected) {
   EnginePair pair{config};
   pair.bus.set_hook([](Bytes& frame) {
     if (wire::peek_type(frame) == wire::PacketType::kS2) {
-      frame[frame.size() - 1] ^= 1;
+      testing::tamper_and_reseal(frame);
     }
     return true;
   });
@@ -261,7 +261,7 @@ TEST(SelectiveRepeatTest, CorruptedS2RetransmittedAndDelivered) {
   pair.bus.set_hook([&](Bytes& frame) {
     if (wire::peek_type(frame) == wire::PacketType::kS2 && corruptions < 2) {
       ++corruptions;
-      frame[frame.size() - 1] ^= 1;  // corrupt the first two S2 copies
+      testing::tamper_and_reseal(frame);  // corrupt the first two S2 copies
     }
     return true;
   });
@@ -285,7 +285,7 @@ TEST(SelectiveRepeatTest, GivesUpAfterRetryBudget) {
 
   pair.bus.set_hook([](Bytes& frame) {
     if (wire::peek_type(frame) == wire::PacketType::kS2) {
-      frame[frame.size() - 1] ^= 1;  // every copy corrupted
+      testing::tamper_and_reseal(frame);  // every copy corrupted
     }
     return true;
   });
@@ -311,7 +311,7 @@ TEST(SelectiveRepeatTest, OnlyCorruptedMessagesResent) {
       const auto s2 = std::get<wire::S2Packet>(*wire::decode(frame));
       if (s2.msg_index == 2 && !corrupted_once) {
         corrupted_once = true;
-        frame[frame.size() - 1] ^= 1;
+        testing::tamper_and_reseal(frame);
       }
     }
     return true;

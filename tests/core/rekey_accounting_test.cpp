@@ -1,0 +1,195 @@
+// Regression tests for association-lifetime accounting across rekeys.
+//
+// Rekeying retires the signer/verifier engines, which used to make stats
+// misbehave in two ways: the per-engine counters vanished from snapshots
+// (the fresh engines restart at zero), and the backlog re-submitted into
+// the new signer was counted as brand-new messages (double-counting
+// messages_submitted). A third bug hid in the failure path: an initiator
+// whose rekey handshake exhausted its retransmit budget was stuck --
+// start() only handled the bootstrap case, so the association could never
+// be revived without tearing it down. These tests pin the fixed behavior.
+#include <gtest/gtest.h>
+
+#include "core/host.hpp"
+#include "test_bus.hpp"
+
+namespace alpha::core {
+namespace {
+
+using crypto::Bytes;
+using crypto::ByteView;
+using crypto::HmacDrbg;
+using testing::PacketBus;
+
+Bytes msg(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+struct HostPair {
+  explicit HostPair(Config config) : rng_a(11), rng_b(22) {
+    Host::Callbacks a_cb;
+    a_cb.send = bus.sender(1);
+    a_cb.on_delivery = [this](std::uint64_t cookie, DeliveryStatus status) {
+      a_deliveries.emplace_back(cookie, status);
+    };
+    a.emplace(config, /*assoc_id=*/9, /*initiator=*/true, rng_a,
+              std::move(a_cb));
+
+    Host::Callbacks b_cb;
+    b_cb.send = bus.sender(0);
+    b_cb.on_message = [this](ByteView payload) {
+      at_b.push_back(Bytes(payload.begin(), payload.end()));
+    };
+    b.emplace(config, /*assoc_id=*/9, /*initiator=*/false, rng_b,
+              std::move(b_cb));
+
+    bus.attach(0, [this](ByteView frame) { a->on_frame(frame, now); });
+    bus.attach(1, [this](ByteView frame) { b->on_frame(frame, now); });
+  }
+
+  /// Establishes and delivers `count` messages, pumping until quiescent.
+  void establish() {
+    a->start();
+    bus.pump();
+    ASSERT_TRUE(a->established());
+    ASSERT_TRUE(b->established());
+  }
+
+  void send_messages(int count) {
+    for (int i = 0; i < count; ++i) {
+      a->submit(msg("m" + std::to_string(i)), now);
+      bus.pump();
+    }
+  }
+
+  /// Ticks `a` forward until its retransmit budget is exhausted.
+  void tick_until_failed(std::uint64_t step_us, int max_steps = 200) {
+    for (int i = 0; i < max_steps && !a->failed(); ++i) {
+      now += step_us;
+      a->on_tick(now);
+      bus.pump();
+    }
+  }
+
+  HmacDrbg rng_a, rng_b;
+  PacketBus bus;
+  std::optional<Host> a, b;
+  std::uint64_t now = 0;
+  std::vector<Bytes> at_b;
+  std::vector<std::pair<std::uint64_t, DeliveryStatus>> a_deliveries;
+};
+
+TEST(RekeyAccounting, LifetimeStatsSurviveChainRotation) {
+  HostPair pair{Config{}};
+  pair.establish();
+  pair.send_messages(5);
+  ASSERT_EQ(pair.at_b.size(), 5u);
+  EXPECT_EQ(pair.a->signer_stats_total().messages_submitted, 5u);
+  EXPECT_EQ(pair.b->verifier_stats_total().messages_delivered, 5u);
+
+  ASSERT_TRUE(pair.a->force_rekey(pair.now));
+  pair.bus.pump();
+  ASSERT_FALSE(pair.a->rekey_pending());
+
+  // The fresh engines start at zero; the totals must not.
+  EXPECT_EQ(pair.a->signer()->stats().messages_submitted, 0u);
+  EXPECT_EQ(pair.a->signer_stats_total().messages_submitted, 5u);
+  EXPECT_EQ(pair.b->verifier_stats_total().messages_delivered, 5u);
+
+  pair.send_messages(3);
+  EXPECT_EQ(pair.at_b.size(), 8u);
+  EXPECT_EQ(pair.a->signer_stats_total().messages_submitted, 8u);
+  EXPECT_EQ(pair.b->verifier_stats_total().messages_delivered, 8u);
+}
+
+TEST(RekeyAccounting, BacklogResubmissionIsNotDoubleCounted) {
+  HostPair pair{Config{}};
+  pair.establish();
+  pair.send_messages(4);
+
+  // Queue messages while the rekey handshake is still in flight: they land
+  // in the old signer's backlog, get drained, and are re-submitted into the
+  // fresh engine. That re-submission must not count a second time.
+  ASSERT_TRUE(pair.a->force_rekey(pair.now));
+  pair.a->submit(msg("mid-rekey-1"), pair.now);
+  pair.a->submit(msg("mid-rekey-2"), pair.now);
+  pair.bus.pump();
+  ASSERT_FALSE(pair.a->rekey_pending());
+  pair.now += 1'000'000;
+  pair.a->on_tick(pair.now);
+  pair.bus.pump();
+
+  EXPECT_EQ(pair.at_b.size(), 6u);
+  EXPECT_EQ(pair.a->signer_stats_total().messages_submitted, 6u);
+  EXPECT_EQ(pair.b->verifier_stats_total().messages_delivered, 6u);
+}
+
+TEST(RekeyAccounting, FailedMidRekeyInitiatorRevivesViaStart) {
+  Config config;
+  config.max_retries = 3;
+  HostPair pair{config};
+  pair.establish();
+  pair.send_messages(2);
+
+  // Cut the link, start a rekey, and burn the whole retransmit budget.
+  pair.bus.set_hook([](Bytes&) { return false; });
+  ASSERT_TRUE(pair.a->force_rekey(pair.now));
+  pair.tick_until_failed(/*step_us=*/2'000'000);
+  ASSERT_TRUE(pair.a->failed());
+  ASSERT_TRUE(pair.a->rekey_pending());
+  const std::uint64_t retransmits_at_failure = pair.a->hs_retransmits();
+
+  // Heal the link; start() must resend the pending rekey handshake with a
+  // fresh budget instead of being a no-op on an established association.
+  pair.bus.set_hook(nullptr);
+  pair.a->start();
+  pair.bus.pump();
+  EXPECT_FALSE(pair.a->failed());
+  EXPECT_FALSE(pair.a->rekey_pending());
+  EXPECT_TRUE(pair.a->established());
+  EXPECT_GE(pair.a->hs_retransmits(), retransmits_at_failure);
+
+  // The revived association still authenticates, and lifetime stats did not
+  // double-count anything across the failed attempt + revival.
+  pair.send_messages(3);
+  EXPECT_EQ(pair.at_b.size(), 5u);
+  EXPECT_EQ(pair.a->signer_stats_total().messages_submitted, 5u);
+  EXPECT_EQ(pair.b->verifier_stats_total().messages_delivered, 5u);
+}
+
+TEST(RekeyAccounting, DuplicateAndReplayedHandshakesSplit) {
+  HostPair pair{Config{}};
+
+  // Capture the bootstrap HS1 in flight.
+  Bytes captured_hs1;
+  pair.bus.set_hook([&](Bytes& frame) {
+    if (captured_hs1.empty()) captured_hs1 = frame;
+    return true;
+  });
+  pair.establish();
+  pair.bus.set_hook(nullptr);
+  ASSERT_FALSE(captured_hs1.empty());
+  EXPECT_EQ(pair.b->duplicate_handshakes(), 0u);
+  EXPECT_EQ(pair.b->replayed_handshakes(), 0u);
+
+  // Same-seq duplicate (a retransmitted HS1 whose HS2 answer was lost):
+  // benign, answered from cache, counted as a duplicate -- not a replay.
+  pair.b->on_frame(captured_hs1, pair.now);
+  pair.bus.pump();
+  EXPECT_EQ(pair.b->duplicate_handshakes(), 1u);
+  EXPECT_EQ(pair.b->replayed_handshakes(), 0u);
+
+  // After a rekey the handshake counter has moved on; the same frame is now
+  // strictly behind and must count as a replay, not a duplicate.
+  ASSERT_TRUE(pair.a->force_rekey(pair.now));
+  pair.bus.pump();
+  ASSERT_FALSE(pair.a->rekey_pending());
+  pair.b->on_frame(captured_hs1, pair.now);
+  pair.bus.pump();
+  EXPECT_EQ(pair.b->duplicate_handshakes(), 1u);
+  EXPECT_EQ(pair.b->replayed_handshakes(), 1u);
+  // The stale handshake must not have disturbed the association.
+  pair.send_messages(2);
+  EXPECT_EQ(pair.at_b.size(), 2u);
+}
+
+}  // namespace
+}  // namespace alpha::core

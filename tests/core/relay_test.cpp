@@ -256,9 +256,20 @@ TEST(RelayTest, ProtectedHandshakeVerifiedWhenEnabled) {
   EXPECT_EQ(relay.on_frame(Direction::kForward, frames[0]),
             RelayDecision::kForwarded);
 
-  // Tampered copy must be dropped.
+  // Raw tampering dies at the frame checksum, before any crypto runs.
   Bytes tampered = frames[0];
   tampered[20] ^= 1;
+  EXPECT_EQ(relay.on_frame(Direction::kForward, tampered),
+            RelayDecision::kDroppedMalformed);
+
+  // A resealed tamper (valid CRC, forged content) must still be caught --
+  // by the handshake signature this time.
+  const std::size_t body_len = tampered.size() - wire::kFrameChecksumSize;
+  const std::uint32_t crc =
+      wire::frame_checksum(crypto::ByteView{tampered.data(), body_len});
+  for (std::size_t i = 0; i < wire::kFrameChecksumSize; ++i) {
+    tampered[body_len + i] = static_cast<std::uint8_t>(crc >> (24 - 8 * i));
+  }
   EXPECT_EQ(relay.on_frame(Direction::kForward, tampered),
             RelayDecision::kDroppedInvalid);
 }

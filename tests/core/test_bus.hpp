@@ -23,6 +23,21 @@ namespace alpha::core::testing {
 using alpha::testing::SeedReporter;
 using alpha::testing::chaos_seed;
 
+/// XORs `mask` into the last body byte of an encoded frame and recomputes
+/// the CRC trailer, yielding a wire-valid frame with forged content. Tamper
+/// tests go through here so the corruption reaches the MAC / Merkle layer
+/// instead of dying at the frame checksum (which is what raw bit flips do
+/// now -- see wire::kFrameChecksumSize).
+inline void tamper_and_reseal(crypto::Bytes& frame, std::uint8_t mask = 1) {
+  const std::size_t body_len = frame.size() - wire::kFrameChecksumSize;
+  frame[body_len - 1] ^= mask;
+  const std::uint32_t crc =
+      wire::frame_checksum(crypto::ByteView{frame.data(), body_len});
+  for (std::size_t i = 0; i < wire::kFrameChecksumSize; ++i) {
+    frame[body_len + i] = static_cast<std::uint8_t>(crc >> (24 - 8 * i));
+  }
+}
+
 class PacketBus {
  public:
   using Hook = std::function<bool(crypto::Bytes&)>;  // false = drop frame

@@ -1,0 +1,197 @@
+// Property test for the hashed timer wheel against a reference model.
+//
+// Contract under test (see timer_wheel.hpp): an entry armed while the
+// cursor sits at tick C with deadline D fires at absolute tick
+// max(ceil(D / granularity), C + 1) -- in the first advance() whose target
+// tick reaches that value, never earlier, exactly once. That must hold for
+// deadlines beyond one wheel revolution (multi-lap re-queueing), duplicate
+// re-arms of the same key (multiset semantics), and deadlines that land
+// exactly on the cursor's current tick.
+#include "core/timer_wheel.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace alpha::core {
+namespace {
+
+/// Deterministic 64-bit LCG (tests must not depend on global rand state).
+struct Lcg {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 11;
+  }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+std::uint64_t expected_fire_tick(std::uint64_t deadline_us,
+                                 std::uint64_t granularity,
+                                 std::uint64_t cursor_at_arm) {
+  std::uint64_t tick = deadline_us / granularity;
+  if (tick * granularity < deadline_us) ++tick;
+  return std::max(tick, cursor_at_arm + 1);
+}
+
+/// Reference model: every armed entry with its precomputed fire tick.
+struct Model {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> armed;  // key, tick
+
+  void arm(std::uint32_t key, std::uint64_t fire_tick) {
+    armed.emplace_back(key, fire_tick);
+  }
+  /// Pops everything due at `target` and returns it as a key multiset.
+  std::multiset<std::uint32_t> advance(std::uint64_t target);
+};
+
+std::multiset<std::uint32_t> Model::advance(std::uint64_t target) {
+  std::multiset<std::uint32_t> due;
+  std::size_t keep = 0;
+  for (auto& [key, tick] : armed) {
+    if (tick <= target) {
+      due.insert(key);
+    } else {
+      armed[keep++] = {key, tick};
+    }
+  }
+  armed.resize(keep);
+  return due;
+}
+
+TEST(TimerWheelProperty, RandomSweepMatchesReferenceModel) {
+  for (const std::uint64_t seed : {1ull, 7ull, 99ull, 12345ull}) {
+    const std::uint64_t granularity = 50;
+    const std::size_t slots = 16;  // small ring: laps happen constantly
+    TimerWheel wheel(granularity, slots);
+    Model model;
+    Lcg rng{seed};
+
+    std::uint64_t now_us = 0;
+    std::uint64_t cursor = 0;  // mirror of the wheel's processed tick
+    for (int step = 0; step < 400; ++step) {
+      // Arm a burst of 0..3 timers, deadlines up to 4 revolutions out
+      // (and occasionally in the past, which must clamp to cursor + 1).
+      const std::uint64_t burst = rng.below(4);
+      for (std::uint64_t b = 0; b < burst; ++b) {
+        const std::uint32_t key = static_cast<std::uint32_t>(rng.below(32));
+        const std::uint64_t horizon = granularity * slots * 4;
+        std::uint64_t deadline = now_us + rng.below(horizon);
+        if (rng.below(8) == 0 && now_us > 0) deadline = rng.below(now_us);
+        wheel.arm(key, deadline);
+        model.arm(key, expected_fire_tick(deadline, granularity, cursor));
+      }
+
+      // Advance by 0..2.5 revolutions (0 exercises the no-op path).
+      now_us += rng.below(granularity * slots * 5 / 2);
+      std::vector<std::uint32_t> due;
+      wheel.advance(now_us, due);
+      const std::uint64_t target = now_us / granularity;
+      if (target > cursor) cursor = target;
+
+      const std::multiset<std::uint32_t> got(due.begin(), due.end());
+      EXPECT_EQ(got, model.advance(cursor))
+          << "seed " << seed << " step " << step << " now " << now_us;
+      EXPECT_EQ(wheel.armed(), model.armed.size());
+    }
+  }
+}
+
+TEST(TimerWheelProperty, MultiLapDeadlineSurvivesEarlySlotVisits) {
+  const std::uint64_t granularity = 100;
+  const std::size_t slots = 8;
+  TimerWheel wheel(granularity, slots);
+  // Deadline 3.5 revolutions out: its slot comes up 3 times before it fires.
+  const std::uint64_t deadline = granularity * slots * 3 + granularity * 4;
+  wheel.arm(42, deadline);
+
+  std::vector<std::uint32_t> due;
+  for (std::uint64_t lap = 1; lap <= 3; ++lap) {
+    wheel.advance(granularity * slots * lap, due);
+    EXPECT_TRUE(due.empty()) << "fired a full lap early (lap " << lap << ")";
+    EXPECT_EQ(wheel.armed(), 1u);
+  }
+  wheel.advance(deadline, due);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 42u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelProperty, SingleAdvanceAcrossManyRevolutions) {
+  const std::uint64_t granularity = 10;
+  const std::size_t slots = 4;
+  TimerWheel wheel(granularity, slots);
+  wheel.arm(1, 15);                            // tick 2
+  wheel.arm(2, granularity * slots * 10);      // 10 laps out
+  wheel.arm(3, granularity * slots * 100);     // 100 laps out
+
+  // One giant jump (>> one revolution) must surface everything due without
+  // spinning per-tick, and must not lose the still-future entry.
+  std::vector<std::uint32_t> due;
+  wheel.advance(granularity * slots * 50, due);
+  std::sort(due.begin(), due.end());
+  EXPECT_EQ(due, (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(wheel.armed(), 1u);
+
+  due.clear();
+  wheel.advance(granularity * slots * 100, due);
+  EXPECT_EQ(due, (std::vector<std::uint32_t>{3}));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelProperty, DuplicateReArmsFireOncePerArm) {
+  TimerWheel wheel(10, 8);
+  wheel.arm(5, 25);  // tick 3
+  wheel.arm(5, 25);  // same key, same deadline: multiset semantics
+  wheel.arm(5, 85);  // tick 9, one lap later in slot 1
+  EXPECT_EQ(wheel.armed(), 3u);
+
+  std::vector<std::uint32_t> due;
+  wheel.advance(30, due);
+  EXPECT_EQ(due, (std::vector<std::uint32_t>{5, 5}));
+  due.clear();
+  wheel.advance(90, due);
+  EXPECT_EQ(due, (std::vector<std::uint32_t>{5}));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelProperty, DeadlineAtOrBehindCursorFiresNextTick) {
+  TimerWheel wheel(10, 8);
+  std::vector<std::uint32_t> due;
+  wheel.advance(50, due);  // cursor at tick 5
+  ASSERT_TRUE(due.empty());
+
+  wheel.arm(1, 50);  // exactly the cursor tick: already in the past
+  wheel.arm(2, 12);  // far behind the cursor
+  wheel.arm(3, 0);   // zero deadline
+  // None may fire at the current time...
+  wheel.advance(50, due);
+  EXPECT_TRUE(due.empty());
+  // ...all must fire at the very next tick.
+  wheel.advance(60, due);
+  std::sort(due.begin(), due.end());
+  EXPECT_EQ(due, (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(TimerWheelProperty, ExactTickBoundaryDoesNotRoundUp) {
+  TimerWheel wheel(10, 8);
+  wheel.arm(1, 30);  // exactly tick 3: fires once advance reaches tick 3
+  wheel.arm(2, 31);  // rounds up to tick 4
+  std::vector<std::uint32_t> due;
+  wheel.advance(29, due);
+  EXPECT_TRUE(due.empty());
+  wheel.advance(30, due);
+  EXPECT_EQ(due, (std::vector<std::uint32_t>{1}));
+  due.clear();
+  wheel.advance(39, due);
+  EXPECT_TRUE(due.empty());
+  wheel.advance(40, due);
+  EXPECT_EQ(due, (std::vector<std::uint32_t>{2}));
+}
+
+}  // namespace
+}  // namespace alpha::core

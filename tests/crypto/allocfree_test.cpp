@@ -1,8 +1,9 @@
 // Zero-allocation assertions for the signed-packet hot path. This binary
 // replaces global operator new/delete with counting versions (alloc_hook.hpp
 // must be included by exactly one TU per binary, hence the dedicated test
-// executable) and asserts that chain steps, one-shot hashes, prefix MACs and
-// cached HMACs never touch the heap.
+// executable) and asserts that chain steps, one-shot hashes, prefix MACs,
+// cached HMACs, trace-event recording and the UDP datagram loop never touch
+// the heap after warmup.
 #include "support/alloc_hook.hpp"
 
 #include <gtest/gtest.h>
@@ -10,6 +11,8 @@
 #include "crypto/hash.hpp"
 #include "crypto/mac.hpp"
 #include "hashchain/chain.hpp"
+#include "net/udp.hpp"
+#include "trace/trace.hpp"
 
 namespace alpha::crypto {
 namespace {
@@ -87,6 +90,54 @@ TEST(AllocFree, PrefixMacAndCachedHmac) {
     }
     EXPECT_EQ(delta, 0u) << to_string(algo);
   }
+}
+
+TEST(AllocFree, TraceEmitWithInstalledRing) {
+  // Recording a traced event is a masked index increment plus a 32-byte POD
+  // copy; with tracing enabled the hot path must stay allocation-free.
+  trace::Ring ring(1024);  // the only allocation happens here, up front
+  trace::install(&ring);
+  const trace::ScopedContext ctx(/*origin=*/2, /*time_us=*/1000);
+  trace::emit(trace::EventKind::kPacketSent, 1, 0, 1);
+  std::uint64_t delta;
+  {
+    const ScopedAllocCount allocs;
+    for (std::uint32_t i = 0; i < 5000; ++i) {  // wraps: 5000 > capacity
+      trace::emit(trace::EventKind::kPacketSent, 1, i, 1,
+                  trace::DropReason::kNone, i);
+    }
+    delta = allocs.delta();
+  }
+  trace::install(nullptr);
+  EXPECT_EQ(delta, 0u);
+  EXPECT_EQ(ring.total(), 5001u);
+}
+
+TEST(AllocFree, UdpSendReceiveLoop) {
+  // The receive path lands datagrams in a per-endpoint buffer allocated
+  // once (lazily, on first receive): after one warmup round trip the
+  // send/receive loop must not allocate per datagram.
+  net::UdpEndpoint a;
+  net::UdpEndpoint b;
+  const Bytes payload = pattern_bytes(512);
+
+  a.send_to(b.port(), payload);
+  auto warm = b.receive(1000);
+  ASSERT_TRUE(warm.has_value());
+  ASSERT_EQ(warm->data.size(), payload.size());
+
+  std::uint64_t delta;
+  {
+    const ScopedAllocCount allocs;
+    for (int i = 0; i < 50; ++i) {
+      a.send_to(b.port(), payload);
+      const auto got = b.receive(1000);
+      ASSERT_TRUE(got.has_value());
+      ASSERT_EQ(got->data.size(), payload.size());
+    }
+    delta = allocs.delta();
+  }
+  EXPECT_EQ(delta, 0u);
 }
 
 TEST(AllocFree, HookCountsAllocations) {

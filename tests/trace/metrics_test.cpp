@@ -1,0 +1,106 @@
+// Log2 histogram bucketing and the Prometheus text exporter.
+#include "trace/metrics.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace alpha::metrics {
+namespace {
+
+TEST(Histogram, BucketIndexIsBitWidth) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index((1ull << 10) - 1), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1ull << 10), 11u);
+  EXPECT_EQ(Histogram::bucket_index(~0ull), 64u);
+}
+
+TEST(Histogram, UpperBoundsMatchBucketIndex) {
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t ub = Histogram::upper_bound(i);
+    // The upper bound itself lands in bucket i...
+    EXPECT_EQ(Histogram::bucket_index(ub), i) << i;
+    // ...and the next value lands strictly above it.
+    if (ub != ~0ull) {
+      EXPECT_EQ(Histogram::bucket_index(ub + 1), i + 1) << i;
+    }
+  }
+}
+
+TEST(Histogram, CountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  h.record(10);
+  h.record(3);
+  h.record(500);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 513u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 500u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(10)), 1u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(3)), 1u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(500)), 1u);
+}
+
+TEST(Histogram, ZeroGoesToBucketZero) {
+  Histogram h;
+  h.record(0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+std::string render(const Registry& registry) {
+  std::FILE* f = std::tmpfile();
+  registry.write_prometheus(f);
+  std::rewind(f);
+  std::string out;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) out.push_back(static_cast<char>(c));
+  std::fclose(f);
+  return out;
+}
+
+TEST(Registry, CountersExportWithLabels) {
+  Registry registry;
+  registry.counter("alpha_messages_delivered", "assoc=\"1\"") = 12;
+  registry.counter("alpha_messages_delivered", "assoc=\"2\"") = 7;
+  registry.counter("alpha_plain") = 3;
+  const std::string out = render(registry);
+  EXPECT_NE(out.find("alpha_messages_delivered{assoc=\"1\"} 12"),
+            std::string::npos);
+  EXPECT_NE(out.find("alpha_messages_delivered{assoc=\"2\"} 7"),
+            std::string::npos);
+  EXPECT_NE(out.find("alpha_plain 3"), std::string::npos);
+}
+
+TEST(Registry, HistogramExportsCumulativeBuckets) {
+  Registry registry;
+  Histogram& h = registry.histogram("alpha_rtt_us", "assoc=\"1\"");
+  h.record(1);    // bucket le=1
+  h.record(3);    // bucket le=3
+  h.record(3);
+  h.record(100);  // bucket le=127
+  const std::string out = render(registry);
+  // Cumulative counts: le="1" -> 1, le="3" -> 3, le="127" -> 4, +Inf -> 4.
+  EXPECT_NE(out.find("alpha_rtt_us_bucket{assoc=\"1\",le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(out.find("alpha_rtt_us_bucket{assoc=\"1\",le=\"3\"} 3"),
+            std::string::npos);
+  EXPECT_NE(out.find("alpha_rtt_us_bucket{assoc=\"1\",le=\"127\"} 4"),
+            std::string::npos);
+  EXPECT_NE(out.find("alpha_rtt_us_bucket{assoc=\"1\",le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(out.find("alpha_rtt_us_sum{assoc=\"1\"} 107"), std::string::npos);
+  EXPECT_NE(out.find("alpha_rtt_us_count{assoc=\"1\"} 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alpha::metrics

@@ -1,0 +1,186 @@
+// Ring semantics, string tables and the JSONL writer.
+#include "trace/trace.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace alpha::trace {
+namespace {
+
+Event make_event(std::uint32_t seq) {
+  Event e;
+  e.time_us = 1000 + seq;
+  e.detail = seq * 7;
+  e.assoc_id = 42;
+  e.seq = seq;
+  e.kind = EventKind::kPacketSent;
+  e.packet_type = 1;
+  e.origin = 3;
+  return e;
+}
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(Ring(1).capacity(), 2u);  // floor of 2 slots
+  EXPECT_EQ(Ring(2).capacity(), 2u);
+  EXPECT_EQ(Ring(3).capacity(), 4u);
+  EXPECT_EQ(Ring(5).capacity(), 8u);
+  EXPECT_EQ(Ring(1000).capacity(), 1024u);
+}
+
+TEST(TraceRing, RetainsInOrderBeforeWrap) {
+  Ring ring(8);
+  for (std::uint32_t i = 0; i < 5; ++i) ring.record(make_event(i));
+  ASSERT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.total(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(ring.at(i).seq, i);
+}
+
+TEST(TraceRing, OverwritesOldestAfterWrap) {
+  Ring ring(4);
+  for (std::uint32_t i = 0; i < 11; ++i) ring.record(make_event(i));
+  ASSERT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total(), 11u);
+  // Oldest retained is total - capacity = 7; order is preserved.
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(ring.at(i).seq, 7 + i);
+}
+
+TEST(TraceRing, ClearResets) {
+  Ring ring(4);
+  for (std::uint32_t i = 0; i < 9; ++i) ring.record(make_event(i));
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.total(), 0u);
+}
+
+TEST(TraceEmit, NoopWithoutSink) {
+  install(nullptr);
+  EXPECT_FALSE(enabled());
+  emit(EventKind::kPacketSent, 1, 2, 3);  // must not crash
+}
+
+TEST(TraceEmit, StampsFromScopedContext) {
+  Ring ring(16);
+  install(&ring);
+  {
+    const ScopedContext outer(/*origin=*/4, /*time_us=*/500);
+    emit(EventKind::kPacketSent, 9, 1, 1);
+    {
+      const ScopedContext inner(/*origin=*/7, /*time_us=*/900);
+      emit(EventKind::kPacketDropped, 9, 2, 2, DropReason::kBadMac, 5);
+    }
+    emit(EventKind::kDelivered, 9, 3, 3);  // outer context restored
+  }
+  install(nullptr);
+
+  ASSERT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.at(0).origin, 4);
+  EXPECT_EQ(ring.at(0).time_us, 500u);
+  EXPECT_EQ(ring.at(1).origin, 7);
+  EXPECT_EQ(ring.at(1).time_us, 900u);
+  EXPECT_EQ(ring.at(1).reason, DropReason::kBadMac);
+  EXPECT_EQ(ring.at(1).detail, 5u);
+  EXPECT_EQ(ring.at(2).origin, 4);
+  EXPECT_EQ(ring.at(2).time_us, 500u);
+}
+
+TEST(TraceDetail, NetDetailPackUnpack) {
+  const std::uint64_t d = pack_net_detail(0xABCDEF, 0x1234, 1500);
+  EXPECT_EQ(net_detail_from(d), 0xABCDEFu);
+  EXPECT_EQ(net_detail_to(d), 0x1234u);
+  EXPECT_EQ(net_detail_size(d), 1500u);
+  // Size clamps at 24 bits instead of bleeding into the address fields.
+  const std::uint64_t big = pack_net_detail(1, 2, std::size_t{1} << 32);
+  EXPECT_EQ(net_detail_from(big), 1u);
+  EXPECT_EQ(net_detail_to(big), 2u);
+  EXPECT_EQ(net_detail_size(big), 0xFFFFFFu);
+}
+
+TEST(TraceStrings, KindRoundTrips) {
+  for (int k = 0; k <= 17; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    const std::string s = to_string(kind);
+    EXPECT_EQ(kind_from_string(s), kind) << s;
+  }
+  EXPECT_EQ(kind_from_string("no_such_kind"), EventKind::kNone);
+}
+
+TEST(TraceStrings, ReasonRoundTrips) {
+  for (int r = 0; r <= 18; ++r) {
+    const auto reason = static_cast<DropReason>(r);
+    const std::string s = to_string(reason);
+    EXPECT_EQ(reason_from_string(s), reason) << s;
+  }
+  EXPECT_EQ(reason_from_string("no_such_reason"), DropReason::kNone);
+}
+
+TEST(TraceStrings, PacketTypeNames) {
+  EXPECT_STREQ(packet_type_name(0), "-");
+  EXPECT_STREQ(packet_type_name(1), "s1");
+  EXPECT_STREQ(packet_type_name(2), "a1");
+  EXPECT_STREQ(packet_type_name(3), "s2");
+  EXPECT_STREQ(packet_type_name(4), "a2");
+  EXPECT_STREQ(packet_type_name(5), "hs1");
+  EXPECT_STREQ(packet_type_name(6), "hs2");
+  EXPECT_STREQ(packet_type_name(200), "-");
+}
+
+std::vector<std::string> jsonl_lines(const Ring& ring) {
+  std::FILE* f = std::tmpfile();
+  write_jsonl(ring, f);
+  std::rewind(f);
+  std::vector<std::string> lines;
+  std::string cur;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(static_cast<char>(c));
+    }
+  }
+  std::fclose(f);
+  return lines;
+}
+
+TEST(TraceJsonl, OneLinePerEventWithTaxonomyFields) {
+  Ring ring(8);
+  Event drop = make_event(2);
+  drop.kind = EventKind::kPacketDropped;
+  drop.reason = DropReason::kStaleChainIndex;
+  ring.record(make_event(1));
+  ring.record(drop);
+
+  const auto lines = jsonl_lines(ring);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"kind\":\"packet_sent\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"assoc\":42"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"type\":\"s1\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\":\"packet_dropped\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"reason\":\"stale_chain_index\""),
+            std::string::npos);
+}
+
+TEST(TraceJsonl, NetEventsDecodeFromToSize) {
+  Ring ring(8);
+  Event e;
+  e.time_us = 77;
+  e.kind = EventKind::kNetDropped;
+  e.reason = DropReason::kLost;
+  e.detail = pack_net_detail(11, 22, 333);
+  ring.record(e);
+
+  const auto lines = jsonl_lines(ring);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"kind\":\"net_dropped\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"reason\":\"lost\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"from\":11"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"to\":22"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"size\":333"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alpha::trace

@@ -322,6 +322,58 @@ TEST(PeekTest, AssocIdRejectsGarbage) {
   EXPECT_FALSE(peek_assoc_id(type_zero).has_value());
 }
 
+TEST(FrameChecksumTest, MatchesIeeeCrc32Vector) {
+  const char* msg = "123456789";
+  const ByteView v{reinterpret_cast<const std::uint8_t*>(msg), 9};
+  EXPECT_EQ(frame_checksum(v), 0xcbf43926u);
+}
+
+TEST(FrameChecksumTest, EverySingleBitFlipIsRejected) {
+  // CRC-32 detects all single-bit errors, so no corrupted frame -- header,
+  // body or trailer -- may survive to engine state. This is load-bearing
+  // for fields that are unauthenticated on arrival by design (the A1's
+  // pre-ack commitments, only checkable once the A2 discloses the key).
+  A1Packet p;
+  p.hdr = {9, 4};
+  p.ack_chain_index = 17;
+  p.ack_element = digest_of(0x31);
+  p.scheme = AckScheme::kPreAck;
+  p.pre_acks = {digest_of(0x41), digest_of(0x42)};
+  p.pre_nacks = {digest_of(0x51), digest_of(0x52)};
+  const Bytes base = p.encode();
+  ASSERT_TRUE(decode(base).has_value());
+
+  for (std::size_t byte = 0; byte < base.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated = base;
+      mutated[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_FALSE(decode(mutated).has_value())
+          << "accepted flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(FrameChecksumTest, ResealedMutationDecodesAgain) {
+  // The trailer is what rejects, not an accident of body parsing: patch a
+  // payload byte, recompute the CRC, and the frame is well-formed again.
+  S2Packet p;
+  p.hdr = {3, 8};
+  p.disclosed_element = digest_of(0x61);
+  p.payload = Bytes(24, 0xee);
+  Bytes frame = p.encode();
+  frame[frame.size() - kFrameChecksumSize - 1] ^= 0xff;
+  EXPECT_FALSE(decode(frame).has_value());
+
+  const ByteView body{frame.data(), frame.size() - kFrameChecksumSize};
+  const std::uint32_t crc = frame_checksum(body);
+  for (std::size_t i = 0; i < kFrameChecksumSize; ++i) {
+    frame[body.size() + i] = static_cast<std::uint8_t>(crc >> (24 - 8 * i));
+  }
+  const auto decoded = decode(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_NE(std::get<S2Packet>(*decoded).payload, p.payload);
+}
+
 TEST(DecodeRobustnessTest, RejectsGarbage) {
   EXPECT_FALSE(decode({}).has_value());
   const Bytes junk{0xff, 0xff, 0xff};

@@ -1,10 +1,18 @@
-// alpha_inspect -- decode and pretty-print an ALPHA packet from hex.
+// alpha_inspect -- decode and pretty-print an ALPHA packet from hex, or
+// render a JSONL protocol event trace (alpha_sim --trace) as a
+// per-association timeline plus a drop-reason summary table.
 //
 //   $ alpha_inspect --hex 0101000000010000000701...
 //   $ some_capture | alpha_inspect --stdin
+//   $ alpha_sim --trace run.jsonl ... && alpha_inspect --trace run.jsonl
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "flags.hpp"
 #include "wire/packets.hpp"
@@ -145,14 +153,178 @@ int inspect(const std::string& hex) {
   return 0;
 }
 
+// ----------------------------------------------------------- trace decode
+
+// One line of the JSONL schema written by trace::write_jsonl. Parsed with
+// plain string scanning: the writer emits a fixed flat object per line, so
+// a JSON library would be dead weight here.
+struct TraceLine {
+  std::uint64_t t = 0;
+  std::uint64_t origin = 0;
+  std::string kind;
+  std::uint32_t assoc = 0;
+  std::uint32_t seq = 0;
+  std::string type;
+  std::string reason;
+  std::uint64_t detail = 0;
+  bool has_net = false;
+  std::uint64_t from = 0, to = 0, size = 0;
+};
+
+std::string find_string_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return {};
+  const auto start = pos + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return {};
+  return line.substr(start, end - start);
+}
+
+bool find_num_field(const std::string& line, const std::string& key,
+                    std::uint64_t& out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* p = line.c_str() + pos + needle.size();
+  if (*p < '0' || *p > '9') return false;
+  out = std::strtoull(p, nullptr, 10);
+  return true;
+}
+
+bool parse_trace_line(const std::string& line, TraceLine& ev) {
+  ev.kind = find_string_field(line, "kind");
+  if (ev.kind.empty()) return false;
+  ev.type = find_string_field(line, "type");
+  ev.reason = find_string_field(line, "reason");
+  find_num_field(line, "t", ev.t);
+  find_num_field(line, "origin", ev.origin);
+  std::uint64_t n = 0;
+  if (find_num_field(line, "assoc", n)) {
+    ev.assoc = static_cast<std::uint32_t>(n);
+  }
+  if (find_num_field(line, "seq", n)) ev.seq = static_cast<std::uint32_t>(n);
+  find_num_field(line, "detail", ev.detail);
+  ev.has_net = find_num_field(line, "from", ev.from);
+  find_num_field(line, "to", ev.to);
+  find_num_field(line, "size", ev.size);
+  return true;
+}
+
+int inspect_trace(const std::string& path) {
+  std::ifstream f{path};
+  if (!f) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<TraceLine> events;
+  std::string line;
+  std::size_t bad_lines = 0;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    TraceLine ev;
+    if (parse_trace_line(line, ev)) {
+      events.push_back(std::move(ev));
+    } else {
+      ++bad_lines;
+    }
+  }
+  if (events.empty()) {
+    std::fprintf(stderr, "%s: no trace events\n", path.c_str());
+    return 1;
+  }
+
+  // Per-association timeline (assoc 0 collects events with no association
+  // context, e.g. malformed-header drops).
+  std::map<std::uint32_t, std::vector<const TraceLine*>> by_assoc;
+  for (const auto& ev : events) by_assoc[ev.assoc].push_back(&ev);
+  for (const auto& [assoc, evs] : by_assoc) {
+    if (assoc == 0) {
+      std::printf("== no association context (%zu events) ==\n", evs.size());
+    } else {
+      std::printf("== association %u (%zu events) ==\n", assoc, evs.size());
+    }
+    for (const TraceLine* ev : evs) {
+      std::printf("%12.3f ms  node %-3llu %-18s", ev->t / 1000.0,
+                  static_cast<unsigned long long>(ev->origin),
+                  ev->kind.c_str());
+      if (!ev->type.empty() && ev->type != "-") {
+        std::printf(" %-3s", ev->type.c_str());
+      } else {
+        std::printf("    ");
+      }
+      std::printf(" seq=%u", ev->seq);
+      if (!ev->reason.empty() && ev->reason != "none") {
+        std::printf(" reason=%s", ev->reason.c_str());
+      }
+      if (ev->has_net) {
+        std::printf(" %llu->%llu %lluB",
+                    static_cast<unsigned long long>(ev->from),
+                    static_cast<unsigned long long>(ev->to),
+                    static_cast<unsigned long long>(ev->size));
+      } else if (ev->detail != 0) {
+        std::printf(" detail=%llu",
+                    static_cast<unsigned long long>(ev->detail));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  // Drop-reason summary: every non-delivered packet attributed to a reason.
+  std::map<std::string, std::uint64_t> engine_drops;
+  std::map<std::string, std::uint64_t> net_drops;
+  std::uint64_t net_delivered = 0, net_duplicated = 0;
+  for (const auto& ev : events) {
+    if (ev.kind == "packet_dropped") ++engine_drops[ev.reason];
+    if (ev.kind == "net_dropped") ++net_drops[ev.reason];
+    if (ev.kind == "net_delivered") ++net_delivered;
+    if (ev.kind == "net_duplicated") ++net_duplicated;
+  }
+  std::printf("== drop reasons ==\n");
+  std::printf("%-24s %10s %10s\n", "reason", "network", "engines");
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> merged;
+  for (const auto& [reason, n] : net_drops) merged[reason].first = n;
+  for (const auto& [reason, n] : engine_drops) merged[reason].second = n;
+  std::uint64_t net_total = 0, engine_total = 0;
+  for (const auto& [reason, counts] : merged) {
+    std::printf("%-24s %10llu %10llu\n", reason.c_str(),
+                static_cast<unsigned long long>(counts.first),
+                static_cast<unsigned long long>(counts.second));
+    net_total += counts.first;
+    engine_total += counts.second;
+  }
+  std::printf("%-24s %10llu %10llu\n", "total",
+              static_cast<unsigned long long>(net_total),
+              static_cast<unsigned long long>(engine_total));
+  std::printf("\n== packet fate ==\n");
+  std::printf("network sends:   %llu (%llu delivered, %llu dropped, "
+              "%llu chaos duplicates)\n",
+              static_cast<unsigned long long>(net_delivered + net_total),
+              static_cast<unsigned long long>(net_delivered),
+              static_cast<unsigned long long>(net_total),
+              static_cast<unsigned long long>(net_duplicated));
+  if (bad_lines > 0) {
+    std::fprintf(stderr, "warning: %zu undecodable trace lines\n", bad_lines);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  tools::Flags flags{"alpha_inspect", "decode an ALPHA packet from hex"};
+  tools::Flags flags{"alpha_inspect",
+                     "decode an ALPHA packet from hex or a JSONL trace"};
   flags.define("hex", "", "packet bytes as a hex string");
   flags.define("stdin", "false", "read hex lines from stdin");
+  flags.define("trace", "",
+               "decode a JSONL event trace (alpha_sim --trace) into a "
+               "timeline and drop-reason table");
   flags.parse(argc, argv);
 
+  if (!flags.str("trace").empty()) {
+    return inspect_trace(flags.str("trace"));
+  }
   if (flags.flag("stdin")) {
     std::string line;
     int rc = 0;

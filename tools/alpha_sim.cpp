@@ -10,11 +10,14 @@
 //               --loss 0.1 --reliable --assocs 16
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <string>
 
 #include "core/node.hpp"
 #include "flags.hpp"
 #include "net/network.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 using namespace alpha;
 
@@ -79,7 +82,10 @@ int main(int argc, char** argv) {
                "cut the middle link: start,duration (seconds)");
   flags.define("chaos-seed", "0",
                "fault-schedule seed (0 = derive from --seed)");
-  flags.define("trace", "false", "print a per-frame timeline to stderr");
+  flags.define("trace", "", "write a JSONL protocol event trace to FILE");
+  flags.define("timeline", "false", "print a per-frame timeline to stderr");
+  flags.define("metrics", "false",
+               "print Prometheus-style per-association metrics to stdout");
   flags.define("identity", "",
                "private key file (alpha_keygen) signing the handshake");
   flags.define("require-protected", "false",
@@ -148,7 +154,16 @@ int main(int argc, char** argv) {
         static_cast<net::SimTime>(duration_s * net::kSecond));
   }
 
-  if (flags.flag("trace")) {
+  // Typed event trace: install a ring large enough that a smoke-size chaos
+  // run cannot wrap it, dump as JSONL at exit (alpha_inspect decodes it).
+  std::optional<trace::Ring> trace_ring;
+  const std::string trace_path = flags.str("trace");
+  if (!trace_path.empty()) {
+    trace_ring.emplace(std::size_t{1} << 18);
+    trace::install(&*trace_ring);
+  }
+
+  if (flags.flag("timeline")) {
     network.set_tracer([](const net::Network::TraceRecord& rec) {
       const char* fate = rec.fate == net::Network::FrameFate::kDelivered
                              ? (rec.corrupted ? "~>" : "->")
@@ -219,14 +234,43 @@ int main(int argc, char** argv) {
   core::AlphaNode::Options init_opts;
   init_opts.config = config;
   init_opts.seed = seed + 77;
+  init_opts.trace_origin = 0;
   std::size_t failed_deliveries = 0;
+
+  const bool want_metrics = flags.flag("metrics");
+  metrics::Registry registry;
+  std::map<std::uint64_t, std::uint64_t> submit_time_us;  // cookie -> t
+  std::map<std::uint32_t, std::uint64_t> hs_start_us;     // assoc -> t
+  const auto assoc_label = [](std::uint32_t assoc_id) {
+    return "assoc=\"" + std::to_string(assoc_id) + "\"";
+  };
+
   core::AlphaNode::Callbacks init_cbs;
-  init_cbs.on_delivery = [&](std::uint32_t, std::uint64_t,
+  init_cbs.on_delivery = [&](std::uint32_t assoc_id, std::uint64_t cookie,
                              core::DeliveryStatus status) {
     if (status == core::DeliveryStatus::kAcked) ++acked;
     // Budget exhaustion under an adversarial schedule: the signer reports
     // the round failed instead of retransmitting forever.
     if (status == core::DeliveryStatus::kFailed) ++failed_deliveries;
+    if (want_metrics) {
+      if (const auto it = submit_time_us.find(cookie);
+          it != submit_time_us.end()) {
+        if (status == core::DeliveryStatus::kAcked) {
+          registry
+              .histogram("alpha_round_latency_us", assoc_label(assoc_id))
+              .record(sim.now() - it->second);
+        }
+        submit_time_us.erase(it);
+      }
+    }
+  };
+  init_cbs.on_established = [&](std::uint32_t assoc_id) {
+    if (!want_metrics) return;
+    if (const auto it = hs_start_us.find(assoc_id); it != hs_start_us.end()) {
+      registry.histogram("alpha_handshake_rtt_us", assoc_label(assoc_id))
+          .record(sim.now() - it->second);
+      hs_start_us.erase(it);
+    }
   };
   core::AlphaNode initiator_node{
       std::make_unique<net::SimTransport>(network, 0), init_opts, init_cbs};
@@ -235,6 +279,7 @@ int main(int argc, char** argv) {
   core::AlphaNode::Options relay_node_opts;
   relay_node_opts.config = config;
   for (net::NodeId id = 1; id < hops; ++id) {
+    relay_node_opts.trace_origin = static_cast<std::uint8_t>(id);
     auto node = std::make_unique<core::AlphaNode>(
         std::make_unique<net::SimTransport>(network, id), relay_node_opts);
     node->add_relay(/*upstream=*/id - 1, /*downstream=*/id + 1);
@@ -245,6 +290,7 @@ int main(int argc, char** argv) {
   resp_opts.config = config;
   resp_opts.seed = seed + 78;
   resp_opts.accept_inbound = true;
+  resp_opts.trace_origin = static_cast<std::uint8_t>(hops);
   resp_opts.accept_host_options = responder_opts;
   // Forgery oracle: every genuine payload is msg_size bytes of one repeated
   // value, so anything else that reaches the application is a forgery the
@@ -271,6 +317,7 @@ int main(int argc, char** argv) {
     const auto assoc_id = static_cast<std::uint32_t>(a + 1);
     initiator_node.add_initiator(assoc_id, /*peer=*/1, config,
                                  initiator_opts);
+    if (want_metrics) hs_start_us.emplace(assoc_id, sim.now());
     initiator_node.start(assoc_id);
   }
   sim.run_until(30 * net::kSecond);
@@ -303,9 +350,11 @@ int main(int argc, char** argv) {
   const net::SimTime t0 = sim.now();
   for (std::size_t i = 0; i < messages; ++i) {
     for (std::size_t a = 0; a < assocs; ++a) {
-      initiator_node.submit(static_cast<std::uint32_t>(a + 1),
-                            crypto::Bytes(msg_size,
-                                          static_cast<std::uint8_t>(i)));
+      const std::uint64_t cookie =
+          initiator_node.submit(static_cast<std::uint32_t>(a + 1),
+                                crypto::Bytes(msg_size,
+                                              static_cast<std::uint8_t>(i)));
+      if (want_metrics) submit_time_us.emplace(cookie, sim.now());
     }
   }
   net::SimTime last_progress = sim.now();
@@ -407,6 +456,61 @@ int main(int argc, char** argv) {
                     init_snap.replayed_handshakes +
                     resp_snap.replayed_handshakes),
                 forged, static_cast<unsigned long long>(failed_assocs));
+  }
+  if (want_metrics) {
+    // Per-association counters from both end snapshots; the latency/RTT
+    // histograms filled during the run ride along in the same registry.
+    for (const auto& as : init_snap.assocs) {
+      const std::string labels = assoc_label(as.assoc_id);
+      registry.counter("alpha_messages_submitted", labels) =
+          as.signer.messages_submitted;
+      registry.counter("alpha_rounds_completed", labels) =
+          as.signer.rounds_completed;
+      registry.counter("alpha_rounds_failed", labels) =
+          as.signer.rounds_failed;
+      registry.counter("alpha_rekeys_started", labels) = as.rekeys_started;
+      registry.counter("alpha_hs_retransmits", labels) = as.hs_retransmits;
+      registry.counter("alpha_corrupt_frames", labels) = as.corrupt_frames;
+      registry.counter("alpha_replayed_handshakes", labels) =
+          as.replayed_handshakes;
+      registry.counter("alpha_duplicate_handshakes", labels) =
+          as.duplicate_handshakes;
+      const std::uint64_t packets = as.signer.s1_sent + as.signer.s2_sent;
+      if (packets > 0) {
+        registry.histogram("alpha_signer_hash_ops_per_packet", labels)
+            .record(as.signer.hashes.total() / packets);
+      }
+      registry.histogram("alpha_retransmits", labels)
+          .record(as.signer.s1_retransmits + as.signer.s2_retransmits);
+    }
+    for (const auto& as : resp_snap.assocs) {
+      const std::string labels = assoc_label(as.assoc_id);
+      registry.counter("alpha_messages_delivered", labels) =
+          as.verifier.messages_delivered;
+      registry.counter("alpha_invalid_packets", labels) =
+          as.verifier.invalid_packets;
+      registry.counter("alpha_duplicate_packets", labels) =
+          as.verifier.duplicate_packets;
+      const std::uint64_t packets =
+          as.verifier.s1_accepted + as.verifier.s2_accepted;
+      if (packets > 0) {
+        registry.histogram("alpha_verifier_hash_ops_per_packet", labels)
+            .record(as.verifier.hashes.total() / packets);
+      }
+    }
+    std::printf("== metrics ==\n");
+    registry.write_prometheus(stdout);
+  }
+  if (trace_ring.has_value()) {
+    trace::install(nullptr);
+    if (!trace::write_jsonl(*trace_ring, trace_path)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace: %zu events (%llu recorded) -> %s\n",
+                 trace_ring->size(),
+                 static_cast<unsigned long long>(trace_ring->total()),
+                 trace_path.c_str());
   }
   if (forged > 0) {
     std::fprintf(stderr, "FORGERY: %zu unauthentic payloads accepted\n",
