@@ -66,8 +66,19 @@ Timing measure(std::size_t hops, bool reliable, net::SimTime hop_latency) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_latency.json";
+  if (argc > 1) out_path = argv[1];
+
   header("Latency in round-trip times: ALPHA delivery/ack vs. baselines");
+
+  JsonWriter json;
+  json.begin_object()
+      .field("bench", "latency_rtt")
+      .field("schema_version", 1)
+      .field("hop_latency_ms", 10)
+      .key("results")
+      .begin_array();
 
   std::printf("\n%-34s %14s %14s\n", "configuration", "delivery (RTT)",
               "ack (RTT)");
@@ -78,6 +89,18 @@ int main() {
                 unrel.delivery_rtt, "-");
     std::printf("%zu hop(s), reliable (pre-acks)   %14.2f %14.2f\n", hops,
                 rel.delivery_rtt, rel.ack_rtt);
+    json.begin_object()
+        .field("hops", static_cast<std::uint64_t>(hops))
+        .field("reliable", false)
+        .field("delivery_rtt", unrel.delivery_rtt)
+        .field("ack_rtt", 0.0)
+        .end_object();
+    json.begin_object()
+        .field("hops", static_cast<std::uint64_t>(hops))
+        .field("reliable", true)
+        .field("delivery_rtt", rel.delivery_rtt)
+        .field("ack_rtt", rel.ack_rtt)
+        .end_object();
   }
   std::printf("\npaper: delivery >= 1.5 RTT (S1-A1-S2); pre-acks confirm in "
               "2 RTT instead of the naive 3 RTT (six-packet exchange).\n");
@@ -104,5 +127,19 @@ int main() {
               "after 20 ms verified at t=%.0f ms -> %.1f RTT of latency vs. "
               "ALPHA's 1.5.\n",
               verified_at / 1000.0, verified_at / 20'000.0);
+
+  json.end_array()
+      .key("tesla_baseline")
+      .begin_object()
+      .field("epoch_ms", 100)
+      .field("disclosure_delay", 2)
+      .field("verification_rtt", verified_at / 20'000.0)
+      .end_object()
+      .end_object();
+  if (!json.write_file(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

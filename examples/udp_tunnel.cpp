@@ -6,15 +6,38 @@
 // wheel, and dispatches frames by association id. Node B pre-provisions
 // nothing -- it accepts the inbound handshake on demand.
 //
+// With --metrics-port N (0 = ephemeral) endpoint A also serves live
+// /metrics and /healthz on 127.0.0.1 while the tunnel runs, and
+// --serve-seconds S keeps the process (and the endpoint) alive after the
+// exchange so a scraper can observe the final state.
+//
 //   $ ./udp_tunnel
+//   $ ./udp_tunnel --metrics-port 0 --serve-seconds 5
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 
 #include "core/node.hpp"
+#include "trace/health.hpp"
+#include "trace/metrics.hpp"
+#include "trace/spans.hpp"
+#include "trace/telemetry.hpp"
 
 using namespace alpha;
 
-int main() {
+int main(int argc, char** argv) {
+  int metrics_port = -1;  // -1 = no telemetry endpoint (default)
+  int serve_seconds = 0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-port") == 0) {
+      metrics_port = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--serve-seconds") == 0) {
+      serve_seconds = std::atoi(argv[i + 1]);
+    }
+  }
+
   std::printf("== ALPHA over UDP (127.0.0.1) ==\n");
 
   core::Config config;
@@ -51,6 +74,68 @@ int main() {
   std::printf("endpoint A on port %u, endpoint B on port %u\n", port(node_a),
               port(node_b));
 
+  // Optional live telemetry: trace ring -> span builder -> registry,
+  // health monitor over both nodes' snapshots, HTTP endpoint polled from
+  // the same loop that pumps the sockets (no extra thread).
+  std::unique_ptr<trace::Ring> ring;
+  metrics::Registry registry;
+  trace::SpanBuilder spans{&registry};
+  trace::HealthMonitor health;
+  std::unique_ptr<trace::TelemetryServer> telemetry;
+  const auto start_time = std::chrono::steady_clock::now();
+  const auto now_us = [&] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_time)
+            .count());
+  };
+  const auto refresh = [&] {
+    if (!ring) return;
+    spans.ingest_new(*ring);
+    const auto snap_a = node_a.snapshot(true);
+    const auto snap_b = node_b.snapshot(true);
+    registry.counter("alpha_messages_delivered") = snap_b.messages_delivered;
+    registry.counter("alpha_frames_in") = snap_a.frames_in + snap_b.frames_in;
+    registry.counter("alpha_frames_out") =
+        snap_a.frames_out + snap_b.frames_out;
+    std::vector<trace::AssocHealthSample> samples;
+    for (const auto& a : snap_a.assocs) {
+      trace::AssocHealthSample s;
+      s.assoc_id = a.assoc_id;
+      s.established = a.established;
+      s.failed = a.failed;
+      s.round_active = a.round_active;
+      s.round_seq = a.round_seq;
+      s.round_retries = a.round_retries;
+      s.rekeys_started = a.rekeys_started;
+      samples.push_back(s);
+    }
+    health.observe(samples, now_us(), ring->dropped());
+  };
+  if (metrics_port >= 0) {
+    ring = std::make_unique<trace::Ring>(1 << 14);
+    trace::install(ring.get());
+    trace::TelemetryServer::Options t_opts;
+    t_opts.port = static_cast<std::uint16_t>(metrics_port);
+    telemetry = std::make_unique<trace::TelemetryServer>(
+        t_opts,
+        [&] {
+          refresh();
+          return registry.render_prometheus();
+        },
+        [&] {
+          refresh();
+          return std::make_pair(health.http_status(), health.healthz_json());
+        });
+    if (!telemetry->ok()) {
+      std::fprintf(stderr, "cannot bind metrics port %d\n", metrics_port);
+      return 1;
+    }
+    std::fprintf(stderr, "telemetry: serving on 127.0.0.1:%u\n",
+                 telemetry->port());
+    std::fflush(stderr);
+  }
+
   node_a.add_initiator(/*assoc_id=*/1, /*peer=*/port(node_b), config);
   node_a.start(1);
   const auto payload = crypto::as_bytes("datagram over real sockets");
@@ -61,6 +146,7 @@ int main() {
   while (!done && std::chrono::steady_clock::now() < deadline) {
     node_a.poll(5);
     node_b.poll(5);
+    if (telemetry) telemetry->poll(0);
   }
 
   std::printf("established: %s / %s\n",
@@ -78,5 +164,15 @@ int main() {
               static_cast<unsigned long long>(snap.frames_in),
               static_cast<unsigned long long>(snap.accepted_handshakes),
               static_cast<unsigned long long>(snap.demux_misses));
+  if (telemetry && serve_seconds > 0) {
+    refresh();
+    std::printf("serving telemetry for %ds...\n", serve_seconds);
+    const auto serve_until = std::chrono::steady_clock::now() +
+                             std::chrono::seconds(serve_seconds);
+    while (std::chrono::steady_clock::now() < serve_until) {
+      telemetry->poll(100);
+    }
+  }
+  trace::install(nullptr);
   return at_b.size() == 1 && done ? 0 : 1;
 }

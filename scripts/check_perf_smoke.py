@@ -15,7 +15,13 @@ with a trace ring installed for the whole run (--traced) -- and enforces:
      regression moves the whole distribution. The trace_emit row is the
      instrument itself, not an instrumented path, so it is excluded.
 
+With --latency it instead validates a bench_latency_rtt JSON artifact
+(BENCH_latency.json): schema shape, delivery >= 1.5 RTT within tolerance of
+the paper's minimum, reliable ack ~2 RTT, and a TESLA baseline that is
+RTT-bound (worse than ALPHA).
+
 Usage: check_perf_smoke.py UNTRACED.json TRACED.json
+       check_perf_smoke.py --latency BENCH_latency.json
 """
 
 import json
@@ -56,9 +62,52 @@ def check_allocs(label: str, rows: list) -> None:
                      f"(amortized limit {AMORTIZED_MAX})")
 
 
+def check_latency(path: str) -> None:
+    doc = json.load(open(path))
+    if doc.get("bench") != "latency_rtt":
+        fail(f"{path}: bench != latency_rtt")
+    if doc.get("schema_version") != 1:
+        fail(f"{path}: unknown schema_version {doc.get('schema_version')}")
+    rows = doc.get("results")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path}: empty results")
+    hops_seen = set()
+    for row in rows:
+        for key in ("hops", "reliable", "delivery_rtt", "ack_rtt"):
+            if key not in row:
+                fail(f"{path}: result row missing {key}")
+        hops, reliable = row["hops"], row["reliable"]
+        hops_seen.add(hops)
+        delivery, ack = row["delivery_rtt"], row["ack_rtt"]
+        # The paper's floor is 1.5 RTT (S1-A1-S2); the simulator adds a
+        # polling-granularity epsilon on top, shrinking with hop count.
+        if not 1.5 <= delivery <= 1.65:
+            fail(f"{path}: {hops}-hop delivery {delivery} RTT outside "
+                 f"[1.5, 1.65]")
+        if reliable and not 2.0 <= ack <= 2.15:
+            fail(f"{path}: {hops}-hop reliable ack {ack} RTT outside "
+                 f"[2.0, 2.15]")
+        if not reliable and ack != 0:
+            fail(f"{path}: unreliable row reports an ack RTT")
+    if not {1, 2, 4} <= hops_seen:
+        fail(f"{path}: expected 1/2/4-hop rows, got {sorted(hops_seen)}")
+    tesla = doc.get("tesla_baseline")
+    if not isinstance(tesla, dict) or "verification_rtt" not in tesla:
+        fail(f"{path}: missing tesla_baseline")
+    if tesla["verification_rtt"] <= 2.0:
+        fail(f"{path}: TESLA baseline {tesla['verification_rtt']} RTT "
+             f"should exceed ALPHA's (disclosure-delay bound)")
+    print(f"OK: {path} schema valid; delivery ~1.5 RTT, reliable ack ~2 RTT, "
+          f"TESLA baseline {tesla['verification_rtt']} RTT")
+
+
 def main() -> None:
+    if len(sys.argv) == 3 and sys.argv[1] == "--latency":
+        check_latency(sys.argv[2])
+        return
     if len(sys.argv) != 3:
-        fail(f"usage: {sys.argv[0]} UNTRACED.json TRACED.json")
+        fail(f"usage: {sys.argv[0]} [--latency LATENCY.json | "
+             f"UNTRACED.json TRACED.json]")
     untraced = json.load(open(sys.argv[1]))
     traced = json.load(open(sys.argv[2]))
     if untraced.get("traced") is not False:

@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""CI gate for the live telemetry endpoint (alpha_sim --metrics-port).
+
+Launches alpha_sim with an ephemeral metrics port, parses the bound port
+from its stderr announcement, and scrapes the endpoint over real TCP:
+
+  healthy (default): /metrics must lint as Prometheus text format
+      (well-formed lines, cumulative histogram buckets ending at +Inf,
+      matching _sum/_count) and contain the required metric families;
+      /healthz must report 200/"ok"; unknown paths must 404.
+
+  --degraded: runs a seeded retry-budget-exhaustion scenario (handshake
+      completes, then a long partition wedges the first signature round
+      while --max-retries keeps the association alive) and polls /healthz
+      until the wedged-round watchdog flips it to 503/"degraded".
+      alpha_sim exits nonzero there (messages were lost); that is expected.
+
+Usage: check_telemetry.py /path/to/alpha_sim [--degraded]
+"""
+
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+REQUIRED_FAMILIES = [
+    "alpha_messages_submitted",
+    "alpha_messages_delivered",
+    "alpha_rounds_completed",
+    "alpha_trace_events_dropped",
+    "alpha_span_deliveries",
+    "alpha_span_rounds_complete",
+    "alpha_span_delivery_latency_us",
+    "alpha_span_delivery_latency_min_us",
+    "alpha_span_hop_us",
+    "alpha_span_queue_wait_us",
+    "alpha_span_propagation_us",
+]
+
+METRIC_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.eE+]+$")
+TYPE_LINE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|histogram)$")
+PORT_LINE = re.compile(r"telemetry: serving on 127\.0\.0\.1:(\d+)")
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def get(port: int, path: str):
+    """Returns (status, body) without raising on HTTP error statuses."""
+    url = f"http://127.0.0.1:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as e:
+        return e.code, e.read().decode()
+
+
+def lint_prometheus(text: str) -> None:
+    """Prometheus text-format lint: line shapes + histogram invariants."""
+    samples = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not TYPE_LINE.match(line):
+                fail(f"malformed comment line: {line!r}")
+            continue
+        if not METRIC_LINE.match(line):
+            fail(f"malformed metric line: {line!r}")
+        name_labels, value = line.rsplit(" ", 1)
+        samples[name_labels] = value
+    # Histogram invariants: within each series, buckets are cumulative and
+    # non-decreasing, le="+Inf" exists and equals _count.
+    buckets = {}
+    for name_labels in samples:
+        m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)_bucket\{(.*)\}$',
+                     name_labels)
+        if not m:
+            continue
+        family, labels = m.groups()
+        le = None
+        rest = []
+        for part in labels.split(","):
+            k, v = part.split("=", 1)
+            if k == "le":
+                le = v.strip('"')
+            else:
+                rest.append(part)
+        series = (family, ",".join(rest))
+        buckets.setdefault(series, []).append(
+            (float("inf") if le == "+Inf" else float(le),
+             int(samples[name_labels])))
+    if not buckets:
+        fail("no histogram series found")
+    for (family, labels), rows in buckets.items():
+        rows.sort()
+        counts = [n for _, n in rows]
+        if counts != sorted(counts):
+            fail(f"{family}{{{labels}}}: buckets not cumulative: {counts}")
+        if rows[-1][0] != float("inf"):
+            fail(f"{family}{{{labels}}}: missing le=\"+Inf\" bucket")
+        count_key = (f"{family}_count{{{labels}}}" if labels
+                     else f"{family}_count")
+        if count_key not in samples:
+            fail(f"{family}{{{labels}}}: missing _count")
+        if int(samples[count_key]) != rows[-1][1]:
+            fail(f"{family}{{{labels}}}: +Inf bucket {rows[-1][1]} != "
+                 f"_count {samples[count_key]}")
+
+
+def launch(cmd: list):
+    """Starts alpha_sim and returns (process, bound port)."""
+    proc = subprocess.Popen(cmd, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.PIPE, text=True)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            break
+        m = PORT_LINE.search(line)
+        if m:
+            return proc, int(m.group(1))
+    proc.kill()
+    fail("alpha_sim never announced its telemetry port")
+
+
+def check_healthy(sim: str) -> None:
+    proc, port = launch([
+        sim, "--hops", "2", "--messages", "50", "--reliable",
+        "--metrics-port", "0", "--serve-seconds", "30",
+    ])
+    try:
+        # Wait for the run to finish so the scrape sees final state.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            status, body = get(port, "/healthz")
+            health = json.loads(body)
+            if health.get("established", 0) > 0:
+                break
+            time.sleep(0.2)
+        if status != 200 or health.get("status") != "ok":
+            fail(f"/healthz not ok: {status} {body}")
+        status, metrics = get(port, "/metrics")
+        if status != 200:
+            fail(f"/metrics returned {status}")
+        lint_prometheus(metrics)
+        for family in REQUIRED_FAMILIES:
+            if f"\n{family}" not in f"\n{metrics}" and \
+               not metrics.startswith(family):
+                fail(f"/metrics missing family {family}")
+        delivered = re.search(r"^alpha_messages_delivered\S* (\d+)$",
+                              metrics, re.M)
+        if not delivered or int(delivered.group(1)) == 0:
+            fail("alpha_messages_delivered is zero or absent")
+        status, _ = get(port, "/no-such-path")
+        if status != 404:
+            fail(f"unknown path returned {status}, want 404")
+        print(f"OK: healthy scrape on port {port}: {len(metrics)} bytes of "
+              f"metrics, {delivered.group(1)} delivered, healthz ok, 404 ok")
+    finally:
+        proc.kill()
+        proc.wait()
+
+
+def check_degraded(sim: str) -> None:
+    proc, port = launch([
+        sim, "--hops", "2", "--messages", "20",
+        "--partition", "0.5,3600", "--max-retries", "1000",
+        "--metrics-port", "0", "--serve-seconds", "60",
+    ])
+    try:
+        deadline = time.monotonic() + 60
+        health = {}
+        while time.monotonic() < deadline:
+            status, body = get(port, "/healthz")
+            health = json.loads(body)
+            if health.get("status") == "degraded":
+                break
+            time.sleep(0.5)
+        if health.get("status") != "degraded":
+            fail(f"watchdog never degraded: {health}")
+        if status != 503:
+            fail(f"/healthz degraded but status {status}, want 503")
+        if "wedged_round" not in health.get("reasons", []):
+            fail(f"degraded without wedged_round reason: {health}")
+        print(f"OK: wedged-round watchdog flipped /healthz to 503 degraded "
+              f"({health['reasons']})")
+    finally:
+        proc.kill()
+        proc.wait()
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail(f"usage: {sys.argv[0]} /path/to/alpha_sim [--degraded]")
+    if "--degraded" in sys.argv[2:]:
+        check_degraded(sys.argv[1])
+    else:
+        check_healthy(sys.argv[1])
+
+
+if __name__ == "__main__":
+    main()

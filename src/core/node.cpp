@@ -319,6 +319,12 @@ NodeSnapshot AlphaNode::snapshot(bool per_assoc) const {
       a.corrupt_frames = entry.host->undecodable_frames();
       a.replayed_handshakes = entry.host->replayed_handshakes();
       a.duplicate_handshakes = entry.host->duplicate_handshakes();
+      if (const SignerEngine* se = entry.host->signer()) {
+        a.round_active = se->round_active();
+        a.round_seq = se->round_seq();
+        a.round_retries = se->round_retries();
+        a.backlog = se->backlog();
+      }
       a.signer = signer;
       a.verifier = verifier;
       s.assocs.push_back(std::move(a));

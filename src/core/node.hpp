@@ -49,6 +49,12 @@ struct AssocSnapshot {
   std::uint64_t corrupt_frames = 0;      // failed full decode at the host
   std::uint64_t replayed_handshakes = 0; // stale handshake counters
   std::uint64_t duplicate_handshakes = 0;  // benign same-seq duplicates
+  // Round progress of the signer side, for the health watchdog: a round
+  // whose (seq, retries) stops changing while active is wedged.
+  bool round_active = false;
+  std::uint32_t round_seq = 0;
+  std::uint32_t round_retries = 0;
+  std::size_t backlog = 0;               // submitted, not yet in a round
   // Association-lifetime engine stats (current + rekey-retired engines).
   SignerStats signer;      // zero until first established
   VerifierStats verifier;  // zero until first established

@@ -1,5 +1,6 @@
 #include "core/signer.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "core/preack.hpp"
@@ -60,7 +61,7 @@ std::uint64_t SignerEngine::submit(Bytes message, std::uint64_t now_us,
   }
   const std::uint64_t id = cookie.value_or(next_cookie_++);
   if (!resubmission) ++stats_.messages_submitted;
-  queue_.push_back(QueuedMessage{id, std::move(message)});
+  queue_.push_back(QueuedMessage{id, std::move(message), now_us});
   maybe_start_round(now_us);
   return id;
 }
@@ -106,6 +107,18 @@ void SignerEngine::maybe_start_round(std::uint64_t now_us, bool flush) {
   round.h_im1 = walker_.peek(1);
   walker_.take(2);
 
+  // Span decomposition (kRoundStart): queueing delay is how long the oldest
+  // message of the batch sat in the queue; crypto time is the wall time of
+  // the signature block below, measured only when tracing is on so the
+  // untraced hot path never reads a real clock.
+  const std::uint64_t queue_wait_us =
+      now_us >= round.messages.front().submit_us
+          ? now_us - round.messages.front().submit_us
+          : 0;
+  const bool traced = trace::enabled();
+  std::chrono::steady_clock::time_point crypto_begin;
+  if (traced) crypto_begin = std::chrono::steady_clock::now();
+
   {
     const crypto::ScopedHashOps ops;
     if (config_.uses_trees()) {
@@ -132,6 +145,16 @@ void SignerEngine::maybe_start_round(std::uint64_t now_us, bool flush) {
       }
     }
     stats_.hashes.signature += ops.delta().hash_finalizations;
+  }
+
+  if (traced) {
+    const auto crypto_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - crypto_begin)
+                               .count();
+    trace::emit(trace::EventKind::kRoundStart, assoc_id_, round.seq, 0,
+                trace::DropReason::kNone,
+                trace::pack_round_detail(
+                    queue_wait_us, static_cast<std::uint64_t>(crypto_ns)));
   }
 
   round_ = std::move(round);

@@ -90,6 +90,14 @@ class SignerEngine {
   /// Messages queued but not yet in an active round.
   std::size_t backlog() const noexcept { return queue_.size(); }
   bool round_active() const noexcept { return round_.has_value(); }
+  /// Round-progress probes for the health watchdog: sequence number and
+  /// retransmit attempts of the in-flight round (0 when idle).
+  std::uint32_t round_seq() const noexcept {
+    return round_.has_value() ? round_->seq : 0;
+  }
+  std::uint32_t round_retries() const noexcept {
+    return round_.has_value() ? static_cast<std::uint32_t>(round_->retries) : 0;
+  }
 
   /// Bytes buffered for the active round: payloads + signature state
   /// (Table 2 signer column: n(m+h) for base/C, n*m + (2n-1)h for M).
@@ -102,6 +110,7 @@ class SignerEngine {
   struct QueuedMessage {
     std::uint64_t cookie;
     Bytes payload;
+    std::uint64_t submit_us = 0;  // when submit() queued it (span queueing)
   };
 
   struct Round {

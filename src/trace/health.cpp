@@ -1,0 +1,113 @@
+#include "trace/health.hpp"
+
+namespace alpha::trace {
+
+namespace {
+
+void append_reason(std::string& out, bool& first, const char* name) {
+  if (!first) out += ',';
+  first = false;
+  out += '"';
+  out += name;
+  out += '"';
+}
+
+}  // namespace
+
+const char* HealthMonitor::to_string(HealthState s) noexcept {
+  switch (s) {
+    case HealthState::kOk:
+      return "ok";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+void HealthMonitor::observe(const std::vector<AssocHealthSample>& assocs,
+                            std::uint64_t now_us,
+                            std::uint64_t events_dropped) {
+  unsigned reasons = 0;
+  std::uint64_t rekeys_total = 0;
+  std::size_t failed = 0;
+  std::size_t established = 0;
+  std::size_t wedged = 0;
+  for (const AssocHealthSample& a : assocs) {
+    rekeys_total += a.rekeys_started;
+    if (a.established) ++established;
+    if (a.failed) {
+      ++failed;
+      reasons |= kHealthBudgetExhausted;
+    }
+    if (a.round_active && a.round_retries >= options_.wedge_retries) {
+      ++wedged;
+      reasons |= kHealthWedgedRound;
+    }
+  }
+  if (events_dropped > 0) reasons |= kHealthEventsLost;
+
+  // Rekey storm: rate over the current window. Requiring at least two
+  // rekeys keeps a single legitimate rotation from tripping the alarm on
+  // a short window.
+  if (!anchored_) {
+    anchored_ = true;
+    anchor_us_ = now_us;
+    anchor_rekeys_ = rekeys_total;
+  }
+  const std::uint64_t dt_us = now_us - anchor_us_;
+  const std::uint64_t dr =
+      rekeys_total >= anchor_rekeys_ ? rekeys_total - anchor_rekeys_ : 0;
+  if (dt_us > 0 && dr >= 2 &&
+      static_cast<double>(dr) >
+          options_.rekey_storm_per_sec * (static_cast<double>(dt_us) / 1e6)) {
+    reasons |= kHealthRekeyStorm;
+  }
+  if (dt_us >= options_.window_us) {
+    anchor_us_ = now_us;
+    anchor_rekeys_ = rekeys_total;
+  }
+
+  HealthState next = reasons == 0 ? HealthState::kOk : HealthState::kDegraded;
+  // Every association dead means the node serves nothing: failed, not
+  // merely degraded.
+  if (!assocs.empty() && failed == assocs.size()) next = HealthState::kFailed;
+
+  associations_ = assocs.size();
+  established_ = established;
+  failed_ = failed;
+  wedged_ = wedged;
+
+  if (next != state_) {
+    Event e;
+    e.time_us = now_us;
+    e.detail = reasons;
+    e.kind = next == HealthState::kOk ? EventKind::kHealthRecovered
+                                      : EventKind::kHealthDegraded;
+    emit(e);
+  }
+  state_ = next;
+  reasons_ = reasons;
+}
+
+std::string HealthMonitor::healthz_json() const {
+  std::string out = "{\"status\":\"";
+  out += to_string(state_);
+  out += "\",\"reasons\":[";
+  bool first = true;
+  if (reasons_ & kHealthWedgedRound) append_reason(out, first, "wedged_round");
+  if (reasons_ & kHealthBudgetExhausted) {
+    append_reason(out, first, "budget_exhausted");
+  }
+  if (reasons_ & kHealthRekeyStorm) append_reason(out, first, "rekey_storm");
+  if (reasons_ & kHealthEventsLost) append_reason(out, first, "events_lost");
+  out += "],\"associations\":" + std::to_string(associations_);
+  out += ",\"established\":" + std::to_string(established_);
+  out += ",\"failed\":" + std::to_string(failed_);
+  out += ",\"wedged\":" + std::to_string(wedged_);
+  out += "}";
+  return out;
+}
+
+}  // namespace alpha::trace

@@ -1,0 +1,93 @@
+// Association health detection driven by metrics, not packet inspection.
+//
+// The PR-4 bug class motivating this: a poisoned round retransmitted
+// silently until its budget died, visible only as a stalled counter. The
+// monitor watches exactly that shape -- rounds whose retry count climbs
+// with no progress (wedged-round watchdog), associations whose retransmit
+// budget ran out, rekey storms, and trace-ring overflow -- and folds them
+// into a small ok -> degraded -> failed state machine surfaced via the
+// /healthz telemetry endpoint and kHealthDegraded/kHealthRecovered trace
+// events.
+//
+// Inputs are plain sample structs (not core::NodeSnapshot) so trace/ keeps
+// sitting below core/ in the link order; the node glue maps snapshots to
+// samples (see tools/alpha_sim.cpp and examples/udp_tunnel.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace alpha::trace {
+
+enum class HealthState : std::uint8_t { kOk = 0, kDegraded = 1, kFailed = 2 };
+
+/// Bitmask of active degradation causes (Event::detail of health events).
+enum HealthReason : unsigned {
+  kHealthWedgedRound = 1u << 0,      // retries climbing, round not advancing
+  kHealthBudgetExhausted = 1u << 1,  // an association exhausted its budget
+  kHealthRekeyStorm = 1u << 2,       // sustained rekey rate over threshold
+  kHealthEventsLost = 1u << 3,       // trace ring overwrote unread events
+};
+
+/// Per-association probe; callers map core::AssocSnapshot fields onto it.
+struct AssocHealthSample {
+  std::uint32_t assoc_id = 0;
+  bool established = false;
+  bool failed = false;          // retransmit budget exhausted
+  bool round_active = false;
+  std::uint32_t round_seq = 0;
+  std::uint32_t round_retries = 0;
+  std::uint64_t rekeys_started = 0;  // lifetime count
+};
+
+class HealthMonitor {
+ public:
+  struct Options {
+    /// Attempts after which an active round counts as wedged (the engines
+    /// reset retries to 0 on any A1/A2 progress, so a high count means the
+    /// round is burning budget without advancing).
+    std::uint32_t wedge_retries = 4;
+    /// Sustained rekeys/second above this rate is a storm.
+    double rekey_storm_per_sec = 1.0;
+    /// Rate-measurement window.
+    std::uint64_t window_us = 10'000'000;
+  };
+
+  HealthMonitor() : HealthMonitor(Options{}) {}
+  explicit HealthMonitor(Options options) : options_(options) {}
+
+  /// Feeds one observation; transitions emit health trace events stamped
+  /// with `now_us`. `events_dropped` is the trace-ring overflow counter.
+  void observe(const std::vector<AssocHealthSample>& assocs,
+               std::uint64_t now_us, std::uint64_t events_dropped = 0);
+
+  HealthState state() const noexcept { return state_; }
+  unsigned reasons() const noexcept { return reasons_; }
+  /// 200 while ok, 503 once degraded or failed (load-balancer semantics).
+  int http_status() const noexcept {
+    return state_ == HealthState::kOk ? 200 : 503;
+  }
+  /// JSON body for /healthz, e.g.
+  /// {"status":"degraded","reasons":["wedged_round"],"associations":2,...}.
+  std::string healthz_json() const;
+
+  static const char* to_string(HealthState s) noexcept;
+
+ private:
+  Options options_;
+  HealthState state_ = HealthState::kOk;
+  unsigned reasons_ = 0;
+  std::size_t associations_ = 0;
+  std::size_t established_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t wedged_ = 0;
+  // Rekey-rate anchor: (time, lifetime count) at the window start.
+  bool anchored_ = false;
+  std::uint64_t anchor_us_ = 0;
+  std::uint64_t anchor_rekeys_ = 0;
+};
+
+}  // namespace alpha::trace

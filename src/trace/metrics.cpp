@@ -1,6 +1,35 @@
 #include "trace/metrics.hpp"
 
+#include <cstdlib>
+
 namespace alpha::metrics {
+
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lower =
+        i == 0 ? 0.0 : static_cast<double>(upper_bound(i - 1)) + 1.0;
+    const double upper = static_cast<double>(upper_bound(i));
+    const double frac =
+        buckets_[i] == 0 ? 0.0
+                         : (target - before) / static_cast<double>(buckets_[i]);
+    double est = lower + frac * (upper - lower);
+    // The true quantile is a recorded sample, so [min, max] always brackets
+    // it; clamping can only move the estimate toward the truth.
+    if (est < static_cast<double>(min())) est = static_cast<double>(min());
+    if (est > static_cast<double>(max_)) est = static_cast<double>(max_);
+    return est;
+  }
+  return static_cast<double>(max_);
+}
 
 namespace {
 
@@ -51,6 +80,18 @@ void Registry::write_prometheus(std::FILE* out) const {
                     static_cast<unsigned long long>(hist.count()));
     }
   }
+}
+
+std::string Registry::render_prometheus() const {
+  char* buf = nullptr;
+  std::size_t len = 0;
+  std::FILE* f = open_memstream(&buf, &len);
+  if (f == nullptr) return {};
+  write_prometheus(f);
+  std::fclose(f);
+  std::string out(buf, len);
+  std::free(buf);
+  return out;
 }
 
 }  // namespace alpha::metrics

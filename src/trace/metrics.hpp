@@ -43,6 +43,13 @@ class Histogram {
     return i >= 64 ? ~0ull : (1ull << i) - 1;
   }
 
+  /// Estimated q-quantile (q in [0,1]) by rank interpolation inside the
+  /// log2 bucket containing the target rank. Exactness bound: the true
+  /// quantile is some sample in that bucket, so the estimate always lies
+  /// within the bucket's value range [lower, upper] -- at most a factor-of-2
+  /// relative error -- and is additionally clamped to [min(), max()].
+  double quantile(double q) const noexcept;
+
   std::uint64_t count() const noexcept { return count_; }
   std::uint64_t sum() const noexcept { return sum_; }
   std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
@@ -71,6 +78,8 @@ class Registry {
   }
 
   void write_prometheus(std::FILE* out) const;
+  /// write_prometheus into a string (for the telemetry HTTP endpoint).
+  std::string render_prometheus() const;
 
  private:
   std::map<std::string, std::map<std::string, std::uint64_t>> counters_;

@@ -1,0 +1,277 @@
+#include "trace/spans.hpp"
+
+#include <cstdio>
+
+namespace alpha::trace {
+
+namespace {
+
+// wire::PacketType values (trace stays dependency-free; kept in sync with
+// wire/packets.hpp exactly like the name table in trace.cpp).
+constexpr std::uint8_t kS1 = 1;
+constexpr std::uint8_t kA1 = 2;
+constexpr std::uint8_t kS2 = 3;
+constexpr std::uint8_t kA2 = 4;
+
+std::uint64_t key_of(std::uint32_t assoc, std::uint32_t seq) noexcept {
+  return (static_cast<std::uint64_t>(assoc) << 32) | seq;
+}
+
+std::string assoc_label(std::uint32_t assoc) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "assoc=\"%u\"", assoc);
+  return buf;
+}
+
+std::string link_label(std::uint32_t from, std::uint32_t to) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "link=\"%u->%u\"", from, to);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t RoundSpan::e2e_us() const noexcept {
+  const std::uint64_t origin = origin_us();
+  if (last_delivery_us == kUnset || origin == kUnset) return 0;
+  return last_delivery_us >= origin ? last_delivery_us - origin : 0;
+}
+
+std::uint64_t RoundSpan::retransmit_wait_us() const noexcept {
+  std::uint64_t wait = 0;
+  if (s1_last_send_us != kUnset && s1_sent_us != kUnset &&
+      s1_last_send_us > s1_sent_us) {
+    wait += s1_last_send_us - s1_sent_us;
+  }
+  if (s2_last_send_us != kUnset && s2_first_sent_us != kUnset &&
+      s2_last_send_us > s2_first_sent_us) {
+    wait += s2_last_send_us - s2_first_sent_us;
+  }
+  return wait;
+}
+
+std::uint64_t RoundSpan::propagation_us() const noexcept {
+  const std::uint64_t e2e = e2e_us();
+  const std::uint64_t accounted = queue_us + retransmit_wait_us();
+  return e2e > accounted ? e2e - accounted : 0;
+}
+
+RoundSpan& SpanBuilder::span_for(std::uint32_t assoc_id, std::uint32_t seq,
+                                 bool fresh) {
+  const std::uint64_t key = key_of(assoc_id, seq);
+  auto it = open_.find(key);
+  if (it != open_.end()) {
+    RoundSpan& existing = spans_[it->second];
+    if (!(fresh && existing.terminal())) return existing;
+    // A new round reuses (assoc, seq): a rekey restarted the sequence
+    // space, so open a fresh generation instead of polluting the old span.
+    RoundSpan next;
+    next.assoc_id = assoc_id;
+    next.seq = seq;
+    next.generation = existing.generation + 1;
+    spans_.push_back(next);
+    it->second = spans_.size() - 1;
+    return spans_.back();
+  }
+  RoundSpan span;
+  span.assoc_id = assoc_id;
+  span.seq = seq;
+  spans_.push_back(span);
+  open_.emplace(key, spans_.size() - 1);
+  return spans_.back();
+}
+
+void SpanBuilder::record_delivery(RoundSpan& span, std::uint64_t latency_us) {
+  if (latency_us < min_latency_) {
+    min_latency_ = latency_us;
+    if (registry_ != nullptr) {
+      registry_->counter("alpha_span_delivery_latency_min_us") = min_latency_;
+    }
+  }
+  if (registry_ != nullptr) {
+    ++registry_->counter("alpha_span_deliveries");
+    registry_
+        ->histogram("alpha_span_delivery_latency_us",
+                    assoc_label(span.assoc_id))
+        .record(latency_us);
+  }
+}
+
+void SpanBuilder::finish(RoundSpan& span) {
+  span.exported_ = true;
+  ++rounds_complete_;
+  if (registry_ == nullptr) return;
+  ++registry_->counter("alpha_span_rounds_complete");
+  registry_->histogram("alpha_span_queue_wait_us").record(span.queue_us);
+  registry_->histogram("alpha_span_crypto_ns").record(span.crypto_ns);
+  registry_->histogram("alpha_span_retransmit_wait_us")
+      .record(span.retransmit_wait_us());
+  registry_->histogram("alpha_span_propagation_us")
+      .record(span.propagation_us());
+}
+
+void SpanBuilder::on_net(RoundSpan& span, const Event& e) {
+  const std::uint8_t p = e.packet_type;
+  if (p < kS1 || p > kA2) return;
+  RoundSpan::NetPoint& last = span.last_net_[p];
+  const std::uint32_t from = net_detail_from(e.detail);
+  const std::uint32_t to = net_detail_to(e.detail);
+  // Consecutive sends of the same packet type chain hops: the forward at
+  // the next node happens at arrival time, so the gap is the previous
+  // link's latency (plus relay processing).
+  if (last.valid && last.to == from && e.time_us >= last.time_us &&
+      registry_ != nullptr) {
+    registry_->histogram("alpha_span_hop_us", link_label(last.from, last.to))
+        .record(e.time_us - last.time_us);
+  }
+  last.from = from;
+  last.to = to;
+  last.time_us = e.time_us;
+  last.valid = true;
+}
+
+void SpanBuilder::on_terminal_hop(RoundSpan& span, std::uint8_t type,
+                                  std::uint64_t time_us) {
+  if (type < kS1 || type > kA2) return;
+  RoundSpan::NetPoint& last = span.last_net_[type];
+  if (last.valid && time_us >= last.time_us && registry_ != nullptr) {
+    registry_->histogram("alpha_span_hop_us", link_label(last.from, last.to))
+        .record(time_us - last.time_us);
+  }
+  last.valid = false;
+}
+
+void SpanBuilder::ingest(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kRoundStart: {
+      RoundSpan& span = span_for(e.assoc_id, e.seq, /*fresh=*/true);
+      span.start_us = e.time_us;
+      span.queue_us = round_detail_queue_us(e.detail);
+      span.crypto_ns = round_detail_crypto_ns(e.detail);
+      break;
+    }
+    case EventKind::kPacketSent: {
+      if (e.packet_type == kS1) {
+        RoundSpan& span = span_for(e.assoc_id, e.seq, /*fresh=*/true);
+        if (span.s1_sent_us == kUnset) {
+          span.s1_sent_us = e.time_us;
+          span.batch = static_cast<std::size_t>(e.detail);
+          if (span.messages.size() < span.batch) {
+            span.messages.resize(span.batch);
+          }
+        }
+      } else if (e.packet_type == kA1) {
+        RoundSpan& span = span_for(e.assoc_id, e.seq, /*fresh=*/false);
+        if (span.a1_sent_us == kUnset) span.a1_sent_us = e.time_us;
+      } else if (e.packet_type == kS2) {
+        RoundSpan& span = span_for(e.assoc_id, e.seq, /*fresh=*/false);
+        const std::size_t idx = static_cast<std::size_t>(e.detail);
+        if (idx >= span.messages.size()) span.messages.resize(idx + 1);
+        if (span.batch < span.messages.size()) {
+          span.batch = span.messages.size();  // ring wrap ate the S1
+        }
+        if (span.messages[idx].s2_sent_us == MessageSpan::kUnset) {
+          span.messages[idx].s2_sent_us = e.time_us;
+        }
+        if (span.s2_first_sent_us == kUnset) span.s2_first_sent_us = e.time_us;
+      }
+      break;
+    }
+    case EventKind::kRetransmit: {
+      if (e.packet_type != kS1 && e.packet_type != kS2) break;  // handshakes
+      RoundSpan& span = span_for(e.assoc_id, e.seq, /*fresh=*/false);
+      span.attempts.push_back(AttemptSpan{
+          e.time_us, static_cast<std::uint32_t>(e.detail), e.packet_type});
+      if (e.packet_type == kS1) {
+        span.s1_last_send_us = e.time_us;
+      } else {
+        span.s2_last_send_us = e.time_us;
+      }
+      break;
+    }
+    case EventKind::kPacketAccepted: {
+      if (e.packet_type < kS1 || e.packet_type > kA2) break;
+      RoundSpan& span = span_for(e.assoc_id, e.seq, /*fresh=*/false);
+      if (e.packet_type == kS1) {
+        if (span.s1_accepted_us == kUnset) span.s1_accepted_us = e.time_us;
+      } else if (e.packet_type == kA1) {
+        if (span.a1_accepted_us == kUnset) span.a1_accepted_us = e.time_us;
+      } else if (e.packet_type == kA2) {
+        span.last_a2_us = e.time_us;
+        if (e.detail != 0) {
+          ++span.acks;
+        } else {
+          ++span.nacks;
+        }
+        const std::uint64_t origin = span.origin_us();
+        if (registry_ != nullptr && origin != kUnset && e.time_us >= origin) {
+          registry_
+              ->histogram("alpha_span_ack_latency_us",
+                          assoc_label(span.assoc_id))
+              .record(e.time_us - origin);
+        }
+      }
+      on_terminal_hop(span, e.packet_type, e.time_us);
+      break;
+    }
+    case EventKind::kDelivered: {
+      RoundSpan& span = span_for(e.assoc_id, e.seq, /*fresh=*/false);
+      const std::size_t idx = static_cast<std::size_t>(e.detail);
+      if (idx >= span.messages.size()) span.messages.resize(idx + 1);
+      MessageSpan& m = span.messages[idx];
+      if (m.delivered_us != MessageSpan::kUnset) break;  // exactly-once
+      m.delivered_us = e.time_us;
+      ++span.delivered;
+      ++deliveries_;
+      if (span.last_delivery_us == kUnset ||
+          e.time_us > span.last_delivery_us) {
+        span.last_delivery_us = e.time_us;
+      }
+      const std::uint64_t origin = span.origin_us();
+      if (origin != kUnset && e.time_us >= origin) {
+        record_delivery(span, e.time_us - origin);
+      }
+      if (span.complete() && !span.exported_) finish(span);
+      break;
+    }
+    case EventKind::kRoundFailed: {
+      RoundSpan& span = span_for(e.assoc_id, e.seq, /*fresh=*/false);
+      span.failed = true;
+      span.fail_reason = e.reason;
+      if (!span.exported_) {
+        span.exported_ = true;
+        ++rounds_failed_;
+        if (registry_ != nullptr) {
+          ++registry_->counter("alpha_span_rounds_failed");
+        }
+      }
+      break;
+    }
+    case EventKind::kNetDelivered: {
+      if (e.packet_type < kS1 || e.packet_type > kA2) break;
+      on_net(span_for(e.assoc_id, e.seq, /*fresh=*/false), e);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::size_t SpanBuilder::ingest_new(const Ring& ring) {
+  const std::uint64_t end = ring.total();
+  if (end < cursor_) cursor_ = 0;  // ring was cleared; start over
+  std::uint64_t start = cursor_;
+  const std::uint64_t first = ring.first_index();
+  if (start < first) {
+    lost_events_ += first - start;
+    start = first;
+  }
+  for (std::uint64_t i = start; i < end; ++i) ingest(ring.at_absolute(i));
+  cursor_ = end;
+  if (registry_ != nullptr) {
+    registry_->counter("alpha_trace_events_dropped") = ring.dropped();
+  }
+  return static_cast<std::size_t>(end - start);
+}
+
+}  // namespace alpha::trace

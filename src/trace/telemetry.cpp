@@ -1,0 +1,196 @@
+#include "trace/telemetry.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace alpha::trace {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string http_response(int status, const char* content_type,
+                          const std::string& body) {
+  const char* text = status == 200   ? "OK"
+                     : status == 404 ? "Not Found"
+                     : status == 503 ? "Service Unavailable"
+                                     : "Error";
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + text + "\r\n";
+  out += "Content-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// Extracts the request path out of "GET /path HTTP/1.1..."; empty on
+/// anything that is not a GET.
+std::string request_path(const std::string& request) {
+  if (request.rfind("GET ", 0) != 0) return {};
+  const std::size_t start = 4;
+  const std::size_t end = request.find(' ', start);
+  if (end == std::string::npos) return {};
+  return request.substr(start, end - start);
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(Options options, MetricsFn metrics,
+                                 HealthFn health)
+    : options_(options), metrics_(std::move(metrics)),
+      health_(std::move(health)) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 8) != 0 || !set_nonblocking(fd)) {
+    ::close(fd);
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  conns_.reserve(kMaxConnections);
+}
+
+TelemetryServer::~TelemetryServer() {
+  for (Conn& conn : conns_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void TelemetryServer::accept_pending() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or error: nothing (more) pending
+    if (conns_.size() >= kMaxConnections || !set_nonblocking(fd)) {
+      ::close(fd);  // bounded: shed load instead of growing
+      continue;
+    }
+    Conn conn;
+    conn.fd = fd;
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void TelemetryServer::respond(Conn& conn) {
+  const std::string path = request_path(conn.in);
+  if (path == "/metrics") {
+    const std::string body = metrics_ ? metrics_() : std::string();
+    conn.out = http_response(200, "text/plain; version=0.0.4", body);
+  } else if (path == "/healthz") {
+    std::pair<int, std::string> health =
+        health_ ? health_() : std::pair<int, std::string>{200, "{}"};
+    conn.out = http_response(health.first, "application/json", health.second);
+  } else {
+    conn.out = http_response(404, "text/plain", "not found\n");
+  }
+  conn.responding = true;
+}
+
+bool TelemetryServer::service(Conn& conn) {
+  if (!conn.responding) {
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn.in.append(buf, static_cast<std::size_t>(n));
+        if (conn.in.size() > kMaxRequestBytes) {
+          close_conn(conn);  // request too large: drop, stay bounded
+          return false;
+        }
+        if (conn.in.find("\r\n\r\n") != std::string::npos ||
+            conn.in.find("\n\n") != std::string::npos) {
+          respond(conn);
+          break;
+        }
+        continue;
+      }
+      if (n == 0) {  // peer closed before completing a request
+        close_conn(conn);
+        return false;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+      close_conn(conn);
+      return false;
+    }
+  }
+  while (conn.sent < conn.out.size()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.sent,
+                             conn.out.size() - conn.sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+    close_conn(conn);
+    return false;
+  }
+  close_conn(conn);
+  return true;  // full response delivered
+}
+
+void TelemetryServer::close_conn(Conn& conn) {
+  if (conn.fd >= 0) ::close(conn.fd);
+  conn.fd = -1;
+}
+
+std::size_t TelemetryServer::poll(int timeout_ms) {
+  if (listen_fd_ < 0) return 0;
+  std::size_t answered = 0;
+  int wait = timeout_ms;
+  for (;;) {
+    pollfd fds[1 + kMaxConnections];
+    Conn* polled[kMaxConnections];
+    fds[0] = pollfd{listen_fd_, POLLIN, 0};
+    std::size_t npolled = 0;
+    for (Conn& conn : conns_) {
+      if (conn.fd < 0) continue;
+      polled[npolled] = &conn;
+      fds[1 + npolled] = pollfd{
+          conn.fd, static_cast<short>(conn.responding ? POLLOUT : POLLIN), 0};
+      ++npolled;
+    }
+    const int ready =
+        ::poll(fds, static_cast<nfds_t>(1 + npolled), wait);
+    wait = 0;  // only the first round honors the caller's timeout
+    if (ready <= 0) break;
+    // conns_ was reserve()d at kMaxConnections and never exceeds it, so
+    // accept_pending()'s push_back cannot reallocate under `polled`.
+    if ((fds[0].revents & POLLIN) != 0) accept_pending();
+    for (std::size_t i = 0; i < npolled; ++i) {
+      const short revents = fds[1 + i].revents;
+      if ((revents & (POLLIN | POLLOUT | POLLHUP | POLLERR)) != 0) {
+        if (service(*polled[i])) ++answered;
+      }
+    }
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const Conn& c) { return c.fd < 0; }),
+                 conns_.end());
+  }
+  return answered;
+}
+
+}  // namespace alpha::trace

@@ -1,0 +1,73 @@
+// Minimal live telemetry endpoint: /metrics and /healthz over HTTP.
+//
+// Dependency-free by design (plain POSIX sockets, no HTTP library) and
+// single-threaded like everything else in this codebase: the server never
+// spawns a thread or touches the registry on its own. The owner calls
+// poll() from its existing event loop; each call accepts pending
+// connections, reads requests, and writes responses, all on non-blocking
+// sockets, so a stalled scraper can never block the protocol.
+//
+// Allocation-bounded: at most kMaxConnections live at once, request reads
+// are capped at kMaxRequestBytes, and response bodies come from the
+// caller's render callbacks (invoked once per request).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace alpha::trace {
+
+class TelemetryServer {
+ public:
+  struct Options {
+    /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+    std::uint16_t port = 0;
+  };
+
+  /// Body of GET /metrics (Prometheus text format; always status 200).
+  using MetricsFn = std::function<std::string()>;
+  /// (status, body) of GET /healthz -- e.g. {200, "{\"status\":\"ok\"}"}.
+  using HealthFn = std::function<std::pair<int, std::string>()>;
+
+  TelemetryServer(Options options, MetricsFn metrics, HealthFn health);
+  ~TelemetryServer();
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// False when the listening socket could not be set up (port in use).
+  bool ok() const noexcept { return listen_fd_ >= 0; }
+  /// The bound port (resolves ephemeral port 0 requests).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Services the socket for up to `timeout_ms` (0 = just drain what is
+  /// ready). Returns the number of requests answered.
+  std::size_t poll(int timeout_ms = 0);
+
+  static constexpr std::size_t kMaxConnections = 8;
+  static constexpr std::size_t kMaxRequestBytes = 4096;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;      // request bytes until the blank line
+    std::string out;     // rendered response
+    std::size_t sent = 0;
+    bool responding = false;
+  };
+
+  void accept_pending();
+  bool service(Conn& conn);  // returns true when a request was answered
+  void respond(Conn& conn);
+  void close_conn(Conn& conn);
+
+  Options options_;
+  MetricsFn metrics_;
+  HealthFn health_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<Conn> conns_;
+};
+
+}  // namespace alpha::trace

@@ -31,6 +31,9 @@ constexpr KindName kKindNames[] = {
     {EventKind::kNetDuplicated, "net_duplicated"},
     {EventKind::kTransportSent, "transport_sent"},
     {EventKind::kTransportReceived, "transport_received"},
+    {EventKind::kRoundStart, "round_start"},
+    {EventKind::kHealthDegraded, "health_degraded"},
+    {EventKind::kHealthRecovered, "health_recovered"},
 };
 
 struct ReasonName {
@@ -103,6 +106,13 @@ DropReason reason_from_string(const std::string& s) noexcept {
 const char* packet_type_name(std::uint8_t type) noexcept {
   if (type >= std::size(kPacketTypeNames)) return "-";
   return kPacketTypeNames[type];
+}
+
+std::uint8_t packet_type_from_name(const std::string& s) noexcept {
+  for (std::size_t i = 1; i < std::size(kPacketTypeNames); ++i) {
+    if (s == kPacketTypeNames[i]) return static_cast<std::uint8_t>(i);
+  }
+  return 0;
 }
 
 void write_jsonl(const Ring& ring, std::FILE* out) {

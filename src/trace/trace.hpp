@@ -49,6 +49,11 @@ enum class EventKind : std::uint8_t {
   // Real-socket transport (no network model underneath).
   kTransportSent = 16,
   kTransportReceived = 17,
+  // Span layer (PR 5).
+  kRoundStart = 18,       // signer opened a round; detail packs queue/crypto
+  // Health detector state transitions (detail = HealthReason bitmask).
+  kHealthDegraded = 19,
+  kHealthRecovered = 20,
 };
 
 enum class DropReason : std::uint8_t {
@@ -111,8 +116,22 @@ class Ring {
   }
   /// i-th retained event, oldest first (0 <= i < size()).
   const Event& at(std::size_t i) const noexcept {
-    const std::uint64_t first = head_ < buf_.size() ? 0 : head_ - buf_.size();
-    return buf_[static_cast<std::size_t>((first + i) & mask_)];
+    const Event& e = buf_[static_cast<std::size_t>((first_index() + i) & mask_)];
+    return e;
+  }
+  /// Absolute index of the oldest retained event (== total() - size()).
+  std::uint64_t first_index() const noexcept {
+    return head_ < buf_.size() ? 0 : head_ - buf_.size();
+  }
+  /// Event by absolute index; valid for first_index() <= i < total().
+  /// Lets consumers keep a cursor across ring wraps (see spans::SpanBuilder).
+  const Event& at_absolute(std::uint64_t i) const noexcept {
+    return buf_[static_cast<std::size_t>(i & mask_)];
+  }
+  /// Events lost to ring wrap (monotonic; 0 until the first overwrite).
+  /// Derived, so the hot-path record() stays an increment + struct copy.
+  std::uint64_t dropped() const noexcept {
+    return head_ > buf_.size() ? head_ - buf_.size() : 0;
   }
   void clear() noexcept { head_ = 0; }
 
@@ -200,6 +219,23 @@ constexpr bool is_net_kind(EventKind kind) noexcept {
          kind == EventKind::kNetDuplicated;
 }
 
+/// Packs (queue wait, crypto time) into Event::detail for kRoundStart:
+/// queueing delay in µs (bits 32..63) and signer crypto wall time in ns
+/// (bits 0..31), both saturating. Crypto time is only measured when tracing
+/// is enabled, so the untraced hot path never touches a real clock.
+constexpr std::uint64_t pack_round_detail(std::uint64_t queue_us,
+                                          std::uint64_t crypto_ns) noexcept {
+  if (queue_us > 0xFFFFFFFFull) queue_us = 0xFFFFFFFFull;
+  if (crypto_ns > 0xFFFFFFFFull) crypto_ns = 0xFFFFFFFFull;
+  return (queue_us << 32) | crypto_ns;
+}
+constexpr std::uint64_t round_detail_queue_us(std::uint64_t detail) noexcept {
+  return detail >> 32;
+}
+constexpr std::uint64_t round_detail_crypto_ns(std::uint64_t detail) noexcept {
+  return detail & 0xFFFFFFFFull;
+}
+
 const char* to_string(EventKind kind) noexcept;
 const char* to_string(DropReason reason) noexcept;
 /// Inverse lookups for trace decoding; kNone on unknown strings.
@@ -207,6 +243,8 @@ EventKind kind_from_string(const std::string& s) noexcept;
 DropReason reason_from_string(const std::string& s) noexcept;
 /// Wire packet-type label ("hs1", "s1", ...); "-" for 0/unknown.
 const char* packet_type_name(std::uint8_t type) noexcept;
+/// Inverse of packet_type_name; 0 for "-" or unknown labels.
+std::uint8_t packet_type_from_name(const std::string& s) noexcept;
 
 /// Writes every retained event as one JSON object per line (JSONL).
 /// Network-kind events additionally decode detail into from/to/size fields.

@@ -1,0 +1,144 @@
+// HealthMonitor state machine: wedged-round watchdog, budget exhaustion,
+// rekey storms, trace-ring loss, recovery, and the all-failed terminal
+// state -- plus the trace events emitted on transitions.
+#include "trace/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.hpp"
+
+namespace alpha::trace {
+namespace {
+
+AssocHealthSample healthy_assoc(std::uint32_t id = 1) {
+  AssocHealthSample s;
+  s.assoc_id = id;
+  s.established = true;
+  return s;
+}
+
+TEST(Health, StartsOkAndStaysOkOnHealthyInput) {
+  HealthMonitor monitor;
+  monitor.observe({healthy_assoc()}, 1'000'000);
+  EXPECT_EQ(monitor.state(), HealthState::kOk);
+  EXPECT_EQ(monitor.reasons(), 0u);
+  EXPECT_EQ(monitor.http_status(), 200);
+  EXPECT_NE(monitor.healthz_json().find("\"status\":\"ok\""),
+            std::string::npos);
+}
+
+TEST(Health, WedgedRoundDegradesThenRecovers) {
+  HealthMonitor monitor;
+  AssocHealthSample wedged = healthy_assoc();
+  wedged.round_active = true;
+  wedged.round_seq = 3;
+  wedged.round_retries = 4;  // default wedge threshold
+
+  Ring ring(16);
+  install(&ring);
+  monitor.observe({wedged}, 1'000'000);
+  EXPECT_EQ(monitor.state(), HealthState::kDegraded);
+  EXPECT_EQ(monitor.http_status(), 503);
+  EXPECT_NE(monitor.reasons() & kHealthWedgedRound, 0u);
+  EXPECT_NE(monitor.healthz_json().find("\"wedged_round\""),
+            std::string::npos);
+  EXPECT_NE(monitor.healthz_json().find("\"wedged\":1"), std::string::npos);
+
+  // Progress resets retries (the engines do this on any A1/A2): recovered.
+  AssocHealthSample progressing = wedged;
+  progressing.round_retries = 0;
+  monitor.observe({progressing}, 2'000'000);
+  EXPECT_EQ(monitor.state(), HealthState::kOk);
+  install(nullptr);
+
+  // One degraded and one recovered transition event, reasons in detail.
+  ASSERT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.at(0).kind, EventKind::kHealthDegraded);
+  EXPECT_EQ(ring.at(0).time_us, 1'000'000u);
+  EXPECT_EQ(ring.at(0).detail & kHealthWedgedRound, kHealthWedgedRound);
+  EXPECT_EQ(ring.at(1).kind, EventKind::kHealthRecovered);
+}
+
+TEST(Health, RetriesBelowThresholdStayOk) {
+  HealthMonitor monitor;
+  AssocHealthSample busy = healthy_assoc();
+  busy.round_active = true;
+  busy.round_retries = 3;  // below the default threshold of 4
+  monitor.observe({busy}, 1'000'000);
+  EXPECT_EQ(monitor.state(), HealthState::kOk);
+}
+
+TEST(Health, BudgetExhaustionDegradesOneFailsAll) {
+  HealthMonitor monitor;
+  AssocHealthSample dead = healthy_assoc(1);
+  dead.established = false;
+  dead.failed = true;
+  // One of two dead: degraded.
+  monitor.observe({dead, healthy_assoc(2)}, 1'000'000);
+  EXPECT_EQ(monitor.state(), HealthState::kDegraded);
+  EXPECT_NE(monitor.reasons() & kHealthBudgetExhausted, 0u);
+  EXPECT_NE(monitor.healthz_json().find("\"budget_exhausted\""),
+            std::string::npos);
+  // Every association dead: failed, not merely degraded.
+  AssocHealthSample dead2 = dead;
+  dead2.assoc_id = 2;
+  monitor.observe({dead, dead2}, 2'000'000);
+  EXPECT_EQ(monitor.state(), HealthState::kFailed);
+  EXPECT_EQ(monitor.http_status(), 503);
+  EXPECT_NE(monitor.healthz_json().find("\"status\":\"failed\""),
+            std::string::npos);
+}
+
+TEST(Health, RekeyStormTripsOnSustainedRate) {
+  HealthMonitor monitor;  // default: > 1 rekey/s over a 10 s window
+  AssocHealthSample a = healthy_assoc();
+  a.rekeys_started = 0;
+  monitor.observe({a}, 0);  // anchors the window
+  EXPECT_EQ(monitor.state(), HealthState::kOk);
+
+  // Three rekeys in one second: 3/s > 1/s.
+  a.rekeys_started = 3;
+  monitor.observe({a}, 1'000'000);
+  EXPECT_EQ(monitor.state(), HealthState::kDegraded);
+  EXPECT_NE(monitor.reasons() & kHealthRekeyStorm, 0u);
+  EXPECT_NE(monitor.healthz_json().find("\"rekey_storm\""), std::string::npos);
+}
+
+TEST(Health, SingleRekeyIsNotAStorm) {
+  HealthMonitor monitor;
+  AssocHealthSample a = healthy_assoc();
+  monitor.observe({a}, 0);
+  a.rekeys_started = 1;  // one legitimate rotation, however fast
+  monitor.observe({a}, 100'000);
+  EXPECT_EQ(monitor.state(), HealthState::kOk);
+}
+
+TEST(Health, SlowRekeysNeverStorm) {
+  HealthMonitor::Options options;
+  options.window_us = 1'000'000;
+  HealthMonitor monitor{options};
+  AssocHealthSample a = healthy_assoc();
+  // One rekey every 2 s: under the 1/s limit at every observation.
+  for (std::uint64_t t = 0; t < 20; ++t) {
+    a.rekeys_started = t / 2;
+    monitor.observe({a}, t * 1'000'000);
+    EXPECT_EQ(monitor.state(), HealthState::kOk) << t;
+  }
+}
+
+TEST(Health, TraceRingOverflowDegrades) {
+  HealthMonitor monitor;
+  monitor.observe({healthy_assoc()}, 1'000'000, /*events_dropped=*/17);
+  EXPECT_EQ(monitor.state(), HealthState::kDegraded);
+  EXPECT_NE(monitor.reasons() & kHealthEventsLost, 0u);
+  EXPECT_NE(monitor.healthz_json().find("\"events_lost\""), std::string::npos);
+}
+
+TEST(Health, EmptyAssociationListIsOkNotFailed) {
+  HealthMonitor monitor;
+  monitor.observe({}, 1'000'000);
+  EXPECT_EQ(monitor.state(), HealthState::kOk);
+}
+
+}  // namespace
+}  // namespace alpha::trace

@@ -1,8 +1,10 @@
 // Log2 histogram bucketing and the Prometheus text exporter.
 #include "trace/metrics.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
 
@@ -57,6 +59,70 @@ TEST(Histogram, ZeroGoesToBucketZero) {
   EXPECT_EQ(h.max(), 0u);
 }
 
+TEST(Histogram, QuantileEmptyAndSingleton) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  h.record(42);
+  // One sample: every quantile is that sample (clamped to [min, max]).
+  EXPECT_EQ(h.quantile(0.0), 42.0);
+  EXPECT_EQ(h.quantile(0.5), 42.0);
+  EXPECT_EQ(h.quantile(1.0), 42.0);
+}
+
+TEST(Histogram, QuantileExactnessBound) {
+  // The estimate must land in the same log2 bucket as the true quantile:
+  // lower_bound(bucket) <= estimate <= upper_bound(bucket), which caps the
+  // relative error at a factor of two.
+  Histogram h;
+  std::vector<std::uint64_t> samples;
+  std::uint64_t x = 7;
+  for (int i = 0; i < 1000; ++i) {
+    x = x * 2862933555777941757ull + 3037000493ull;  // LCG, deterministic
+    const std::uint64_t v = (x >> 33) % 100000;
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    const std::uint64_t truth =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    const std::size_t bucket = Histogram::bucket_index(truth);
+    const double lower =
+        bucket == 0 ? 0.0
+                    : static_cast<double>(Histogram::upper_bound(bucket - 1));
+    const double upper = static_cast<double>(Histogram::upper_bound(bucket));
+    const double est = h.quantile(q);
+    EXPECT_GE(est, lower) << "q=" << q << " truth=" << truth;
+    EXPECT_LE(est, upper + 1) << "q=" << q << " truth=" << truth;
+  }
+}
+
+TEST(Histogram, QuantileClampsToObservedRange) {
+  Histogram h;
+  h.record(100);
+  h.record(101);
+  h.record(120);
+  // All samples share bucket 7 ([64, 127]); interpolation must not step
+  // outside the values actually seen.
+  EXPECT_GE(h.quantile(0.0), 100.0);
+  EXPECT_LE(h.quantile(1.0), 120.0);
+  EXPECT_GE(h.quantile(0.5), 100.0);
+  EXPECT_LE(h.quantile(0.5), 120.0);
+}
+
+TEST(Histogram, QuantileIsMonotoneInQ) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 4096; v *= 2) {
+    for (int i = 0; i < 10; ++i) h.record(v);
+  }
+  double prev = h.quantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev) << q;
+    prev = cur;
+  }
+}
+
 std::string render(const Registry& registry) {
   std::FILE* f = std::tmpfile();
   registry.write_prometheus(f);
@@ -100,6 +166,13 @@ TEST(Registry, HistogramExportsCumulativeBuckets) {
             std::string::npos);
   EXPECT_NE(out.find("alpha_rtt_us_sum{assoc=\"1\"} 107"), std::string::npos);
   EXPECT_NE(out.find("alpha_rtt_us_count{assoc=\"1\"} 4"), std::string::npos);
+}
+
+TEST(Registry, RenderPrometheusMatchesFileExport) {
+  Registry registry;
+  registry.counter("alpha_x") = 5;
+  registry.histogram("alpha_h").record(3);
+  EXPECT_EQ(registry.render_prometheus(), render(registry));
 }
 
 }  // namespace

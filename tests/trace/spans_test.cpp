@@ -1,0 +1,212 @@
+// SpanBuilder semantics over synthetic event streams: component
+// decomposition, attempt tagging, generation splitting on seq reuse,
+// exactly-once delivery accounting and the ring-wrap-safe cursor.
+#include "trace/spans.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace alpha::trace {
+namespace {
+
+constexpr std::uint8_t kS1 = 1;
+constexpr std::uint8_t kA1 = 2;
+constexpr std::uint8_t kS2 = 3;
+constexpr std::uint8_t kA2 = 4;
+
+Event ev(EventKind kind, std::uint64_t t, std::uint32_t assoc,
+         std::uint32_t seq, std::uint8_t type = 0, std::uint64_t detail = 0,
+         DropReason reason = DropReason::kNone) {
+  Event e;
+  e.time_us = t;
+  e.detail = detail;
+  e.assoc_id = assoc;
+  e.seq = seq;
+  e.kind = kind;
+  e.reason = reason;
+  e.packet_type = type;
+  return e;
+}
+
+TEST(Spans, HappyPathDecomposesComponents) {
+  metrics::Registry registry;
+  SpanBuilder builder{&registry};
+
+  // Round opened at t=1000 after 400 us of queueing and 25 us of crypto.
+  builder.ingest(ev(EventKind::kRoundStart, 1000, 7, 1, 0,
+                    pack_round_detail(400, 25'000)));
+  builder.ingest(ev(EventKind::kPacketSent, 1000, 7, 1, kS1, /*batch=*/2));
+  builder.ingest(ev(EventKind::kPacketAccepted, 1010, 7, 1, kS1));
+  builder.ingest(ev(EventKind::kPacketSent, 1010, 7, 1, kA1));
+  builder.ingest(ev(EventKind::kPacketAccepted, 1020, 7, 1, kA1));
+  builder.ingest(ev(EventKind::kPacketSent, 1020, 7, 1, kS2, /*msg=*/0));
+  builder.ingest(ev(EventKind::kPacketSent, 1021, 7, 1, kS2, /*msg=*/1));
+  builder.ingest(ev(EventKind::kDelivered, 1030, 7, 1, kS2, /*msg=*/0));
+  EXPECT_EQ(builder.rounds_complete(), 0u);  // one message still in flight
+  builder.ingest(ev(EventKind::kDelivered, 1032, 7, 1, kS2, /*msg=*/1));
+
+  ASSERT_EQ(builder.spans().size(), 1u);
+  const RoundSpan& span = builder.spans()[0];
+  EXPECT_TRUE(span.complete());
+  EXPECT_EQ(span.batch, 2u);
+  EXPECT_EQ(span.delivered, 2u);
+  // Origin backs up to submission: round open minus queue wait.
+  EXPECT_EQ(span.origin_us(), 600u);
+  EXPECT_EQ(span.e2e_us(), 1032u - 600u);
+  EXPECT_EQ(span.queue_us, 400u);
+  EXPECT_EQ(span.crypto_ns, 25'000u);
+  EXPECT_EQ(span.retransmit_wait_us(), 0u);
+  EXPECT_EQ(span.propagation_us(), span.e2e_us() - span.queue_us);
+
+  EXPECT_EQ(builder.deliveries(), 2u);
+  EXPECT_EQ(builder.rounds_complete(), 1u);
+  EXPECT_EQ(builder.min_delivery_latency_us(), 1030u - 600u);
+  EXPECT_EQ(registry.counter("alpha_span_deliveries"), 2u);
+  EXPECT_EQ(registry.counter("alpha_span_rounds_complete"), 1u);
+  EXPECT_EQ(registry.counter("alpha_span_delivery_latency_min_us"), 430u);
+  EXPECT_EQ(
+      registry.histogram("alpha_span_delivery_latency_us", "assoc=\"7\"")
+          .count(),
+      2u);
+  EXPECT_EQ(registry.histogram("alpha_span_queue_wait_us").count(), 1u);
+  EXPECT_EQ(registry.histogram("alpha_span_propagation_us").count(), 1u);
+}
+
+TEST(Spans, DuplicateDeliveryCountsOnce) {
+  SpanBuilder builder;
+  builder.ingest(ev(EventKind::kPacketSent, 100, 1, 1, kS1, 1));
+  builder.ingest(ev(EventKind::kDelivered, 200, 1, 1, kS2, 0));
+  builder.ingest(ev(EventKind::kDelivered, 250, 1, 1, kS2, 0));  // dup S2
+  EXPECT_EQ(builder.deliveries(), 1u);
+  EXPECT_EQ(builder.spans()[0].delivered, 1u);
+  EXPECT_EQ(builder.rounds_complete(), 1u);  // finished exactly once
+}
+
+TEST(Spans, RetransmitAttemptsAreTagged) {
+  SpanBuilder builder;
+  builder.ingest(ev(EventKind::kPacketSent, 100, 1, 1, kS1, 1));
+  builder.ingest(ev(EventKind::kRetransmit, 300, 1, 1, kS1, /*attempt=*/1));
+  builder.ingest(ev(EventKind::kRetransmit, 500, 1, 1, kS1, /*attempt=*/2));
+  builder.ingest(ev(EventKind::kPacketSent, 520, 1, 1, kS2, 0));
+  builder.ingest(ev(EventKind::kRetransmit, 560, 1, 1, kS2, /*attempt=*/3));
+  // Handshake retransmits carry no round context and must be ignored.
+  builder.ingest(ev(EventKind::kRetransmit, 570, 1, 1, /*hs1=*/5, 1));
+  builder.ingest(ev(EventKind::kDelivered, 600, 1, 1, kS2, 0));
+
+  const RoundSpan& span = builder.spans()[0];
+  ASSERT_EQ(span.attempts.size(), 3u);
+  EXPECT_EQ(span.attempts[0].packet_type, kS1);
+  EXPECT_EQ(span.attempts[0].attempt, 1u);
+  EXPECT_EQ(span.attempts[1].attempt, 2u);
+  EXPECT_EQ(span.attempts[2].packet_type, kS2);
+  // S1 waited 500-100, S2 waited 560-520.
+  EXPECT_EQ(span.retransmit_wait_us(), 400u + 40u);
+  EXPECT_EQ(span.e2e_us(), 500u);
+  EXPECT_EQ(span.propagation_us(), 500u - 440u);
+}
+
+TEST(Spans, SeqReuseAfterTerminalOpensNewGeneration) {
+  SpanBuilder builder;
+  builder.ingest(ev(EventKind::kPacketSent, 100, 1, 1, kS1, 1));
+  builder.ingest(ev(EventKind::kDelivered, 200, 1, 1, kS2, 0));
+  // Rekey restarted the sequence space: a fresh S1 reuses (assoc=1, seq=1).
+  builder.ingest(ev(EventKind::kPacketSent, 900, 1, 1, kS1, 1));
+  builder.ingest(ev(EventKind::kDelivered, 950, 1, 1, kS2, 0));
+
+  ASSERT_EQ(builder.spans().size(), 2u);
+  EXPECT_EQ(builder.spans()[0].generation, 0u);
+  EXPECT_EQ(builder.spans()[1].generation, 1u);
+  EXPECT_TRUE(builder.spans()[1].complete());
+  EXPECT_EQ(builder.spans()[1].e2e_us(), 50u);
+  EXPECT_EQ(builder.rounds_complete(), 2u);
+}
+
+TEST(Spans, FailedRoundRecordsReason) {
+  metrics::Registry registry;
+  SpanBuilder builder{&registry};
+  builder.ingest(ev(EventKind::kPacketSent, 100, 1, 3, kS1, 2));
+  builder.ingest(ev(EventKind::kRoundFailed, 900, 1, 3, 0, 2,
+                    DropReason::kBudgetExhausted));
+  const RoundSpan& span = builder.spans()[0];
+  EXPECT_TRUE(span.failed);
+  EXPECT_TRUE(span.terminal());
+  EXPECT_FALSE(span.complete());
+  EXPECT_EQ(span.fail_reason, DropReason::kBudgetExhausted);
+  EXPECT_EQ(builder.rounds_failed(), 1u);
+  EXPECT_EQ(registry.counter("alpha_span_rounds_failed"), 1u);
+}
+
+TEST(Spans, AckAndNackAccounting) {
+  SpanBuilder builder;
+  builder.ingest(ev(EventKind::kPacketSent, 100, 1, 1, kS1, 2));
+  builder.ingest(ev(EventKind::kPacketAccepted, 300, 1, 1, kA2, /*ack=*/1));
+  builder.ingest(ev(EventKind::kPacketAccepted, 320, 1, 1, kA2, /*nack=*/0));
+  const RoundSpan& span = builder.spans()[0];
+  EXPECT_EQ(span.acks, 1u);
+  EXPECT_EQ(span.nacks, 1u);
+  EXPECT_EQ(span.last_a2_us, 320u);
+}
+
+TEST(Spans, HopAttributionFromNetChains) {
+  metrics::Registry registry;
+  SpanBuilder builder{&registry};
+  builder.ingest(ev(EventKind::kPacketSent, 100, 1, 1, kS1, 1));
+  // S1 journeys 0 -> 1 -> 2; the relay forwards on arrival, so the second
+  // net event's time minus the first's is link 0->1's latency.
+  builder.ingest(ev(EventKind::kNetDelivered, 100, 1, 1, kS1,
+                    pack_net_detail(0, 1, 500)));
+  builder.ingest(ev(EventKind::kNetDelivered, 105, 1, 1, kS1,
+                    pack_net_detail(1, 2, 500)));
+  // Terminal accept at node 2 closes link 1->2.
+  builder.ingest(ev(EventKind::kPacketAccepted, 112, 1, 1, kS1));
+  const auto& h01 = registry.histogram("alpha_span_hop_us", "link=\"0->1\"");
+  const auto& h12 = registry.histogram("alpha_span_hop_us", "link=\"1->2\"");
+  EXPECT_EQ(h01.count(), 1u);
+  EXPECT_EQ(h01.sum(), 5u);
+  EXPECT_EQ(h12.count(), 1u);
+  EXPECT_EQ(h12.sum(), 7u);
+}
+
+TEST(Spans, IngestNewSurvivesRingWrapAndCountsLoss) {
+  metrics::Registry registry;
+  SpanBuilder builder{&registry};
+  Ring ring(4);
+  // 10 recorded, capacity 4: the oldest 6 are gone before the first read.
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    ring.record(ev(EventKind::kPacketSent, 100 + i, 1, i + 1, kS1, 1));
+  }
+  EXPECT_EQ(builder.ingest_new(ring), 4u);
+  EXPECT_EQ(builder.lost_events(), 6u);
+  EXPECT_EQ(builder.spans().size(), 4u);
+  EXPECT_EQ(registry.counter("alpha_trace_events_dropped"), 6u);
+
+  // Incremental: only the two new events are consumed.
+  ring.record(ev(EventKind::kPacketSent, 200, 1, 11, kS1, 1));
+  ring.record(ev(EventKind::kPacketSent, 201, 1, 12, kS1, 1));
+  EXPECT_EQ(builder.ingest_new(ring), 2u);
+  EXPECT_EQ(builder.lost_events(), 6u);
+
+  // A cleared ring resets the cursor instead of reading garbage.
+  ring.clear();
+  ring.record(ev(EventKind::kPacketSent, 300, 1, 13, kS1, 1));
+  EXPECT_EQ(builder.ingest_new(ring), 1u);
+  EXPECT_EQ(builder.spans().back().seq, 13u);
+}
+
+TEST(Spans, S2WithoutS1GrowsBatchFromMessageIndex) {
+  // Ring wrap ate the S1: the span must still become completable from the
+  // S2/delivery evidence alone.
+  SpanBuilder builder;
+  builder.ingest(ev(EventKind::kPacketSent, 100, 1, 1, kS2, /*msg=*/2));
+  builder.ingest(ev(EventKind::kDelivered, 200, 1, 1, kS2, 0));
+  builder.ingest(ev(EventKind::kDelivered, 201, 1, 1, kS2, 1));
+  builder.ingest(ev(EventKind::kDelivered, 202, 1, 1, kS2, 2));
+  const RoundSpan& span = builder.spans()[0];
+  EXPECT_EQ(span.batch, 3u);
+  EXPECT_TRUE(span.complete());
+}
+
+}  // namespace
+}  // namespace alpha::trace

@@ -55,6 +55,43 @@ TEST(TraceRing, ClearResets) {
   EXPECT_EQ(ring.total(), 0u);
 }
 
+TEST(TraceRing, DroppedCountsOverflowMonotonically) {
+  Ring ring(4);
+  EXPECT_EQ(ring.dropped(), 0u);
+  for (std::uint32_t i = 0; i < 4; ++i) ring.record(make_event(i));
+  EXPECT_EQ(ring.dropped(), 0u);  // exactly full: nothing lost yet
+  ring.record(make_event(4));
+  EXPECT_EQ(ring.dropped(), 1u);
+  std::uint64_t prev = ring.dropped();
+  for (std::uint32_t i = 5; i < 100; ++i) {
+    ring.record(make_event(i));
+    EXPECT_GE(ring.dropped(), prev);  // monotonic
+    prev = ring.dropped();
+  }
+  EXPECT_EQ(ring.dropped(), 100u - ring.capacity());
+  EXPECT_EQ(ring.dropped(), ring.total() - ring.size());
+}
+
+TEST(TraceRing, AbsoluteIndexingSurvivesWrap) {
+  Ring ring(4);
+  for (std::uint32_t i = 0; i < 11; ++i) ring.record(make_event(i));
+  EXPECT_EQ(ring.first_index(), 7u);
+  // A cursor holding absolute indices reads the same events at() exposes.
+  for (std::uint64_t i = ring.first_index(); i < ring.total(); ++i) {
+    EXPECT_EQ(ring.at_absolute(i).seq, i);
+  }
+  EXPECT_EQ(&ring.at_absolute(ring.first_index()), &ring.at(0));
+}
+
+TEST(TraceRing, PackRoundDetailSaturates) {
+  const std::uint64_t d = pack_round_detail(1234, 567890);
+  EXPECT_EQ(round_detail_queue_us(d), 1234u);
+  EXPECT_EQ(round_detail_crypto_ns(d), 567890u);
+  const std::uint64_t big = pack_round_detail(~0ull, ~0ull);
+  EXPECT_EQ(round_detail_queue_us(big), 0xFFFFFFFFull);
+  EXPECT_EQ(round_detail_crypto_ns(big), 0xFFFFFFFFull);
+}
+
 TEST(TraceEmit, NoopWithoutSink) {
   install(nullptr);
   EXPECT_FALSE(enabled());
@@ -99,7 +136,7 @@ TEST(TraceDetail, NetDetailPackUnpack) {
 }
 
 TEST(TraceStrings, KindRoundTrips) {
-  for (int k = 0; k <= 17; ++k) {
+  for (int k = 0; k <= 20; ++k) {
     const auto kind = static_cast<EventKind>(k);
     const std::string s = to_string(kind);
     EXPECT_EQ(kind_from_string(s), kind) << s;

@@ -1,10 +1,13 @@
 // alpha_inspect -- decode and pretty-print an ALPHA packet from hex, or
 // render a JSONL protocol event trace (alpha_sim --trace) as a
-// per-association timeline plus a drop-reason summary table.
+// per-association timeline plus a drop-reason summary table, or
+// reconstruct per-round spans (waterfalls + latency quantiles) offline.
 //
 //   $ alpha_inspect --hex 0101000000010000000701...
 //   $ some_capture | alpha_inspect --stdin
 //   $ alpha_sim --trace run.jsonl ... && alpha_inspect --trace run.jsonl
+//   $ alpha_inspect --spans run.jsonl
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -12,9 +15,13 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "flags.hpp"
+#include "trace/metrics.hpp"
+#include "trace/spans.hpp"
+#include "trace/trace.hpp"
 #include "wire/packets.hpp"
 
 using namespace alpha;
@@ -211,15 +218,14 @@ bool parse_trace_line(const std::string& line, TraceLine& ev) {
   return true;
 }
 
-int inspect_trace(const std::string& path) {
+bool load_trace(const std::string& path, std::vector<TraceLine>& events,
+                std::size_t& bad_lines) {
   std::ifstream f{path};
   if (!f) {
     std::fprintf(stderr, "cannot read %s\n", path.c_str());
-    return 1;
+    return false;
   }
-  std::vector<TraceLine> events;
   std::string line;
-  std::size_t bad_lines = 0;
   while (std::getline(f, line)) {
     if (line.empty()) continue;
     TraceLine ev;
@@ -231,8 +237,15 @@ int inspect_trace(const std::string& path) {
   }
   if (events.empty()) {
     std::fprintf(stderr, "%s: no trace events\n", path.c_str());
-    return 1;
+    return false;
   }
+  return true;
+}
+
+int inspect_trace(const std::string& path) {
+  std::vector<TraceLine> events;
+  std::size_t bad_lines = 0;
+  if (!load_trace(path, events, bad_lines)) return 1;
 
   // Per-association timeline (assoc 0 collects events with no association
   // context, e.g. malformed-header drops).
@@ -310,6 +323,160 @@ int inspect_trace(const std::string& path) {
   return 0;
 }
 
+// ------------------------------------------------------ span reconstruction
+
+/// Rebuilds a trace::Event from its JSONL form; lossless because write_jsonl
+/// always emits the raw detail word alongside the decoded net fields.
+trace::Event to_event(const TraceLine& line) {
+  trace::Event e;
+  e.time_us = line.t;
+  e.detail = line.detail;
+  e.assoc_id = line.assoc;
+  e.seq = line.seq;
+  e.kind = trace::kind_from_string(line.kind);
+  e.reason = trace::reason_from_string(line.reason);
+  e.packet_type = trace::packet_type_from_name(line.type);
+  e.origin = static_cast<std::uint8_t>(line.origin);
+  return e;
+}
+
+void waterfall_row(std::vector<std::pair<std::uint64_t, std::string>>& rows,
+                   std::uint64_t t, std::string label) {
+  if (t != trace::RoundSpan::kUnset) rows.emplace_back(t, std::move(label));
+}
+
+void print_waterfall(const trace::RoundSpan& span) {
+  const std::uint64_t origin = span.origin_us();
+  char buf[160];
+
+  const char* status = span.complete() ? "complete"
+                       : span.failed  ? "FAILED"
+                                      : "in-flight";
+  std::printf("== assoc %u seq %u gen %u: %s, batch=%zu delivered=%zu ==\n",
+              span.assoc_id, span.seq, span.generation, status, span.batch,
+              span.delivered);
+  if (span.complete()) {
+    std::printf("   e2e %.3f ms  (queue %.3f ms, crypto %.1f us, "
+                "retransmit-wait %.3f ms, propagation %.3f ms)\n",
+                span.e2e_us() / 1000.0, span.queue_us / 1000.0,
+                span.crypto_ns / 1000.0, span.retransmit_wait_us() / 1000.0,
+                span.propagation_us() / 1000.0);
+  }
+
+  std::vector<std::pair<std::uint64_t, std::string>> rows;
+  if (span.start_us != trace::RoundSpan::kUnset) {
+    waterfall_row(rows, origin, "submit (oldest batched message)");
+    std::snprintf(buf, sizeof(buf), "round open (crypto %.1f us)",
+                  span.crypto_ns / 1000.0);
+    waterfall_row(rows, span.start_us, buf);
+  }
+  std::snprintf(buf, sizeof(buf), "S1 sent (batch %zu)", span.batch);
+  waterfall_row(rows, span.s1_sent_us, buf);
+  for (const trace::AttemptSpan& a : span.attempts) {
+    std::snprintf(buf, sizeof(buf), "%s retransmit #%u (attempt-tagged)",
+                  a.packet_type == 1 ? "S1" : "S2", a.attempt);
+    waterfall_row(rows, a.time_us, buf);
+  }
+  waterfall_row(rows, span.s1_accepted_us, "S1 accepted at verifier");
+  waterfall_row(rows, span.a1_sent_us, "A1 sent");
+  waterfall_row(rows, span.a1_accepted_us, "A1 accepted at signer");
+  for (std::size_t i = 0; i < span.messages.size(); ++i) {
+    const trace::MessageSpan& m = span.messages[i];
+    std::snprintf(buf, sizeof(buf), "S2[%zu] sent", i);
+    waterfall_row(rows, m.s2_sent_us, buf);
+    if (m.delivered_us != trace::MessageSpan::kUnset) {
+      std::snprintf(buf, sizeof(buf), "S2[%zu] delivered (e2e %.3f ms)", i,
+                    (m.delivered_us - origin) / 1000.0);
+      waterfall_row(rows, m.delivered_us, buf);
+    }
+  }
+  if (span.acks + span.nacks > 0) {
+    std::snprintf(buf, sizeof(buf), "last A2 accepted (%zu acks, %zu nacks)",
+                  span.acks, span.nacks);
+    waterfall_row(rows, span.last_a2_us, buf);
+  }
+  if (span.failed) {
+    std::snprintf(buf, sizeof(buf), "round FAILED (%s)",
+                  trace::to_string(span.fail_reason));
+    // Failure carries no timestamp of its own on the span; anchor it last.
+    rows.emplace_back(rows.empty() ? origin : rows.back().first, buf);
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [t, label] : rows) {
+    std::printf("  %+12.3f ms  %s\n", (static_cast<double>(t) - origin) / 1000.0,
+                label.c_str());
+  }
+  std::printf("\n");
+}
+
+void print_quantiles(const char* name, const metrics::Histogram& h,
+                     double scale, const char* unit) {
+  if (h.count() == 0) return;
+  std::printf("%-22s n=%-6llu min=%-9.3f p50=%-9.3f p99=%-9.3f max=%-9.3f %s\n",
+              name, static_cast<unsigned long long>(h.count()),
+              h.min() / scale, h.quantile(0.5) / scale, h.quantile(0.99) / scale,
+              h.max() / scale, unit);
+}
+
+int inspect_spans(const std::string& path) {
+  std::vector<TraceLine> events;
+  std::size_t bad_lines = 0;
+  if (!load_trace(path, events, bad_lines)) return 1;
+
+  trace::SpanBuilder builder;
+  for (const TraceLine& line : events) builder.ingest(to_event(line));
+  if (builder.spans().empty()) {
+    std::fprintf(stderr, "%s: no signature rounds in trace\n", path.c_str());
+    return 1;
+  }
+
+  for (const trace::RoundSpan& span : builder.spans()) print_waterfall(span);
+
+  // Latency summary with bucket-bounded quantile estimates (log2 buckets:
+  // p50/p99 are exact to within a factor of 2, clamped to observed min/max).
+  metrics::Histogram delivery, e2e, queue, crypto, retrans, prop;
+  for (const trace::RoundSpan& span : builder.spans()) {
+    const std::uint64_t origin = span.origin_us();
+    for (const trace::MessageSpan& m : span.messages) {
+      if (m.delivered_us != trace::MessageSpan::kUnset) {
+        delivery.record(m.delivered_us - origin);
+      }
+    }
+    if (!span.complete()) continue;
+    e2e.record(span.e2e_us());
+    queue.record(span.queue_us);
+    crypto.record(span.crypto_ns);
+    retrans.record(span.retransmit_wait_us());
+    prop.record(span.propagation_us());
+  }
+  std::printf("== span summary ==\n");
+  std::printf("rounds: %llu complete, %llu failed, %zu total; "
+              "%llu message deliveries\n",
+              static_cast<unsigned long long>(builder.rounds_complete()),
+              static_cast<unsigned long long>(builder.rounds_failed()),
+              builder.spans().size(),
+              static_cast<unsigned long long>(builder.deliveries()));
+  print_quantiles("delivery latency", delivery, 1000.0, "ms");
+  print_quantiles("round e2e", e2e, 1000.0, "ms");
+  print_quantiles("queue wait", queue, 1000.0, "ms");
+  print_quantiles("crypto", crypto, 1000.0, "us");
+  print_quantiles("retransmit wait", retrans, 1000.0, "ms");
+  print_quantiles("propagation", prop, 1000.0, "ms");
+  if (builder.min_delivery_latency_us() != trace::SpanBuilder::kUnset) {
+    std::printf("min delivery latency: %.3f ms\n",
+                builder.min_delivery_latency_us() / 1000.0);
+  }
+  if (builder.lost_events() > 0) {
+    std::fprintf(stderr, "warning: %llu events lost to ring overwrite\n",
+                 static_cast<unsigned long long>(builder.lost_events()));
+  }
+  if (bad_lines > 0) {
+    std::fprintf(stderr, "warning: %zu undecodable trace lines\n", bad_lines);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -320,8 +487,14 @@ int main(int argc, char** argv) {
   flags.define("trace", "",
                "decode a JSONL event trace (alpha_sim --trace) into a "
                "timeline and drop-reason table");
+  flags.define("spans", "",
+               "reconstruct per-round spans from a JSONL event trace: "
+               "waterfalls plus latency-component quantiles");
   flags.parse(argc, argv);
 
+  if (!flags.str("spans").empty()) {
+    return inspect_spans(flags.str("spans"));
+  }
   if (!flags.str("trace").empty()) {
     return inspect_trace(flags.str("trace"));
   }

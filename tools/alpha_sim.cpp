@@ -8,6 +8,7 @@
 //
 //   $ alpha_sim --hops 4 --mode cm --batch 32 --group 8 --messages 500
 //               --loss 0.1 --reliable --assocs 16
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -16,7 +17,10 @@
 #include "core/node.hpp"
 #include "flags.hpp"
 #include "net/network.hpp"
+#include "trace/health.hpp"
 #include "trace/metrics.hpp"
+#include "trace/spans.hpp"
+#include "trace/telemetry.hpp"
 #include "trace/trace.hpp"
 
 using namespace alpha;
@@ -68,6 +72,7 @@ int main(int argc, char** argv) {
   flags.define("bandwidth", "54000000", "link bandwidth (bit/s)");
   flags.define("mtu", "1500", "link MTU (bytes)");
   flags.define("chain", "4096", "hash-chain length");
+  flags.define("max-retries", "50", "retransmit budget per round/handshake");
   flags.define("rekey", "64", "rekey threshold in chain elements (0 = off)");
   flags.define("seed", "1", "simulation seed");
   flags.define("corrupt", "0.0", "per-link frame bit-corruption rate");
@@ -86,6 +91,12 @@ int main(int argc, char** argv) {
   flags.define("timeline", "false", "print a per-frame timeline to stderr");
   flags.define("metrics", "false",
                "print Prometheus-style per-association metrics to stdout");
+  flags.define("metrics-port", "-1",
+               "serve /metrics + /healthz on 127.0.0.1:PORT (0 = ephemeral, "
+               "port printed to stderr; -1 = off)");
+  flags.define("serve-seconds", "0",
+               "keep the telemetry endpoint up for N wall-clock seconds "
+               "after the run (for scrapers)");
   flags.define("identity", "",
                "private key file (alpha_keygen) signing the handshake");
   flags.define("require-protected", "false",
@@ -156,9 +167,14 @@ int main(int argc, char** argv) {
 
   // Typed event trace: install a ring large enough that a smoke-size chaos
   // run cannot wrap it, dump as JSONL at exit (alpha_inspect decodes it).
+  // Span stitching and the live telemetry endpoint also need the ring, so
+  // --metrics/--metrics-port install it too.
   std::optional<trace::Ring> trace_ring;
   const std::string trace_path = flags.str("trace");
-  if (!trace_path.empty()) {
+  const long metrics_port = flags.num("metrics-port");
+  const long serve_seconds = flags.num("serve-seconds");
+  const bool want_metrics = flags.flag("metrics") || metrics_port >= 0;
+  if (!trace_path.empty() || want_metrics) {
     trace_ring.emplace(std::size_t{1} << 18);
     trace::install(&*trace_ring);
   }
@@ -206,7 +222,7 @@ int main(int argc, char** argv) {
   config.chain_length = static_cast<std::size_t>(flags.num("chain"));
   config.rekey_threshold = static_cast<std::size_t>(flags.num("rekey"));
   config.rto_us = 200 * net::kMillisecond;
-  config.max_retries = 50;
+  config.max_retries = static_cast<int>(flags.num("max-retries"));
 
   std::optional<core::Identity> identity;
   core::Host::Options initiator_opts, responder_opts;
@@ -237,8 +253,9 @@ int main(int argc, char** argv) {
   init_opts.trace_origin = 0;
   std::size_t failed_deliveries = 0;
 
-  const bool want_metrics = flags.flag("metrics");
   metrics::Registry registry;
+  trace::SpanBuilder span_builder{want_metrics ? &registry : nullptr};
+  trace::HealthMonitor health;
   std::map<std::uint64_t, std::uint64_t> submit_time_us;  // cookie -> t
   std::map<std::uint32_t, std::uint64_t> hs_start_us;     // assoc -> t
   const auto assoc_label = [](std::uint32_t assoc_id) {
@@ -313,6 +330,82 @@ int main(int argc, char** argv) {
                                           static_cast<net::NodeId>(hops)),
       resp_opts, resp_cbs};
 
+  // One refresh = fold per-association counters from fresh snapshots into
+  // the registry (plain assignments, so re-folding per scrape is
+  // idempotent), stitch newly-recorded ring events into spans, and feed the
+  // health monitor. Called on every scrape and once before printing.
+  const auto refresh_observability = [&] {
+    if (!want_metrics) return;
+    const auto init = initiator_node.snapshot(/*per_assoc=*/true);
+    const auto resp = responder_node.snapshot(/*per_assoc=*/true);
+    std::vector<trace::AssocHealthSample> samples;
+    samples.reserve(init.assocs.size());
+    for (const auto& as : init.assocs) {
+      const std::string labels = assoc_label(as.assoc_id);
+      registry.counter("alpha_messages_submitted", labels) =
+          as.signer.messages_submitted;
+      registry.counter("alpha_rounds_completed", labels) =
+          as.signer.rounds_completed;
+      registry.counter("alpha_rounds_failed", labels) =
+          as.signer.rounds_failed;
+      registry.counter("alpha_rekeys_started", labels) = as.rekeys_started;
+      registry.counter("alpha_hs_retransmits", labels) = as.hs_retransmits;
+      registry.counter("alpha_corrupt_frames", labels) = as.corrupt_frames;
+      registry.counter("alpha_replayed_handshakes", labels) =
+          as.replayed_handshakes;
+      registry.counter("alpha_duplicate_handshakes", labels) =
+          as.duplicate_handshakes;
+      registry.counter("alpha_assoc_failed", labels) = as.failed ? 1 : 0;
+      trace::AssocHealthSample sample;
+      sample.assoc_id = as.assoc_id;
+      sample.established = as.established;
+      sample.failed = as.failed;
+      sample.round_active = as.round_active;
+      sample.round_seq = as.round_seq;
+      sample.round_retries = as.round_retries;
+      sample.rekeys_started = as.rekeys_started;
+      samples.push_back(sample);
+    }
+    for (const auto& as : resp.assocs) {
+      const std::string labels = assoc_label(as.assoc_id);
+      registry.counter("alpha_messages_delivered", labels) =
+          as.verifier.messages_delivered;
+      registry.counter("alpha_invalid_packets", labels) =
+          as.verifier.invalid_packets;
+      registry.counter("alpha_duplicate_packets", labels) =
+          as.verifier.duplicate_packets;
+    }
+    if (trace_ring.has_value()) span_builder.ingest_new(*trace_ring);
+    health.observe(samples, sim.now(),
+                   trace_ring.has_value() ? trace_ring->dropped() : 0);
+  };
+
+  std::optional<trace::TelemetryServer> telemetry;
+  if (metrics_port >= 0) {
+    trace::TelemetryServer::Options topts;
+    topts.port = static_cast<std::uint16_t>(metrics_port);
+    telemetry.emplace(
+        topts,
+        [&] {
+          refresh_observability();
+          return registry.render_prometheus();
+        },
+        [&] {
+          refresh_observability();
+          return std::pair<int, std::string>{health.http_status(),
+                                             health.healthz_json()};
+        });
+    if (!telemetry->ok()) {
+      std::fprintf(stderr, "telemetry: cannot bind 127.0.0.1:%ld\n",
+                   metrics_port);
+      return 1;
+    }
+    // Scrapers parse this line to find an ephemeral port (--metrics-port 0).
+    std::fprintf(stderr, "telemetry: serving on 127.0.0.1:%u\n",
+                 telemetry->port());
+    std::fflush(stderr);
+  }
+
   for (std::size_t a = 0; a < assocs; ++a) {
     const auto assoc_id = static_cast<std::uint32_t>(a + 1);
     initiator_node.add_initiator(assoc_id, /*peer=*/1, config,
@@ -364,6 +457,10 @@ int main(int argc, char** argv) {
       break;  // every message settled: delivered or reported failed
     }
     sim.run_until(sim.now() + net::kSecond);
+    if (trace_ring.has_value() && want_metrics) {
+      span_builder.ingest_new(*trace_ring);  // stitch while the ring is hot
+    }
+    if (telemetry.has_value()) telemetry->poll(0);
     if (delivered != last_count) {
       last_count = delivered;
       last_progress = sim.now();
@@ -458,23 +555,10 @@ int main(int argc, char** argv) {
                 forged, static_cast<unsigned long long>(failed_assocs));
   }
   if (want_metrics) {
-    // Per-association counters from both end snapshots; the latency/RTT
-    // histograms filled during the run ride along in the same registry.
+    refresh_observability();
+    // One-shot distribution metrics that only make sense after the run.
     for (const auto& as : init_snap.assocs) {
       const std::string labels = assoc_label(as.assoc_id);
-      registry.counter("alpha_messages_submitted", labels) =
-          as.signer.messages_submitted;
-      registry.counter("alpha_rounds_completed", labels) =
-          as.signer.rounds_completed;
-      registry.counter("alpha_rounds_failed", labels) =
-          as.signer.rounds_failed;
-      registry.counter("alpha_rekeys_started", labels) = as.rekeys_started;
-      registry.counter("alpha_hs_retransmits", labels) = as.hs_retransmits;
-      registry.counter("alpha_corrupt_frames", labels) = as.corrupt_frames;
-      registry.counter("alpha_replayed_handshakes", labels) =
-          as.replayed_handshakes;
-      registry.counter("alpha_duplicate_handshakes", labels) =
-          as.duplicate_handshakes;
       const std::uint64_t packets = as.signer.s1_sent + as.signer.s2_sent;
       if (packets > 0) {
         registry.histogram("alpha_signer_hash_ops_per_packet", labels)
@@ -485,12 +569,6 @@ int main(int argc, char** argv) {
     }
     for (const auto& as : resp_snap.assocs) {
       const std::string labels = assoc_label(as.assoc_id);
-      registry.counter("alpha_messages_delivered", labels) =
-          as.verifier.messages_delivered;
-      registry.counter("alpha_invalid_packets", labels) =
-          as.verifier.invalid_packets;
-      registry.counter("alpha_duplicate_packets", labels) =
-          as.verifier.duplicate_packets;
       const std::uint64_t packets =
           as.verifier.s1_accepted + as.verifier.s2_accepted;
       if (packets > 0) {
@@ -498,8 +576,30 @@ int main(int argc, char** argv) {
             .record(as.verifier.hashes.total() / packets);
       }
     }
-    std::printf("== metrics ==\n");
-    registry.write_prometheus(stdout);
+    if (span_builder.min_delivery_latency_us() != trace::SpanBuilder::kUnset) {
+      std::printf("spans:          rounds=%llu failed=%llu deliveries=%llu "
+                  "min-latency=%.3f ms\n",
+                  static_cast<unsigned long long>(
+                      span_builder.rounds_complete()),
+                  static_cast<unsigned long long>(span_builder.rounds_failed()),
+                  static_cast<unsigned long long>(span_builder.deliveries()),
+                  static_cast<double>(
+                      span_builder.min_delivery_latency_us()) / 1000.0);
+    }
+    std::printf("health:         %s\n", health.healthz_json().c_str());
+    if (flags.flag("metrics")) {
+      std::printf("== metrics ==\n");
+      registry.write_prometheus(stdout);
+    }
+  }
+  // Keep the endpoint alive for scrapers that attach after the run
+  // (wall-clock time; the simulation is already over).
+  if (telemetry.has_value() && serve_seconds > 0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(serve_seconds);
+    while (std::chrono::steady_clock::now() < deadline) {
+      telemetry->poll(100);
+    }
   }
   if (trace_ring.has_value()) {
     trace::install(nullptr);
