@@ -20,8 +20,18 @@ With --latency it instead validates a bench_latency_rtt JSON artifact
 the paper's minimum, reliable ack ~2 RTT, and a TESLA baseline that is
 RTT-bound (worse than ALPHA).
 
+With --sharded it validates a bench_sharded JSON artifact
+(BENCH_sharded.json): schema shape, an association sweep that reaches 10^6
+concurrent associations with every association established and every message
+delivered and zero ring overflows, and a complete 1/2/4-worker sweep. The
+worker sweep's goodput must additionally be monotone from 1 to 4 workers --
+but only when the recorded hardware_concurrency is >= 4: on fewer cores the
+extra threads only add contention, so the scaling claim is untestable there
+and the gate degrades to completeness checks.
+
 Usage: check_perf_smoke.py UNTRACED.json TRACED.json
        check_perf_smoke.py --latency BENCH_latency.json
+       check_perf_smoke.py --sharded BENCH_sharded.json
 """
 
 import json
@@ -101,13 +111,77 @@ def check_latency(path: str) -> None:
           f"TESLA baseline {tesla['verification_rtt']} RTT")
 
 
+def check_sharded(path: str) -> None:
+    doc = json.load(open(path))
+    if doc.get("bench") != "sharded":
+        fail(f"{path}: bench != sharded")
+    if doc.get("schema_version") != 1:
+        fail(f"{path}: unknown schema_version {doc.get('schema_version')}")
+    hw = doc.get("hardware_concurrency")
+    if not isinstance(hw, int) or hw < 1:
+        fail(f"{path}: missing/invalid hardware_concurrency")
+
+    assoc_rows = doc.get("assoc_sweep")
+    if not isinstance(assoc_rows, list) or not assoc_rows:
+        fail(f"{path}: empty assoc_sweep")
+    sizes = set()
+    for row in assoc_rows:
+        for key in ("assocs", "workers", "established", "delivered",
+                    "ring_overflows"):
+            if key not in row:
+                fail(f"{path}: assoc_sweep row missing {key}")
+        sizes.add(row["assocs"])
+        if row["established"] != row["assocs"]:
+            fail(f"{path}: {row['assocs']}-assoc row established only "
+                 f"{row['established']}")
+        if row["delivered"] != row["assocs"]:
+            fail(f"{path}: {row['assocs']}-assoc row delivered only "
+                 f"{row['delivered']}")
+        if row["ring_overflows"] != 0:
+            fail(f"{path}: {row['assocs']}-assoc row overflowed rings "
+                 f"{row['ring_overflows']} times")
+    if max(sizes) < 1_000_000:
+        fail(f"{path}: assoc sweep stops at {max(sizes)}; the committed "
+             f"artifact must demonstrate 10^6 concurrent associations")
+
+    worker_rows = doc.get("worker_sweep")
+    if not isinstance(worker_rows, list) or not worker_rows:
+        fail(f"{path}: empty worker_sweep")
+    goodput = {}
+    for row in worker_rows:
+        for key in ("workers", "messages", "delivered",
+                    "goodput_msgs_per_s"):
+            if key not in row:
+                fail(f"{path}: worker_sweep row missing {key}")
+        if row["delivered"] != row["messages"]:
+            fail(f"{path}: {row['workers']}-worker row delivered "
+                 f"{row['delivered']}/{row['messages']}")
+        goodput[row["workers"]] = row["goodput_msgs_per_s"]
+    if not {1, 2, 4} <= set(goodput):
+        fail(f"{path}: expected 1/2/4-worker rows, got {sorted(goodput)}")
+    if hw >= 4:
+        if not goodput[1] <= goodput[2] <= goodput[4]:
+            fail(f"{path}: goodput not monotone 1->4 workers on a "
+                 f"{hw}-core host: {goodput[1]:.0f} / {goodput[2]:.0f} / "
+                 f"{goodput[4]:.0f} msg/s")
+        scaling = f"scaling {goodput[4] / goodput[1]:.2f}x at 4 workers"
+    else:
+        scaling = (f"scaling not gated (hardware_concurrency={hw}; "
+                   f"gate requires >= 4 cores)")
+    print(f"OK: {path} schema valid; 10^6-assoc sweep complete with zero "
+          f"ring overflows; {scaling}")
+
+
 def main() -> None:
     if len(sys.argv) == 3 and sys.argv[1] == "--latency":
         check_latency(sys.argv[2])
         return
+    if len(sys.argv) == 3 and sys.argv[1] == "--sharded":
+        check_sharded(sys.argv[2])
+        return
     if len(sys.argv) != 3:
         fail(f"usage: {sys.argv[0]} [--latency LATENCY.json | "
-             f"UNTRACED.json TRACED.json]")
+             f"--sharded SHARDED.json | UNTRACED.json TRACED.json]")
     untraced = json.load(open(sys.argv[1]))
     traced = json.load(open(sys.argv[2]))
     if untraced.get("traced") is not False:

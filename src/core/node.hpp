@@ -1,4 +1,4 @@
-// Multi-association node runtime.
+// Multi-association node runtime (single-threaded poll-loop shape).
 //
 // The paper's end-hosts and relays each serve one security association;
 // core::Host and core::RelayEngine mirror that. AlphaNode is the scaling
@@ -8,6 +8,13 @@
 // unknown HS1 arrives, and drives retransmissions through a hashed timer
 // wheel so on_tick fires only for associations that actually have a pending
 // deadline -- not as an O(all-assocs) sweep per tick.
+//
+// Since the sharded-runtime refactor, all of that logic lives in
+// core::NodeShard (core/shard.hpp); AlphaNode is the one-shard shape of it,
+// bound directly to a Transport: frames arrive through the transport's
+// receive callback, frames leave through transport->send, and timer wakeups
+// ride the transport's scheduler. The multi-core shape of the same shard is
+// core::ShardedNode (core/sharded_node.hpp).
 //
 // The node is transport-agnostic by construction: it talks to the world
 // exclusively through net::Transport, so the same code serves the
@@ -22,101 +29,20 @@
 //    between two peers, direction derived from the source address
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
-#include "core/host.hpp"
-#include "core/relay.hpp"
-#include "core/timer_wheel.hpp"
-#include "crypto/random.hpp"
+#include "core/shard.hpp"
 #include "net/transport.hpp"
 
 namespace alpha::core {
 
-/// Point-in-time view of one association hosted by a node.
-struct AssocSnapshot {
-  std::uint32_t assoc_id = 0;
-  bool initiator = false;
-  bool established = false;
-  bool rekey_pending = false;
-  bool failed = false;                   // retransmit budget exhausted
-  std::uint64_t frames_in = 0;
-  std::uint64_t frames_out = 0;
-  std::uint64_t rekeys_started = 0;
-  std::uint64_t hs_retransmits = 0;
-  std::uint64_t corrupt_frames = 0;      // failed full decode at the host
-  std::uint64_t replayed_handshakes = 0; // stale handshake counters
-  std::uint64_t duplicate_handshakes = 0;  // benign same-seq duplicates
-  // Round progress of the signer side, for the health watchdog: a round
-  // whose (seq, retries) stops changing while active is wedged.
-  bool round_active = false;
-  std::uint32_t round_seq = 0;
-  std::uint32_t round_retries = 0;
-  std::size_t backlog = 0;               // submitted, not yet in a round
-  // Association-lifetime engine stats (current + rekey-retired engines).
-  SignerStats signer;      // zero until first established
-  VerifierStats verifier;  // zero until first established
-};
-
-/// Aggregated node-level counters plus (optionally) per-association detail.
-struct NodeSnapshot {
-  std::uint64_t frames_in = 0;
-  std::uint64_t frames_out = 0;
-  std::uint64_t malformed_frames = 0;    // assoc-id peek failed
-  std::uint64_t demux_misses = 0;        // no association/relay/accept matched
-  std::uint64_t send_failures = 0;       // transport rejected a frame
-  std::uint64_t accepted_handshakes = 0; // responders spawned on demand
-  std::uint64_t timer_fires = 0;         // association on_tick invocations
-  std::uint64_t rekeys_started = 0;
-  std::size_t associations = 0;
-  std::size_t established = 0;
-  std::size_t failed = 0;                // assocs whose budget ran out
-  std::uint64_t messages_delivered = 0;  // across all verifiers
-  std::uint64_t messages_forged = 0;     // invalid at hosts + relay drops
-  std::uint64_t corrupt_frames = 0;      // failed full decode at a host
-  std::uint64_t duplicate_frames = 0;    // dup S1/S2 answered idempotently
-  std::uint64_t replayed_handshakes = 0; // stale handshake counters
-  std::uint64_t duplicate_handshakes = 0;  // benign same-seq duplicates
-  std::uint64_t retransmits = 0;         // S1 + S2 + handshake retransmits
-  RelayStats relay;                      // summed over relay bindings
-  std::vector<AssocSnapshot> assocs;     // filled when requested
-};
-
 class AlphaNode {
  public:
-  struct Options {
-    /// Protocol profile for accepted inbound associations; also the source
-    /// of the default timer granularity (rto_us / 2).
-    Config config;
-    /// Host options for accepted inbound associations.
-    Host::Options accept_host_options;
-    /// Spawn a responder Host when an HS1 for an unknown association
-    /// arrives. Off: such frames count as demux misses.
-    bool accept_inbound = false;
-    /// Seeds the node's chain-material RNG (deterministic per seed).
-    std::uint64_t seed = 1;
-    /// Timer wheel resolution; 0 derives config.rto_us / 2.
-    std::uint64_t tick_granularity_us = 0;
-    /// Timer wheel ring size (horizon = granularity * slots).
-    std::size_t wheel_slots = 256;
-    /// Origin id stamped on trace events emitted while this node runs
-    /// (engines have no node identity of their own; see trace::Event).
-    std::uint8_t trace_origin = 0;
-  };
-
-  struct Callbacks {
-    /// Authenticated message delivered on some association.
-    std::function<void(std::uint32_t assoc_id, crypto::ByteView payload)>
-        on_message;
-    /// Delivery outcome for a submitted message.
-    std::function<void(std::uint32_t assoc_id, std::uint64_t cookie,
-                       DeliveryStatus)>
-        on_delivery;
-    /// Association finished (re-)establishment.
-    std::function<void(std::uint32_t assoc_id)> on_established;
-  };
+  using Options = NodeShard::Options;
+  using Callbacks = NodeShard::Callbacks;
+  using ExtractFn = NodeShard::ExtractFn;
 
   /// Takes ownership of the transport and installs itself as its receiver.
   AlphaNode(std::unique_ptr<net::Transport> transport, Options options,
@@ -127,30 +53,27 @@ class AlphaNode {
 
   /// Adds an initiator-side association toward `peer`.
   Host& add_initiator(std::uint32_t assoc_id, net::PeerAddr peer) {
-    return add_host(assoc_id, peer, /*initiator=*/true, options_.config,
-                    Host::Options{});
+    return shard_.add_host(assoc_id, peer, /*initiator=*/true,
+                           options_.config, Host::Options{});
   }
   Host& add_initiator(std::uint32_t assoc_id, net::PeerAddr peer,
                       const Config& config,
                       const Host::Options& host_options = {}) {
-    return add_host(assoc_id, peer, /*initiator=*/true, config, host_options);
+    return shard_.add_host(assoc_id, peer, /*initiator=*/true, config,
+                           host_options);
   }
 
   /// Adds a pre-provisioned responder-side association toward `peer`.
   Host& add_responder(std::uint32_t assoc_id, net::PeerAddr peer) {
-    return add_host(assoc_id, peer, /*initiator=*/false, options_.config,
-                    Host::Options{});
+    return shard_.add_host(assoc_id, peer, /*initiator=*/false,
+                           options_.config, Host::Options{});
   }
   Host& add_responder(std::uint32_t assoc_id, net::PeerAddr peer,
                       const Config& config,
                       const Host::Options& host_options = {}) {
-    return add_host(assoc_id, peer, /*initiator=*/false, config, host_options);
+    return shard_.add_host(assoc_id, peer, /*initiator=*/false, config,
+                           host_options);
   }
-
-  using ExtractFn = std::function<void(std::uint32_t assoc_id,
-                                       std::uint32_t seq,
-                                       std::uint16_t msg_index,
-                                       crypto::ByteView payload)>;
 
   /// Adds a relay binding verifying-and-forwarding between `upstream`
   /// (toward the initiator) and `downstream` (toward the responder).
@@ -162,89 +85,63 @@ class AlphaNode {
   RelayEngine& add_relay(net::PeerAddr upstream, net::PeerAddr downstream,
                          RelayEngine::Options options = {},
                          ExtractFn on_extracted = nullptr,
-                         std::vector<std::uint32_t> assoc_ids = {});
+                         std::vector<std::uint32_t> assoc_ids = {}) {
+    return shard_.add_relay(upstream, downstream, std::move(options),
+                            std::move(on_extracted), std::move(assoc_ids));
+  }
 
   /// Initiator bootstrap: sends the HS1 and arms the retransmission timer.
-  void start(std::uint32_t assoc_id);
+  void start(std::uint32_t assoc_id) {
+    shard_.start(assoc_id, transport_->now_us());
+  }
 
   /// Submits one message on an association (timestamped from the
   /// transport clock). Returns the delivery cookie.
-  std::uint64_t submit(std::uint32_t assoc_id, crypto::Bytes payload);
+  std::uint64_t submit(std::uint32_t assoc_id, crypto::Bytes payload) {
+    return shard_.submit(assoc_id, std::move(payload), transport_->now_us());
+  }
 
   /// Drives the transport and the timer wheel for up to `timeout_ms`.
   /// Returns frames delivered. Simulator-backed nodes may instead be driven
   /// by Simulator::run_until directly -- timers fire from the event queue.
-  std::size_t poll(int timeout_ms);
+  std::size_t poll(int timeout_ms) { return transport_->poll(timeout_ms); }
 
-  Host* host(std::uint32_t assoc_id) noexcept;
-  const Host* host(std::uint32_t assoc_id) const noexcept;
-  std::size_t association_count() const noexcept { return assocs_.size(); }
-  std::size_t established_count() const noexcept;
+  Host* host(std::uint32_t assoc_id) noexcept {
+    return shard_.host(assoc_id);
+  }
+  const Host* host(std::uint32_t assoc_id) const noexcept {
+    return shard_.host(assoc_id);
+  }
+  std::size_t association_count() const noexcept {
+    return shard_.association_count();
+  }
+  std::size_t established_count() const noexcept {
+    return shard_.established_count();
+  }
 
-  std::size_t relay_count() const noexcept { return relays_.size(); }
-  RelayEngine& relay(std::size_t i) { return *relays_.at(i)->engine; }
+  std::size_t relay_count() const noexcept { return shard_.relay_count(); }
+  RelayEngine& relay(std::size_t i) { return shard_.relay(i); }
 
   std::uint64_t now_us() const { return transport_->now_us(); }
   net::Transport& transport() noexcept { return *transport_; }
 
   /// Aggregated counters; `per_assoc` additionally fills one AssocSnapshot
   /// per association (O(associations) -- off the hot path by design).
-  NodeSnapshot snapshot(bool per_assoc = false) const;
+  NodeSnapshot snapshot(bool per_assoc = false) const {
+    NodeSnapshot s;
+    shard_.snapshot_into(s, per_assoc);
+    return s;
+  }
 
  private:
-  struct AssocEntry {
-    std::uint32_t assoc_id = 0;
-    net::PeerAddr peer = 0;
-    std::unique_ptr<Host> host;
-    std::uint64_t frames_in = 0;
-    std::uint64_t frames_out = 0;
-    std::uint64_t rekeys_started = 0;
-    bool was_established = false;
-    bool was_rekey_pending = false;
-    bool timer_armed = false;
-    std::uint64_t timer_deadline_us = 0;  // where the wheel entry sits
-  };
-
-  struct RelayBinding {
-    std::unique_ptr<RelayEngine> engine;
-    net::PeerAddr upstream = 0;
-    net::PeerAddr downstream = 0;
-  };
-
-  Host& add_host(std::uint32_t assoc_id, net::PeerAddr peer, bool initiator,
-                 const Config& config, const Host::Options& host_options);
-  void on_inbound(net::PeerAddr from, crypto::ByteView frame);
-  RelayBinding* relay_for(std::uint32_t assoc_id, net::PeerAddr from);
-  /// Post-activity bookkeeping: established/rekey transitions + timer arm.
-  void after_activity(AssocEntry& entry);
-  void arm_timer(AssocEntry& entry);
   void schedule_wakeup(std::uint64_t at_us);
   void on_wakeup();
-  static bool needs_tick(const Host& host);
 
   std::unique_ptr<net::Transport> transport_;
   Options options_;
-  Callbacks callbacks_;
-  crypto::HmacDrbg rng_;
-  std::uint64_t tick_granularity_;
-
-  std::map<std::uint32_t, AssocEntry> assocs_;
-  std::vector<std::unique_ptr<RelayBinding>> relays_;
-  std::map<std::uint32_t, RelayBinding*> relay_by_assoc_;
-
-  TimerWheel wheel_;
-  std::vector<std::uint32_t> due_;  // scratch for wheel advance
+  NodeShard shard_;
   bool wakeup_pending_ = false;
   std::uint64_t wakeup_at_ = 0;
-
-  // Node-level counters (per-assoc ones live in the entries).
-  std::uint64_t frames_in_ = 0;
-  std::uint64_t frames_out_ = 0;
-  std::uint64_t malformed_frames_ = 0;
-  std::uint64_t demux_misses_ = 0;
-  std::uint64_t send_failures_ = 0;
-  std::uint64_t accepted_handshakes_ = 0;
-  std::uint64_t timer_fires_ = 0;
 };
 
 }  // namespace alpha::core

@@ -35,7 +35,14 @@ SimTransport::SimTransport(Network& network, NodeId self)
     : network_(&network), self_(self) {
   network_->set_handler(self_, [this](NodeId from, crypto::ByteView frame) {
     ++frames_delivered_;
-    if (receiver_) receiver_(static_cast<PeerAddr>(from), frame);
+    if (receiver_) {
+      receiver_(static_cast<PeerAddr>(from), frame);
+    } else {
+      // No push consumer: hold the frame (with its virtual arrival time)
+      // for the next recv_batch.
+      pending_.push(Buffered{static_cast<PeerAddr>(from), now_us(),
+                             crypto::Bytes(frame.begin(), frame.end())});
+    }
   });
 }
 
@@ -61,6 +68,24 @@ std::size_t SimTransport::poll(int timeout_ms) {
 }
 
 std::uint64_t SimTransport::now_us() const { return network_->sim().now(); }
+
+std::size_t SimTransport::recv_batch(int timeout_ms, RxFrame* out,
+                                     std::size_t max) {
+  if (max == 0) return 0;
+  if (pending_.empty() && timeout_ms > 0) poll(timeout_ms);
+  drained_.clear();
+  while (!pending_.empty() && drained_.size() < max) {
+    drained_.push_back(std::move(pending_.front()));
+    pending_.pop();
+  }
+  for (std::size_t i = 0; i < drained_.size(); ++i) {
+    out[i].from = drained_[i].from;
+    out[i].recv_us = drained_[i].recv_us;
+    out[i].data = crypto::ByteView{drained_[i].data.data(),
+                                   drained_[i].data.size()};
+  }
+  return drained_.size();
+}
 
 void SimTransport::schedule(std::uint64_t at_us, std::function<void()> fn) {
   auto& sim = network_->sim();
@@ -111,6 +136,49 @@ std::size_t UdpTransport::poll(int timeout_ms) {
   }
   fire_due_timers();
   return frames;
+}
+
+std::size_t UdpTransport::recv_batch(int timeout_ms, RxFrame* out,
+                                     std::size_t max) {
+  const std::size_t cap =
+      max < UdpEndpoint::kBatchSize ? max : UdpEndpoint::kBatchSize;
+  UdpEndpoint::Datagram dgs[UdpEndpoint::kBatchSize];
+  const std::size_t got =
+      endpoint_.receive_batch(std::max(timeout_ms, 0), dgs, cap);
+  const std::uint64_t now = now_us();
+  for (std::size_t i = 0; i < got; ++i) {
+    emit_transport_event(trace::EventKind::kTransportReceived,
+                         static_cast<PeerAddr>(dgs[i].from_port), dgs[i].data,
+                         now);
+    out[i].from = static_cast<PeerAddr>(dgs[i].from_port);
+    out[i].recv_us = now;
+    out[i].data = dgs[i].data;
+  }
+  return got;
+}
+
+std::size_t UdpTransport::send_batch(const TxFrame* frames, std::size_t n) {
+  std::size_t sent = 0;
+  UdpEndpoint::OutDatagram dgs[UdpEndpoint::kBatchSize];
+  while (sent < n) {
+    const std::size_t chunk =
+        std::min<std::size_t>(n - sent, UdpEndpoint::kBatchSize);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      dgs[i].dest_port = static_cast<std::uint16_t>(frames[sent + i].peer);
+      dgs[i].data = frames[sent + i].data;
+    }
+    const std::size_t accepted = endpoint_.send_many(dgs, chunk);
+    const std::uint64_t now = now_us();
+    for (std::size_t i = 0; i < accepted; ++i) {
+      emit_transport_event(trace::EventKind::kTransportSent,
+                           frames[sent + i].peer, frames[sent + i].data, now);
+    }
+    sent += accepted;
+    // Partial kernel completion = backpressure; hand the tail back to the
+    // caller instead of spinning on a congested socket.
+    if (accepted < chunk) break;
+  }
+  return sent;
 }
 
 std::uint64_t UdpTransport::now_us() const {

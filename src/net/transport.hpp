@@ -28,6 +28,24 @@ namespace alpha::net {
 /// Opaque peer address (NodeId for the simulator, UDP port for sockets).
 using PeerAddr = std::uint64_t;
 
+/// One inbound frame returned by Transport::recv_batch. `data` views
+/// transport-owned storage valid until the next recv_batch/poll call on the
+/// same transport; `recv_us` is the arrival timestamp on the transport's
+/// clock (virtual arrival time in the simulator, batch drain time on
+/// sockets).
+struct RxFrame {
+  PeerAddr from = 0;
+  std::uint64_t recv_us = 0;
+  crypto::ByteView data;
+};
+
+/// One outbound frame for Transport::send_batch. The view must stay valid
+/// for the duration of the call only.
+struct TxFrame {
+  PeerAddr peer = 0;
+  crypto::ByteView data;
+};
+
 class Transport {
  public:
   /// Inbound frame handler: (source peer, frame bytes).
@@ -55,6 +73,46 @@ class Transport {
   /// simulator fires it from its event queue; socket transports fire it
   /// from poll(). Used by the node runtime's timer wheel.
   virtual void schedule(std::uint64_t at_us, std::function<void()> fn) = 0;
+
+  // ---- batched I/O (the sharded runtime's drive model) -------------------
+  //
+  // recv_batch/send_batch form a pull-based alternative to the
+  // set_receiver/poll push model: the caller owns the drive loop and the
+  // transport amortizes per-frame cost over a batch (one recvmmsg/sendmmsg
+  // syscall on UDP, one buffered dequeue on the simulator). A transport is
+  // driven through exactly one of the two models at a time -- frames go to
+  // the receiver when one is installed, to recv_batch's buffer otherwise.
+
+  /// Pulls up to `max` pending inbound frames, waiting up to `timeout_ms`
+  /// for the first. Returns the number written to `out`; views stay valid
+  /// until the next recv_batch/poll call. Default: no batch support (0).
+  virtual std::size_t recv_batch(int timeout_ms, RxFrame* out,
+                                 std::size_t max) {
+    (void)timeout_ms;
+    (void)out;
+    (void)max;
+    return 0;
+  }
+
+  /// Sends `n` frames, returning how many were accepted (a partial count
+  /// surfaces transient backpressure; the caller resubmits the tail).
+  /// Default: a loop over send(), one frame copy each.
+  virtual std::size_t send_batch(const TxFrame* frames, std::size_t n) {
+    std::size_t sent = 0;
+    for (; sent < n; ++sent) {
+      const TxFrame& f = frames[sent];
+      if (!send(f.peer, crypto::Bytes(f.data.begin(), f.data.end()))) {
+        // Count the frame as consumed: the transport rejected it for
+        // cause (no link, oversize), which retrying cannot fix.
+      }
+    }
+    return sent;
+  }
+
+  /// True when now_us() is safe to call concurrently from several threads
+  /// (a steady wall clock). The simulator's virtual clock is advanced by
+  /// its single driving thread and is not.
+  virtual bool clock_thread_safe() const { return false; }
 };
 
 /// Transport adapter over the discrete-event simulator: binds to one
@@ -76,13 +134,28 @@ class SimTransport final : public Transport {
   std::uint64_t now_us() const override;
   void schedule(std::uint64_t at_us, std::function<void()> fn) override;
 
+  /// With no receiver installed, arriving frames are buffered (stamped with
+  /// their virtual arrival time). recv_batch advances virtual time by up to
+  /// `timeout_ms` only when the buffer is empty, then hands out buffered
+  /// frames in arrival order. timeout 0 = drain-only.
+  std::size_t recv_batch(int timeout_ms, RxFrame* out,
+                         std::size_t max) override;
+
   NodeId self() const noexcept { return self_; }
 
  private:
+  struct Buffered {
+    PeerAddr from;
+    std::uint64_t recv_us;
+    crypto::Bytes data;
+  };
+
   Network* network_;
   NodeId self_;
   ReceiveFn receiver_;
   std::size_t frames_delivered_ = 0;  // total, for poll() deltas
+  std::queue<Buffered> pending_;      // frames buffered for recv_batch
+  std::vector<Buffered> drained_;     // storage behind the last batch's views
 };
 
 /// Transport adapter over a real UDP socket: poll() waits for and then
@@ -100,6 +173,15 @@ class UdpTransport final : public Transport {
   std::size_t poll(int timeout_ms) override;
   std::uint64_t now_us() const override;
   void schedule(std::uint64_t at_us, std::function<void()> fn) override;
+
+  /// One recvmmsg() drains up to min(max, UdpEndpoint::kBatchSize) queued
+  /// datagrams after waiting up to `timeout_ms` for the first.
+  std::size_t recv_batch(int timeout_ms, RxFrame* out,
+                         std::size_t max) override;
+  /// One sendmmsg() per kBatchSize chunk; stops at the first partial kernel
+  /// completion and returns how many frames were accepted.
+  std::size_t send_batch(const TxFrame* frames, std::size_t n) override;
+  bool clock_thread_safe() const override { return true; }
 
   std::uint16_t port() const noexcept { return endpoint_.port(); }
   UdpEndpoint& endpoint() noexcept { return endpoint_; }

@@ -17,16 +17,33 @@ namespace {
 [[noreturn]] void fail(const char* what) {
   throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
 }
+
+constexpr std::size_t kMaxDatagram = 65536;
+
+// Layout of UdpEndpoint::batch_buf_: one contiguous lazily-allocated block
+// holding everything recvmmsg needs, so enabling batched receive costs one
+// allocation for the lifetime of the endpoint.
+struct BatchStorage {
+  ::mmsghdr headers[UdpEndpoint::kBatchSize];
+  ::iovec iovecs[UdpEndpoint::kBatchSize];
+  ::sockaddr_in addrs[UdpEndpoint::kBatchSize];
+  std::uint8_t payloads[UdpEndpoint::kBatchSize][kMaxDatagram];
+};
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
 }  // namespace
 
 UdpEndpoint::UdpEndpoint(std::uint16_t port) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd_ < 0) fail("socket");
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
+  sockaddr_in addr = loopback_addr(port);
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     ::close(fd_);
     fail("bind");
@@ -47,7 +64,9 @@ UdpEndpoint::~UdpEndpoint() {
 UdpEndpoint::UdpEndpoint(UdpEndpoint&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       port_(std::exchange(other.port_, 0)),
-      recv_buf_(std::move(other.recv_buf_)) {}
+      recv_buf_(std::move(other.recv_buf_)),
+      batch_buf_(std::move(other.batch_buf_)),
+      sendmmsg_fn_(std::exchange(other.sendmmsg_fn_, nullptr)) {}
 
 UdpEndpoint& UdpEndpoint::operator=(UdpEndpoint&& other) noexcept {
   if (this != &other) {
@@ -55,15 +74,14 @@ UdpEndpoint& UdpEndpoint::operator=(UdpEndpoint&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     port_ = std::exchange(other.port_, 0);
     recv_buf_ = std::move(other.recv_buf_);
+    batch_buf_ = std::move(other.batch_buf_);
+    sendmmsg_fn_ = std::exchange(other.sendmmsg_fn_, nullptr);
   }
   return *this;
 }
 
 void UdpEndpoint::send_to(std::uint16_t dest_port, crypto::ByteView data) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(dest_port);
+  sockaddr_in addr = loopback_addr(dest_port);
   // Datagram sockets send atomically: sendto either queues the whole frame
   // or fails (EMSGSIZE for oversize). A short count is therefore a kernel
   // contract violation, not a condition to resume from -- treat it as an
@@ -91,7 +109,7 @@ std::optional<UdpEndpoint::Datagram> UdpEndpoint::receive(int timeout_ms) {
 
   // One reusable buffer per endpoint (max UDP payload), allocated on the
   // first receive: the steady-state receive path never touches the heap.
-  if (recv_buf_.size() != 65536) recv_buf_.resize(65536);
+  if (recv_buf_.size() != kMaxDatagram) recv_buf_.resize(kMaxDatagram);
   sockaddr_in from{};
   socklen_t from_len = sizeof(from);
   ssize_t got;
@@ -103,6 +121,98 @@ std::optional<UdpEndpoint::Datagram> UdpEndpoint::receive(int timeout_ms) {
   return Datagram{ntohs(from.sin_port),
                   crypto::ByteView{recv_buf_.data(),
                                    static_cast<std::size_t>(got)}};
+}
+
+void UdpEndpoint::ensure_batch_buffers() {
+  if (batch_buf_.size() == sizeof(BatchStorage)) return;
+  batch_buf_.resize(sizeof(BatchStorage));
+  auto* storage = reinterpret_cast<BatchStorage*>(batch_buf_.data());
+  for (std::size_t i = 0; i < kBatchSize; ++i) {
+    storage->iovecs[i].iov_base = storage->payloads[i];
+    storage->iovecs[i].iov_len = kMaxDatagram;
+    std::memset(&storage->headers[i], 0, sizeof(::mmsghdr));
+    storage->headers[i].msg_hdr.msg_iov = &storage->iovecs[i];
+    storage->headers[i].msg_hdr.msg_iovlen = 1;
+  }
+}
+
+std::size_t UdpEndpoint::receive_batch(int timeout_ms, Datagram* out,
+                                       std::size_t max) {
+  if (max == 0) return 0;
+  pollfd pfd{fd_, POLLIN, 0};
+  int ready;
+  do {
+    ready = ::poll(&pfd, 1, timeout_ms);
+  } while (ready < 0 && errno == EINTR);
+  if (ready < 0) fail("poll");
+  if (ready == 0) return 0;
+
+  ensure_batch_buffers();
+  auto* storage = reinterpret_cast<BatchStorage*>(batch_buf_.data());
+  const unsigned want =
+      static_cast<unsigned>(max < kBatchSize ? max : kBatchSize);
+  for (unsigned i = 0; i < want; ++i) {
+    // recvmmsg updates msg_namelen/msg_len per call; reset before reuse.
+    storage->headers[i].msg_hdr.msg_name = &storage->addrs[i];
+    storage->headers[i].msg_hdr.msg_namelen = sizeof(::sockaddr_in);
+    storage->headers[i].msg_len = 0;
+  }
+  int got;
+  do {
+    got = ::recvmmsg(fd_, storage->headers, want, MSG_DONTWAIT, nullptr);
+  } while (got < 0 && errno == EINTR);
+  if (got < 0) {
+    // The poll() said readable but the queue drained in between (possible
+    // with concurrent consumers; benign): report an empty batch.
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    fail("recvmmsg");
+  }
+  for (int i = 0; i < got; ++i) {
+    out[i].from_port = ntohs(storage->addrs[i].sin_port);
+    out[i].data = crypto::ByteView{storage->payloads[i],
+                                   storage->headers[i].msg_len};
+  }
+  return static_cast<std::size_t>(got);
+}
+
+std::size_t UdpEndpoint::send_many(const OutDatagram* out, std::size_t n) {
+  if (n == 0) return 0;
+  ensure_batch_buffers();
+  auto* storage = reinterpret_cast<BatchStorage*>(batch_buf_.data());
+  const unsigned want = static_cast<unsigned>(n < kBatchSize ? n : kBatchSize);
+  for (unsigned i = 0; i < want; ++i) {
+    storage->addrs[i] = loopback_addr(out[i].dest_port);
+    // const_cast: sendmmsg never writes through iov_base on the send side;
+    // the iovec struct is shared with the receive path.
+    storage->iovecs[i].iov_base =
+        const_cast<std::uint8_t*>(out[i].data.data());
+    storage->iovecs[i].iov_len = out[i].data.size();
+    storage->headers[i].msg_hdr.msg_name = &storage->addrs[i];
+    storage->headers[i].msg_hdr.msg_namelen = sizeof(::sockaddr_in);
+    storage->headers[i].msg_len = 0;
+  }
+  int sent;
+  do {
+    sent = sendmmsg_fn_ != nullptr
+               ? sendmmsg_fn_(fd_, storage->headers, want, 0)
+               : ::sendmmsg(fd_, storage->headers, want, 0);
+  } while (sent < 0 && errno == EINTR);
+  // Restore the receive-side iovec invariants before any error path.
+  for (unsigned i = 0; i < want; ++i) {
+    storage->iovecs[i].iov_base = storage->payloads[i];
+    storage->iovecs[i].iov_len = kMaxDatagram;
+  }
+  if (sent < 0) {
+    // Transient backpressure with zero progress: a 0-frame completion the
+    // caller retries, exactly like a partial one. Hard errors still throw.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) return 0;
+    fail("sendmmsg");
+  }
+  // sendmmsg returning k < want is a PARTIAL completion: datagrams [0, k)
+  // are queued, [k, want) are not. Surfacing k (instead of erroring the
+  // whole batch) lets the caller resubmit only the unsent tail -- dropping
+  // or re-sending the whole batch would lose or duplicate frames.
+  return static_cast<std::size_t>(sent);
 }
 
 }  // namespace alpha::net

@@ -4,6 +4,13 @@
 // frames. This endpoint runs them over genuine POSIX datagram sockets so the
 // examples and integration tests exercise ALPHA end-to-end on the loopback
 // interface, not only inside the simulator.
+//
+// Two I/O shapes are offered:
+//  * one-at-a-time send_to()/receive() -- the classic poll-loop path, and
+//  * batched send_many()/receive_batch() over sendmmsg()/recvmmsg(), which
+//    amortize one syscall over a whole batch for the sharded runtime's
+//    dedicated I/O thread. All receive paths land in per-endpoint buffers
+//    allocated once (lazily), keeping the steady state allocation-free.
 #pragma once
 
 #include <cstdint>
@@ -11,10 +18,17 @@
 
 #include "crypto/bytes.hpp"
 
+struct mmsghdr;  // <sys/socket.h>; kept out of this header
+
 namespace alpha::net {
 
 class UdpEndpoint {
  public:
+  /// Datagrams per receive_batch/send_many syscall. Linux caps sendmmsg at
+  /// UIO_MAXIOV anyway; 32 amortizes the syscall without bloating the
+  /// preallocated receive buffers (32 x 64 KiB).
+  static constexpr std::size_t kBatchSize = 32;
+
   /// Binds to 127.0.0.1:port; port 0 selects an ephemeral port.
   /// Throws std::runtime_error on socket errors.
   explicit UdpEndpoint(std::uint16_t port = 0);
@@ -33,7 +47,8 @@ class UdpEndpoint {
   struct Datagram {
     std::uint16_t from_port;
     /// View into the endpoint's reusable receive buffer: valid until the
-    /// next receive() on (or move of) this endpoint. Copy to retain.
+    /// next receive()/receive_batch() on (or move of) this endpoint. Copy
+    /// to retain.
     crypto::ByteView data;
   };
 
@@ -43,10 +58,41 @@ class UdpEndpoint {
   /// (allocated once, lazily), keeping the receive path allocation-free.
   std::optional<Datagram> receive(int timeout_ms);
 
+  /// Batched receive via recvmmsg(): waits up to timeout_ms for the first
+  /// datagram, then drains up to min(max, kBatchSize) already-queued ones
+  /// in ONE syscall. Returns the number received into `out`; their views
+  /// point into per-slot buffers valid until the next receive call. A
+  /// second back-to-back call with timeout 0 continues draining.
+  std::size_t receive_batch(int timeout_ms, Datagram* out, std::size_t max);
+
+  struct OutDatagram {
+    std::uint16_t dest_port = 0;
+    crypto::ByteView data;
+  };
+
+  /// Batched send via sendmmsg(): submits up to kBatchSize datagrams in one
+  /// syscall and returns how many the kernel actually accepted -- a PARTIAL
+  /// completion (kernel queue pressure, EAGAIN after some progress) is a
+  /// normal outcome, not an error: the caller resubmits the remainder.
+  /// Throws only when the kernel accepts nothing and reports a real error.
+  std::size_t send_many(const OutDatagram* out, std::size_t n);
+
+  /// Test seam: replaces the sendmmsg(2) syscall for this endpoint so unit
+  /// tests can inject short completions and transient errors. nullptr
+  /// restores the real syscall.
+  using SendmmsgFn = int (*)(int fd, ::mmsghdr* msgs, unsigned n, int flags);
+  void set_sendmmsg_for_test(SendmmsgFn fn) noexcept { sendmmsg_fn_ = fn; }
+
  private:
+  void ensure_batch_buffers();
+
   int fd_ = -1;
   std::uint16_t port_ = 0;
   crypto::Bytes recv_buf_;
+  /// receive_batch storage: kBatchSize slots of 64 KiB plus address/iovec
+  /// arrays, all in one lazily-allocated block (see ensure_batch_buffers).
+  crypto::Bytes batch_buf_;
+  SendmmsgFn sendmmsg_fn_ = nullptr;
 };
 
 }  // namespace alpha::net

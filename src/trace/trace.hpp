@@ -13,9 +13,11 @@
 // emits accept/drop events with a DropReason explaining why a frame died.
 //
 // Engines without a clock parameter (VerifierEngine, RelayEngine) stamp
-// events from a thread-unaware global context set by the node runtime at
-// its entry points (ScopedContext); the simulated network stamps its own
-// events with simulator time. Single-threaded by design, like the engines.
+// events from a thread-local context set by the node runtime at its entry
+// points (ScopedContext); the simulated network stamps its own events with
+// simulator time. The sink itself is thread-local too: every thread traces
+// into its own ring (or none), so the sharded multi-core runtime needs no
+// synchronization on the emit path.
 #pragma once
 
 #include <cstddef>
@@ -146,14 +148,25 @@ struct Context {
   std::uint8_t origin = 0;
   std::uint64_t time_us = 0;
 };
-inline Ring* g_ring = nullptr;
-inline Context g_ctx{};
+// Thread-local by design: the sharded runtime (core/sharded_node.hpp) runs
+// one shard per worker thread, and each worker installs its own ring at
+// thread start -- emit() stays a plain pointer check with no atomics, and
+// two shards never contend on (or race over) a shared sink. Single-threaded
+// programs see no difference: the main thread installs one ring as before.
+inline thread_local Ring* g_ring = nullptr;
+inline thread_local Context g_ctx{};
 }  // namespace detail
 
-/// Installs the global sink (nullptr disables tracing everywhere).
+/// Installs the calling thread's sink (nullptr disables tracing on it).
 inline void install(Ring* ring) noexcept { detail::g_ring = ring; }
 inline Ring* sink() noexcept { return detail::g_ring; }
 inline bool enabled() noexcept { return detail::g_ring != nullptr; }
+
+/// Time stamped by the innermost ScopedContext on this thread (the node
+/// runtime's entry-point timestamp). 0 outside any scoped entry point.
+inline std::uint64_t current_time_us() noexcept {
+  return detail::g_ctx.time_us;
+}
 
 /// Stamps origin + time for every emit() in scope. The node runtime opens
 /// one at each entry point (inbound frame, wakeup, submit, start) so engines

@@ -1,0 +1,213 @@
+// Zero-allocation assertions for the sharded runtime's frame path. This
+// binary replaces global operator new/delete (alloc_hook.hpp: exactly one TU
+// per binary) and proves two things:
+//
+//  * the ring machinery itself -- demux hash, push-into-recycled-slot,
+//    peek, pop -- performs literally zero heap allocations per frame after
+//    warmup, and
+//  * a full protocol round driven THROUGH the rings allocates exactly as
+//    much as the same round with shards wired back-to-back: the thread-hop
+//    layer adds nothing per frame.
+#include "support/alloc_hook.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/shard.hpp"
+#include "core/spsc_ring.hpp"
+
+namespace alpha::core {
+namespace {
+
+using crypto::ByteView;
+using crypto::Bytes;
+using testsupport::ScopedAllocCount;
+
+TEST(ShardedAllocFree, FrameRingSteadyStateIsAllocationFree) {
+  FrameRing ring(64);
+  Bytes frame(512);
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    frame[i] = static_cast<std::uint8_t>(i);
+  }
+  const ByteView view{frame.data(), frame.size()};
+  // Warmup: grow every slot buffer once (capacity rounds up to 64).
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(ring.try_push(FrameSlot::Kind::kFrame, 1, i, 7, view));
+    ring.pop();
+  }
+  std::uint64_t delta;
+  {
+    const ScopedAllocCount allocs;
+    for (std::uint32_t i = 0; i < 10'000; ++i) {
+      const std::uint32_t shard = shard_of(i, 4);  // the I/O thread's demux
+      ASSERT_TRUE(
+          ring.try_push(FrameSlot::Kind::kFrame, shard, i, i, view));
+      const FrameSlot* slot = ring.front();
+      ASSERT_NE(slot, nullptr);
+      ASSERT_EQ(slot->view().size(), frame.size());
+      ring.pop();
+    }
+    delta = allocs.delta();
+  }
+  EXPECT_EQ(delta, 0u);
+}
+
+// A one-frame transport between two NodeShards. `Direct` hands frames over
+// in a preallocated vector (the no-ring baseline); `Ringed` pushes every
+// frame through a FrameRing exactly like the sharded runtime does. Both run
+// the identical protocol schedule, so any per-frame allocation added by the
+// ring layer shows up as a delta between the two measurements.
+struct ShardPair {
+  static Config config() {
+    Config c;
+    c.reliable = true;
+    c.rto_us = 1'000'000;  // no retransmissions in a lossless pump
+    c.chain_length = 4096;  // no rekey inside the measured window
+    return c;
+  }
+
+  static NodeShard::Options options(std::uint64_t seed) {
+    NodeShard::Options o;
+    o.config = config();
+    o.seed = seed;
+    return o;
+  }
+};
+
+std::uint64_t measure_direct(int warmup_msgs, int measured_msgs) {
+  // frames[i] = (dest_shard, frame); preallocated far beyond any burst.
+  std::vector<std::pair<int, Bytes>> queue;
+  queue.reserve(4096);
+  std::size_t delivered = 0;
+  NodeShard::Callbacks b_cbs;
+  b_cbs.on_message = [&](std::uint32_t, ByteView) { ++delivered; };
+  NodeShard a{0, ShardPair::options(1), {},
+              [&](net::PeerAddr, Bytes frame) {
+                queue.emplace_back(1, std::move(frame));
+                return true;
+              }};
+  NodeShard b{0, ShardPair::options(2), b_cbs,
+              [&](net::PeerAddr, Bytes frame) {
+                queue.emplace_back(0, std::move(frame));
+                return true;
+              }};
+  a.add_host(1, 1, /*initiator=*/true, ShardPair::config(), {});
+  b.add_host(1, 0, /*initiator=*/false, ShardPair::config(), {});
+
+  std::uint64_t t = 0;
+  auto pump = [&] {
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      auto& [dest, frame] = queue[i];
+      t += 10;
+      (dest == 0 ? a : b).on_frame(dest == 0 ? 1 : 0,
+                                   ByteView{frame.data(), frame.size()}, t);
+    }
+    queue.clear();
+  };
+
+  a.start(1, t);
+  while (!queue.empty()) pump();
+
+  auto round = [&](int i) {
+    a.submit(1, Bytes(256, static_cast<std::uint8_t>(i)), t += 10);
+    while (!queue.empty()) pump();
+  };
+  for (int i = 0; i < warmup_msgs; ++i) round(i);
+  std::uint64_t delta;
+  {
+    const ScopedAllocCount allocs;
+    for (int i = 0; i < measured_msgs; ++i) round(i);
+    delta = allocs.delta();
+  }
+  EXPECT_EQ(delivered,
+            static_cast<std::size_t>(warmup_msgs + measured_msgs));
+  return delta;
+}
+
+std::uint64_t measure_ringed(int warmup_msgs, int measured_msgs) {
+  FrameRing to_b(512);
+  FrameRing to_a(512);
+  {
+    // Grow EVERY slot's buffer once up front: the ring cycles through its
+    // slots, so a warmup shorter than the capacity would leave virgin slots
+    // to allocate inside the measured window.
+    Bytes dummy(2048, 0xAA);
+    const ByteView dv{dummy.data(), dummy.size()};
+    for (std::size_t i = 0; i < to_b.capacity(); ++i) {
+      to_b.try_push(FrameSlot::Kind::kFrame, 0, 0, 0, dv);
+      to_b.pop();
+      to_a.try_push(FrameSlot::Kind::kFrame, 0, 0, 0, dv);
+      to_a.pop();
+    }
+  }
+  std::size_t delivered = 0;
+  NodeShard::Callbacks b_cbs;
+  b_cbs.on_message = [&](std::uint32_t, ByteView) { ++delivered; };
+  NodeShard a{0, ShardPair::options(1), {},
+              [&](net::PeerAddr peer, Bytes frame) {
+                return to_b.try_push(FrameSlot::Kind::kFrame, peer, 0, 1,
+                                     ByteView{frame.data(), frame.size()});
+              }};
+  NodeShard b{0, ShardPair::options(2), b_cbs,
+              [&](net::PeerAddr peer, Bytes frame) {
+                return to_a.try_push(FrameSlot::Kind::kFrame, peer, 0, 1,
+                                     ByteView{frame.data(), frame.size()});
+              }};
+  a.add_host(1, 1, /*initiator=*/true, ShardPair::config(), {});
+  b.add_host(1, 0, /*initiator=*/false, ShardPair::config(), {});
+
+  std::uint64_t t = 0;
+  auto pump = [&] {
+    for (bool moved = true; moved;) {
+      moved = false;
+      while (const FrameSlot* slot = to_b.front()) {
+        t += 10;
+        b.on_frame(0, slot->view(), t);
+        to_b.pop();
+        moved = true;
+      }
+      while (const FrameSlot* slot = to_a.front()) {
+        t += 10;
+        a.on_frame(1, slot->view(), t);
+        to_a.pop();
+        moved = true;
+      }
+    }
+  };
+
+  a.start(1, t);
+  pump();
+
+  auto round = [&](int i) {
+    a.submit(1, Bytes(256, static_cast<std::uint8_t>(i)), t += 10);
+    pump();
+  };
+  for (int i = 0; i < warmup_msgs; ++i) round(i);
+  std::uint64_t delta;
+  {
+    const ScopedAllocCount allocs;
+    for (int i = 0; i < measured_msgs; ++i) round(i);
+    delta = allocs.delta();
+  }
+  EXPECT_EQ(delivered,
+            static_cast<std::size_t>(warmup_msgs + measured_msgs));
+  EXPECT_EQ(to_a.overflows() + to_b.overflows(), 0u);
+  return delta;
+}
+
+TEST(ShardedAllocFree, RingHopAddsZeroAllocationsPerFrame) {
+  // Both variants run the identical deterministic schedule (same seeds,
+  // same payloads, no loss), differing only in how frames cross between
+  // the shards. After warmup the ring slots are grown and recycled, so the
+  // measured windows must allocate identically -- the sharded runtime's
+  // thread hop costs 0 allocations per frame.
+  constexpr int kWarmup = 16;
+  constexpr int kMeasured = 64;
+  const std::uint64_t direct = measure_direct(kWarmup, kMeasured);
+  const std::uint64_t ringed = measure_ringed(kWarmup, kMeasured);
+  EXPECT_EQ(ringed, direct);
+}
+
+}  // namespace
+}  // namespace alpha::core

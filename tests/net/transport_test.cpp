@@ -90,6 +90,82 @@ TEST(SimTransportTest, DestructorUnhooksNodeHandler) {
   EXPECT_NO_THROW(sim.run_until(kSecond));
 }
 
+TEST(SimTransportTest, RecvBatchBuffersFramesWhenNoReceiverInstalled) {
+  Simulator sim;
+  Network network{sim, 1};
+  network.add_node(0);
+  network.add_node(1);
+  network.add_link(0, 1);
+
+  SimTransport a{network, 0}, b{network, 1};  // b: no receiver installed
+  EXPECT_TRUE(a.send(1, Bytes{1}));
+  EXPECT_TRUE(a.send(1, Bytes{2}));
+  EXPECT_TRUE(a.send(1, Bytes{3}));
+
+  RxFrame out[8];
+  // recv_batch advances virtual time itself (timeout budget) and returns
+  // the buffered frames with their virtual arrival timestamps.
+  std::size_t got = b.recv_batch(1000, out, 8);
+  ASSERT_EQ(got, 3u);
+  for (std::size_t i = 0; i < got; ++i) {
+    EXPECT_EQ(out[i].from, 0u);
+    EXPECT_EQ(out[i].data.size(), 1u);
+    EXPECT_EQ(out[i].data[0], static_cast<std::uint8_t>(i + 1));
+    EXPECT_LE(out[i].recv_us, b.now_us());
+  }
+  EXPECT_EQ(b.recv_batch(0, out, 8), 0u);  // drained
+}
+
+TEST(SimTransportTest, RecvBatchRespectsMaxAndKeepsRemainder) {
+  Simulator sim;
+  Network network{sim, 1};
+  network.add_node(0);
+  network.add_node(1);
+  network.add_link(0, 1);
+
+  SimTransport a{network, 0}, b{network, 1};
+  for (std::uint8_t i = 0; i < 5; ++i) EXPECT_TRUE(a.send(1, Bytes{i}));
+
+  RxFrame out[8];
+  ASSERT_EQ(b.recv_batch(1000, out, 2), 2u);
+  EXPECT_EQ(out[0].data[0], 0u);
+  EXPECT_EQ(out[1].data[0], 1u);
+  // The rest stays queued; a non-blocking continuation picks it up in order.
+  ASSERT_EQ(b.recv_batch(0, out, 8), 3u);
+  EXPECT_EQ(out[0].data[0], 2u);
+  EXPECT_EQ(out[2].data[0], 4u);
+}
+
+TEST(SimTransportTest, ClockIsNotThreadSafe) {
+  Simulator sim;
+  Network network{sim, 1};
+  network.add_node(0);
+  SimTransport a{network, 0};
+  // The sharded runtime keys its drive mode off this: virtual-time
+  // transports must be driven inline, never from worker threads.
+  EXPECT_FALSE(a.clock_thread_safe());
+}
+
+TEST(TransportDefaultsTest, SendBatchFallsBackToSingleSends) {
+  Simulator sim;
+  Network network{sim, 1};
+  network.add_node(0);
+  network.add_node(1);
+  network.add_link(0, 1);
+
+  SimTransport a{network, 0}, b{network, 1};
+  std::size_t received = 0;
+  b.set_receiver([&](PeerAddr, crypto::ByteView) { ++received; });
+
+  const Bytes p1{0x01}, p2{0x02, 0x02};
+  const TxFrame frames[] = {{1, {p1.data(), p1.size()}},
+                            {1, {p2.data(), p2.size()}}};
+  // SimTransport doesn't override send_batch: the base class loops send().
+  EXPECT_EQ(a.send_batch(frames, 2), 2u);
+  sim.run_until(kSecond);
+  EXPECT_EQ(received, 2u);
+}
+
 TEST(UdpTransportTest, RoundtripViaPoll) {
   UdpTransport a, b;
   std::vector<std::pair<PeerAddr, Bytes>> at_b;
@@ -145,6 +221,44 @@ TEST(UdpTransportTest, ZeroTimeoutPollIsNonBlockingProbe) {
   const std::uint64_t t0 = t.now_us();
   EXPECT_EQ(t.poll(0), 0u);
   EXPECT_LT(t.now_us() - t0, 1'000'000u);  // did not block for long
+}
+
+TEST(UdpTransportTest, BatchRoundtripOverRealSockets) {
+  UdpTransport a, b;
+  std::vector<Bytes> msgs;
+  std::vector<TxFrame> frames;
+  for (std::uint8_t i = 0; i < 6; ++i) {
+    msgs.push_back(Bytes(48 + i, i));
+    frames.push_back({b.port(), {msgs.back().data(), msgs.back().size()}});
+  }
+  std::size_t accepted = 0;
+  while (accepted < frames.size()) {
+    const std::size_t n =
+        a.send_batch(frames.data() + accepted, frames.size() - accepted);
+    ASSERT_GT(n, 0u);
+    accepted += n;
+  }
+
+  RxFrame out[8];
+  std::vector<Bytes> got;
+  const auto deadline = b.now_us() + 2'000'000;
+  while (got.size() < msgs.size() && b.now_us() < deadline) {
+    const std::size_t n = b.recv_batch(50, out, 8);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i].from, a.port());
+      EXPECT_GT(out[i].recv_us, 0u);
+      got.emplace_back(out[i].data.begin(), out[i].data.end());
+    }
+  }
+  ASSERT_EQ(got.size(), msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) EXPECT_EQ(got[i], msgs[i]);
+}
+
+TEST(UdpTransportTest, ClockIsThreadSafe) {
+  UdpTransport t;
+  // Wall-clock now_us() is safe from any thread: the sharded runtime may
+  // run this transport in threaded mode.
+  EXPECT_TRUE(t.clock_thread_safe());
 }
 
 }  // namespace

@@ -1,8 +1,12 @@
 #include "net/udp.hpp"
 
+#include <sys/socket.h>
+
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <memory>
+#include <vector>
 
 #include "crypto/bytes.hpp"
 
@@ -87,6 +91,136 @@ TEST(UdpTest, MoveAssignReleasesOldSocketAndAdopts) {
   const auto got = a.receive(2000);
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(to_bytes(got->data), Bytes{9});
+}
+
+// ------------------------------------------------------- batched syscalls
+
+TEST(UdpBatchTest, ReceiveBatchDrainsQueuedDatagramsInOneCall) {
+  UdpEndpoint a, b;
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    a.send_to(b.port(), Bytes{i, static_cast<std::uint8_t>(i + 1)});
+  }
+  UdpEndpoint::Datagram got[UdpEndpoint::kBatchSize];
+  std::vector<Bytes> payloads;
+  // recvmmsg may split the drain across calls; loop until all five landed.
+  for (int tries = 0; payloads.size() < 5 && tries < 50; ++tries) {
+    const std::size_t n = b.receive_batch(2000, got, UdpEndpoint::kBatchSize);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i].from_port, a.port());
+      payloads.push_back(to_bytes(got[i].data));
+    }
+  }
+  ASSERT_EQ(payloads.size(), 5u);
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(payloads[i], (Bytes{i, static_cast<std::uint8_t>(i + 1)}));
+  }
+}
+
+TEST(UdpBatchTest, ReceiveBatchTimesOutEmpty) {
+  UdpEndpoint a;
+  UdpEndpoint::Datagram got[4];
+  EXPECT_EQ(a.receive_batch(10, got, 4), 0u);
+  EXPECT_EQ(a.receive_batch(0, got, 0), 0u);  // max=0 is a no-op
+}
+
+TEST(UdpBatchTest, SendManyDeliversWholeBatch) {
+  UdpEndpoint a, b;
+  std::vector<Bytes> msgs;
+  std::vector<UdpEndpoint::OutDatagram> dgs;
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    msgs.push_back(Bytes(64 + i, i));
+    dgs.push_back({b.port(), {msgs.back().data(), msgs.back().size()}});
+  }
+  std::size_t accepted = 0;
+  while (accepted < dgs.size()) {
+    const std::size_t n =
+        a.send_many(dgs.data() + accepted, dgs.size() - accepted);
+    ASSERT_GT(n, 0u);
+    accepted += n;
+  }
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    const auto got = b.receive(2000);
+    ASSERT_TRUE(got.has_value()) << "datagram " << int{i};
+    EXPECT_EQ(to_bytes(got->data), msgs[i]);
+  }
+}
+
+// SendmmsgFn is a plain function pointer (no captures) so the fakes keep
+// their knobs in file-scope statics.
+namespace fake_sendmmsg {
+int accept_limit = 0;    // short-completion fake: accept at most this many
+int calls = 0;
+
+int short_completion(int fd, ::mmsghdr* msgs, unsigned n, int flags) {
+  ++calls;
+  const unsigned take =
+      n < static_cast<unsigned>(accept_limit) ? n
+                                              : static_cast<unsigned>(accept_limit);
+  // Forward the accepted prefix to the real syscall so delivery is
+  // observable; report only that prefix as completed.
+  if (take == 0) {
+    errno = EAGAIN;
+    return -1;
+  }
+  return ::sendmmsg(fd, msgs, take, flags);
+}
+
+int backpressure(int, ::mmsghdr*, unsigned, int) {
+  ++calls;
+  errno = EAGAIN;
+  return -1;
+}
+}  // namespace fake_sendmmsg
+
+TEST(UdpBatchTest, SendManySurfacesPartialCompletions) {
+  UdpEndpoint a, b;
+  std::vector<Bytes> msgs;
+  std::vector<UdpEndpoint::OutDatagram> dgs;
+  for (std::uint8_t i = 0; i < 8; ++i) {
+    msgs.push_back(Bytes(32, i));
+    dgs.push_back({b.port(), {msgs.back().data(), msgs.back().size()}});
+  }
+  fake_sendmmsg::accept_limit = 3;
+  fake_sendmmsg::calls = 0;
+  a.set_sendmmsg_for_test(&fake_sendmmsg::short_completion);
+
+  // First submit: the kernel "accepts" only 3 of 8. The caller contract is
+  // to resubmit the tail, so datagrams [3, 8) must NOT have been sent.
+  EXPECT_EQ(a.send_many(dgs.data(), dgs.size()), 3u);
+  // Resubmitting the unsent tail makes progress 3 at a time.
+  std::size_t accepted = 3;
+  while (accepted < dgs.size()) {
+    const std::size_t n =
+        a.send_many(dgs.data() + accepted, dgs.size() - accepted);
+    ASSERT_LE(n, 3u);
+    accepted += n;
+  }
+  a.set_sendmmsg_for_test(nullptr);
+  EXPECT_EQ(fake_sendmmsg::calls, 3);  // 3 + 3 + 2
+
+  // Exactly-once: every datagram arrives once, in order, none duplicated.
+  for (std::uint8_t i = 0; i < 8; ++i) {
+    const auto got = b.receive(2000);
+    ASSERT_TRUE(got.has_value()) << "datagram " << int{i};
+    EXPECT_EQ(to_bytes(got->data), msgs[i]);
+  }
+  EXPECT_FALSE(b.receive(50).has_value());
+}
+
+TEST(UdpBatchTest, SendManyTreatsZeroProgressBackpressureAsEmptyCompletion) {
+  UdpEndpoint a, b;
+  const Bytes msg(16, 0x7e);
+  const UdpEndpoint::OutDatagram dg{b.port(), {msg.data(), msg.size()}};
+  fake_sendmmsg::calls = 0;
+  a.set_sendmmsg_for_test(&fake_sendmmsg::backpressure);
+  EXPECT_EQ(a.send_many(&dg, 1), 0u);  // EAGAIN with no progress: 0, no throw
+  EXPECT_EQ(fake_sendmmsg::calls, 1);
+  a.set_sendmmsg_for_test(nullptr);
+  // The endpoint stays usable with the real syscall restored.
+  EXPECT_EQ(a.send_many(&dg, 1), 1u);
+  const auto got = b.receive(2000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(to_bytes(got->data), msg);
 }
 
 }  // namespace

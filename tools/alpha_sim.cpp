@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/node.hpp"
+#include "core/sharded_node.hpp"
 #include "flags.hpp"
 #include "net/network.hpp"
 #include "trace/health.hpp"
@@ -75,6 +76,9 @@ int main(int argc, char** argv) {
   flags.define("max-retries", "50", "retransmit budget per round/handshake");
   flags.define("rekey", "64", "rekey threshold in chain elements (0 = off)");
   flags.define("seed", "1", "simulation seed");
+  flags.define("workers", "1",
+               "shard workers for the end nodes (sharded runtime; the "
+               "simulator drives shards inline, so runs stay deterministic)");
   flags.define("corrupt", "0.0", "per-link frame bit-corruption rate");
   flags.define("dup", "0.0", "per-link frame duplication rate");
   flags.define("reorder", "0.0", "per-link frame reordering rate");
@@ -108,8 +112,10 @@ int main(int argc, char** argv) {
   const std::size_t messages = static_cast<std::size_t>(flags.num("messages"));
   const std::size_t msg_size = static_cast<std::size_t>(flags.num("msg-size"));
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.num("seed"));
-  if (hops < 1 || assocs < 1) {
-    std::fprintf(stderr, "need --hops >= 1 and --assocs >= 1\n");
+  const auto workers = static_cast<std::uint32_t>(flags.num("workers"));
+  if (hops < 1 || assocs < 1 || workers < 1) {
+    std::fprintf(stderr,
+                 "need --hops >= 1, --assocs >= 1 and --workers >= 1\n");
     return 2;
   }
 
@@ -245,12 +251,17 @@ int main(int argc, char** argv) {
   // One AlphaNode per path node. Node 0 runs every initiator association;
   // node `hops` accepts the inbound handshakes on demand; interior nodes
   // carry a single relay binding each and demux frames by association id.
+  // The end nodes run the sharded runtime (--workers N). Over SimTransport
+  // the shards are driven inline -- one thread, virtual-arrival order -- so
+  // sharded runs replay bit-identically per seed. Interior relay nodes stay
+  // on AlphaNode (relay state is not partitioned by association).
   std::size_t delivered = 0;
   std::size_t acked = 0;
-  core::AlphaNode::Options init_opts;
-  init_opts.config = config;
-  init_opts.seed = seed + 77;
-  init_opts.trace_origin = 0;
+  core::ShardedNode::Options init_opts;
+  init_opts.shard.config = config;
+  init_opts.shard.seed = seed + 77;
+  init_opts.shard.trace_origin = 0;
+  init_opts.workers = workers;
   std::size_t failed_deliveries = 0;
 
   metrics::Registry registry;
@@ -262,7 +273,7 @@ int main(int argc, char** argv) {
     return "assoc=\"" + std::to_string(assoc_id) + "\"";
   };
 
-  core::AlphaNode::Callbacks init_cbs;
+  core::ShardedNode::Callbacks init_cbs;
   init_cbs.on_delivery = [&](std::uint32_t assoc_id, std::uint64_t cookie,
                              core::DeliveryStatus status) {
     if (status == core::DeliveryStatus::kAcked) ++acked;
@@ -289,7 +300,7 @@ int main(int argc, char** argv) {
       hs_start_us.erase(it);
     }
   };
-  core::AlphaNode initiator_node{
+  core::ShardedNode initiator_node{
       std::make_unique<net::SimTransport>(network, 0), init_opts, init_cbs};
 
   std::vector<std::unique_ptr<core::AlphaNode>> relay_nodes;
@@ -303,17 +314,18 @@ int main(int argc, char** argv) {
     relay_nodes.push_back(std::move(node));
   }
 
-  core::AlphaNode::Options resp_opts;
-  resp_opts.config = config;
-  resp_opts.seed = seed + 78;
-  resp_opts.accept_inbound = true;
-  resp_opts.trace_origin = static_cast<std::uint8_t>(hops);
-  resp_opts.accept_host_options = responder_opts;
+  core::ShardedNode::Options resp_opts;
+  resp_opts.shard.config = config;
+  resp_opts.shard.seed = seed + 78;
+  resp_opts.shard.accept_inbound = true;
+  resp_opts.shard.trace_origin = static_cast<std::uint8_t>(hops);
+  resp_opts.shard.accept_host_options = responder_opts;
+  resp_opts.workers = workers;
   // Forgery oracle: every genuine payload is msg_size bytes of one repeated
   // value, so anything else that reaches the application is a forgery the
   // protocol failed to reject (e.g. a corrupted frame that still verified).
   std::size_t forged = 0;
-  core::AlphaNode::Callbacks resp_cbs;
+  core::ShardedNode::Callbacks resp_cbs;
   resp_cbs.on_message = [&](std::uint32_t, crypto::ByteView payload) {
     bool genuine = payload.size() == msg_size && !payload.empty();
     for (std::size_t i = 1; genuine && i < payload.size(); ++i) {
@@ -325,7 +337,7 @@ int main(int argc, char** argv) {
       ++forged;
     }
   };
-  core::AlphaNode responder_node{
+  core::ShardedNode responder_node{
       std::make_unique<net::SimTransport>(network,
                                           static_cast<net::NodeId>(hops)),
       resp_opts, resp_cbs};
@@ -375,6 +387,28 @@ int main(int argc, char** argv) {
       registry.counter("alpha_duplicate_packets", labels) =
           as.verifier.duplicate_packets;
     }
+    // Sharded-runtime queue instrumentation: live per-shard depths and
+    // overflow counters for both end nodes (assignment per scrape, so the
+    // export tracks the rings rather than accumulating).
+    const auto fold_shards = [&](const char* node,
+                                 const std::vector<core::ShardedNode::ShardStats>&
+                                     stats) {
+      for (const auto& ss : stats) {
+        const std::string labels = "node=\"" + std::string(node) +
+                                   "\",shard=\"" + std::to_string(ss.shard) +
+                                   "\"";
+        registry.counter("alpha_shard_in_depth", labels) = ss.in_depth;
+        registry.counter("alpha_shard_out_depth", labels) = ss.out_depth;
+        registry.counter("alpha_shard_in_overflows", labels) =
+            ss.in_overflows;
+        registry.counter("alpha_shard_out_overflows", labels) =
+            ss.out_overflows;
+        registry.counter("alpha_shard_frames_routed", labels) =
+            ss.frames_routed;
+      }
+    };
+    fold_shards("initiator", initiator_node.shard_stats());
+    fold_shards("responder", responder_node.shard_stats());
     if (trace_ring.has_value()) span_builder.ingest_new(*trace_ring);
     health.observe(samples, sim.now(),
                    trace_ring.has_value() ? trace_ring->dropped() : 0);
@@ -420,11 +454,9 @@ int main(int argc, char** argv) {
   for (int attempt = 0;
        attempt < 20 && initiator_node.established_count() < assocs;
        ++attempt) {
-    for (std::size_t a = 0; a < assocs; ++a) {
-      const auto assoc_id = static_cast<std::uint32_t>(a + 1);
-      if (!initiator_node.host(assoc_id)->established()) {
-        initiator_node.start(assoc_id);
-      }
+    const auto snap = initiator_node.snapshot(/*per_assoc=*/true);
+    for (const auto& as : snap.assocs) {
+      if (!as.established) initiator_node.start(as.assoc_id);
     }
     sim.run_until(sim.now() + 10 * net::kSecond);
   }
@@ -532,6 +564,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(init_snap.demux_misses),
               static_cast<unsigned long long>(init_snap.timer_fires),
               static_cast<unsigned long long>(resp_snap.accepted_handshakes));
+  if (workers > 1) {
+    std::uint64_t routed = 0, overflows = 0;
+    for (const auto& ss : initiator_node.shard_stats()) {
+      routed += ss.frames_routed;
+      overflows += ss.in_overflows + ss.out_overflows;
+    }
+    for (const auto& ss : responder_node.shard_stats()) {
+      routed += ss.frames_routed;
+      overflows += ss.in_overflows + ss.out_overflows;
+    }
+    std::printf("shards:         workers=%u routed=%llu ring-overflows=%llu\n",
+                workers, static_cast<unsigned long long>(routed),
+                static_cast<unsigned long long>(overflows));
+  }
   const auto total_stats = network.total_stats();
   std::printf("network:        frames=%llu bytes=%llu lost=%llu\n",
               static_cast<unsigned long long>(total_stats.frames_sent),
