@@ -24,7 +24,7 @@ std::size_t relay_bytes_for_flows(std::size_t flows, wire::Mode mode) {
   config.chain_length = 128;
 
   core::RelayEngine::Callbacks cb;
-  cb.forward = [](core::Direction, crypto::Bytes) {};
+  cb.forward = [](core::Direction, crypto::ByteView) {};
   core::RelayEngine relay{config, core::RelayEngine::Options{},
                           std::move(cb)};
 

@@ -52,7 +52,7 @@ class TriadFixture {
 
     // Relay learns anchors via a synthetic handshake pair.
     core::RelayEngine::Callbacks rcb;
-    rcb.forward = [](core::Direction, crypto::Bytes) {};
+    rcb.forward = [](core::Direction, crypto::ByteView) {};
     relay_.emplace(config_, core::RelayEngine::Options{}, std::move(rcb));
     wire::HandshakePacket hs1;
     hs1.hdr = {1, 0};

@@ -43,9 +43,10 @@ int main() {
   // Relays.
   auto make_relay = [&](net::NodeId self, std::optional<core::RelayEngine>& r) {
     core::RelayEngine::Callbacks cb;
-    cb.forward = [&network, self](core::Direction dir, crypto::Bytes frame) {
+    cb.forward = [&network, self](core::Direction dir,
+                                  crypto::ByteView frame) {
       network.send(self, dir == core::Direction::kForward ? 3 : 0,
-                   std::move(frame));
+                   crypto::Bytes(frame.begin(), frame.end()));
     };
     r.emplace(config, core::RelayEngine::Options{}, std::move(cb));
     network.set_handler(self, [&r](net::NodeId from, crypto::ByteView f) {

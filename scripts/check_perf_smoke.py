@@ -29,9 +29,19 @@ but only when the recorded hardware_concurrency is >= 4: on fewer cores the
 extra threads only add contention, so the scaling claim is untestable there
 and the gate degrades to completeness checks.
 
+With --relay it validates a bench_relay_mpps JSON artifact
+(BENCH_relay_mpps.json): schema shape, a complete assoc x batch mpps sweep
+in which every frame was verified and forwarded with zero drops and the
+best batched row beats the scalar baseline for every assoc count (the
+whole point of the fast path -- the margin is printed), plus a complete
+1/2/4-worker relay sweep with full delivery, zero relay drops, and zero
+ring overflows. Multi-worker scaling is only enforced when the recorded
+hardware_concurrency is >= 4, mirroring the --sharded gate.
+
 Usage: check_perf_smoke.py UNTRACED.json TRACED.json
        check_perf_smoke.py --latency BENCH_latency.json
        check_perf_smoke.py --sharded BENCH_sharded.json
+       check_perf_smoke.py --relay BENCH_relay_mpps.json
 """
 
 import json
@@ -172,6 +182,82 @@ def check_sharded(path: str) -> None:
           f"ring overflows; {scaling}")
 
 
+def check_relay(path: str) -> None:
+    doc = json.load(open(path))
+    if doc.get("bench") != "relay_mpps":
+        fail(f"{path}: bench != relay_mpps")
+    if doc.get("schema_version") != 1:
+        fail(f"{path}: unknown schema_version {doc.get('schema_version')}")
+    hw = doc.get("hardware_concurrency")
+    if not isinstance(hw, int) or hw < 1:
+        fail(f"{path}: missing/invalid hardware_concurrency")
+
+    rows = doc.get("mpps_sweep")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path}: empty mpps_sweep")
+    scalar = {}   # assocs -> pkts_per_s
+    batched = {}  # assocs -> best batched pkts_per_s
+    for row in rows:
+        for key in ("assocs", "engine", "batch", "frames", "forwarded",
+                    "dropped", "pkts_per_s"):
+            if key not in row:
+                fail(f"{path}: mpps_sweep row missing {key}")
+        if row["forwarded"] != row["frames"]:
+            fail(f"{path}: {row['assocs']}-assoc {row['engine']} row "
+                 f"forwarded {row['forwarded']}/{row['frames']}")
+        if row["dropped"] != 0:
+            fail(f"{path}: {row['assocs']}-assoc {row['engine']} row "
+                 f"dropped {row['dropped']} authentic frames")
+        a = row["assocs"]
+        if row["engine"] == "scalar":
+            scalar[a] = row["pkts_per_s"]
+        else:
+            batched[a] = max(batched.get(a, 0.0), row["pkts_per_s"])
+    if set(scalar) != set(batched) or not scalar:
+        fail(f"{path}: scalar/batched assoc counts differ "
+             f"({sorted(scalar)} vs {sorted(batched)})")
+    margins = []
+    for a in sorted(scalar):
+        if batched[a] <= scalar[a]:
+            fail(f"{path}: batched pipeline ({batched[a]:.0f} pkts/s) does "
+                 f"not beat scalar ({scalar[a]:.0f} pkts/s) at {a} assocs")
+        margins.append(f"{a} assocs: {batched[a] / scalar[a]:.2f}x")
+
+    worker_rows = doc.get("worker_sweep")
+    if not isinstance(worker_rows, list) or not worker_rows:
+        fail(f"{path}: empty worker_sweep")
+    fwd_rate = {}
+    for row in worker_rows:
+        for key in ("workers", "messages", "delivered", "relay_dropped",
+                    "relay_fwd_per_s", "ring_overflows"):
+            if key not in row:
+                fail(f"{path}: worker_sweep row missing {key}")
+        if row["delivered"] != row["messages"]:
+            fail(f"{path}: {row['workers']}-worker row delivered "
+                 f"{row['delivered']}/{row['messages']}")
+        if row["relay_dropped"] != 0:
+            fail(f"{path}: {row['workers']}-worker row dropped "
+                 f"{row['relay_dropped']} authentic frames at the relay")
+        if row["ring_overflows"] != 0:
+            fail(f"{path}: {row['workers']}-worker row overflowed rings "
+                 f"{row['ring_overflows']} times")
+        fwd_rate[row["workers"]] = row["relay_fwd_per_s"]
+    if not {1, 2, 4} <= set(fwd_rate):
+        fail(f"{path}: expected 1/2/4-worker rows, got {sorted(fwd_rate)}")
+    if hw >= 4:
+        if not fwd_rate[1] <= fwd_rate[4]:
+            fail(f"{path}: relay forwarding rate regressed 1->4 workers on "
+                 f"a {hw}-core host: {fwd_rate[1]:.0f} -> "
+                 f"{fwd_rate[4]:.0f} fwd/s")
+        scaling = f"scaling {fwd_rate[4] / fwd_rate[1]:.2f}x at 4 workers"
+    else:
+        scaling = (f"scaling not gated (hardware_concurrency={hw}; "
+                   f"gate requires >= 4 cores)")
+    print(f"OK: {path} schema valid; batched beats scalar "
+          f"({', '.join(margins)}); worker sweep complete with zero drops "
+          f"and overflows; {scaling}")
+
+
 def main() -> None:
     if len(sys.argv) == 3 and sys.argv[1] == "--latency":
         check_latency(sys.argv[2])
@@ -179,9 +265,13 @@ def main() -> None:
     if len(sys.argv) == 3 and sys.argv[1] == "--sharded":
         check_sharded(sys.argv[2])
         return
+    if len(sys.argv) == 3 and sys.argv[1] == "--relay":
+        check_relay(sys.argv[2])
+        return
     if len(sys.argv) != 3:
         fail(f"usage: {sys.argv[0]} [--latency LATENCY.json | "
-             f"--sharded SHARDED.json | UNTRACED.json TRACED.json]")
+             f"--sharded SHARDED.json | --relay RELAY_MPPS.json | "
+             f"UNTRACED.json TRACED.json]")
     untraced = json.load(open(sys.argv[1]))
     traced = json.load(open(sys.argv[2]))
     if untraced.get("traced") is not False:

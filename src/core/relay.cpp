@@ -39,7 +39,7 @@ RelayDecision RelayEngine::forward(Direction dir, crypto::ByteView frame) {
   emit_relay_event(trace::EventKind::kRelayForwarded, frame,
                    trace::DropReason::kNone);
   if (callbacks_.forward) {
-    callbacks_.forward(dir, crypto::Bytes(frame.begin(), frame.end()));
+    callbacks_.forward(dir, frame);
   }
   return RelayDecision::kForwarded;
 }
@@ -51,6 +51,7 @@ RelayDecision RelayEngine::drop(RelayDecision decision, crypto::ByteView frame,
   } else {
     ++stats_.dropped_invalid;
   }
+  ++stats_.dropped_by_reason[static_cast<std::size_t>(reason)];
   emit_relay_event(trace::EventKind::kPacketDropped, frame, reason);
   return decision;
 }
@@ -59,6 +60,8 @@ RelayDecision RelayEngine::on_frame(Direction dir, crypto::ByteView frame) {
   const auto packet = wire::decode(frame);
   if (!packet.has_value()) {
     ++stats_.dropped_invalid;
+    ++stats_.dropped_by_reason[static_cast<std::size_t>(
+        trace::DropReason::kDecodeError)];
     emit_relay_event(trace::EventKind::kPacketDropped, frame,
                      trace::DropReason::kDecodeError);
     return RelayDecision::kDroppedMalformed;

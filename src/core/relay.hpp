@@ -63,8 +63,11 @@ class RelayEngine {
   };
 
   struct Callbacks {
-    /// Forwards the (verbatim) frame onward in its travel direction.
-    std::function<void(Direction, crypto::Bytes)> forward;
+    /// Forwards the (verbatim) frame onward in its travel direction. The
+    /// view is only valid for the duration of the call: copy it if the
+    /// transport needs ownership. Passing a view instead of a fresh Bytes
+    /// keeps the relay data path allocation-free.
+    std::function<void(Direction, crypto::ByteView)> forward;
     /// Authenticated payload extracted from a forwarded S2 (§3.5 secure
     /// signaling to middleboxes).
     std::function<void(std::uint32_t assoc_id, std::uint32_t seq,

@@ -14,12 +14,13 @@ std::uint64_t derive_granularity(const NodeShard::Options& options) {
 }  // namespace
 
 NodeShard::NodeShard(std::uint32_t index, Options options, Callbacks callbacks,
-                     SendFn send, WakeupFn wakeup)
+                     SendFn send, WakeupFn wakeup, SendViewFn send_view)
     : index_(index),
       options_(std::move(options)),
       callbacks_(std::move(callbacks)),
       send_(std::move(send)),
       wakeup_(std::move(wakeup)),
+      send_view_(std::move(send_view)),
       rng_(options_.seed),
       tick_granularity_(derive_granularity(options_)),
       wheel_(tick_granularity_, options_.wheel_slots) {
@@ -64,6 +65,11 @@ Host& NodeShard::add_host(std::uint32_t assoc_id, net::PeerAddr peer,
   return *entry.host;
 }
 
+bool NodeShard::send_frame(net::PeerAddr peer, crypto::ByteView frame) {
+  if (send_view_) return send_view_(peer, frame);
+  return send_(peer, crypto::Bytes(frame.begin(), frame.end()));
+}
+
 RelayEngine& NodeShard::add_relay(net::PeerAddr upstream,
                                   net::PeerAddr downstream,
                                   RelayEngine::Options options,
@@ -75,11 +81,11 @@ RelayEngine& NodeShard::add_relay(net::PeerAddr upstream,
   raw->downstream = downstream;
 
   RelayEngine::Callbacks cb;
-  cb.forward = [this, raw](Direction dir, crypto::Bytes frame) {
+  cb.forward = [this, raw](Direction dir, crypto::ByteView frame) {
     ++frames_out_;
     const net::PeerAddr next =
         dir == Direction::kForward ? raw->downstream : raw->upstream;
-    if (!send_(next, std::move(frame))) ++send_failures_;
+    if (!send_frame(next, frame)) ++send_failures_;
   };
   cb.on_extracted = std::move(on_extracted);
   raw->engine = std::make_unique<RelayEngine>(options_.config, options,
@@ -87,6 +93,49 @@ RelayEngine& NodeShard::add_relay(net::PeerAddr upstream,
   for (const std::uint32_t id : assoc_ids) relay_by_assoc_[id] = raw;
   relays_.push_back(std::move(binding));
   return *raw->engine;
+}
+
+RelayPipeline& NodeShard::add_relay_pipeline(
+    net::PeerAddr upstream, net::PeerAddr downstream, std::size_t batch,
+    RelayEngine::Options options, ExtractFn on_extracted,
+    std::vector<std::uint32_t> assoc_ids) {
+  auto binding = std::make_unique<RelayBinding>();
+  RelayBinding* raw = binding.get();
+  raw->upstream = upstream;
+  raw->downstream = downstream;
+
+  RelayPipeline::Callbacks cb;
+  cb.forward_batch = [this, raw](const RelayPipeline::ForwardItem* items,
+                                 std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      ++frames_out_;
+      const net::PeerAddr next = items[i].dir == Direction::kForward
+                                     ? raw->downstream
+                                     : raw->upstream;
+      if (!send_frame(next, items[i].frame)) ++send_failures_;
+    }
+  };
+  cb.on_extracted = std::move(on_extracted);
+  raw->pipeline = std::make_unique<RelayPipeline>(options_.config, options,
+                                                  std::move(cb), batch);
+  for (const std::uint32_t id : assoc_ids) relay_by_assoc_[id] = raw;
+  relays_.push_back(std::move(binding));
+  return *raw->pipeline;
+}
+
+void NodeShard::flush_relays() {
+  for (const auto& binding : relays_) {
+    if (binding->pipeline) binding->pipeline->flush();
+  }
+  relay_pending_relaxed_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t NodeShard::relay_pending() const noexcept {
+  std::size_t n = 0;
+  for (const auto& binding : relays_) {
+    if (binding->pipeline) n += binding->pipeline->pending();
+  }
+  return n;
 }
 
 void NodeShard::start(std::uint32_t assoc_id, std::uint64_t now_us) {
@@ -137,7 +186,14 @@ void NodeShard::on_frame(net::PeerAddr from, crypto::ByteView frame,
   if (RelayBinding* binding = relay_for(*assoc_id, from)) {
     const Direction dir = from == binding->downstream ? Direction::kReverse
                                                       : Direction::kForward;
-    binding->engine->on_frame(dir, frame);
+    if (binding->pipeline) {
+      // Batched path: enqueue only; flush_relays() runs at end-of-drain
+      // (or the enqueue itself flushes a full batch).
+      binding->pipeline->enqueue(dir, frame);
+      relay_pending_relaxed_.store(relay_pending(), std::memory_order_relaxed);
+    } else {
+      binding->engine->on_frame(dir, frame);
+    }
     return;
   }
 
@@ -329,16 +385,9 @@ void NodeShard::snapshot_into(NodeSnapshot& s, bool per_assoc) const {
     }
   }
   for (const auto& binding : relays_) {
-    const RelayStats& r = binding->engine->stats();
-    s.relay.hashes.signature += r.hashes.signature;
-    s.relay.hashes.chain_create += r.hashes.chain_create;
-    s.relay.hashes.chain_verify += r.hashes.chain_verify;
-    s.relay.hashes.ack += r.hashes.ack;
-    s.relay.forwarded += r.forwarded;
-    s.relay.dropped_invalid += r.dropped_invalid;
-    s.relay.dropped_unsolicited += r.dropped_unsolicited;
-    s.relay.messages_extracted += r.messages_extracted;
-    s.relay.acks_verified += r.acks_verified;
+    const RelayStats& r =
+        binding->pipeline ? binding->pipeline->stats() : binding->engine->stats();
+    s.relay += r;
     s.messages_forged += r.dropped_invalid;
   }
 }

@@ -30,6 +30,7 @@
 
 #include "core/host.hpp"
 #include "core/relay.hpp"
+#include "core/relay_pipeline.hpp"
 #include "core/timer_wheel.hpp"
 #include "crypto/random.hpp"
 #include "net/transport.hpp"
@@ -123,12 +124,19 @@ class NodeShard {
 
   /// Emits one frame toward `peer`; false = the transport refused it.
   using SendFn = std::function<bool(net::PeerAddr, crypto::Bytes)>;
+  /// Borrowed-view variant of SendFn for the relay fast path: the frame is
+  /// only valid for the duration of the call. Optional -- when absent,
+  /// relay forwards fall back to SendFn with a copy. A ring-backed runtime
+  /// (ShardedNode) installs one so verified frames go straight from the
+  /// pipeline's batch buffers into ring slots, no intermediate Bytes.
+  using SendViewFn = std::function<bool(net::PeerAddr, crypto::ByteView)>;
   /// Requests a wakeup (advance_timers call) at absolute time `at_us`.
   /// Optional: a worker loop that polls advance_timers() needs none.
   using WakeupFn = std::function<void(std::uint64_t at_us)>;
 
   NodeShard(std::uint32_t index, Options options, Callbacks callbacks,
-            SendFn send, WakeupFn wakeup = nullptr);
+            SendFn send, WakeupFn wakeup = nullptr,
+            SendViewFn send_view = nullptr);
 
   NodeShard(const NodeShard&) = delete;
   NodeShard& operator=(const NodeShard&) = delete;
@@ -141,14 +149,36 @@ class NodeShard {
   Host& add_host(std::uint32_t assoc_id, net::PeerAddr peer, bool initiator,
                  const Config& config, const Host::Options& host_options);
 
-  /// Adds a relay binding verifying-and-forwarding between `upstream` and
-  /// `downstream` (see AlphaNode::add_relay). Relay bindings are a
-  /// single-shard feature: ShardedNode rejects them (relay state is not
-  /// partitioned by association).
+  /// Adds a scalar relay binding verifying-and-forwarding between
+  /// `upstream` and `downstream` (see AlphaNode::add_relay). Relay state is
+  /// keyed purely by association id, so bindings shard cleanly: ShardedNode
+  /// registers one binding per shard, each seeing only the assoc-id slice
+  /// the I/O thread routes to that shard.
   RelayEngine& add_relay(net::PeerAddr upstream, net::PeerAddr downstream,
                          RelayEngine::Options options,
                          ExtractFn on_extracted,
                          std::vector<std::uint32_t> assoc_ids);
+
+  /// Adds a batched relay binding: same decision procedure, but frames are
+  /// collected into verification batches of up to `batch` frames and
+  /// emitted through the (view-based) send path in one go. Partial batches
+  /// are flushed by flush_relays(), which the drive loops call at
+  /// end-of-drain, so batching adds no idle latency.
+  RelayPipeline& add_relay_pipeline(net::PeerAddr upstream,
+                                    net::PeerAddr downstream,
+                                    std::size_t batch,
+                                    RelayEngine::Options options,
+                                    ExtractFn on_extracted,
+                                    std::vector<std::uint32_t> assoc_ids);
+
+  /// Flushes every batched relay binding's pending frames.
+  void flush_relays();
+  /// Frames buffered in batched relay bindings, not yet verified.
+  std::size_t relay_pending() const noexcept;
+  /// Cross-thread mirror of relay_pending() (relaxed; owner-updated).
+  std::size_t relay_pending_relaxed() const noexcept {
+    return relay_pending_relaxed_.load(std::memory_order_relaxed);
+  }
 
   /// Initiator bootstrap: sends the HS1 and arms the retransmission timer.
   void start(std::uint32_t assoc_id, std::uint64_t now_us);
@@ -182,6 +212,15 @@ class NodeShard {
 
   std::size_t relay_count() const noexcept { return relays_.size(); }
   RelayEngine& relay(std::size_t i) { return *relays_.at(i)->engine; }
+  /// The batched pipeline of binding `i`, or nullptr if it is scalar.
+  RelayPipeline* relay_pipeline(std::size_t i) {
+    return relays_.at(i)->pipeline.get();
+  }
+  /// Stats of binding `i`, whichever engine flavor backs it.
+  const RelayStats& relay_stats(std::size_t i) const {
+    const RelayBinding& b = *relays_.at(i);
+    return b.pipeline ? b.pipeline->stats() : b.engine->stats();
+  }
 
   std::uint32_t index() const noexcept { return index_; }
   std::uint64_t tick_granularity_us() const noexcept {
@@ -211,13 +250,18 @@ class NodeShard {
     std::uint64_t timer_deadline_us = 0;  // where the wheel entry sits
   };
 
+  // Exactly one of engine/pipeline is set per binding.
   struct RelayBinding {
     std::unique_ptr<RelayEngine> engine;
+    std::unique_ptr<RelayPipeline> pipeline;
     net::PeerAddr upstream = 0;
     net::PeerAddr downstream = 0;
   };
 
   RelayBinding* relay_for(std::uint32_t assoc_id, net::PeerAddr from);
+  /// Emits one relay frame: through the view-based sender when installed,
+  /// else through SendFn with an owning copy.
+  bool send_frame(net::PeerAddr peer, crypto::ByteView frame);
   /// Post-activity bookkeeping: established/rekey transitions + timer arm.
   void after_activity(AssocEntry& entry, std::uint64_t now_us);
   void arm_timer(AssocEntry& entry, std::uint64_t now_us);
@@ -228,6 +272,7 @@ class NodeShard {
   Callbacks callbacks_;
   SendFn send_;
   WakeupFn wakeup_;
+  SendViewFn send_view_;
   crypto::HmacDrbg rng_;
   std::uint64_t tick_granularity_;
 
@@ -249,6 +294,7 @@ class NodeShard {
   std::uint64_t accepted_handshakes_ = 0;
   std::uint64_t timer_fires_ = 0;
   std::atomic<std::size_t> established_relaxed_{0};
+  std::atomic<std::size_t> relay_pending_relaxed_{0};
 };
 
 }  // namespace alpha::core

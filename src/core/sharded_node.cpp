@@ -49,6 +49,13 @@ ShardedNode::ShardedNode(std::unique_ptr<net::Transport> transport,
       return raw->out->try_push(FrameSlot::Kind::kFrame, peer, 0, 0,
                                 crypto::ByteView{frame.data(), frame.size()});
     };
+    // The relay fast path hands frames over as borrowed views: they go
+    // straight from the pipeline's batch buffers into ring slots with no
+    // intermediate Bytes allocation.
+    NodeShard::SendViewFn send_view = [raw](net::PeerAddr peer,
+                                            crypto::ByteView frame) {
+      return raw->out->try_push(FrameSlot::Kind::kFrame, peer, 0, 0, frame);
+    };
     NodeShard::WakeupFn wakeup;
     if (!threaded_) {
       // Inline drive: timer cadence rides the transport scheduler, exactly
@@ -59,7 +66,8 @@ ShardedNode::ShardedNode(std::unique_ptr<net::Transport> transport,
     }
     sh->node = std::make_unique<NodeShard>(i, shard_options(options_, i),
                                            callbacks, std::move(send),
-                                           std::move(wakeup));
+                                           std::move(wakeup),
+                                           std::move(send_view));
     shards_.push_back(std::move(sh));
   }
 
@@ -122,6 +130,33 @@ Host& ShardedNode::add_responder(std::uint32_t assoc_id, net::PeerAddr peer,
                                  const Config& config,
                                  const Host::Options& host_options) {
   return add_host(assoc_id, peer, /*initiator=*/false, config, host_options);
+}
+
+void ShardedNode::add_relay(net::PeerAddr upstream, net::PeerAddr downstream,
+                            std::vector<std::uint32_t> assoc_ids,
+                            std::size_t relay_batch,
+                            RelayEngine::Options relay_options,
+                            NodeShard::ExtractFn on_extracted) {
+  if (running_.load(std::memory_order_relaxed)) {
+    throw std::logic_error(
+        "ShardedNode: relays must be added before the workers launch");
+  }
+  for (std::uint32_t i = 0; i < workers_; ++i) {
+    // Each shard's binding owns exactly the assoc ids the I/O thread will
+    // route to it, so relay state never crosses a shard boundary.
+    std::vector<std::uint32_t> owned;
+    for (const std::uint32_t id : assoc_ids) {
+      if (shard_for(id) == i) owned.push_back(id);
+    }
+    if (relay_batch > 1) {
+      shards_[i]->node->add_relay_pipeline(upstream, downstream, relay_batch,
+                                           relay_options, on_extracted,
+                                           std::move(owned));
+    } else {
+      shards_[i]->node->add_relay(upstream, downstream, relay_options,
+                                  on_extracted, std::move(owned));
+    }
+  }
 }
 
 void ShardedNode::ensure_running() {
@@ -261,12 +296,7 @@ NodeSnapshot ShardedNode::snapshot(bool per_assoc) {
       s.replayed_handshakes += sh->frag.replayed_handshakes;
       s.duplicate_handshakes += sh->frag.duplicate_handshakes;
       s.retransmits += sh->frag.retransmits;
-      s.relay.hashes += sh->frag.relay.hashes;
-      s.relay.forwarded += sh->frag.relay.forwarded;
-      s.relay.dropped_invalid += sh->frag.relay.dropped_invalid;
-      s.relay.dropped_unsolicited += sh->frag.relay.dropped_unsolicited;
-      s.relay.messages_extracted += sh->frag.relay.messages_extracted;
-      s.relay.acks_verified += sh->frag.relay.acks_verified;
+      s.relay += sh->frag.relay;
       if (per_assoc) {
         s.assocs.insert(s.assocs.end(), sh->frag.assocs.begin(),
                         sh->frag.assocs.end());
@@ -291,6 +321,7 @@ std::vector<ShardedNode::ShardStats> ShardedNode::shard_stats() const {
     st.in_overflows = sh.in->overflows();
     st.out_overflows = sh.out->overflows();
     st.frames_routed = sh.frames_routed.load(std::memory_order_relaxed);
+    st.relay_pending = sh.node->relay_pending_relaxed();
     stats.push_back(st);
   }
   return stats;
@@ -339,6 +370,9 @@ void ShardedNode::drain_shard_inline(Shard& sh) {
     apply_slot(sh, *slot, slot->time_us);
     sh.in->pop();
   }
+  // End-of-drain: partial relay batches go out now, before their frames'
+  // outbound ring pass, so batching never holds a frame across polls.
+  sh.node->flush_relays();
   flush_out_ring(sh);
 }
 
@@ -407,6 +441,10 @@ void ShardedNode::worker_loop(Shard& sh) {
       sh.in->pop();
       ++did;
     }
+    // End-of-drain flush: full batches flushed themselves inside on_frame;
+    // whatever is left goes out before the idle nap, so batching trades no
+    // latency for its throughput.
+    sh.node->flush_relays();
     sh.node->advance_timers(transport_->now_us());
     if (did == 0) std::this_thread::sleep_for(kIdleNap);
   }

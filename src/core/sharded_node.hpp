@@ -48,9 +48,15 @@
 // share the frame in-ring without giving it two producers -- multiplexed by
 // FrameSlot::Kind and drained by the worker ahead of frames each pass.
 //
-// Relay bindings are deliberately not sharded (RelayEngine state is not
-// partitioned by association) -- relays keep using AlphaNode; ShardedNode
-// is the busy end-host.
+// Relay bindings shard by association id, exactly like hosts: relay state
+// (chain verifiers, buffered pre-signatures, round memos) is keyed purely
+// by assoc id, so add_relay() registers one binding per shard and the I/O
+// thread's shard_of() demux routes every frame of an association -- and
+// therefore all of its relay state -- to one owning worker. N workers
+// verify-and-forward concurrently with zero shared state; forwarded frames
+// ride the same out-rings and sendmmsg batches as host traffic. Bindings
+// default to the batched RelayPipeline (relay_batch > 1), falling back to
+// the scalar RelayEngine for batch <= 1.
 #pragma once
 
 #include <atomic>
@@ -92,6 +98,7 @@ class ShardedNode {
     std::uint64_t in_overflows = 0;  // inbound frames dropped (ring full)
     std::uint64_t out_overflows = 0; // outbound frames refused (ring full)
     std::uint64_t frames_routed = 0; // inbound frames demuxed to this shard
+    std::size_t relay_pending = 0;   // frames awaiting a relay batch flush
   };
 
   /// Takes ownership of the transport. In threaded mode (transport clock is
@@ -117,6 +124,18 @@ class ShardedNode {
   Host& add_responder(std::uint32_t assoc_id, net::PeerAddr peer,
                       const Config& config,
                       const Host::Options& host_options);
+
+  /// Adds a relay binding between `upstream` and `downstream` to every
+  /// shard; each shard's binding is registered for the slice of `assoc_ids`
+  /// that hashes to it, so ownership matches the I/O thread's routing.
+  /// `relay_batch` > 1 selects the batched RelayPipeline with that flush
+  /// size; <= 1 selects the scalar RelayEngine. Only before the workers
+  /// launch (throws std::logic_error after).
+  void add_relay(net::PeerAddr upstream, net::PeerAddr downstream,
+                 std::vector<std::uint32_t> assoc_ids,
+                 std::size_t relay_batch = 32,
+                 RelayEngine::Options relay_options = {},
+                 NodeShard::ExtractFn on_extracted = nullptr);
 
   /// Initiator bootstrap. Threaded mode: enqueued to the owning shard.
   void start(std::uint32_t assoc_id);

@@ -9,6 +9,9 @@
 
 #include <cstdint>
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
 namespace alpha::core {
 
 /// Hash operations split into the paper's Table 1 categories.
@@ -56,6 +59,15 @@ struct RelayStats {
   std::uint64_t dropped_unsolicited = 0;  // no S1/A1 context (flood filter)
   std::uint64_t messages_extracted = 0;   // §3.5 secure data extraction
   std::uint64_t acks_verified = 0;
+  // Every drop above is also attributed to its trace::DropReason, so the
+  // coarse counters stay scrape-compatible while the taxonomy explains each
+  // one (exported as alpha_relay_dropped_total{reason=...}).
+  std::uint64_t dropped_by_reason[trace::kDropReasonCount] = {};
+  // Verify-and-forward wall time, recorded per flush batch by the batched
+  // pipeline (scalar relays leave it empty: they are not instrumented, two
+  // clock reads per frame would dominate the ns-scale MAC check).
+  metrics::Histogram verify_batch_ns;     // ns per flushed batch
+  std::uint64_t verify_batch_frames = 0;  // frames covered by those batches
 };
 
 // Accumulation: a rekey retires the engines, but their counters must keep
@@ -66,6 +78,21 @@ inline HashWork& operator+=(HashWork& a, const HashWork& b) noexcept {
   a.chain_create += b.chain_create;
   a.chain_verify += b.chain_verify;
   a.ack += b.ack;
+  return a;
+}
+
+inline RelayStats& operator+=(RelayStats& a, const RelayStats& b) noexcept {
+  a.hashes += b.hashes;
+  a.forwarded += b.forwarded;
+  a.dropped_invalid += b.dropped_invalid;
+  a.dropped_unsolicited += b.dropped_unsolicited;
+  a.messages_extracted += b.messages_extracted;
+  a.acks_verified += b.acks_verified;
+  for (std::size_t i = 0; i < trace::kDropReasonCount; ++i) {
+    a.dropped_by_reason[i] += b.dropped_by_reason[i];
+  }
+  a.verify_batch_ns.merge(b.verify_batch_ns);
+  a.verify_batch_frames += b.verify_batch_frames;
   return a;
 }
 

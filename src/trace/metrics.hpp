@@ -50,6 +50,18 @@ class Histogram {
   /// relative error -- and is additionally clamped to [min(), max()].
   double quantile(double q) const noexcept;
 
+  /// Folds another histogram into this one (bucket-wise). Used when
+  /// per-shard / per-engine histograms are merged into a node-level view at
+  /// scrape time, mirroring how plain counters are summed.
+  void merge(const Histogram& other) noexcept {
+    if (other.count_ == 0) return;
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
   std::uint64_t count() const noexcept { return count_; }
   std::uint64_t sum() const noexcept { return sum_; }
   std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }

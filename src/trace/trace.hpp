@@ -82,6 +82,11 @@ enum class DropReason : std::uint8_t {
   kChaosCorrupted = 18,     // delivered, but with bits flipped in flight
 };
 
+/// Number of DropReason values (dense from 0); sized for per-reason counter
+/// arrays like core::RelayStats::dropped_by_reason.
+inline constexpr std::size_t kDropReasonCount =
+    static_cast<std::size_t>(DropReason::kChaosCorrupted) + 1;
+
 /// One traced event. 32 bytes, trivially copyable: record() is a masked
 /// index increment plus a struct copy.
 struct Event {

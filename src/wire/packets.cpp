@@ -247,6 +247,104 @@ std::optional<Header> peek_header(ByteView data) noexcept {
   return hdr;
 }
 
+namespace {
+
+/// Exception-free bounded cursor for the zero-copy parse path (Reader
+/// signals errors by throwing DecodeError, whose message allocates).
+/// Reads after a failure are harmless no-ops: `ok` latches false.
+struct ViewCursor {
+  ByteView d;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool need(std::size_t n) noexcept {
+    if (!ok || d.size() - pos < n) ok = false;
+    return ok;
+  }
+  std::uint8_t u8() noexcept { return need(1) ? d[pos++] : 0; }
+  std::uint16_t u16() noexcept {
+    if (!need(2)) return 0;
+    const std::uint16_t v =
+        static_cast<std::uint16_t>((std::uint16_t{d[pos]} << 8) | d[pos + 1]);
+    pos += 2;
+    return v;
+  }
+  std::uint32_t u32() noexcept {
+    if (!need(4)) return 0;
+    const std::uint32_t v = (std::uint32_t{d[pos]} << 24) |
+                            (std::uint32_t{d[pos + 1]} << 16) |
+                            (std::uint32_t{d[pos + 2]} << 8) | d[pos + 3];
+    pos += 4;
+    return v;
+  }
+  ByteView raw(std::size_t n) noexcept {
+    if (!need(n)) return {};
+    const ByteView v = d.subspan(pos, n);
+    pos += n;
+    return v;
+  }
+};
+
+}  // namespace
+
+std::optional<S2View> parse_s2(ByteView data) noexcept {
+  if (peek_type(data) != PacketType::kS2) return std::nullopt;
+  // Checksum first, same as decode(): a frame that fails the CRC is link
+  // noise and none of its fields may reach engine state.
+  const auto body = unseal(data);
+  if (!body.has_value()) return std::nullopt;
+  // body is a prefix of data, so the bytes peek_type vetted are body[0..1]
+  // -- provided the body actually contains them.
+  if (body->size() < 2) return std::nullopt;
+  ViewCursor c{*body};
+  S2View v;
+  c.pos = 2;  // version + type, vetted by peek_type
+  v.hdr.assoc_id = c.u32();
+  v.hdr.seq = c.u32();
+  const std::uint8_t mode = c.u8();
+  if (!c.ok || mode < 1 || mode > 4) return std::nullopt;
+  v.mode = static_cast<Mode>(mode);
+  v.chain_index = c.u32();
+  const std::uint8_t dlen = c.u8();
+  if (!c.ok || dlen > Digest::kMaxSize) return std::nullopt;
+  const ByteView delem = c.raw(dlen);
+  if (!c.ok) return std::nullopt;
+  v.disclosed_element = Digest{delem};
+  v.msg_index = c.u16();
+  const std::uint8_t has_path = c.u8();
+  if (!c.ok) return std::nullopt;
+  if (has_path != 0) {
+    v.has_path = true;
+    v.leaf_index = c.u16();
+    v.depth = c.u8();
+    const std::size_t start = c.pos;
+    for (std::size_t i = 0; i < v.depth; ++i) {
+      const std::uint8_t n = c.u8();
+      if (!c.ok || n > Digest::kMaxSize) return std::nullopt;
+      c.raw(n);
+    }
+    if (!c.ok) return std::nullopt;
+    v.siblings = body->subspan(start, c.pos - start);
+  }
+  const std::uint16_t payload_len = c.u16();
+  v.payload = c.raw(payload_len);
+  // expect_end: trailing bytes are an error, as in decode().
+  if (!c.ok || c.pos != body->size()) return std::nullopt;
+  return v;
+}
+
+void S2View::path_into(merkle::AuthPath& out) const {
+  out.leaf_index = leaf_index;
+  out.siblings.clear();
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    // Bounds were checked by parse_s2; each entry is len-u8 + bytes.
+    const std::size_t n = siblings[pos++];
+    out.siblings.emplace_back(siblings.subspan(pos, n));
+    pos += n;
+  }
+}
+
 std::optional<Packet> decode(ByteView data) {
   const auto type = peek_type(data);
   if (!type.has_value()) return std::nullopt;

@@ -192,6 +192,34 @@ using Packet = std::variant<S1Packet, A1Packet, S2Packet, A2Packet,
 /// Decodes any ALPHA packet; nullopt on malformed input.
 std::optional<Packet> decode(ByteView data);
 
+/// Zero-copy view of an encoded S2 frame -- the relay data hot path. A
+/// forwarding node touches every S2 of every flow it carries, so parsing
+/// one must not hit the heap: parse_s2 verifies the CRC trailer and every
+/// bound exactly like decode() (a frame is viewable iff it is decodable),
+/// but borrows the payload and {Bc} bytes from the frame instead of copying
+/// them out. The views stay valid only as long as the frame bytes do.
+struct S2View {
+  Header hdr;
+  Mode mode = Mode::kBase;
+  std::uint32_t chain_index = 0;  // index of the disclosed element (i-1)
+  Digest disclosed_element;       // inline copy; Digest never heap-allocates
+  std::uint16_t msg_index = 0;
+  bool has_path = false;          // ALPHA-M {Bc} present
+  std::uint16_t leaf_index = 0;   // valid when has_path
+  std::uint8_t depth = 0;         // sibling count
+  ByteView siblings;              // raw length-prefixed digest run
+  ByteView payload;               // the message m
+
+  /// Decodes the {Bc} branch set into `out`, reusing its storage: the
+  /// sibling vector is cleared but keeps its capacity, so a recycled
+  /// AuthPath makes steady-state calls allocation-free.
+  void path_into(merkle::AuthPath& out) const;
+};
+
+/// Parses an encoded S2 without allocating; nullopt exactly when decode()
+/// would refuse the frame.
+std::optional<S2View> parse_s2(ByteView data) noexcept;
+
 /// Type of an encoded packet without full decoding; nullopt if truncated.
 std::optional<PacketType> peek_type(ByteView data) noexcept;
 

@@ -192,7 +192,7 @@ TEST(EdgeCaseTest, DuplicateHs1GetsIdempotentHs2) {
 TEST(EdgeCaseTest, RelaySurvivesRandomGarbageFrames) {
   Config config;
   RelayEngine::Callbacks cb;
-  cb.forward = [](Direction, Bytes) {};
+  cb.forward = [](Direction, ByteView) {};
   RelayEngine relay{config, RelayEngine::Options{}, std::move(cb)};
   HmacDrbg rng{0xf422u};
   for (int i = 0; i < 3000; ++i) {

@@ -26,8 +26,9 @@ struct MobileScenario {
     // Two candidate relays; `via_r2` selects the active route.
     auto make_relay = [this](std::optional<RelayEngine>& relay) {
       RelayEngine::Callbacks cb;
-      cb.forward = [this](Direction dir, Bytes frame) {
-        bus.sender(dir == Direction::kForward ? 1 : 0)(std::move(frame));
+      cb.forward = [this](Direction dir, ByteView frame) {
+        bus.sender(dir == Direction::kForward ? 1 : 0)(
+            Bytes(frame.begin(), frame.end()));
       };
       relay.emplace(Config{}, RelayEngine::Options{}, std::move(cb));
     };

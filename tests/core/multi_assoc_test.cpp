@@ -19,7 +19,7 @@ Bytes msg(const std::string& s) { return Bytes(s.begin(), s.end()); }
 struct TwoAssociations {
   TwoAssociations() : rng_a1(1), rng_b1(2), rng_a2(3), rng_b2(4) {
     RelayEngine::Callbacks r_cb;
-    r_cb.forward = [this](Direction dir, Bytes frame) {
+    r_cb.forward = [this](Direction dir, ByteView frame) {
       // Route by association id: assoc 1 terminates at endpoints 0/1,
       // assoc 2 at endpoints 2/3.
       const auto hdr = wire::peek_header(frame);
@@ -27,7 +27,7 @@ struct TwoAssociations {
       const bool first = hdr->assoc_id == 1;
       const int dest = dir == Direction::kForward ? (first ? 1 : 3)
                                                   : (first ? 0 : 2);
-      bus.sender(dest)(std::move(frame));
+      bus.sender(dest)(Bytes(frame.begin(), frame.end()));
     };
     relay.emplace(Config{}, RelayEngine::Options{}, std::move(r_cb));
 

@@ -127,7 +127,7 @@ TEST(MutationFuzzTest, RelayForwardsNoMutatedPayloads) {
   for (int iter = 0; iter < 500; ++iter) {
     RelayEngine::Callbacks cb;
     std::size_t extracted = 0;
-    cb.forward = [](Direction, Bytes) {};
+    cb.forward = [](Direction, ByteView) {};
     cb.on_extracted = [&](std::uint32_t, std::uint32_t, std::uint16_t,
                           ByteView) { ++extracted; };
     RelayEngine relay{cap.config, RelayEngine::Options{}, std::move(cb)};

@@ -1,0 +1,196 @@
+// Zero-allocation assertions for the relay data fast path. This binary
+// replaces global operator new/delete (alloc_hook.hpp: exactly one TU per
+// binary) and proves that a steady-state S2 -- peek, zero-copy parse_s2,
+// chain accept, keyed MAC verify, forward -- costs literally zero heap
+// allocations per frame once the pipeline is warm.
+//
+// Control traffic (S1/A1/A2) still goes through the allocating full decode,
+// so the measurement brackets ONLY the S2 frames: per message, the round's
+// S1 and A1 are fed outside the counted window and the S2 inside it.
+#include "support/alloc_hook.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "core/host.hpp"
+#include "core/relay_pipeline.hpp"
+
+namespace alpha::core {
+namespace {
+
+using crypto::Bytes;
+using crypto::ByteView;
+using testsupport::ScopedAllocCount;
+
+struct ScheduledFrame {
+  Direction dir = Direction::kForward;
+  Bytes frame;
+};
+
+std::vector<ScheduledFrame> record_traffic(const Config& config,
+                                           int messages) {
+  std::vector<ScheduledFrame> trace;
+  std::deque<ScheduledFrame> queue;
+  crypto::HmacDrbg rng_a(1), rng_b(2);
+  std::optional<Host> a, b;
+  Host::Callbacks a_cb;
+  a_cb.send = [&](Bytes f) {
+    queue.push_back({Direction::kForward, std::move(f)});
+  };
+  a.emplace(config, /*assoc_id=*/7, /*initiator=*/true, rng_a,
+            std::move(a_cb));
+  Host::Callbacks b_cb;
+  b_cb.send = [&](Bytes f) {
+    queue.push_back({Direction::kReverse, std::move(f)});
+  };
+  b.emplace(config, /*assoc_id=*/7, /*initiator=*/false, rng_b,
+            std::move(b_cb));
+
+  const auto pump = [&] {
+    while (!queue.empty()) {
+      ScheduledFrame f = std::move(queue.front());
+      queue.pop_front();
+      (f.dir == Direction::kForward ? *b : *a).on_frame(f.frame, 0);
+      trace.push_back(std::move(f));
+    }
+  };
+  a->start();
+  pump();
+  EXPECT_TRUE(a->established());
+  for (int i = 0; i < messages; ++i) {
+    a->submit(Bytes(256, static_cast<std::uint8_t>(i)), 0);
+    pump();
+  }
+  return trace;
+}
+
+TEST(RelayAllocFree, SteadyStateS2ForwardIsAllocationFree) {
+  Config config;
+  config.chain_length = 4096;  // no rekey inside the measured window
+  const int kWarmup = 8;
+  const int kMeasured = 64;
+  const auto trace = record_traffic(config, kWarmup + kMeasured);
+
+  std::uint64_t forwarded = 0;
+  RelayPipeline::Callbacks cb;
+  cb.forward_batch = [&](const RelayPipeline::ForwardItem*,
+                         std::size_t count) { forwarded += count; };
+  RelayPipeline pipe(config, {}, std::move(cb), /*batch_capacity=*/16);
+
+  // Split the recorded schedule at the warmup boundary: everything up to
+  // and including the kWarmup-th S2 primes the pipeline (assoc table,
+  // recycled round vectors, pending-slot buffers, MAC midstates).
+  std::size_t split = 0;
+  int s2_seen = 0;
+  for (; split < trace.size() && s2_seen < kWarmup; ++split) {
+    if (wire::peek_type(trace[split].frame) == wire::PacketType::kS2) {
+      ++s2_seen;
+    }
+  }
+  for (std::size_t i = 0; i < split; ++i) {
+    pipe.enqueue(trace[i].dir, trace[i].frame);
+    pipe.flush();
+  }
+
+  // Steady state: S1/A1 control frames feed outside the counted window
+  // (their full decode allocates by design); every S2 is enqueued,
+  // flushed, and forwarded inside it.
+  const std::uint64_t forwarded_before = pipe.stats().forwarded;
+  std::uint64_t delta = 0;
+  std::uint64_t measured_s2 = 0;
+  for (std::size_t i = split; i < trace.size(); ++i) {
+    const bool is_s2 =
+        wire::peek_type(trace[i].frame) == wire::PacketType::kS2;
+    if (!is_s2) {
+      pipe.enqueue(trace[i].dir, trace[i].frame);
+      pipe.flush();
+      continue;
+    }
+    ++measured_s2;
+    const ScopedAllocCount allocs;
+    pipe.enqueue(trace[i].dir, trace[i].frame);
+    pipe.flush();
+    delta += allocs.delta();
+  }
+
+  EXPECT_EQ(measured_s2, static_cast<std::uint64_t>(kMeasured));
+  // Every measured S2 was verified and forwarded...
+  EXPECT_EQ(pipe.stats().forwarded - forwarded_before,
+            trace.size() - split);
+  EXPECT_EQ(pipe.stats().dropped_invalid, 0u);
+  EXPECT_GT(forwarded, 0u);
+  // ...at zero heap allocations per frame.
+  EXPECT_EQ(delta, 0u);
+}
+
+TEST(RelayAllocFree, BatchedS2FlushIsAllocationFree) {
+  // Same property with real batching: rounds of ALPHA-C traffic carry
+  // several S2s per S1, so whole verification batches of S2s flush inside
+  // the counted window.
+  Config config;
+  config.mode = Mode::kCumulative;
+  config.batch_size = 8;
+  config.chain_length = 4096;
+  const int kWarmupMsgs = 16;
+  const int kMeasuredMsgs = 64;
+  const auto trace = record_traffic(config, kWarmupMsgs + kMeasuredMsgs);
+
+  RelayPipeline pipe(config, {}, {}, /*batch_capacity=*/8);
+
+  std::size_t split = 0;
+  int s2_seen = 0;
+  for (; split < trace.size() && s2_seen < kWarmupMsgs; ++split) {
+    if (wire::peek_type(trace[split].frame) == wire::PacketType::kS2) {
+      ++s2_seen;
+    }
+  }
+  for (std::size_t i = 0; i < split; ++i) {
+    pipe.enqueue(trace[i].dir, trace[i].frame);
+  }
+  pipe.flush();
+
+  // Grow every pending-slot buffer to the largest frame in the schedule:
+  // slots recycle round-robin, and a slot warmed only by a small control
+  // frame would otherwise grow inside the counted window. (The replayed
+  // frame is a duplicate S2 of a warmup round; dup-forwarding is benign.)
+  const auto& largest = *std::max_element(
+      trace.begin(), trace.end(), [](const auto& x, const auto& y) {
+        return x.frame.size() < y.frame.size();
+      });
+  for (std::size_t i = 0; i < pipe.batch_capacity(); ++i) {
+    pipe.enqueue(largest.dir, largest.frame);
+  }
+  pipe.flush();
+
+  std::uint64_t delta = 0;
+  std::size_t runs = 0;
+  for (std::size_t i = split; i < trace.size();) {
+    if (wire::peek_type(trace[i].frame) != wire::PacketType::kS2) {
+      pipe.enqueue(trace[i].dir, trace[i].frame);
+      pipe.flush();
+      ++i;
+      continue;
+    }
+    // A run of consecutive S2s: enqueue them all, flush once -- the
+    // whole batched verify must stay allocation-free.
+    const ScopedAllocCount allocs;
+    while (i < trace.size() &&
+           wire::peek_type(trace[i].frame) == wire::PacketType::kS2) {
+      pipe.enqueue(trace[i].dir, trace[i].frame);
+      ++i;
+    }
+    pipe.flush();
+    delta += allocs.delta();
+    ++runs;
+  }
+
+  EXPECT_GT(runs, 0u);
+  EXPECT_EQ(pipe.stats().dropped_invalid, 0u);
+  EXPECT_EQ(delta, 0u);
+}
+
+}  // namespace
+}  // namespace alpha::core

@@ -21,8 +21,9 @@ struct RelayedPair {
   explicit RelayedPair(Config config, RelayEngine::Options relay_opts = {})
       : rng_a(1), rng_b(2) {
     RelayEngine::Callbacks r_cb;
-    r_cb.forward = [this](Direction dir, Bytes frame) {
-      bus.sender(dir == Direction::kForward ? 1 : 0)(std::move(frame));
+    r_cb.forward = [this](Direction dir, ByteView frame) {
+      bus.sender(dir == Direction::kForward ? 1 : 0)(
+          Bytes(frame.begin(), frame.end()));
     };
     r_cb.on_extracted = [this](std::uint32_t, std::uint32_t, std::uint16_t,
                                ByteView payload) {
@@ -238,7 +239,7 @@ TEST(RelayTest, ProtectedHandshakeVerifiedWhenEnabled) {
 
   RelayEngine::Callbacks cb;
   std::size_t forwarded = 0;
-  cb.forward = [&](Direction, Bytes) { ++forwarded; };
+  cb.forward = [&](Direction, ByteView) { ++forwarded; };
   RelayEngine relay{config, opts, std::move(cb)};
 
   // Build a genuine protected handshake via a host.
@@ -303,15 +304,17 @@ TEST(RelayTest, ChainedRelaysAllVerify) {
   std::vector<Bytes> at_b;
 
   RelayEngine::Callbacks r1_cb;
-  r1_cb.forward = [&](Direction dir, Bytes frame) {
+  r1_cb.forward = [&](Direction dir, ByteView frame) {
     // forward -> toward r2 (20); reverse -> toward A (0)
-    bus.sender(dir == Direction::kForward ? 20 : 0)(std::move(frame));
+    bus.sender(dir == Direction::kForward ? 20 : 0)(
+        Bytes(frame.begin(), frame.end()));
   };
   r1.emplace(config, RelayEngine::Options{}, std::move(r1_cb));
 
   RelayEngine::Callbacks r2_cb;
-  r2_cb.forward = [&](Direction dir, Bytes frame) {
-    bus.sender(dir == Direction::kForward ? 1 : 21)(std::move(frame));
+  r2_cb.forward = [&](Direction dir, ByteView frame) {
+    bus.sender(dir == Direction::kForward ? 1 : 21)(
+        Bytes(frame.begin(), frame.end()));
   };
   r2.emplace(config, RelayEngine::Options{}, std::move(r2_cb));
 

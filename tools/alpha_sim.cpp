@@ -79,6 +79,12 @@ int main(int argc, char** argv) {
   flags.define("workers", "1",
                "shard workers for the end nodes (sharded runtime; the "
                "simulator drives shards inline, so runs stay deterministic)");
+  flags.define("relay-workers", "1",
+               "shard workers for interior relay nodes (>1 runs relays on "
+               "the sharded runtime, bindings demuxed by assoc-id hash)");
+  flags.define("relay-batch", "1",
+               "relay S2 verification batch size (>1 selects the batched "
+               "RelayPipeline; 1 keeps the scalar RelayEngine)");
   flags.define("corrupt", "0.0", "per-link frame bit-corruption rate");
   flags.define("dup", "0.0", "per-link frame duplication rate");
   flags.define("reorder", "0.0", "per-link frame reordering rate");
@@ -113,9 +119,14 @@ int main(int argc, char** argv) {
   const std::size_t msg_size = static_cast<std::size_t>(flags.num("msg-size"));
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.num("seed"));
   const auto workers = static_cast<std::uint32_t>(flags.num("workers"));
-  if (hops < 1 || assocs < 1 || workers < 1) {
+  const auto relay_workers =
+      static_cast<std::uint32_t>(flags.num("relay-workers"));
+  const auto relay_batch = static_cast<std::size_t>(flags.num("relay-batch"));
+  if (hops < 1 || assocs < 1 || workers < 1 || relay_workers < 1 ||
+      relay_batch < 1) {
     std::fprintf(stderr,
-                 "need --hops >= 1, --assocs >= 1 and --workers >= 1\n");
+                 "need --hops >= 1, --assocs >= 1, --workers >= 1, "
+                 "--relay-workers >= 1 and --relay-batch >= 1\n");
     return 2;
   }
 
@@ -303,15 +314,39 @@ int main(int argc, char** argv) {
   core::ShardedNode initiator_node{
       std::make_unique<net::SimTransport>(network, 0), init_opts, init_cbs};
 
+  // Interior relay nodes: the scalar AlphaNode relay by default, or -- with
+  // --relay-workers/--relay-batch above 1 -- the sharded runtime with relay
+  // bindings demuxed across workers by assoc-id hash and S2 verification
+  // amortized by the batched RelayPipeline. Association ids are known up
+  // front (1..assocs), which sharded relay bindings require.
+  const bool sharded_relays = relay_workers > 1 || relay_batch > 1;
   std::vector<std::unique_ptr<core::AlphaNode>> relay_nodes;
+  std::vector<std::unique_ptr<core::ShardedNode>> sharded_relay_nodes;
+  std::vector<std::uint32_t> relay_assoc_ids;
+  for (std::size_t a = 0; a < assocs; ++a) {
+    relay_assoc_ids.push_back(static_cast<std::uint32_t>(a + 1));
+  }
   core::AlphaNode::Options relay_node_opts;
   relay_node_opts.config = config;
   for (net::NodeId id = 1; id < hops; ++id) {
-    relay_node_opts.trace_origin = static_cast<std::uint8_t>(id);
-    auto node = std::make_unique<core::AlphaNode>(
-        std::make_unique<net::SimTransport>(network, id), relay_node_opts);
-    node->add_relay(/*upstream=*/id - 1, /*downstream=*/id + 1);
-    relay_nodes.push_back(std::move(node));
+    if (sharded_relays) {
+      core::ShardedNode::Options ropts;
+      ropts.shard.config = config;
+      ropts.shard.seed = seed + 100 + id;
+      ropts.shard.trace_origin = static_cast<std::uint8_t>(id);
+      ropts.workers = relay_workers;
+      auto node = std::make_unique<core::ShardedNode>(
+          std::make_unique<net::SimTransport>(network, id), ropts);
+      node->add_relay(/*upstream=*/id - 1, /*downstream=*/id + 1,
+                      relay_assoc_ids, relay_batch);
+      sharded_relay_nodes.push_back(std::move(node));
+    } else {
+      relay_node_opts.trace_origin = static_cast<std::uint8_t>(id);
+      auto node = std::make_unique<core::AlphaNode>(
+          std::make_unique<net::SimTransport>(network, id), relay_node_opts);
+      node->add_relay(/*upstream=*/id - 1, /*downstream=*/id + 1);
+      relay_nodes.push_back(std::move(node));
+    }
   }
 
   core::ShardedNode::Options resp_opts;
@@ -405,10 +440,41 @@ int main(int argc, char** argv) {
             ss.out_overflows;
         registry.counter("alpha_shard_frames_routed", labels) =
             ss.frames_routed;
+        registry.counter("alpha_shard_relay_pending", labels) =
+            ss.relay_pending;
       }
     };
     fold_shards("initiator", initiator_node.shard_stats());
     fold_shards("responder", responder_node.shard_stats());
+    // Relay attribution: forwarded/extracted totals plus every drop broken
+    // out by taxonomy reason, per relay node (assignment per scrape, so
+    // re-folding is idempotent). Sharded relays also export their per-shard
+    // queue depths through fold_shards above.
+    const auto fold_relay = [&](std::size_t idx, const core::RelayStats& rs) {
+      const std::string labels = "relay=\"" + std::to_string(idx) + "\"";
+      registry.counter("alpha_relay_forwarded", labels) = rs.forwarded;
+      registry.counter("alpha_relay_extracted", labels) =
+          rs.messages_extracted;
+      registry.counter("alpha_relay_acks_verified", labels) =
+          rs.acks_verified;
+      for (std::size_t r = 1; r < trace::kDropReasonCount; ++r) {
+        const std::uint64_t count = rs.dropped_by_reason[r];
+        if (count == 0) continue;
+        registry.counter(
+            "alpha_relay_dropped",
+            labels + ",reason=\"" +
+                trace::to_string(static_cast<trace::DropReason>(r)) + "\"") =
+            count;
+      }
+    };
+    for (std::size_t i = 0; i < relay_nodes.size(); ++i) {
+      fold_relay(i, relay_nodes[i]->snapshot().relay);
+    }
+    for (std::size_t i = 0; i < sharded_relay_nodes.size(); ++i) {
+      fold_relay(i, sharded_relay_nodes[i]->snapshot().relay);
+      fold_shards(("relay" + std::to_string(i)).c_str(),
+                  sharded_relay_nodes[i]->shard_stats());
+    }
     if (trace_ring.has_value()) span_builder.ingest_new(*trace_ring);
     health.observe(samples, sim.now(),
                    trace_ring.has_value() ? trace_ring->dropped() : 0);
@@ -557,6 +623,24 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(rs.relay.hashes.total()),
                 relay_nodes[i]->relay(0).buffered_bytes());
   }
+  for (std::size_t i = 0; i < sharded_relay_nodes.size(); ++i) {
+    const auto rs = sharded_relay_nodes[i]->snapshot();
+    std::size_t pending = 0;
+    for (const auto& ss : sharded_relay_nodes[i]->shard_stats()) {
+      pending += ss.relay_pending;
+    }
+    // No wall-clock figures here: the default results table must diff
+    // bit-identical across same-seed runs (verify_batch_ns is exported as
+    // a histogram under --metrics instead).
+    std::printf("relay %zu:        forwarded=%llu verified=%llu dropped=%llu "
+                "hash-ops=%llu workers=%u batch=%zu pending=%zu\n",
+                i, static_cast<unsigned long long>(rs.relay.forwarded),
+                static_cast<unsigned long long>(rs.relay.messages_extracted),
+                static_cast<unsigned long long>(rs.relay.dropped_invalid +
+                                                rs.relay.dropped_unsolicited),
+                static_cast<unsigned long long>(rs.relay.hashes.total()),
+                relay_workers, relay_batch, pending);
+  }
   std::printf("runtime:        frames in=%llu out=%llu demux-misses=%llu "
               "timer-fires=%llu accepted-handshakes=%llu\n",
               static_cast<unsigned long long>(init_snap.frames_in),
@@ -620,6 +704,18 @@ int main(int argc, char** argv) {
       if (packets > 0) {
         registry.histogram("alpha_verifier_hash_ops_per_packet", labels)
             .record(as.verifier.hashes.total() / packets);
+      }
+    }
+    // Relay verify-batch latency is cumulative over the run, so merge it
+    // once here rather than per scrape (merging in the refresh would
+    // double-count samples on every poll).
+    for (std::size_t i = 0; i < sharded_relay_nodes.size(); ++i) {
+      const auto rs = sharded_relay_nodes[i]->snapshot();
+      if (rs.relay.verify_batch_ns.count() > 0) {
+        registry
+            .histogram("alpha_relay_verify_batch_ns",
+                       "relay=\"" + std::to_string(i) + "\"")
+            .merge(rs.relay.verify_batch_ns);
       }
     }
     if (span_builder.min_delivery_latency_us() != trace::SpanBuilder::kUnset) {
