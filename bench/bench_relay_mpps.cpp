@@ -342,7 +342,11 @@ WorkerRow run_worker_sweep(std::uint32_t relay_workers, std::size_t assocs,
   row.relay_fwd_per_s =
       row.wall_s > 0 ? static_cast<double>(row.relay_forwarded) / row.wall_s
                      : 0;
-  row.verify_batch_p50_ns = snap.relay.verify_batch_ns.quantile(0.5);
+  // quantile() returns NaN on an empty histogram (scalar relays do not
+  // record batch timings); 0 keeps the JSON artifact numeric.
+  row.verify_batch_p50_ns = snap.relay.verify_batch_ns.count() > 0
+                                ? snap.relay.verify_batch_ns.quantile(0.5)
+                                : 0.0;
   for (const auto& ss : relay.shard_stats()) {
     row.ring_overflows += ss.in_overflows + ss.out_overflows;
   }

@@ -38,10 +38,19 @@ whole point of the fast path -- the margin is printed), plus a complete
 ring overflows. Multi-worker scaling is only enforced when the recorded
 hardware_concurrency is >= 4, mirroring the --sharded gate.
 
+With --adaptive it validates a bench_adaptive JSON artifact
+(BENCH_adaptive.json): schema shape with the three seeded chaos scenarios
+(Gilbert-Elliott phase shift, partition cycle, loss ramp), an adaptive row
+per scenario that delivered every submitted message, and an aggregate in
+which the adaptive controller's goodput x efficiency score beats every
+static (mode, batch) ladder rung while having actually switched profiles
+and applied reconfigurations on the live association.
+
 Usage: check_perf_smoke.py UNTRACED.json TRACED.json
        check_perf_smoke.py --latency BENCH_latency.json
        check_perf_smoke.py --sharded BENCH_sharded.json
        check_perf_smoke.py --relay BENCH_relay_mpps.json
+       check_perf_smoke.py --adaptive BENCH_adaptive.json
 """
 
 import json
@@ -258,6 +267,77 @@ def check_relay(path: str) -> None:
           f"and overflows; {scaling}")
 
 
+def check_adaptive(path: str) -> None:
+    doc = json.load(open(path))
+    if doc.get("bench") != "adaptive":
+        fail(f"{path}: bench != adaptive")
+    if doc.get("schema_version") != 1:
+        fail(f"{path}: unknown schema_version {doc.get('schema_version')}")
+
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list) or len(scenarios) < 3:
+        fail(f"{path}: expected >= 3 scenarios")
+    names = set()
+    for sc in scenarios:
+        for key in ("name", "chaos_seed", "duration_s", "rows"):
+            if key not in sc:
+                fail(f"{path}: scenario missing {key}")
+        names.add(sc["name"])
+        rows = sc["rows"]
+        if not isinstance(rows, list) or not rows:
+            fail(f"{path}: scenario {sc['name']} has no rows")
+        adaptive_rows = [r for r in rows if r.get("adaptive")]
+        if len(adaptive_rows) != 1:
+            fail(f"{path}: scenario {sc['name']} needs exactly one "
+                 f"adaptive row")
+        for row in rows:
+            for key in ("config", "adaptive", "submitted", "delivered",
+                        "frames_sent", "score", "adapt_switches",
+                        "reconfigs_applied"):
+                if key not in row:
+                    fail(f"{path}: {sc['name']}/{row.get('config')} row "
+                         f"missing {key}")
+        # The adaptive row must never trade delivery away: every submitted
+        # message arrives in every scenario (statics are allowed to lose --
+        # that is their score penalty).
+        arow = adaptive_rows[0]
+        if arow["delivered"] != arow["submitted"]:
+            fail(f"{path}: adaptive row in {sc['name']} delivered "
+                 f"{arow['delivered']}/{arow['submitted']}")
+    if not {"ge_phase_shift", "partition_cycle", "loss_ramp"} <= names:
+        fail(f"{path}: missing scenarios, got {sorted(names)}")
+
+    agg = doc.get("aggregate")
+    if not isinstance(agg, list) or not agg:
+        fail(f"{path}: empty aggregate")
+    adaptive_aggs = [a for a in agg if a.get("adaptive")]
+    if len(adaptive_aggs) != 1:
+        fail(f"{path}: need exactly one adaptive aggregate row")
+    adap = adaptive_aggs[0]
+    statics = [a for a in agg if not a.get("adaptive")]
+    if len(statics) < 5:
+        fail(f"{path}: expected the full static ladder, got "
+             f"{[a.get('config') for a in statics]}")
+    for a in statics:
+        if adap["total_score"] <= a["total_score"]:
+            fail(f"{path}: adaptive score {adap['total_score']:.3f} does "
+                 f"not beat static {a['config']} "
+                 f"({a['total_score']:.3f})")
+    # The loop actually closed: the controller switched rungs and the
+    # reconfigurations landed on the live association.
+    if adap.get("adapt_switches", 0) <= 0:
+        fail(f"{path}: adaptive run never switched profiles")
+    if adap.get("reconfigs_applied", 0) <= 0:
+        fail(f"{path}: adaptive run never applied a reconfiguration")
+    if not adap.get("delivered_everything"):
+        fail(f"{path}: adaptive run lost messages")
+    margin = min(adap["total_score"] / a["total_score"]
+                 for a in statics if a["total_score"] > 0)
+    print(f"OK: {path} schema valid; adaptive beats every static rung "
+          f"(min margin {margin:.2f}x), {adap['adapt_switches']} switches, "
+          f"{adap['reconfigs_applied']} reconfigs, full delivery")
+
+
 def main() -> None:
     if len(sys.argv) == 3 and sys.argv[1] == "--latency":
         check_latency(sys.argv[2])
@@ -268,10 +348,13 @@ def main() -> None:
     if len(sys.argv) == 3 and sys.argv[1] == "--relay":
         check_relay(sys.argv[2])
         return
+    if len(sys.argv) == 3 and sys.argv[1] == "--adaptive":
+        check_adaptive(sys.argv[2])
+        return
     if len(sys.argv) != 3:
         fail(f"usage: {sys.argv[0]} [--latency LATENCY.json | "
              f"--sharded SHARDED.json | --relay RELAY_MPPS.json | "
-             f"UNTRACED.json TRACED.json]")
+             f"--adaptive ADAPTIVE.json | UNTRACED.json TRACED.json]")
     untraced = json.load(open(sys.argv[1]))
     traced = json.load(open(sys.argv[2]))
     if untraced.get("traced") is not False:

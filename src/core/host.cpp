@@ -1,5 +1,6 @@
 #include "core/host.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "trace/trace.hpp"
@@ -30,10 +31,13 @@ Host::Host(Config config, std::uint32_t assoc_id, bool initiator,
   }
 }
 
-wire::HandshakePacket Host::make_handshake(bool is_response) {
+wire::HandshakePacket Host::make_handshake(
+    bool is_response,
+    const std::optional<wire::ReconfigAnnounce>& reconfig) {
   wire::HandshakePacket hs;
   hs.hdr = {assoc_id_, hs_seq_};
   hs.is_response = is_response;
+  hs.reconfig = reconfig;
   hs.algo = config_.algo;
   hs.chain_length = static_cast<std::uint32_t>(config_.chain_length);
   hs.sig_anchor_index = static_cast<std::uint32_t>(sig_chain_.length());
@@ -71,7 +75,7 @@ bool Host::validate_peer_handshake(const wire::HandshakePacket& hs) const {
   return true;
 }
 
-void Host::start() {
+void Host::start(std::uint64_t now_us) {
   if (!initiator_) return;
   if (established()) {
     // Revive an association whose *rekey* handshake exhausted its retransmit
@@ -81,10 +85,16 @@ void Host::start() {
     if (rekey_pending_ && failed_) {
       hs_retries_ = 0;
       failed_ = false;
+      // Re-anchor the retransmission timer at this send. Leaving the stale
+      // anchor made the next on_tick fire an immediate duplicate of the
+      // frame sent right here, spending one retry of the fresh budget on a
+      // copy the network had already carried.
+      if (now_us != 0) last_hs_send_us_ = now_us;
       trace::emit(trace::EventKind::kPacketSent, assoc_id_, hs_seq_,
                   static_cast<std::uint8_t>(wire::PacketType::kHs1),
                   trace::DropReason::kNone, /*resend=*/1);
-      callbacks_.send(make_handshake(/*is_response=*/false).encode());
+      callbacks_.send(
+          make_handshake(/*is_response=*/false, announced_reconfig_).encode());
     }
     return;
   }
@@ -99,9 +109,11 @@ void Host::start() {
   // while unestablished.
   hs_retries_ = 0;
   failed_ = false;
+  if (now_us != 0) last_hs_send_us_ = now_us;
   trace::emit(trace::EventKind::kPacketSent, assoc_id_, hs_seq_,
               static_cast<std::uint8_t>(wire::PacketType::kHs1));
-  callbacks_.send(make_handshake(/*is_response=*/false).encode());
+  callbacks_.send(
+      make_handshake(/*is_response=*/false, announced_reconfig_).encode());
 }
 
 void Host::rotate_chains() {
@@ -110,12 +122,51 @@ void Host::rotate_chains() {
 }
 
 void Host::maybe_begin_rekey(std::uint64_t now_us) {
-  if (config_.rekey_threshold == 0 || !initiator_ || rekey_pending_ ||
-      !established() || signer_->round_active() ||
-      signer_->chain_remaining() >= config_.rekey_threshold) {
+  if (!initiator_ || rekey_pending_ || !established()) return;
+  const bool threshold_hit =
+      config_.rekey_threshold != 0 &&
+      signer_->chain_remaining() < config_.rekey_threshold;
+  // A staged reconfiguration needs its own rekey boundary even when the
+  // chain still has plenty of headroom (and even with rekeying disabled by
+  // threshold): this is how a request that arrived mid-rekey eventually
+  // lands instead of being lost.
+  if (!threshold_hit && !staged_reconfig_.has_value()) return;
+  if (signer_->round_active()) {
+    // Hold the boundary open: let the in-flight round finish but keep the
+    // signer from chaining the backlog straight into the next round. A
+    // deep post-outage queue would otherwise drain entirely on the old
+    // profile before the switch could ever land (pausing only inhibits
+    // new rounds -- the active round keeps retransmitting and settling).
+    signer_->set_paused(true);
     return;
   }
   (void)force_rekey(now_us);
+}
+
+bool Host::request_reconfig(const wire::ReconfigAnnounce& reconfig,
+                            std::uint64_t now_us) {
+  if (!initiator_) return false;
+  staged_reconfig_ = reconfig;  // latest request wins
+  if (rekey_pending_ || !established()) return false;
+  // Never tear down an active round for a reconfiguration. force_rekey()
+  // rips the round and resubmits its unsettled messages -- the right move
+  // for the mobility hook, where the old path is dead and at-least-once
+  // resubmission is the only way forward. Here the path is live: a ripped
+  // message whose S2 already landed (only its A2 was lost) would be
+  // re-signed under the fresh chains and delivered a second time. Waiting
+  // for the round boundary (maybe_begin_rekey, every submit/tick) keeps
+  // reconfiguration switches exactly-once.
+  if (signer_->round_active()) return false;
+  return force_rekey(now_us);
+}
+
+void Host::apply_reconfig(const wire::ReconfigAnnounce& reconfig) {
+  config_.mode = reconfig.mode;
+  config_.batch_size = reconfig.batch_size;
+  config_.merkle_group = reconfig.merkle_group;
+  config_.max_retries = reconfig.max_retries;
+  config_.rekey_threshold = reconfig.rekey_threshold;
+  ++reconfigs_applied_;
 }
 
 bool Host::force_rekey(std::uint64_t now_us) {
@@ -123,6 +174,11 @@ bool Host::force_rekey(std::uint64_t now_us) {
   rotate_chains();
   rekey_pending_ = true;
   signer_->set_paused(true);  // queue, but sign nothing until fresh chains
+  // Snapshot the staged reconfiguration for this handshake: every
+  // retransmission of this HS1 must carry the *same* announcement even if a
+  // newer request supersedes it mid-flight (the superseding request stays
+  // staged and triggers its own rekey afterwards).
+  announced_reconfig_ = staged_reconfig_;
   ++hs_seq_;
   hs_retries_ = 0;
   last_hs_send_us_ = now_us;
@@ -130,7 +186,8 @@ bool Host::force_rekey(std::uint64_t now_us) {
               static_cast<std::uint8_t>(wire::PacketType::kHs1));
   trace::emit(trace::EventKind::kPacketSent, assoc_id_, hs_seq_,
               static_cast<std::uint8_t>(wire::PacketType::kHs1));
-  callbacks_.send(make_handshake(/*is_response=*/false).encode());
+  callbacks_.send(
+      make_handshake(/*is_response=*/false, announced_reconfig_).encode());
   return true;
 }
 
@@ -143,7 +200,13 @@ void Host::reestablish(const wire::HandshakePacket& peer,
   retired_verifier_stats_ += verifier_->stats();
   // Preserve messages the old signer had queued but not yet pre-signed.
   auto backlog = signer_->drain_backlog();
+  // Carry the cookie counter across the engine swap: a fresh engine restarts
+  // at 1, which would hand out cookies the retired generations already used
+  // (resubmitted backlog keeps its old cookies), making delivery reports
+  // ambiguous -- and driving supervisor-side cookie mirrors out of sync.
+  const std::uint64_t cookie_watermark = signer_->next_cookie();
   establish(peer, now_us);
+  signer_->seed_cookies(cookie_watermark);
   for (auto& [cookie, payload] : backlog) {
     // resubmission: the retired engine already counted these messages.
     signer_->submit(std::move(payload), now_us, cookie,
@@ -243,29 +306,41 @@ void Host::on_frame(crypto::ByteView frame, std::uint64_t now_us) {
         return;
       }
       if (!established()) {
-        // Initial bootstrap: answer with HS2, wire the engines.
+        // Initial bootstrap: answer with HS2, wire the engines. An announced
+        // profile (rare at bootstrap, normal at rekey) is adopted before the
+        // engines are built and echoed so the initiator knows it landed.
         peer_hs_seq_ = hs->hdr.seq;
         handshake_sent_ = true;
         ++hs_seq_;
+        if (hs->reconfig.has_value()) apply_reconfig(*hs->reconfig);
         trace::emit(trace::EventKind::kPacketAccepted, assoc_id_,
                     hs->hdr.seq, hs_type);
         trace::emit(trace::EventKind::kPacketSent, assoc_id_, hs_seq_,
                     static_cast<std::uint8_t>(wire::PacketType::kHs2));
-        last_hs_response_ = make_handshake(/*is_response=*/true).encode();
+        last_hs_response_ =
+            make_handshake(/*is_response=*/true, hs->reconfig).encode();
         callbacks_.send(last_hs_response_);
         establish(*hs, now_us);
         trace::emit(trace::EventKind::kEstablished, assoc_id_, hs->hdr.seq,
                     hs_type);
       } else {
-        // Rekey request: rotate own chains, answer, swap engines.
+        // Rekey request: rotate own chains, answer, swap engines. Any
+        // announced profile takes effect *here*, before the fresh engines
+        // are built, so the new generation starts on the new profile; the
+        // echo in the HS2 (and in the cached duplicate answer) tells the
+        // initiator to do the same. A retransmitted HS1 carries the same
+        // announcement, and its duplicate is answered from the cached HS2
+        // above -- the profile is applied exactly once per handshake seq.
         peer_hs_seq_ = hs->hdr.seq;
         rotate_chains();
         ++hs_seq_;
+        if (hs->reconfig.has_value()) apply_reconfig(*hs->reconfig);
         trace::emit(trace::EventKind::kPacketAccepted, assoc_id_,
                     hs->hdr.seq, hs_type);
         trace::emit(trace::EventKind::kPacketSent, assoc_id_, hs_seq_,
                     static_cast<std::uint8_t>(wire::PacketType::kHs2));
-        last_hs_response_ = make_handshake(/*is_response=*/true).encode();
+        last_hs_response_ =
+            make_handshake(/*is_response=*/true, hs->reconfig).encode();
         callbacks_.send(last_hs_response_);
         reestablish(*hs, now_us);
         trace::emit(trace::EventKind::kRekeyFinish, assoc_id_, hs->hdr.seq,
@@ -282,6 +357,12 @@ void Host::on_frame(crypto::ByteView frame, std::uint64_t now_us) {
       peer_hs_seq_ = hs->hdr.seq;
       hs_retries_ = 0;
       failed_ = false;
+      if (announced_reconfig_.has_value() &&
+          hs->reconfig == announced_reconfig_) {
+        apply_reconfig(*announced_reconfig_);
+        if (staged_reconfig_ == announced_reconfig_) staged_reconfig_.reset();
+      }
+      announced_reconfig_.reset();
       trace::emit(trace::EventKind::kPacketAccepted, assoc_id_, hs->hdr.seq,
                   hs_type);
       establish(*hs, now_us);
@@ -292,6 +373,21 @@ void Host::on_frame(crypto::ByteView frame, std::uint64_t now_us) {
       rekey_pending_ = false;
       hs_retries_ = 0;
       failed_ = false;
+      // Apply the announced profile only on an exact echo: the responder
+      // confirming a *different* (or absent) announcement means this HS2
+      // answers some other handshake generation, and switching unilaterally
+      // could desync the two ends' profiles. The staged request survives in
+      // that case and triggers a follow-up rekey (maybe_begin_rekey), so
+      // the reconfiguration is delayed, never lost. If a newer request
+      // superseded the announced one mid-flight, the announced profile is
+      // still applied (both ends agreed on it) and the newer one stays
+      // staged for its own boundary.
+      if (announced_reconfig_.has_value() &&
+          hs->reconfig == announced_reconfig_) {
+        apply_reconfig(*announced_reconfig_);
+        if (staged_reconfig_ == announced_reconfig_) staged_reconfig_.reset();
+      }
+      announced_reconfig_.reset();
       trace::emit(trace::EventKind::kPacketAccepted, assoc_id_, hs->hdr.seq,
                   hs_type);
       reestablish(*hs, now_us);
@@ -325,6 +421,11 @@ void Host::on_frame(crypto::ByteView frame, std::uint64_t now_us) {
   } else if (const auto* a2 = std::get_if<wire::A2Packet>(&*packet)) {
     signer_->on_a2(*a2, now_us);
   }
+  // Rounds complete on frame arrival (the settling A2), so this is where a
+  // held rekey boundary actually opens -- waiting for the next submit or
+  // tick would let a deep backlog chain straight into the next round on
+  // the old profile.
+  maybe_begin_rekey(now_us);
 }
 
 std::uint64_t Host::submit(crypto::Bytes message, std::uint64_t now_us) {
@@ -347,20 +448,44 @@ void Host::retransmit_handshake(std::uint64_t now_us) {
   }
   // Budget: a partitioned or dead peer must not provoke an endless
   // retransmit storm. start() or an inbound HS2 replenishes the budget.
-  if (hs_retries_ >= config_.max_retries) {
-    failed_ = true;
-    trace::emit(trace::EventKind::kAssocFailed, assoc_id_, hs_seq_,
-                static_cast<std::uint8_t>(wire::PacketType::kHs1),
-                trace::DropReason::kBudgetExhausted, hs_retries_);
-    return;
+  // A rekey announcing a *more robust* profile runs on that profile's
+  // budget, not the old one: the controller demotes precisely because the
+  // channel is failing, and the handshake that installs the fat retry
+  // budget would otherwise exhaust the lean budget it is trying to replace
+  // and fail the association mid-outage.
+  int budget = config_.max_retries;
+  if (announced_reconfig_.has_value()) {
+    budget = std::max(budget, static_cast<int>(
+                                  announced_reconfig_->max_retries));
   }
-  ++hs_retries_;
+  if (hs_retries_ >= budget) {
+    // Only the *establishment* handshake gives up: its peer may simply not
+    // exist. An established association mid-rekey proved its peer moments
+    // ago -- the outage belongs to the channel -- so instead of failing the
+    // association (losing every queued message to an optimistic rekey fired
+    // just before a partition), keep a slow HS1 heartbeat at the backoff
+    // cap. The signer stays paused, messages queue, and the first healed
+    // round trip completes the rekey.
+    if (!established()) {
+      failed_ = true;
+      trace::emit(trace::EventKind::kAssocFailed, assoc_id_, hs_seq_,
+                  static_cast<std::uint8_t>(wire::PacketType::kHs1),
+                  trace::DropReason::kBudgetExhausted, hs_retries_);
+      return;
+    }
+  } else {
+    ++hs_retries_;
+  }
   ++hs_retransmits_;
   last_hs_send_us_ = now_us;
   trace::emit(trace::EventKind::kRetransmit, assoc_id_, hs_seq_,
               static_cast<std::uint8_t>(wire::PacketType::kHs1),
               trace::DropReason::kNone, hs_retries_);
-  callbacks_.send(make_handshake(/*is_response=*/false).encode());
+  // Retransmissions repeat the announced snapshot, not the (possibly newer)
+  // staged request: the responder must see one consistent announcement per
+  // handshake generation.
+  callbacks_.send(
+      make_handshake(/*is_response=*/false, announced_reconfig_).encode());
 }
 
 void Host::on_tick(std::uint64_t now_us) {

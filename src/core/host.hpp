@@ -49,10 +49,42 @@ class Host {
              Options{}) {}
 
   /// Initiator only: emits the HS1. No-op on responders (they answer HS1).
-  void start();
+  /// `now_us` anchors the retransmission timer; 0 (the default) leaves the
+  /// timer's last-send anchor untouched, so the next on_tick may retransmit
+  /// immediately -- pass the current time when you have it.
+  void start(std::uint64_t now_us = 0);
 
   /// True while a chain rotation handshake is in flight.
   bool rekey_pending() const noexcept { return rekey_pending_; }
+
+  /// Stages a parameter reconfiguration (mode, batch, retry budget, rekey
+  /// cadence) to take effect at the next rekey boundary, and starts that
+  /// rekey now if none is in flight and the association is established.
+  /// The announcement rides the rekey HS1; the responder adopts it before
+  /// rotating its chains and echoes it in the HS2, so both ends switch at
+  /// the same chain generation. While a rekey is already pending the
+  /// request stays staged and triggers its own rekey once the current one
+  /// completes (on_tick / submit pick it up) -- it is never lost and never
+  /// double-rotates the chains. Returns true iff a rekey started now.
+  /// Initiator only (responders adopt, they do not announce).
+  bool request_reconfig(const wire::ReconfigAnnounce& reconfig,
+                        std::uint64_t now_us);
+
+  /// Reconfiguration staged but not yet applied (in flight or waiting for
+  /// the current rekey to finish), if any.
+  const std::optional<wire::ReconfigAnnounce>& staged_reconfig()
+      const noexcept {
+    return staged_reconfig_;
+  }
+
+  /// Reconfigurations applied at a rekey boundary (both roles count their
+  /// own application).
+  std::uint64_t reconfigs_applied() const noexcept {
+    return reconfigs_applied_;
+  }
+
+  /// The live protocol profile (reflects applied reconfigurations).
+  const Config& config() const noexcept { return config_; }
 
   /// Initiator only: rotate chains immediately (regardless of threshold).
   /// The mobility hook: after a route change, the fresh handshake travels
@@ -126,8 +158,14 @@ class Host {
   bool is_initiator() const noexcept { return initiator_; }
 
  private:
-  wire::HandshakePacket make_handshake(bool is_response);
+  wire::HandshakePacket make_handshake(
+      bool is_response,
+      const std::optional<wire::ReconfigAnnounce>& reconfig = std::nullopt);
   bool validate_peer_handshake(const wire::HandshakePacket& hs) const;
+  /// Installs an announced profile into config_ (rekey boundary only: the
+  /// engines built right after pick it up; chain length, hash algo and
+  /// reliability are not reconfigurable).
+  void apply_reconfig(const wire::ReconfigAnnounce& reconfig);
   void establish(const wire::HandshakePacket& peer, std::uint64_t now_us);
   /// Replaces exhausted chains with fresh ones (rekeying, §3.4 note on
   /// finite chains). Preserves the old signer's backlog.
@@ -160,6 +198,13 @@ class Host {
   std::uint64_t next_cookie_ = 1;
   bool handshake_sent_ = false;
   bool rekey_pending_ = false;
+  // Reconfiguration staging: `staged_` is the desired profile (latest
+  // request wins); `announced_` is the snapshot riding the in-flight rekey
+  // HS1 (retransmissions must repeat the exact announcement even if a newer
+  // request supersedes it mid-flight).
+  std::optional<wire::ReconfigAnnounce> staged_reconfig_;
+  std::optional<wire::ReconfigAnnounce> announced_reconfig_;
+  std::uint64_t reconfigs_applied_ = 0;
   std::uint32_t hs_seq_ = 0;       // our monotonic handshake counter
   std::uint32_t peer_hs_seq_ = 0;  // highest peer handshake accepted
   crypto::Bytes last_hs_response_;  // cached HS2 for duplicate HS1s

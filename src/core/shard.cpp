@@ -62,6 +62,13 @@ Host& NodeShard::add_host(std::uint32_t assoc_id, net::PeerAddr peer,
   };
   entry.host = std::make_unique<Host>(config, assoc_id, initiator, rng_,
                                       std::move(cb), host_options);
+  // The adaptivity loop drives reconfigurations, and only initiators may
+  // announce them (responders adopt): responders get no controller.
+  if (initiator && options_.adaptive.has_value()) {
+    entry.controller = std::make_unique<AdaptiveController>(
+        assoc_id, config, *options_.adaptive);
+    entry.health = std::make_unique<trace::HealthMonitor>();
+  }
   return *entry.host;
 }
 
@@ -144,7 +151,7 @@ void NodeShard::start(std::uint32_t assoc_id, std::uint64_t now_us) {
     throw std::invalid_argument("NodeShard::start: unknown association");
   }
   const trace::ScopedContext tctx(options_.trace_origin, now_us);
-  it->second.host->start();
+  it->second.host->start(now_us);
   after_activity(it->second, now_us);
 }
 
@@ -268,10 +275,95 @@ void NodeShard::after_activity(AssocEntry& entry, std::uint64_t now_us) {
       established_relaxed_.fetch_sub(1, std::memory_order_relaxed);
     }
   }
+  // Adaptivity before the rekey-transition bookkeeping: a controller
+  // decision may start a rekey right here, and counting it in the same
+  // pass keeps rekeys_started exact even if the handshake completes before
+  // the next activity.
+  if (entry.controller) maybe_adapt(entry, now_us);
   const bool rekeying = entry.host->rekey_pending();
   if (rekeying && !entry.was_rekey_pending) ++entry.rekeys_started;
   entry.was_rekey_pending = rekeying;
   arm_timer(entry, now_us);
+}
+
+void NodeShard::maybe_adapt(AssocEntry& entry, std::uint64_t now_us) {
+  Host& host = *entry.host;
+  if (!host.established()) return;
+  // Interval gate out here (mirroring the controller's own) so the signal
+  // collection below -- stat folds, health sampling, ring ingest -- is not
+  // per-frame work. Each observe() call therefore carries one full window.
+  const std::uint64_t interval = options_.adaptive->interval_us;
+  if (entry.adapt_last_us != 0 && now_us - entry.adapt_last_us < interval) {
+    return;
+  }
+  entry.adapt_last_us = now_us;
+
+  AdaptSignals sig;
+  const SignerStats total = host.signer_stats_total();
+  sig.s1_sent = total.s1_sent - entry.adapt_seen.s1_sent;
+  sig.s2_sent = total.s2_sent - entry.adapt_seen.s2_sent;
+  sig.retransmits =
+      (total.s1_retransmits - entry.adapt_seen.s1_retransmits) +
+      (total.s2_retransmits - entry.adapt_seen.s2_retransmits) +
+      (host.hs_retransmits() - entry.adapt_seen_hs_retx);
+  sig.rounds_completed =
+      total.rounds_completed - entry.adapt_seen.rounds_completed;
+  sig.rounds_failed = total.rounds_failed - entry.adapt_seen.rounds_failed;
+  sig.delivered = total.acks_received - entry.adapt_seen.acks_received;
+  entry.adapt_seen = total;
+  entry.adapt_seen_hs_retx = host.hs_retransmits();
+
+  const SignerEngine* se = host.signer();
+  sig.backlog = se->backlog();
+  sig.round_retries = se->round_retries();
+  sig.max_retries = host.config().max_retries;
+
+  // Per-association health: the watchdog sees exactly this association's
+  // progress, so its verdict replays identically at any worker count.
+  trace::AssocHealthSample sample;
+  sample.assoc_id = entry.assoc_id;
+  sample.established = true;
+  sample.failed = host.failed();
+  sample.round_active = se->round_active();
+  sample.round_seq = se->round_seq();
+  sample.round_retries = se->round_retries();
+  sample.rekeys_started = entry.rekeys_started;
+  health_scratch_.clear();
+  health_scratch_.push_back(sample);
+  entry.health->observe(health_scratch_, now_us);
+  sig.health = static_cast<std::uint8_t>(entry.health->state());
+
+  // Span-derived delivery latency: ingest whatever the owning thread's
+  // trace ring recorded since the last window (read-only cursor; in the
+  // inline drive all shards read the same ring, but the histograms are
+  // per-assoc so each controller only sees its own association).
+  if (const trace::Ring* ring = trace::sink()) {
+    adapt_spans_.ingest_new(*ring);
+  }
+  char label[32];
+  std::snprintf(label, sizeof(label), "assoc=\"%u\"", entry.assoc_id);
+  const metrics::Histogram& latency =
+      adapt_registry_.histogram("alpha_span_delivery_latency_us", label);
+  if (latency.count() > 0) {
+    sig.p50_delivery_us = latency.quantile(0.5);
+    sig.p99_delivery_us = latency.quantile(0.99);
+  }
+
+  if (const auto decision = entry.controller->observe(sig, now_us)) {
+    host.request_reconfig(decision->target, now_us);
+  }
+  // Live alpha_adapt_* series next to the span histograms, so one scrape of
+  // the registry explains the loop's state.
+  adapt_registry_.counter("alpha_adapt_evaluations", label) =
+      entry.controller->evaluations();
+  adapt_registry_.counter("alpha_adapt_switches", label) =
+      entry.controller->switches();
+  adapt_registry_.counter("alpha_adapt_profile", label) =
+      entry.controller->profile_index();
+  adapt_registry_.counter("alpha_adapt_loss_permille", label) =
+      static_cast<std::uint64_t>(entry.controller->loss_ewma() * 1000.0);
+  adapt_registry_.counter("alpha_adapt_reconfigs_applied", label) =
+      host.reconfigs_applied();
 }
 
 void NodeShard::arm_timer(AssocEntry& entry, std::uint64_t now_us) {
@@ -350,6 +442,11 @@ void NodeShard::snapshot_into(NodeSnapshot& s, bool per_assoc) const {
     s.replayed_handshakes += entry.host->replayed_handshakes();
     s.duplicate_handshakes += entry.host->duplicate_handshakes();
     s.retransmits += entry.host->hs_retransmits();
+    s.reconfigs_applied += entry.host->reconfigs_applied();
+    if (entry.controller) {
+      s.adapt_evaluations += entry.controller->evaluations();
+      s.adapt_switches += entry.controller->switches();
+    }
     // Lifetime totals, not the current engines': a rekey retires the
     // engines, and reading only the live pair made every rekey look like a
     // counter reset in the snapshot.
@@ -373,6 +470,15 @@ void NodeShard::snapshot_into(NodeSnapshot& s, bool per_assoc) const {
       a.corrupt_frames = entry.host->undecodable_frames();
       a.replayed_handshakes = entry.host->replayed_handshakes();
       a.duplicate_handshakes = entry.host->duplicate_handshakes();
+      a.mode = entry.host->config().mode;
+      a.batch = entry.host->config().effective_batch();
+      a.reconfigs_applied = entry.host->reconfigs_applied();
+      if (entry.controller) {
+        a.adapt_evaluations = entry.controller->evaluations();
+        a.adapt_switches = entry.controller->switches();
+        a.adapt_profile = entry.controller->profile_index();
+        a.adapt_loss_ewma = entry.controller->loss_ewma();
+      }
       if (const SignerEngine* se = entry.host->signer()) {
         a.round_active = se->round_active();
         a.round_seq = se->round_seq();

@@ -28,12 +28,16 @@
 #include <optional>
 #include <vector>
 
+#include "core/adapt.hpp"
 #include "core/host.hpp"
 #include "core/relay.hpp"
 #include "core/relay_pipeline.hpp"
 #include "core/timer_wheel.hpp"
 #include "crypto/random.hpp"
 #include "net/transport.hpp"
+#include "trace/health.hpp"
+#include "trace/metrics.hpp"
+#include "trace/spans.hpp"
 
 namespace alpha::core {
 
@@ -57,6 +61,15 @@ struct AssocSnapshot {
   std::uint32_t round_seq = 0;
   std::uint32_t round_retries = 0;
   std::size_t backlog = 0;               // submitted, not yet in a round
+  // Live protocol profile (reflects applied reconfigurations) and
+  // adaptivity counters; the adapt_* fields stay zero without a controller.
+  Mode mode = Mode::kBase;
+  std::size_t batch = 0;                 // effective batch of the live config
+  std::uint64_t reconfigs_applied = 0;
+  std::uint64_t adapt_evaluations = 0;
+  std::uint64_t adapt_switches = 0;
+  std::size_t adapt_profile = 0;         // current ladder rung
+  double adapt_loss_ewma = 0.0;
   // Association-lifetime engine stats (current + rekey-retired engines).
   SignerStats signer;      // zero until first established
   VerifierStats verifier;  // zero until first established
@@ -85,6 +98,9 @@ struct NodeSnapshot {
   std::uint64_t duplicate_handshakes = 0;  // benign same-seq duplicates
   std::uint64_t retransmits = 0;         // S1 + S2 + handshake retransmits
   std::uint64_t ring_overflows = 0;      // sharded runtime: frames refused
+  std::uint64_t adapt_evaluations = 0;   // controller policy evaluations
+  std::uint64_t adapt_switches = 0;      // profile switches decided
+  std::uint64_t reconfigs_applied = 0;   // rekey-boundary profile applications
   RelayStats relay;                      // summed over relay bindings
   std::vector<AssocSnapshot> assocs;     // filled when requested
 };
@@ -108,6 +124,12 @@ class NodeShard {
     std::size_t wheel_slots = 256;
     /// Origin id stamped on trace events emitted while this shard runs.
     std::uint8_t trace_origin = 0;
+    /// Enables the closed adaptivity loop: every *initiator* host gets an
+    /// AdaptiveController fed from live telemetry (signer-stat deltas, a
+    /// per-association health watchdog, span-derived delivery-latency
+    /// quantiles when tracing is on); decisions are staged through
+    /// Host::request_reconfig and land at the next rekey boundary.
+    std::optional<AdaptiveController::Options> adaptive;
   };
 
   struct Callbacks {
@@ -235,6 +257,13 @@ class NodeShard {
   /// requests through the shard's ring to honor that.
   void snapshot_into(NodeSnapshot& s, bool per_assoc) const;
 
+  /// Telemetry registry backing the adaptivity loop: per-assoc span
+  /// histograms the controllers read, plus live alpha_adapt_* series.
+  /// Owner-thread access only (same rule as snapshot_into).
+  const metrics::Registry& adapt_registry() const noexcept {
+    return adapt_registry_;
+  }
+
  private:
   struct AssocEntry {
     std::uint32_t assoc_id = 0;
@@ -248,6 +277,17 @@ class NodeShard {
     bool was_rekey_pending = false;
     bool timer_armed = false;
     std::uint64_t timer_deadline_us = 0;  // where the wheel entry sits
+    // Adaptivity (initiators with Options::adaptive only). `adapt_seen_*`
+    // hold the totals at the previous observation so the controller gets
+    // per-window deltas; the health monitor is per-association so its
+    // verdict depends only on this association's history -- never on which
+    // shard (or how many shards) it happens to run in, which is what keeps
+    // controller replay bit-identical at any worker count.
+    std::unique_ptr<AdaptiveController> controller;
+    std::unique_ptr<trace::HealthMonitor> health;
+    SignerStats adapt_seen;
+    std::uint64_t adapt_seen_hs_retx = 0;
+    std::uint64_t adapt_last_us = 0;
   };
 
   // Exactly one of engine/pipeline is set per binding.
@@ -259,6 +299,9 @@ class NodeShard {
   };
 
   RelayBinding* relay_for(std::uint32_t assoc_id, net::PeerAddr from);
+  /// Feeds the association's controller one observation window (interval
+  /// gated) and stages any decided reconfiguration on the host.
+  void maybe_adapt(AssocEntry& entry, std::uint64_t now_us);
   /// Emits one relay frame: through the view-based sender when installed,
   /// else through SendFn with an owning copy.
   bool send_frame(net::PeerAddr peer, crypto::ByteView frame);
@@ -282,6 +325,15 @@ class NodeShard {
 
   TimerWheel wheel_;
   std::vector<std::uint32_t> due_;  // scratch for wheel advance
+
+  // Adaptivity telemetry runtime: the span builder incrementally ingests
+  // the owning thread's trace ring (cursor-based, read-only) and exports
+  // per-assoc delivery-latency histograms into the registry the
+  // controllers read. With tracing off the latency inputs stay NaN ("no
+  // evidence") and the loop runs on loss/health/budget signals alone.
+  metrics::Registry adapt_registry_;
+  trace::SpanBuilder adapt_spans_{&adapt_registry_};
+  std::vector<trace::AssocHealthSample> health_scratch_;
 
   // Shard-local counters (per-assoc ones live in the entries). Plain
   // integers: only the owning thread writes or reads them, except the one

@@ -59,7 +59,10 @@ std::uint64_t SignerEngine::submit(Bytes message, std::uint64_t now_us,
   if (message.size() > 0xffff) {
     throw std::length_error("SignerEngine::submit: message too large");
   }
-  const std::uint64_t id = cookie.value_or(next_cookie_++);
+  // NOT value_or(next_cookie_++): value_or evaluates its argument eagerly,
+  // so that would burn one counter value on every explicit-cookie
+  // resubmission and leave holes in the cookie sequence after each rekey.
+  const std::uint64_t id = cookie.has_value() ? *cookie : next_cookie_++;
   if (!resubmission) ++stats_.messages_submitted;
   queue_.push_back(QueuedMessage{id, std::move(message), now_us});
   maybe_start_round(now_us);

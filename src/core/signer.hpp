@@ -106,6 +106,15 @@ class SignerEngine {
   const SignerStats& stats() const noexcept { return stats_; }
   std::uint32_t assoc_id() const noexcept { return assoc_id_; }
 
+  /// Next auto-assigned submission cookie. Exposed so a rekey can carry the
+  /// counter into the replacement engine: a fresh engine restarting at 1
+  /// would re-issue cookies the retired generations already handed out.
+  std::uint64_t next_cookie() const noexcept { return next_cookie_; }
+  /// Advances the cookie counter to at least `next` (never moves backward).
+  void seed_cookies(std::uint64_t next) noexcept {
+    if (next > next_cookie_) next_cookie_ = next;
+  }
+
  private:
   struct QueuedMessage {
     std::uint64_t cookie;

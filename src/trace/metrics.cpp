@@ -1,11 +1,15 @@
 #include "trace/metrics.hpp"
 
 #include <cstdlib>
+#include <limits>
 
 namespace alpha::metrics {
 
 double Histogram::quantile(double q) const noexcept {
-  if (count_ == 0) return 0.0;
+  // No samples -> no estimate. 0.0 here would be a fabricated data point
+  // (controllers compare quantiles against latency thresholds); NaN fails
+  // every such comparison instead.
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
   const double target = q * static_cast<double>(count_);
@@ -15,18 +19,21 @@ double Histogram::quantile(double q) const noexcept {
     const double before = static_cast<double>(cumulative);
     cumulative += buckets_[i];
     if (static_cast<double>(cumulative) < target) continue;
-    const double lower =
-        i == 0 ? 0.0 : static_cast<double>(upper_bound(i - 1)) + 1.0;
-    const double upper = static_cast<double>(upper_bound(i));
+    // Interpolate across the intersection of the bucket's value range and
+    // [min, max]: the true quantile is a recorded sample, so both ranges
+    // bracket it, and their intersection is the tightest bound available.
+    // A single-bucket histogram (or one whose target bucket is the overflow
+    // bucket, whose nominal range spans half the uint64 domain) therefore
+    // stays inside [min, max] by construction instead of by an after-the-
+    // fact clamp of a guess made over the full power-of-two span.
+    double lower = i == 0 ? 0.0 : static_cast<double>(upper_bound(i - 1)) + 1.0;
+    double upper = static_cast<double>(upper_bound(i));
+    if (lower < static_cast<double>(min())) lower = static_cast<double>(min());
+    if (upper > static_cast<double>(max_)) upper = static_cast<double>(max_);
+    if (upper < lower) upper = lower;  // disjoint only via merge edge cases
     const double frac =
-        buckets_[i] == 0 ? 0.0
-                         : (target - before) / static_cast<double>(buckets_[i]);
-    double est = lower + frac * (upper - lower);
-    // The true quantile is a recorded sample, so [min, max] always brackets
-    // it; clamping can only move the estimate toward the truth.
-    if (est < static_cast<double>(min())) est = static_cast<double>(min());
-    if (est > static_cast<double>(max_)) est = static_cast<double>(max_);
-    return est;
+        (target - before) / static_cast<double>(buckets_[i]);
+    return lower + frac * (upper - lower);
   }
   return static_cast<double>(max_);
 }

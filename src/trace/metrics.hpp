@@ -46,8 +46,15 @@ class Histogram {
   /// Estimated q-quantile (q in [0,1]) by rank interpolation inside the
   /// log2 bucket containing the target rank. Exactness bound: the true
   /// quantile is some sample in that bucket, so the estimate always lies
-  /// within the bucket's value range [lower, upper] -- at most a factor-of-2
-  /// relative error -- and is additionally clamped to [min(), max()].
+  /// within the intersection of the bucket's value range and [min(), max()]
+  /// -- at most a factor-of-2 relative error, and exact whenever that
+  /// intersection is a single point (one sample, or all samples equal).
+  ///
+  /// An empty histogram returns NaN, not 0: adaptive policies read these
+  /// quantiles as control inputs, and a fabricated "0 us latency" is a
+  /// guess a controller would act on, while NaN fails every threshold
+  /// comparison. Callers that want a number must check count() first (or
+  /// std::isnan the result).
   double quantile(double q) const noexcept;
 
   /// Folds another histogram into this one (bucket-wise). Used when

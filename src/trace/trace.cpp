@@ -34,6 +34,7 @@ constexpr KindName kKindNames[] = {
     {EventKind::kRoundStart, "round_start"},
     {EventKind::kHealthDegraded, "health_degraded"},
     {EventKind::kHealthRecovered, "health_recovered"},
+    {EventKind::kAdaptDecision, "adapt_decision"},
 };
 
 struct ReasonName {

@@ -56,6 +56,10 @@ enum class EventKind : std::uint8_t {
   // Health detector state transitions (detail = HealthReason bitmask).
   kHealthDegraded = 19,
   kHealthRecovered = 20,
+  // Adaptive controller evaluated its policy (one event per evaluation,
+  // switches and holds alike, so the decision log is replayable post-hoc).
+  // detail packs the input snapshot + verdict: see pack_adapt_detail.
+  kAdaptDecision = 21,
 };
 
 enum class DropReason : std::uint8_t {
@@ -252,6 +256,64 @@ constexpr std::uint64_t round_detail_queue_us(std::uint64_t detail) noexcept {
 }
 constexpr std::uint64_t round_detail_crypto_ns(std::uint64_t detail) noexcept {
   return detail & 0xFFFFFFFFull;
+}
+
+/// Packs an adaptive-controller decision into Event::detail for
+/// kAdaptDecision: the (mode, batch) transition plus the signal snapshot
+/// that justified it, so `alpha_inspect --adapt` can explain the policy
+/// from the trace alone. Layout (low to high):
+///   bits  0..2   target mode (wire::Mode value, 1..4)
+///   bits  3..15  target batch size (13 bits, saturating)
+///   bits 16..18  previous mode
+///   bits 19..31  previous batch size
+///   bits 32..39  decision reason (core::AdaptReason value)
+///   bits 40..49  observed loss rate in per-mille (0..1000, saturating)
+///   bits 50..57  retransmit-budget pressure in percent (0..100)
+///   bits 58..59  health state (trace::HealthState value)
+constexpr std::uint64_t pack_adapt_detail(std::uint8_t to_mode,
+                                          std::uint32_t to_batch,
+                                          std::uint8_t from_mode,
+                                          std::uint32_t from_batch,
+                                          std::uint8_t reason,
+                                          std::uint32_t loss_permille,
+                                          std::uint32_t budget_percent,
+                                          std::uint8_t health) noexcept {
+  if (to_batch > 0x1FFFu) to_batch = 0x1FFFu;
+  if (from_batch > 0x1FFFu) from_batch = 0x1FFFu;
+  if (loss_permille > 1000u) loss_permille = 1000u;
+  if (budget_percent > 100u) budget_percent = 100u;
+  return (static_cast<std::uint64_t>(to_mode & 0x7u)) |
+         (static_cast<std::uint64_t>(to_batch) << 3) |
+         (static_cast<std::uint64_t>(from_mode & 0x7u) << 16) |
+         (static_cast<std::uint64_t>(from_batch) << 19) |
+         (static_cast<std::uint64_t>(reason) << 32) |
+         (static_cast<std::uint64_t>(loss_permille) << 40) |
+         (static_cast<std::uint64_t>(budget_percent) << 50) |
+         (static_cast<std::uint64_t>(health & 0x3u) << 58);
+}
+constexpr std::uint8_t adapt_detail_to_mode(std::uint64_t d) noexcept {
+  return static_cast<std::uint8_t>(d & 0x7u);
+}
+constexpr std::uint32_t adapt_detail_to_batch(std::uint64_t d) noexcept {
+  return static_cast<std::uint32_t>((d >> 3) & 0x1FFFu);
+}
+constexpr std::uint8_t adapt_detail_from_mode(std::uint64_t d) noexcept {
+  return static_cast<std::uint8_t>((d >> 16) & 0x7u);
+}
+constexpr std::uint32_t adapt_detail_from_batch(std::uint64_t d) noexcept {
+  return static_cast<std::uint32_t>((d >> 19) & 0x1FFFu);
+}
+constexpr std::uint8_t adapt_detail_reason(std::uint64_t d) noexcept {
+  return static_cast<std::uint8_t>((d >> 32) & 0xFFu);
+}
+constexpr std::uint32_t adapt_detail_loss_permille(std::uint64_t d) noexcept {
+  return static_cast<std::uint32_t>((d >> 40) & 0x3FFu);
+}
+constexpr std::uint32_t adapt_detail_budget_percent(std::uint64_t d) noexcept {
+  return static_cast<std::uint32_t>((d >> 50) & 0xFFu);
+}
+constexpr std::uint8_t adapt_detail_health(std::uint64_t d) noexcept {
+  return static_cast<std::uint8_t>((d >> 58) & 0x3u);
 }
 
 const char* to_string(EventKind kind) noexcept;

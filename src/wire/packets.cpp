@@ -193,6 +193,23 @@ Bytes A2Packet::encode() const {
   return seal(std::move(w));
 }
 
+namespace {
+
+/// Serializes the reconfig rider (presence byte + fields); shared between
+/// encode() and signed_payload() so the identity signature always covers
+/// exactly what travels on the wire.
+void put_reconfig(Writer& w, const std::optional<ReconfigAnnounce>& r) {
+  w.u8(r.has_value() ? 1 : 0);
+  if (!r.has_value()) return;
+  w.u8(static_cast<std::uint8_t>(r->mode));
+  w.u16(r->batch_size);
+  w.u16(r->merkle_group);
+  w.u8(r->max_retries);
+  w.u32(r->rekey_threshold);
+}
+
+}  // namespace
+
 Bytes HandshakePacket::signed_payload() const {
   Writer w;
   w.u8(is_response ? 1 : 0);
@@ -206,6 +223,7 @@ Bytes HandshakePacket::signed_payload() const {
   w.digest(ack_anchor);
   w.u8(static_cast<std::uint8_t>(sig_alg));
   w.blob16(public_key);
+  put_reconfig(w, reconfig);
   return w.take();
 }
 
@@ -221,6 +239,7 @@ Bytes HandshakePacket::encode() const {
   w.u8(static_cast<std::uint8_t>(sig_alg));
   w.blob16(public_key);
   w.blob16(signature);
+  put_reconfig(w, reconfig);
   return seal(std::move(w));
 }
 
@@ -458,6 +477,25 @@ std::optional<Packet> decode(ByteView data) {
         p.sig_alg = static_cast<SigAlg>(sig_alg);
         p.public_key = r.blob16();
         p.signature = r.blob16();
+        const std::uint8_t has_reconfig = r.u8();
+        if (has_reconfig > 1) throw DecodeError("bad reconfig flag");
+        if (has_reconfig == 1) {
+          ReconfigAnnounce rc;
+          rc.mode = read_mode(r);
+          rc.batch_size = r.u16();
+          rc.merkle_group = r.u16();
+          rc.max_retries = r.u8();
+          rc.rekey_threshold = r.u32();
+          // Engine invariants, enforced at the trust boundary: a peer (or
+          // flipped bit the CRC missed) must not be able to announce a
+          // profile the engines cannot run. 4096 mirrors the verifier's
+          // per-round kMaxBatch flood guard.
+          if (rc.batch_size == 0 || rc.batch_size > 4096 ||
+              rc.merkle_group == 0 || rc.max_retries == 0) {
+            throw DecodeError("bad reconfig");
+          }
+          p.reconfig = rc;
+        }
         r.expect_end();
         return p;
       }

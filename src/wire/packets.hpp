@@ -166,6 +166,26 @@ enum class SigAlg : std::uint8_t {
   kEcdsaP256 = 4,
 };
 
+/// Parameter reconfiguration rider on a (rekey) handshake: announces the
+/// transmission profile both ends run once the fresh chains are active.
+/// The adaptive controller stages one of these; the initiator's rekey HS1
+/// carries it and the responder echoes it back in the HS2, so the switch
+/// lands exactly at the chain-rotation boundary on both ends. The fields
+/// are covered by signed_payload(), so a protected bootstrap authenticates
+/// the announcement with the same identity signature that binds the
+/// anchors; unprotected associations inherit the handshake's existing
+/// trust model (monotonic counter + CRC) -- see DESIGN.md §10.
+struct ReconfigAnnounce {
+  Mode mode = Mode::kBase;
+  std::uint16_t batch_size = 1;       // messages pre-signed per S1
+  std::uint16_t merkle_group = 8;     // ALPHA-C+M messages per root
+  std::uint8_t max_retries = 5;       // retransmit budget per round/handshake
+  std::uint32_t rekey_threshold = 0;  // chain headroom that triggers rekey
+
+  friend bool operator==(const ReconfigAnnounce&,
+                         const ReconfigAnnounce&) = default;
+};
+
 struct HandshakePacket {
   Header hdr;
   bool is_response = false;  // HS1 vs HS2
@@ -178,11 +198,14 @@ struct HandshakePacket {
   SigAlg sig_alg = SigAlg::kNone;
   Bytes public_key;  // encoded verification key (opaque to the wire layer)
   Bytes signature;   // over signed_payload()
+  // Profile announcement (rekey HS1) or its echo (HS2). Absent on
+  // handshakes that keep the current profile.
+  std::optional<ReconfigAnnounce> reconfig;
 
   Bytes encode() const;
 
   /// The byte string a protected handshake signs: every field above except
-  /// the signature itself.
+  /// the signature itself (the reconfig announcement included).
   Bytes signed_payload() const;
 };
 

@@ -439,12 +439,18 @@ TEST(RekeyTest, RekeyPendingFlagLifecycle) {
   pair.a->start();
   pair.bus.pump();
 
+  // The threshold-hit rekey fires right at the round boundary -- when the
+  // settling A2 arrives, inside the pump -- so hold back HS2 to make the
+  // in-flight window observable.
+  pair.bus.set_hook([](Bytes& frame) {
+    return wire::peek_type(frame) != wire::PacketType::kHs2;
+  });
   pair.a->submit(msg("use up a round"), 0);
   pair.bus.pump();
-  EXPECT_FALSE(pair.a->rekey_pending());
-  pair.a->on_tick(1000);  // threshold hit -> HS1 out
-  EXPECT_TRUE(pair.a->rekey_pending());
-  pair.bus.pump();        // HS2 returns
+  EXPECT_TRUE(pair.a->rekey_pending());  // HS1 out at the boundary
+  pair.bus.set_hook(nullptr);
+  pair.a->on_tick(1'000'000);  // retransmit HS1
+  pair.bus.pump();             // HS2 returns
   EXPECT_FALSE(pair.a->rekey_pending());
 
   pair.a->submit(msg("after rekey"), 0);

@@ -2,6 +2,7 @@
 #include "trace/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -59,14 +60,57 @@ TEST(Histogram, ZeroGoesToBucketZero) {
   EXPECT_EQ(h.max(), 0u);
 }
 
-TEST(Histogram, QuantileEmptyAndSingleton) {
+TEST(Histogram, QuantileEmptyIsNaNSentinel) {
+  // An empty histogram has no quantiles. The old 0.0 answer was a fabricated
+  // data point -- an adaptive policy comparing "p99 latency" against a
+  // threshold would read it as zero latency and promote on no evidence.
+  // NaN fails every comparison instead, and is what a policy must guard.
   Histogram h;
-  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_TRUE(std::isnan(h.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.quantile(1.0)));
+  EXPECT_FALSE(h.quantile(0.5) < 1e9);   // NaN: every threshold test fails
+  EXPECT_FALSE(h.quantile(0.5) >= 0.0);
+}
+
+TEST(Histogram, QuantileSingleton) {
+  Histogram h;
   h.record(42);
-  // One sample: every quantile is that sample (clamped to [min, max]).
+  // One sample: [min, max] is a point, so every quantile is exact.
   EXPECT_EQ(h.quantile(0.0), 42.0);
   EXPECT_EQ(h.quantile(0.5), 42.0);
   EXPECT_EQ(h.quantile(1.0), 42.0);
+}
+
+TEST(Histogram, QuantileSingleBucketStaysWithinObservedValues) {
+  // All samples in one log2 bucket whose nominal range [4096, 8191] is much
+  // wider than the observed [5000, 5003]: the estimate must interpolate
+  // inside the observed range, not across the power-of-two span.
+  Histogram h;
+  for (std::uint64_t v : {5000ull, 5001ull, 5002ull, 5003ull}) h.record(v);
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double est = h.quantile(q);
+    EXPECT_GE(est, 5000.0) << q;
+    EXPECT_LE(est, 5003.0) << q;
+  }
+}
+
+TEST(Histogram, QuantileAllSamplesInOverflowBucket) {
+  // The overflow bucket nominally spans [2^63, 2^64): half the uint64
+  // domain. A bracketing guess across that span would be off by up to
+  // 9e18; the estimate must stay within the values actually recorded.
+  Histogram h;
+  const std::uint64_t lo = (1ull << 63) + 5;
+  const std::uint64_t hi = (1ull << 63) + 905;
+  h.record(lo);
+  h.record(lo + 400);
+  h.record(hi);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double est = h.quantile(q);
+    EXPECT_GE(est, static_cast<double>(lo)) << q;
+    EXPECT_LE(est, static_cast<double>(hi)) << q;
+    EXPECT_FALSE(std::isnan(est)) << q;
+  }
 }
 
 TEST(Histogram, QuantileExactnessBound) {

@@ -241,6 +241,94 @@ TEST(HandshakePacketTest, ProtectedResponseRoundtrip) {
   EXPECT_EQ(hs.signature, p.signature);
 }
 
+TEST(HandshakePacketTest, ReconfigAnnounceRoundtrip) {
+  HandshakePacket p;
+  p.hdr = {0x0a0b0c0d, 3};
+  p.is_response = false;
+  p.chain_length = 256;
+  p.sig_anchor_index = 256;
+  p.ack_anchor_index = 256;
+  p.sig_anchor = digest_of(0x81);
+  p.ack_anchor = digest_of(0x82);
+  ReconfigAnnounce r;
+  r.mode = Mode::kCumulativeMerkle;
+  r.batch_size = 64;
+  r.merkle_group = 8;
+  r.max_retries = 7;
+  r.rekey_threshold = 12;
+  p.reconfig = r;
+
+  const auto decoded = decode(p.encode());
+  ASSERT_TRUE(decoded.has_value());
+  const auto& hs = std::get<HandshakePacket>(*decoded);
+  ASSERT_TRUE(hs.reconfig.has_value());
+  EXPECT_EQ(hs.reconfig->mode, Mode::kCumulativeMerkle);
+  EXPECT_EQ(hs.reconfig->batch_size, 64u);
+  EXPECT_EQ(hs.reconfig->merkle_group, 8u);
+  EXPECT_EQ(hs.reconfig->max_retries, 7u);
+  EXPECT_EQ(hs.reconfig->rekey_threshold, 12u);
+  EXPECT_EQ(*hs.reconfig, r);
+
+  // Absence round-trips too (the common non-rekey handshake).
+  p.reconfig.reset();
+  const auto plain = decode(p.encode());
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_FALSE(std::get<HandshakePacket>(*plain).reconfig.has_value());
+}
+
+TEST(HandshakePacketTest, ReconfigIsCoveredBySignedPayload) {
+  // The announcement must be inside the protected-bootstrap signature: an
+  // on-path attacker rewriting the announced profile (e.g. forcing batch 1
+  // forever) has to break the public-key signature, not just the CRC.
+  HandshakePacket p;
+  p.sig_anchor = digest_of(0x83);
+  p.ack_anchor = digest_of(0x84);
+  const Bytes without = p.signed_payload();
+  ReconfigAnnounce r;
+  r.mode = Mode::kCumulative;
+  r.batch_size = 16;
+  p.reconfig = r;
+  const Bytes with = p.signed_payload();
+  EXPECT_NE(with, without);
+  p.reconfig->batch_size = 8;
+  EXPECT_NE(p.signed_payload(), with);
+}
+
+TEST(HandshakePacketTest, ReconfigValidationRejectsBadFields) {
+  HandshakePacket base;
+  base.hdr = {1, 2};
+  base.chain_length = 64;
+  base.sig_anchor = digest_of(0x85);
+  base.ack_anchor = digest_of(0x86);
+  base.reconfig = ReconfigAnnounce{};
+
+  const auto encode_with = [&](auto&& mutate) {
+    HandshakePacket p = base;
+    mutate(*p.reconfig);
+    return p.encode();
+  };
+  // The untouched announcement is fine.
+  ASSERT_TRUE(decode(base.encode()).has_value());
+  // A zero or over-limit batch, zero tree group, or zero retry budget would
+  // wedge the association at the rekey boundary -- the decoder rejects them
+  // before they can reach Host::apply_reconfig.
+  EXPECT_FALSE(decode(encode_with([](ReconfigAnnounce& r) {
+                 r.batch_size = 0;
+               })).has_value());
+  EXPECT_FALSE(decode(encode_with([](ReconfigAnnounce& r) {
+                 r.batch_size = 4097;
+               })).has_value());
+  EXPECT_FALSE(decode(encode_with([](ReconfigAnnounce& r) {
+                 r.merkle_group = 0;
+               })).has_value());
+  EXPECT_FALSE(decode(encode_with([](ReconfigAnnounce& r) {
+                 r.max_retries = 0;
+               })).has_value());
+  EXPECT_FALSE(decode(encode_with([](ReconfigAnnounce& r) {
+                 r.mode = static_cast<Mode>(7);
+               })).has_value());
+}
+
 TEST(HandshakePacketTest, SignedPayloadExcludesSignature) {
   HandshakePacket p;
   p.sig_anchor = digest_of(0x75);

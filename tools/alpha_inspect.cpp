@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/adapt.hpp"
 #include "flags.hpp"
 #include "trace/metrics.hpp"
 #include "trace/spans.hpp"
@@ -477,6 +478,88 @@ int inspect_spans(const std::string& path) {
   return 0;
 }
 
+// ------------------------------------------------------ adaptivity decode
+
+const char* short_mode(std::uint8_t m) {
+  switch (static_cast<wire::Mode>(m)) {
+    case wire::Mode::kBase: return "base";
+    case wire::Mode::kCumulative: return "C";
+    case wire::Mode::kMerkle: return "M";
+    case wire::Mode::kCumulativeMerkle: return "C+M";
+  }
+  return "?";
+}
+
+/// Explains the adaptive controller's policy from the trace alone: every
+/// kAdaptDecision event carries the full input snapshot (loss EWMA, budget
+/// pressure, health) and the verdict in its detail word, so the decision
+/// log below is exactly what the controller saw -- holds included.
+int inspect_adapt(const std::string& path) {
+  std::vector<TraceLine> events;
+  std::size_t bad_lines = 0;
+  if (!load_trace(path, events, bad_lines)) return 1;
+
+  std::map<std::uint32_t, std::vector<const TraceLine*>> by_assoc;
+  for (const auto& ev : events) {
+    if (ev.kind == "adapt_decision") by_assoc[ev.assoc].push_back(&ev);
+  }
+  if (by_assoc.empty()) {
+    std::fprintf(stderr,
+                 "%s: no adapt_decision events (run with the adaptive "
+                 "controller enabled, e.g. alpha_sim --adaptive --trace)\n",
+                 path.c_str());
+    return 1;
+  }
+
+  static const char* kHealthNames[] = {"ok", "degraded", "failed", "?"};
+  for (const auto& [assoc, evs] : by_assoc) {
+    std::printf("== association %u: %zu policy evaluations ==\n", assoc,
+                evs.size());
+    std::printf("%12s %6s %-15s %-14s %7s %7s %9s\n", "t(ms)", "eval",
+                "decision", "profile", "loss", "budget", "health");
+    std::map<std::string, std::uint64_t> by_reason;
+    std::uint64_t switches = 0;
+    for (const TraceLine* ev : evs) {
+      const std::uint64_t d = ev->detail;
+      const auto reason =
+          static_cast<core::AdaptReason>(trace::adapt_detail_reason(d));
+      const std::uint8_t to_mode = trace::adapt_detail_to_mode(d);
+      const std::uint32_t to_batch = trace::adapt_detail_to_batch(d);
+      const std::uint8_t from_mode = trace::adapt_detail_from_mode(d);
+      const std::uint32_t from_batch = trace::adapt_detail_from_batch(d);
+      const bool moved = to_mode != from_mode || to_batch != from_batch;
+      if (moved) ++switches;
+      ++by_reason[core::to_string(reason)];
+      char profile[48];
+      if (moved) {
+        std::snprintf(profile, sizeof(profile), "%s/%u -> %s/%u",
+                      short_mode(from_mode), from_batch, short_mode(to_mode),
+                      to_batch);
+      } else {
+        std::snprintf(profile, sizeof(profile), "%s/%u",
+                      short_mode(from_mode), from_batch);
+      }
+      std::printf("%12.3f %6u %-15s %-14s %6.1f%% %6u%% %9s\n",
+                  ev->t / 1000.0, ev->seq, core::to_string(reason), profile,
+                  trace::adapt_detail_loss_permille(d) / 10.0,
+                  trace::adapt_detail_budget_percent(d),
+                  kHealthNames[std::min<std::uint8_t>(
+                      trace::adapt_detail_health(d), 3)]);
+    }
+    std::printf("-- %llu switches over %zu evaluations; by reason:",
+                static_cast<unsigned long long>(switches), evs.size());
+    for (const auto& [reason, n] : by_reason) {
+      std::printf(" %s=%llu", reason.c_str(),
+                  static_cast<unsigned long long>(n));
+    }
+    std::printf("\n\n");
+  }
+  if (bad_lines > 0) {
+    std::fprintf(stderr, "warning: %zu undecodable trace lines\n", bad_lines);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -490,8 +573,15 @@ int main(int argc, char** argv) {
   flags.define("spans", "",
                "reconstruct per-round spans from a JSONL event trace: "
                "waterfalls plus latency-component quantiles");
+  flags.define("adapt", "",
+               "explain adaptive-controller decisions from a JSONL event "
+               "trace: one line per policy evaluation with the signals "
+               "that justified it");
   flags.parse(argc, argv);
 
+  if (!flags.str("adapt").empty()) {
+    return inspect_adapt(flags.str("adapt"));
+  }
   if (!flags.str("spans").empty()) {
     return inspect_spans(flags.str("spans"));
   }

@@ -8,9 +8,11 @@
 //
 //   $ alpha_sim --hops 4 --mode cm --batch 32 --group 8 --messages 500
 //               --loss 0.1 --reliable --assocs 16
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <string>
 
@@ -75,6 +77,10 @@ int main(int argc, char** argv) {
   flags.define("chain", "4096", "hash-chain length");
   flags.define("max-retries", "50", "retransmit budget per round/handshake");
   flags.define("rekey", "64", "rekey threshold in chain elements (0 = off)");
+  flags.define("adaptive", "false",
+               "close the adaptivity loop: initiator associations run the "
+               "live-telemetry mode/batch controller (--mode/--batch become "
+               "the starting profile; switches land at rekey boundaries)");
   flags.define("seed", "1", "simulation seed");
   flags.define("workers", "1",
                "shard workers for the end nodes (sharded runtime; the "
@@ -273,6 +279,9 @@ int main(int argc, char** argv) {
   init_opts.shard.seed = seed + 77;
   init_opts.shard.trace_origin = 0;
   init_opts.workers = workers;
+  if (flags.flag("adaptive")) {
+    init_opts.shard.adaptive = core::AdaptiveController::Options{};
+  }
   std::size_t failed_deliveries = 0;
 
   metrics::Registry registry;
@@ -403,6 +412,17 @@ int main(int argc, char** argv) {
       registry.counter("alpha_duplicate_handshakes", labels) =
           as.duplicate_handshakes;
       registry.counter("alpha_assoc_failed", labels) = as.failed ? 1 : 0;
+      // Adaptivity loop (zero without --adaptive): policy activity, the
+      // applied profile, and the controller's live loss estimate.
+      registry.counter("alpha_adapt_evaluations", labels) =
+          as.adapt_evaluations;
+      registry.counter("alpha_adapt_switches", labels) = as.adapt_switches;
+      registry.counter("alpha_adapt_reconfigs_applied", labels) =
+          as.reconfigs_applied;
+      registry.counter("alpha_adapt_profile", labels) = as.adapt_profile;
+      registry.counter("alpha_adapt_batch", labels) = as.batch;
+      registry.counter("alpha_adapt_loss_permille", labels) =
+          static_cast<std::uint64_t>(as.adapt_loss_ewma * 1000.0);
       trace::AssocHealthSample sample;
       sample.assoc_id = as.assoc_id;
       sample.established = as.established;
@@ -661,6 +681,42 @@ int main(int argc, char** argv) {
     std::printf("shards:         workers=%u routed=%llu ring-overflows=%llu\n",
                 workers, static_cast<unsigned long long>(routed),
                 static_cast<unsigned long long>(overflows));
+  }
+  if (flags.flag("adaptive")) {
+    // Counters only, like the rest of the table: same-seed runs must diff
+    // bit-identical. The final profile is what the controller converged on;
+    // with several associations each runs its own ladder, so show the rung
+    // span alongside the first association's landing profile.
+    std::uint64_t evals = 0, switches = 0, reconfigs = 0;
+    std::size_t rung_lo = std::numeric_limits<std::size_t>::max();
+    std::size_t rung_hi = 0;
+    for (const auto& as : init_snap.assocs) {
+      evals += as.adapt_evaluations;
+      switches += as.adapt_switches;
+      reconfigs += as.reconfigs_applied;
+      rung_lo = std::min(rung_lo, as.adapt_profile);
+      rung_hi = std::max(rung_hi, as.adapt_profile);
+    }
+    const char* final_mode = "?";
+    std::size_t final_batch = 0;
+    if (!init_snap.assocs.empty()) {
+      switch (init_snap.assocs.front().mode) {
+        case core::Mode::kBase: final_mode = "base"; break;
+        case core::Mode::kCumulative: final_mode = "C"; break;
+        case core::Mode::kMerkle: final_mode = "M"; break;
+        case core::Mode::kCumulativeMerkle: final_mode = "C+M"; break;
+      }
+      final_batch = init_snap.assocs.front().batch;
+    }
+    std::printf("adaptivity:     evaluations=%llu switches=%llu "
+                "reconfigs=%llu final=%s/%zu rungs=%zu..%zu\n",
+                static_cast<unsigned long long>(evals),
+                static_cast<unsigned long long>(switches),
+                static_cast<unsigned long long>(reconfigs), final_mode,
+                final_batch, rung_lo == std::numeric_limits<std::size_t>::max()
+                                 ? std::size_t{0}
+                                 : rung_lo,
+                rung_hi);
   }
   const auto total_stats = network.total_stats();
   std::printf("network:        frames=%llu bytes=%llu lost=%llu\n",
