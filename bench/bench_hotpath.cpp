@@ -10,6 +10,7 @@
 // schedule) for an in-tree speedup baseline.
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "hashchain/chain.hpp"
 #include "merkle/merkle.hpp"
 #include "support/alloc_hook.hpp"
+#include "trace/flight.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -35,6 +37,12 @@ inline void sink(const crypto::Digest& d) {
   g_sink = static_cast<std::uint8_t>(g_sink ^ d.data()[0]);
 }
 
+// --recorded: the flight recorder drains the live ring once per measured
+// iteration, so every row's cost includes the spill path it would pay in a
+// recorded production run. One branch per op in all modes keeps the
+// baselines comparable.
+trace::FlightRecorder* g_recorder = nullptr;
+
 struct Sample {
   double ns_per_op = 0;
   double hash_ops_per_op = 0;
@@ -46,10 +54,14 @@ struct Sample {
 template <typename F>
 Sample measure(std::size_t iters, F&& op) {
   for (std::size_t i = 0; i < iters / 10 + 1; ++i) op();
+  if (g_recorder != nullptr) g_recorder->drain();  // settle warmup events
   const crypto::ScopedHashOps hashes;
   const testsupport::ScopedAllocCount allocs;
   const auto t0 = Clock::now();
-  for (std::size_t i = 0; i < iters; ++i) op();
+  for (std::size_t i = 0; i < iters; ++i) {
+    op();
+    if (g_recorder != nullptr) g_recorder->drain();
+  }
   const auto t1 = Clock::now();
   Sample s;
   s.ns_per_op =
@@ -93,10 +105,14 @@ crypto::Digest legacy_chain_step(crypto::HashAlgo algo,
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_hotpath.json";
-  bool traced = false;  // run every measurement with the trace ring live
+  bool traced = false;    // run every measurement with the trace ring live
+  bool recorded = false;  // --traced plus a draining flight recorder
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--traced") {
       traced = true;
+    } else if (std::string(argv[i]) == "--recorded") {
+      traced = true;
+      recorded = true;
     } else {
       out_path = argv[i];
     }
@@ -110,6 +126,23 @@ int main(int argc, char** argv) {
   trace::Ring trace_ring(std::size_t{1} << 12);
   if (traced) trace::install(&trace_ring);
 
+  // --recorded adds the crash-safe spill: a single over-sized segment
+  // (far above what the run can emit) so no rotation -- and therefore no
+  // allocation -- can land inside a measured loop.
+  std::optional<trace::FlightRecorder> recorder;
+  if (recorded) {
+    trace::FlightOptions fopts;
+    fopts.dir = "bench_flight";
+    fopts.segment_bytes = std::size_t{32} << 20;
+    fopts.config_digest = trace::fnv1a64("bench_hotpath --recorded");
+    recorder.emplace(fopts, &trace_ring);
+    if (!recorder->ok()) {
+      std::fprintf(stderr, "%s\n", recorder->error().c_str());
+      return 1;
+    }
+    g_recorder = &*recorder;
+  }
+
   crypto::HmacDrbg rng(42);
   const crypto::Digest key{crypto::ByteView{rng.bytes(20)}};
   const crypto::Bytes payload = rng.bytes(256);
@@ -121,6 +154,7 @@ int main(int argc, char** argv) {
       .field("bench", "hotpath")
       .field("schema_version", 1)
       .field("traced", traced)
+      .field("recorded", recorded)
       .field("hw_acceleration",
              crypto::hw_acceleration_enabled() &&
                  (crypto::cpu_has_sha_ni() || crypto::cpu_has_aes_ni()))
@@ -242,6 +276,13 @@ int main(int argc, char** argv) {
 
   std::printf("\nchain-step speedup (SHA-1, new vs legacy): %.1fx\n",
               step_legacy_ns / step_new_ns);
+
+  if (recorder.has_value()) {
+    g_recorder = nullptr;
+    recorder->finalize();
+    std::printf("flight recording: %llu events -> bench_flight/\n",
+                static_cast<unsigned long long>(recorder->events_written()));
+  }
 
   if (!json.write_file(out_path)) {
     std::fprintf(stderr, "failed to write %s\n", out_path.c_str());

@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""CI lint for flight-recorder output (alpha_sim --flight-dir DIR).
+
+Independently re-implements the .alfr segment format from its spec
+(src/trace/flight.hpp) in Python -- deliberately sharing no code with the
+C++ reader -- and checks:
+
+  1. Every segment header parses, has the right magic/version/size, and its
+     identity CRC-32 (zlib polynomial, computed over the header with the
+     mutable progress fields zeroed) matches.
+  2. Every committed event slot is structurally valid: known kind (1..21),
+     known drop reason, event_count <= capacity, and non-decreasing
+     timestamps per origin within a segment.
+  3. Segments chain: per shard, first_event_index advances by exactly the
+     previous segment's event count.
+  4. The finalized segment's metrics snapshot passes its CRC and contains
+     the alpha_build_info series (satellite: build provenance travels
+     inside the recording).
+  5. With --sim-output LOG: the recording's event counts reconcile with the
+     live run -- delivered events match the "delivered: X/Y" line, and
+     terminal network fates (net_delivered + net_dropped) match the
+     simulator's frames line (delivered + lost), so every frame the network
+     decided on is accounted for in the recording.
+
+Exit nonzero with a message on the first violation.
+
+Usage: check_flight.py DIR [--sim-output LOG] [--expect-crash SIGNO]
+"""
+
+import os
+import re
+import struct
+import sys
+import zlib
+
+MAGIC = 0x52464C41  # "ALFR" little-endian
+VERSION = 1
+HEADER_FMT = "<IHHIIIIQQQQQQQIIQQ144sII"
+HEADER_BYTES = struct.calcsize(HEADER_FMT)
+EVENT_BYTES = 32
+EVENT_FMT = "<QQIIBBBBI"
+MAX_KIND = 21      # EventKind::kAdaptDecision
+REASON_COUNT = 19  # trace::kDropReasonCount
+
+FIELDS = [
+    "magic", "version", "header_bytes", "node_id", "shard_index",
+    "segment_index", "crash_signal", "wall_epoch_us", "clock_origin_us",
+    "config_digest", "event_capacity", "event_count", "first_event_index",
+    "events_lost", "finalized", "metrics_crc", "metrics_offset",
+    "metrics_bytes", "build_info", "reserved", "identity_crc",
+]
+# Progress fields the writer mutates after sealing the identity CRC; the
+# checksum is defined over the header with these zeroed so a torn update
+# can never invalidate an otherwise-sound segment.
+MUTABLE = {"crash_signal", "event_count", "events_lost", "finalized",
+           "metrics_crc", "metrics_offset", "metrics_bytes", "identity_crc"}
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_header(raw: bytes, path: str) -> dict:
+    if len(raw) < HEADER_BYTES:
+        fail(f"{path}: truncated header ({len(raw)} bytes)")
+    h = dict(zip(FIELDS, struct.unpack_from(HEADER_FMT, raw)))
+    if h["magic"] != MAGIC:
+        fail(f"{path}: bad magic 0x{h['magic']:08x}")
+    if h["version"] != VERSION:
+        fail(f"{path}: unsupported version {h['version']}")
+    if h["header_bytes"] != HEADER_BYTES:
+        fail(f"{path}: header_bytes {h['header_bytes']} != {HEADER_BYTES}")
+    canon = dict(h)
+    for name in MUTABLE:
+        canon[name] = b"" if name == "build_info" else 0
+    canon["build_info"] = h["build_info"]
+    blob = struct.pack(HEADER_FMT, *(canon[name] for name in FIELDS))
+    if zlib.crc32(blob) & 0xFFFFFFFF != h["identity_crc"]:
+        fail(f"{path}: identity CRC mismatch (corrupt header)")
+    return h
+
+
+def check_segment(path: str) -> tuple[dict, list, str]:
+    with open(path, "rb") as f:
+        raw = f.read()
+    h = parse_header(raw, path)
+    count = h["event_count"]
+    if count > h["event_capacity"]:
+        fail(f"{path}: event_count {count} > capacity {h['event_capacity']}")
+    avail = (len(raw) - HEADER_BYTES) // EVENT_BYTES
+    if count > avail:
+        fail(f"{path}: event_count {count} exceeds file ({avail} slots)")
+    events = []
+    last_t = {}
+    for i in range(count):
+        off = HEADER_BYTES + i * EVENT_BYTES
+        (t, detail, assoc, seq, kind, reason,
+         ptype, origin, _pad) = struct.unpack_from(EVENT_FMT, raw, off)
+        if not 1 <= kind <= MAX_KIND:
+            fail(f"{path}: slot {i} has invalid kind {kind}")
+        if reason >= REASON_COUNT:
+            fail(f"{path}: slot {i} has invalid drop reason {reason}")
+        if t < last_t.get(origin, 0):
+            fail(f"{path}: slot {i} time {t} runs backwards for "
+                 f"origin {origin}")
+        last_t[origin] = t
+        events.append((t, kind, assoc, seq, reason, ptype, origin, detail))
+    metrics = ""
+    if h["metrics_offset"] and h["metrics_bytes"]:
+        lo, n = h["metrics_offset"], h["metrics_bytes"]
+        if lo + n > len(raw):
+            fail(f"{path}: metrics blob overruns the file")
+        blob = raw[lo:lo + n]
+        if zlib.crc32(blob) & 0xFFFFFFFF != h["metrics_crc"]:
+            fail(f"{path}: metrics blob CRC mismatch")
+        metrics = blob.decode("utf-8", errors="replace")
+    return h, events, metrics
+
+
+def reconcile(log_path: str, kinds: dict) -> None:
+    text = open(log_path, errors="replace").read()
+    m = re.search(r"delivered:\s+(\d+)/(\d+) messages", text)
+    if not m:
+        fail(f"{log_path}: no 'delivered: X/Y messages' line to reconcile")
+    live_delivered = int(m.group(1))
+    rec_delivered = kinds.get(11, 0)  # kDelivered
+    if rec_delivered != live_delivered:
+        fail(f"recording holds {rec_delivered} delivered events but the "
+             f"live run reported {live_delivered}")
+    m = re.search(r"network:\s+frames=(\d+) bytes=\d+ lost=(\d+)", text)
+    if not m:
+        fail(f"{log_path}: no network frames line to reconcile")
+    frames, lost = int(m.group(1)), int(m.group(2))
+    # The chaos line's lost counter excludes partition drops, which get
+    # their own link-down tally; the recording's net-drop events cover both.
+    m = re.search(r"link-down=(\d+)", text)
+    link_down = int(m.group(1)) if m else 0
+    # Terminal fates: every frame the simulated network accepted was either
+    # delivered or dropped, and the recording saw each verdict exactly once.
+    # Chaos duplicate copies get their own kNetDuplicated terminal event
+    # and stay outside the frames counter.
+    net_delivered = kinds.get(13, 0)   # kNetDelivered
+    net_dropped = kinds.get(14, 0)     # kNetDropped
+    net_duplicated = kinds.get(15, 0)  # kNetDuplicated
+    if net_dropped != lost + link_down:
+        fail(f"recording holds {net_dropped} net-drop events but the live "
+             f"run lost {lost} frames (+{link_down} link-down)")
+    if net_delivered + net_dropped != frames:
+        fail(f"terminal network fates don't reconcile: "
+             f"{net_delivered} delivered + {net_dropped} dropped != "
+             f"{frames} frames")
+    print(f"  reconciled with {log_path}: {live_delivered} deliveries, "
+          f"{frames} frames = {net_delivered} delivered + {net_dropped} "
+          f"dropped (+{net_duplicated} duplicated copies)")
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    if not args:
+        fail(f"usage: {sys.argv[0]} DIR [--sim-output LOG] "
+             f"[--expect-crash SIGNO]")
+    flight_dir = args[0]
+    sim_output = None
+    expect_crash = None
+    i = 1
+    while i < len(args):
+        if args[i] == "--sim-output" and i + 1 < len(args):
+            sim_output = args[i + 1]
+            i += 2
+        elif args[i] == "--expect-crash" and i + 1 < len(args):
+            expect_crash = int(args[i + 1])
+            i += 2
+        else:
+            fail(f"unknown argument {args[i]}")
+
+    try:
+        names = sorted(n for n in os.listdir(flight_dir)
+                       if n.endswith(".alfr"))
+    except OSError as e:
+        fail(f"{flight_dir}: {e}")
+    if not names:
+        fail(f"{flight_dir}: no .alfr segments")
+
+    kinds = {}
+    total_events = 0
+    lost = 0
+    next_index = {}   # shard -> expected first_event_index
+    saw_final = False
+    saw_crash = None
+    saw_build_info = False
+    node_ids = set()
+    for name in names:
+        path = os.path.join(flight_dir, name)
+        h, events, metrics = check_segment(path)
+        node_ids.add(h["node_id"])
+        shard = h["shard_index"]
+        if shard in next_index and h["first_event_index"] != next_index[shard]:
+            fail(f"{path}: first_event_index {h['first_event_index']} breaks "
+                 f"the chain (expected {next_index[shard]})")
+        next_index[shard] = h["first_event_index"] + len(events)
+        total_events += len(events)
+        lost = max(lost, h["events_lost"])
+        if h["finalized"]:
+            saw_final = True
+        if h["crash_signal"]:
+            saw_crash = h["crash_signal"]
+        if "alpha_build_info{" in metrics:
+            saw_build_info = True
+        build = h["build_info"].rstrip(b"\0").decode("utf-8",
+                                                     errors="replace")
+        if build.count("|") != 2:
+            fail(f"{path}: build_info '{build}' is not "
+                 f"'version|backend|compiler'")
+        for ev in events:
+            kinds[ev[1]] = kinds.get(ev[1], 0) + 1
+
+    if len(node_ids) != 1:
+        fail(f"{flight_dir}: segments disagree on node id ({node_ids})")
+    if expect_crash is not None:
+        if saw_crash != expect_crash:
+            fail(f"{flight_dir}: expected crash_signal {expect_crash}, "
+                 f"recording says {saw_crash}")
+        if saw_final:
+            fail(f"{flight_dir}: crashed recording must not be finalized")
+    else:
+        if not saw_final:
+            fail(f"{flight_dir}: no finalized segment (unclean shutdown?)")
+        if not saw_build_info:
+            fail(f"{flight_dir}: metrics snapshot lacks alpha_build_info")
+    if sim_output:
+        reconcile(sim_output, kinds)
+    state = (f"crash-flushed (signal {saw_crash})" if saw_crash
+             else "cleanly finalized")
+    print(f"OK: {flight_dir}: {len(names)} segment(s), {total_events} "
+          f"events, {lost} lost, {state}, headers and events valid")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,7 +46,14 @@ which the adaptive controller's goodput x efficiency score beats every
 static (mode, batch) ladder rung while having actually switched profiles
 and applied reconfigurations on the live association.
 
+With --recorded it compares a --traced run against a --recorded run (the
+same trace ring plus a flight recorder draining it once per measured
+iteration) under the same discipline: zero-alloc rows stay at exactly 0 in
+the recorded run too (the recorder's steady state must not allocate), and
+the recorded/traced ns-per-op geomean stays below 1.05.
+
 Usage: check_perf_smoke.py UNTRACED.json TRACED.json
+       check_perf_smoke.py --recorded TRACED.json RECORDED.json
        check_perf_smoke.py --latency BENCH_latency.json
        check_perf_smoke.py --sharded BENCH_sharded.json
        check_perf_smoke.py --relay BENCH_relay_mpps.json
@@ -338,6 +345,41 @@ def check_adaptive(path: str) -> None:
           f"{adap['reconfigs_applied']} reconfigs, full delivery")
 
 
+def compare_runs(base: dict, cand: dict, base_label: str,
+                 cand_label: str) -> None:
+    b_rows, c_rows = base["results"], cand["results"]
+    if [r["name"] for r in b_rows] != [r["name"] for r in c_rows]:
+        fail("row names differ between runs")
+
+    check_allocs(base_label, b_rows)
+    check_allocs(cand_label, c_rows)
+
+    log_ratios = []
+    for b, c in zip(b_rows, c_rows):
+        if b["name"] in NO_COMPARE_ROWS:
+            continue
+        ratio = c["ns_per_op"] / b["ns_per_op"]
+        log_ratios.append(math.log(ratio))
+        print(f"  {b['name']:24} {b['ns_per_op']:10.1f} -> "
+              f"{c['ns_per_op']:10.1f} ns/op  ({ratio:.3f}x)")
+    geomean = math.exp(sum(log_ratios) / len(log_ratios))
+    print(f"  geomean {cand_label}/{base_label}: {geomean:.4f} "
+          f"(limit {GEOMEAN_LIMIT})")
+    if geomean > GEOMEAN_LIMIT:
+        fail(f"{cand_label} overhead geomean {geomean:.4f} > {GEOMEAN_LIMIT}")
+    print(f"OK: zero-alloc rows clean, {cand_label} overhead within budget")
+
+
+def check_recorded(traced_path: str, recorded_path: str) -> None:
+    traced = json.load(open(traced_path))
+    recorded = json.load(open(recorded_path))
+    if traced.get("traced") is not True or traced.get("recorded") is True:
+        fail("first argument must be a --traced (not --recorded) run")
+    if recorded.get("recorded") is not True:
+        fail("second argument must be a --recorded run")
+    compare_runs(traced, recorded, "traced", "recorded")
+
+
 def main() -> None:
     if len(sys.argv) == 3 and sys.argv[1] == "--latency":
         check_latency(sys.argv[2])
@@ -351,37 +393,22 @@ def main() -> None:
     if len(sys.argv) == 3 and sys.argv[1] == "--adaptive":
         check_adaptive(sys.argv[2])
         return
+    if len(sys.argv) == 4 and sys.argv[1] == "--recorded":
+        check_recorded(sys.argv[2], sys.argv[3])
+        return
     if len(sys.argv) != 3:
         fail(f"usage: {sys.argv[0]} [--latency LATENCY.json | "
              f"--sharded SHARDED.json | --relay RELAY_MPPS.json | "
-             f"--adaptive ADAPTIVE.json | UNTRACED.json TRACED.json]")
+             f"--adaptive ADAPTIVE.json | "
+             f"--recorded TRACED.json RECORDED.json | "
+             f"UNTRACED.json TRACED.json]")
     untraced = json.load(open(sys.argv[1]))
     traced = json.load(open(sys.argv[2]))
     if untraced.get("traced") is not False:
         fail("first argument must be an untraced run")
     if traced.get("traced") is not True:
         fail("second argument must be a --traced run")
-
-    u_rows, t_rows = untraced["results"], traced["results"]
-    if [r["name"] for r in u_rows] != [r["name"] for r in t_rows]:
-        fail("row names differ between runs")
-
-    check_allocs("untraced", u_rows)
-    check_allocs("traced", t_rows)
-
-    log_ratios = []
-    for u, t in zip(u_rows, t_rows):
-        if u["name"] in NO_COMPARE_ROWS:
-            continue
-        ratio = t["ns_per_op"] / u["ns_per_op"]
-        log_ratios.append(math.log(ratio))
-        print(f"  {u['name']:24} {u['ns_per_op']:10.1f} -> "
-              f"{t['ns_per_op']:10.1f} ns/op  ({ratio:.3f}x)")
-    geomean = math.exp(sum(log_ratios) / len(log_ratios))
-    print(f"  geomean traced/untraced: {geomean:.4f} (limit {GEOMEAN_LIMIT})")
-    if geomean > GEOMEAN_LIMIT:
-        fail(f"tracing overhead geomean {geomean:.4f} > {GEOMEAN_LIMIT}")
-    print("OK: zero-alloc rows clean, tracing overhead within budget")
+    compare_runs(untraced, traced, "untraced", "traced")
 
 
 if __name__ == "__main__":

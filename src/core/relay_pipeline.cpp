@@ -6,6 +6,7 @@
 #include "core/preack.hpp"
 #include "crypto/counter.hpp"
 #include "merkle/amt.hpp"
+#include "trace/prof.hpp"
 
 namespace alpha::core {
 
@@ -134,6 +135,7 @@ void RelayPipeline::enqueue(Direction dir, crypto::ByteView frame) {
 
 void RelayPipeline::flush() {
   if (pending_count_ == 0) return;
+  trace::ScopedStage prof_stage(trace::Stage::kRelayVerify);
   const auto t0 = std::chrono::steady_clock::now();
   const std::size_t n = pending_count_;
 

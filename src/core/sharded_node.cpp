@@ -3,6 +3,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "trace/prof.hpp"
 #include "wire/packets.hpp"
 
 namespace alpha::core {
@@ -366,13 +367,16 @@ void ShardedNode::apply_slot(Shard& sh, const FrameSlot& slot,
 }
 
 void ShardedNode::drain_shard_inline(Shard& sh) {
-  while (const FrameSlot* slot = sh.in->front()) {
-    apply_slot(sh, *slot, slot->time_us);
-    sh.in->pop();
+  {
+    trace::ScopedStage prof_stage(trace::Stage::kShardDrain);
+    while (const FrameSlot* slot = sh.in->front()) {
+      apply_slot(sh, *slot, slot->time_us);
+      sh.in->pop();
+    }
+    // End-of-drain: partial relay batches go out now, before their frames'
+    // outbound ring pass, so batching never holds a frame across polls.
+    sh.node->flush_relays();
   }
-  // End-of-drain: partial relay batches go out now, before their frames'
-  // outbound ring pass, so batching never holds a frame across polls.
-  sh.node->flush_relays();
   flush_out_ring(sh);
 }
 
@@ -429,17 +433,22 @@ void ShardedNode::worker_loop(Shard& sh) {
   if (options_.worker_init) options_.worker_init(sh.node->index());
   while (!stop_.load(std::memory_order_relaxed)) {
     std::size_t did = 0;
-    // Control first: a submit enqueued before a burst of frames should see
-    // the pre-burst association state, and snapshots should not starve.
-    while (const FrameSlot* slot = sh.ctrl->front()) {
-      apply_slot(sh, *slot, transport_->now_us());
-      sh.ctrl->pop();
-      ++did;
-    }
-    while (const FrameSlot* slot = sh.in->front()) {
-      apply_slot(sh, *slot, transport_->now_us());
-      sh.in->pop();
-      ++did;
+    // Gate the profiler scope on pending work so idle poll iterations do
+    // not dilute the per-drain cycle/instruction attribution.
+    if (sh.ctrl->front() != nullptr || sh.in->front() != nullptr) {
+      trace::ScopedStage prof_stage(trace::Stage::kShardDrain);
+      // Control first: a submit enqueued before a burst of frames should see
+      // the pre-burst association state, and snapshots should not starve.
+      while (const FrameSlot* slot = sh.ctrl->front()) {
+        apply_slot(sh, *slot, transport_->now_us());
+        sh.ctrl->pop();
+        ++did;
+      }
+      while (const FrameSlot* slot = sh.in->front()) {
+        apply_slot(sh, *slot, transport_->now_us());
+        sh.in->pop();
+        ++did;
+      }
     }
     // End-of-drain flush: full batches flushed themselves inside on_frame;
     // whatever is left goes out before the idle nap, so batching trades no

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "trace/prof.hpp"
+
 namespace alpha::hashchain {
 
 namespace {
@@ -37,6 +39,9 @@ ByteView step_tag(ChainTagging tagging, std::size_t i) noexcept {
 
 Digest chain_step(HashAlgo algo, ChainTagging tagging, const Digest& prev,
                   std::size_t i) {
+  // Uninstalled cost is one thread-local pointer check; installed, one in
+  // sample_every steps reads the perf counter group (see trace/prof.hpp).
+  trace::ScopedStage prof_stage(trace::Stage::kChainStep);
   return crypto::hash2(algo, step_tag(tagging, i), prev.view());
 }
 

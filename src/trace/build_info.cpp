@@ -1,0 +1,63 @@
+#include "trace/build_info.hpp"
+
+#include "crypto/cpu.hpp"
+
+#ifndef ALPHA_BUILD_VERSION
+#define ALPHA_BUILD_VERSION "unknown"
+#endif
+
+namespace alpha::trace {
+namespace {
+
+std::string backend_string() {
+  if (!crypto::hw_acceleration_enabled()) return "scalar";
+  const bool sha = crypto::cpu_has_sha_ni();
+  const bool aes = crypto::cpu_has_aes_ni();
+  if (sha && aes) return "sha-ni+aes-ni";
+  if (sha) return "sha-ni";
+  if (aes) return "aes-ni";
+  return "scalar";
+}
+
+// Prometheus label values may not contain raw quotes or backslashes;
+// __VERSION__ is free-form vendor text, so sanitize defensively.
+std::string sanitize_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\' || c == '\n') {
+      out.push_back('_');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BuildInfo build_info() {
+  BuildInfo info;
+  info.version = ALPHA_BUILD_VERSION;
+  info.backend = backend_string();
+  info.compiler = __VERSION__;
+  return info;
+}
+
+std::string build_info_labels() {
+  const BuildInfo info = build_info();
+  return "version=\"" + sanitize_label(info.version) + "\",backend=\"" +
+         sanitize_label(info.backend) + "\",compiler=\"" +
+         sanitize_label(info.compiler) + "\"";
+}
+
+std::string build_info_line() {
+  const BuildInfo info = build_info();
+  return info.version + "|" + info.backend + "|" + info.compiler;
+}
+
+void export_build_info(metrics::Registry& registry) {
+  registry.counter("alpha_build_info", build_info_labels()) = 1;
+}
+
+}  // namespace alpha::trace

@@ -1,0 +1,39 @@
+// Build identity for self-identifying artifacts.
+//
+// Every durable artifact this repo emits (Prometheus scrapes, flight
+// recordings, BENCH_*.json) outlives the binary that produced it; a number
+// without its provenance is unattributable. build_info() collects the three
+// facts that explain a perf or behaviour delta after the fact: the exact
+// source revision (git describe, baked in at configure time), the compiler,
+// and which crypto backend the hot path actually ran on this machine
+// (SHA-NI/AES-NI vs scalar -- a runtime property, not a build-time one).
+#pragma once
+
+#include <string>
+
+#include "trace/metrics.hpp"
+
+namespace alpha::trace {
+
+struct BuildInfo {
+  std::string version;   // `git describe --always --dirty` at configure time
+  std::string backend;   // "sha-ni+aes-ni", "sha-ni", "aes-ni" or "scalar"
+  std::string compiler;  // __VERSION__ of the compiler that built alpha_trace
+};
+
+/// Snapshot of this process's build identity. The backend field reflects the
+/// runtime switch (crypto::hw_acceleration_enabled) at call time.
+BuildInfo build_info();
+
+/// The info as one Prometheus label set: version="..",backend="..",compiler="..".
+std::string build_info_labels();
+
+/// Compact one-line form for flight-recording headers and banners:
+/// "<version>|<backend>|<compiler>".
+std::string build_info_line();
+
+/// Exports the standard info-style gauge:
+///   alpha_build_info{version="..",backend="..",compiler=".."} 1
+void export_build_info(metrics::Registry& registry);
+
+}  // namespace alpha::trace

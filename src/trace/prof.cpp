@@ -1,0 +1,148 @@
+#include "trace/prof.hpp"
+
+#include <ctime>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define ALPHA_PROF_HW 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace alpha::trace {
+
+const char* to_string(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kShardDrain:
+      return "shard_drain";
+    case Stage::kRelayVerify:
+      return "relay_verify";
+    case Stage::kChainStep:
+      return "chain_step";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::uint64_t mono_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+#ifdef ALPHA_PROF_HW
+int perf_open(std::uint32_t type, std::uint64_t config, int group_fd) noexcept {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // leader starts disabled
+  attr.exclude_kernel = 1;  // user-space only: works at perf_event_paranoid=2
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  return static_cast<int>(::syscall(__NR_perf_event_open, &attr, 0, -1,
+                                    group_fd, 0));
+}
+#endif
+
+}  // namespace
+
+StageProfiler::StageProfiler() : StageProfiler(Options{}) {}
+
+StageProfiler::StageProfiler(Options options) : options_(options) {
+  if (options_.sample_every == 0) options_.sample_every = 1;
+#ifdef ALPHA_PROF_HW
+  group_fd_ = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (group_fd_ >= 0) {
+    // Auxiliary counters are best-effort: VMs often virtualize cycles but
+    // not cache events. A failed sibling just reads as 0.
+    aux_fd_[0] =
+        perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, group_fd_);
+    aux_fd_[1] =
+        perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, group_fd_);
+    ::ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ::ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+#endif
+}
+
+StageProfiler::~StageProfiler() {
+#ifdef ALPHA_PROF_HW
+  for (int fd : aux_fd_) {
+    if (fd >= 0) ::close(fd);
+  }
+  if (group_fd_ >= 0) ::close(group_fd_);
+#endif
+}
+
+bool StageProfiler::read_group(std::uint64_t out[3]) noexcept {
+  out[0] = out[1] = out[2] = 0;
+#ifdef ALPHA_PROF_HW
+  if (group_fd_ < 0) return false;
+  // PERF_FORMAT_GROUP layout: u64 nr, then one u64 per live group member in
+  // open order (cycles, instructions, cache misses; failed siblings absent).
+  std::uint64_t buf[4] = {};
+  const ssize_t n = ::read(group_fd_, buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(2 * sizeof(std::uint64_t))) return false;
+  const std::uint64_t nr = buf[0];
+  std::size_t slot = 1;
+  out[0] = nr >= 1 ? buf[slot++] : 0;                       // cycles
+  out[1] = (aux_fd_[0] >= 0 && nr >= slot) ? buf[slot++] : 0;  // instructions
+  out[2] = (aux_fd_[1] >= 0 && nr >= slot) ? buf[slot] : 0;    // cache misses
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool StageProfiler::begin(Stage stage, Sample& sample) noexcept {
+  const auto s = static_cast<std::size_t>(stage);
+  ++totals_[s].calls;
+  if (entries_[s]++ % options_.sample_every != 0) return false;
+  sample.t0_ns = mono_ns();
+  sample.counting = read_group(sample.begin);
+  return true;
+}
+
+void StageProfiler::end(Stage stage, Sample& sample) noexcept {
+  const auto s = static_cast<std::size_t>(stage);
+  Totals& t = totals_[s];
+  ++t.samples;
+  const std::uint64_t now = mono_ns();
+  t.wall_ns += now >= sample.t0_ns ? now - sample.t0_ns : 0;
+  if (!sample.counting) return;
+  std::uint64_t after[3];
+  if (!read_group(after)) return;
+  t.cycles += after[0] >= sample.begin[0] ? after[0] - sample.begin[0] : 0;
+  t.instructions +=
+      after[1] >= sample.begin[1] ? after[1] - sample.begin[1] : 0;
+  t.cache_misses +=
+      after[2] >= sample.begin[2] ? after[2] - sample.begin[2] : 0;
+}
+
+void export_prof(const StageProfiler& profiler, metrics::Registry& registry) {
+  registry.counter("alpha_prof_hw_available") =
+      profiler.hw_available() ? 1 : 0;
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    const auto stage = static_cast<Stage>(s);
+    const StageProfiler::Totals& t = profiler.totals(stage);
+    const std::string labels =
+        std::string("stage=\"") + to_string(stage) + "\"";
+    // Assignment, not +=: totals are monotonic, and periodic re-exports
+    // (telemetry refresh loops) must be idempotent.
+    registry.counter("alpha_prof_calls", labels) = t.calls;
+    registry.counter("alpha_prof_samples", labels) = t.samples;
+    registry.counter("alpha_prof_wall_ns", labels) = t.wall_ns;
+    registry.counter("alpha_prof_cycles", labels) = t.cycles;
+    registry.counter("alpha_prof_instructions", labels) = t.instructions;
+    registry.counter("alpha_prof_cache_misses", labels) = t.cache_misses;
+  }
+}
+
+}  // namespace alpha::trace

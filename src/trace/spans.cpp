@@ -258,8 +258,24 @@ void SpanBuilder::ingest(const Event& e) {
 }
 
 std::size_t SpanBuilder::ingest_new(const Ring& ring) {
+  // Absolute ring indices are only comparable within one (ring, generation)
+  // pair. A cleared-and-refilled ring can have total() ahead of our cursor
+  // again, which the old `end < cursor_` test silently misread as "new
+  // events" (re-ingesting slots and inheriting the stale wrap count); a
+  // swapped ring is the same problem with a different pointer. On either
+  // change, restart the cursor at the new source's index 0 -- the clamp
+  // below then books any already-overwritten prefix into lost_events_, the
+  // same accounting a fresh builder applies to a pre-wrapped ring -- and
+  // bank the previous generation's wrap count so the exported
+  // alpha_trace_events_dropped counter stays monotonic.
+  if (&ring != source_ || ring.generation() != source_generation_) {
+    dropped_banked_ += source_dropped_;
+    source_ = &ring;
+    source_generation_ = ring.generation();
+    source_dropped_ = 0;
+    cursor_ = 0;
+  }
   const std::uint64_t end = ring.total();
-  if (end < cursor_) cursor_ = 0;  // ring was cleared; start over
   std::uint64_t start = cursor_;
   const std::uint64_t first = ring.first_index();
   if (start < first) {
@@ -268,8 +284,10 @@ std::size_t SpanBuilder::ingest_new(const Ring& ring) {
   }
   for (std::uint64_t i = start; i < end; ++i) ingest(ring.at_absolute(i));
   cursor_ = end;
+  source_dropped_ = ring.dropped();
   if (registry_ != nullptr) {
-    registry_->counter("alpha_trace_events_dropped") = ring.dropped();
+    registry_->counter("alpha_trace_events_dropped") =
+        dropped_banked_ + source_dropped_;
   }
   return static_cast<std::size_t>(end - start);
 }

@@ -152,6 +152,12 @@ class SpanBuilder {
 
   std::vector<RoundSpan> spans_;
   std::map<std::uint64_t, std::size_t> open_;  // (assoc<<32|seq) -> index
+  // Incremental-ingest source identity: absolute cursors are only valid
+  // within one (ring, generation) pair (see ingest_new).
+  const Ring* source_ = nullptr;
+  std::uint64_t source_generation_ = 0;
+  std::uint64_t source_dropped_ = 0;  // wrap count within current generation
+  std::uint64_t dropped_banked_ = 0;  // wrap counts from retired generations
   std::uint64_t cursor_ = 0;
   std::uint64_t lost_events_ = 0;
   std::uint64_t deliveries_ = 0;

@@ -144,12 +144,21 @@ class Ring {
   std::uint64_t dropped() const noexcept {
     return head_ > buf_.size() ? head_ - buf_.size() : 0;
   }
-  void clear() noexcept { head_ = 0; }
+  /// Bumped on every clear(). Cursor-based consumers (SpanBuilder, the
+  /// flight recorder) compare generations to tell "ring was cleared and
+  /// refilled past my cursor" apart from "new events arrived": absolute
+  /// indices are only comparable within one generation.
+  std::uint64_t generation() const noexcept { return generation_; }
+  void clear() noexcept {
+    head_ = 0;
+    ++generation_;
+  }
 
  private:
   std::vector<Event> buf_;
   std::uint64_t mask_;
   std::uint64_t head_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 namespace detail {

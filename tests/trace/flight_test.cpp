@@ -1,0 +1,329 @@
+// FlightRecorder: segment round-trip with rotation, ring clear/swap
+// handling, reader validation of corrupted files, and the acceptance-
+// criterion crash test -- a child process raises SIGSEGV mid-chaos-run and
+// the parent reconstructs spans and the drop taxonomy from what the
+// last-gasp flush persisted.
+#include "trace/flight.hpp"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/path.hpp"
+#include "trace/metrics.hpp"
+#include "trace/spans.hpp"
+#include "trace/trace.hpp"
+
+namespace alpha::trace {
+namespace {
+
+using core::Config;
+using crypto::Bytes;
+using net::kMillisecond;
+using net::kSecond;
+
+std::string fresh_dir(const char* tag) {
+  std::string dir = ::testing::TempDir() + "alpha_flight_" + tag + "_" +
+                    std::to_string(::getpid());
+  std::string cmd = "rm -rf " + dir;
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  return dir;
+}
+
+Event synthetic_event(std::uint64_t i) {
+  Event e;
+  e.time_us = 1000 + i;
+  e.detail = i * 3;
+  e.assoc_id = 7;
+  e.seq = static_cast<std::uint32_t>(i);
+  e.kind = EventKind::kPacketSent;
+  e.packet_type = 1;
+  e.origin = 2;
+  return e;
+}
+
+TEST(Flight, RoundtripAcrossRotation) {
+  Ring ring(1 << 10);
+  // Segment sized to ~100 events: 1000 events must rotate ~10 times.
+  FlightOptions opts;
+  opts.dir = fresh_dir("rot");
+  opts.node_id = 3;
+  opts.segment_bytes = sizeof(FlightHeader) + 100 * sizeof(Event);
+  opts.config_digest = fnv1a64(std::string("test-config"));
+  opts.clock_origin_us = 1000;
+  opts.wall_epoch_us = 1'700'000'000'000'000ull;
+  metrics::Registry registry;
+  registry.counter("alpha_test_counter") = 41;
+  opts.metrics_snapshot = [&] { return registry.render_prometheus(); };
+
+  FlightRecorder recorder(opts, &ring);
+  ASSERT_TRUE(recorder.ok()) << recorder.error();
+
+  constexpr std::uint64_t kEvents = 1000;
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    ring.record(synthetic_event(i));
+    if (i % 97 == 0) recorder.drain();
+  }
+  recorder.finalize();
+  EXPECT_EQ(recorder.events_written(), kEvents);
+  EXPECT_GE(recorder.segments_opened(), 10u);
+
+  FlightRecording rec;
+  std::string err;
+  ASSERT_TRUE(read_flight_dir(opts.dir, rec, &err)) << err;
+  EXPECT_EQ(rec.node_id(), 3u);
+  EXPECT_EQ(rec.total_events(), kEvents);
+
+  // Segment continuity: first_event_index chains exactly.
+  std::uint64_t expect_first = 0;
+  std::uint64_t i = 0;
+  bool saw_metrics = false;
+  for (const FlightSegment& seg : rec.segments) {
+    EXPECT_EQ(seg.header.node_id, 3u);
+    EXPECT_EQ(seg.header.config_digest, opts.config_digest);
+    EXPECT_EQ(seg.header.wall_epoch_us, opts.wall_epoch_us);
+    EXPECT_EQ(seg.header.first_event_index, expect_first);
+    EXPECT_EQ(seg.invalid_events, 0u);
+    expect_first += seg.events.size();
+    for (const Event& e : seg.events) {
+      const Event want = synthetic_event(i++);
+      EXPECT_EQ(std::memcmp(&e, &want, sizeof(Event)), 0);
+    }
+    if (seg.metrics_valid) {
+      saw_metrics = true;
+      EXPECT_NE(seg.metrics_text.find("alpha_test_counter 41"),
+                std::string::npos);
+    }
+    EXPECT_NE(std::string(seg.header.build_info).find('|'),
+              std::string::npos);
+  }
+  EXPECT_EQ(i, kEvents);
+  // The final (finalized) segment has tail slack for the snapshot.
+  EXPECT_TRUE(saw_metrics);
+  EXPECT_EQ(rec.segments.back().header.finalized, 1u);
+  EXPECT_EQ(rec.segments.back().header.crash_signal, 0u);
+}
+
+TEST(Flight, SurvivesRingClearBetweenDrains) {
+  Ring ring(1 << 8);
+  FlightOptions opts;
+  opts.dir = fresh_dir("gen");
+  FlightRecorder recorder(opts, &ring);
+  ASSERT_TRUE(recorder.ok()) << recorder.error();
+
+  for (std::uint64_t i = 0; i < 10; ++i) ring.record(synthetic_event(i));
+  EXPECT_EQ(recorder.drain(), 10u);
+  // Clear and refill *past* the recorder's cursor: without the generation
+  // check this would be misread as "no new events" (or worse, re-reads).
+  ring.clear();
+  for (std::uint64_t i = 0; i < 25; ++i) ring.record(synthetic_event(100 + i));
+  EXPECT_EQ(recorder.drain(), 25u);
+  recorder.finalize();
+
+  FlightRecording rec;
+  ASSERT_TRUE(read_flight_dir(opts.dir, rec, nullptr));
+  EXPECT_EQ(rec.total_events(), 35u);
+}
+
+TEST(Flight, CountsRingOverwriteLosses) {
+  Ring ring(64);  // tiny: overwrites guaranteed
+  FlightOptions opts;
+  opts.dir = fresh_dir("lost");
+  FlightRecorder recorder(opts, &ring);
+  ASSERT_TRUE(recorder.ok()) << recorder.error();
+
+  for (std::uint64_t i = 0; i < 1000; ++i) ring.record(synthetic_event(i));
+  recorder.drain();  // only the retained 64 are still available
+  recorder.finalize();
+
+  FlightRecording rec;
+  ASSERT_TRUE(read_flight_dir(opts.dir, rec, nullptr));
+  EXPECT_EQ(rec.total_events(), 64u);
+  EXPECT_EQ(rec.segments.back().header.events_lost, 1000u - 64u);
+}
+
+TEST(Flight, ReaderRejectsCorruption) {
+  Ring ring(64);
+  FlightOptions opts;
+  opts.dir = fresh_dir("corrupt");
+  FlightRecorder recorder(opts, &ring);
+  ASSERT_TRUE(recorder.ok()) << recorder.error();
+  ring.record(synthetic_event(1));
+  recorder.drain();
+  recorder.finalize();
+
+  FlightRecording rec;
+  ASSERT_TRUE(read_flight_dir(opts.dir, rec, nullptr));
+  const std::string path = rec.segments.front().path;
+
+  // Flip a byte inside the header identity region (node_id).
+  {
+    const int fd = ::open(path.c_str(), O_RDWR);
+    ASSERT_GE(fd, 0);
+    std::uint32_t bogus = 0xDEADBEEF;
+    ASSERT_EQ(::pwrite(fd, &bogus, sizeof(bogus), 8), 4);
+    ::close(fd);
+  }
+  FlightSegment seg;
+  std::string err;
+  EXPECT_FALSE(read_flight_segment(path, seg, &err));
+  EXPECT_NE(err.find("checksum"), std::string::npos);
+
+  // Break the magic entirely.
+  {
+    const int fd = ::open(path.c_str(), O_RDWR);
+    ASSERT_GE(fd, 0);
+    std::uint32_t bogus = 0;
+    ASSERT_EQ(::pwrite(fd, &bogus, sizeof(bogus), 0), 4);
+    ::close(fd);
+  }
+  EXPECT_FALSE(read_flight_segment(path, seg, &err));
+  EXPECT_NE(err.find("magic"), std::string::npos);
+}
+
+// What the child reports just before dying; the recording must agree.
+struct CrashReport {
+  std::uint64_t ring_events = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t net_dropped = 0;
+  std::uint64_t packet_dropped = 0;
+};
+
+/// Runs a seeded chaos exchange in the child with a recorder attached but
+/// *never drained*: everything on disk comes from the last-gasp flush.
+void run_chaos_child(const std::string& dir, int report_fd, int death) {
+  Ring ring(std::size_t{1} << 16);
+  install(&ring);
+  FlightOptions opts;
+  opts.dir = dir;
+  opts.node_id = 1;
+  opts.config_digest = fnv1a64(std::string("crash-test"));
+  FlightRecorder recorder(opts, &ring);
+  if (!recorder.ok()) _exit(41);
+  if (!install_crash_handlers()) _exit(42);
+
+  net::Simulator sim;
+  net::Network network{sim, /*seed=*/7};
+  network.set_chaos_seed(0xc0de);
+  for (net::NodeId id = 0; id <= 2; ++id) network.add_node(id);
+  net::LinkConfig link;
+  link.latency = 2 * kMillisecond;
+  link.loss_rate = 0.05;
+  for (net::NodeId id = 0; id < 2; ++id) network.add_link(id, id + 1, link);
+  net::FaultConfig faults;
+  faults.duplicate_rate = 0.05;
+  faults.corrupt_rate = 0.03;
+  network.set_link_faults(0, 1, faults);
+
+  Config config;
+  config.reliable = true;
+  config.rto_us = 100 * kMillisecond;
+  config.max_retries = 50;
+  core::ProtectedPath path{network, {0, 1, 2}, config, 1, /*seed=*/5};
+  path.start();
+  sim.run_until(sim.now() + 10 * kSecond);
+  if (!path.initiator().established()) _exit(43);
+  for (int i = 0; i < 8; ++i) {
+    path.node(0).submit(/*assoc_id=*/1, Bytes(48, static_cast<std::uint8_t>(i)));
+    sim.run_until(sim.now() + kSecond);
+  }
+  sim.run_until(sim.now() + 30 * kSecond);
+
+  CrashReport report;
+  report.ring_events = ring.total();
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    switch (ring.at(i).kind) {
+      case EventKind::kDelivered:
+        ++report.delivered;
+        break;
+      case EventKind::kNetDropped:
+        ++report.net_dropped;
+        break;
+      case EventKind::kPacketDropped:
+        ++report.packet_dropped;
+        break;
+      default:
+        break;
+    }
+  }
+  if (::write(report_fd, &report, sizeof(report)) != sizeof(report)) _exit(44);
+  ::close(report_fd);
+
+  if (death == 0) {
+    ::raise(SIGSEGV);  // handler flushes, then re-raises the default
+  } else {
+    std::terminate();  // terminate hook flushes, then aborts
+  }
+  _exit(45);  // unreachable
+}
+
+void crash_and_verify(int death, int expected_signal) {
+  const std::string dir =
+      fresh_dir(death == 0 ? "sigsegv" : "terminate");
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::close(pipe_fds[0]);
+    run_chaos_child(dir, pipe_fds[1], death);
+  }
+  ::close(pipe_fds[1]);
+  CrashReport report;
+  ASSERT_EQ(::read(pipe_fds[0], &report, sizeof(report)),
+            static_cast<ssize_t>(sizeof(report)));
+  ::close(pipe_fds[0]);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status))
+      << "child exited normally, status " << WEXITSTATUS(status);
+  EXPECT_EQ(WTERMSIG(status), expected_signal);
+
+  // The recording exists, is attributed to the fatal signal, and holds
+  // every event the child saw (ring did not wrap: 1<<16 slots).
+  FlightRecording rec;
+  std::string err;
+  ASSERT_TRUE(read_flight_dir(dir, rec, &err)) << err;
+  ASSERT_EQ(rec.segments.size(), 1u);
+  const FlightSegment& seg = rec.segments.front();
+  EXPECT_EQ(seg.header.crash_signal,
+            static_cast<std::uint32_t>(expected_signal));
+  EXPECT_EQ(seg.header.finalized, 0u);
+  EXPECT_EQ(seg.invalid_events, 0u);
+  ASSERT_EQ(rec.total_events(), report.ring_events);
+
+  // Offline reconstruction: spans and the drop taxonomy of the flushed
+  // events match what the live process counted.
+  SpanBuilder spans;
+  std::uint64_t delivered = 0, net_dropped = 0, packet_dropped = 0;
+  for (const Event& e : seg.events) {
+    spans.ingest(e);
+    if (e.kind == EventKind::kDelivered) ++delivered;
+    if (e.kind == EventKind::kNetDropped) ++net_dropped;
+    if (e.kind == EventKind::kPacketDropped) ++packet_dropped;
+  }
+  EXPECT_EQ(delivered, report.delivered);
+  EXPECT_EQ(net_dropped, report.net_dropped);
+  EXPECT_EQ(packet_dropped, report.packet_dropped);
+  EXPECT_EQ(spans.deliveries(), report.delivered);
+  EXPECT_GT(spans.rounds_complete(), 0u);
+}
+
+TEST(FlightCrash, SigsegvLastGaspFlushYieldsReplayableRecording) {
+  crash_and_verify(/*death=*/0, SIGSEGV);
+}
+
+TEST(FlightCrash, TerminateHookFlushesToo) {
+  crash_and_verify(/*death=*/1, SIGABRT);
+}
+
+}  // namespace
+}  // namespace alpha::trace

@@ -1,0 +1,92 @@
+// StageProfiler: hook cost discipline (no-op without install), sampling
+// cadence, fallback behaviour where perf counters are unavailable, and the
+// alpha_prof_* metric export. Hardware counter values are only asserted
+// when the kernel actually granted the perf group -- CI containers often
+// run with perf_event_paranoid locked down.
+#include "trace/prof.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hashchain/chain.hpp"
+#include "trace/metrics.hpp"
+
+namespace alpha::trace {
+namespace {
+
+TEST(Prof, ScopedStageIsNoopWithoutProfiler) {
+  install_profiler(nullptr);
+  for (int i = 0; i < 100; ++i) {
+    ScopedStage stage(Stage::kChainStep);
+  }
+  // Nothing to observe -- the point is that this compiles to a pointer
+  // check and cannot crash or leak.
+  SUCCEED();
+}
+
+TEST(Prof, CountsCallsAndSamplesAtTheConfiguredCadence) {
+  StageProfiler::Options opts;
+  opts.sample_every = 8;
+  StageProfiler prof(opts);
+  install_profiler(&prof);
+  for (int i = 0; i < 100; ++i) {
+    ScopedStage stage(Stage::kRelayVerify);
+  }
+  install_profiler(nullptr);
+
+  const auto& t = prof.totals(Stage::kRelayVerify);
+  EXPECT_EQ(t.calls, 100u);
+  EXPECT_EQ(t.samples, 13u);  // entries 0, 8, 16, ..., 96
+  EXPECT_EQ(prof.totals(Stage::kShardDrain).calls, 0u);
+}
+
+TEST(Prof, SampledStagesAccumulateWallTimeAndCounters) {
+  StageProfiler::Options opts;
+  opts.sample_every = 1;  // sample everything
+  StageProfiler prof(opts);
+  install_profiler(&prof);
+  // Real work inside the stage: the chain-step hook itself, driven through
+  // the production call site in hashchain::chain_step.
+  const crypto::Bytes seed(20, 0xAB);
+  crypto::Digest d{crypto::ByteView{seed}};
+  for (std::size_t i = 1; i <= 200; ++i) {
+    d = hashchain::chain_step(crypto::HashAlgo::kSha1,
+                              hashchain::ChainTagging::kRoleBound, d, i);
+  }
+  install_profiler(nullptr);
+
+  const auto& t = prof.totals(Stage::kChainStep);
+  EXPECT_EQ(t.calls, 200u);
+  EXPECT_EQ(t.samples, 200u);
+  EXPECT_GT(t.wall_ns, 0u);
+  if (prof.hw_available()) {
+    EXPECT_GT(t.cycles, 0u);
+    EXPECT_GT(t.instructions, 0u);
+  } else {
+    EXPECT_EQ(t.cycles, 0u);
+  }
+}
+
+TEST(Prof, ExportsPerStageMetrics) {
+  StageProfiler prof;
+  install_profiler(&prof);
+  {
+    ScopedStage stage(Stage::kShardDrain);
+  }
+  install_profiler(nullptr);
+
+  metrics::Registry registry;
+  export_prof(prof, registry);
+  EXPECT_EQ(registry.counter("alpha_prof_calls", "stage=\"shard_drain\""), 1u);
+  EXPECT_EQ(registry.counter("alpha_prof_samples", "stage=\"shard_drain\""),
+            1u);
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("alpha_prof_hw_available"), std::string::npos);
+  EXPECT_NE(text.find("alpha_prof_cycles{stage=\"chain_step\"}"),
+            std::string::npos);
+  // Idempotent re-export (telemetry refresh loops fold repeatedly).
+  export_prof(prof, registry);
+  EXPECT_EQ(registry.counter("alpha_prof_calls", "stage=\"shard_drain\""), 1u);
+}
+
+}  // namespace
+}  // namespace alpha::trace

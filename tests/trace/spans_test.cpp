@@ -195,6 +195,49 @@ TEST(Spans, IngestNewSurvivesRingWrapAndCountsLoss) {
   EXPECT_EQ(builder.spans().back().seq, 13u);
 }
 
+TEST(Spans, IngestNewDetectsClearedRingRefilledPastCursor) {
+  // The regression this pins: clear() followed by *more* records than the
+  // old cursor position. total() is then ahead of the cursor again, which
+  // the old `end < cursor_` heuristic read as "nothing happened" -- events
+  // re-ingested from stale absolute indices, and the exported drop counter
+  // inherited (or went backwards from) the previous generation's count.
+  metrics::Registry registry;
+  SpanBuilder builder{&registry};
+  Ring ring(4);
+  // First generation: wrap the ring so dropped() is nonzero.
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    ring.record(ev(EventKind::kPacketSent, 100 + i, 1, i + 1, kS1, 1));
+  }
+  EXPECT_EQ(builder.ingest_new(ring), 4u);
+  EXPECT_EQ(registry.counter("alpha_trace_events_dropped"), 6u);
+  const std::size_t spans_before = builder.spans().size();
+
+  // Second generation: refill PAST the old cursor (10): 12 fresh records.
+  ring.clear();
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    ring.record(ev(EventKind::kPacketSent, 500 + i, 1, 100 + i, kS1, 1));
+  }
+  // Only the 4 retained events of the new generation are ingestable; none
+  // of them may be double-counted or skipped.
+  EXPECT_EQ(builder.ingest_new(ring), 4u);
+  EXPECT_EQ(builder.spans().size(), spans_before + 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GE(builder.spans()[spans_before + i].seq, 100u);
+  }
+  // Monotonic across generations: 6 banked from generation 0 plus 8
+  // wrapped in generation 1 -- never the raw ring.dropped() of 8 alone.
+  EXPECT_EQ(registry.counter("alpha_trace_events_dropped"), 6u + 8u);
+
+  // A swapped source ring (same generation number, different object) is
+  // detected by identity, not just generation.
+  Ring other(4);
+  other.record(ev(EventKind::kPacketSent, 900, 2, 1, kS1, 1));
+  EXPECT_EQ(builder.ingest_new(other), 1u);
+  EXPECT_EQ(builder.spans().back().assoc_id, 2u);
+  // other.dropped() == 0: banked total now includes generation 1's 8.
+  EXPECT_EQ(registry.counter("alpha_trace_events_dropped"), 14u);
+}
+
 TEST(Spans, S2WithoutS1GrowsBatchFromMessageIndex) {
   // Ring wrap ate the S1: the span must still become completable from the
   // S2/delivery evidence alone.

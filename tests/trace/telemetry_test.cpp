@@ -64,6 +64,40 @@ std::string http_get(TelemetryServer& server, const std::string& path) {
                        "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n");
 }
 
+/// Raw connected non-blocking client socket to the server's loopback port.
+int connect_client(TelemetryServer& server) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  return fd;
+}
+
+/// Drains whatever `fd` has ready, pumping the server between reads, until
+/// the server closes the connection or `max_rounds` polls elapse. Reads at
+/// most `chunk` bytes per round (slow-reader simulation).
+std::string drain_response(TelemetryServer& server, int fd,
+                           std::size_t chunk = 4096, int max_rounds = 5000) {
+  std::string response;
+  std::vector<char> buf(chunk);
+  for (int i = 0; i < max_rounds; ++i) {
+    server.poll(0);
+    const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+    if (n > 0) {
+      response.append(buf.data(), static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      break;  // server closed: response complete
+    }
+  }
+  return response;
+}
+
 /// Value of an un-labelled counter line ("name 123") in Prometheus text.
 double metric_value(const std::string& text, const std::string& name) {
   const std::string needle = "\n" + name + " ";
@@ -265,6 +299,102 @@ TEST(Telemetry, WedgedRoundFlipsHealthzTo503) {
     }
   }
   EXPECT_TRUE(saw_degraded_event);
+}
+
+// A trickling client must neither wedge the server nor corrupt the request:
+// the request arrives one byte per poll() round, and the response must still
+// be a complete, correct scrape.
+TEST(Telemetry, SlowClientSendsRequestByteAtATime) {
+  int metrics_calls = 0;
+  TelemetryServer server{TelemetryServer::Options{},
+                         [&] {
+                           ++metrics_calls;
+                           return std::string("alpha_up 1\n");
+                         },
+                         [] { return std::make_pair(200, std::string("{}")); }};
+  ASSERT_TRUE(server.ok());
+
+  const int fd = connect_client(server);
+  const std::string request = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  for (std::size_t i = 0; i < request.size(); ++i) {
+    EXPECT_EQ(::send(fd, &request[i], 1, 0), 1);
+    server.poll(0);
+    // No response may be emitted before the request terminator arrives.
+    if (i + 1 < request.size()) {
+      char peek;
+      EXPECT_LE(::recv(fd, &peek, 1, MSG_PEEK), 0);
+    }
+  }
+  const std::string response = drain_response(server, fd);
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("alpha_up 1"), std::string::npos);
+  EXPECT_EQ(metrics_calls, 1);
+}
+
+// A client that reads its response a few bytes at a time forces the server
+// through many partial non-blocking writes on a large body; every byte must
+// arrive, in order, without blocking the poll loop.
+TEST(Telemetry, SlowReaderDrainsLargeBodyInTinyChunks) {
+  // Big enough to overflow any socket buffer several times over.
+  std::string body;
+  for (int i = 0; i < 20000; ++i) {
+    body += "alpha_row_" + std::to_string(i) + " 1\n";
+  }
+  TelemetryServer server{TelemetryServer::Options{}, [&] { return body; },
+                         [] { return std::make_pair(200, std::string("{}")); }};
+  ASSERT_TRUE(server.ok());
+
+  const int fd = connect_client(server);
+  const std::string request = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  const std::string response =
+      drain_response(server, fd, /*chunk=*/311, /*max_rounds=*/200000);
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  const auto body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  EXPECT_EQ(response.substr(body_at + 4), body);
+}
+
+// Two scrapes in flight at once: requests arrive interleaved, and each
+// connection must get its own complete response.
+TEST(Telemetry, TwoConcurrentScrapes) {
+  int metrics_calls = 0;
+  TelemetryServer server{TelemetryServer::Options{},
+                         [&] {
+                           ++metrics_calls;
+                           return "alpha_scrape " +
+                                  std::to_string(metrics_calls) + "\n";
+                         },
+                         [] { return std::make_pair(200, std::string("{}")); }};
+  ASSERT_TRUE(server.ok());
+
+  const int fd_a = connect_client(server);
+  const int fd_b = connect_client(server);
+  const std::string request = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  const std::size_t half = request.size() / 2;
+  // First halves, then a poll, then the rest: the server sees two partially
+  // read requests concurrently.
+  EXPECT_EQ(::send(fd_a, request.data(), half, 0), static_cast<ssize_t>(half));
+  EXPECT_EQ(::send(fd_b, request.data(), half, 0), static_cast<ssize_t>(half));
+  server.poll(0);
+  EXPECT_EQ(metrics_calls, 0);
+  EXPECT_EQ(::send(fd_a, request.data() + half, request.size() - half, 0),
+            static_cast<ssize_t>(request.size() - half));
+  EXPECT_EQ(::send(fd_b, request.data() + half, request.size() - half, 0),
+            static_cast<ssize_t>(request.size() - half));
+
+  const std::string resp_a = drain_response(server, fd_a);
+  const std::string resp_b = drain_response(server, fd_b);
+  ::close(fd_a);
+  ::close(fd_b);
+  EXPECT_NE(resp_a.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(resp_b.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(resp_a.find("alpha_scrape "), std::string::npos);
+  EXPECT_NE(resp_b.find("alpha_scrape "), std::string::npos);
+  EXPECT_EQ(metrics_calls, 2);
 }
 
 }  // namespace

@@ -20,6 +20,8 @@
 
 #include "core/adapt.hpp"
 #include "flags.hpp"
+#include "trace/flight.hpp"
+#include "trace/health.hpp"
 #include "trace/metrics.hpp"
 #include "trace/spans.hpp"
 #include "trace/trace.hpp"
@@ -243,13 +245,9 @@ bool load_trace(const std::string& path, std::vector<TraceLine>& events,
   return true;
 }
 
-int inspect_trace(const std::string& path) {
-  std::vector<TraceLine> events;
-  std::size_t bad_lines = 0;
-  if (!load_trace(path, events, bad_lines)) return 1;
-
-  // Per-association timeline (assoc 0 collects events with no association
-  // context, e.g. malformed-header drops).
+// Per-association timeline (assoc 0 collects events with no association
+// context, e.g. malformed-header drops).
+void render_timeline(const std::vector<TraceLine>& events) {
   std::map<std::uint32_t, std::vector<const TraceLine*>> by_assoc;
   for (const auto& ev : events) by_assoc[ev.assoc].push_back(&ev);
   for (const auto& [assoc, evs] : by_assoc) {
@@ -284,8 +282,10 @@ int inspect_trace(const std::string& path) {
     }
     std::printf("\n");
   }
+}
 
-  // Drop-reason summary: every non-delivered packet attributed to a reason.
+// Drop-reason summary: every non-delivered packet attributed to a reason.
+void render_drops(const std::vector<TraceLine>& events) {
   std::map<std::string, std::uint64_t> engine_drops;
   std::map<std::string, std::uint64_t> net_drops;
   std::uint64_t net_delivered = 0, net_duplicated = 0;
@@ -318,6 +318,14 @@ int inspect_trace(const std::string& path) {
               static_cast<unsigned long long>(net_delivered),
               static_cast<unsigned long long>(net_total),
               static_cast<unsigned long long>(net_duplicated));
+}
+
+int inspect_trace(const std::string& path) {
+  std::vector<TraceLine> events;
+  std::size_t bad_lines = 0;
+  if (!load_trace(path, events, bad_lines)) return 1;
+  render_timeline(events);
+  render_drops(events);
   if (bad_lines > 0) {
     std::fprintf(stderr, "warning: %zu undecodable trace lines\n", bad_lines);
   }
@@ -339,6 +347,30 @@ trace::Event to_event(const TraceLine& line) {
   e.packet_type = trace::packet_type_from_name(line.type);
   e.origin = static_cast<std::uint8_t>(line.origin);
   return e;
+}
+
+/// Inverse of to_event: lifts a binary flight-recorder event into the same
+/// TraceLine shape the JSONL path produces, so every renderer below works
+/// identically on live JSONL traces and postmortem recordings.
+TraceLine from_event(const trace::Event& e) {
+  TraceLine line;
+  line.t = e.time_us;
+  line.origin = e.origin;
+  line.kind = trace::to_string(e.kind);
+  line.assoc = e.assoc_id;
+  line.seq = e.seq;
+  line.type = trace::packet_type_name(e.packet_type);
+  line.reason = trace::to_string(e.reason);
+  line.detail = e.detail;
+  if (e.kind == trace::EventKind::kNetDelivered ||
+      e.kind == trace::EventKind::kNetDropped ||
+      e.kind == trace::EventKind::kNetDuplicated) {
+    line.has_net = true;
+    line.from = trace::net_detail_from(e.detail);
+    line.to = trace::net_detail_to(e.detail);
+    line.size = trace::net_detail_size(e.detail);
+  }
+  return line;
 }
 
 void waterfall_row(std::vector<std::pair<std::uint64_t, std::string>>& rows,
@@ -420,19 +452,18 @@ void print_quantiles(const char* name, const metrics::Histogram& h,
               h.max() / scale, unit);
 }
 
-int inspect_spans(const std::string& path) {
-  std::vector<TraceLine> events;
-  std::size_t bad_lines = 0;
-  if (!load_trace(path, events, bad_lines)) return 1;
-
+int render_spans(const std::vector<TraceLine>& events, const std::string& label,
+                 bool waterfalls) {
   trace::SpanBuilder builder;
   for (const TraceLine& line : events) builder.ingest(to_event(line));
   if (builder.spans().empty()) {
-    std::fprintf(stderr, "%s: no signature rounds in trace\n", path.c_str());
+    std::fprintf(stderr, "%s: no signature rounds in trace\n", label.c_str());
     return 1;
   }
 
-  for (const trace::RoundSpan& span : builder.spans()) print_waterfall(span);
+  if (waterfalls) {
+    for (const trace::RoundSpan& span : builder.spans()) print_waterfall(span);
+  }
 
   // Latency summary with bucket-bounded quantile estimates (log2 buckets:
   // p50/p99 are exact to within a factor of 2, clamped to observed min/max).
@@ -472,10 +503,18 @@ int inspect_spans(const std::string& path) {
     std::fprintf(stderr, "warning: %llu events lost to ring overwrite\n",
                  static_cast<unsigned long long>(builder.lost_events()));
   }
+  return 0;
+}
+
+int inspect_spans(const std::string& path) {
+  std::vector<TraceLine> events;
+  std::size_t bad_lines = 0;
+  if (!load_trace(path, events, bad_lines)) return 1;
+  const int rc = render_spans(events, path, /*waterfalls=*/true);
   if (bad_lines > 0) {
     std::fprintf(stderr, "warning: %zu undecodable trace lines\n", bad_lines);
   }
-  return 0;
+  return rc;
 }
 
 // ------------------------------------------------------ adaptivity decode
@@ -494,20 +533,18 @@ const char* short_mode(std::uint8_t m) {
 /// kAdaptDecision event carries the full input snapshot (loss EWMA, budget
 /// pressure, health) and the verdict in its detail word, so the decision
 /// log below is exactly what the controller saw -- holds included.
-int inspect_adapt(const std::string& path) {
-  std::vector<TraceLine> events;
-  std::size_t bad_lines = 0;
-  if (!load_trace(path, events, bad_lines)) return 1;
-
+int render_adapt(const std::vector<TraceLine>& events, const std::string& label,
+                 bool required) {
   std::map<std::uint32_t, std::vector<const TraceLine*>> by_assoc;
   for (const auto& ev : events) {
     if (ev.kind == "adapt_decision") by_assoc[ev.assoc].push_back(&ev);
   }
   if (by_assoc.empty()) {
+    if (!required) return 0;
     std::fprintf(stderr,
                  "%s: no adapt_decision events (run with the adaptive "
                  "controller enabled, e.g. alpha_sim --adaptive --trace)\n",
-                 path.c_str());
+                 label.c_str());
     return 1;
   }
 
@@ -554,9 +591,180 @@ int inspect_adapt(const std::string& path) {
     }
     std::printf("\n\n");
   }
+  return 0;
+}
+
+int inspect_adapt(const std::string& path) {
+  std::vector<TraceLine> events;
+  std::size_t bad_lines = 0;
+  if (!load_trace(path, events, bad_lines)) return 1;
+  const int rc = render_adapt(events, path, /*required=*/true);
   if (bad_lines > 0) {
     std::fprintf(stderr, "warning: %zu undecodable trace lines\n", bad_lines);
   }
+  return rc;
+}
+
+// ------------------------------------------------------- flight recordings
+
+void render_health(const std::vector<TraceLine>& events) {
+  bool any = false;
+  for (const auto& ev : events) {
+    const bool degraded = ev.kind == "health_degraded";
+    if (!degraded && ev.kind != "health_recovered") continue;
+    if (!any) {
+      std::printf("== health transitions ==\n");
+      any = true;
+    }
+    std::printf("%12.3f ms  node %-3llu %-18s", ev.t / 1000.0,
+                static_cast<unsigned long long>(ev.origin), ev.kind.c_str());
+    if (degraded && ev.detail != 0) {
+      const auto mask = static_cast<unsigned>(ev.detail);
+      if (mask & trace::kHealthWedgedRound) std::printf(" wedged-round");
+      if (mask & trace::kHealthBudgetExhausted) std::printf(" budget-exhausted");
+      if (mask & trace::kHealthRekeyStorm) std::printf(" rekey-storm");
+      if (mask & trace::kHealthEventsLost) std::printf(" events-lost");
+    }
+    std::printf("\n");
+  }
+  if (any) std::printf("\n");
+}
+
+void print_flight_summary(const trace::FlightRecording& rec,
+                          const std::string& dir) {
+  std::printf("== flight recording: %s ==\n", dir.c_str());
+  std::printf("node %u, %zu segment(s), %llu events\n", rec.node_id(),
+              rec.segments.size(),
+              static_cast<unsigned long long>(rec.total_events()));
+  for (const trace::FlightSegment& seg : rec.segments) {
+    const trace::FlightHeader& h = seg.header;
+    std::printf("  shard %u seg %-3u  %6zu events  lost=%llu  %s",
+                h.shard_index, h.segment_index, seg.events.size(),
+                static_cast<unsigned long long>(h.events_lost),
+                h.finalized      ? "finalized"
+                : h.crash_signal ? "CRASH"
+                                 : "torn");
+    if (h.crash_signal != 0) std::printf(" (signal %u)", h.crash_signal);
+    if (seg.invalid_events > 0) {
+      std::printf("  %llu invalid slots",
+                  static_cast<unsigned long long>(seg.invalid_events));
+    }
+    if (seg.metrics_valid) std::printf("  +metrics snapshot");
+    std::printf("\n");
+  }
+  const trace::FlightHeader& h0 = rec.segments.front().header;
+  std::printf("  build %s\n", h0.build_info);
+  std::printf("  wall epoch %llu us, config digest %016llx\n\n",
+              static_cast<unsigned long long>(h0.wall_epoch_us),
+              static_cast<unsigned long long>(h0.config_digest));
+}
+
+std::vector<TraceLine> flight_lines(const trace::FlightRecording& rec) {
+  std::vector<TraceLine> lines;
+  lines.reserve(rec.total_events());
+  for (const trace::FlightSegment& seg : rec.segments) {
+    for (const trace::Event& e : seg.events) lines.push_back(from_event(e));
+  }
+  return lines;
+}
+
+/// Postmortem view of one recording: what a crashed or exited node left
+/// behind, rendered through the same lenses as a live JSONL trace.
+int inspect_flight(const std::string& dir) {
+  trace::FlightRecording rec;
+  std::string err;
+  if (!read_flight_dir(dir, rec, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  print_flight_summary(rec, dir);
+  const std::vector<TraceLine> events = flight_lines(rec);
+  if (events.empty()) {
+    std::fprintf(stderr, "%s: recording holds no events\n", dir.c_str());
+    return 1;
+  }
+  render_drops(events);
+  std::printf("\n");
+  render_health(events);
+  // Spans exist only for runs that opened signature rounds; a recording of
+  // pure relay traffic is still useful for the drop table above.
+  render_spans(events, dir, /*waterfalls=*/false);
+  render_adapt(events, dir, /*required=*/false);
+  return 0;
+}
+
+/// Cross-process postmortem: merge N recordings onto one corrected
+/// timeline and show how the clocks were reconciled.
+int inspect_merge(const std::string& spec) {
+  std::vector<std::string> dirs;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string dir = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!dir.empty()) dirs.push_back(dir);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (dirs.size() < 2) {
+    std::fprintf(stderr, "--merge needs at least two comma-separated dirs\n");
+    return 2;
+  }
+  std::vector<trace::FlightRecording> recs(dirs.size());
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    std::string err;
+    if (!read_flight_dir(dirs[i], recs[i], &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 1;
+    }
+    print_flight_summary(recs[i], dirs[i]);
+  }
+  trace::MergeResult merged;
+  std::string err;
+  if (!merge_recordings(recs, merged, &err)) {
+    std::fprintf(stderr, "merge failed: %s\n", err.c_str());
+    return 1;
+  }
+
+  std::printf("== clock links (reference: node %u) ==\n", recs[0].node_id());
+  std::printf("%6s %14s %14s %8s %s\n", "node", "offset(ms)", "latency(us)",
+              "pairs", "basis");
+  for (const trace::ClockLink& link : merged.links) {
+    std::printf("%6u %14.3f %14.1f %8zu %s\n", link.node_id,
+                link.offset_us / 1000.0, link.latency_us, link.matched_pairs,
+                link.refined ? "matched send/recv pairs" : "wall epochs only");
+  }
+  std::printf("\n== merged timeline (%zu events) ==\n",
+              merged.timeline.size());
+  const std::uint64_t t0 =
+      merged.timeline.empty() ? 0 : merged.timeline.front().wall_us;
+  for (const trace::MergedEvent& me : merged.timeline) {
+    const TraceLine line = from_event(me.event);
+    std::printf("%12.3f ms  node %-3u %-18s", (me.wall_us - t0) / 1000.0,
+                me.node_id, line.kind.c_str());
+    if (!line.type.empty() && line.type != "-") {
+      std::printf(" %-3s", line.type.c_str());
+    }
+    std::printf(" assoc=%u seq=%u", line.assoc, line.seq);
+    if (!line.reason.empty() && line.reason != "none") {
+      std::printf(" reason=%s", line.reason.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+
+  // Cross-node spans: feed the corrected timeline through the span
+  // reconstructor so hop latencies span process boundaries.
+  std::vector<TraceLine> lines;
+  lines.reserve(merged.timeline.size());
+  for (const trace::MergedEvent& me : merged.timeline) {
+    TraceLine line = from_event(me.event);
+    line.t = me.wall_us - t0;
+    lines.push_back(std::move(line));
+  }
+  render_drops(lines);
+  std::printf("\n");
+  render_spans(lines, spec, /*waterfalls=*/false);
   return 0;
 }
 
@@ -577,8 +785,21 @@ int main(int argc, char** argv) {
                "explain adaptive-controller decisions from a JSONL event "
                "trace: one line per policy evaluation with the signals "
                "that justified it");
+  flags.define("flight", "",
+               "replay a flight-recorder directory (alpha_sim --flight-dir): "
+               "segment headers, drop taxonomy, health transitions, span "
+               "summary, adapt log");
+  flags.define("merge", "",
+               "merge two or more comma-separated flight-recorder dirs into "
+               "one clock-corrected cross-process timeline");
   flags.parse(argc, argv);
 
+  if (!flags.str("merge").empty()) {
+    return inspect_merge(flags.str("merge"));
+  }
+  if (!flags.str("flight").empty()) {
+    return inspect_flight(flags.str("flight"));
+  }
   if (!flags.str("adapt").empty()) {
     return inspect_adapt(flags.str("adapt"));
   }

@@ -20,8 +20,11 @@
 #include "core/sharded_node.hpp"
 #include "flags.hpp"
 #include "net/network.hpp"
+#include "trace/build_info.hpp"
+#include "trace/flight.hpp"
 #include "trace/health.hpp"
 #include "trace/metrics.hpp"
+#include "trace/prof.hpp"
 #include "trace/spans.hpp"
 #include "trace/telemetry.hpp"
 #include "trace/trace.hpp"
@@ -104,6 +107,9 @@ int main(int argc, char** argv) {
   flags.define("chaos-seed", "0",
                "fault-schedule seed (0 = derive from --seed)");
   flags.define("trace", "", "write a JSONL protocol event trace to FILE");
+  flags.define("flight-dir", "",
+               "spill the event ring to crash-safe flight-recorder segments "
+               "under DIR (alpha_inspect --flight replays them)");
   flags.define("timeline", "false", "print a per-frame timeline to stderr");
   flags.define("metrics", "false",
                "print Prometheus-style per-association metrics to stdout");
@@ -194,9 +200,13 @@ int main(int argc, char** argv) {
   // --metrics/--metrics-port install it too.
   std::optional<trace::Ring> trace_ring;
   const std::string trace_path = flags.str("trace");
+  const std::string flight_dir = flags.str("flight-dir");
   const long metrics_port = flags.num("metrics-port");
   const long serve_seconds = flags.num("serve-seconds");
-  const bool want_metrics = flags.flag("metrics") || metrics_port >= 0;
+  // A flight recording embeds the metrics snapshot at finalize, so
+  // --flight-dir implies the metrics plumbing.
+  const bool want_metrics =
+      flags.flag("metrics") || metrics_port >= 0 || !flight_dir.empty();
   if (!trace_path.empty() || want_metrics) {
     trace_ring.emplace(std::size_t{1} << 18);
     trace::install(&*trace_ring);
@@ -287,6 +297,14 @@ int main(int argc, char** argv) {
   metrics::Registry registry;
   trace::SpanBuilder span_builder{want_metrics ? &registry : nullptr};
   trace::HealthMonitor health;
+  // Stage profiler: the sharded runtimes are driven inline over
+  // SimTransport (one thread), so the thread-local install covers every
+  // shard-drain / relay-verify / chain-step site in the run.
+  trace::StageProfiler profiler;
+  if (want_metrics) {
+    trace::export_build_info(registry);
+    trace::install_profiler(&profiler);
+  }
   std::map<std::uint64_t, std::uint64_t> submit_time_us;  // cookie -> t
   std::map<std::uint32_t, std::uint64_t> hs_start_us;     // assoc -> t
   const auto assoc_label = [](std::uint32_t assoc_id) {
@@ -495,6 +513,7 @@ int main(int argc, char** argv) {
       fold_shards(("relay" + std::to_string(i)).c_str(),
                   sharded_relay_nodes[i]->shard_stats());
     }
+    trace::export_prof(profiler, registry);
     if (trace_ring.has_value()) span_builder.ingest_new(*trace_ring);
     health.observe(samples, sim.now(),
                    trace_ring.has_value() ? trace_ring->dropped() : 0);
@@ -524,6 +543,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "telemetry: serving on 127.0.0.1:%u\n",
                  telemetry->port());
     std::fflush(stderr);
+  }
+
+  // Flight recorder: crash-safe spill of the same event ring. Installed
+  // with the fatal-signal handlers so even a SIGSEGV mid-run leaves a
+  // replayable recording behind (alpha_inspect --flight DIR).
+  std::optional<trace::FlightRecorder> flight;
+  if (!flight_dir.empty()) {
+    trace::FlightOptions fopts;
+    fopts.dir = flight_dir;
+    fopts.node_id = 0;
+    fopts.clock_origin_us = sim.now();
+    fopts.config_digest = trace::fnv1a64(
+        "mode=" + flags.str("mode") + " algo=" + flags.str("algo") +
+        " batch=" + std::to_string(config.batch_size) +
+        " reliable=" + (config.reliable ? "1" : "0") +
+        " hops=" + std::to_string(hops) + " assocs=" + std::to_string(assocs) +
+        " seed=" + std::to_string(seed));
+    fopts.metrics_snapshot = [&] {
+      refresh_observability();
+      return registry.render_prometheus();
+    };
+    flight.emplace(fopts, &*trace_ring);
+    if (!flight->ok()) {
+      std::fprintf(stderr, "%s\n", flight->error().c_str());
+      return 1;
+    }
+    trace::install_crash_handlers();
   }
 
   for (std::size_t a = 0; a < assocs; ++a) {
@@ -578,6 +624,7 @@ int main(int argc, char** argv) {
     if (trace_ring.has_value() && want_metrics) {
       span_builder.ingest_new(*trace_ring);  // stitch while the ring is hot
     }
+    if (flight.has_value()) flight->drain();  // spill before the ring wraps
     if (telemetry.has_value()) telemetry->poll(0);
     if (delivered != last_count) {
       last_count = delivered;
@@ -799,16 +846,28 @@ int main(int argc, char** argv) {
       telemetry->poll(100);
     }
   }
+  if (flight.has_value()) {
+    flight->finalize();
+    std::fprintf(stderr, "flight: %llu events in %llu segment(s) -> %s\n",
+                 static_cast<unsigned long long>(flight->events_written()),
+                 static_cast<unsigned long long>(flight->segments_opened()),
+                 flight_dir.c_str());
+  }
   if (trace_ring.has_value()) {
     trace::install(nullptr);
-    if (!trace::write_jsonl(*trace_ring, trace_path)) {
-      std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
-      return 1;
+    trace::install_profiler(nullptr);
+    // The ring also serves --metrics/--flight-dir runs with no JSONL sink;
+    // only write (and only fail) when a path was actually requested.
+    if (!trace_path.empty()) {
+      if (!trace::write_jsonl(*trace_ring, trace_path)) {
+        std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "trace: %zu events (%llu recorded) -> %s\n",
+                   trace_ring->size(),
+                   static_cast<unsigned long long>(trace_ring->total()),
+                   trace_path.c_str());
     }
-    std::fprintf(stderr, "trace: %zu events (%llu recorded) -> %s\n",
-                 trace_ring->size(),
-                 static_cast<unsigned long long>(trace_ring->total()),
-                 trace_path.c_str());
   }
   if (forged > 0) {
     std::fprintf(stderr, "FORGERY: %zu unauthentic payloads accepted\n",
